@@ -1,0 +1,269 @@
+// Benchmarks: one per reproduced table/figure (the E1–E21 experiment
+// suite plus the A1–A3 ablations), each regenerating its exhibit end
+// to end, followed by micro-benchmarks of the core model operations.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package feedbackflow_test
+
+import (
+	"testing"
+
+	ff "github.com/nettheory/feedbackflow"
+)
+
+// benchExperiment runs one registered experiment per iteration and
+// fails the benchmark if the reproduction checks stop holding.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := ff.RunExperiment(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Pass {
+			b.Fatalf("%s no longer reproduces:\n%s", id, res.Render())
+		}
+	}
+}
+
+// BenchmarkE1FairShareTable regenerates Table 1 (the Fair Share
+// priority decomposition).
+func BenchmarkE1FairShareTable(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2TimeScaleInvariance regenerates the Theorem 1 scaling and
+// latency-invariance exhibit.
+func BenchmarkE2TimeScaleInvariance(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3AggregateManifold regenerates the Theorem 2 steady-state
+// manifold exhibit.
+func BenchmarkE3AggregateManifold(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4IndividualFairness regenerates the Theorem 3 unique-fair-
+// steady-state exhibit.
+func BenchmarkE4IndividualFairness(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5StabilityBoundary regenerates the Section 3.3 stability
+// boundary (η_crit = 2/N) exhibit.
+func BenchmarkE5StabilityBoundary(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6Bifurcation regenerates the Section 3.3 period-doubling /
+// chaos exhibit.
+func BenchmarkE6Bifurcation(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7FSTriangularStability regenerates the Theorem 4
+// triangularity exhibit.
+func BenchmarkE7FSTriangularStability(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8RobustnessCriterion regenerates the Theorem 5 criterion
+// exhibit.
+func BenchmarkE8RobustnessCriterion(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9Heterogeneity regenerates the Section 3.4 heterogeneous-
+// laws exhibit.
+func BenchmarkE9Heterogeneity(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10DelayVsReservation regenerates the Section 3.4 factor-N
+// delay exhibit.
+func BenchmarkE10DelayVsReservation(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11SimValidation regenerates the packet-level validation of
+// the analytic queue models (the slowest experiment: ~10⁶ simulated
+// events per iteration).
+func BenchmarkE11SimValidation(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12DECbitModels regenerates the Section 4 window-vs-rate
+// LIMD exhibit.
+func BenchmarkE12DECbitModels(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13NetworkValidation regenerates the tandem-network test of
+// the Poisson-output approximation.
+func BenchmarkE13NetworkValidation(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkE14BinaryAIMD regenerates the Section 4 binary-feedback
+// AIMD oscillation exhibit.
+func BenchmarkE14BinaryAIMD(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkE15Asynchrony regenerates the asynchronous-updates
+// extension exhibit.
+func BenchmarkE15Asynchrony(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkE16FairQueueing regenerates the Fair Queueing vs Fair Share
+// comparison.
+func BenchmarkE16FairQueueing(b *testing.B) { benchExperiment(b, "E16") }
+
+// BenchmarkE17ConvergenceRate regenerates the spectral-radius vs
+// measured-decay exhibit.
+func BenchmarkE17ConvergenceRate(b *testing.B) { benchExperiment(b, "E17") }
+
+// BenchmarkE18Burstiness regenerates the Poisson-assumption
+// sensitivity exhibit.
+func BenchmarkE18Burstiness(b *testing.B) { benchExperiment(b, "E18") }
+
+// BenchmarkE19WindowDynamics regenerates the genuine window-based
+// flow control exhibit.
+func BenchmarkE19WindowDynamics(b *testing.B) { benchExperiment(b, "E19") }
+
+// BenchmarkE20Greed regenerates the selfish-sources equilibrium
+// exhibit.
+func BenchmarkE20Greed(b *testing.B) { benchExperiment(b, "E20") }
+
+// BenchmarkAblationJacobian regenerates the A1 finite-difference
+// scheme ablation called out in DESIGN.md.
+func BenchmarkAblationJacobian(b *testing.B) { benchExperiment(b, "A1") }
+
+// BenchmarkAblationSignalFamily regenerates the A2 signal-family
+// independence ablation called out in DESIGN.md.
+func BenchmarkAblationSignalFamily(b *testing.B) { benchExperiment(b, "A2") }
+
+// --- component micro-benchmarks ---
+
+func benchRates(n int) []float64 {
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = 0.8 / float64(n) * (1 + 0.5*float64(i%3))
+	}
+	return r
+}
+
+// BenchmarkFIFOQueues measures the FIFO Q(r) computation (N=32).
+func BenchmarkFIFOQueues(b *testing.B) {
+	r := benchRates(32)
+	var d ff.FIFO
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Queues(r, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFairShareQueues measures the Fair Share recursion (N=32),
+// which sorts and accumulates per connection.
+func BenchmarkFairShareQueues(b *testing.B) {
+	r := benchRates(32)
+	var d ff.FairShare
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Queues(r, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSystemStep measures one synchronous update of a 32-
+// connection individual-feedback Fair Share system.
+func BenchmarkSystemStep(b *testing.B) {
+	net, err := ff.SingleGateway(32, 2, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	law := ff.AdditiveTSI{Eta: 0.1, BSS: 0.5}
+	sys, err := ff.NewSystem(net, ff.FairShare{}, ff.Individual, ff.Rational{}, ff.UniformLaws(law, 32))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := benchRates(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Step(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunToSteadyState measures a full convergence run of the
+// quickstart scenario.
+func BenchmarkRunToSteadyState(b *testing.B) {
+	net, err := ff.SingleGateway(8, 1, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	law := ff.AdditiveTSI{Eta: 0.1, BSS: 0.5}
+	sys, err := ff.NewSystem(net, ff.FairShare{}, ff.Individual, ff.Rational{}, ff.UniformLaws(law, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r0 := benchRates(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.Run(r0, ff.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+// BenchmarkStabilityAnalysis measures a full Jacobian + eigenvalue
+// classification at N=16.
+func BenchmarkStabilityAnalysis(b *testing.B) {
+	net, err := ff.SingleGateway(16, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	law := ff.AdditiveTSI{Eta: 0.1, BSS: 0.5}
+	sys, err := ff.NewSystem(net, ff.FairShare{}, ff.Individual, ff.Rational{}, ff.UniformLaws(law, 16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := benchRates(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ff.AnalyzeStability(sys, r, 1e-7, ff.ForwardDiff); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEventSim measures the packet-level simulator's event
+// throughput (reported as time per simulation of 2000 time units at
+// total event rate ≈ 1.8/unit).
+func BenchmarkEventSim(b *testing.B) {
+	cfg := ff.GatewaySimConfig{
+		Rates:      []float64{0.2, 0.3, 0.3},
+		Mu:         1,
+		Discipline: ff.SimFairShare,
+		Seed:       1,
+		Duration:   2000,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ff.SimulateGateway(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFairAllocation measures the Theorem 2 progressive-filling
+// construction on a 10-gateway, 40-connection parking lot.
+func BenchmarkFairAllocation(b *testing.B) {
+	net, err := ff.ParkingLot(10, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ff.FairAllocation(net, ff.Rational{}, 0.6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPreemption regenerates the A3 preemption
+// ablation for Theorem 5.
+func BenchmarkAblationPreemption(b *testing.B) { benchExperiment(b, "A3") }
+
+// BenchmarkE21ConjectureSweep regenerates the Section 3.3 conjecture
+// evidence sweep.
+func BenchmarkE21ConjectureSweep(b *testing.B) { benchExperiment(b, "E21") }

@@ -1,0 +1,214 @@
+// Command ffc runs one feedback flow control scenario to steady state
+// and reports the resulting throughput allocation, fairness, and
+// linear stability — a workbench for exploring the paper's 2×2 design
+// space ({aggregate, individual} feedback × {FIFO, FairShare}
+// gateways) on canned topologies.
+//
+// Examples:
+//
+//	ffc -topology single -n 4 -feedback individual -discipline fairshare
+//	ffc -topology parkinglot -hops 3 -feedback aggregate -eta 0.3
+//	ffc -law window -eta 0.02 -beta 0.2          # DECbit-style window LIMD
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	ff "github.com/nettheory/feedbackflow"
+)
+
+func main() {
+	var (
+		config   = flag.String("config", "", "JSON scenario file (overrides the topology/law flags)")
+		dot      = flag.Bool("dot", false, "print the topology as Graphviz DOT and exit")
+		topo     = flag.String("topology", "single", "topology: single, parkinglot, star, ring, dumbbell")
+		n        = flag.Int("n", 4, "connections (single) / leaves (star) / size (ring) / pairs (dumbbell)")
+		hops     = flag.Int("hops", 3, "gateways in the parking lot / hops per ring connection")
+		mu       = flag.Float64("mu", 1.0, "gateway service rate")
+		latency  = flag.Float64("latency", 0.1, "line latency per gateway")
+		disc     = flag.String("discipline", "fairshare", "gateway discipline: fifo, fairshare")
+		feedback = flag.String("feedback", "individual", "feedback style: aggregate, individual")
+		lawName  = flag.String("law", "additive", "rate law: additive, multiplicative, fairrate, window")
+		eta      = flag.Float64("eta", 0.1, "law gain η")
+		beta     = flag.Float64("beta", 0.5, "law decrease factor β (fairrate/window)")
+		bss      = flag.Float64("bss", 0.5, "target steady-state signal b_SS (additive/multiplicative)")
+		steps    = flag.Int("steps", 200000, "max iteration steps")
+		seed     = flag.Int64("seed", 1, "seed for the random initial rates")
+	)
+	flag.Parse()
+
+	if *config != "" {
+		if err := runConfig(*config); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *dot {
+		net, err := buildTopology(*topo, *n, *hops, *mu, *latency)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ff.WriteDOT(os.Stdout, net, *topo); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	net, err := buildTopology(*topo, *n, *hops, *mu, *latency)
+	if err != nil {
+		fatal(err)
+	}
+	discipline, err := parseDiscipline(*disc)
+	if err != nil {
+		fatal(err)
+	}
+	style, err := parseFeedback(*feedback)
+	if err != nil {
+		fatal(err)
+	}
+	law, err := buildLaw(*lawName, *eta, *beta, *bss)
+	if err != nil {
+		fatal(err)
+	}
+
+	nc := net.NumConnections()
+	sys, err := ff.NewSystem(net, discipline, style, ff.Rational{}, ff.UniformLaws(law, nc))
+	if err != nil {
+		fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	r0 := make([]float64, nc)
+	for i := range r0 {
+		r0[i] = 0.01 + rng.Float64()*0.5**mu/float64(nc)
+	}
+
+	fmt.Printf("scenario: %s topology, %s gateways, %s feedback, law %s\n",
+		*topo, discipline.Name(), style, law.Name())
+	if err := runAndReport(sys, r0, ff.RunOptions{MaxSteps: *steps}); err != nil {
+		fatal(err)
+	}
+}
+
+// runConfig loads a declarative JSON scenario and reports its run.
+func runConfig(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spec, err := ff.LoadScenario(f)
+	if err != nil {
+		return err
+	}
+	sys, r0, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario: %s (%s gateways, %s feedback)\n",
+		spec.Name, sys.Discipline().Name(), sys.Style())
+	return runAndReport(sys, r0, spec.RunOptions())
+}
+
+// runAndReport iterates the system to steady state and prints the
+// throughput, fairness, and stability report.
+func runAndReport(sys *ff.System, r0 []float64, opt ff.RunOptions) error {
+	fmt.Printf("initial rates: %s\n", fmtRates(r0))
+	res, err := sys.Run(r0, opt)
+	if err != nil {
+		return err
+	}
+	if !res.Converged {
+		fmt.Printf("did NOT converge after %d steps (oscillatory or chaotic); last rates: %s\n",
+			res.Steps, fmtRates(res.Rates))
+		os.Exit(1)
+	}
+	fmt.Printf("converged in %d steps\n", res.Steps)
+	fmt.Printf("steady-state rates: %s\n", fmtRates(res.Rates))
+	fmt.Printf("signals b_i: %s   delays d_i: %s\n", fmtRates(res.Final.Signals), fmtRates(res.Final.Delays))
+
+	rep, err := ff.EvaluateFairness(sys, res.Final, res.Rates, 1e-6)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fairness: fair=%v Jain=%.4f", rep.Fair, rep.JainIndex)
+	if len(rep.Violations) > 0 {
+		fmt.Printf(" (e.g. %s)", rep.Violations[0])
+	}
+	fmt.Println()
+
+	st, err := ff.AnalyzeStability(sys, res.Rates, 1e-7, ff.ForwardDiff)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stability: unilateral=%v systemic=%v spectralRadius=%.4f triangular=%v\n",
+		st.Unilateral, st.Systemic, st.SpectralRadius, st.TriangularOrder != nil)
+	return nil
+}
+
+func buildTopology(kind string, n, hops int, mu, latency float64) (*ff.Network, error) {
+	switch strings.ToLower(kind) {
+	case "single":
+		return ff.SingleGateway(n, mu, latency)
+	case "parkinglot":
+		return ff.ParkingLot(hops, mu, latency)
+	case "star":
+		return ff.Star(n, 2*mu, mu, latency)
+	case "ring":
+		return ff.Ring(n, hops, mu, latency)
+	case "dumbbell":
+		return ff.Dumbbell(n, 2*mu, mu, latency)
+	}
+	return nil, fmt.Errorf("unknown topology %q (want single, parkinglot, star, ring, dumbbell)", kind)
+}
+
+func parseDiscipline(s string) (ff.Discipline, error) {
+	switch strings.ToLower(s) {
+	case "fifo":
+		return ff.FIFO{}, nil
+	case "fairshare", "fs":
+		return ff.FairShare{}, nil
+	}
+	return nil, fmt.Errorf("unknown discipline %q (want fifo, fairshare)", s)
+}
+
+func parseFeedback(s string) (ff.FeedbackStyle, error) {
+	switch strings.ToLower(s) {
+	case "aggregate":
+		return ff.Aggregate, nil
+	case "individual":
+		return ff.Individual, nil
+	}
+	return 0, fmt.Errorf("unknown feedback style %q (want aggregate, individual)", s)
+}
+
+func buildLaw(name string, eta, beta, bss float64) (ff.Law, error) {
+	switch strings.ToLower(name) {
+	case "additive":
+		return ff.AdditiveTSI{Eta: eta, BSS: bss}, nil
+	case "multiplicative":
+		return ff.MultiplicativeTSI{Eta: eta, BSS: bss}, nil
+	case "fairrate":
+		return ff.FairRateLIMD{Eta: eta, Beta: beta}, nil
+	case "window":
+		return ff.WindowLIMD{Eta: eta, Beta: beta}, nil
+	}
+	return nil, fmt.Errorf("unknown law %q (want additive, multiplicative, fairrate, window)", name)
+}
+
+func fmtRates(r []float64) string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = fmt.Sprintf("%.5f", v)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ffc:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildTopology(t *testing.T) {
+	cases := []struct {
+		kind    string
+		nGw     int
+		nConn   int
+		wantErr bool
+	}{
+		{"single", 1, 4, false},
+		{"parkinglot", 3, 4, false},
+		{"star", 5, 4, false},
+		{"ring", 4, 4, false},
+		{"dumbbell", 9, 4, false},
+		{"SINGLE", 1, 4, false}, // case-insensitive
+		{"mesh", 0, 0, true},
+	}
+	for _, c := range cases {
+		net, err := buildTopology(c.kind, 4, 3, 1, 0.1)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("%s: want error", c.kind)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", c.kind, err)
+			continue
+		}
+		if net.NumGateways() != c.nGw || net.NumConnections() != c.nConn {
+			t.Errorf("%s: %d gw %d conn, want %d/%d",
+				c.kind, net.NumGateways(), net.NumConnections(), c.nGw, c.nConn)
+		}
+	}
+}
+
+func TestParseDiscipline(t *testing.T) {
+	d, err := parseDiscipline("fifo")
+	if err != nil || d.Name() != "FIFO" {
+		t.Errorf("fifo: %v %v", d, err)
+	}
+	d, err = parseDiscipline("FairShare")
+	if err != nil || d.Name() != "FairShare" {
+		t.Errorf("FairShare: %v %v", d, err)
+	}
+	d, err = parseDiscipline("fs")
+	if err != nil || d.Name() != "FairShare" {
+		t.Errorf("fs: %v %v", d, err)
+	}
+	if _, err := parseDiscipline("lifo"); err == nil {
+		t.Error("lifo: want error")
+	}
+}
+
+func TestParseFeedback(t *testing.T) {
+	if s, err := parseFeedback("aggregate"); err != nil || s.String() != "aggregate" {
+		t.Errorf("aggregate: %v %v", s, err)
+	}
+	if s, err := parseFeedback("Individual"); err != nil || s.String() != "individual" {
+		t.Errorf("Individual: %v %v", s, err)
+	}
+	if _, err := parseFeedback("broadcast"); err == nil {
+		t.Error("broadcast: want error")
+	}
+}
+
+func TestBuildLaw(t *testing.T) {
+	for _, name := range []string{"additive", "multiplicative", "fairrate", "window"} {
+		l, err := buildLaw(name, 0.1, 0.5, 0.5)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if l.Name() == "" {
+			t.Errorf("%s: empty law name", name)
+		}
+	}
+	if _, err := buildLaw("quadratic", 0.1, 0.5, 0.5); err == nil {
+		t.Error("quadratic: want error")
+	}
+}
+
+func TestFmtRates(t *testing.T) {
+	out := fmtRates([]float64{0.5, 0.25})
+	if !strings.HasPrefix(out, "[") || !strings.Contains(out, "0.50000") || !strings.Contains(out, "0.25000") {
+		t.Errorf("fmtRates = %q", out)
+	}
+}

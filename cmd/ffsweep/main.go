@@ -1,0 +1,174 @@
+// Command ffsweep produces CSV parameter sweeps for offline plotting:
+// the stability region of aggregate feedback over (N, η), the
+// robustness gap under heterogeneous laws over the target-signal
+// spread, and the attractor of the Section 3.3 chaos recursion over
+// ηN.
+//
+// Usage:
+//
+//	ffsweep -mode stability > stability.csv
+//	ffsweep -mode robustness > robustness.csv
+//	ffsweep -mode chaos > chaos.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+
+	ff "github.com/nettheory/feedbackflow"
+)
+
+func main() {
+	mode := flag.String("mode", "stability", "sweep: stability, robustness, chaos")
+	flag.Parse()
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	var err error
+	switch *mode {
+	case "stability":
+		err = sweepStability(w)
+	case "robustness":
+		err = sweepRobustness(w)
+	case "chaos":
+		err = sweepChaos(w)
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+// sweepStability emits, for each (N, η), the max |DF_ii| and the
+// transverse spectral radius of the aggregate-feedback stability
+// matrix at the fair point (the E5 setting).
+func sweepStability(w *csv.Writer) error {
+	if err := w.Write([]string{"n", "eta", "max_abs_diag", "spectral_radius", "unilateral", "systemic_transverse"}); err != nil {
+		return err
+	}
+	const bss = 0.5
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		net, err := ff.SingleGateway(n, 1, 0)
+		if err != nil {
+			return err
+		}
+		for eta := 0.05; eta <= 2.0; eta += 0.05 {
+			law := ff.AdditiveTSI{Eta: eta, BSS: bss}
+			sys, err := ff.NewSystem(net, ff.FIFO{}, ff.Aggregate, ff.Rational{}, ff.UniformLaws(law, n))
+			if err != nil {
+				return err
+			}
+			r := make([]float64, n)
+			for i := range r {
+				r[i] = bss / float64(n)
+			}
+			rep, err := ff.AnalyzeStability(sys, r, 1e-7, ff.CentralDiff)
+			if err != nil {
+				return err
+			}
+			transverse := 0.0
+			for _, ev := range rep.Eigenvalues {
+				if math.Hypot(real(ev)-1, imag(ev)) <= 1e-6 {
+					continue // steady-state manifold direction
+				}
+				if m := math.Hypot(real(ev), imag(ev)); m > transverse {
+					transverse = m
+				}
+			}
+			if err := w.Write([]string{
+				strconv.Itoa(n), fmtF(eta), fmtF(rep.MaxAbsDiag), fmtF(transverse),
+				strconv.FormatBool(rep.Unilateral), strconv.FormatBool(transverse < 1),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sweepRobustness emits, for each spread of target signals, the meek
+// connection's steady throughput relative to its reservation floor
+// under the three design points of E9.
+func sweepRobustness(w *csv.Writer) error {
+	if err := w.Write([]string{"bss_gap", "design", "meek_rate", "floor", "ratio"}); err != nil {
+		return err
+	}
+	const (
+		mu   = 1.0
+		n    = 2
+		base = 0.55
+	)
+	net, err := ff.SingleGateway(n, mu, 0.1)
+	if err != nil {
+		return err
+	}
+	designs := []struct {
+		label string
+		style ff.FeedbackStyle
+		disc  ff.Discipline
+	}{
+		{"aggregate_fifo", ff.Aggregate, ff.FIFO{}},
+		{"individual_fifo", ff.Individual, ff.FIFO{}},
+		{"individual_fairshare", ff.Individual, ff.FairShare{}},
+	}
+	for gap := 0.0; gap <= 0.5; gap += 0.05 {
+		greedy, meek := base+gap/2, base-gap/2
+		laws := []ff.Law{
+			ff.AdditiveTSI{Eta: 0.05, BSS: greedy},
+			ff.AdditiveTSI{Eta: 0.05, BSS: meek},
+		}
+		floor := meek * mu / n
+		for _, d := range designs {
+			sys, err := ff.NewSystem(net, d.disc, d.style, ff.Rational{}, laws)
+			if err != nil {
+				return err
+			}
+			out, err := sys.Run([]float64{0.2, 0.2}, ff.RunOptions{MaxSteps: 400000})
+			if err != nil {
+				return err
+			}
+			ratio := out.Rates[1] / floor
+			if err := w.Write([]string{
+				fmtF(gap), d.label, fmtF(out.Rates[1]), fmtF(floor), fmtF(ratio),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sweepChaos emits attractor samples of the symmetric recursion over
+// ηN — the raw data of the E6 bifurcation diagram.
+func sweepChaos(w *csv.Writer) error {
+	if err := w.Write([]string{"eta_n", "attractor_n_r"}); err != nil {
+		return err
+	}
+	const (
+		n    = 100
+		beta = 0.25
+	)
+	for etaN := 1.0; etaN <= 2.99; etaN += 0.005 {
+		m := ff.SymmetricRecursion(etaN/float64(n), beta, n)
+		x := math.Sqrt(beta) / float64(n) * 1.1
+		for burn := 0; burn < 4000; burn++ {
+			x = m(x)
+		}
+		for keep := 0; keep < 50; keep++ {
+			x = m(x)
+			if err := w.Write([]string{fmtF(etaN), fmtF(float64(n) * x)}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+// Command fftables regenerates every table and figure of the
+// reproduction: the paper's Table 1 plus the experiment suite built
+// around its theorems and in-text examples (E1–E12, ablations).
+//
+// Usage:
+//
+//	fftables            # run the full suite
+//	fftables -run E5    # run one experiment
+//	fftables -list      # list experiment IDs and titles
+//
+// The process exits non-zero if any experiment's reproduction checks
+// fail.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	ff "github.com/nettheory/feedbackflow"
+)
+
+func main() {
+	var (
+		runID  = flag.String("run", "", "run a single experiment by ID (e.g. E5); empty runs all")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		asJSON = flag.Bool("json", false, "emit results as a JSON array instead of text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range ff.Experiments() {
+			fmt.Printf("%-4s %s\n", s.ID, s.Title)
+		}
+		return
+	}
+
+	specs := ff.Experiments()
+	if *runID != "" {
+		res, err := ff.RunExperiment(*runID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		emit(*asJSON, []*ff.ExperimentResult{res})
+		if !res.Pass {
+			os.Exit(1)
+		}
+		return
+	}
+
+	failed := 0
+	var results []*ff.ExperimentResult
+	for _, s := range specs {
+		res, err := s.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", s.ID, err)
+			failed++
+			continue
+		}
+		results = append(results, res)
+		if !res.Pass {
+			failed++
+		}
+	}
+	emit(*asJSON, results)
+	if !*asJSON {
+		fmt.Printf("%d/%d experiments reproduced the paper's predictions\n", len(specs)-failed, len(specs))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// emit writes results either as rendered text or as a JSON array.
+func emit(asJSON bool, results []*ff.ExperimentResult) {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+	for _, res := range results {
+		fmt.Print(res.Render())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,94 @@
+// Command qsim runs the packet-level discrete-event simulation of a
+// single gateway and compares the measured per-connection queue
+// lengths against the paper's analytic formulas — FIFO's
+// Q_i = ρ_i/(1−ρ_tot) and Fair Share's preemptive-priority recursion.
+//
+// Example:
+//
+//	qsim -rates 0.1,0.2,0.4 -mu 1 -discipline fairshare -duration 60000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	ff "github.com/nettheory/feedbackflow"
+)
+
+func main() {
+	var (
+		ratesArg = flag.String("rates", "0.1,0.2,0.4", "comma-separated Poisson sending rates")
+		mu       = flag.Float64("mu", 1.0, "exponential service rate")
+		disc     = flag.String("discipline", "fairshare", "discipline: fifo, fairshare")
+		duration = flag.Float64("duration", 60000, "measured simulated time")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	rates, err := parseRates(*ratesArg)
+	if err != nil {
+		fatal(err)
+	}
+
+	var (
+		kind     ff.SimDiscipline
+		analytic ff.Discipline
+	)
+	switch strings.ToLower(*disc) {
+	case "fifo":
+		kind, analytic = ff.SimFIFO, ff.FIFO{}
+	case "fairshare", "fs":
+		kind, analytic = ff.SimFairShare, ff.FairShare{}
+	default:
+		fatal(fmt.Errorf("unknown discipline %q", *disc))
+	}
+
+	want, err := analytic.Queues(rates, *mu)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := ff.SimulateGateway(ff.GatewaySimConfig{
+		Rates:      rates,
+		Mu:         *mu,
+		Discipline: kind,
+		Seed:       *seed,
+		Duration:   *duration,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s gateway, μ=%g, measured time %g\n", analytic.Name(), *mu, res.MeasuredTime)
+	fmt.Printf("%-5s %-10s %-12s %-12s %-12s %-10s\n", "conn", "rate", "analytic Q", "simulated Q", "95% CI ±", "served")
+	for i, r := range rates {
+		analyticStr := fmt.Sprintf("%.4f", want[i])
+		if math.IsInf(want[i], 1) {
+			analyticStr = "+Inf"
+		}
+		fmt.Printf("%-5d %-10.4f %-12s %-12.4f %-12.4f %-10d\n",
+			i, r, analyticStr, res.MeanQueue[i], res.QueueCI[i].HalfWide, res.Served[i])
+	}
+	fmt.Printf("total queue: simulated %.4f\n", res.TotalQueue)
+}
+
+func parseRates(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	rates := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rate %q: %v", p, err)
+		}
+		rates = append(rates, v)
+	}
+	return rates, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qsim:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestParseRates(t *testing.T) {
+	r, err := parseRates("0.1, 0.2 ,0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 3 || r[0] != 0.1 || r[1] != 0.2 || r[2] != 0.3 {
+		t.Errorf("parsed %v", r)
+	}
+	if _, err := parseRates("0.1,abc"); err == nil {
+		t.Error("want parse error")
+	}
+	if _, err := parseRates(""); err == nil {
+		t.Error("empty string should fail to parse")
+	}
+}

@@ -1,0 +1,126 @@
+package feedbackflow_test
+
+import (
+	"fmt"
+	"strings"
+
+	ff "github.com/nettheory/feedbackflow"
+)
+
+// The canonical scenario: individual feedback with Fair Share gateways
+// converges to the unique fair steady state (Theorem 3).
+func ExampleNewSystem() {
+	net, err := ff.SingleGateway(4, 1.0, 0.1)
+	if err != nil {
+		panic(err)
+	}
+	law := ff.AdditiveTSI{Eta: 0.1, BSS: 0.5}
+	sys, err := ff.NewSystem(net, ff.FairShare{}, ff.Individual, ff.Rational{}, ff.UniformLaws(law, 4))
+	if err != nil {
+		panic(err)
+	}
+	res, err := sys.Run([]float64{0.4, 0.02, 0.1, 0.25}, ff.RunOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("converged=%v rates=%.4f\n", res.Converged, res.Rates)
+	// Output:
+	// converged=true rates=[0.1250 0.1250 0.1250 0.1250]
+}
+
+// The Theorem 2 construction: max-min fairness over bottleneck
+// capacities ρ_SS·μ.
+func ExampleFairAllocation() {
+	var b ff.NetworkBuilder
+	slow := b.AddGateway("slow", 1, 0)
+	fast := b.AddGateway("fast", 2, 0)
+	b.AddConnection(slow, fast) // long connection
+	b.AddConnection(slow)       // cross at the slow gateway
+	b.AddConnection(fast)       // cross at the fast gateway
+	net, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	r, err := ff.FairAllocation(net, ff.Rational{}, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("long=%.2f crossSlow=%.2f crossFast=%.2f\n", r[0], r[1], r[2])
+	// Output:
+	// long=0.25 crossSlow=0.25 crossFast=0.75
+}
+
+// The Section 3.4 heterogeneous fixed point, in closed form.
+func ExampleAnalyticSteadyState() {
+	r, err := ff.AnalyticSteadyState(ff.FairShare{}, []float64{0.7, 0.4}, ff.Rational{}, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("greedy=%.2f meek=%.2f\n", r[0], r[1])
+	// Output:
+	// greedy=0.50 meek=0.20
+}
+
+// Stability classification of the Section 3.3 example: unilaterally
+// stable but systemically unstable.
+func ExampleAnalyzeStability() {
+	net, err := ff.SingleGateway(8, 1, 0)
+	if err != nil {
+		panic(err)
+	}
+	law := ff.AdditiveTSI{Eta: 1.5, BSS: 0.5}
+	sys, err := ff.NewSystem(net, ff.FIFO{}, ff.Aggregate, ff.Rational{}, ff.UniformLaws(law, 8))
+	if err != nil {
+		panic(err)
+	}
+	r := make([]float64, 8)
+	for i := range r {
+		r[i] = 0.5 / 8
+	}
+	rep, err := ff.AnalyzeStability(sys, r, 1e-7, ff.CentralDiff)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("unilateral=%v systemic=%v radius=%.0f\n", rep.Unilateral, rep.Systemic, rep.SpectralRadius)
+	// Output:
+	// unilateral=true systemic=false radius=11
+}
+
+// Declarative scenarios: describe a system as JSON, build, and run.
+func ExampleLoadScenario() {
+	js := `{
+	  "name": "demo",
+	  "gateways": [{"name": "gw", "mu": 1.0, "latency": 0.1}],
+	  "connections": [
+	    {"path": ["gw"], "law": {"kind": "additive", "eta": 0.1, "bss": 0.5}},
+	    {"path": ["gw"], "law": {"kind": "additive", "eta": 0.1, "bss": 0.5}}
+	  ]
+	}`
+	spec, err := ff.LoadScenario(strings.NewReader(js))
+	if err != nil {
+		panic(err)
+	}
+	sys, r0, err := spec.Build()
+	if err != nil {
+		panic(err)
+	}
+	res, err := sys.Run(r0, spec.RunOptions())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: converged=%v rates=%.2f\n", spec.Name, res.Converged, res.Rates)
+	// Output:
+	// demo: converged=true rates=[0.25 0.25]
+}
+
+// Classifying the Section 3.3 recursion at a chaotic parameter.
+func ExampleClassifyOrbit() {
+	m := ff.SymmetricRecursion(2.9/100, 0.25, 100) // ηN = 2.9
+	cls, err := ff.ClassifyOrbit(m, 0.0055)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("class=%s lyapunovPositive=%v\n", cls.Class, cls.Lyapunov > 0)
+	// Output:
+	// class=chaotic lyapunovPositive=true
+}

@@ -1,0 +1,76 @@
+// Chaos: the Section 3.3 aside made visible. With the squared
+// rational signal, N identical sources under aggregate feedback reduce
+// (from a symmetric start) to the one-dimensional recursion
+// r' = r + η(β − (N·r)²). As N grows at fixed gain the steady state
+// loses stability at ηN = 2 and the orbit period-doubles its way to
+// chaos — the classic Collet–Eckmann route the paper cites.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	ff "github.com/nettheory/feedbackflow"
+)
+
+const (
+	eta  = 0.05
+	beta = 0.25
+)
+
+func main() {
+	fmt.Println("orbit class of r' = r + η(β − (N·r)²) as N grows (η=0.05, β=1/4)")
+	fmt.Printf("%-5s %-6s %-12s %-7s %s\n", "N", "ηN", "class", "period", "Lyapunov")
+	for _, n := range []int{10, 20, 30, 40, 44, 50, 54, 58} {
+		m := ff.SymmetricRecursion(eta, beta, n)
+		cls, err := ff.ClassifyOrbit(m, math.Sqrt(beta)/float64(n)*1.1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5d %-6.2f %-12s %-7d %+.3f\n",
+			n, eta*float64(n), cls.Class, cls.Period, cls.Lyapunov)
+	}
+
+	// A poor man's bifurcation diagram: attractor samples of N·r as
+	// ηN sweeps through the cascade, rendered as one text column per
+	// parameter value.
+	fmt.Println("\nattractor of N·r (columns: ηN from 1.6 to 2.9)")
+	const (
+		rows = 18
+		lo   = 0.0
+		hi   = 0.8
+	)
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", 65))
+	}
+	col := 0
+	for etaN := 1.6; etaN <= 2.9 && col < 65; etaN += 0.02 {
+		n := 100
+		m := ff.SymmetricRecursion(etaN/float64(n), beta, n)
+		x := math.Sqrt(beta) / float64(n) * 1.1
+		for burn := 0; burn < 4000; burn++ {
+			x = m(x)
+		}
+		for keep := 0; keep < 40; keep++ {
+			x = m(x)
+			v := float64(n) * x
+			if v < lo || v >= hi || math.IsNaN(v) {
+				continue
+			}
+			row := rows - 1 - int((v-lo)/(hi-lo)*float64(rows))
+			if row >= 0 && row < rows {
+				grid[row][col] = '*'
+			}
+		}
+		col++
+	}
+	for _, line := range grid {
+		fmt.Printf("  |%s|\n", line)
+	}
+	fmt.Println("   ηN: 1.6 ----------------- 2.0 (doubling) ------- 2.45 (4-cycle) --- 2.9")
+	fmt.Println("\nnote: the model's max(0,·) truncation replaces the chaotic band with a")
+	fmt.Println("superstable cycle through r=0 — run experiment E6 (cmd/fftables) for details")
+}

@@ -1,0 +1,58 @@
+// Greed: what happens when sources stop cooperating. Instead of
+// running a flow-control law, each source selfishly picks the rate
+// maximizing its own utility U = r − α·W (throughput minus a delay
+// penalty) at a shared gateway — the setting of "Making Greed Work in
+// Networks" [She89], the paper's cited origin for the Fair Share
+// discipline.
+//
+// Under FIFO the delay is a commons: any division of the capacity is
+// an equilibrium, and whoever moves first takes everything. Under Fair
+// Share each connection's delay is its own doing, and best-response
+// dynamics converge to one nearly-fair equilibrium from any start.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ff "github.com/nettheory/feedbackflow"
+)
+
+func main() {
+	const (
+		mu    = 1.0
+		alpha = 0.04
+	)
+	starts := [][]float64{
+		{0, 0, 0},         // everyone silent: first mover advantage
+		{0.8, 0.01, 0.01}, // player 0 already hogging
+		{0.1, 0.4, 0.2},   // mixed
+	}
+	for _, disc := range []ff.Discipline{ff.FIFO{}, ff.FairShare{}} {
+		cfg := ff.GameConfig{Disc: disc, Mu: mu, Alpha: []float64{alpha, alpha, alpha}}
+		fmt.Printf("== %s gateway ==\n", disc.Name())
+		for k, r0 := range starts {
+			res, err := ff.SequentialBestResponse(cfg, r0, 300, 1e-9)
+			if err != nil {
+				log.Fatal(err)
+			}
+			gap, err := ff.NashGap(cfg, res.Rates)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  start %d -> equilibrium [%.3f %.3f %.3f]  Jain %.4f  (Nash gap %.1e)\n",
+				k, res.Rates[0], res.Rates[1], res.Rates[2], ff.JainIndex(res.Rates), gap)
+		}
+	}
+	fmt.Println()
+	fmt.Println("a delay-insensitive hog (α=1e-4) against a sensitive player (α=0.04):")
+	for _, disc := range []ff.Discipline{ff.FIFO{}, ff.FairShare{}} {
+		cfg := ff.GameConfig{Disc: disc, Mu: mu, Alpha: []float64{1e-4, alpha}}
+		res, err := ff.SequentialBestResponse(cfg, []float64{0.1, 0.1}, 300, 1e-9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s hog %.3f, sensitive player %.3f\n", disc.Name(), res.Rates[0], res.Rates[1])
+	}
+	fmt.Println("\nonly the Fair Share gateway makes greed compatible with fairness")
+}

@@ -1,0 +1,399 @@
+// Package feedbackflow is a Go reproduction of Scott Shenker's
+// "A Theoretical Analysis of Feedback Flow Control" (ACM SIGCOMM
+// 1990). It implements the paper's synchronous model of feedback flow
+// control — Poisson sources, exponential-server gateways under FIFO or
+// Fair Share service, aggregate or individual congestion signalling,
+// and local rate-adjustment laws — together with the analysis
+// machinery (fair-allocation construction, linear stability, iterated-
+// map dynamics) and a packet-level discrete-event simulator that
+// validates the analytic queue models.
+//
+// This package is the public facade: it re-exports the library's
+// user-facing types and entry points so applications import a single
+// path. The implementation lives in internal/ packages, organized one
+// subsystem per package (see DESIGN.md for the inventory).
+//
+// # Quick start
+//
+// Build a network, pick a design point in the paper's 2×2 space
+// ({aggregate, individual} feedback × {FIFO, Fair Share} gateways),
+// attach a rate-adjustment law, and iterate to steady state:
+//
+//	net, _ := feedbackflow.SingleGateway(4, 1.0, 0.1)
+//	law := feedbackflow.AdditiveTSI{Eta: 0.1, BSS: 0.5}
+//	sys, _ := feedbackflow.NewSystem(net, feedbackflow.FairShare{},
+//		feedbackflow.Individual, feedbackflow.Rational{},
+//		feedbackflow.UniformLaws(law, 4))
+//	res, _ := sys.Run([]float64{0.1, 0.2, 0.05, 0.3}, feedbackflow.RunOptions{})
+//	// res.Rates is the unique fair steady state (Theorem 3).
+package feedbackflow
+
+import (
+	"io"
+
+	"github.com/nettheory/feedbackflow/internal/analytic"
+	"github.com/nettheory/feedbackflow/internal/control"
+	"github.com/nettheory/feedbackflow/internal/core"
+	"github.com/nettheory/feedbackflow/internal/dynamics"
+	"github.com/nettheory/feedbackflow/internal/eventsim"
+	"github.com/nettheory/feedbackflow/internal/experiments"
+	"github.com/nettheory/feedbackflow/internal/fairness"
+	"github.com/nettheory/feedbackflow/internal/game"
+	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/scenario"
+	"github.com/nettheory/feedbackflow/internal/signal"
+	"github.com/nettheory/feedbackflow/internal/stability"
+	"github.com/nettheory/feedbackflow/internal/topology"
+)
+
+// Topology types: networks of logical gateways (one per directed
+// line) carrying a static set of routed connections.
+type (
+	// Network is an immutable network and traffic topology.
+	Network = topology.Network
+	// NetworkBuilder assembles a Network gateway by gateway.
+	NetworkBuilder = topology.Builder
+	// Gateway is one exponential server plus its line latency.
+	Gateway = topology.Gateway
+)
+
+// Service-discipline types: the queueing models Q(r) of Section 2.2.
+type (
+	// Discipline maps sending rates to average queue lengths.
+	Discipline = queueing.Discipline
+	// FIFO is first-in-first-out service: Q_i = ρ_i/(1−ρ_tot).
+	FIFO = queueing.FIFO
+	// FairShare is the paper's preemptive-priority protective
+	// discipline (Table 1).
+	FairShare = queueing.FairShare
+	// NonPreemptiveFairShare is the A3 ablation: Table 1 priorities
+	// without preemption, which breaks the Theorem 5 bound.
+	NonPreemptiveFairShare = queueing.NonPreemptiveFairShare
+)
+
+// Signalling types: congestion signal functions and feedback styles.
+type (
+	// SignalFunc is a congestion signal function B: [0,∞] → [0,1].
+	SignalFunc = signal.Func
+	// Rational is B(C) = C/(1+C), the paper's worked example.
+	Rational = signal.Rational
+	// PowerSignal is B(C) = (C/(1+C))^K (K=2 drives the chaos example).
+	PowerSignal = signal.Power
+	// ExponentialSignal is B(C) = 1 − e^(−C/θ).
+	ExponentialSignal = signal.Exponential
+	// BinarySignal is the DECbit-style threshold bit (outside the
+	// paper's B assumptions; drives the E14 oscillation analysis).
+	BinarySignal = signal.Binary
+	// FeedbackStyle selects aggregate or individual congestion
+	// signalling.
+	FeedbackStyle = signal.Style
+)
+
+// Feedback styles.
+const (
+	// Aggregate feedback sends every connection the same signal
+	// B(Q_tot).
+	Aggregate = signal.Aggregate
+	// Individual feedback sends connection i the signal
+	// B(Σ_k min(Q_k, Q_i)).
+	Individual = signal.Individual
+)
+
+// Rate-adjustment laws: the source-side functions f(r, b, d) of
+// Section 2.3.2.
+type (
+	// Law is a rate adjustment function f(r, b, d).
+	Law = control.Law
+	// TSILaw is a law in Theorem 1's time-scale-invariant class.
+	TSILaw = control.TSILaw
+	// AdditiveTSI is f = η(b_SS − b).
+	AdditiveTSI = control.AdditiveTSI
+	// MultiplicativeTSI is f = η·r·(b_SS − b).
+	MultiplicativeTSI = control.MultiplicativeTSI
+	// PowerTSI is f = η·sign(b_SS−b)·|b_SS−b|^P.
+	PowerTSI = control.PowerTSI
+	// FairRateLIMD is the guaranteed-fair, non-TSI law f=(1−b)η−βbr.
+	FairRateLIMD = control.FairRateLIMD
+	// WindowLIMD models DECbit/Jacobson window adjustment,
+	// f=(1−b)η/d−βbr.
+	WindowLIMD = control.WindowLIMD
+	// CustomLaw wraps an arbitrary f(r, b, d).
+	CustomLaw = control.Custom
+)
+
+// Model types: the composed system and its iteration results.
+type (
+	// System is a fully specified feedback flow control model.
+	System = core.System
+	// Observation holds signals, delays, and queues at a rate vector.
+	Observation = core.Observation
+	// RunOptions controls System.Run.
+	RunOptions = core.RunOptions
+	// RunResult reports a Run's outcome.
+	RunResult = core.RunResult
+	// WindowSystem models genuine window-based flow control: windows
+	// adjusted by the laws, rates solving Little's law r = w/d(r).
+	WindowSystem = core.WindowSystem
+	// WindowRunResult reports a WindowSystem run.
+	WindowRunResult = core.WindowRunResult
+)
+
+// Analysis types.
+type (
+	// FairnessReport is the result of EvaluateFairness.
+	FairnessReport = fairness.Report
+	// FairnessViolation is one fairness failure witness.
+	FairnessViolation = fairness.Violation
+	// StabilityReport classifies a stability matrix DF.
+	StabilityReport = stability.Report
+	// DiffScheme selects the finite-difference stencil for Jacobians.
+	DiffScheme = stability.Scheme
+	// Map is a one-dimensional iterated map.
+	Map = dynamics.Map
+	// OrbitClassification is the asymptotic behavior of a map orbit.
+	OrbitClassification = dynamics.Classification
+)
+
+// Finite-difference schemes.
+const (
+	// ForwardDiff probes r_j + h (the branch where the perturbed
+	// connection's queue grows — correct at the model's kinks).
+	ForwardDiff = stability.Forward
+	// BackwardDiff probes r_j − h.
+	BackwardDiff = stability.Backward
+	// CentralDiff straddles r_j; more accurate on smooth regions.
+	CentralDiff = stability.Central
+)
+
+// Simulation types.
+type (
+	// GatewaySimConfig parameterizes a packet-level gateway simulation.
+	GatewaySimConfig = eventsim.GatewayConfig
+	// GatewaySimResult holds measured queue statistics.
+	GatewaySimResult = eventsim.GatewayResult
+	// SimDiscipline selects the simulated service discipline.
+	SimDiscipline = eventsim.DisciplineKind
+	// NetworkSimConfig parameterizes a multi-gateway packet simulation.
+	NetworkSimConfig = eventsim.NetworkConfig
+	// NetworkSimResult holds per-gateway, per-connection measurements.
+	NetworkSimResult = eventsim.NetworkResult
+	// NetworkSimGateway describes one simulated gateway.
+	NetworkSimGateway = eventsim.NetworkGateway
+)
+
+// Simulated disciplines.
+const (
+	// SimFIFO simulates first-in-first-out service.
+	SimFIFO = eventsim.SimFIFO
+	// SimFairShare simulates Table 1 preemptive-priority service.
+	SimFairShare = eventsim.SimFairShare
+)
+
+// Game types: selfish rate-setting at a shared gateway (the [She89]
+// motivation for Fair Share).
+type (
+	// GameConfig fixes a single-gateway rate-setting game: a service
+	// discipline, a server rate, and per-player delay sensitivities.
+	GameConfig = game.Config
+	// GameResult reports a best-response dynamics run.
+	GameResult = game.Result
+)
+
+// Experiment types: the reproduction harness for every table, figure,
+// and theorem of the paper.
+type (
+	// Experiment is one registered reproduction experiment.
+	Experiment = experiments.Spec
+	// ExperimentResult is the rendered and checked outcome.
+	ExperimentResult = experiments.Result
+)
+
+// NewSystem assembles a feedback flow control model from a network, a
+// gateway service discipline, a feedback style, a congestion signal
+// function, and one rate-adjustment law per connection.
+func NewSystem(net *Network, disc Discipline, style FeedbackStyle, b SignalFunc, laws []Law) (*System, error) {
+	return core.NewSystem(net, disc, style, b, laws)
+}
+
+// UniformLaws assigns the same law to n connections (the homogeneous
+// case of most of the paper's analysis).
+func UniformLaws(l Law, n int) []Law { return control.Uniform(l, n) }
+
+// NewWindowSystem wraps a System in genuine window-based dynamics:
+// sys's laws are reinterpreted as window adjustments f(w, b, d), and
+// sending rates solve the Little's-law fixed point r = w/d(r).
+func NewWindowSystem(sys *System) (*WindowSystem, error) {
+	return core.NewWindowSystem(sys)
+}
+
+// SingleGateway builds n connections sharing one gateway of rate mu
+// and line latency latency — the paper's canonical example network.
+func SingleGateway(n int, mu, latency float64) (*Network, error) {
+	return topology.SingleGateway(n, mu, latency)
+}
+
+// ParkingLot builds the classic multi-bottleneck line: hops gateways,
+// one long connection through all of them, one cross connection each.
+func ParkingLot(hops int, mu, latency float64) (*Network, error) {
+	return topology.ParkingLot(hops, mu, latency)
+}
+
+// Star builds leaves leaf gateways feeding a shared hub gateway.
+func Star(leaves int, leafMu, hubMu, latency float64) (*Network, error) {
+	return topology.Star(leaves, leafMu, hubMu, latency)
+}
+
+// Ring builds a cycle of size gateways with one connection entering at
+// each gateway and traversing hops consecutive gateways.
+func Ring(size, hops int, mu, latency float64) (*Network, error) {
+	return topology.Ring(size, hops, mu, latency)
+}
+
+// Dumbbell builds pairs of access gateways joined by one shared
+// bottleneck gateway, one connection per pair.
+func Dumbbell(pairs int, accessMu, bottleneckMu, latency float64) (*Network, error) {
+	return topology.Dumbbell(pairs, accessMu, bottleneckMu, latency)
+}
+
+// WriteDOT renders a network as a Graphviz digraph (gateways as boxes,
+// one colored path per connection) for visualization.
+func WriteDOT(w io.Writer, net *Network, name string) error {
+	return topology.WriteDOT(w, net, name)
+}
+
+// FairAllocation computes the unique fair steady state of Theorem 2
+// for signal function b and steady-state signal bss on net.
+func FairAllocation(net *Network, b SignalFunc, bss float64) ([]float64, error) {
+	return fairness.FairAllocation(net, b, bss)
+}
+
+// EvaluateFairness applies the Section 2.4.2 fairness criterion to a
+// rate vector, given the system's observation at those rates.
+func EvaluateFairness(sys *System, obs *Observation, r []float64, tol float64) (FairnessReport, error) {
+	return fairness.Evaluate(sys, obs, r, tol)
+}
+
+// JainIndex returns Jain's fairness index (Σr)²/(N·Σr²).
+func JainIndex(r []float64) float64 { return fairness.JainIndex(r) }
+
+// AnalyticSteadyState solves, in closed form, the single-gateway
+// individual-feedback fixed point for per-connection target signals
+// bss (heterogeneous TSI laws), providing an independent cross-check
+// on iterated dynamics. Supported disciplines: FIFO, FairShare.
+func AnalyticSteadyState(disc Discipline, bss []float64, b SignalFunc, mu float64) ([]float64, error) {
+	return analytic.SteadyState(disc, bss, b, mu)
+}
+
+// AnalyzeStability computes the stability matrix DF of sys at rate
+// vector r by numerical differentiation (step h, given scheme) and
+// classifies it: unilateral vs systemic stability, spectral radius,
+// and Theorem 4 triangular structure.
+func AnalyzeStability(sys *System, r []float64, h float64, scheme DiffScheme) (*StabilityReport, error) {
+	df, err := stability.Jacobian(sys.StepFunc(), r, h, scheme)
+	if err != nil {
+		return nil, err
+	}
+	return stability.Analyze(df, 1e-5)
+}
+
+// SimulateGateway runs the packet-level discrete-event simulation of
+// one gateway and returns measured per-connection queue statistics,
+// for validating the analytic Q(r) models.
+func SimulateGateway(cfg GatewaySimConfig) (*GatewaySimResult, error) {
+	return eventsim.SimulateGateway(cfg)
+}
+
+// Window-simulation types: closed-loop packet-level window flow
+// control.
+type (
+	// WindowSimConfig parameterizes a packet-level window simulation.
+	WindowSimConfig = eventsim.WindowGatewayConfig
+	// WindowSimResult holds the measurements.
+	WindowSimResult = eventsim.WindowGatewayResult
+)
+
+// SimulateWindowGateway runs a closed-loop packet-level window flow
+// control simulation: each connection keeps a fixed window in flight,
+// releasing the next packet when the previous one's round trip
+// completes.
+func SimulateWindowGateway(cfg WindowSimConfig) (*WindowSimResult, error) {
+	return eventsim.SimulateWindowGateway(cfg)
+}
+
+// ReplicatedSimResult aggregates independent simulation replications.
+type ReplicatedSimResult = eventsim.ReplicatedResult
+
+// ReplicateGateway runs k independent replications of a gateway
+// simulation (seeds cfg.Seed .. cfg.Seed+k−1) and returns pooled
+// means with cross-replication confidence intervals.
+func ReplicateGateway(cfg GatewaySimConfig, k int) (*ReplicatedSimResult, error) {
+	return eventsim.Replicate(cfg, k)
+}
+
+// SimulateNetwork runs a multi-gateway packet-level simulation in
+// which downstream gateways see the actual departure processes of
+// upstream ones, quantifying the paper's Poisson-output approximation
+// (exact for FIFO by Burke's theorem).
+func SimulateNetwork(cfg NetworkSimConfig) (*NetworkSimResult, error) {
+	return eventsim.SimulateNetwork(cfg)
+}
+
+// SequentialBestResponse runs round-robin best-response dynamics for
+// the selfish rate-setting game: each player in turn replaces its rate
+// with the maximizer of U_i = r_i − α_i·W_i given the others.
+func SequentialBestResponse(cfg GameConfig, r0 []float64, maxRounds int, tol float64) (*GameResult, error) {
+	return game.SequentialBestResponse(cfg, r0, maxRounds, tol)
+}
+
+// NashGap returns the largest unilateral utility improvement available
+// at profile r — zero exactly at a Nash equilibrium of the selfish
+// rate-setting game.
+func NashGap(cfg GameConfig, r []float64) (float64, error) {
+	return game.NashGap(cfg, r)
+}
+
+// ClassifyOrbit determines the asymptotic behavior (fixed point,
+// periodic, chaotic, divergent) of the one-dimensional map m from x0,
+// with default burn-in and detection settings.
+func ClassifyOrbit(m Map, x0 float64) (OrbitClassification, error) {
+	return dynamics.Classify(m, x0, dynamics.ClassifyOptions{})
+}
+
+// SymmetricRecursion is the Section 3.3 symmetric reduction of
+// aggregate feedback with the squared rational signal:
+// r' = r + η(β − (N·r)²). See the E6 experiment.
+func SymmetricRecursion(eta, beta float64, n int) Map {
+	return experiments.SymmetricRecursion(eta, beta, n)
+}
+
+// Scenario is a declarative JSON description of a complete system:
+// topology, discipline, signalling, and per-connection laws.
+type Scenario = scenario.Spec
+
+// LoadScenario parses a declarative scenario from JSON (with unknown
+// fields rejected). Build it with Scenario.Build.
+func LoadScenario(r io.Reader) (*Scenario, error) {
+	return scenario.Load(r)
+}
+
+// Experiments returns the full reproduction suite (E1–E20 plus
+// ablations), ordered by ID.
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment runs the experiment with the given ID (e.g. "E5").
+func RunExperiment(id string) (*ExperimentResult, error) {
+	spec, ok := experiments.Lookup(id)
+	if !ok {
+		return nil, &UnknownExperimentError{ID: id}
+	}
+	return spec.Run()
+}
+
+// UnknownExperimentError reports a RunExperiment ID that is not in the
+// registry.
+type UnknownExperimentError struct{ ID string }
+
+// Error implements error.
+func (e *UnknownExperimentError) Error() string {
+	return "feedbackflow: unknown experiment " + e.ID
+}

@@ -1,0 +1,211 @@
+package feedbackflow_test
+
+import (
+	"math"
+	"testing"
+
+	ff "github.com/nettheory/feedbackflow"
+)
+
+// TestFacadeQuickstart exercises the doc-comment quick start end to
+// end through the public API only.
+func TestFacadeQuickstart(t *testing.T) {
+	net, err := ff.SingleGateway(4, 1.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	law := ff.AdditiveTSI{Eta: 0.1, BSS: 0.5}
+	sys, err := ff.NewSystem(net, ff.FairShare{}, ff.Individual, ff.Rational{}, ff.UniformLaws(law, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run([]float64{0.1, 0.2, 0.05, 0.3}, ff.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("quickstart did not converge")
+	}
+	for _, r := range res.Rates {
+		if math.Abs(r-0.125) > 1e-5 { // b_SS·μ/N
+			t.Errorf("rate %v, want 0.125", r)
+		}
+	}
+	rep, err := ff.EvaluateFairness(sys, res.Final, res.Rates, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Fair {
+		t.Error("steady state should be fair")
+	}
+}
+
+func TestFacadeTopologies(t *testing.T) {
+	if _, err := ff.ParkingLot(3, 1, 0); err != nil {
+		t.Error(err)
+	}
+	if _, err := ff.Star(4, 2, 1, 0); err != nil {
+		t.Error(err)
+	}
+	if _, err := ff.Ring(5, 2, 1, 0); err != nil {
+		t.Error(err)
+	}
+	if _, err := ff.Dumbbell(3, 2, 1, 0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeRingFairness(t *testing.T) {
+	// The symmetric ring's fair allocation is uniform: capacity
+	// ρ_SS·μ shared by hops connections per gateway.
+	net, err := ff.Ring(4, 2, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ff.FairAllocation(net, ff.Rational{}, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ri := range r {
+		if math.Abs(ri-0.3) > 1e-9 {
+			t.Errorf("ring fair r[%d] = %v, want 0.3", i, ri)
+		}
+	}
+}
+
+func TestFacadeAnalyticSteadyState(t *testing.T) {
+	r, err := ff.AnalyticSteadyState(ff.FairShare{}, []float64{0.7, 0.4}, ff.Rational{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r[0]-0.5) > 1e-9 || math.Abs(r[1]-0.2) > 1e-9 {
+		t.Errorf("analytic = %v, want (0.5, 0.2)", r)
+	}
+}
+
+func TestFacadeSimulateNetwork(t *testing.T) {
+	res, err := ff.SimulateNetwork(ff.NetworkSimConfig{
+		Gateways: []ff.NetworkSimGateway{{Mu: 1}},
+		Routes:   [][]int{{0}},
+		Rates:    []float64{0.5},
+		Seed:     2,
+		Duration: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeanQueue[0][0]-1) > 0.25 {
+		t.Errorf("network sim queue %v, want ≈ 1", res.MeanQueue[0][0])
+	}
+}
+
+func TestFacadeRunAsync(t *testing.T) {
+	net, err := ff.SingleGateway(2, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	law := ff.AdditiveTSI{Eta: 0.2, BSS: 0.5}
+	sys, err := ff.NewSystem(net, ff.FIFO{}, ff.Individual, ff.Rational{}, ff.UniformLaws(law, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sys.RunAsync([]float64{0.1, 0.3}, ff.RunOptions{MaxSteps: 200000, Tol: 1e-9}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged {
+		t.Fatal("async run did not converge")
+	}
+	for _, r := range out.Rates {
+		if math.Abs(r-0.25) > 1e-4 {
+			t.Errorf("async rate %v, want 0.25", r)
+		}
+	}
+}
+
+func TestFacadeFairAllocation(t *testing.T) {
+	net, err := ff.SingleGateway(2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ff.FairAllocation(net, ff.Rational{}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r[0]-0.25) > 1e-12 || math.Abs(r[1]-0.25) > 1e-12 {
+		t.Errorf("fair allocation = %v", r)
+	}
+	if ji := ff.JainIndex(r); math.Abs(ji-1) > 1e-12 {
+		t.Errorf("Jain index = %v", ji)
+	}
+}
+
+func TestFacadeStability(t *testing.T) {
+	net, err := ff.SingleGateway(5, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	law := ff.AdditiveTSI{Eta: 1.5, BSS: 0.5}
+	sys, err := ff.NewSystem(net, ff.FIFO{}, ff.Aggregate, ff.Rational{}, ff.UniformLaws(law, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := []float64{0.1, 0.1, 0.1, 0.1, 0.1}
+	rep, err := ff.AnalyzeStability(sys, r, 1e-7, ff.CentralDiff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Unilateral {
+		t.Error("η=1.5 should be unilaterally stable")
+	}
+	if rep.Systemic {
+		t.Error("ηN=7.5 should be systemically unstable")
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	res, err := ff.SimulateGateway(ff.GatewaySimConfig{
+		Rates:      []float64{0.3},
+		Mu:         1,
+		Discipline: ff.SimFIFO,
+		Seed:       1,
+		Duration:   5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.3 / 0.7
+	if math.Abs(res.MeanQueue[0]-want) > 0.1 {
+		t.Errorf("simulated queue %v, want ≈ %v", res.MeanQueue[0], want)
+	}
+}
+
+func TestFacadeDynamics(t *testing.T) {
+	m := ff.SymmetricRecursion(0.05, 0.25, 10) // ηN = 0.5: stable
+	cls, err := ff.ClassifyOrbit(m, 0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.Period != 1 {
+		t.Errorf("expected a fixed point, got %+v", cls)
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	all := ff.Experiments()
+	if len(all) != 24 {
+		t.Fatalf("expected 24 experiments, got %d", len(all))
+	}
+	res, err := ff.RunExperiment("E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Errorf("E1 failed:\n%s", res.Render())
+	}
+	if _, err := ff.RunExperiment("nope"); err == nil {
+		t.Error("want error for unknown experiment")
+	} else if err.Error() == "" {
+		t.Error("error should render")
+	}
+}

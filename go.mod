@@ -1,0 +1,3 @@
+module github.com/nettheory/feedbackflow
+
+go 1.22

@@ -1,0 +1,160 @@
+// Package analytic computes closed-form steady states of the paper's
+// model in the cases where the fixed-point equations can be solved
+// directly, providing an independent cross-check on the iterative
+// dynamics in internal/core.
+//
+// The solvable case is a single gateway with individual feedback and
+// per-connection TSI laws (target signals b_SS,i). At steady state,
+// connection i's individual congestion must equal C*_i = B⁻¹(b_SS,i);
+// with queues sorted ascending this reads
+//
+//	C*_i = Σ_{k<i} Q_k + (N−i)·Q_i      (0-based sorted index i)
+//
+// and the queue order matches the target-signal order (monotonicity).
+// For Fair Share the recursion g(L_i) = Σ_{k<i} Q_k + (N−i)·Q_i has
+// exactly the same left-hand side, so L_i = g⁻¹(C*_i) and the rates
+// follow by forward substitution. For FIFO the queues are coupled
+// through the total load S, leaving a one-dimensional root-finding
+// problem in S that is solved by bisection.
+package analytic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/signal"
+)
+
+// SteadyState solves the single-gateway individual-feedback fixed
+// point for the given discipline, per-connection target signals bss,
+// signal function b, and server rate mu. It returns the steady-state
+// rate vector in the input order.
+//
+// All target signals must lie in (0, 1), and the implied congestion
+// targets must be jointly feasible (the computation reports an error
+// otherwise rather than returning negative rates).
+func SteadyState(disc queueing.Discipline, bss []float64, b signal.Func, mu float64) ([]float64, error) {
+	n := len(bss)
+	if n == 0 {
+		return nil, fmt.Errorf("analytic: no connections")
+	}
+	if mu <= 0 || math.IsNaN(mu) || math.IsInf(mu, 0) {
+		return nil, fmt.Errorf("analytic: invalid service rate %v", mu)
+	}
+	// Congestion targets, sorted ascending (queue order follows
+	// signal order by the monotonicity assumptions).
+	type tgt struct {
+		orig int
+		c    float64
+	}
+	tgts := make([]tgt, n)
+	for i, s := range bss {
+		if s <= 0 || s >= 1 || math.IsNaN(s) {
+			return nil, fmt.Errorf("analytic: target signal bss[%d] = %v outside (0,1)", i, s)
+		}
+		c, err := b.Inverse(s)
+		if err != nil {
+			return nil, err
+		}
+		tgts[i] = tgt{orig: i, c: c}
+	}
+	sort.SliceStable(tgts, func(a, bb int) bool { return tgts[a].c < tgts[bb].c })
+	cstar := make([]float64, n)
+	for k, t := range tgts {
+		cstar[k] = t.c
+	}
+
+	var sortedRates []float64
+	var err error
+	switch disc.(type) {
+	case queueing.FairShare:
+		sortedRates, err = fairShareRates(cstar, mu)
+	case queueing.FIFO:
+		sortedRates, err = fifoRates(cstar, mu)
+	default:
+		return nil, fmt.Errorf("analytic: unsupported discipline %s", disc.Name())
+	}
+	if err != nil {
+		return nil, err
+	}
+	r := make([]float64, n)
+	for k, t := range tgts {
+		r[t.orig] = sortedRates[k]
+	}
+	return r, nil
+}
+
+// fairShareRates solves the Fair Share fixed point by forward
+// substitution: L_i = g⁻¹(C*_i) with
+// L_i·μ = Σ_{k<i} r_k + (N−i)·r_i.
+func fairShareRates(cstar []float64, mu float64) ([]float64, error) {
+	n := len(cstar)
+	r := make([]float64, n)
+	prefix := 0.0
+	prev := 0.0
+	for i := 0; i < n; i++ {
+		load := queueing.GInv(cstar[i])
+		ri := (mu*load - prefix) / float64(n-i)
+		if ri < prev-1e-12 || ri < 0 {
+			return nil, fmt.Errorf("analytic: targets infeasible at sorted position %d (rate %v after %v)", i, ri, prev)
+		}
+		if ri < prev {
+			ri = prev // clamp tiny negative ordering noise
+		}
+		r[i] = ri
+		prefix += ri
+		prev = ri
+	}
+	return r, nil
+}
+
+// fifoRates solves the FIFO fixed point. With S = ρ_tot, sorted
+// loads satisfy Σ_{k<i} ρ_k + (N−i)·ρ_i = C*_i (1−S), so for a trial
+// S the loads follow by forward substitution; the consistent S is the
+// root of Σ ρ_k(S) − S, found by bisection on (0, 1). The left side
+// is decreasing in S while the right side increases, so the root is
+// unique.
+func fifoRates(cstar []float64, mu float64) ([]float64, error) {
+	n := len(cstar)
+	loads := make([]float64, n)
+	eval := func(s float64) (float64, bool) {
+		prefix := 0.0
+		prev := 0.0
+		ok := true
+		for i := 0; i < n; i++ {
+			li := (cstar[i]*(1-s) - prefix) / float64(n-i)
+			if li < 0 {
+				li = 0
+				ok = false
+			}
+			if li < prev {
+				li = prev // enforce the sorted order under clamping
+			}
+			loads[i] = li
+			prefix += li
+			prev = li
+		}
+		return prefix, ok
+	}
+	lo, hi := 0.0, 1.0
+	for it := 0; it < 200; it++ {
+		mid := 0.5 * (lo + hi)
+		sum, _ := eval(mid)
+		if sum > mid {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	s := 0.5 * (lo + hi)
+	if _, ok := eval(s); !ok {
+		return nil, fmt.Errorf("analytic: FIFO targets infeasible (some implied load negative)")
+	}
+	r := make([]float64, n)
+	for i, li := range loads {
+		r[i] = li * mu
+	}
+	return r, nil
+}

@@ -1,0 +1,191 @@
+// Package control implements the source side of feedback flow control
+// (Section 2.3.2 of the paper): rate adjustment laws f(r, b, d) that a
+// source applies synchronously, r' = max(0, r + f), using only its
+// local state — current rate r, combined congestion signal b, and
+// average round-trip delay d.
+//
+// Theorem 1 characterizes the time-scale invariant (TSI) laws: f must
+// vanish exactly at one signal value b_SS, independent of r and d.
+// Laws in this package report whether they are in that class via the
+// optional TSILaw interface, which the experiment harness uses to
+// predict steady-state behavior.
+package control
+
+import (
+	"fmt"
+	"math"
+)
+
+// Law is a rate adjustment function. Adjust returns f(r, b, d); the
+// iterator applies the truncated update r' = max(0, r + f). The paper
+// requires ∂f/∂b ≠ 0 (never insensitive to congestion).
+type Law interface {
+	// Name identifies the law, with parameters.
+	Name() string
+	// Adjust returns the rate increment f(r, b, d). r ≥ 0, b ∈ [0,1],
+	// d > 0 (possibly +Inf when a path gateway is overloaded).
+	Adjust(r, b, d float64) float64
+}
+
+// TSILaw is implemented by laws in Theorem 1's time-scale invariant
+// class: f(r, b, d) = 0 iff b = SteadySignal(), for all r and d.
+type TSILaw interface {
+	Law
+	// SteadySignal returns the unique b_SS at which the law is at rest.
+	SteadySignal() float64
+}
+
+func checkInputs(r, b, d float64) {
+	if r < 0 || math.IsNaN(r) {
+		panic(fmt.Sprintf("control: invalid rate %v", r))
+	}
+	if b < 0 || b > 1 || math.IsNaN(b) {
+		panic(fmt.Sprintf("control: signal %v outside [0,1]", b))
+	}
+	if d <= 0 || math.IsNaN(d) {
+		panic(fmt.Sprintf("control: invalid delay %v", d))
+	}
+}
+
+// AdditiveTSI is the paper's basic TSI law f = η·(b_SS − b): increase
+// additively below the target signal, decrease above it.
+type AdditiveTSI struct {
+	Eta float64 // gain η > 0
+	BSS float64 // target signal b_SS ∈ (0, 1)
+}
+
+// Name implements Law.
+func (l AdditiveTSI) Name() string { return fmt.Sprintf("additiveTSI(η=%g, bss=%g)", l.Eta, l.BSS) }
+
+// Adjust implements Law.
+func (l AdditiveTSI) Adjust(r, b, d float64) float64 {
+	checkInputs(r, b, d)
+	return l.Eta * (l.BSS - b)
+}
+
+// SteadySignal implements TSILaw.
+func (l AdditiveTSI) SteadySignal() float64 { return l.BSS }
+
+// MultiplicativeTSI is f = η·r·(b_SS − b), the law the paper gives as
+// guaranteed unilaterally stable (with the rational signal) for η < 2.
+// Note that r = 0 is a rest point for any signal; the flow-control
+// iteration therefore starts from positive rates.
+type MultiplicativeTSI struct {
+	Eta float64 // gain η > 0
+	BSS float64 // target signal b_SS ∈ (0, 1)
+}
+
+// Name implements Law.
+func (l MultiplicativeTSI) Name() string {
+	return fmt.Sprintf("multiplicativeTSI(η=%g, bss=%g)", l.Eta, l.BSS)
+}
+
+// Adjust implements Law.
+func (l MultiplicativeTSI) Adjust(r, b, d float64) float64 {
+	checkInputs(r, b, d)
+	return l.Eta * r * (l.BSS - b)
+}
+
+// SteadySignal implements TSILaw.
+func (l MultiplicativeTSI) SteadySignal() float64 { return l.BSS }
+
+// FairRateLIMD is the paper's Section 3.2 example of a guaranteed-fair
+// but non-TSI law: the rate-based linear-increase multiplicative-
+// decrease f = (1−b)·η − β·b·r. Its steady state r = η(1−b)/(βb) is
+// identical for all connections sharing a bottleneck (fair) but does
+// not scale with the server rates (not TSI).
+type FairRateLIMD struct {
+	Eta  float64 // additive increase gain η > 0
+	Beta float64 // multiplicative decrease factor β > 0
+}
+
+// Name implements Law.
+func (l FairRateLIMD) Name() string { return fmt.Sprintf("fairRateLIMD(η=%g, β=%g)", l.Eta, l.Beta) }
+
+// Adjust implements Law.
+func (l FairRateLIMD) Adjust(r, b, d float64) float64 {
+	checkInputs(r, b, d)
+	return (1-b)*l.Eta - l.Beta*b*r
+}
+
+// WindowLIMD models the original DECbit / Jacobson window adjustment
+// as a rate law (Section 4): f = (1−b)·η/d − β·b·r. The η/d term is
+// the per-round-trip additive window increase expressed as a rate, so
+// connections with longer round-trip delays gain rate more slowly —
+// the latency unfairness the paper points out. Neither TSI nor fair.
+type WindowLIMD struct {
+	Eta  float64 // per-RTT additive increase η > 0
+	Beta float64 // multiplicative decrease factor β > 0
+}
+
+// Name implements Law.
+func (l WindowLIMD) Name() string { return fmt.Sprintf("windowLIMD(η=%g, β=%g)", l.Eta, l.Beta) }
+
+// Adjust implements Law.
+func (l WindowLIMD) Adjust(r, b, d float64) float64 {
+	checkInputs(r, b, d)
+	inc := 0.0
+	if !math.IsInf(d, 1) {
+		inc = (1 - b) * l.Eta / d
+	}
+	return inc - l.Beta*b*r
+}
+
+// PowerTSI is f = η·sign(b_SS − b)·|b_SS − b|^P, a nonlinear TSI
+// family: P < 1 reacts sharply near the target (finite-time-like
+// approach), P > 1 softly. It exists to exercise Theorem 1's point
+// that the steady state depends only on b_SS, never on the shape of
+// f — every TSI law with the same target lands on the same allocation.
+type PowerTSI struct {
+	Eta float64 // gain η > 0
+	BSS float64 // target signal b_SS ∈ (0, 1)
+	P   float64 // response exponent > 0
+}
+
+// Name implements Law.
+func (l PowerTSI) Name() string {
+	return fmt.Sprintf("powerTSI(η=%g, bss=%g, p=%g)", l.Eta, l.BSS, l.P)
+}
+
+// Adjust implements Law.
+func (l PowerTSI) Adjust(r, b, d float64) float64 {
+	checkInputs(r, b, d)
+	if l.P <= 0 || math.IsNaN(l.P) {
+		panic(fmt.Sprintf("control: PowerTSI exponent %v must be positive", l.P))
+	}
+	diff := l.BSS - b
+	mag := math.Pow(math.Abs(diff), l.P)
+	if diff < 0 {
+		return -l.Eta * mag
+	}
+	return l.Eta * mag
+}
+
+// SteadySignal implements TSILaw.
+func (l PowerTSI) SteadySignal() float64 { return l.BSS }
+
+// Custom wraps an arbitrary f(r, b, d) so experiments can probe laws
+// outside the shipped families.
+type Custom struct {
+	Label string
+	Fn    func(r, b, d float64) float64
+}
+
+// Name implements Law.
+func (c Custom) Name() string { return c.Label }
+
+// Adjust implements Law.
+func (c Custom) Adjust(r, b, d float64) float64 {
+	checkInputs(r, b, d)
+	return c.Fn(r, b, d)
+}
+
+// Uniform returns a slice assigning the same law to n connections —
+// the homogeneous case assumed by most of the paper's analysis.
+func Uniform(l Law, n int) []Law {
+	laws := make([]Law, n)
+	for i := range laws {
+		laws[i] = l
+	}
+	return laws
+}

@@ -1,0 +1,194 @@
+package control
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAdditiveTSI(t *testing.T) {
+	l := AdditiveTSI{Eta: 2, BSS: 0.5}
+	if got := l.Adjust(1, 0.5, 1); got != 0 {
+		t.Errorf("f at b_SS = %v, want 0", got)
+	}
+	if got := l.Adjust(1, 0.25, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("f below b_SS = %v, want 0.5", got)
+	}
+	if got := l.Adjust(1, 1, 1); math.Abs(got-(-1)) > 1e-12 {
+		t.Errorf("f at saturation = %v, want -1", got)
+	}
+	if l.SteadySignal() != 0.5 {
+		t.Errorf("SteadySignal = %v", l.SteadySignal())
+	}
+}
+
+func TestMultiplicativeTSI(t *testing.T) {
+	l := MultiplicativeTSI{Eta: 1, BSS: 0.4}
+	if got := l.Adjust(2, 0.2, 1); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("f = %v, want 0.4", got)
+	}
+	if got := l.Adjust(0, 0.9, 1); got != 0 {
+		t.Errorf("f at r=0 = %v, want 0 (rest point)", got)
+	}
+	if l.SteadySignal() != 0.4 {
+		t.Errorf("SteadySignal = %v", l.SteadySignal())
+	}
+}
+
+func TestFairRateLIMDSteadyState(t *testing.T) {
+	l := FairRateLIMD{Eta: 1, Beta: 2}
+	// Steady state at r = η(1-b)/(βb); for b=0.5: r = 0.5.
+	if got := l.Adjust(0.5, 0.5, 1); math.Abs(got) > 1e-12 {
+		t.Errorf("f at analytic steady state = %v, want 0", got)
+	}
+	// Steady rate depends on b only, not d — guaranteed fair.
+	if l.Adjust(0.5, 0.5, 100) != l.Adjust(0.5, 0.5, 0.01) {
+		t.Error("FairRateLIMD must be delay-insensitive")
+	}
+}
+
+func TestWindowLIMDDelaySensitivity(t *testing.T) {
+	l := WindowLIMD{Eta: 1, Beta: 1}
+	// Longer delay ⇒ smaller increase: the latency unfairness.
+	short := l.Adjust(0.1, 0.1, 1)
+	long := l.Adjust(0.1, 0.1, 10)
+	if !(short > long) {
+		t.Errorf("short-delay f=%v should exceed long-delay f=%v", short, long)
+	}
+	// Infinite delay: only the decrease term remains.
+	if got := l.Adjust(0.1, 1, math.Inf(1)); math.Abs(got-(-0.1)) > 1e-12 {
+		t.Errorf("f at d=Inf, b=1 = %v, want -0.1", got)
+	}
+}
+
+func TestPowerTSI(t *testing.T) {
+	l := PowerTSI{Eta: 2, BSS: 0.5, P: 2}
+	if got := l.Adjust(1, 0.5, 1); got != 0 {
+		t.Errorf("f at b_SS = %v, want 0", got)
+	}
+	// Below target: +η·(0.2)².
+	if got := l.Adjust(1, 0.3, 1); math.Abs(got-2*0.04) > 1e-12 {
+		t.Errorf("f = %v, want 0.08", got)
+	}
+	// Above target: symmetric sign flip.
+	if got := l.Adjust(1, 0.7, 1); math.Abs(got+2*0.04) > 1e-12 {
+		t.Errorf("f = %v, want -0.08", got)
+	}
+	if l.SteadySignal() != 0.5 {
+		t.Errorf("SteadySignal = %v", l.SteadySignal())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero exponent should panic")
+			}
+		}()
+		PowerTSI{Eta: 1, BSS: 0.5}.Adjust(1, 0.3, 1)
+	}()
+}
+
+func TestCustom(t *testing.T) {
+	c := Custom{Label: "probe", Fn: func(r, b, d float64) float64 { return -r }}
+	if c.Name() != "probe" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	if got := c.Adjust(3, 0, 1); got != -3 {
+		t.Errorf("Adjust = %v, want -3", got)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	laws := Uniform(AdditiveTSI{Eta: 1, BSS: 0.5}, 4)
+	if len(laws) != 4 {
+		t.Fatalf("len = %d", len(laws))
+	}
+	for _, l := range laws {
+		if l.Name() != laws[0].Name() {
+			t.Error("Uniform should replicate the same law")
+		}
+	}
+}
+
+func TestCheckInputsPanics(t *testing.T) {
+	l := AdditiveTSI{Eta: 1, BSS: 0.5}
+	cases := []struct {
+		name    string
+		r, b, d float64
+	}{
+		{"negative rate", -1, 0.5, 1},
+		{"NaN rate", math.NaN(), 0.5, 1},
+		{"signal > 1", 1, 1.5, 1},
+		{"negative signal", 1, -0.1, 1},
+		{"zero delay", 1, 0.5, 0},
+		{"NaN delay", 1, 0.5, math.NaN()},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", c.name)
+				}
+			}()
+			l.Adjust(c.r, c.b, c.d)
+		}()
+	}
+}
+
+// Property (Theorem 1 conditions): for the TSI laws, f = 0 iff
+// b = b_SS, for arbitrary r and d; and f is strictly decreasing in b.
+func TestPropTSICharacterization(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bss := 0.1 + 0.8*rng.Float64()
+		laws := []TSILaw{
+			AdditiveTSI{Eta: 0.5 + rng.Float64(), BSS: bss},
+			MultiplicativeTSI{Eta: 0.5 + rng.Float64(), BSS: bss},
+		}
+		r := 0.01 + rng.Float64()*10 // positive so multiplicative is active
+		d := 0.01 + rng.Float64()*100
+		for _, l := range laws {
+			if math.Abs(l.Adjust(r, bss, d)) > 1e-12 {
+				return false
+			}
+			b2 := bss
+			for math.Abs(b2-bss) < 1e-3 {
+				b2 = rng.Float64()
+			}
+			if l.Adjust(r, b2, d) == 0 {
+				return false
+			}
+			// Monotone decreasing in b.
+			lo, hi := 0.2*bss, math.Min(1, bss+0.3)
+			if !(l.Adjust(r, lo, d) > l.Adjust(r, hi, d)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the non-TSI laws have rest points whose b depends on r
+// (so no single b_SS exists), confirming they fall outside Theorem 1's
+// class.
+func TestPropNonTSIRestDependsOnRate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := FairRateLIMD{Eta: 0.5 + rng.Float64(), Beta: 0.5 + rng.Float64()}
+		// Rest condition: b = η/(η + β·r); different r ⇒ different b.
+		r1 := 0.1 + rng.Float64()
+		r2 := r1 + 0.5 + rng.Float64()
+		b1 := l.Eta / (l.Eta + l.Beta*r1)
+		b2 := l.Eta / (l.Eta + l.Beta*r2)
+		if math.Abs(l.Adjust(r1, b1, 1)) > 1e-9 || math.Abs(l.Adjust(r2, b2, 1)) > 1e-9 {
+			return false
+		}
+		return math.Abs(b1-b2) > 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nettheory/feedbackflow/internal/control"
+	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/signal"
+	"github.com/nettheory/feedbackflow/internal/topology"
+)
+
+func TestRunAsyncConvergesWhereSyncOscillates(t *testing.T) {
+	// The E5 instability: N=8, η=1.5 has ηN=12 > 2, synchronously
+	// unstable. Asynchronously the effective per-update gain is η < 2,
+	// so it converges.
+	const n = 8
+	net, err := topology.SingleGateway(n, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	law := control.AdditiveTSI{Eta: 1.5, BSS: 0.5}
+	sys, err := NewSystem(net, queueing.FIFO{}, signal.Aggregate, signal.Rational{}, control.Uniform(law, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := make([]float64, n)
+	for i := range r0 {
+		r0[i] = 0.0625 + 0.01*float64(i%3)
+	}
+	syncOut, err := sys.Run(r0, RunOptions{MaxSteps: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syncOut.Converged {
+		t.Fatal("synchronous run should oscillate at ηN=12")
+	}
+	asyncOut, err := sys.RunAsync(r0, RunOptions{MaxSteps: 300000, Tol: 1e-10}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !asyncOut.Converged {
+		t.Fatal("asynchronous run should converge at η=1.5 < 2")
+	}
+	sum := 0.0
+	for _, r := range asyncOut.Rates {
+		sum += r
+	}
+	if math.Abs(sum-0.5) > 1e-6 {
+		t.Errorf("async steady state Σr = %v, want 0.5", sum)
+	}
+	resid, err := sys.Residual(asyncOut.Rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resid > 1e-9 {
+		t.Errorf("async residual = %v", resid)
+	}
+}
+
+func TestRunAsyncMatchesSyncFixedPoint(t *testing.T) {
+	// Individual feedback has a unique steady state; async iteration
+	// must find the same one.
+	const n = 3
+	net, err := topology.SingleGateway(n, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	law := control.AdditiveTSI{Eta: 0.2, BSS: 0.6}
+	sys, err := NewSystem(net, queueing.FairShare{}, signal.Individual, signal.Rational{}, control.Uniform(law, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := []float64{0.05, 0.2, 0.4}
+	syncOut, err := sys.Run(r0, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asyncOut, err := sys.RunAsync(r0, RunOptions{MaxSteps: 400000, Tol: 1e-10}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !syncOut.Converged || !asyncOut.Converged {
+		t.Fatal("both runs should converge")
+	}
+	for i := range syncOut.Rates {
+		if math.Abs(syncOut.Rates[i]-asyncOut.Rates[i]) > 1e-5 {
+			t.Errorf("r[%d]: sync %v vs async %v", i, syncOut.Rates[i], asyncOut.Rates[i])
+		}
+	}
+}
+
+func TestRunAsyncValidation(t *testing.T) {
+	net, _ := topology.SingleGateway(2, 1, 0)
+	law := control.AdditiveTSI{Eta: 0.1, BSS: 0.5}
+	sys, _ := NewSystem(net, queueing.FIFO{}, signal.Aggregate, signal.Rational{}, control.Uniform(law, 2))
+	if _, err := sys.RunAsync([]float64{0.1}, RunOptions{}, 1); err == nil {
+		t.Error("want length error")
+	}
+}
+
+func TestRunAsyncRecordsTrajectory(t *testing.T) {
+	net, _ := topology.SingleGateway(2, 1, 0)
+	law := control.AdditiveTSI{Eta: 0.1, BSS: 0.5}
+	sys, _ := NewSystem(net, queueing.FIFO{}, signal.Aggregate, signal.Rational{}, control.Uniform(law, 2))
+	out, err := sys.RunAsync([]float64{0.1, 0.1}, RunOptions{MaxSteps: 50, Record: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Trajectory) != out.Steps+1 {
+		t.Errorf("trajectory %d entries for %d steps", len(out.Trajectory), out.Steps)
+	}
+	// Each async step changes at most one coordinate.
+	for k := 1; k < len(out.Trajectory); k++ {
+		changed := 0
+		for i := range out.Trajectory[k] {
+			if out.Trajectory[k][i] != out.Trajectory[k-1][i] {
+				changed++
+			}
+		}
+		if changed > 1 {
+			t.Fatalf("step %d changed %d coordinates", k, changed)
+		}
+	}
+}
+
+func TestRunAsyncDeterministicSeed(t *testing.T) {
+	net, _ := topology.SingleGateway(3, 1, 0)
+	law := control.AdditiveTSI{Eta: 0.3, BSS: 0.5}
+	sys, _ := NewSystem(net, queueing.FIFO{}, signal.Aggregate, signal.Rational{}, control.Uniform(law, 3))
+	r0 := []float64{0.1, 0.15, 0.2}
+	a, err := sys.RunAsync(r0, RunOptions{MaxSteps: 500}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.RunAsync(r0, RunOptions{MaxSteps: 500}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rates {
+		if a.Rates[i] != b.Rates[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

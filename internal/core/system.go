@@ -1,0 +1,309 @@
+// Package core composes the pieces of the paper's feedback flow
+// control model — a network topology, a gateway service discipline, a
+// congestion signalling scheme, and per-source rate adjustment laws —
+// into the synchronous iterative procedure r' = F(r) of Section 2.3,
+// and provides steady-state detection on top of it.
+//
+// The model's two standing approximations are implemented exactly as
+// stated in the paper: queue lengths equilibrate instantly (Q^a(r)
+// always reflects the current rate vector), and each connection's
+// stream remains Poisson at every gateway on its path.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nettheory/feedbackflow/internal/control"
+	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/signal"
+	"github.com/nettheory/feedbackflow/internal/topology"
+)
+
+// System is a fully specified feedback flow control model. All fields
+// are fixed at construction; the iteration state is the rate vector
+// passed to the methods, so a System is safe for concurrent use.
+type System struct {
+	net   *topology.Network
+	disc  queueing.Discipline
+	style signal.Style
+	b     signal.Func
+	laws  []control.Law
+}
+
+// NewSystem validates and assembles a System. laws must contain one
+// rate adjustment law per connection (use control.Uniform for the
+// homogeneous case).
+func NewSystem(net *topology.Network, disc queueing.Discipline, style signal.Style, b signal.Func, laws []control.Law) (*System, error) {
+	if net == nil {
+		return nil, fmt.Errorf("core: nil network")
+	}
+	if disc == nil {
+		return nil, fmt.Errorf("core: nil discipline")
+	}
+	if b == nil {
+		return nil, fmt.Errorf("core: nil signal function")
+	}
+	if len(laws) != net.NumConnections() {
+		return nil, fmt.Errorf("core: %d laws for %d connections", len(laws), net.NumConnections())
+	}
+	for i, l := range laws {
+		if l == nil {
+			return nil, fmt.Errorf("core: law %d is nil", i)
+		}
+	}
+	if style != signal.Aggregate && style != signal.Individual {
+		return nil, fmt.Errorf("core: unknown feedback style %v", style)
+	}
+	return &System{net: net, disc: disc, style: style, b: b, laws: laws}, nil
+}
+
+// Network returns the topology.
+func (s *System) Network() *topology.Network { return s.net }
+
+// Discipline returns the gateway service discipline.
+func (s *System) Discipline() queueing.Discipline { return s.disc }
+
+// Style returns the feedback style.
+func (s *System) Style() signal.Style { return s.style }
+
+// SignalFunc returns the congestion signal function B.
+func (s *System) SignalFunc() signal.Func { return s.b }
+
+// Law returns connection i's rate adjustment law.
+func (s *System) Law(i int) control.Law { return s.laws[i] }
+
+// Observation is everything the model computes from a rate vector:
+// per-gateway queues, the combined congestion signals, and round-trip
+// delays.
+type Observation struct {
+	// Signals[i] is b_i = max_a b^a_i, the bottleneck-combined signal.
+	Signals []float64
+	// Delays[i] is d_i = Σ_a (l_a + W^a_i): propagation plus queueing
+	// delay along the path. +Inf when a path gateway is overloaded.
+	Delays []float64
+	// Queues[a][k] is the queue of the k'th connection of Γ(a) at
+	// gateway a (indexing parallels Network.Connections(a)).
+	Queues [][]float64
+	// Bottlenecks[i] lists the gateways a on i's path with b^a_i = b_i
+	// (within a small tolerance): the gateways the paper deems
+	// bottlenecks for i.
+	Bottlenecks [][]int
+}
+
+// Observe computes the Observation at rate vector r.
+func (s *System) Observe(r []float64) (*Observation, error) {
+	n := s.net.NumConnections()
+	if len(r) != n {
+		return nil, fmt.Errorf("core: %d rates for %d connections", len(r), n)
+	}
+	nGw := s.net.NumGateways()
+	obs := &Observation{
+		Signals:     make([]float64, n),
+		Delays:      make([]float64, n),
+		Queues:      make([][]float64, nGw),
+		Bottlenecks: make([][]int, n),
+	}
+	// Per-gateway queue vectors, sojourn times, and signals.
+	gwSignals := make([][]float64, nGw)
+	gwSojourn := make([][]float64, nGw)
+	localIdx := make([]map[int]int, nGw)
+	for a := 0; a < nGw; a++ {
+		conns := s.net.Connections(a)
+		local := make([]float64, len(conns))
+		localIdx[a] = make(map[int]int, len(conns))
+		for k, i := range conns {
+			local[k] = r[i]
+			localIdx[a][i] = k
+		}
+		mu := s.net.Gateway(a).Mu
+		q, err := s.disc.Queues(local, mu)
+		if err != nil {
+			return nil, fmt.Errorf("core: gateway %d: %w", a, err)
+		}
+		w, err := s.disc.SojournTimes(local, mu)
+		if err != nil {
+			return nil, fmt.Errorf("core: gateway %d: %w", a, err)
+		}
+		sig, err := signal.GatewaySignals(s.style, s.b, q)
+		if err != nil {
+			return nil, fmt.Errorf("core: gateway %d: %w", a, err)
+		}
+		obs.Queues[a] = q
+		gwSignals[a] = sig
+		gwSojourn[a] = w
+	}
+	// Combine along paths.
+	const bottleneckTol = 1e-12
+	for i := 0; i < n; i++ {
+		path := s.net.Route(i)
+		perGw := make([]float64, len(path))
+		d := 0.0
+		for p, a := range path {
+			k := localIdx[a][i]
+			perGw[p] = gwSignals[a][k]
+			d += s.net.Gateway(a).Latency + gwSojourn[a][k]
+		}
+		b, err := signal.CombineBottleneck(perGw)
+		if err != nil {
+			return nil, fmt.Errorf("core: connection %d: %w", i, err)
+		}
+		obs.Signals[i] = b
+		obs.Delays[i] = d
+		for p, a := range path {
+			if perGw[p] >= b-bottleneckTol {
+				obs.Bottlenecks[i] = append(obs.Bottlenecks[i], a)
+			}
+		}
+	}
+	return obs, nil
+}
+
+// Step applies one synchronous update r' = max(0, r + f(r, b, d)).
+func (s *System) Step(r []float64) ([]float64, error) {
+	obs, err := s.Observe(r)
+	if err != nil {
+		return nil, err
+	}
+	next := make([]float64, len(r))
+	for i := range r {
+		f := s.laws[i].Adjust(r[i], obs.Signals[i], obs.Delays[i])
+		v := r[i] + f
+		if v < 0 || math.IsNaN(v) {
+			v = 0
+		}
+		next[i] = v
+	}
+	return next, nil
+}
+
+// Residual returns max_i |f_i(r, b_i, d_i)| — the distance from the
+// steady-state condition f ≡ 0 — at rate vector r. Truncated
+// connections (r_i = 0 with f_i < 0) contribute zero: they are at rest
+// by the truncation rule, exactly the mechanism behind the Section 3.4
+// starvation steady state.
+func (s *System) Residual(r []float64) (float64, error) {
+	obs, err := s.Observe(r)
+	if err != nil {
+		return 0, err
+	}
+	res := 0.0
+	for i := range r {
+		f := s.laws[i].Adjust(r[i], obs.Signals[i], obs.Delays[i])
+		if r[i] == 0 && f < 0 {
+			continue
+		}
+		if a := math.Abs(f); a > res {
+			res = a
+		}
+	}
+	return res, nil
+}
+
+// RunOptions controls Run.
+type RunOptions struct {
+	// MaxSteps bounds the iteration count (default 20000).
+	MaxSteps int
+	// Tol is the convergence tolerance on the sup-norm rate change
+	// (default 1e-10, relative to 1 + max rate).
+	Tol float64
+	// Window is how many consecutive sub-tolerance steps constitute
+	// convergence (default 3).
+	Window int
+	// Record retains the full trajectory in the result.
+	Record bool
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 20000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.Window <= 0 {
+		o.Window = 3
+	}
+	return o
+}
+
+// RunResult reports the outcome of an iteration run.
+type RunResult struct {
+	// Rates is the final rate vector.
+	Rates []float64
+	// Steps is the number of updates applied.
+	Steps int
+	// Converged reports whether the convergence criterion was met
+	// before MaxSteps; oscillatory and chaotic runs report false.
+	Converged bool
+	// Final is the observation at the final rates.
+	Final *Observation
+	// Trajectory holds every visited rate vector (including the
+	// initial one) when RunOptions.Record is set, and is nil otherwise.
+	Trajectory [][]float64
+}
+
+// Run iterates the synchronous procedure from r0 until convergence or
+// the step budget is exhausted.
+func (s *System) Run(r0 []float64, opt RunOptions) (*RunResult, error) {
+	opt = opt.withDefaults()
+	if len(r0) != s.net.NumConnections() {
+		return nil, fmt.Errorf("core: %d initial rates for %d connections", len(r0), s.net.NumConnections())
+	}
+	r := append([]float64(nil), r0...)
+	res := &RunResult{}
+	if opt.Record {
+		res.Trajectory = append(res.Trajectory, append([]float64(nil), r...))
+	}
+	calm := 0
+	for step := 0; step < opt.MaxSteps; step++ {
+		next, err := s.Step(r)
+		if err != nil {
+			return nil, err
+		}
+		maxChange, maxRate := 0.0, 0.0
+		for i := range r {
+			if c := math.Abs(next[i] - r[i]); c > maxChange {
+				maxChange = c
+			}
+			if next[i] > maxRate {
+				maxRate = next[i]
+			}
+		}
+		r = next
+		res.Steps = step + 1
+		if opt.Record {
+			res.Trajectory = append(res.Trajectory, append([]float64(nil), r...))
+		}
+		if maxChange <= opt.Tol*(1+maxRate) {
+			calm++
+			if calm >= opt.Window {
+				res.Converged = true
+				break
+			}
+		} else {
+			calm = 0
+		}
+	}
+	res.Rates = r
+	final, err := s.Observe(r)
+	if err != nil {
+		return nil, err
+	}
+	res.Final = final
+	return res, nil
+}
+
+// StepFunc returns F as a plain function r ↦ F(r) for use by the
+// stability package's numerical differentiation. The returned function
+// panics on model errors, which cannot occur for non-negative finite
+// rate vectors of the right length.
+func (s *System) StepFunc() func([]float64) []float64 {
+	return func(r []float64) []float64 {
+		next, err := s.Step(r)
+		if err != nil {
+			panic(fmt.Sprintf("core: step failed: %v", err))
+		}
+		return next
+	}
+}

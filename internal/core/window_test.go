@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nettheory/feedbackflow/internal/control"
+	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/signal"
+	"github.com/nettheory/feedbackflow/internal/topology"
+)
+
+func windowSystem(t *testing.T, net *topology.Network, law control.Law) *WindowSystem {
+	t.Helper()
+	sys, err := NewSystem(net, queueing.FIFO{}, signal.Aggregate, signal.Rational{},
+		control.Uniform(law, net.NumConnections()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := NewWindowSystem(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ws
+}
+
+func TestNewWindowSystemNil(t *testing.T) {
+	if _, err := NewWindowSystem(nil); err == nil {
+		t.Error("want error for nil system")
+	}
+}
+
+func TestWindowRatesSingleConnection(t *testing.T) {
+	// One connection, μ=1, latency l=1. Fixed point of r = w/d with
+	// d = l + 1/(μ−r). For w = 1: r solves r(1 + 1/(1−r)) = 1,
+	// i.e. r(2−r) = 1−r ⇒ r² − 3r + 1 = 0 ⇒ r = (3−√5)/2 ≈ 0.382.
+	net, err := topology.SingleGateway(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := windowSystem(t, net, control.AdditiveTSI{Eta: 0.1, BSS: 0.5})
+	r, obs, err := ws.Rates([]float64{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (3 - math.Sqrt(5)) / 2
+	if math.Abs(r[0]-want) > 1e-9 {
+		t.Errorf("r = %v, want %v", r[0], want)
+	}
+	// Little's law closes: r·d = w.
+	if math.Abs(r[0]*obs.Delays[0]-1) > 1e-9 {
+		t.Errorf("r·d = %v, want 1", r[0]*obs.Delays[0])
+	}
+}
+
+func TestWindowRatesValidation(t *testing.T) {
+	net, err := topology.SingleGateway(2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := windowSystem(t, net, control.AdditiveTSI{Eta: 0.1, BSS: 0.5})
+	if _, _, err := ws.Rates([]float64{1}, nil); err == nil {
+		t.Error("want window length error")
+	}
+	if _, _, err := ws.Rates([]float64{-1, 1}, nil); err == nil {
+		t.Error("want negative window error")
+	}
+	if _, _, err := ws.Rates([]float64{1, 1}, []float64{0.1}); err == nil {
+		t.Error("want guess length error")
+	}
+}
+
+func TestWindowZeroWindowZeroRate(t *testing.T) {
+	net, err := topology.SingleGateway(2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := windowSystem(t, net, control.AdditiveTSI{Eta: 0.1, BSS: 0.5})
+	r, _, err := ws.Rates([]float64{0, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[0] != 0 {
+		t.Errorf("zero window should give zero rate, got %v", r[0])
+	}
+	if r[1] <= 0 {
+		t.Errorf("positive window should give positive rate, got %v", r[1])
+	}
+}
+
+func TestWindowEqualWindowsRatesScaleWithInverseRTT(t *testing.T) {
+	// Two connections share a bottleneck; connection 1 has extra
+	// latency through a fast private gateway. With EQUAL windows the
+	// Little's-law rates must satisfy r_0/r_1 = d_1/d_0: the latency
+	// unfairness of window flow control, with no law involved at all.
+	var bld topology.Builder
+	bottleneck := bld.AddGateway("bn", 1, 0.1)
+	private := bld.AddGateway("priv", 100, 5)
+	bld.AddConnection(bottleneck)
+	bld.AddConnection(private, bottleneck)
+	net, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := windowSystem(t, net, control.AdditiveTSI{Eta: 0.1, BSS: 0.5})
+	r, obs, err := ws.Rates([]float64{1, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r[0] > r[1]) {
+		t.Fatalf("short-RTT connection should be faster: %v", r)
+	}
+	ratio := r[0] / r[1]
+	rttRatio := obs.Delays[1] / obs.Delays[0]
+	if math.Abs(ratio-rttRatio) > 1e-6*rttRatio {
+		t.Errorf("rate ratio %v vs RTT ratio %v", ratio, rttRatio)
+	}
+}
+
+func TestWindowRunConverges(t *testing.T) {
+	// Window LIMD on a single gateway: windows converge and rates are
+	// positive and stable.
+	net, err := topology.SingleGateway(2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := windowSystem(t, net, control.FairRateLIMD{Eta: 0.05, Beta: 0.2})
+	res, err := ws.Run([]float64{0.5, 2}, RunOptions{MaxSteps: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("window run did not converge")
+	}
+	// Same law, same bottleneck, same RTT: equal windows and rates.
+	if math.Abs(res.Windows[0]-res.Windows[1]) > 1e-6 {
+		t.Errorf("windows should equalize: %v", res.Windows)
+	}
+	if math.Abs(res.Rates[0]-res.Rates[1]) > 1e-6 {
+		t.Errorf("rates should equalize: %v", res.Rates)
+	}
+	// Little's law holds at the steady state.
+	for i := range res.Rates {
+		if math.Abs(res.Rates[i]*res.Final.Delays[i]-res.Windows[i]) > 1e-6 {
+			t.Errorf("conn %d: r·d = %v, want w = %v", i, res.Rates[i]*res.Final.Delays[i], res.Windows[i])
+		}
+	}
+}
+
+func TestWindowRunValidation(t *testing.T) {
+	net, err := topology.SingleGateway(2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := windowSystem(t, net, control.AdditiveTSI{Eta: 0.1, BSS: 0.5})
+	if _, err := ws.Run([]float64{1}, RunOptions{}); err == nil {
+		t.Error("want length error")
+	}
+}

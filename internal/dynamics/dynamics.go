@@ -1,0 +1,229 @@
+// Package dynamics analyzes one-dimensional iterated maps. The paper
+// observes (Section 3.3, citing Collet–Eckmann) that an unstable
+// aggregate-feedback steady state can drive the symmetric rate
+// recursion through the classic period-doubling route to chaos; this
+// package supplies the orbit, cycle-detection, Lyapunov-exponent, and
+// bifurcation-sweep machinery used to chart that route.
+package dynamics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Map is a one-dimensional discrete-time map x ↦ m(x).
+type Map func(x float64) float64
+
+// Orbit iterates m from x0, discarding burn steps and returning the
+// next keep iterates. It returns an error for negative counts; if the
+// orbit diverges (non-finite), the returned slice stops at the last
+// finite value and diverged is true.
+func Orbit(m Map, x0 float64, burn, keep int) (orbit []float64, diverged bool, err error) {
+	if burn < 0 || keep < 0 {
+		return nil, false, fmt.Errorf("dynamics: negative burn (%d) or keep (%d)", burn, keep)
+	}
+	x := x0
+	for i := 0; i < burn; i++ {
+		x = m(x)
+		if !finite(x) {
+			return nil, true, nil
+		}
+	}
+	orbit = make([]float64, 0, keep)
+	for i := 0; i < keep; i++ {
+		x = m(x)
+		if !finite(x) {
+			return orbit, true, nil
+		}
+		orbit = append(orbit, x)
+	}
+	return orbit, false, nil
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// DetectPeriod scans an orbit's tail for the smallest period p ≤
+// maxPeriod such that x[k] ≈ x[k+p] (relative tolerance tol) over the
+// last window of the orbit. A period of 1 means a fixed point. The
+// second return is false when no period up to maxPeriod fits.
+func DetectPeriod(orbit []float64, maxPeriod int, tol float64) (int, bool) {
+	if maxPeriod <= 0 || len(orbit) < 2*maxPeriod {
+		return 0, false
+	}
+	// Compare over a window of 2·maxPeriod points at the tail.
+	tail := orbit[len(orbit)-2*maxPeriod:]
+	for p := 1; p <= maxPeriod; p++ {
+		ok := true
+		for k := 0; k+p < len(tail); k++ {
+			a, b := tail[k], tail[k+p]
+			if math.Abs(a-b) > tol*(1+math.Max(math.Abs(a), math.Abs(b))) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// Lyapunov estimates the Lyapunov exponent of m along the orbit from
+// x0: the average of ln|m'(x)| over n post-burn iterates, with m'
+// computed by central differences of width h. Positive values indicate
+// sensitive dependence (chaos); negative values indicate a stable
+// cycle.
+func Lyapunov(m Map, x0 float64, burn, n int, h float64) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("dynamics: need positive sample count, got %d", n)
+	}
+	if h <= 0 || math.IsNaN(h) {
+		return 0, fmt.Errorf("dynamics: invalid derivative step %v", h)
+	}
+	x := x0
+	for i := 0; i < burn; i++ {
+		x = m(x)
+		if !finite(x) {
+			return math.Inf(1), nil // divergence: maximal instability
+		}
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		d := (m(x+h) - m(x-h)) / (2 * h)
+		ad := math.Abs(d)
+		if ad < 1e-300 {
+			ad = 1e-300 // superstable point: clamp to a very negative log
+		}
+		sum += math.Log(ad)
+		x = m(x)
+		if !finite(x) {
+			return math.Inf(1), nil
+		}
+	}
+	return sum / float64(n), nil
+}
+
+// OrbitClass is the qualitative behavior of an orbit.
+type OrbitClass int
+
+const (
+	// Divergent orbits escape to ±Inf or NaN.
+	Divergent OrbitClass = iota
+	// FixedPoint orbits settle to a single value.
+	FixedPoint
+	// Periodic orbits settle to a cycle of period ≥ 2.
+	Periodic
+	// Chaotic orbits stay bounded with no detected period and a
+	// positive Lyapunov exponent.
+	Chaotic
+	// Irregular orbits stay bounded with no detected period but a
+	// non-positive Lyapunov estimate (e.g. quasiperiodic or very long
+	// transients).
+	Irregular
+)
+
+// String implements fmt.Stringer.
+func (c OrbitClass) String() string {
+	switch c {
+	case Divergent:
+		return "divergent"
+	case FixedPoint:
+		return "fixed-point"
+	case Periodic:
+		return "periodic"
+	case Chaotic:
+		return "chaotic"
+	case Irregular:
+		return "irregular"
+	}
+	return fmt.Sprintf("OrbitClass(%d)", int(c))
+}
+
+// Classification is the result of Classify.
+type Classification struct {
+	Class    OrbitClass
+	Period   int     // set when Class is FixedPoint (1) or Periodic (≥2)
+	Lyapunov float64 // exponent estimate (NaN for divergent orbits)
+}
+
+// ClassifyOptions tunes Classify. Zero values select the defaults in
+// parentheses.
+type ClassifyOptions struct {
+	Burn      int     // transient iterations to discard (2000)
+	Keep      int     // orbit samples to analyze (512)
+	MaxPeriod int     // largest period to search for (64)
+	Tol       float64 // period-detection relative tolerance (1e-6)
+	H         float64 // derivative step for the Lyapunov estimate (1e-7)
+}
+
+func (o ClassifyOptions) withDefaults() ClassifyOptions {
+	if o.Burn <= 0 {
+		o.Burn = 2000
+	}
+	if o.Keep <= 0 {
+		o.Keep = 512
+	}
+	if o.MaxPeriod <= 0 {
+		o.MaxPeriod = 64
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+	if o.H <= 0 {
+		o.H = 1e-7
+	}
+	return o
+}
+
+// Classify determines the asymptotic behavior of m from x0.
+func Classify(m Map, x0 float64, opt ClassifyOptions) (Classification, error) {
+	opt = opt.withDefaults()
+	orbit, diverged, err := Orbit(m, x0, opt.Burn, opt.Keep)
+	if err != nil {
+		return Classification{}, err
+	}
+	if diverged {
+		return Classification{Class: Divergent, Lyapunov: math.NaN()}, nil
+	}
+	lyap, err := Lyapunov(m, x0, opt.Burn, opt.Keep, opt.H)
+	if err != nil {
+		return Classification{}, err
+	}
+	if p, ok := DetectPeriod(orbit, opt.MaxPeriod, opt.Tol); ok {
+		class := Periodic
+		if p == 1 {
+			class = FixedPoint
+		}
+		return Classification{Class: class, Period: p, Lyapunov: lyap}, nil
+	}
+	if lyap > 0 {
+		return Classification{Class: Chaotic, Lyapunov: lyap}, nil
+	}
+	return Classification{Class: Irregular, Lyapunov: lyap}, nil
+}
+
+// BifurcationPoint is one parameter slice of a bifurcation diagram:
+// the attractor samples of the map at parameter P.
+type BifurcationPoint struct {
+	P        float64
+	Attr     []float64 // post-transient orbit samples (empty if divergent)
+	Diverged bool
+}
+
+// Bifurcation sweeps a one-parameter family of maps, returning for
+// each parameter value the post-transient attractor samples — the raw
+// material of the classic bifurcation diagram.
+func Bifurcation(family func(p float64) Map, params []float64, x0 float64, burn, keep int) ([]BifurcationPoint, error) {
+	if len(params) == 0 {
+		return nil, fmt.Errorf("dynamics: no parameter values")
+	}
+	out := make([]BifurcationPoint, len(params))
+	for k, p := range params {
+		orbit, diverged, err := Orbit(family(p), x0, burn, keep)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = BifurcationPoint{P: p, Attr: orbit, Diverged: diverged}
+	}
+	return out, nil
+}

@@ -1,0 +1,255 @@
+package dynamics
+
+import (
+	"math"
+	"testing"
+)
+
+func logistic(a float64) Map {
+	return func(x float64) float64 { return a * x * (1 - x) }
+}
+
+func TestOrbitBasics(t *testing.T) {
+	double := func(x float64) float64 { return 2 * x }
+	orbit, diverged, err := Orbit(double, 1, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diverged {
+		t.Error("finite orbit flagged divergent")
+	}
+	want := []float64{2, 4, 8}
+	for i := range want {
+		if orbit[i] != want[i] {
+			t.Errorf("orbit[%d] = %v, want %v", i, orbit[i], want[i])
+		}
+	}
+}
+
+func TestOrbitBurn(t *testing.T) {
+	inc := func(x float64) float64 { return x + 1 }
+	orbit, _, err := Orbit(inc, 0, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orbit[0] != 6 || orbit[1] != 7 {
+		t.Errorf("orbit after burn = %v", orbit)
+	}
+}
+
+func TestOrbitDivergence(t *testing.T) {
+	blow := func(x float64) float64 { return x * x }
+	_, diverged, err := Orbit(blow, 10, 0, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diverged {
+		t.Error("x² from 10 should diverge")
+	}
+	// Divergence during burn also flags.
+	_, diverged, err = Orbit(blow, 10, 10000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diverged {
+		t.Error("divergence during burn should flag")
+	}
+}
+
+func TestOrbitErrors(t *testing.T) {
+	id := func(x float64) float64 { return x }
+	if _, _, err := Orbit(id, 0, -1, 1); err == nil {
+		t.Error("want error for negative burn")
+	}
+	if _, _, err := Orbit(id, 0, 1, -1); err == nil {
+		t.Error("want error for negative keep")
+	}
+}
+
+func TestDetectPeriodFixedPoint(t *testing.T) {
+	orbit := make([]float64, 64)
+	for i := range orbit {
+		orbit[i] = 0.6
+	}
+	p, ok := DetectPeriod(orbit, 8, 1e-9)
+	if !ok || p != 1 {
+		t.Errorf("period = %d, %v; want 1, true", p, ok)
+	}
+}
+
+func TestDetectPeriodTwoCycle(t *testing.T) {
+	orbit := make([]float64, 64)
+	for i := range orbit {
+		if i%2 == 0 {
+			orbit[i] = 0.3
+		} else {
+			orbit[i] = 0.8
+		}
+	}
+	p, ok := DetectPeriod(orbit, 8, 1e-9)
+	if !ok || p != 2 {
+		t.Errorf("period = %d, %v; want 2, true", p, ok)
+	}
+}
+
+func TestDetectPeriodNone(t *testing.T) {
+	// Irrational rotation has no exact period.
+	orbit := make([]float64, 64)
+	x := 0.1
+	for i := range orbit {
+		x = math.Mod(x+math.Sqrt2/3, 1)
+		orbit[i] = x
+	}
+	if _, ok := DetectPeriod(orbit, 8, 1e-9); ok {
+		t.Error("aperiodic orbit should not match")
+	}
+	// Degenerate inputs.
+	if _, ok := DetectPeriod(orbit[:3], 8, 1e-9); ok {
+		t.Error("too-short orbit should not match")
+	}
+	if _, ok := DetectPeriod(orbit, 0, 1e-9); ok {
+		t.Error("maxPeriod=0 should not match")
+	}
+}
+
+func TestLyapunovLogisticChaos(t *testing.T) {
+	// The fully chaotic logistic map a=4 has λ = ln 2.
+	lyap, err := Lyapunov(logistic(4), 0.2, 1000, 20000, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lyap-math.Ln2) > 0.05 {
+		t.Errorf("λ = %v, want ≈ %v", lyap, math.Ln2)
+	}
+}
+
+func TestLyapunovStableFixedPoint(t *testing.T) {
+	// a=2.5: stable fixed point, λ = ln|2−a| = ln(0.5) < 0.
+	lyap, err := Lyapunov(logistic(2.5), 0.3, 2000, 5000, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(0.5)
+	if math.Abs(lyap-want) > 0.05 {
+		t.Errorf("λ = %v, want ≈ %v", lyap, want)
+	}
+}
+
+func TestLyapunovDivergent(t *testing.T) {
+	blow := func(x float64) float64 { return x * x }
+	lyap, err := Lyapunov(blow, 10, 100, 100, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(lyap, 1) {
+		t.Errorf("divergent λ = %v, want +Inf", lyap)
+	}
+}
+
+func TestLyapunovErrors(t *testing.T) {
+	id := func(x float64) float64 { return x }
+	if _, err := Lyapunov(id, 0, 0, 0, 1e-8); err == nil {
+		t.Error("want error for n=0")
+	}
+	if _, err := Lyapunov(id, 0, 0, 10, 0); err == nil {
+		t.Error("want error for h=0")
+	}
+}
+
+func TestClassifyLogisticRegimes(t *testing.T) {
+	cases := []struct {
+		a      float64
+		class  OrbitClass
+		period int
+	}{
+		{2.5, FixedPoint, 1},
+		{3.2, Periodic, 2},
+		{3.5, Periodic, 4},
+		{4.0, Chaotic, 0},
+	}
+	for _, c := range cases {
+		got, err := Classify(logistic(c.a), 0.21, ClassifyOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Class != c.class {
+			t.Errorf("a=%v: class %v, want %v (λ=%v, p=%d)", c.a, got.Class, c.class, got.Lyapunov, got.Period)
+		}
+		if c.period > 0 && got.Period != c.period {
+			t.Errorf("a=%v: period %d, want %d", c.a, got.Period, c.period)
+		}
+	}
+}
+
+func TestClassifyDivergent(t *testing.T) {
+	blow := func(x float64) float64 { return x*x + 1 }
+	got, err := Classify(blow, 2, ClassifyOptions{Burn: 10, Keep: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Class != Divergent {
+		t.Errorf("class = %v, want divergent", got.Class)
+	}
+	if !math.IsNaN(got.Lyapunov) {
+		t.Errorf("divergent λ = %v, want NaN", got.Lyapunov)
+	}
+}
+
+func TestClassifyErrorPropagation(t *testing.T) {
+	if _, err := Classify(logistic(3), 0.1, ClassifyOptions{Burn: -1, Keep: 10}); err == nil {
+		// Burn -1 is replaced by the default, so no error: assert that.
+		_ = err
+	}
+}
+
+func TestOrbitClassString(t *testing.T) {
+	names := map[OrbitClass]string{
+		Divergent:  "divergent",
+		FixedPoint: "fixed-point",
+		Periodic:   "periodic",
+		Chaotic:    "chaotic",
+		Irregular:  "irregular",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+	if OrbitClass(99).String() == "" {
+		t.Error("unknown class should render")
+	}
+}
+
+func TestBifurcationLogistic(t *testing.T) {
+	params := []float64{2.5, 3.2, 4.0}
+	points, err := Bifurcation(logistic, params, 0.21, 2000, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// a=2.5: attractor collapses to one value.
+	spread := func(xs []float64) float64 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return hi - lo
+	}
+	if s := spread(points[0].Attr); s > 1e-6 {
+		t.Errorf("a=2.5 attractor spread %v, want ~0", s)
+	}
+	// a=3.2: two distinct values.
+	if s := spread(points[1].Attr); s < 0.1 {
+		t.Errorf("a=3.2 attractor spread %v, want two-cycle spread", s)
+	}
+	// a=4: attractor fills much of [0,1].
+	if s := spread(points[2].Attr); s < 0.5 {
+		t.Errorf("a=4 attractor spread %v, want broad", s)
+	}
+	if _, err := Bifurcation(logistic, nil, 0.2, 10, 10); err == nil {
+		t.Error("want error for empty params")
+	}
+}

@@ -1,0 +1,150 @@
+// Package eventsim is a discrete-event, packet-level simulator for the
+// queueing substrate of the paper's model: Poisson sources feeding
+// exponential gateways under the FIFO and Fair Share service
+// disciplines. It exists to validate the analytic Q(r) formulas in
+// internal/queueing from first principles — it deliberately does not
+// import that package, so the comparison in the experiment harness is
+// a genuine cross-check rather than a tautology.
+//
+// Fair Share is simulated exactly as Table 1 of the paper constructs
+// it: each connection's Poisson stream is thinned into priority-class
+// substreams (thinning a Poisson process yields independent Poisson
+// substreams, so the construction is exact), and the server runs
+// preemptive-resume priority. Because service is exponential, the
+// remaining service time of a preempted packet is redrawn on resume —
+// distributionally identical by memorylessness.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Engine is a discrete-event scheduler: a time-ordered queue of
+// callbacks. Events scheduled at equal times fire in scheduling order.
+type Engine struct {
+	now   float64
+	queue eventQueue
+	seq   uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Handle identifies a scheduled event and allows cancellation.
+type Handle struct{ item *eventItem }
+
+// Cancel prevents the event from firing. Cancelling an already-fired
+// or already-cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.item != nil {
+		h.item.fn = nil
+	}
+}
+
+// Schedule enqueues fn to run at time at. Scheduling in the past
+// (before Now) returns an error, since that would reorder history.
+func (e *Engine) Schedule(at float64, fn func()) (Handle, error) {
+	if fn == nil {
+		return Handle{}, fmt.Errorf("eventsim: nil event callback")
+	}
+	if at < e.now || math.IsNaN(at) {
+		return Handle{}, fmt.Errorf("eventsim: schedule at %v before now %v", at, e.now)
+	}
+	it := &eventItem{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, it)
+	return Handle{item: it}, nil
+}
+
+// Step fires the next event, advancing the clock. It returns false
+// when no events remain.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		it := heap.Pop(&e.queue).(*eventItem)
+		if it.fn == nil {
+			continue // cancelled
+		}
+		e.now = it.at
+		fn := it.fn
+		it.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the clock would pass until, leaving later
+// events queued, and advances the clock to exactly until.
+func (e *Engine) Run(until float64) error {
+	if until < e.now {
+		return fmt.Errorf("eventsim: run until %v before now %v", until, e.now)
+	}
+	for e.queue.Len() > 0 {
+		it := e.queue[0]
+		if it.fn == nil {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if it.at > until {
+			break
+		}
+		e.Step()
+	}
+	e.now = until
+	return nil
+}
+
+// Pending returns the number of live (uncancelled) events queued.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, it := range e.queue {
+		if it.fn != nil {
+			n++
+		}
+	}
+	return n
+}
+
+type eventItem struct {
+	at  float64
+	seq uint64
+	fn  func()
+	idx int
+}
+
+type eventQueue []*eventItem
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *eventQueue) Push(x interface{}) {
+	it := x.(*eventItem)
+	it.idx = len(*q)
+	*q = append(*q, it)
+}
+
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,140 @@
+package eventsim
+
+import (
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	mustSchedule := func(at float64, id int) {
+		t.Helper()
+		if _, err := e.Schedule(at, func() { fired = append(fired, id) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustSchedule(3, 3)
+	mustSchedule(1, 1)
+	mustSchedule(2, 2)
+	for e.Step() {
+	}
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Errorf("fired = %v, want [1 2 3]", fired)
+	}
+	if e.Now() != 3 {
+		t.Errorf("clock = %v, want 3", e.Now())
+	}
+}
+
+func TestEngineEqualTimesFIFO(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	for id := 0; id < 5; id++ {
+		id := id
+		if _, err := e.Schedule(1, func() { fired = append(fired, id) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e.Step() {
+	}
+	for i, id := range fired {
+		if id != i {
+			t.Errorf("equal-time events out of order: %v", fired)
+			break
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	h, err := e.Schedule(1, func() { ran = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	h.Cancel()
+	if e.Pending() != 0 {
+		t.Errorf("pending after cancel = %d, want 0", e.Pending())
+	}
+	for e.Step() {
+	}
+	if ran {
+		t.Error("cancelled event fired")
+	}
+	h.Cancel() // double cancel is a no-op
+	Handle{}.Cancel()
+}
+
+func TestEngineScheduleErrors(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Schedule(1, nil); err == nil {
+		t.Error("want error for nil callback")
+	}
+	if _, err := e.Schedule(5, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Step() {
+		t.Fatal("expected an event")
+	}
+	if _, err := e.Schedule(1, func() {}); err == nil {
+		t.Error("want error for scheduling in the past")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 10} {
+		at := at
+		if _, err := e.Schedule(at, func() { fired = append(fired, at) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 {
+		t.Errorf("fired %v, want the three events <= 5", fired)
+	}
+	if e.Now() != 5 {
+		t.Errorf("clock = %v, want exactly 5", e.Now())
+	}
+	if err := e.Run(1); err == nil {
+		t.Error("want error for running backwards")
+	}
+	if err := e.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 4 {
+		t.Errorf("fired %v, want all four", fired)
+	}
+}
+
+func TestEngineEventSchedulesEvent(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			if _, err := e.Schedule(e.Now()+1, tick); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := e.Schedule(0, tick); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if e.Now() != 100 {
+		t.Errorf("clock = %v, want 100", e.Now())
+	}
+}

@@ -1,0 +1,312 @@
+package eventsim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/stats"
+)
+
+func TestFairQueueingMatchesFairShareApproximately(t *testing.T) {
+	// Packet-by-packet fair queueing is the realizable discipline that
+	// Fair Share idealizes; their per-connection queues should agree
+	// within ~15% at moderate load (the paper makes no exact claim).
+	rates := []float64{0.1, 0.2, 0.4}
+	want, err := queueing.FairShare{}.Queues(rates, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateGateway(GatewayConfig{
+		Rates:      rates,
+		Mu:         1,
+		Discipline: SimFairQueueing,
+		Seed:       16,
+		Duration:   60000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rates {
+		rel := math.Abs(res.MeanQueue[i]-want[i]) / (1 + want[i])
+		if rel > 0.15 {
+			t.Errorf("conn %d: FQ %.4f vs FS analytic %.4f (%.0f%%)", i, res.MeanQueue[i], want[i], 100*rel)
+		}
+	}
+	// Work conservation still pins the total.
+	wantTotal, err := queueing.TotalQueue(rates, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TotalQueue-wantTotal) > 0.1*(1+wantTotal) {
+		t.Errorf("FQ total %.4f vs %.4f", res.TotalQueue, wantTotal)
+	}
+}
+
+func TestFairQueueingProtectsUnderOverload(t *testing.T) {
+	// Round-robin service guarantees the low-rate connection its turn
+	// even when the other connection floods the gateway.
+	res, err := SimulateGateway(GatewayConfig{
+		Rates:      []float64{0.1, 1.5},
+		Mu:         1,
+		Discipline: SimFairQueueing,
+		Seed:       17,
+		Duration:   20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanQueue[0] > 1 {
+		t.Errorf("protected queue = %v, want small", res.MeanQueue[0])
+	}
+	wantServed := 0.1 * res.MeasuredTime
+	if float64(res.Served[0]) < 0.9*wantServed {
+		t.Errorf("protected served %d, want ≈ %v", res.Served[0], wantServed)
+	}
+}
+
+func TestTotalQueueDistributionGeometric(t *testing.T) {
+	// M/M/1 total occupancy is geometric: P(N=k) = (1−ρ)ρ^k.
+	const rho = 0.5
+	res, err := SimulateGateway(GatewayConfig{
+		Rates:             []float64{rho},
+		Mu:                1,
+		Seed:              18,
+		Duration:          60000,
+		TrackDistribution: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TotalQueueDist) != 11 {
+		t.Fatalf("distribution has %d bins", len(res.TotalQueueDist))
+	}
+	for k := 0; k <= 8; k++ {
+		want := (1 - rho) * math.Pow(rho, float64(k))
+		if math.Abs(res.TotalQueueDist[k]-want) > 0.02+0.1*want {
+			t.Errorf("P(N=%d) = %.4f, want %.4f", k, res.TotalQueueDist[k], want)
+		}
+	}
+	total := 0.0
+	for _, f := range res.TotalQueueDist {
+		total += f
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("distribution sums to %v", total)
+	}
+}
+
+func TestDistributionDisabledByDefault(t *testing.T) {
+	res, err := SimulateGateway(GatewayConfig{
+		Rates:    []float64{0.5},
+		Mu:       1,
+		Seed:     1,
+		Duration: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalQueueDist != nil {
+		t.Error("distribution should be nil unless requested")
+	}
+}
+
+func TestBurstySourcePreservesMeanRate(t *testing.T) {
+	// On-off thinning keeps the long-run average rate: served ≈ r·T.
+	res, err := SimulateGateway(GatewayConfig{
+		Rates:      []float64{0.3},
+		Mu:         1,
+		Seed:       19,
+		Duration:   60000,
+		Burstiness: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.3 * res.MeasuredTime
+	if math.Abs(float64(res.Served[0])-want) > 0.08*want {
+		t.Errorf("bursty served %d, want ≈ %v", res.Served[0], want)
+	}
+}
+
+func TestBurstySourceInflatesQueue(t *testing.T) {
+	// Burstiness at equal mean rate strictly worsens queueing: the
+	// mean queue must exceed the M/M/1 value g(ρ) by a clear margin.
+	const rho = 0.6
+	mm1 := rho / (1 - rho)
+	res, err := SimulateGateway(GatewayConfig{
+		Rates:      []float64{rho},
+		Mu:         1,
+		Seed:       20,
+		Duration:   80000,
+		Burstiness: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanQueue[0] < 1.3*mm1 {
+		t.Errorf("bursty queue %.3f should clearly exceed M/M/1 value %.3f", res.MeanQueue[0], mm1)
+	}
+}
+
+func TestBurstyValidation(t *testing.T) {
+	base := GatewayConfig{Rates: []float64{0.5}, Mu: 1, Duration: 100}
+	bad := base
+	bad.Burstiness = math.NaN()
+	if _, err := SimulateGateway(bad); err == nil {
+		t.Error("want error for NaN burstiness")
+	}
+	bad = base
+	bad.Burstiness = -1
+	if _, err := SimulateGateway(bad); err == nil {
+		t.Error("want error for negative burstiness")
+	}
+	bad = base
+	bad.MeanOnTime = -1
+	if _, err := SimulateGateway(bad); err == nil {
+		t.Error("want error for negative on-time")
+	}
+	bad = base
+	bad.TrackDistribution = -1
+	if _, err := SimulateGateway(bad); err == nil {
+		t.Error("want error for negative distribution bound")
+	}
+}
+
+func TestNonPreemptiveFSMatchesKleinrock(t *testing.T) {
+	// The simulated non-preemptive priority gateway matches the
+	// Kleinrock formulas implemented analytically.
+	rates := []float64{0.1, 0.2, 0.4}
+	want, err := queueing.NonPreemptiveFairShare{}.Queues(rates, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateGateway(GatewayConfig{
+		Rates:      rates,
+		Mu:         1,
+		Discipline: SimFairShareNonPreemptive,
+		Seed:       31,
+		Duration:   60000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rates {
+		queueClose(t, "NP-FS Q", res.MeanQueue[i], want[i], res.QueueCI[i].HalfWide)
+	}
+}
+
+func TestSojournDistributionExponential(t *testing.T) {
+	// M/M/1 FIFO sojourn times are exponential with rate μ−λ: the
+	// histogram bin fractions must match ∫Exp(0.5) over each bin.
+	const (
+		lambda = 0.5
+		mu     = 1.0
+	)
+	hist, err := stats.NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = SimulateGateway(GatewayConfig{
+		Rates:        []float64{lambda},
+		Mu:           mu,
+		Seed:         23,
+		Duration:     60000,
+		TrackSojourn: hist,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Count() < 20000 {
+		t.Fatalf("too few sojourn samples: %d", hist.Count())
+	}
+	rate := mu - lambda
+	fracs := hist.Fractions()
+	for k, got := range fracs {
+		lo := float64(k)
+		hi := lo + 1
+		want := math.Exp(-rate*lo) - math.Exp(-rate*hi)
+		if math.Abs(got-want) > 0.015+0.05*want {
+			t.Errorf("P(T in [%g,%g)) = %.4f, want %.4f", lo, hi, got, want)
+		}
+	}
+	// The tail beyond the histogram must be small and accounted for.
+	tail := float64(hist.Overflow) / float64(hist.Count())
+	wantTail := math.Exp(-rate * 10)
+	if math.Abs(tail-wantTail) > 0.01 {
+		t.Errorf("tail fraction %.4f, want %.4f", tail, wantTail)
+	}
+}
+
+// TestBatchMeansNearlyIndependent validates the batch-means
+// methodology behind every CI in this package: with the default batch
+// sizing, consecutive batch means must be essentially uncorrelated
+// (each batch spans many integrated autocorrelation times of the queue
+// process), while deliberately tiny batches show strong correlation.
+func TestBatchMeansNearlyIndependent(t *testing.T) {
+	run := func(batches int) []float64 {
+		res, err := SimulateGateway(GatewayConfig{
+			Rates:    []float64{0.7},
+			Mu:       1,
+			Seed:     71,
+			Duration: 40000,
+			Batches:  batches,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BatchQueueMeans[0]
+	}
+	// Default-scale batches (40000/20 = 2000 time units each).
+	wide := run(20)
+	rhoWide, err := stats.Autocorrelation(wide, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rhoWide) > 0.45 {
+		t.Errorf("lag-1 autocorrelation of long batches = %v, want near 0", rhoWide)
+	}
+	// Tiny batches (50 time units each) are strongly correlated: the
+	// queue's autocorrelation time at ρ=0.7 is comparable to the batch.
+	narrow := run(800)
+	rhoNarrow, err := stats.Autocorrelation(narrow, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rhoNarrow < 2*math.Abs(rhoWide) && rhoNarrow < 0.3 {
+		t.Errorf("tiny batches should be visibly correlated: ρ(1) = %v (long batches %v)", rhoNarrow, rhoWide)
+	}
+	// And the effective sample size of the tiny-batch series is far
+	// below its length.
+	ess, err := stats.EffectiveSampleSize(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ess > 0.8*float64(len(narrow)) {
+		t.Errorf("ESS of correlated series = %v of %d, should be well below", ess, len(narrow))
+	}
+}
+
+func TestBurstyReproducible(t *testing.T) {
+	cfg := GatewayConfig{
+		Rates:      []float64{0.2, 0.3},
+		Mu:         1,
+		Discipline: SimFairQueueing,
+		Seed:       21,
+		Duration:   3000,
+		Burstiness: 3,
+	}
+	a, err := SimulateGateway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateGateway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.MeanQueue {
+		if a.MeanQueue[i] != b.MeanQueue[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

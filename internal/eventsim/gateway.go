@@ -1,0 +1,451 @@
+package eventsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/nettheory/feedbackflow/internal/stats"
+)
+
+// DisciplineKind selects the simulated service discipline.
+type DisciplineKind int
+
+const (
+	// SimFIFO serves packets strictly in arrival order.
+	SimFIFO DisciplineKind = iota
+	// SimFairShare serves by preemptive-resume priority over the
+	// Table 1 substream classes.
+	SimFairShare
+	// SimFairQueueing serves one packet per connection in round-robin
+	// order (packet-by-packet fair queueing in the sense of Nagle
+	// [Nag87], the scheme Fair Share idealizes). No analytic Q(r) is
+	// implemented for it; the E16 experiment compares it empirically
+	// against the Fair Share recursion.
+	SimFairQueueing
+	// SimFairShareNonPreemptive uses the Table 1 priority classes but
+	// never interrupts the packet in service — the A3 ablation showing
+	// preemption is necessary for the Theorem 5 robustness bound.
+	SimFairShareNonPreemptive
+)
+
+// String implements fmt.Stringer.
+func (k DisciplineKind) String() string {
+	switch k {
+	case SimFIFO:
+		return "FIFO"
+	case SimFairShare:
+		return "FairShare"
+	case SimFairQueueing:
+		return "FairQueueing"
+	case SimFairShareNonPreemptive:
+		return "FairShareNonPreemptive"
+	}
+	return fmt.Sprintf("DisciplineKind(%d)", int(k))
+}
+
+// GatewayConfig parameterizes a single-gateway simulation.
+type GatewayConfig struct {
+	// Rates are the Poisson sending rates r_i (must be non-negative;
+	// at least one positive).
+	Rates []float64
+	// Mu is the exponential service rate (> 0).
+	Mu float64
+	// Discipline selects FIFO or Fair Share service.
+	Discipline DisciplineKind
+	// Seed drives all randomness; runs are reproducible.
+	Seed int64
+	// Warmup is the simulated time discarded before measuring
+	// (default 10% of Duration).
+	Warmup float64
+	// Duration is the measured simulated time (default 50000/μ).
+	Duration float64
+	// Batches is the number of batch means used for confidence
+	// intervals (default 10; minimum 2).
+	Batches int
+	// Burstiness makes the sources interrupted-Poisson (on-off)
+	// processes instead of plain Poisson: each source alternates
+	// exponential ON periods (during which it emits at Burstiness ×
+	// its nominal rate) and OFF periods sized so the long-run average
+	// rate is unchanged. Values ≤ 1 mean plain Poisson. This is the
+	// knob the E18 experiment uses to probe the paper's Poisson-source
+	// assumption.
+	Burstiness float64
+	// MeanOnTime is the mean ON-period duration for bursty sources
+	// (default 20/μ).
+	MeanOnTime float64
+	// TrackDistribution, when positive, records the time-fraction
+	// distribution of the *total* number in system at counts
+	// 0..TrackDistribution (the last bin absorbs larger counts).
+	TrackDistribution int
+	// TrackSojourn, when non-nil, histograms the sojourn times of all
+	// completed packets during measurement. Configure the histogram
+	// range with NewSojournHistogram or stats.NewHistogram.
+	TrackSojourn *stats.Histogram
+}
+
+func (c GatewayConfig) withDefaults() GatewayConfig {
+	if c.Duration <= 0 {
+		c.Duration = 50000 / c.Mu
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 0.1 * c.Duration
+	}
+	if c.Batches < 2 {
+		c.Batches = 10
+	}
+	return c
+}
+
+// GatewayResult holds the measured steady-state statistics.
+type GatewayResult struct {
+	// MeanQueue[i] is the time-average number of connection i's
+	// packets in the system (queued + in service).
+	MeanQueue []float64
+	// QueueCI[i] is a 95% confidence interval for MeanQueue[i] from
+	// batch means.
+	QueueCI []stats.CI
+	// TotalQueue is the time-average total number in system.
+	TotalQueue float64
+	// Served[i] counts connection i's completed packets.
+	Served []int64
+	// MeanSojourn[i] is the average time in system of connection i's
+	// completed packets (NaN when none completed).
+	MeanSojourn []float64
+	// MeasuredTime is the simulated time over which statistics were
+	// collected (Duration).
+	MeasuredTime float64
+	// TotalQueueDist, when requested via TrackDistribution, holds the
+	// fraction of measured time the total number in system spent at
+	// each count 0..TrackDistribution (last bin = "or more").
+	TotalQueueDist []float64
+	// BatchQueueMeans[i][b] is connection i's mean queue in batch b —
+	// the raw series behind QueueCI, exposed so callers can check the
+	// batch-independence assumption (e.g. with
+	// stats.Autocorrelation).
+	BatchQueueMeans [][]float64
+}
+
+// packet is one simulated packet. arrived is the arrival time at the
+// current gateway; entered and hop are used only by the network
+// simulator (source time and route position).
+type packet struct {
+	conn    int
+	class   int
+	arrived float64
+	entered float64
+	hop     int
+}
+
+// gatewaySim is the mutable simulation state.
+type gatewaySim struct {
+	cfg     GatewayConfig
+	eng     *Engine
+	rng     *rand.Rand
+	classes [][]float64 // classes[i][j]: conn i's substream rate in class j (FS)
+	server  *prioServer
+
+	inSystem []int // per-connection packet count
+	acc      []*stats.TimeAverage
+	served   []int64
+	sojourn  []float64 // summed sojourn of completed packets
+	measure  bool
+
+	// On-off source state (Burstiness > 1).
+	srcOn      []bool
+	srcPending []Handle
+
+	// Total-in-system distribution tracking.
+	total     int
+	distTime  []float64
+	distLastT float64
+}
+
+// SimulateGateway runs a single-gateway simulation and returns the
+// measured per-connection queue statistics.
+func SimulateGateway(cfg GatewayConfig) (*GatewayResult, error) {
+	if len(cfg.Rates) == 0 {
+		return nil, fmt.Errorf("eventsim: no connections")
+	}
+	if cfg.Mu <= 0 || math.IsNaN(cfg.Mu) || math.IsInf(cfg.Mu, 0) {
+		return nil, fmt.Errorf("eventsim: invalid service rate %v", cfg.Mu)
+	}
+	anyPositive := false
+	for i, r := range cfg.Rates {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return nil, fmt.Errorf("eventsim: invalid rate r[%d] = %v", i, r)
+		}
+		if r > 0 {
+			anyPositive = true
+		}
+	}
+	if !anyPositive {
+		return nil, fmt.Errorf("eventsim: all rates are zero")
+	}
+	if cfg.Burstiness < 0 || math.IsNaN(cfg.Burstiness) || math.IsInf(cfg.Burstiness, 0) {
+		return nil, fmt.Errorf("eventsim: invalid burstiness %v", cfg.Burstiness)
+	}
+	if cfg.MeanOnTime < 0 || math.IsNaN(cfg.MeanOnTime) {
+		return nil, fmt.Errorf("eventsim: invalid mean on-time %v", cfg.MeanOnTime)
+	}
+	if cfg.TrackDistribution < 0 {
+		return nil, fmt.Errorf("eventsim: invalid distribution bound %d", cfg.TrackDistribution)
+	}
+	cfg = cfg.withDefaults()
+
+	n := len(cfg.Rates)
+	s := &gatewaySim{
+		cfg:      cfg,
+		eng:      NewEngine(),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		inSystem: make([]int, n),
+		acc:      make([]*stats.TimeAverage, n),
+		served:   make([]int64, n),
+		sojourn:  make([]float64, n),
+	}
+	for i := range s.acc {
+		s.acc[i] = stats.NewTimeAverage(0)
+	}
+	switch cfg.Discipline {
+	case SimFairShare:
+		s.classes = substreamRates(cfg.Rates)
+		s.server = newPrioServer(s.eng, s.rng, cfg.Mu, n, true, s.depart)
+	case SimFairShareNonPreemptive:
+		s.classes = substreamRates(cfg.Rates)
+		s.server = newPrioServer(s.eng, s.rng, cfg.Mu, n, false, s.depart)
+	case SimFairQueueing:
+		s.server = newRoundRobinServer(s.eng, s.rng, cfg.Mu, n, s.depart)
+	default:
+		s.server = newPrioServer(s.eng, s.rng, cfg.Mu, 1, false, s.depart)
+	}
+	if cfg.TrackDistribution > 0 {
+		s.distTime = make([]float64, cfg.TrackDistribution+1)
+	}
+
+	// Prime the sources: plain Poisson connections schedule their
+	// first arrival; bursty ones start an ON period.
+	bursty := cfg.Burstiness > 1
+	if bursty {
+		s.srcOn = make([]bool, n)
+		s.srcPending = make([]Handle, n)
+	}
+	for i, r := range cfg.Rates {
+		if r <= 0 {
+			continue
+		}
+		if bursty {
+			s.srcOn[i] = true
+			s.scheduleArrival(i)
+			s.scheduleToggle(i, s.meanOn())
+		} else {
+			s.scheduleArrival(i)
+		}
+	}
+
+	// Warmup, reset, measure in batches.
+	if err := s.eng.Run(cfg.Warmup); err != nil {
+		return nil, err
+	}
+	s.snapshot(cfg.Warmup)
+	for i := range s.acc {
+		s.acc[i].Reset(cfg.Warmup)
+	}
+	for i := range s.served {
+		s.served[i] = 0
+		s.sojourn[i] = 0
+	}
+	for k := range s.distTime {
+		s.distTime[k] = 0
+	}
+	s.distLastT = cfg.Warmup
+	s.measure = true
+
+	batchMeans := make([][]float64, n)
+	batchStart := cfg.Warmup
+	batchLen := cfg.Duration / float64(cfg.Batches)
+	for b := 0; b < cfg.Batches; b++ {
+		end := batchStart + batchLen
+		if err := s.eng.Run(end); err != nil {
+			return nil, err
+		}
+		s.snapshot(end)
+		for i := range s.acc {
+			batchMeans[i] = append(batchMeans[i], s.acc[i].Value())
+			s.acc[i].Reset(end)
+		}
+		batchStart = end
+	}
+
+	res := &GatewayResult{
+		MeanQueue:       make([]float64, n),
+		QueueCI:         make([]stats.CI, n),
+		Served:          s.served,
+		MeanSojourn:     make([]float64, n),
+		MeasuredTime:    cfg.Duration,
+		BatchQueueMeans: batchMeans,
+	}
+	for i := 0; i < n; i++ {
+		res.MeanQueue[i] = stats.Mean(batchMeans[i])
+		ci, err := stats.MeanCI(batchMeans[i], 0.95)
+		if err != nil {
+			return nil, err
+		}
+		ci.Mean = res.MeanQueue[i]
+		res.QueueCI[i] = ci
+		res.TotalQueue += res.MeanQueue[i]
+		if s.served[i] > 0 {
+			res.MeanSojourn[i] = s.sojourn[i] / float64(s.served[i])
+		} else {
+			res.MeanSojourn[i] = math.NaN()
+		}
+	}
+	if s.distTime != nil {
+		res.TotalQueueDist = make([]float64, len(s.distTime))
+		for k, dt := range s.distTime {
+			res.TotalQueueDist[k] = dt / cfg.Duration
+		}
+	}
+	return res, nil
+}
+
+// snapshot folds the elapsed interval into every accumulator at time t.
+func (s *gatewaySim) snapshot(t float64) {
+	for i, a := range s.acc {
+		// Observe uses the value held since the previous observation;
+		// counts only change at event times, where we observe first.
+		if err := a.Observe(float64(s.inSystem[i]), t); err != nil {
+			panic(fmt.Sprintf("eventsim: %v", err))
+		}
+	}
+	if s.distTime != nil {
+		k := s.total
+		if k >= len(s.distTime) {
+			k = len(s.distTime) - 1
+		}
+		s.distTime[k] += t - s.distLastT
+		s.distLastT = t
+	}
+}
+
+// meanOn returns the mean ON-period duration for bursty sources.
+func (s *gatewaySim) meanOn() float64 {
+	if s.cfg.MeanOnTime > 0 {
+		return s.cfg.MeanOnTime
+	}
+	return 20 / s.cfg.Mu
+}
+
+// scheduleToggle flips connection i's on/off phase after an
+// exponential duration with the given mean.
+func (s *gatewaySim) scheduleToggle(i int, mean float64) {
+	at := s.eng.Now() + s.rng.ExpFloat64()*mean
+	if _, err := s.eng.Schedule(at, func() { s.toggle(i) }); err != nil {
+		panic(fmt.Sprintf("eventsim: %v", err))
+	}
+}
+
+func (s *gatewaySim) toggle(i int) {
+	if s.srcOn[i] {
+		s.srcOn[i] = false
+		s.srcPending[i].Cancel()
+		meanOff := s.meanOn() * (s.cfg.Burstiness - 1)
+		s.scheduleToggle(i, meanOff)
+		return
+	}
+	s.srcOn[i] = true
+	s.scheduleArrival(i)
+	s.scheduleToggle(i, s.meanOn())
+}
+
+// substreamRates builds the Table 1 decomposition used to thin each
+// connection's stream into priority classes: with rates sorted
+// ascending, class j (0 = highest priority) carries rate
+// sorted[j]−sorted[j−1] for every connection whose rate reaches it.
+// The result is indexed by original connection, then class.
+func substreamRates(rates []float64) [][]float64 {
+	n := len(rates)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return rates[order[a]] < rates[order[b]] })
+	sorted := make([]float64, n)
+	for pos, i := range order {
+		sorted[pos] = rates[i]
+	}
+	out := make([][]float64, n)
+	for pos, i := range order {
+		out[i] = make([]float64, n)
+		prev := 0.0
+		for j := 0; j <= pos; j++ {
+			out[i][j] = sorted[j] - prev
+			prev = sorted[j]
+		}
+	}
+	return out
+}
+
+// classFor samples the priority class of a new packet from connection
+// i: under Fair Share, by thinning (class j with probability
+// rate_ij / r_i); under fair queueing, the connection's own queue;
+// under FIFO, the single class.
+func (s *gatewaySim) classFor(i int) int {
+	switch s.cfg.Discipline {
+	case SimFIFO:
+		return 0
+	case SimFairQueueing:
+		return i
+	}
+	// Fair Share (preemptive or not): thin into Table 1 classes.
+	u := s.rng.Float64() * s.cfg.Rates[i]
+	acc := 0.0
+	for j, rj := range s.classes[i] {
+		acc += rj
+		if u < acc {
+			return j
+		}
+	}
+	return len(s.classes[i]) - 1 // rounding guard
+}
+
+func (s *gatewaySim) scheduleArrival(i int) {
+	rate := s.cfg.Rates[i]
+	if s.cfg.Burstiness > 1 {
+		rate *= s.cfg.Burstiness // peak rate during an ON period
+	}
+	at := s.eng.Now() + s.rng.ExpFloat64()/rate
+	h, err := s.eng.Schedule(at, func() { s.arrive(i) })
+	if err != nil {
+		panic(fmt.Sprintf("eventsim: %v", err))
+	}
+	if s.srcPending != nil {
+		s.srcPending[i] = h
+	}
+}
+
+func (s *gatewaySim) arrive(i int) {
+	now := s.eng.Now()
+	s.snapshot(now)
+	p := &packet{conn: i, class: s.classFor(i), arrived: now}
+	s.inSystem[i]++
+	s.total++
+	if s.srcOn == nil || s.srcOn[i] {
+		s.scheduleArrival(i)
+	}
+	s.server.admit(p)
+}
+
+func (s *gatewaySim) depart(p *packet) {
+	now := s.eng.Now()
+	s.snapshot(now)
+	s.inSystem[p.conn]--
+	s.total--
+	if s.measure {
+		s.served[p.conn]++
+		s.sojourn[p.conn] += now - p.arrived
+		if s.cfg.TrackSojourn != nil {
+			s.cfg.TrackSojourn.Add(now - p.arrived)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package eventsim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nettheory/feedbackflow/internal/queueing"
+)
+
+// close enough: within tolerance relative to want, or within 4 CI
+// half-widths.
+func queueClose(t *testing.T, label string, got, want, halfWide float64) {
+	t.Helper()
+	if math.Abs(got-want) > math.Max(0.05*(1+want), 4*halfWide) {
+		t.Errorf("%s: simulated %v vs analytic %v (CI half-width %v)", label, got, want, halfWide)
+	}
+}
+
+func TestSimulateGatewayValidation(t *testing.T) {
+	if _, err := SimulateGateway(GatewayConfig{Mu: 1}); err == nil {
+		t.Error("want error for no connections")
+	}
+	if _, err := SimulateGateway(GatewayConfig{Rates: []float64{0.5}, Mu: 0}); err == nil {
+		t.Error("want error for bad mu")
+	}
+	if _, err := SimulateGateway(GatewayConfig{Rates: []float64{-1}, Mu: 1}); err == nil {
+		t.Error("want error for negative rate")
+	}
+	if _, err := SimulateGateway(GatewayConfig{Rates: []float64{0, 0}, Mu: 1}); err == nil {
+		t.Error("want error for all-zero rates")
+	}
+}
+
+func TestMM1MatchesTheory(t *testing.T) {
+	// Single connection, ρ = 0.5: E[N] = 1, E[T] = 1/(μ−λ) = 2.
+	res, err := SimulateGateway(GatewayConfig{
+		Rates:    []float64{0.5},
+		Mu:       1,
+		Seed:     42,
+		Duration: 40000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queueClose(t, "E[N]", res.MeanQueue[0], 1, res.QueueCI[0].HalfWide)
+	if math.Abs(res.MeanSojourn[0]-2) > 0.15 {
+		t.Errorf("E[T] = %v, want ≈ 2", res.MeanSojourn[0])
+	}
+	// Throughput sanity: served ≈ λ·T.
+	wantServed := 0.5 * res.MeasuredTime
+	if math.Abs(float64(res.Served[0])-wantServed) > 0.05*wantServed {
+		t.Errorf("served %d, want ≈ %v", res.Served[0], wantServed)
+	}
+}
+
+func TestFIFOTwoConnectionsMatchTheory(t *testing.T) {
+	rates := []float64{0.1, 0.3}
+	want, err := queueing.FIFO{}.Queues(rates, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateGateway(GatewayConfig{
+		Rates:    rates,
+		Mu:       1,
+		Seed:     7,
+		Duration: 40000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rates {
+		queueClose(t, "FIFO Q", res.MeanQueue[i], want[i], res.QueueCI[i].HalfWide)
+	}
+	wantTotal, err := queueing.TotalQueue(rates, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queueClose(t, "FIFO total", res.TotalQueue, wantTotal, 0.05)
+}
+
+// The central validation (experiment E11): the simulated Fair Share
+// gateway matches the paper's preemptive-priority recursion.
+func TestFairShareMatchesRecursion(t *testing.T) {
+	rates := []float64{0.1, 0.2, 0.4}
+	want, err := queueing.FairShare{}.Queues(rates, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateGateway(GatewayConfig{
+		Rates:      rates,
+		Mu:         1,
+		Discipline: SimFairShare,
+		Seed:       11,
+		Duration:   60000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rates {
+		queueClose(t, "FS Q", res.MeanQueue[i], want[i], res.QueueCI[i].HalfWide)
+	}
+	// Work conservation: the FS total equals the FIFO total.
+	wantTotal, err := queueing.TotalQueue(rates, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queueClose(t, "FS total", res.TotalQueue, wantTotal, 0.1)
+}
+
+func TestFairShareProtectionUnderOverload(t *testing.T) {
+	// Connection 1 floods the gateway (ρ_tot > 1). Under Fair Share
+	// the low-rate connection still sees its analytic finite queue.
+	rates := []float64{0.1, 1.5}
+	res, err := SimulateGateway(GatewayConfig{
+		Rates:      rates,
+		Mu:         1,
+		Discipline: SimFairShare,
+		Seed:       3,
+		Duration:   20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantProtected := queueing.G(0.2) / 2 // shares only the hog's equal-priority substream
+	queueClose(t, "protected Q", res.MeanQueue[0], wantProtected, res.QueueCI[0].HalfWide)
+	// The hog's queue grows linearly in time: it must dwarf the
+	// protected queue.
+	if res.MeanQueue[1] < 100*res.MeanQueue[0] {
+		t.Errorf("hog queue %v should dwarf protected queue %v", res.MeanQueue[1], res.MeanQueue[0])
+	}
+	// The protected connection still gets its full throughput.
+	wantServed := 0.1 * res.MeasuredTime
+	if float64(res.Served[0]) < 0.9*wantServed {
+		t.Errorf("protected served %d, want ≈ %v", res.Served[0], wantServed)
+	}
+}
+
+func TestFIFOCollapseUnderOverload(t *testing.T) {
+	// Same overload under FIFO: the low-rate connection's queue also
+	// grows without bound (far above its stable-value analogue).
+	rates := []float64{0.1, 1.5}
+	res, err := SimulateGateway(GatewayConfig{
+		Rates:    rates,
+		Mu:       1,
+		Seed:     3,
+		Duration: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanQueue[0] < 10 {
+		t.Errorf("FIFO overload should drown connection 0 too, Q = %v", res.MeanQueue[0])
+	}
+}
+
+func TestZeroRateConnection(t *testing.T) {
+	res, err := SimulateGateway(GatewayConfig{
+		Rates:    []float64{0, 0.5},
+		Mu:       1,
+		Seed:     5,
+		Duration: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanQueue[0] != 0 {
+		t.Errorf("zero-rate queue = %v, want 0", res.MeanQueue[0])
+	}
+	if res.Served[0] != 0 {
+		t.Errorf("zero-rate served = %d, want 0", res.Served[0])
+	}
+	if !math.IsNaN(res.MeanSojourn[0]) {
+		t.Errorf("zero-rate sojourn = %v, want NaN", res.MeanSojourn[0])
+	}
+}
+
+func TestReproducibility(t *testing.T) {
+	cfg := GatewayConfig{
+		Rates:      []float64{0.2, 0.3},
+		Mu:         1,
+		Discipline: SimFairShare,
+		Seed:       99,
+		Duration:   2000,
+	}
+	a, err := SimulateGateway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateGateway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.MeanQueue {
+		if a.MeanQueue[i] != b.MeanQueue[i] {
+			t.Errorf("same seed diverged: %v vs %v", a.MeanQueue, b.MeanQueue)
+		}
+		if a.Served[i] != b.Served[i] {
+			t.Errorf("served diverged: %v vs %v", a.Served, b.Served)
+		}
+	}
+}
+
+func TestSubstreamRatesTable1(t *testing.T) {
+	// r = (1, 2, 3, 4): every used class carries rate 1 (the paper's
+	// Table 1 pattern).
+	out := substreamRates([]float64{1, 2, 3, 4})
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if j <= i {
+				want = 1
+			}
+			if math.Abs(out[i][j]-want) > 1e-12 {
+				t.Errorf("out[%d][%d] = %v, want %v", i, j, out[i][j], want)
+			}
+		}
+	}
+}
+
+func TestSubstreamRatesUnsortedRowSums(t *testing.T) {
+	rates := []float64{0.4, 0.1, 0.25}
+	out := substreamRates(rates)
+	for i, r := range rates {
+		sum := 0.0
+		for _, v := range out[i] {
+			if v < -1e-12 {
+				t.Errorf("negative substream rate %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-r) > 1e-12 {
+			t.Errorf("row %d sums to %v, want %v", i, sum, r)
+		}
+	}
+}
+
+func TestDisciplineKindString(t *testing.T) {
+	if SimFIFO.String() != "FIFO" || SimFairShare.String() != "FairShare" {
+		t.Error("unexpected kind names")
+	}
+	if DisciplineKind(9).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}

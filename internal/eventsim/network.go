@@ -1,0 +1,360 @@
+package eventsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/nettheory/feedbackflow/internal/stats"
+)
+
+// NetworkGateway describes one simulated gateway: an exponential
+// server of rate Mu whose outgoing line adds Latency.
+type NetworkGateway struct {
+	Mu      float64
+	Latency float64
+}
+
+// NetworkConfig parameterizes a multi-gateway packet-level simulation:
+// packets traverse their connection's route gateway by gateway, so —
+// unlike the analytic model — downstream gateways see the *actual*
+// departure process of upstream ones. For FIFO that process is Poisson
+// (Burke's theorem) and the analytic formulas remain exact; for Fair
+// Share it is not, which is precisely the paper's second modelling
+// approximation. This simulator measures the size of that
+// approximation error.
+type NetworkConfig struct {
+	// Gateways lists the servers.
+	Gateways []NetworkGateway
+	// Routes[i] is the ordered gateway indices of connection i. Routes
+	// must be non-empty and may not repeat a gateway.
+	Routes [][]int
+	// Rates are the Poisson source rates r_i.
+	Rates []float64
+	// Discipline selects FIFO or Fair Share service at every gateway.
+	Discipline DisciplineKind
+	// Seed drives all randomness.
+	Seed int64
+	// Warmup is the simulated time discarded before measuring
+	// (default 10% of Duration).
+	Warmup float64
+	// Duration is the measured simulated time (default 50000 divided
+	// by the smallest gateway rate).
+	Duration float64
+	// Batches is the batch-means count for confidence intervals
+	// (default 10).
+	Batches int
+}
+
+// NetworkResult holds the per-gateway, per-connection measurements.
+type NetworkResult struct {
+	// MeanQueue[a][i] is the time-average number of connection i's
+	// packets at gateway a; NaN when i does not cross a.
+	MeanQueue [][]float64
+	// QueueCI[a][i] is the 95% batch-means confidence interval for
+	// MeanQueue[a][i] (zero value when i does not cross a).
+	QueueCI [][]stats.CI
+	// Delivered[i] counts connection i's packets that completed their
+	// full route during measurement.
+	Delivered []int64
+	// MeanEndToEndDelay[i] is the average source-to-sink delay of
+	// delivered packets, including all line latencies (NaN when none
+	// delivered).
+	MeanEndToEndDelay []float64
+	// MeasuredTime is the measurement interval length.
+	MeasuredTime float64
+}
+
+type networkSim struct {
+	cfg     NetworkConfig
+	eng     *Engine
+	rng     *rand.Rand
+	servers []*prioServer
+	// classes[a] is the per-gateway Table 1 thinning decomposition,
+	// indexed by local connection position then class (FS only).
+	classes [][][]float64
+	// localIdx[a][i] is connection i's position within Γ(a).
+	localIdx []map[int]int
+	// conns[a] lists the connections crossing gateway a.
+	conns [][]int
+
+	inSystem  [][]int // [gateway][connection]
+	acc       [][]*stats.TimeAverage
+	delivered []int64
+	e2eSum    []float64
+	measure   bool
+}
+
+// SimulateNetwork runs a multi-gateway packet-level simulation.
+func SimulateNetwork(cfg NetworkConfig) (*NetworkResult, error) {
+	if err := validateNetworkConfig(&cfg); err != nil {
+		return nil, err
+	}
+	nGw, nConn := len(cfg.Gateways), len(cfg.Rates)
+	s := &networkSim{
+		cfg:       cfg,
+		eng:       NewEngine(),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		servers:   make([]*prioServer, nGw),
+		classes:   make([][][]float64, nGw),
+		localIdx:  make([]map[int]int, nGw),
+		conns:     make([][]int, nGw),
+		inSystem:  make([][]int, nGw),
+		acc:       make([][]*stats.TimeAverage, nGw),
+		delivered: make([]int64, nConn),
+		e2eSum:    make([]float64, nConn),
+	}
+	for i, route := range cfg.Routes {
+		for _, a := range route {
+			s.conns[a] = append(s.conns[a], i)
+		}
+	}
+	for a := 0; a < nGw; a++ {
+		s.localIdx[a] = make(map[int]int, len(s.conns[a]))
+		local := make([]float64, len(s.conns[a]))
+		for k, i := range s.conns[a] {
+			s.localIdx[a][i] = k
+			local[k] = cfg.Rates[i]
+		}
+		nClasses := 1
+		if cfg.Discipline == SimFairShare {
+			s.classes[a] = substreamRates(local)
+			nClasses = len(local)
+			if nClasses == 0 {
+				nClasses = 1
+			}
+		}
+		a := a // capture for the departure closure
+		s.servers[a] = newPrioServer(s.eng, s.rng, cfg.Gateways[a].Mu, nClasses,
+			cfg.Discipline == SimFairShare, func(p *packet) { s.depart(a, p) })
+		s.inSystem[a] = make([]int, nConn)
+		s.acc[a] = make([]*stats.TimeAverage, nConn)
+		for _, i := range s.conns[a] {
+			s.acc[a][i] = stats.NewTimeAverage(0)
+		}
+	}
+
+	for i, r := range cfg.Rates {
+		if r > 0 {
+			s.scheduleSource(i)
+		}
+	}
+
+	if err := s.eng.Run(cfg.Warmup); err != nil {
+		return nil, err
+	}
+	s.snapshotAll(cfg.Warmup)
+	for a := range s.acc {
+		for _, ta := range s.acc[a] {
+			if ta != nil {
+				ta.Reset(cfg.Warmup)
+			}
+		}
+	}
+	for i := range s.delivered {
+		s.delivered[i] = 0
+		s.e2eSum[i] = 0
+	}
+	s.measure = true
+
+	batchMeans := make([][][]float64, nGw) // [gateway][connection][batch]
+	for a := range batchMeans {
+		batchMeans[a] = make([][]float64, nConn)
+	}
+	batchLen := cfg.Duration / float64(cfg.Batches)
+	start := cfg.Warmup
+	for b := 0; b < cfg.Batches; b++ {
+		end := start + batchLen
+		if err := s.eng.Run(end); err != nil {
+			return nil, err
+		}
+		s.snapshotAll(end)
+		for a := range s.acc {
+			for i, ta := range s.acc[a] {
+				if ta == nil {
+					continue
+				}
+				batchMeans[a][i] = append(batchMeans[a][i], ta.Value())
+				ta.Reset(end)
+			}
+		}
+		start = end
+	}
+
+	res := &NetworkResult{
+		MeanQueue:         make([][]float64, nGw),
+		QueueCI:           make([][]stats.CI, nGw),
+		Delivered:         s.delivered,
+		MeanEndToEndDelay: make([]float64, nConn),
+		MeasuredTime:      cfg.Duration,
+	}
+	for a := 0; a < nGw; a++ {
+		res.MeanQueue[a] = make([]float64, nConn)
+		res.QueueCI[a] = make([]stats.CI, nConn)
+		for i := 0; i < nConn; i++ {
+			if s.acc[a][i] == nil {
+				res.MeanQueue[a][i] = math.NaN()
+				continue
+			}
+			res.MeanQueue[a][i] = stats.Mean(batchMeans[a][i])
+			ci, err := stats.MeanCI(batchMeans[a][i], 0.95)
+			if err != nil {
+				return nil, err
+			}
+			ci.Mean = res.MeanQueue[a][i]
+			res.QueueCI[a][i] = ci
+		}
+	}
+	for i := 0; i < nConn; i++ {
+		if s.delivered[i] > 0 {
+			res.MeanEndToEndDelay[i] = s.e2eSum[i] / float64(s.delivered[i])
+		} else {
+			res.MeanEndToEndDelay[i] = math.NaN()
+		}
+	}
+	return res, nil
+}
+
+func validateNetworkConfig(cfg *NetworkConfig) error {
+	if len(cfg.Gateways) == 0 {
+		return fmt.Errorf("eventsim: no gateways")
+	}
+	switch cfg.Discipline {
+	case SimFIFO, SimFairShare:
+	default:
+		return fmt.Errorf("eventsim: network simulation supports FIFO and FairShare, not %v", cfg.Discipline)
+	}
+	if len(cfg.Routes) != len(cfg.Rates) || len(cfg.Rates) == 0 {
+		return fmt.Errorf("eventsim: %d routes for %d rates", len(cfg.Routes), len(cfg.Rates))
+	}
+	minMu := math.Inf(1)
+	for a, g := range cfg.Gateways {
+		if g.Mu <= 0 || math.IsNaN(g.Mu) || math.IsInf(g.Mu, 0) {
+			return fmt.Errorf("eventsim: gateway %d has invalid rate %v", a, g.Mu)
+		}
+		if g.Latency < 0 || math.IsNaN(g.Latency) {
+			return fmt.Errorf("eventsim: gateway %d has invalid latency %v", a, g.Latency)
+		}
+		minMu = math.Min(minMu, g.Mu)
+	}
+	anyPositive := false
+	for i, r := range cfg.Rates {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("eventsim: invalid rate r[%d] = %v", i, r)
+		}
+		if r > 0 {
+			anyPositive = true
+		}
+	}
+	if !anyPositive {
+		return fmt.Errorf("eventsim: all rates are zero")
+	}
+	for i, route := range cfg.Routes {
+		if len(route) == 0 {
+			return fmt.Errorf("eventsim: connection %d has an empty route", i)
+		}
+		seen := map[int]bool{}
+		for _, a := range route {
+			if a < 0 || a >= len(cfg.Gateways) {
+				return fmt.Errorf("eventsim: connection %d references unknown gateway %d", i, a)
+			}
+			if seen[a] {
+				return fmt.Errorf("eventsim: connection %d repeats gateway %d", i, a)
+			}
+			seen[a] = true
+		}
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 50000 / minMu
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 0.1 * cfg.Duration
+	}
+	if cfg.Batches < 2 {
+		cfg.Batches = 10
+	}
+	return nil
+}
+
+// snapshotAll folds elapsed time into every live accumulator.
+func (s *networkSim) snapshotAll(t float64) {
+	for a := range s.acc {
+		s.snapshotGateway(a, t)
+	}
+}
+
+func (s *networkSim) snapshotGateway(a int, t float64) {
+	for i, ta := range s.acc[a] {
+		if ta == nil {
+			continue
+		}
+		if err := ta.Observe(float64(s.inSystem[a][i]), t); err != nil {
+			panic(fmt.Sprintf("eventsim: %v", err))
+		}
+	}
+}
+
+func (s *networkSim) classAt(a, conn int) int {
+	if s.cfg.Discipline == SimFIFO {
+		return 0
+	}
+	k := s.localIdx[a][conn]
+	rates := s.classes[a][k]
+	u := s.rng.Float64() * s.cfg.Rates[conn]
+	acc := 0.0
+	for j, rj := range rates {
+		acc += rj
+		if u < acc {
+			return j
+		}
+	}
+	return len(rates) - 1
+}
+
+func (s *networkSim) scheduleSource(i int) {
+	at := s.eng.Now() + s.rng.ExpFloat64()/s.cfg.Rates[i]
+	if _, err := s.eng.Schedule(at, func() { s.emit(i) }); err != nil {
+		panic(fmt.Sprintf("eventsim: %v", err))
+	}
+}
+
+// emit injects a fresh packet of connection i at the first gateway of
+// its route and schedules the next source arrival.
+func (s *networkSim) emit(i int) {
+	now := s.eng.Now()
+	s.scheduleSource(i)
+	p := &packet{conn: i, hop: 0, entered: now}
+	s.enter(s.cfg.Routes[i][0], p)
+}
+
+// enter delivers a packet to gateway a.
+func (s *networkSim) enter(a int, p *packet) {
+	now := s.eng.Now()
+	s.snapshotGateway(a, now)
+	s.inSystem[a][p.conn]++
+	p.class = s.classAt(a, p.conn)
+	p.arrived = now
+	s.servers[a].admit(p)
+}
+
+// depart handles a service completion at gateway a: the packet either
+// travels the line to its next hop or leaves the network.
+func (s *networkSim) depart(a int, p *packet) {
+	now := s.eng.Now()
+	s.snapshotGateway(a, now)
+	s.inSystem[a][p.conn]--
+	route := s.cfg.Routes[p.conn]
+	lat := s.cfg.Gateways[a].Latency
+	if p.hop+1 < len(route) {
+		p.hop++
+		next := route[p.hop]
+		if _, err := s.eng.Schedule(now+lat, func() { s.enter(next, p) }); err != nil {
+			panic(fmt.Sprintf("eventsim: %v", err))
+		}
+		return
+	}
+	if s.measure {
+		s.delivered[p.conn]++
+		s.e2eSum[p.conn] += now + lat - p.entered
+	}
+}

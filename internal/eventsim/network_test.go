@@ -1,0 +1,213 @@
+package eventsim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nettheory/feedbackflow/internal/queueing"
+)
+
+func TestSimulateNetworkValidation(t *testing.T) {
+	good := NetworkConfig{
+		Gateways: []NetworkGateway{{Mu: 1}},
+		Routes:   [][]int{{0}},
+		Rates:    []float64{0.5},
+		Duration: 100,
+	}
+	cases := []struct {
+		name   string
+		mutate func(*NetworkConfig)
+	}{
+		{"no gateways", func(c *NetworkConfig) { c.Gateways = nil }},
+		{"route/rate mismatch", func(c *NetworkConfig) { c.Rates = []float64{0.5, 0.5} }},
+		{"bad mu", func(c *NetworkConfig) { c.Gateways[0].Mu = 0 }},
+		{"bad latency", func(c *NetworkConfig) { c.Gateways[0].Latency = -1 }},
+		{"negative rate", func(c *NetworkConfig) { c.Rates[0] = -1 }},
+		{"all zero rates", func(c *NetworkConfig) { c.Rates[0] = 0 }},
+		{"empty route", func(c *NetworkConfig) { c.Routes[0] = nil }},
+		{"unknown gateway", func(c *NetworkConfig) { c.Routes[0] = []int{3} }},
+		{"repeated gateway", func(c *NetworkConfig) {
+			c.Gateways = append(c.Gateways, NetworkGateway{Mu: 1})
+			c.Routes[0] = []int{0, 0}
+		}},
+		{"unsupported discipline", func(c *NetworkConfig) { c.Discipline = SimFairQueueing }},
+	}
+	for _, cse := range cases {
+		cfg := good
+		cfg.Gateways = append([]NetworkGateway(nil), good.Gateways...)
+		cfg.Routes = [][]int{append([]int(nil), good.Routes[0]...)}
+		cfg.Rates = append([]float64(nil), good.Rates...)
+		cse.mutate(&cfg)
+		if _, err := SimulateNetwork(cfg); err == nil {
+			t.Errorf("%s: want error", cse.name)
+		}
+	}
+}
+
+func TestNetworkSingleGatewayMatchesGatewaySim(t *testing.T) {
+	// A one-gateway network must agree with the analytic M/M/1 model.
+	res, err := SimulateNetwork(NetworkConfig{
+		Gateways: []NetworkGateway{{Mu: 1, Latency: 0.5}},
+		Routes:   [][]int{{0}, {0}},
+		Rates:    []float64{0.2, 0.3},
+		Seed:     21,
+		Duration: 40000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := queueing.FIFO{}.Queues([]float64{0.2, 0.3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		queueClose(t, "network single gw", res.MeanQueue[0][i], want[i], res.QueueCI[0][i].HalfWide)
+	}
+	// End-to-end delay: latency + 1/(μ−λ) = 0.5 + 2.
+	wantD := 0.5 + 1/(1-0.5)
+	for i := range want {
+		if math.Abs(res.MeanEndToEndDelay[i]-wantD) > 0.2 {
+			t.Errorf("e2e delay[%d] = %v, want ≈ %v", i, res.MeanEndToEndDelay[i], wantD)
+		}
+	}
+}
+
+// TestBurkeTandemFIFO validates the model's Poisson-output assumption
+// for FIFO: by Burke's theorem the departure process of an M/M/1 queue
+// is Poisson, so the analytic formulas hold exactly at the downstream
+// gateway of a tandem.
+func TestBurkeTandemFIFO(t *testing.T) {
+	rates := []float64{0.2, 0.3}
+	res, err := SimulateNetwork(NetworkConfig{
+		Gateways: []NetworkGateway{{Mu: 1}, {Mu: 0.8}},
+		Routes:   [][]int{{0, 1}, {0, 1}},
+		Rates:    rates,
+		Seed:     5,
+		Duration: 60000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a, mu := range []float64{1, 0.8} {
+		want, err := queueing.FIFO{}.Queues(rates, mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rates {
+			queueClose(t, "tandem FIFO", res.MeanQueue[a][i], want[i], res.QueueCI[a][i].HalfWide)
+		}
+	}
+	// Delivered throughput ≈ offered.
+	for i, r := range rates {
+		want := r * res.MeasuredTime
+		if math.Abs(float64(res.Delivered[i])-want) > 0.05*want {
+			t.Errorf("delivered[%d] = %d, want ≈ %v", i, res.Delivered[i], want)
+		}
+	}
+}
+
+// TestTandemFairShareApproximation quantifies the paper's second
+// modelling approximation: Fair Share departures are not Poisson, so
+// the downstream analytic queues are approximate. The deviation should
+// be modest at moderate load (within ~15%) while the upstream gateway
+// remains exact.
+func TestTandemFairShareApproximation(t *testing.T) {
+	rates := []float64{0.1, 0.4}
+	res, err := SimulateNetwork(NetworkConfig{
+		Gateways:   []NetworkGateway{{Mu: 1}, {Mu: 1}},
+		Routes:     [][]int{{0, 1}, {0, 1}},
+		Rates:      rates,
+		Discipline: SimFairShare,
+		Seed:       9,
+		Duration:   60000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := queueing.FairShare{}.Queues(rates, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upstream gateway sees genuine Poisson arrivals: exact.
+	for i := range rates {
+		queueClose(t, "FS upstream", res.MeanQueue[0][i], want[i], res.QueueCI[0][i].HalfWide)
+	}
+	// Downstream: approximate, but not wildly off.
+	for i := range rates {
+		rel := math.Abs(res.MeanQueue[1][i]-want[i]) / (1 + want[i])
+		if rel > 0.15 {
+			t.Errorf("FS downstream conn %d deviates %.0f%% (sim %.4f vs analytic %.4f)",
+				i, 100*rel, res.MeanQueue[1][i], want[i])
+		}
+	}
+}
+
+func TestNetworkDisjointRoutes(t *testing.T) {
+	// Connections on disjoint gateways: NaN where a connection is
+	// absent, exact M/M/1 where present.
+	res, err := SimulateNetwork(NetworkConfig{
+		Gateways: []NetworkGateway{{Mu: 1}, {Mu: 2}},
+		Routes:   [][]int{{0}, {1}},
+		Rates:    []float64{0.5, 1.0},
+		Seed:     13,
+		Duration: 30000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(res.MeanQueue[1][0]) || !math.IsNaN(res.MeanQueue[0][1]) {
+		t.Error("absent connections should read NaN")
+	}
+	// Both gateways at load 0.5: Q = 1.
+	queueClose(t, "gw0", res.MeanQueue[0][0], 1, res.QueueCI[0][0].HalfWide)
+	queueClose(t, "gw1", res.MeanQueue[1][1], 1, res.QueueCI[1][1].HalfWide)
+}
+
+func TestNetworkReproducible(t *testing.T) {
+	cfg := NetworkConfig{
+		Gateways:   []NetworkGateway{{Mu: 1}, {Mu: 1}},
+		Routes:     [][]int{{0, 1}, {1}},
+		Rates:      []float64{0.2, 0.3},
+		Discipline: SimFairShare,
+		Seed:       77,
+		Duration:   2000,
+	}
+	a, err := SimulateNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gw := range a.MeanQueue {
+		for i := range a.MeanQueue[gw] {
+			av, bv := a.MeanQueue[gw][i], b.MeanQueue[gw][i]
+			if math.IsNaN(av) && math.IsNaN(bv) {
+				continue
+			}
+			if av != bv {
+				t.Fatalf("same seed diverged at gw %d conn %d: %v vs %v", gw, i, av, bv)
+			}
+		}
+	}
+}
+
+func TestNetworkZeroRateConnection(t *testing.T) {
+	res, err := SimulateNetwork(NetworkConfig{
+		Gateways: []NetworkGateway{{Mu: 1}},
+		Routes:   [][]int{{0}, {0}},
+		Rates:    []float64{0, 0.5},
+		Seed:     1,
+		Duration: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanQueue[0][0] != 0 {
+		t.Errorf("zero-rate queue = %v", res.MeanQueue[0][0])
+	}
+	if res.Delivered[0] != 0 || !math.IsNaN(res.MeanEndToEndDelay[0]) {
+		t.Error("zero-rate connection should deliver nothing")
+	}
+}

@@ -1,0 +1,56 @@
+package eventsim
+
+import (
+	"fmt"
+
+	"github.com/nettheory/feedbackflow/internal/stats"
+)
+
+// ReplicatedResult aggregates independent simulation replications:
+// the cross-replication mean and confidence interval of each
+// connection's mean queue. Replications are the gold-standard variance
+// estimate — unlike batch means they need no within-run independence
+// assumption.
+type ReplicatedResult struct {
+	// MeanQueue[i] is the across-replication average of connection
+	// i's mean queue length.
+	MeanQueue []float64
+	// QueueCI[i] is the 95% across-replication confidence interval.
+	QueueCI []stats.CI
+	// PerReplication[k] holds each replication's full result.
+	PerReplication []*GatewayResult
+}
+
+// Replicate runs k independent replications of cfg, using seeds
+// cfg.Seed, cfg.Seed+1, …, cfg.Seed+k−1, and aggregates them.
+func Replicate(cfg GatewayConfig, k int) (*ReplicatedResult, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("eventsim: need at least 2 replications, got %d", k)
+	}
+	out := &ReplicatedResult{PerReplication: make([]*GatewayResult, k)}
+	n := len(cfg.Rates)
+	samples := make([][]float64, n)
+	for rep := 0; rep < k; rep++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(rep)
+		res, err := SimulateGateway(c)
+		if err != nil {
+			return nil, err
+		}
+		out.PerReplication[rep] = res
+		for i := 0; i < n; i++ {
+			samples[i] = append(samples[i], res.MeanQueue[i])
+		}
+	}
+	out.MeanQueue = make([]float64, n)
+	out.QueueCI = make([]stats.CI, n)
+	for i := 0; i < n; i++ {
+		out.MeanQueue[i] = stats.Mean(samples[i])
+		ci, err := stats.MeanCI(samples[i], 0.95)
+		if err != nil {
+			return nil, err
+		}
+		out.QueueCI[i] = ci
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package eventsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReplicateValidation(t *testing.T) {
+	cfg := GatewayConfig{Rates: []float64{0.5}, Mu: 1, Duration: 1000}
+	if _, err := Replicate(cfg, 1); err == nil {
+		t.Error("want error for k < 2")
+	}
+	bad := cfg
+	bad.Mu = 0
+	if _, err := Replicate(bad, 3); err == nil {
+		t.Error("want propagated config error")
+	}
+}
+
+func TestReplicateAggregates(t *testing.T) {
+	cfg := GatewayConfig{
+		Rates:    []float64{0.5},
+		Mu:       1,
+		Seed:     100,
+		Duration: 8000,
+	}
+	res, err := Replicate(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerReplication) != 8 {
+		t.Fatalf("replication count %d", len(res.PerReplication))
+	}
+	// The true mean queue is 1; the 95% cross-replication CI should
+	// contain it (8 independent runs of 8000 time units).
+	if !res.QueueCI[0].Contains(1) {
+		t.Errorf("CI %v should contain the true value 1", res.QueueCI[0])
+	}
+	if math.Abs(res.MeanQueue[0]-1) > 0.15 {
+		t.Errorf("pooled mean %v, want ≈ 1", res.MeanQueue[0])
+	}
+	// Replications must actually differ (different seeds).
+	if res.PerReplication[0].MeanQueue[0] == res.PerReplication[1].MeanQueue[0] {
+		t.Error("replications should be independent")
+	}
+}
+
+func TestReplicateCINarrowsWithK(t *testing.T) {
+	cfg := GatewayConfig{
+		Rates:    []float64{0.4},
+		Mu:       1,
+		Seed:     7,
+		Duration: 4000,
+	}
+	small, err := Replicate(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Replicate(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.QueueCI[0].HalfWide >= small.QueueCI[0].HalfWide {
+		t.Errorf("CI should narrow with more replications: %v vs %v",
+			large.QueueCI[0].HalfWide, small.QueueCI[0].HalfWide)
+	}
+}

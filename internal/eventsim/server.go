@@ -1,0 +1,140 @@
+package eventsim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// servicePolicy selects how a prioServer picks the next packet.
+type servicePolicy int
+
+const (
+	// policyPriority serves the head of the lowest-index non-empty
+	// class, optionally preempting lower classes on arrival.
+	policyPriority servicePolicy = iota
+	// policyRoundRobin cycles over the classes, serving one packet
+	// from each non-empty class in turn, never preempting — the
+	// packet-by-packet fair queueing of Nagle [Nag87].
+	policyRoundRobin
+)
+
+// prioServer is one exponential server with class queues, shared by
+// the single-gateway and network simulators. With policyPriority,
+// preempt=false and a single class it is a plain FIFO M/M/1 server;
+// with preempt=true and one class per connection it implements the
+// Fair Share preemptive-resume priority discipline (lower class index
+// = higher priority). With policyRoundRobin and one class per
+// connection it is packet-by-packet fair queueing.
+//
+// Because service is exponential, a preempted packet's remaining
+// service time is redrawn on resume; by memorylessness the law of the
+// sample path statistics is unchanged.
+type prioServer struct {
+	eng     *Engine
+	rng     *rand.Rand
+	mu      float64
+	policy  servicePolicy
+	preempt bool
+	queues  [][]*packet
+	serving *packet
+	svcDone Handle
+	lastRR  int // class served most recently under round robin
+	// onDeparture is invoked after a packet finishes service, with the
+	// departed packet. The server has already moved on to the next
+	// packet (if any) when the callback runs.
+	onDeparture func(*packet)
+}
+
+// newPrioServer creates a priority server with nClasses classes.
+func newPrioServer(eng *Engine, rng *rand.Rand, mu float64, nClasses int, preempt bool, onDeparture func(*packet)) *prioServer {
+	return &prioServer{
+		eng:         eng,
+		rng:         rng,
+		mu:          mu,
+		policy:      policyPriority,
+		preempt:     preempt,
+		queues:      make([][]*packet, nClasses),
+		onDeparture: onDeparture,
+		lastRR:      nClasses - 1,
+	}
+}
+
+// newRoundRobinServer creates a packet-by-packet fair queueing server
+// with one class per connection.
+func newRoundRobinServer(eng *Engine, rng *rand.Rand, mu float64, nClasses int, onDeparture func(*packet)) *prioServer {
+	s := newPrioServer(eng, rng, mu, nClasses, false, onDeparture)
+	s.policy = policyRoundRobin
+	return s
+}
+
+// busy reports whether a packet is in service.
+func (s *prioServer) busy() bool { return s.serving != nil }
+
+// admit accepts an arriving packet, preempting the packet in service
+// when the preemptive discipline demands it.
+func (s *prioServer) admit(p *packet) {
+	switch {
+	case s.serving == nil:
+		s.start(p)
+	case s.preempt && p.class < s.serving.class:
+		// Preempt: the lower-priority packet returns to the head of
+		// its class queue.
+		s.svcDone.Cancel()
+		q := s.queues[s.serving.class]
+		s.queues[s.serving.class] = append([]*packet{s.serving}, q...)
+		s.start(p)
+	default:
+		s.queues[p.class] = append(s.queues[p.class], p)
+	}
+}
+
+func (s *prioServer) start(p *packet) {
+	s.serving = p
+	if s.policy == policyRoundRobin {
+		// The packet in service consumes its class's turn, including
+		// when it entered service directly on an idle server.
+		s.lastRR = p.class
+	}
+	at := s.eng.Now() + s.rng.ExpFloat64()/s.mu
+	h, err := s.eng.Schedule(at, s.complete)
+	if err != nil {
+		panic(fmt.Sprintf("eventsim: %v", err))
+	}
+	s.svcDone = h
+}
+
+func (s *prioServer) complete() {
+	p := s.serving
+	s.serving = nil
+	if next := s.pickNext(); next != nil {
+		s.start(next)
+	}
+	s.onDeparture(p)
+}
+
+// pickNext dequeues the next packet to serve according to the policy,
+// or returns nil when every class queue is empty.
+func (s *prioServer) pickNext() *packet {
+	n := len(s.queues)
+	switch s.policy {
+	case policyRoundRobin:
+		for k := 1; k <= n; k++ {
+			c := (s.lastRR + k) % n
+			if len(s.queues[c]) > 0 {
+				s.lastRR = c
+				next := s.queues[c][0]
+				s.queues[c] = s.queues[c][1:]
+				return next
+			}
+		}
+	default:
+		for c := 0; c < n; c++ {
+			if len(s.queues[c]) > 0 {
+				next := s.queues[c][0]
+				s.queues[c] = s.queues[c][1:]
+				return next
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package eventsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// collectServer wires a prioServer to a deterministic engine and
+// records departures in order.
+type collectServer struct {
+	eng  *Engine
+	srv  *prioServer
+	done []*packet
+}
+
+func newCollect(t *testing.T, nClasses int, preempt, roundRobin bool) *collectServer {
+	t.Helper()
+	c := &collectServer{eng: NewEngine()}
+	onDone := func(p *packet) { c.done = append(c.done, p) }
+	rng := rand.New(rand.NewSource(1))
+	if roundRobin {
+		c.srv = newRoundRobinServer(c.eng, rng, 1, nClasses, onDone)
+	} else {
+		c.srv = newPrioServer(c.eng, rng, 1, nClasses, preempt, onDone)
+	}
+	return c
+}
+
+func (c *collectServer) drain(t *testing.T) {
+	t.Helper()
+	for c.eng.Step() {
+	}
+}
+
+func TestServerFIFOOrder(t *testing.T) {
+	c := newCollect(t, 1, false, false)
+	for i := 0; i < 5; i++ {
+		c.srv.admit(&packet{conn: i, class: 0})
+	}
+	c.drain(t)
+	if len(c.done) != 5 {
+		t.Fatalf("served %d", len(c.done))
+	}
+	for i, p := range c.done {
+		if p.conn != i {
+			t.Errorf("position %d served conn %d, want %d (FIFO order)", i, p.conn, i)
+		}
+	}
+}
+
+func TestServerPriorityOrderWithoutPreemption(t *testing.T) {
+	// Non-preemptive priority: the in-service packet finishes, then
+	// the highest class is served regardless of arrival order.
+	c := newCollect(t, 3, false, false)
+	c.srv.admit(&packet{conn: 0, class: 2}) // starts service immediately
+	c.srv.admit(&packet{conn: 1, class: 2})
+	c.srv.admit(&packet{conn: 2, class: 0}) // should jump the queue but not preempt
+	c.drain(t)
+	got := []int{c.done[0].conn, c.done[1].conn, c.done[2].conn}
+	if got[0] != 0 || got[1] != 2 || got[2] != 1 {
+		t.Errorf("service order %v, want [0 2 1]", got)
+	}
+}
+
+func TestServerPreemption(t *testing.T) {
+	// Preemptive: the class-0 arrival interrupts the class-2 packet in
+	// service; the preempted packet resumes afterwards ahead of its
+	// class peers.
+	c := newCollect(t, 3, true, false)
+	c.srv.admit(&packet{conn: 0, class: 2})
+	c.srv.admit(&packet{conn: 1, class: 2})
+	if !c.srv.busy() {
+		t.Fatal("server should be busy")
+	}
+	c.srv.admit(&packet{conn: 2, class: 0}) // preempts conn 0
+	c.drain(t)
+	got := []int{c.done[0].conn, c.done[1].conn, c.done[2].conn}
+	if got[0] != 2 || got[1] != 0 || got[2] != 1 {
+		t.Errorf("service order %v, want [2 0 1] (preempt, resume at head)", got)
+	}
+}
+
+func TestServerRoundRobinOrder(t *testing.T) {
+	// Round robin over 3 classes with 2 packets each: service
+	// alternates among the classes.
+	c := newCollect(t, 3, false, true)
+	// Admit while idle: class 0's first packet enters service.
+	c.srv.admit(&packet{conn: 0, class: 0})
+	c.srv.admit(&packet{conn: 1, class: 0})
+	c.srv.admit(&packet{conn: 10, class: 1})
+	c.srv.admit(&packet{conn: 11, class: 1})
+	c.srv.admit(&packet{conn: 20, class: 2})
+	c.srv.admit(&packet{conn: 21, class: 2})
+	c.drain(t)
+	got := make([]int, len(c.done))
+	for i, p := range c.done {
+		got[i] = p.conn
+	}
+	// After the in-service packet (conn 0), RR cycles 1,2,0,1,2:
+	// conns 10, 20, 1, 11, 21.
+	want := []int{0, 10, 20, 1, 11, 21}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RR order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestServerRoundRobinNoPreemption(t *testing.T) {
+	c := newCollect(t, 2, false, true)
+	c.srv.admit(&packet{conn: 0, class: 1}) // enters service
+	c.srv.admit(&packet{conn: 1, class: 0}) // must NOT preempt under RR
+	c.drain(t)
+	if c.done[0].conn != 0 {
+		t.Errorf("first served %d, want 0 (no preemption)", c.done[0].conn)
+	}
+}
+
+func TestServerIdleAfterDrain(t *testing.T) {
+	c := newCollect(t, 1, false, false)
+	c.srv.admit(&packet{conn: 0, class: 0})
+	c.drain(t)
+	if c.srv.busy() {
+		t.Error("server should be idle after draining")
+	}
+	// A new admission restarts service.
+	c.srv.admit(&packet{conn: 1, class: 0})
+	c.drain(t)
+	if len(c.done) != 2 {
+		t.Errorf("served %d, want 2", len(c.done))
+	}
+}

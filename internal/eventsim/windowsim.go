@@ -1,0 +1,201 @@
+package eventsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/nettheory/feedbackflow/internal/stats"
+)
+
+// WindowGatewayConfig parameterizes a packet-level *window* flow
+// control simulation at one gateway: each connection keeps a fixed
+// integer window of packets in flight. A packet is serviced at the
+// gateway, then spends the connection's Latency returning (propagation
+// plus the receiver's ack path), and only then is the next packet
+// released — a closed queueing loop per connection.
+//
+// This is the packet-level counterpart of core.WindowSystem's
+// analytic model r = w/d(r). Little's law holds here exactly and
+// distribution-free (w = r·(W + latency) by construction), while the
+// analytic model's open-network (Poisson-arrival) approximation can be
+// measured against it.
+type WindowGatewayConfig struct {
+	// Windows[i] is connection i's fixed window (packets in flight),
+	// ≥ 0; at least one must be positive.
+	Windows []int
+	// Latency[i] is the per-round-trip delay outside the gateway.
+	Latency []float64
+	// Mu is the gateway's exponential service rate.
+	Mu float64
+	// Discipline selects the gateway service discipline. Window
+	// sources are not Poisson, so SimFairShare's thinning construction
+	// does not apply; supported: SimFIFO, SimFairQueueing.
+	Discipline DisciplineKind
+	// Seed drives all randomness.
+	Seed int64
+	// Warmup is discarded simulated time (default 10% of Duration).
+	Warmup float64
+	// Duration is the measured simulated time (default 50000/μ).
+	Duration float64
+}
+
+// WindowGatewayResult holds the measurements.
+type WindowGatewayResult struct {
+	// Throughput[i] is connection i's measured packet rate.
+	Throughput []float64
+	// MeanQueue[i] is the time-average number of connection i's
+	// packets at the gateway (queued + in service).
+	MeanQueue []float64
+	// MeanSojourn[i] is the mean gateway time of connection i's
+	// packets (NaN when none completed).
+	MeanSojourn []float64
+	// MeasuredTime is the measurement interval.
+	MeasuredTime float64
+}
+
+type windowSim struct {
+	cfg     WindowGatewayConfig
+	eng     *Engine
+	rng     *rand.Rand
+	server  *prioServer
+	inGw    []int
+	acc     []*stats.TimeAverage
+	served  []int64
+	sojourn []float64
+	measure bool
+}
+
+// SimulateWindowGateway runs the closed-loop window simulation.
+func SimulateWindowGateway(cfg WindowGatewayConfig) (*WindowGatewayResult, error) {
+	n := len(cfg.Windows)
+	if n == 0 {
+		return nil, fmt.Errorf("eventsim: no connections")
+	}
+	if len(cfg.Latency) != n {
+		return nil, fmt.Errorf("eventsim: %d latencies for %d windows", len(cfg.Latency), n)
+	}
+	anyPositive := false
+	for i, w := range cfg.Windows {
+		if w < 0 {
+			return nil, fmt.Errorf("eventsim: negative window w[%d] = %d", i, w)
+		}
+		if w > 0 {
+			anyPositive = true
+		}
+		if cfg.Latency[i] <= 0 || math.IsNaN(cfg.Latency[i]) || math.IsInf(cfg.Latency[i], 0) {
+			return nil, fmt.Errorf("eventsim: invalid latency l[%d] = %v (must be positive)", i, cfg.Latency[i])
+		}
+	}
+	if !anyPositive {
+		return nil, fmt.Errorf("eventsim: all windows are zero")
+	}
+	if cfg.Mu <= 0 || math.IsNaN(cfg.Mu) || math.IsInf(cfg.Mu, 0) {
+		return nil, fmt.Errorf("eventsim: invalid service rate %v", cfg.Mu)
+	}
+	switch cfg.Discipline {
+	case SimFIFO, SimFairQueueing:
+	default:
+		return nil, fmt.Errorf("eventsim: window sources support FIFO and FairQueueing, not %v", cfg.Discipline)
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 50000 / cfg.Mu
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 0.1 * cfg.Duration
+	}
+
+	s := &windowSim{
+		cfg:     cfg,
+		eng:     NewEngine(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		inGw:    make([]int, n),
+		acc:     make([]*stats.TimeAverage, n),
+		served:  make([]int64, n),
+		sojourn: make([]float64, n),
+	}
+	for i := range s.acc {
+		s.acc[i] = stats.NewTimeAverage(0)
+	}
+	if cfg.Discipline == SimFairQueueing {
+		s.server = newRoundRobinServer(s.eng, s.rng, cfg.Mu, n, s.depart)
+	} else {
+		s.server = newPrioServer(s.eng, s.rng, cfg.Mu, 1, false, s.depart)
+	}
+	// Release every window's packets at time zero.
+	for i, w := range cfg.Windows {
+		for k := 0; k < w; k++ {
+			s.enter(i)
+		}
+	}
+
+	if err := s.eng.Run(cfg.Warmup); err != nil {
+		return nil, err
+	}
+	s.snapshot(cfg.Warmup)
+	for i := range s.acc {
+		s.acc[i].Reset(cfg.Warmup)
+		s.served[i] = 0
+		s.sojourn[i] = 0
+	}
+	s.measure = true
+	end := cfg.Warmup + cfg.Duration
+	if err := s.eng.Run(end); err != nil {
+		return nil, err
+	}
+	s.snapshot(end)
+
+	res := &WindowGatewayResult{
+		Throughput:   make([]float64, n),
+		MeanQueue:    make([]float64, n),
+		MeanSojourn:  make([]float64, n),
+		MeasuredTime: cfg.Duration,
+	}
+	for i := 0; i < n; i++ {
+		res.Throughput[i] = float64(s.served[i]) / cfg.Duration
+		res.MeanQueue[i] = s.acc[i].Value()
+		if s.served[i] > 0 {
+			res.MeanSojourn[i] = s.sojourn[i] / float64(s.served[i])
+		} else {
+			res.MeanSojourn[i] = math.NaN()
+		}
+	}
+	return res, nil
+}
+
+func (s *windowSim) snapshot(t float64) {
+	for i, a := range s.acc {
+		if err := a.Observe(float64(s.inGw[i]), t); err != nil {
+			panic(fmt.Sprintf("eventsim: %v", err))
+		}
+	}
+}
+
+// enter releases one of connection i's packets into the gateway.
+func (s *windowSim) enter(i int) {
+	now := s.eng.Now()
+	s.snapshot(now)
+	s.inGw[i]++
+	class := 0
+	if s.cfg.Discipline == SimFairQueueing {
+		class = i
+	}
+	s.server.admit(&packet{conn: i, class: class, arrived: now})
+}
+
+// depart records the service completion and schedules the packet's
+// return (ack) after the connection's latency, which releases the next
+// packet of the window.
+func (s *windowSim) depart(p *packet) {
+	now := s.eng.Now()
+	s.snapshot(now)
+	s.inGw[p.conn]--
+	if s.measure {
+		s.served[p.conn]++
+		s.sojourn[p.conn] += now - p.arrived
+	}
+	i := p.conn
+	if _, err := s.eng.Schedule(now+s.cfg.Latency[i], func() { s.enter(i) }); err != nil {
+		panic(fmt.Sprintf("eventsim: %v", err))
+	}
+}

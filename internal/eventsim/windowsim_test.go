@@ -1,0 +1,186 @@
+package eventsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWindowSimValidation(t *testing.T) {
+	good := WindowGatewayConfig{
+		Windows:  []int{2},
+		Latency:  []float64{1},
+		Mu:       1,
+		Duration: 100,
+	}
+	cases := []struct {
+		name   string
+		mutate func(*WindowGatewayConfig)
+	}{
+		{"no connections", func(c *WindowGatewayConfig) { c.Windows = nil; c.Latency = nil }},
+		{"latency length", func(c *WindowGatewayConfig) { c.Latency = []float64{1, 2} }},
+		{"negative window", func(c *WindowGatewayConfig) { c.Windows[0] = -1 }},
+		{"all zero windows", func(c *WindowGatewayConfig) { c.Windows[0] = 0 }},
+		{"zero latency", func(c *WindowGatewayConfig) { c.Latency[0] = 0 }},
+		{"bad mu", func(c *WindowGatewayConfig) { c.Mu = 0 }},
+		{"FS unsupported", func(c *WindowGatewayConfig) { c.Discipline = SimFairShare }},
+	}
+	for _, cse := range cases {
+		cfg := good
+		cfg.Windows = append([]int(nil), good.Windows...)
+		cfg.Latency = append([]float64(nil), good.Latency...)
+		cse.mutate(&cfg)
+		if _, err := SimulateWindowGateway(cfg); err == nil {
+			t.Errorf("%s: want error", cse.name)
+		}
+	}
+}
+
+// Little's law holds exactly (distribution-free) in the closed loop:
+// w = r·(W_gateway + latency).
+func TestWindowSimLittlesLaw(t *testing.T) {
+	res, err := SimulateWindowGateway(WindowGatewayConfig{
+		Windows:  []int{3, 5},
+		Latency:  []float64{2, 4},
+		Mu:       1,
+		Seed:     41,
+		Duration: 40000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range []float64{3, 5} {
+		lat := []float64{2, 4}[i]
+		got := res.Throughput[i] * (res.MeanSojourn[i] + lat)
+		if math.Abs(got-w) > 0.03*w {
+			t.Errorf("conn %d: r·(W+l) = %v, want w = %v", i, got, w)
+		}
+	}
+}
+
+// Equal windows ⇒ throughput inversely proportional to round-trip
+// time, regardless of arrival distributions (E19's claim, packet
+// level).
+func TestWindowSimEqualWindowsRTTRatio(t *testing.T) {
+	res, err := SimulateWindowGateway(WindowGatewayConfig{
+		Windows:  []int{4, 4},
+		Latency:  []float64{1, 6},
+		Mu:       1,
+		Seed:     43,
+		Duration: 40000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := res.Throughput[0] / res.Throughput[1]
+	rtt0 := res.MeanSojourn[0] + 1
+	rtt1 := res.MeanSojourn[1] + 6
+	want := rtt1 / rtt0
+	if math.Abs(ratio-want)/want > 0.05 {
+		t.Errorf("throughput ratio %v vs RTT ratio %v", ratio, want)
+	}
+	if res.Throughput[0] <= res.Throughput[1] {
+		t.Error("short-RTT connection should be faster")
+	}
+}
+
+// In the latency-dominated regime the open-network analytic model of
+// core.WindowSystem agrees with the closed-loop packet simulation.
+func TestWindowSimLatencyDominatedMatchesAnalytic(t *testing.T) {
+	const (
+		w   = 4.0
+		lat = 20.0
+		mu  = 1.0
+	)
+	res, err := SimulateWindowGateway(WindowGatewayConfig{
+		Windows:  []int{4},
+		Latency:  []float64{lat},
+		Mu:       mu,
+		Seed:     47,
+		Duration: 60000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open-model fixed point: r = w/(lat + 1/(μ−r)).
+	r := 0.1
+	for it := 0; it < 1000; it++ {
+		r = 0.5*r + 0.5*w/(lat+1/(mu-r))
+	}
+	if math.Abs(res.Throughput[0]-r)/r > 0.05 {
+		t.Errorf("simulated throughput %v vs open-model %v", res.Throughput[0], r)
+	}
+}
+
+// The closed loop bounds outstanding packets, so a congested gateway
+// with window sources never diverges: total queue ≤ Σw.
+func TestWindowSimBoundedQueues(t *testing.T) {
+	res, err := SimulateWindowGateway(WindowGatewayConfig{
+		Windows:  []int{10, 10},
+		Latency:  []float64{0.1, 0.1},
+		Mu:       1,
+		Seed:     53,
+		Duration: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.MeanQueue[0] + res.MeanQueue[1]
+	if total > 20 {
+		t.Errorf("mean queue %v exceeds the window bound 20", total)
+	}
+	if total < 15 {
+		t.Errorf("with tiny latency nearly the whole window should sit at the gateway, got %v", total)
+	}
+	// Saturated gateway: total throughput ≈ μ.
+	if sum := res.Throughput[0] + res.Throughput[1]; math.Abs(sum-1) > 0.05 {
+		t.Errorf("saturated throughput %v, want ≈ 1", sum)
+	}
+}
+
+// Fair queueing splits a saturated gateway evenly between unequal
+// windows, while FIFO splits in proportion to the windows.
+func TestWindowSimFairQueueingEqualizesThroughput(t *testing.T) {
+	cfg := WindowGatewayConfig{
+		Windows:  []int{2, 10},
+		Latency:  []float64{0.1, 0.1},
+		Mu:       1,
+		Seed:     59,
+		Duration: 40000,
+	}
+	fifo, err := SimulateWindowGateway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Discipline = SimFairQueueing
+	fq, err := SimulateWindowGateway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifoRatio := fifo.Throughput[1] / fifo.Throughput[0]
+	fqRatio := fq.Throughput[1] / fq.Throughput[0]
+	if fifoRatio < 3 {
+		t.Errorf("FIFO should reward the big window (ratio %v)", fifoRatio)
+	}
+	if fqRatio > 1.2 {
+		t.Errorf("fair queueing should equalize (ratio %v)", fqRatio)
+	}
+}
+
+func TestWindowSimZeroWindowConnection(t *testing.T) {
+	res, err := SimulateWindowGateway(WindowGatewayConfig{
+		Windows:  []int{0, 3},
+		Latency:  []float64{1, 1},
+		Mu:       1,
+		Seed:     61,
+		Duration: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput[0] != 0 || res.MeanQueue[0] != 0 {
+		t.Errorf("zero-window connection should be silent: %+v", res)
+	}
+	if !math.IsNaN(res.MeanSojourn[0]) {
+		t.Errorf("zero-window sojourn = %v, want NaN", res.MeanSojourn[0])
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/textplot"
+)
+
+func init() {
+	register(Spec{ID: "E1", Title: "Fair Share priority decomposition (Table 1)", Run: E1Table1})
+}
+
+// E1Table1 regenerates Table 1 of the paper: the Fair Share service
+// discipline's assignment of each connection's Poisson stream to
+// priority classes, for four connections with increasing rates.
+func E1Table1() (*Result, error) {
+	res := &Result{
+		ID:     "E1",
+		Title:  "Fair Share priority decomposition",
+		Source: "Table 1 (Section 2.2)",
+		Pass:   true,
+	}
+	rates := []float64{1, 2, 3, 4} // the paper's r1 < r2 < r3 < r4
+	table, perm := queueing.PriorityDecomposition(rates)
+
+	tb := textplot.NewTable("FS priority level (rate assigned per class; '-' = none)",
+		"connection", "A", "B", "C", "D")
+	for i := range rates {
+		row := []string{fmt.Sprintf("%d", perm[i]+1)}
+		for j := range rates {
+			if j > i {
+				row = append(row, "-")
+			} else {
+				row = append(row, symbolic(rates, j))
+			}
+		}
+		tb.AddRow(row...)
+	}
+	res.Text = tb.String() + "\nWith r = (1, 2, 3, 4) every used cell carries rate 1:\n" + numericTable(table).String()
+
+	// Checks: row sums reproduce rates; triangular; per-class equality.
+	maxErr := 0.0
+	for i := range rates {
+		sum := 0.0
+		for j := range rates {
+			sum += table[i][j]
+		}
+		if e := math.Abs(sum - rates[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	res.note(maxErr < 1e-12, "row sums reproduce the connection rates (max err %.2g)", maxErr)
+
+	tri := true
+	for i := range rates {
+		for j := i + 1; j < len(rates); j++ {
+			if table[i][j] != 0 {
+				tri = false
+			}
+		}
+	}
+	res.note(tri, "decomposition is triangular: class j used only by connections with rank >= j")
+
+	equal := true
+	for j := range rates {
+		for i := j + 1; i < len(rates); i++ {
+			if math.Abs(table[i][j]-table[j][j]) > 1e-12 {
+				equal = false
+			}
+		}
+	}
+	res.note(equal, "within a class, every participating connection carries the same rate")
+	return res, nil
+}
+
+// symbolic renders cell (·, j) of Table 1 the way the paper prints it:
+// r_{j+1} − r_j in symbols.
+func symbolic(rates []float64, j int) string {
+	if j == 0 {
+		return "r1"
+	}
+	return fmt.Sprintf("r%d-r%d", j+1, j)
+}
+
+func numericTable(table [][]float64) *textplot.Table {
+	tb := textplot.NewTable("", "connection", "A", "B", "C", "D")
+	for i, row := range table {
+		cells := []string{fmt.Sprintf("%d", i+1)}
+		for j, v := range row {
+			if j > i {
+				cells = append(cells, "-")
+			} else {
+				cells = append(cells, fmt.Sprintf("%g", v))
+			}
+		}
+		tb.AddRow(cells...)
+	}
+	return tb
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nettheory/feedbackflow/internal/control"
+	"github.com/nettheory/feedbackflow/internal/core"
+	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/signal"
+	"github.com/nettheory/feedbackflow/internal/textplot"
+	"github.com/nettheory/feedbackflow/internal/topology"
+)
+
+func init() {
+	register(Spec{ID: "E2", Title: "Time-scale invariance of TSI laws (Theorem 1)", Run: E2TimeScaleInvariance})
+}
+
+// E2TimeScaleInvariance verifies Theorem 1's two predictions on a
+// multi-bottleneck network: for a TSI rate adjustment law the steady
+// state scales linearly with the server rates and is independent of
+// the line latencies; and for the non-TSI (but guaranteed fair)
+// rate-based LIMD law, the steady state does not scale.
+func E2TimeScaleInvariance() (*Result, error) {
+	res := &Result{
+		ID:     "E2",
+		Title:  "Time-scale invariance of TSI laws",
+		Source: "Theorem 1 (Section 3.1) and the non-TSI example of Section 3.2",
+		Pass:   true,
+	}
+	const bss = 0.5
+	net, err := topology.ParkingLot(3, 1, 0.1)
+	if err != nil {
+		return nil, err
+	}
+	n := net.NumConnections()
+	r0 := make([]float64, n)
+	for i := range r0 {
+		r0[i] = 0.05
+	}
+
+	runTSI := func(scaled *topology.Network, c float64) ([]float64, error) {
+		law := control.AdditiveTSI{Eta: 0.05 * c, BSS: bss}
+		sys, err := core.NewSystem(scaled, queueing.FairShare{}, signal.Individual, signal.Rational{}, control.Uniform(law, n))
+		if err != nil {
+			return nil, err
+		}
+		start := make([]float64, n)
+		for i := range start {
+			start[i] = r0[i] * c
+		}
+		out, err := sys.Run(start, core.RunOptions{MaxSteps: 200000, Tol: 1e-12})
+		if err != nil {
+			return nil, err
+		}
+		if !out.Converged {
+			return nil, fmt.Errorf("experiments: TSI run at scale %g did not converge", c)
+		}
+		return out.Rates, nil
+	}
+
+	baseline, err := runTSI(net, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	scales := []float64{1e-3, 1e-1, 1, 1e1, 1e3}
+	tb := textplot.NewTable("Steady state under server-rate scaling (TSI law, individual+FS)",
+		"scale c", "r_long/c", "r_cross1/c", "max dev vs c=1")
+	maxDev := 0.0
+	for _, c := range scales {
+		scaled, err := net.ScaleServers(c)
+		if err != nil {
+			return nil, err
+		}
+		r, err := runTSI(scaled, c)
+		if err != nil {
+			return nil, err
+		}
+		dev := 0.0
+		for i := range r {
+			d := math.Abs(r[i]/c - baseline[i])
+			if d > dev {
+				dev = d
+			}
+		}
+		if dev > maxDev {
+			maxDev = dev
+		}
+		tb.AddRow(fmt.Sprintf("%g", c), fmt.Sprintf("%.6f", r[0]/c), fmt.Sprintf("%.6f", r[1]/c), fmt.Sprintf("%.2g", dev))
+	}
+	res.note(maxDev < 1e-5, "TSI steady state scales linearly across 6 decades of server rate (max dev %.2g)", maxDev)
+
+	// Latency independence.
+	latencies := [][]float64{{0, 0, 0}, {0.5, 1, 2}, {100, 50, 10}}
+	tbl := textplot.NewTable("Steady state under latency changes (TSI law)",
+		"latencies", "r_long", "r_cross1", "max dev vs baseline")
+	maxLatDev := 0.0
+	for _, lat := range latencies {
+		latNet, err := net.WithLatencies(lat)
+		if err != nil {
+			return nil, err
+		}
+		r, err := runTSI(latNet, 1)
+		if err != nil {
+			return nil, err
+		}
+		dev := 0.0
+		for i := range r {
+			if d := math.Abs(r[i] - baseline[i]); d > dev {
+				dev = d
+			}
+		}
+		if dev > maxLatDev {
+			maxLatDev = dev
+		}
+		tbl.AddRow(fmt.Sprintf("%v", lat), fmt.Sprintf("%.6f", r[0]), fmt.Sprintf("%.6f", r[1]), fmt.Sprintf("%.2g", dev))
+	}
+	res.note(maxLatDev < 1e-6, "TSI steady state is latency-invariant (max dev %.2g)", maxLatDev)
+
+	// Contrast: the guaranteed-fair but non-TSI law f = (1−b)η − βbr
+	// has steady rate r = η(1−b)/(βb), which does not scale with μ.
+	tbn := textplot.NewTable("Non-TSI fair law f=(1-b)η-βbr on a single gateway (N=2)",
+		"scale c", "Σr / (c·μ)", "fair (equal rates)")
+	sg, err := topology.SingleGateway(2, 1, 0)
+	if err != nil {
+		return nil, err
+	}
+	var loads []float64
+	for _, c := range []float64{1, 10, 100} {
+		scaled, err := sg.ScaleServers(c)
+		if err != nil {
+			return nil, err
+		}
+		law := control.FairRateLIMD{Eta: 0.2, Beta: 1}
+		sys, err := core.NewSystem(scaled, queueing.FIFO{}, signal.Aggregate, signal.Rational{}, control.Uniform(law, 2))
+		if err != nil {
+			return nil, err
+		}
+		out, err := sys.Run([]float64{0.1 * c, 0.3 * c}, core.RunOptions{MaxSteps: 200000})
+		if err != nil {
+			return nil, err
+		}
+		if !out.Converged {
+			return nil, fmt.Errorf("experiments: non-TSI run at scale %g did not converge", c)
+		}
+		load := (out.Rates[0] + out.Rates[1]) / c
+		loads = append(loads, load)
+		fair := math.Abs(out.Rates[0]-out.Rates[1]) < 1e-6*(1+out.Rates[0])
+		tbn.AddRowValues(fmt.Sprintf("%g", c), fmt.Sprintf("%.4f", load), fair)
+		if !fair {
+			res.note(false, "non-TSI law should still be fair at scale %g", c)
+		}
+	}
+	nonScaling := math.Abs(loads[0]-loads[len(loads)-1]) > 0.05
+	res.note(nonScaling, "non-TSI law's normalized load changes with scale (%.4f -> %.4f): not TSI",
+		loads[0], loads[len(loads)-1])
+
+	res.Text = tb.String() + "\n" + tbl.String() + "\n" + tbn.String()
+	return res, nil
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nettheory/feedbackflow/internal/control"
+	"github.com/nettheory/feedbackflow/internal/core"
+	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/signal"
+	"github.com/nettheory/feedbackflow/internal/stability"
+	"github.com/nettheory/feedbackflow/internal/textplot"
+	"github.com/nettheory/feedbackflow/internal/topology"
+)
+
+func init() {
+	register(Spec{ID: "E5", Title: "Aggregate feedback stability boundary: unilateral vs systemic (Section 3.3 example)", Run: E5StabilityBoundary})
+}
+
+// E5StabilityBoundary reproduces the Section 3.3 instability example:
+// with B(C) = C/(1+C) and f = η(β−b) on a single unit-rate gateway,
+// the stability matrix is DF = I − ηJ, whose leading eigenvalue is
+// 1 − ηN. Unilateral stability needs only η < 2, but systemic
+// stability needs η < 2/N, so for any fixed η the system destabilizes
+// as N grows. The experiment measures the systemic boundary by
+// bisection on the spectral radius and confirms η_crit ≈ 2/N.
+func E5StabilityBoundary() (*Result, error) {
+	res := &Result{
+		ID:     "E5",
+		Title:  "Aggregate feedback stability boundary",
+		Source: "Section 3.3 instability example (DF = I − ηJ, leading eigenvalue 1 − ηN)",
+		Pass:   true,
+	}
+	const bss = 0.5
+	ns := []int{2, 4, 8, 16, 32}
+
+	// radius returns the transverse spectral radius — the largest
+	// eigenvalue magnitude after excluding the manifold directions,
+	// which carry eigenvalue exactly 1 (Section 2.4.3 requires only
+	// deviations perpendicular to the steady-state manifold to
+	// dissipate) — together with max |DF_ii|.
+	radius := func(n int, eta float64) (float64, float64, error) {
+		net, err := topology.SingleGateway(n, 1, 0)
+		if err != nil {
+			return 0, 0, err
+		}
+		law := control.AdditiveTSI{Eta: eta, BSS: bss}
+		sys, err := core.NewSystem(net, queueing.FIFO{}, signal.Aggregate, signal.Rational{}, control.Uniform(law, n))
+		if err != nil {
+			return 0, 0, err
+		}
+		r := make([]float64, n)
+		for i := range r {
+			r[i] = bss / float64(n)
+		}
+		df, err := stability.Jacobian(sys.StepFunc(), r, 1e-7, stability.Central)
+		if err != nil {
+			return 0, 0, err
+		}
+		rep, err := stability.Analyze(df, 1e-6)
+		if err != nil {
+			return 0, 0, err
+		}
+		transverse := 0.0
+		for _, ev := range rep.Eigenvalues {
+			if math.Hypot(real(ev)-1, imag(ev)) <= 1e-6 {
+				continue // manifold direction
+			}
+			if m := math.Hypot(real(ev), imag(ev)); m > transverse {
+				transverse = m
+			}
+		}
+		return transverse, rep.MaxAbsDiag, nil
+	}
+
+	tb := textplot.NewTable("Systemic stability boundary vs N (aggregate feedback, μ=1)",
+		"N", "predicted η_crit = 2/N", "measured η_crit", "|DF_ii| at η=1.5 (unilateral OK?)", "radius at η=1.5")
+	maxErr := 0.0
+	for _, n := range ns {
+		// Bisect the spectral radius = 1 crossing in η ∈ (0, 2).
+		lo, hi := 1e-4, 2.0
+		for it := 0; it < 50; it++ {
+			mid := 0.5 * (lo + hi)
+			rad, _, err := radius(n, mid)
+			if err != nil {
+				return nil, err
+			}
+			if rad < 1 {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		measured := 0.5 * (lo + hi)
+		predicted := 2 / float64(n)
+		if e := math.Abs(measured-predicted) / predicted; e > maxErr {
+			maxErr = e
+		}
+		radAt, diagAt, err := radius(n, 1.5)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRowValues(n, fmt.Sprintf("%.4f", predicted), fmt.Sprintf("%.4f", measured),
+			fmt.Sprintf("%.3f (%v)", diagAt, diagAt < 1), fmt.Sprintf("%.3f", radAt))
+	}
+	res.note(maxErr < 1e-3, "measured systemic boundary matches 2/N within %.2g relative error", maxErr)
+
+	// At η = 1.5 every N is unilaterally stable; systemic stability
+	// fails exactly when ηN > 2 (N ≥ 2 here).
+	unilateralOK, systemicFails := true, true
+	for _, n := range ns {
+		rad, diag, err := radius(n, 1.5)
+		if err != nil {
+			return nil, err
+		}
+		if diag >= 1 {
+			unilateralOK = false
+		}
+		if 1.5*float64(n) > 2 && rad < 1 {
+			systemicFails = false
+		}
+	}
+	res.note(unilateralOK, "η=1.5 < 2 is unilaterally stable for every N")
+	res.note(systemicFails, "η=1.5 is systemically unstable whenever ηN > 2: unilateral stability does not imply systemic stability")
+
+	// Dynamic confirmation: iterate N=8, η=1.5 from a perturbed fair
+	// point; it must not converge, while η=0.2 must.
+	dynamic := func(eta float64) (bool, error) {
+		n := 8
+		net, err := topology.SingleGateway(n, 1, 0)
+		if err != nil {
+			return false, err
+		}
+		law := control.AdditiveTSI{Eta: eta, BSS: bss}
+		sys, err := core.NewSystem(net, queueing.FIFO{}, signal.Aggregate, signal.Rational{}, control.Uniform(law, n))
+		if err != nil {
+			return false, err
+		}
+		r0 := make([]float64, n)
+		for i := range r0 {
+			r0[i] = bss/float64(n) + 1e-3*float64(i-4)
+		}
+		out, err := sys.Run(r0, core.RunOptions{MaxSteps: 5000})
+		if err != nil {
+			return false, err
+		}
+		return out.Converged, nil
+	}
+	conv, err := dynamic(0.2)
+	if err != nil {
+		return nil, err
+	}
+	res.note(conv, "iteration with η=0.2 (ηN=1.6<2) converges")
+	conv, err = dynamic(1.5)
+	if err != nil {
+		return nil, err
+	}
+	res.note(!conv, "iteration with η=1.5 (ηN=12>2) fails to converge (oscillates)")
+
+	res.Text = tb.String()
+	return res, nil
+}

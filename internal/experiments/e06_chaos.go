@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nettheory/feedbackflow/internal/dynamics"
+	"github.com/nettheory/feedbackflow/internal/textplot"
+)
+
+func init() {
+	register(Spec{ID: "E6", Title: "Route to chaos in the symmetric aggregate recursion (Section 3.3)", Run: E6Bifurcation})
+}
+
+// SymmetricRecursion returns the paper's Section 3.3 symmetric-start
+// reduction of aggregate feedback with the squared rational signal
+// (b = ρ² for M/M/1 totals): each of the N identical connections
+// updates r' = r + η(β − (N·r)²) at a unit-rate gateway. The fixed
+// point r* = √β/N has multiplier 1 − 2ηN√β, so with β = 1/4 the first
+// period doubling occurs at ηN = 2 — the same product that bounds
+// systemic stability in E5. The map is affinely conjugate to
+// z ↦ z² + c with c = 1/4 − (ηN)²·β, which places the whole
+// Collet–Eckmann parameter line at the experiment's disposal.
+//
+// This is the raw recursion of the paper's aside, without the
+// truncation at zero; see SymmetricRecursionTruncated for the effect
+// of the max(0, ·) rule.
+func SymmetricRecursion(eta, beta float64, n int) dynamics.Map {
+	return func(r float64) float64 {
+		return r + eta*(beta-(float64(n)*r)*(float64(n)*r))
+	}
+}
+
+// SymmetricRecursionTruncated applies the model's max(0, ·) truncation
+// to the symmetric recursion. In conjugate coordinates the truncation
+// clips the map at z = 1/2 — a flat segment — and a one-dimensional
+// map with a flat piece almost always has a superstable periodic
+// attractor. E6 verifies this side effect: the truncated recursion
+// replaces the chaotic band with superstable cycles through r = 0, a
+// subtlety the paper's qualitative aside does not dwell on.
+func SymmetricRecursionTruncated(eta, beta float64, n int) dynamics.Map {
+	raw := SymmetricRecursion(eta, beta, n)
+	return func(r float64) float64 {
+		v := raw(r)
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+}
+
+// E6Bifurcation charts the period-doubling route to chaos of the
+// symmetric recursion as N grows at fixed gain η, reproducing the
+// paper's "stable behavior, to oscillatory behavior, to chaotic
+// behavior" progression.
+func E6Bifurcation() (*Result, error) {
+	res := &Result{
+		ID:     "E6",
+		Title:  "Route to chaos in the symmetric aggregate recursion",
+		Source: "Section 3.3 (the B(C) = (C/(1+C))² recursion; Collet–Eckmann route)",
+		Pass:   true,
+	}
+	const (
+		eta  = 0.05
+		beta = 0.25
+	)
+
+	// Classification sweep: ηN from 0.5 to 2.9 (beyond ηN = 3 the raw
+	// recursion's conjugate parameter c drops below −2 and orbits
+	// escape the invariant interval).
+	tb := textplot.NewTable("Orbit classification vs N (η=0.05, β=1/4; fixed-point multiplier 1−ηN)",
+		"N", "ηN", "class", "period", "Lyapunov")
+	type row struct {
+		n     int
+		class dynamics.OrbitClass
+	}
+	var rows []row
+	for _, n := range []int{10, 20, 30, 38, 44, 50, 54, 58} {
+		m := SymmetricRecursion(eta, beta, n)
+		x0 := math.Sqrt(beta) / float64(n) * 1.1 // near, not on, the fixed point
+		cls, err := dynamics.Classify(m, x0, dynamics.ClassifyOptions{Burn: 5000, Keep: 1024, MaxPeriod: 128})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row{n: n, class: cls.Class})
+		tb.AddRowValues(n, fmt.Sprintf("%.2f", eta*float64(n)), cls.Class.String(), cls.Period, fmt.Sprintf("%+.3f", cls.Lyapunov))
+	}
+
+	// Predicted shape: fixed point while ηN < 2, then cycles, then
+	// chaos at large ηN.
+	fixedBelow, periodicMid, chaoticSeen := true, false, false
+	for _, r := range rows {
+		etaN := eta * float64(r.n)
+		switch {
+		case etaN < 1.95 && r.class != dynamics.FixedPoint:
+			fixedBelow = false
+		case etaN > 2.05 && etaN < 2.6 && r.class == dynamics.Periodic:
+			periodicMid = true
+		case r.class == dynamics.Chaotic:
+			chaoticSeen = true
+		}
+	}
+	res.note(fixedBelow, "ηN < 2: orbit settles to the fixed point (stable regime)")
+	res.note(periodicMid, "2 < ηN < 2.6: period-doubled cycles appear (oscillatory regime)")
+	res.note(chaoticSeen, "large ηN: positive Lyapunov exponent (chaotic regime)")
+
+	// Period-doubling cascade at the first few thresholds: follow the
+	// period along a fine ηN grid and require 1 → 2 → 4 to appear in
+	// order.
+	var seq []int
+	for etaN := 1.5; etaN < 2.7; etaN += 0.02 {
+		n := 100
+		m := SymmetricRecursion(etaN/float64(n), beta, n)
+		cls, err := dynamics.Classify(m, math.Sqrt(beta)/float64(n)*1.1,
+			dynamics.ClassifyOptions{Burn: 8000, Keep: 1024, MaxPeriod: 64})
+		if err != nil {
+			return nil, err
+		}
+		p := cls.Period
+		if len(seq) == 0 || seq[len(seq)-1] != p {
+			seq = append(seq, p)
+		}
+	}
+	cascade := indexOf(seq, 1) >= 0 && indexOf(seq, 2) > indexOf(seq, 1) && indexOf(seq, 4) > indexOf(seq, 2)
+	res.note(cascade, "period sequence along ηN contains the doubling cascade 1 -> 2 -> 4 (observed %v)", seq)
+
+	// Locate the first three period-doubling thresholds by bisection
+	// and estimate Feigenbaum's constant from their spacing. The
+	// conjugacy c = 1/4 − (ηN/2)²·4β predicts ηN thresholds 2,
+	// 2√1.5 ≈ 2.4495 and ≈ 2.5444.
+	periodAt := func(etaN float64) (int, error) {
+		n := 100
+		m := SymmetricRecursion(etaN/float64(n), beta, n)
+		cls, err := dynamics.Classify(m, math.Sqrt(beta)/float64(n)*1.1,
+			dynamics.ClassifyOptions{Burn: 60000, Keep: 512, MaxPeriod: 16, Tol: 1e-7})
+		if err != nil {
+			return 0, err
+		}
+		return cls.Period, nil
+	}
+	bisectThreshold := func(lo, hi float64, pBelow int) (float64, error) {
+		for it := 0; it < 22; it++ {
+			mid := 0.5 * (lo + hi)
+			p, err := periodAt(mid)
+			if err != nil {
+				return 0, err
+			}
+			if p != 0 && p <= pBelow {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return 0.5 * (lo + hi), nil
+	}
+	t1, err := bisectThreshold(1.8, 2.2, 1)
+	if err != nil {
+		return nil, err
+	}
+	t2, err := bisectThreshold(2.3, 2.5, 2)
+	if err != nil {
+		return nil, err
+	}
+	t3, err := bisectThreshold(2.5, 2.6, 4)
+	if err != nil {
+		return nil, err
+	}
+	res.note(math.Abs(t1-2) < 5e-3 && math.Abs(t2-2.44949) < 5e-3 && math.Abs(t3-2.54441) < 5e-3,
+		"measured doubling thresholds ηN = %.4f, %.4f, %.4f match the conjugacy predictions (2, 2.4495, 2.5444)", t1, t2, t3)
+	delta := (t2 - t1) / (t3 - t2)
+	res.note(math.Abs(delta-4.669) < 0.7,
+		"threshold spacing ratio %.2f approaches Feigenbaum's δ = 4.669: the cascade is the universal one", delta)
+
+	// The truncated recursion (the model's actual update rule) pins
+	// the would-be chaotic band to a superstable cycle through r = 0:
+	// the flat segment created by max(0, ·) absorbs the attractor.
+	mTrunc := SymmetricRecursionTruncated(2.9/100, beta, 100)
+	clsTrunc, err := dynamics.Classify(mTrunc, math.Sqrt(beta)/100*1.1,
+		dynamics.ClassifyOptions{Burn: 8000, Keep: 1024, MaxPeriod: 128})
+	if err != nil {
+		return nil, err
+	}
+	res.note(clsTrunc.Class == dynamics.Periodic && clsTrunc.Lyapunov < -10,
+		"with the model's truncation at r=0, the same parameters collapse to a superstable cycle (class %s, λ=%.0f): the flat segment destroys chaos",
+		clsTrunc.Class, clsTrunc.Lyapunov)
+
+	// Bifurcation diagram (normalized attractor N·r vs ηN).
+	var params []float64
+	for etaN := 1.0; etaN <= 2.99; etaN += 0.01 {
+		params = append(params, etaN)
+	}
+	family := func(p float64) dynamics.Map {
+		n := 100
+		return SymmetricRecursion(p/float64(n), beta, n)
+	}
+	points, err := dynamics.Bifurcation(family, params, math.Sqrt(beta)/100*1.1, 3000, 60)
+	if err != nil {
+		return nil, err
+	}
+	var xs, ys []float64
+	for _, pt := range points {
+		for _, x := range pt.Attr {
+			xs = append(xs, pt.P)
+			ys = append(ys, 100*x) // normalize to N·r
+		}
+	}
+	plot := textplot.NewPlot("Bifurcation diagram: attractor of N·r vs ηN (β=1/4)", 72, 20)
+	plot.SetLabels("ηN", "N·r")
+	if err := plot.AddSeries("attractor", '.', xs, ys); err != nil {
+		return nil, err
+	}
+	res.Text = tb.String() + "\n" + plot.String()
+	return res, nil
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/textplot"
+)
+
+func init() {
+	register(Spec{ID: "E8", Title: "Robustness criterion Q_i ≤ r_i/(μ−N·r_i): FS satisfies, FIFO violates (Theorem 5)", Run: E8RobustnessCriterion})
+}
+
+// E8RobustnessCriterion samples random rate vectors at increasing skew
+// and counts violations of the Theorem 5 bound for both disciplines.
+// The paper's prediction: Fair Share never violates (it meets the
+// bound with equality at the minimum rate), while FIFO violates
+// whenever some rate falls below the gateway average.
+func E8RobustnessCriterion() (*Result, error) {
+	res := &Result{
+		ID:     "E8",
+		Title:  "Theorem 5 robustness criterion",
+		Source: "Theorem 5 (Section 3.4)",
+		Pass:   true,
+	}
+	rng := rand.New(rand.NewSource(8))
+	const (
+		samplesPerLevel = 300
+		n               = 5
+		mu              = 1.0
+	)
+	skews := []float64{0, 0.5, 1, 2, 4} // exponent spreading the rates apart
+
+	tb := textplot.NewTable("Theorem 5 bound violations over random rate vectors (N=5, μ=1)",
+		"rate skew", "FIFO violating vectors", "FairShare violating vectors")
+	totalFS := 0
+	fifoAtMaxSkew := 0
+	for _, skew := range skews {
+		fifoBad, fsBad := 0, 0
+		for s := 0; s < samplesPerLevel; s++ {
+			r := make([]float64, n)
+			for i := range r {
+				base := rng.Float64()
+				// Raising to a power spreads the draw toward extremes.
+				r[i] = 0.9 * mu / float64(n) * math.Pow(base, 1+skew)
+			}
+			if v, err := queueing.RobustnessViolations(queueing.FIFO{}, r, mu, 1e-9); err != nil {
+				return nil, err
+			} else if len(v) > 0 {
+				fifoBad++
+			}
+			if v, err := queueing.RobustnessViolations(queueing.FairShare{}, r, mu, 1e-9); err != nil {
+				return nil, err
+			} else if len(v) > 0 {
+				fsBad++
+			}
+		}
+		totalFS += fsBad
+		if skew == skews[len(skews)-1] {
+			fifoAtMaxSkew = fifoBad
+		}
+		tb.AddRowValues(fmt.Sprintf("%.1f", skew),
+			fmt.Sprintf("%d/%d", fifoBad, samplesPerLevel),
+			fmt.Sprintf("%d/%d", fsBad, samplesPerLevel))
+	}
+	res.note(totalFS == 0, "Fair Share never violates the bound (%d violations in %d samples)",
+		totalFS, samplesPerLevel*len(skews))
+	res.note(fifoAtMaxSkew > samplesPerLevel/2, "FIFO violates frequently under skewed rates (%d/%d at max skew)",
+		fifoAtMaxSkew, samplesPerLevel)
+
+	// The tightness claim: the minimum-rate connection under FS meets
+	// the bound with equality.
+	r := []float64{0.02, 0.1, 0.15, 0.2, 0.25}
+	q, err := queueing.FairShare{}.Queues(r, mu)
+	if err != nil {
+		return nil, err
+	}
+	bound := queueing.RobustBound(r[0], mu, n)
+	tight := math.Abs(q[0]-bound) < 1e-12
+	res.note(tight, "FS minimum-rate queue %.6f equals the bound %.6f exactly (tightness)", q[0], bound)
+
+	res.Text = tb.String()
+	return res, nil
+}

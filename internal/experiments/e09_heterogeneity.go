@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nettheory/feedbackflow/internal/analytic"
+	"github.com/nettheory/feedbackflow/internal/control"
+	"github.com/nettheory/feedbackflow/internal/core"
+	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/signal"
+	"github.com/nettheory/feedbackflow/internal/textplot"
+	"github.com/nettheory/feedbackflow/internal/topology"
+)
+
+func init() {
+	register(Spec{ID: "E9", Title: "Heterogeneous laws: aggregate starves, FIFO skews, Fair Share is robust (Section 3.4)", Run: E9Heterogeneity})
+}
+
+// E9Heterogeneity reproduces the Section 3.4 comparison. Two
+// connections with different target signals (b_SS = 0.7 vs 0.4) share
+// a unit-rate gateway. The robustness floor is the reservation
+// benchmark: each connection alone at rate μ/N, i.e. r̄_i = b_SS,i·μ/N
+// under the rational signal. Predictions:
+//
+//   - aggregate feedback: the less greedy connection is driven to zero
+//     ("appallingly bad");
+//   - individual + FIFO: both survive but the less greedy one falls
+//     below its reservation floor (not robust);
+//   - individual + Fair Share: everyone meets the floor (robust, with
+//     equality for the minimum-rate connection).
+//
+// The analytic steady states for this instance are (0.7, 0) for
+// aggregate, (0.6, 0.1) for FIFO, and (0.5, 0.2) for Fair Share,
+// against floors (0.35, 0.2).
+func E9Heterogeneity() (*Result, error) {
+	res := &Result{
+		ID:     "E9",
+		Title:  "Robustness under heterogeneous rate adjustment",
+		Source: "Section 3.4 (and Theorem 5)",
+		Pass:   true,
+	}
+	const (
+		mu   = 1.0
+		n    = 2
+		bss0 = 0.7
+		bss1 = 0.4
+	)
+	net, err := topology.SingleGateway(n, mu, 0.1)
+	if err != nil {
+		return nil, err
+	}
+	laws := []control.Law{
+		control.AdditiveTSI{Eta: 0.05, BSS: bss0},
+		control.AdditiveTSI{Eta: 0.05, BSS: bss1},
+	}
+	floors := []float64{bss0 * mu / n, bss1 * mu / n}
+
+	type setup struct {
+		label string
+		style signal.Style
+		disc  queueing.Discipline
+	}
+	setups := []setup{
+		{"aggregate (FIFO)", signal.Aggregate, queueing.FIFO{}},
+		{"individual + FIFO", signal.Individual, queueing.FIFO{}},
+		{"individual + FairShare", signal.Individual, queueing.FairShare{}},
+	}
+	rates := make(map[string][]float64)
+	tb := textplot.NewTable("Steady-state throughput under heterogeneous b_SS (0.7 vs 0.4), μ=1",
+		"design", "r_greedy", "r_meek", "floor_greedy", "floor_meek", "meek ≥ floor?")
+	for _, s := range setups {
+		sys, err := core.NewSystem(net, s.disc, s.style, signal.Rational{}, laws)
+		if err != nil {
+			return nil, err
+		}
+		out, err := sys.Run([]float64{0.2, 0.2}, core.RunOptions{MaxSteps: 400000, Tol: 1e-12})
+		if err != nil {
+			return nil, err
+		}
+		if !out.Converged {
+			return nil, fmt.Errorf("experiments: %s did not converge", s.label)
+		}
+		rates[s.label] = out.Rates
+		meekOK := out.Rates[1] >= floors[1]-1e-6
+		tb.AddRowValues(s.label,
+			fmt.Sprintf("%.5f", out.Rates[0]), fmt.Sprintf("%.5f", out.Rates[1]),
+			fmt.Sprintf("%.3f", floors[0]), fmt.Sprintf("%.3f", floors[1]), meekOK)
+	}
+
+	agg := rates["aggregate (FIFO)"]
+	fifo := rates["individual + FIFO"]
+	fs := rates["individual + FairShare"]
+
+	res.note(agg[1] < 1e-6, "aggregate feedback starves the meek connection (r = %.2g)", agg[1])
+	res.note(math.Abs(agg[0]-bss0*mu) < 1e-4, "the greedy connection takes the whole target load (r = %.4f ≈ %.2f)", agg[0], bss0*mu)
+	res.note(fifo[1] > 1e-3 && fifo[1] < floors[1]-1e-3,
+		"individual+FIFO keeps the meek connection alive (r = %.4f) but below its reservation floor %.2f: not robust",
+		fifo[1], floors[1])
+	res.note(fs[1] >= floors[1]-1e-5, "individual+FairShare meets the floor (meek r = %.4f ≥ %.2f): robust", fs[1], floors[1])
+
+	// Cross-check both individual-feedback runs against the
+	// closed-form solver in internal/analytic.
+	for _, c := range []struct {
+		label string
+		disc  queueing.Discipline
+		got   []float64
+	}{
+		{"FIFO", queueing.FIFO{}, fifo},
+		{"Fair Share", queueing.FairShare{}, fs},
+	} {
+		want, err := analytic.SteadyState(c.disc, []float64{bss0, bss1}, signal.Rational{}, mu)
+		if err != nil {
+			return nil, err
+		}
+		dev := math.Max(math.Abs(c.got[0]-want[0]), math.Abs(c.got[1]-want[1]))
+		res.note(dev < 1e-4, "%s steady state matches the closed-form solution (%.4f, %.4f), dev %.2g",
+			c.label, want[0], want[1], dev)
+	}
+
+	res.Text = tb.String()
+	return res, nil
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nettheory/feedbackflow/internal/control"
+	"github.com/nettheory/feedbackflow/internal/core"
+	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/signal"
+	"github.com/nettheory/feedbackflow/internal/textplot"
+	"github.com/nettheory/feedbackflow/internal/topology"
+)
+
+func init() {
+	register(Spec{ID: "E12", Title: "Real algorithms through the model's lens: window vs rate LIMD (Section 4)", Run: E12DECbitModels})
+}
+
+// E12DECbitModels analyzes the Section 4 models of deployed
+// algorithms. The DECbit/Jacobson window adjustment, modelled as
+// f = (1−b)η/d − βbr, is latency-sensitive: two connections sharing a
+// bottleneck get throughput inversely proportional to their round-trip
+// delays. Reinterpreting it as the rate adjustment f = (1−b)η − βbr
+// removes the d-dependence and restores fairness — but E2 already
+// shows that form is not TSI.
+func E12DECbitModels() (*Result, error) {
+	res := &Result{
+		ID:     "E12",
+		Title:  "Window vs rate LIMD models of DECbit/Jacobson",
+		Source: "Section 4 (Relevance to Real Flow Control Algorithms)",
+		Pass:   true,
+	}
+	// Connection 0: short path (bottleneck only).
+	// Connection 1: same bottleneck plus a fast private gateway whose
+	// line adds extra latency.
+	build := func(extraLatency float64) (*topology.Network, error) {
+		var bld topology.Builder
+		bottleneck := bld.AddGateway("bottleneck", 1, 0.1)
+		private := bld.AddGateway("private", 50, extraLatency)
+		bld.AddConnection(bottleneck)
+		bld.AddConnection(private, bottleneck)
+		return bld.Build()
+	}
+
+	tb := textplot.NewTable("Window LIMD f=(1-b)η/d-βbr: throughput vs extra latency of connection 1",
+		"extra latency", "r_short", "r_long", "short/long ratio", "RTT ratio d_long/d_short")
+	var ratios, rttRatios []float64
+	for _, lat := range []float64{0, 1, 3, 9} {
+		net, err := build(lat)
+		if err != nil {
+			return nil, err
+		}
+		law := control.WindowLIMD{Eta: 0.02, Beta: 0.2}
+		sys, err := core.NewSystem(net, queueing.FIFO{}, signal.Aggregate, signal.Rational{}, control.Uniform(law, 2))
+		if err != nil {
+			return nil, err
+		}
+		out, err := sys.Run([]float64{0.1, 0.1}, core.RunOptions{MaxSteps: 400000, Tol: 1e-12})
+		if err != nil {
+			return nil, err
+		}
+		if !out.Converged {
+			return nil, fmt.Errorf("experiments: window LIMD at latency %g did not converge", lat)
+		}
+		ratio := out.Rates[0] / out.Rates[1]
+		rtt := out.Final.Delays[1] / out.Final.Delays[0]
+		ratios = append(ratios, ratio)
+		rttRatios = append(rttRatios, rtt)
+		tb.AddRowValues(fmt.Sprintf("%g", lat),
+			fmt.Sprintf("%.5f", out.Rates[0]), fmt.Sprintf("%.5f", out.Rates[1]),
+			fmt.Sprintf("%.3f", ratio), fmt.Sprintf("%.3f", rtt))
+	}
+	// Prediction: throughput ratio tracks the RTT ratio and grows with
+	// the latency gap.
+	grows := true
+	for k := 1; k < len(ratios); k++ {
+		if ratios[k] <= ratios[k-1] {
+			grows = false
+		}
+	}
+	res.note(grows, "longer round-trip ⇒ proportionally less throughput (ratio grows %0.3f → %0.3f)",
+		ratios[0], ratios[len(ratios)-1])
+	trackErr := 0.0
+	for k := range ratios {
+		if e := math.Abs(ratios[k]-rttRatios[k]) / rttRatios[k]; e > trackErr {
+			trackErr = e
+		}
+	}
+	res.note(trackErr < 0.05, "throughput ratio tracks the RTT ratio (steady state r ∝ 1/d; max dev %.1f%%)", 100*trackErr)
+
+	// The rate reinterpretation f = (1−b)η − βbr is fair regardless of
+	// latency.
+	tbr := textplot.NewTable("Rate LIMD f=(1-b)η-βbr on the same topologies",
+		"extra latency", "r_short", "r_long", "fair?")
+	allFair := true
+	for _, lat := range []float64{0, 9} {
+		net, err := build(lat)
+		if err != nil {
+			return nil, err
+		}
+		law := control.FairRateLIMD{Eta: 0.02, Beta: 0.2}
+		sys, err := core.NewSystem(net, queueing.FIFO{}, signal.Aggregate, signal.Rational{}, control.Uniform(law, 2))
+		if err != nil {
+			return nil, err
+		}
+		out, err := sys.Run([]float64{0.05, 0.3}, core.RunOptions{MaxSteps: 400000, Tol: 1e-12})
+		if err != nil {
+			return nil, err
+		}
+		if !out.Converged {
+			return nil, fmt.Errorf("experiments: rate LIMD at latency %g did not converge", lat)
+		}
+		fair := math.Abs(out.Rates[0]-out.Rates[1]) < 1e-6*(1+out.Rates[0])
+		if !fair {
+			allFair = false
+		}
+		tbr.AddRowValues(fmt.Sprintf("%g", lat),
+			fmt.Sprintf("%.5f", out.Rates[0]), fmt.Sprintf("%.5f", out.Rates[1]), fair)
+	}
+	res.note(allFair, "the rate form equalizes throughput at any latency: guaranteed fair (but not TSI — see E2)")
+
+	res.Text = tb.String() + "\n" + tbr.String()
+	return res, nil
+}

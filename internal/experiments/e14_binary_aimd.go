@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nettheory/feedbackflow/internal/control"
+	"github.com/nettheory/feedbackflow/internal/core"
+	"github.com/nettheory/feedbackflow/internal/dynamics"
+	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/signal"
+	"github.com/nettheory/feedbackflow/internal/stats"
+	"github.com/nettheory/feedbackflow/internal/textplot"
+	"github.com/nettheory/feedbackflow/internal/topology"
+)
+
+func init() {
+	register(Spec{ID: "E14", Title: "Binary-feedback AIMD (Chiu–Jain): fair and TSI on average, period grows with μ (Section 4)", Run: E14BinaryAIMD})
+}
+
+// E14BinaryAIMD reproduces the Section 4 analysis of the original
+// DECbit design point: a binary congestion bit (set when the total
+// queue crosses a threshold) driving linear-increase multiplicative-
+// decrease sources. The paper's observations, each checked here:
+//
+//  1. the system never reaches a steady state — it oscillates;
+//  2. the long-term *averages* are fair (the multiplicative decrease
+//     shrinks rate differences geometrically);
+//  3. the averages are TSI: average utilization is unchanged when the
+//     server speeds up;
+//  4. but the oscillation *period* grows linearly with the server
+//     rate — the intrinsic time scale that motivates the paper's TSI
+//     requirement.
+func E14BinaryAIMD() (*Result, error) {
+	res := &Result{
+		ID:     "E14",
+		Title:  "Binary-feedback AIMD oscillation",
+		Source: "Section 4 (the [Chi89]/DECbit analysis)",
+		Pass:   true,
+	}
+	const (
+		n         = 2
+		eta       = 0.004 // additive increase per step (absolute rate units)
+		betaDecr  = 0.5   // multiplicative decrease factor
+		threshold = 2.0   // congestion-bit queue threshold
+	)
+
+	type measurement struct {
+		mu        float64
+		period    int
+		avgTotal  float64
+		fairness  float64
+		converged bool
+	}
+	runAt := func(mu float64) (measurement, error) {
+		net, err := topology.SingleGateway(n, mu, 0.1)
+		if err != nil {
+			return measurement{}, err
+		}
+		// With a binary signal, f = (1−b)η − β·b·r is exactly AIMD:
+		// +η while the bit is clear, −βr when set.
+		law := control.FairRateLIMD{Eta: eta, Beta: betaDecr}
+		sys, err := core.NewSystem(net, queueing.FIFO{}, signal.Aggregate,
+			signal.Binary{Threshold: threshold}, control.Uniform(law, n))
+		if err != nil {
+			return measurement{}, err
+		}
+		out, err := sys.Run([]float64{0.05 * mu, 0.25 * mu}, core.RunOptions{MaxSteps: 60000, Record: true})
+		if err != nil {
+			return measurement{}, err
+		}
+		m := measurement{mu: mu, converged: out.Converged}
+		// Analyze the tail of the recorded trajectory.
+		tail := out.Trajectory
+		if len(tail) > 20000 {
+			tail = tail[len(tail)-20000:]
+		}
+		series0 := make([]float64, len(tail))
+		sum0, sum1 := 0.0, 0.0
+		for k, r := range tail {
+			series0[k] = r[0]
+			sum0 += r[0]
+			sum1 += r[1]
+		}
+		if p, ok := dynamics.DetectPeriod(series0, 4000, 1e-9); ok {
+			m.period = p
+		}
+		m.avgTotal = (sum0 + sum1) / float64(len(tail))
+		m.fairness = stats.RelativeError(sum0, sum1, 1e-12)
+		return m, nil
+	}
+
+	tb := textplot.NewTable("AIMD under a binary congestion bit (N=2, threshold Q_tot ≥ 2)",
+		"μ", "steady state?", "cycle period (steps)", "avg Σr / μ", "|avg r0 − avg r1| / avg")
+	var ms []measurement
+	for _, mu := range []float64{1, 2, 5, 10} {
+		m, err := runAt(mu)
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, m)
+		tb.AddRowValues(fmt.Sprintf("%g", m.mu), m.converged,
+			m.period, fmt.Sprintf("%.4f", m.avgTotal/m.mu), fmt.Sprintf("%.4f", m.fairness))
+	}
+
+	neverSteady, allPeriodic, fairAvg := true, true, true
+	for _, m := range ms {
+		if m.converged {
+			neverSteady = false
+		}
+		if m.period < 2 {
+			allPeriodic = false
+		}
+		if m.fairness > 0.02 {
+			fairAvg = false
+		}
+	}
+	res.note(neverSteady, "the binary-feedback system never reaches a steady state")
+	res.note(allPeriodic, "every run settles into a limit cycle (period ≥ 2 detected)")
+	res.note(fairAvg, "long-term average rates are equal: AIMD is fair on average")
+
+	utilSpread := 0.0
+	base := ms[0].avgTotal / ms[0].mu
+	for _, m := range ms {
+		if d := math.Abs(m.avgTotal/m.mu - base); d > utilSpread {
+			utilSpread = d
+		}
+	}
+	res.note(utilSpread < 0.05, "average utilization is scale-invariant (spread %.3f): TSI on average", utilSpread)
+
+	// Period linearity: period(μ)/μ roughly constant, so
+	// period(10)/period(1) ≈ 10.
+	ratio := float64(ms[len(ms)-1].period) / float64(ms[0].period)
+	muRatio := ms[len(ms)-1].mu / ms[0].mu
+	res.note(math.Abs(ratio-muRatio)/muRatio < 0.25,
+		"the oscillation period grows linearly with the server rate (period ratio %.1f for a %gx speedup): the algorithm has an intrinsic time scale", ratio, muRatio)
+
+	res.Text = tb.String()
+	return res, nil
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nettheory/feedbackflow/internal/control"
+	"github.com/nettheory/feedbackflow/internal/core"
+	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/signal"
+	"github.com/nettheory/feedbackflow/internal/stability"
+	"github.com/nettheory/feedbackflow/internal/textplot"
+	"github.com/nettheory/feedbackflow/internal/topology"
+)
+
+func init() {
+	register(Spec{ID: "E17", Title: "Linear stability predicts the observed convergence rate (Section 2.4.3)", Run: E17ConvergenceRate})
+}
+
+// E17ConvergenceRate closes the loop between the paper's two notions
+// of dynamics: the spectral radius of the stability matrix DF
+// (Section 2.4.3's linear stability) and the actual geometric rate at
+// which the iteration r' = F(r) approaches its steady state. For a
+// linearly stable fixed point the error must contract asymptotically
+// by the spectral radius per step; the experiment measures the decay
+// of ||r_t − r*||∞ on heterogeneous individual-feedback Fair Share
+// systems across a range of gains and compares it with the eigenvalue
+// prediction.
+func E17ConvergenceRate() (*Result, error) {
+	res := &Result{
+		ID:     "E17",
+		Title:  "Spectral radius vs measured convergence rate",
+		Source: "Section 2.4.3 (linear stability) applied to the Theorem 4 setting",
+		Pass:   true,
+	}
+	const n = 3
+	net, err := topology.SingleGateway(n, 1, 0)
+	if err != nil {
+		return nil, err
+	}
+	bss := []float64{0.3, 0.5, 0.7}
+
+	tb := textplot.NewTable("Heterogeneous individual+FS system: predicted vs measured contraction per step",
+		"η", "spectral radius of DF", "measured decay factor", "rel dev")
+	worst := 0.0
+	for _, eta := range []float64{0.02, 0.05, 0.1, 0.2} {
+		laws := make([]control.Law, n)
+		for i := range laws {
+			laws[i] = control.AdditiveTSI{Eta: eta, BSS: bss[i]}
+		}
+		sys, err := core.NewSystem(net, queueing.FairShare{}, signal.Individual, signal.Rational{}, laws)
+		if err != nil {
+			return nil, err
+		}
+		// Converge precisely to locate r*.
+		ref, err := sys.Run([]float64{0.1, 0.1, 0.1}, core.RunOptions{MaxSteps: 600000, Tol: 1e-13})
+		if err != nil {
+			return nil, err
+		}
+		if !ref.Converged {
+			return nil, fmt.Errorf("experiments: reference run at η=%g did not converge", eta)
+		}
+		rstar := ref.Rates
+
+		// Predicted contraction: spectral radius of DF at r*.
+		df, err := stability.Jacobian(sys.StepFunc(), rstar, 1e-7, stability.Forward)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := stability.Analyze(df, 1e-5)
+		if err != nil {
+			return nil, err
+		}
+
+		// Measured contraction: restart from a perturbed point and fit
+		// the tail decay of the sup-norm error.
+		r := append([]float64(nil), rstar...)
+		for i := range r {
+			r[i] *= 1 + 0.05*float64(i+1)
+		}
+		errAt := func(v []float64) float64 {
+			e := 0.0
+			for i := range v {
+				if d := math.Abs(v[i] - rstar[i]); d > e {
+					e = d
+				}
+			}
+			return e
+		}
+		// Collect per-step error ratios while the error is far from
+		// both the initial transient and the floating-point noise
+		// floor, then average the most asymptotic (latest) ones.
+		var factors []float64
+		prev := errAt(r)
+		for t := 0; t < 4000 && prev > 1e-10; t++ {
+			r, err = sys.Step(r)
+			if err != nil {
+				return nil, err
+			}
+			cur := errAt(r)
+			if t >= 20 && cur > 1e-9 && cur < 1e-3 && prev > 0 {
+				factors = append(factors, cur/prev)
+			}
+			prev = cur
+		}
+		if len(factors) == 0 {
+			return nil, fmt.Errorf("experiments: no usable decay window at η=%g", eta)
+		}
+		if len(factors) > 20 {
+			factors = factors[len(factors)-20:]
+		}
+		// Geometric mean of the tail factors.
+		logSum := 0.0
+		for _, f := range factors {
+			logSum += math.Log(f)
+		}
+		measured := math.Exp(logSum / float64(len(factors)))
+
+		dev := math.Abs(measured-rep.SpectralRadius) / rep.SpectralRadius
+		if dev > worst {
+			worst = dev
+		}
+		tb.AddRowValues(fmt.Sprintf("%.2f", eta), fmt.Sprintf("%.5f", rep.SpectralRadius),
+			fmt.Sprintf("%.5f", measured), fmt.Sprintf("%.2f%%", 100*dev))
+	}
+	res.note(worst < 0.02, "the measured per-step contraction matches the DF spectral radius within %.2f%% across gains", 100*worst)
+
+	res.Text = tb.String()
+	return res, nil
+}

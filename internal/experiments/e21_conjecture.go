@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/nettheory/feedbackflow/internal/control"
+	"github.com/nettheory/feedbackflow/internal/core"
+	"github.com/nettheory/feedbackflow/internal/fairness"
+	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/signal"
+	"github.com/nettheory/feedbackflow/internal/stability"
+	"github.com/nettheory/feedbackflow/internal/textplot"
+	"github.com/nettheory/feedbackflow/internal/topology"
+)
+
+func init() {
+	register(Spec{ID: "E21", Title: "Numerical evidence for the Section 3.3 conjecture (guaranteed unilateral ⇒ systemic)", Run: E21Conjecture})
+}
+
+// E21Conjecture tests the conjecture the paper leaves open: a
+// *guaranteed unilaterally stable* TSI law — the paper's example is
+// f = η·r·(b_SS − b) with the rational signal and η < 2 — should be
+// systemically stable for every network and feedback style.
+//
+// For that family the claim is analytic at aggregate steady states:
+// DF_ij = δ_ij − η·r_i/μ there, a rank-one update whose transverse
+// spectrum is {1 − η·b_SS} — inside the unit circle for η < 2/b_SS,
+// independent of N (contrast the additive law of E5, whose transverse
+// eigenvalue 1 − ηN destabilizes with N). The experiment verifies this
+// and sweeps randomized configurations (both feedback styles, both
+// disciplines, N up to 24, η up to 1.9, manifold points included)
+// hunting for a counterexample; none exists in this family, consistent
+// with — though of course not proving — the conjecture.
+func E21Conjecture() (*Result, error) {
+	res := &Result{
+		ID:     "E21",
+		Title:  "Guaranteed unilateral stability ⇒ systemic stability (conjecture sweep)",
+		Source: "Section 3.3, Conjecture (left open by the paper)",
+		Pass:   true,
+	}
+	const bss = 0.5
+	rng := rand.New(rand.NewSource(21))
+
+	// transverse computes the spectral radius excluding steady-state
+	// manifold directions (eigenvalue 1 within tolerance), which only
+	// aggregate feedback has.
+	transverse := func(rep *stability.Report, dropUnit bool) float64 {
+		out := 0.0
+		for _, ev := range rep.Eigenvalues {
+			if dropUnit && math.Hypot(real(ev)-1, imag(ev)) <= 1e-6 {
+				continue
+			}
+			if m := math.Hypot(real(ev), imag(ev)); m > out {
+				out = m
+			}
+		}
+		return out
+	}
+
+	// Part 1: the analytic prediction at aggregate steady states.
+	tb := textplot.NewTable("Multiplicative law f=ηr(b_SS−b), aggregate feedback: transverse radius vs N (η=1.5)",
+		"N", "predicted |1−η·b_SS|", "measured transverse radius", "unilateral", "systemic (transverse)")
+	predicted := math.Abs(1 - 1.5*bss)
+	worstPred := 0.0
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		net, err := topology.SingleGateway(n, 1, 0)
+		if err != nil {
+			return nil, err
+		}
+		law := control.MultiplicativeTSI{Eta: 1.5, BSS: bss}
+		sys, err := core.NewSystem(net, queueing.FIFO{}, signal.Aggregate, signal.Rational{}, control.Uniform(law, n))
+		if err != nil {
+			return nil, err
+		}
+		// A random manifold point: rates positive with Σr = b_SS·μ.
+		r := make([]float64, n)
+		sum := 0.0
+		for i := range r {
+			r[i] = 0.2 + rng.Float64()
+			sum += r[i]
+		}
+		for i := range r {
+			r[i] *= bss / sum
+		}
+		df, err := stability.Jacobian(sys.StepFunc(), r, 1e-7, stability.Central)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := stability.Analyze(df, 1e-6)
+		if err != nil {
+			return nil, err
+		}
+		tr := transverse(rep, true)
+		if d := math.Abs(tr - predicted); d > worstPred {
+			worstPred = d
+		}
+		tb.AddRowValues(n, fmt.Sprintf("%.4f", predicted), fmt.Sprintf("%.4f", tr),
+			rep.Unilateral, tr < 1)
+	}
+	res.note(worstPred < 1e-4,
+		"the transverse radius is |1−η·b_SS| = %.2f at every N (max dev %.2g): N-independent, unlike the additive law's 1−ηN", predicted, worstPred)
+
+	// Part 2: randomized counterexample hunt across the design space.
+	const trials = 24
+	uniOK, sysOK, converged := 0, 0, 0
+	for k := 0; k < trials; k++ {
+		n := 2 + rng.Intn(23)
+		eta := 0.2 + 1.7*rng.Float64() // < 1.9
+		target := 0.2 + 0.6*rng.Float64()
+		style := signal.Aggregate
+		if k%2 == 1 {
+			style = signal.Individual
+		}
+		disc := queueing.Discipline(queueing.FIFO{})
+		if k%3 == 0 {
+			disc = queueing.FairShare{}
+		}
+		net, err := topology.SingleGateway(n, 0.5+rng.Float64()*2, 0.1)
+		if err != nil {
+			return nil, err
+		}
+		law := control.MultiplicativeTSI{Eta: eta, BSS: target}
+		sys, err := core.NewSystem(net, disc, style, signal.Rational{}, control.Uniform(law, n))
+		if err != nil {
+			return nil, err
+		}
+		// Steady state: the fair allocation (a steady state for both
+		// styles), or a random manifold point for aggregate.
+		r, err := fairness.FairAllocation(net, signal.Rational{}, target)
+		if err != nil {
+			return nil, err
+		}
+		if style == signal.Aggregate && k%4 == 0 {
+			// Perturb along the manifold (keep the sum).
+			for i := 0; i+1 < len(r); i += 2 {
+				d := r[i] * 0.5 * rng.Float64()
+				r[i] -= d
+				r[i+1] += d
+			}
+		}
+		scheme := stability.Central
+		if style == signal.Individual {
+			scheme = stability.Forward // kink-aware at the symmetric point
+		}
+		df, err := stability.Jacobian(sys.StepFunc(), r, 1e-7, scheme)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := stability.Analyze(df, 1e-6)
+		if err != nil {
+			return nil, err
+		}
+		if rep.Unilateral {
+			uniOK++
+		}
+		if transverse(rep, style == signal.Aggregate) < 1 {
+			sysOK++
+		}
+		// Dynamic confirmation on a perturbed start.
+		start := append([]float64(nil), r...)
+		for i := range start {
+			start[i] *= 1 + 0.02*rng.Float64()
+		}
+		out, err := sys.Run(start, core.RunOptions{MaxSteps: 300000})
+		if err != nil {
+			return nil, err
+		}
+		if out.Converged {
+			converged++
+		}
+	}
+	res.note(uniOK == trials, "the family is guaranteed unilaterally stable: %d/%d configurations have |DF_ii| < 1", uniOK, trials)
+	res.note(sysOK == trials, "no counterexample found: %d/%d configurations are (transversally) systemically stable — consistent with the conjecture", sysOK, trials)
+	res.note(converged == trials, "dynamics confirm: %d/%d perturbed starts converge", converged, trials)
+	res.note(true, "this is evidence, not proof: the conjecture remains open, as in the paper")
+
+	res.Text = tb.String()
+	return res, nil
+}

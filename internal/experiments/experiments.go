@@ -1,0 +1,159 @@
+// Package experiments implements the reproduction harness: one
+// experiment per table, figure, theorem, and in-text quantitative
+// example of the paper, each regenerating its exhibit as text and
+// checking the paper's predicted shape programmatically. The registry
+// here is shared by cmd/fftables (interactive regeneration) and the
+// top-level benchmarks (one bench per experiment).
+//
+// The suite:
+//
+//	E1   Table 1: the Fair Share priority decomposition
+//	E2   Theorem 1: time-scale invariance
+//	E3   Theorem 2: the aggregate steady-state manifold
+//	E4   Theorem 3 + Corollary: individual feedback fairness
+//	E5   §3.3: the unilateral-vs-systemic stability boundary
+//	E6   §3.3: the period-doubling route to chaos
+//	E7   Theorem 4: Fair Share triangular stability
+//	E8   Theorem 5: the robustness criterion
+//	E9   §3.4: heterogeneity (starvation / skew / robustness)
+//	E10  §3.4: delay vs the reservation benchmark
+//	E11  Packet-level validation of the queue models
+//	E12  §4: window vs rate LIMD models
+//	E13  §2.1: the Poisson-output approximation (tandems)
+//	E14  §4: binary-feedback AIMD (Chiu–Jain)
+//	E15  Extension: asynchronous updates
+//	E16  Extension: Fair Queueing vs Fair Share
+//	E17  Linear stability predicts the convergence rate
+//	E18  Extension: burstiness sensitivity
+//	E19  Extension: genuine window dynamics
+//	E20  Extension: selfish sources ([She89])
+//	A1   Ablation: differencing scheme at signal kinks
+//	A2   Ablation: signal-family independence
+//	A3   Ablation: preemption is necessary for Theorem 5
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is the outcome of one experiment.
+type Result struct {
+	// ID is the experiment identifier (E1..E12, A1).
+	ID string
+	// Title summarizes what is reproduced.
+	Title string
+	// Source cites the table/figure/theorem/section of the paper.
+	Source string
+	// Text is the regenerated exhibit (tables and plots).
+	Text string
+	// Pass reports whether the paper's predicted qualitative shape
+	// held in this run.
+	Pass bool
+	// Notes records the checked predictions and their outcomes.
+	Notes []string
+}
+
+// note appends a formatted check note, marking it as the overall
+// pass/fail evidence.
+func (r *Result) note(ok bool, format string, args ...interface{}) {
+	status := "ok"
+	if !ok {
+		status = "FAIL"
+		r.Pass = false
+	}
+	r.Notes = append(r.Notes, fmt.Sprintf("[%s] %s", status, fmt.Sprintf(format, args...)))
+}
+
+// Render returns the full human-readable report of the result.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "Reproduces: %s\n\n", r.Source)
+	b.WriteString(r.Text)
+	if len(r.Notes) > 0 {
+		b.WriteString("\nChecks:\n")
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "  %s\n", n)
+		}
+	}
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "Verdict: %s\n", verdict)
+	return b.String()
+}
+
+// Spec describes a runnable experiment.
+type Spec struct {
+	ID    string
+	Title string
+	Run   func() (*Result, error)
+}
+
+var registry = map[string]Spec{}
+
+func register(s Spec) {
+	if _, dup := registry[s.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", s.ID))
+	}
+	registry[s.ID] = s
+}
+
+// All returns every registered experiment, ordered by ID (E1..E12 in
+// numeric order, then ablations).
+func All() []Spec {
+	out := make([]Spec, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return idLess(out[i].ID, out[j].ID) })
+	return out
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Spec, bool) {
+	s, ok := registry[id]
+	return s, ok
+}
+
+// idLess orders IDs like E1 < E2 < ... < E10 < A1 (letters group,
+// numbers compare numerically).
+func idLess(a, b string) bool {
+	pa, na := splitID(a)
+	pb, nb := splitID(b)
+	if pa != pb {
+		// E-group first, then A-group, then anything else.
+		rank := func(p string) int {
+			switch p {
+			case "E":
+				return 0
+			case "A":
+				return 1
+			}
+			return 2
+		}
+		if rank(pa) != rank(pb) {
+			return rank(pa) < rank(pb)
+		}
+		return pa < pb
+	}
+	return na < nb
+}
+
+func splitID(id string) (prefix string, num int) {
+	i := 0
+	for i < len(id) && (id[i] < '0' || id[i] > '9') {
+		i++
+	}
+	prefix = id[:i]
+	for _, ch := range id[i:] {
+		if ch < '0' || ch > '9' {
+			break
+		}
+		num = num*10 + int(ch-'0')
+	}
+	return prefix, num
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "A1", "A2", "A3"}
+	if len(all) != len(wantIDs) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(wantIDs))
+	}
+	for i, id := range wantIDs {
+		if all[i].ID != id {
+			t.Errorf("position %d: %s, want %s (ordering)", i, all[i].ID, id)
+		}
+	}
+	if _, ok := Lookup("E5"); !ok {
+		t.Error("Lookup(E5) failed")
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Error("Lookup(E99) should fail")
+	}
+}
+
+func TestIDOrdering(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"E1", "E2", true},
+		{"E2", "E10", true},
+		{"E10", "E2", false},
+		{"E12", "A1", true},
+		{"A1", "E1", false},
+	}
+	for _, c := range cases {
+		if got := idLess(c.a, c.b); got != c.want {
+			t.Errorf("idLess(%s,%s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	r := &Result{ID: "EX", Title: "t", Source: "s", Text: "body\n", Pass: true}
+	r.note(true, "good %d", 1)
+	out := r.Render()
+	for _, want := range []string{"EX", "body", "[ok] good 1", "PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	r.note(false, "bad")
+	out = r.Render()
+	if !strings.Contains(out, "[FAIL] bad") || !strings.Contains(out, "Verdict: FAIL") {
+		t.Errorf("failure rendering wrong:\n%s", out)
+	}
+}
+
+// TestExperimentsDeterministic guards the reproducibility promise:
+// every experiment uses fixed seeds, so two runs must render
+// byte-identical exhibits (this also catches map-iteration order
+// leaking into output).
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full suite twice; skipped in -short mode")
+	}
+	for _, s := range All() {
+		s := s
+		t.Run(s.ID, func(t *testing.T) {
+			a, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Text != b.Text {
+				t.Errorf("%s renders differently across runs", s.ID)
+			}
+			if len(a.Notes) != len(b.Notes) {
+				t.Fatalf("%s produced %d then %d notes", s.ID, len(a.Notes), len(b.Notes))
+			}
+			for i := range a.Notes {
+				if a.Notes[i] != b.Notes[i] {
+					t.Errorf("%s note %d differs across runs", s.ID, i)
+				}
+			}
+		})
+	}
+}
+
+// runAndCheck executes one experiment and requires every paper
+// prediction to hold.
+func runAndCheck(t *testing.T, id string) *Result {
+	t.Helper()
+	spec, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	res, err := spec.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if !res.Pass {
+		t.Errorf("%s failed its reproduction checks:\n%s", id, res.Render())
+	}
+	if res.Text == "" {
+		t.Errorf("%s produced no exhibit text", id)
+	}
+	return res
+}
+
+func TestE1(t *testing.T) {
+	res := runAndCheck(t, "E1")
+	if !strings.Contains(res.Text, "r2-r1") {
+		t.Errorf("Table 1 symbolic form missing:\n%s", res.Text)
+	}
+}
+
+func TestE2(t *testing.T)  { runAndCheck(t, "E2") }
+func TestE3(t *testing.T)  { runAndCheck(t, "E3") }
+func TestE4(t *testing.T)  { runAndCheck(t, "E4") }
+func TestE5(t *testing.T)  { runAndCheck(t, "E5") }
+func TestE6(t *testing.T)  { runAndCheck(t, "E6") }
+func TestE7(t *testing.T)  { runAndCheck(t, "E7") }
+func TestE8(t *testing.T)  { runAndCheck(t, "E8") }
+func TestE9(t *testing.T)  { runAndCheck(t, "E9") }
+func TestE10(t *testing.T) { runAndCheck(t, "E10") }
+func TestE11(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy; skipped in -short mode")
+	}
+	runAndCheck(t, "E11")
+}
+func TestE12(t *testing.T) { runAndCheck(t, "E12") }
+func TestE13(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy; skipped in -short mode")
+	}
+	runAndCheck(t, "E13")
+}
+func TestE14(t *testing.T) { runAndCheck(t, "E14") }
+func TestE15(t *testing.T) { runAndCheck(t, "E15") }
+func TestE16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy; skipped in -short mode")
+	}
+	runAndCheck(t, "E16")
+}
+func TestE17(t *testing.T) { runAndCheck(t, "E17") }
+func TestE18(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy; skipped in -short mode")
+	}
+	runAndCheck(t, "E18")
+}
+func TestE19(t *testing.T) { runAndCheck(t, "E19") }
+func TestE20(t *testing.T) { runAndCheck(t, "E20") }
+func TestE21(t *testing.T) { runAndCheck(t, "E21") }
+func TestA1(t *testing.T)  { runAndCheck(t, "A1") }
+func TestA2(t *testing.T)  { runAndCheck(t, "A2") }
+func TestA3(t *testing.T)  { runAndCheck(t, "A3") }

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSymmetricRecursionFixedPoint(t *testing.T) {
+	// r* = √β / N is a fixed point of the raw recursion.
+	const (
+		eta  = 0.05
+		beta = 0.25
+		n    = 10
+	)
+	m := SymmetricRecursion(eta, beta, n)
+	rstar := math.Sqrt(beta) / float64(n)
+	if got := m(rstar); math.Abs(got-rstar) > 1e-15 {
+		t.Errorf("m(r*) = %v, want %v", got, rstar)
+	}
+	// Multiplier at the fixed point: 1 − 2ηN√β = 1 − ηN for β = 1/4.
+	h := 1e-8
+	mult := (m(rstar+h) - m(rstar-h)) / (2 * h)
+	want := 1 - eta*float64(n)
+	if math.Abs(mult-want) > 1e-5 {
+		t.Errorf("multiplier = %v, want %v", mult, want)
+	}
+}
+
+func TestSymmetricRecursionTruncated(t *testing.T) {
+	m := SymmetricRecursionTruncated(1, 0.25, 100)
+	// A large rate overshoots far negative in the raw map; the
+	// truncated map pins it at zero.
+	if got := m(1); got != 0 {
+		t.Errorf("truncated m(1) = %v, want 0", got)
+	}
+	// From zero the map injects η·β.
+	if got := m(0); math.Abs(got-0.25) > 1e-15 {
+		t.Errorf("truncated m(0) = %v, want 0.25", got)
+	}
+	// Where the raw map is non-negative the two agree.
+	raw := SymmetricRecursion(1, 0.25, 100)
+	x := 0.004
+	if m(x) != raw(x) {
+		t.Errorf("truncated and raw maps should agree at %v", x)
+	}
+}
+
+func TestIndexOf(t *testing.T) {
+	xs := []int{1, 2, 4, 2}
+	if got := indexOf(xs, 2); got != 1 {
+		t.Errorf("indexOf(2) = %d, want 1", got)
+	}
+	if got := indexOf(xs, 9); got != -1 {
+		t.Errorf("indexOf(9) = %d, want -1", got)
+	}
+}
+
+func TestRatioNear(t *testing.T) {
+	if !ratioNear(1.0000001, 1, 1e-6) {
+		t.Error("nearly equal ratios should pass")
+	}
+	if ratioNear(1.1, 1, 1e-6) {
+		t.Error("10% apart should fail at 1e-6")
+	}
+	if !ratioNear(0, 0, 1e-6) {
+		t.Error("0/0 convention should pass")
+	}
+	if ratioNear(1, 0, 1e-6) {
+		t.Error("x/0 should fail")
+	}
+}
+
+func TestContains(t *testing.T) {
+	if !contains([]int{3, 1}, 1) || contains([]int{3, 1}, 2) {
+		t.Error("contains misbehaves")
+	}
+}
+
+func TestSymbolicTable1Cells(t *testing.T) {
+	rates := []float64{1, 2, 3, 4}
+	if got := symbolic(rates, 0); got != "r1" {
+		t.Errorf("class A cell = %q", got)
+	}
+	if got := symbolic(rates, 2); got != "r3-r2" {
+		t.Errorf("class C cell = %q", got)
+	}
+}

@@ -1,0 +1,155 @@
+// Package fairness implements the fairness side of the paper: the
+// Theorem 2 constructive fair steady state (a progressive-filling /
+// water-filling computation over bottleneck gateways), the fairness
+// predicate of Section 2.4.2 (no connection's bottleneck carries a
+// faster connection), and the Jain index as a scalar summary.
+package fairness
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nettheory/feedbackflow/internal/core"
+	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/signal"
+	"github.com/nettheory/feedbackflow/internal/topology"
+)
+
+// FairAllocation computes the unique fair steady state of Theorem 2
+// for a TSI flow control with steady-state signal bss and signal
+// function b, on network net.
+//
+// The construction follows the paper exactly: bss determines a
+// steady-state total congestion C_SS = B⁻¹(bss) at every bottleneck,
+// hence a bottleneck load ρ_SS = g⁻¹(C_SS); then, repeatedly, the
+// gateway β with the smallest per-connection share ρ_SS·μ̃^β/Ñ^β has
+// all its unassigned connections frozen at that share, and each frozen
+// connection reduces the effective capacity μ̃^a of every other
+// gateway it crosses by r_i/ρ_SS. This is max-min fairness with
+// per-gateway capacity ρ_SS·μ^a.
+func FairAllocation(net *topology.Network, b signal.Func, bss float64) ([]float64, error) {
+	if net == nil {
+		return nil, fmt.Errorf("fairness: nil network")
+	}
+	if bss < 0 || bss > 1 || math.IsNaN(bss) {
+		return nil, fmt.Errorf("fairness: bss %v outside [0,1]", bss)
+	}
+	css, err := b.Inverse(bss)
+	if err != nil {
+		return nil, err
+	}
+	rho := queueing.GInv(css)
+	n := net.NumConnections()
+	r := make([]float64, n)
+	if rho == 0 {
+		return r, nil
+	}
+
+	assigned := make([]bool, n)
+	muEff := make([]float64, net.NumGateways())
+	count := make([]int, net.NumGateways())
+	for a := 0; a < net.NumGateways(); a++ {
+		muEff[a] = net.Gateway(a).Mu
+		count[a] = net.NumAt(a)
+	}
+	for remaining := n; remaining > 0; {
+		// Pick the gateway with the smallest per-connection share.
+		beta := -1
+		best := math.Inf(1)
+		for a := 0; a < net.NumGateways(); a++ {
+			if count[a] == 0 {
+				continue
+			}
+			share := rho * muEff[a] / float64(count[a])
+			if share < best {
+				best = share
+				beta = a
+			}
+		}
+		if beta < 0 {
+			return nil, fmt.Errorf("fairness: %d connections left with no loaded gateway", remaining)
+		}
+		if best < 0 {
+			// Capacity exhausted by earlier assignments beyond this
+			// gateway's budget; clamp to zero rather than go negative.
+			best = 0
+		}
+		for _, i := range net.Connections(beta) {
+			if assigned[i] {
+				continue
+			}
+			assigned[i] = true
+			remaining--
+			r[i] = best
+			for _, a := range net.Route(i) {
+				count[a]--
+				muEff[a] -= best / rho
+			}
+		}
+	}
+	return r, nil
+}
+
+// Violation records one fairness failure: connection Faster sends
+// more than connection Slower at Slower's bottleneck Gateway.
+type Violation struct {
+	Slower, Faster, Gateway int
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("connection %d outpaces connection %d at its bottleneck gateway %d",
+		v.Faster, v.Slower, v.Gateway)
+}
+
+// Report is the result of a fairness evaluation.
+type Report struct {
+	Fair       bool
+	Violations []Violation
+	JainIndex  float64
+}
+
+// Evaluate applies the Section 2.4.2 fairness criterion to a rate
+// vector: a steady state is fair if, at each bottleneck gateway of
+// each connection, no other connection sends at a higher rate.
+// obs must be the observation of sys at r (core.System.Observe).
+// tol is the relative rate tolerance for "higher".
+func Evaluate(sys *core.System, obs *core.Observation, r []float64, tol float64) (Report, error) {
+	if sys == nil || obs == nil {
+		return Report{}, fmt.Errorf("fairness: nil system or observation")
+	}
+	net := sys.Network()
+	if len(r) != net.NumConnections() {
+		return Report{}, fmt.Errorf("fairness: %d rates for %d connections", len(r), net.NumConnections())
+	}
+	rep := Report{Fair: true, JainIndex: JainIndex(r)}
+	for i := range r {
+		for _, a := range obs.Bottlenecks[i] {
+			for _, j := range net.Connections(a) {
+				if r[j] > r[i]+tol*(1+r[i]) {
+					rep.Fair = false
+					rep.Violations = append(rep.Violations, Violation{Slower: i, Faster: j, Gateway: a})
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// JainIndex returns Jain's fairness index (Σr)²/(N·Σr²) ∈ (0, 1]; 1
+// means perfectly equal rates. A zero vector yields 1 by convention
+// (equal shares of nothing).
+func JainIndex(r []float64) float64 {
+	if len(r) == 0 {
+		return 1
+	}
+	sum, sumSq := 0.0, 0.0
+	for _, ri := range r {
+		sum += ri
+		sumSq += ri * ri
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(r)) * sumSq)
+}

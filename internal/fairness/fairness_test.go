@@ -1,0 +1,397 @@
+package fairness
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/nettheory/feedbackflow/internal/control"
+	"github.com/nettheory/feedbackflow/internal/core"
+	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/signal"
+	"github.com/nettheory/feedbackflow/internal/topology"
+)
+
+func TestFairAllocationSingleGateway(t *testing.T) {
+	net, err := topology.SingleGateway(4, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bss = 0.5 with the rational signal: C_SS = 1, ρ_SS = 0.5.
+	r, err := FairAllocation(net, signal.Rational{}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 * 2 / 4
+	for i, ri := range r {
+		if math.Abs(ri-want) > 1e-12 {
+			t.Errorf("r[%d] = %v, want %v", i, ri, want)
+		}
+	}
+}
+
+func TestFairAllocationEdgeSignals(t *testing.T) {
+	net, err := topology.SingleGateway(2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := FairAllocation(net, signal.Rational{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[0] != 0 || r[1] != 0 {
+		t.Errorf("bss=0 should allocate zero rates, got %v", r)
+	}
+	r, err = FairAllocation(net, signal.Rational{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bss=1 ⇒ ρ_SS=1: the fair point saturates the gateway.
+	if math.Abs(r[0]+r[1]-1) > 1e-12 {
+		t.Errorf("bss=1 should saturate: Σr = %v", r[0]+r[1])
+	}
+	if _, err := FairAllocation(net, signal.Rational{}, 1.5); err == nil {
+		t.Error("want error for bss > 1")
+	}
+	if _, err := FairAllocation(nil, signal.Rational{}, 0.5); err == nil {
+		t.Error("want error for nil network")
+	}
+}
+
+func TestFairAllocationWaterFilling(t *testing.T) {
+	// Gateways A (μ=1) and B (μ=2); long connection through both, one
+	// cross connection at each. With ρ_SS = 0.5:
+	// round 1: shares A: 0.5/2 = 0.25, B: 1/2 = 0.5 → β = A, long and
+	// crossA get 0.25; B's capacity drops by 0.25/0.5 = 0.5 → μ̃_B=1.5.
+	// round 2: crossB gets 0.5·1.5 = 0.75.
+	var bld topology.Builder
+	ga := bld.AddGateway("A", 1, 0)
+	gb := bld.AddGateway("B", 2, 0)
+	long := bld.AddConnection(ga, gb)
+	crossA := bld.AddConnection(ga)
+	crossB := bld.AddConnection(gb)
+	net, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := FairAllocation(net, signal.Rational{}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r[long]-0.25) > 1e-12 || math.Abs(r[crossA]-0.25) > 1e-12 {
+		t.Errorf("bottleneck shares: long=%v crossA=%v, want 0.25", r[long], r[crossA])
+	}
+	if math.Abs(r[crossB]-0.75) > 1e-12 {
+		t.Errorf("crossB = %v, want 0.75", r[crossB])
+	}
+	// Gateway loads must not exceed ρ_SS·μ.
+	if tot := r[long] + r[crossB]; math.Abs(tot-1.0) > 1e-12 {
+		t.Errorf("gateway B load = %v, want 1.0 = ρ_SS·μ_B", tot)
+	}
+}
+
+func TestFairAllocationParkingLotUniform(t *testing.T) {
+	net, err := topology.ParkingLot(3, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := FairAllocation(net, signal.Rational{}, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric hops: everyone (long + crosses) gets ρ_SS·μ/2 = 0.3.
+	for i, ri := range r {
+		if math.Abs(ri-0.3) > 1e-12 {
+			t.Errorf("r[%d] = %v, want 0.3", i, ri)
+		}
+	}
+}
+
+// The Corollary to Theorem 3: the individual-feedback steady state
+// reached by iteration equals the Theorem 2 construction, for both
+// disciplines, on a multi-bottleneck network.
+func TestFairAllocationMatchesIndividualSteadyState(t *testing.T) {
+	var bld topology.Builder
+	ga := bld.AddGateway("A", 1, 0.1)
+	gb := bld.AddGateway("B", 2, 0.2)
+	bld.AddConnection(ga, gb)
+	bld.AddConnection(ga)
+	bld.AddConnection(gb)
+	net, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bss = 0.5
+	want, err := FairAllocation(net, signal.Rational{}, bss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, disc := range []queueing.Discipline{queueing.FIFO{}, queueing.FairShare{}} {
+		law := control.AdditiveTSI{Eta: 0.05, BSS: bss}
+		sys, err := core.NewSystem(net, disc, signal.Individual, signal.Rational{}, control.Uniform(law, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run([]float64{0.05, 0.3, 0.6}, core.RunOptions{MaxSteps: 100000, Tol: 1e-11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("%s: did not converge", disc.Name())
+		}
+		for i := range want {
+			if math.Abs(res.Rates[i]-want[i]) > 1e-4*(1+want[i]) {
+				t.Errorf("%s: r[%d] = %v, construction says %v", disc.Name(), i, res.Rates[i], want[i])
+			}
+		}
+		// The construction is a zero-residual steady state of the system.
+		resid, err := sys.Residual(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resid > 1e-9 {
+			t.Errorf("%s: residual at constructed fair point = %v", disc.Name(), resid)
+		}
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal rates: %v, want 1", got)
+	}
+	// One of two gets everything: index 1/2.
+	if got := JainIndex([]float64{1, 0}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("starved pair: %v, want 0.5", got)
+	}
+	if got := JainIndex(nil); got != 1 {
+		t.Errorf("empty: %v, want 1", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 1 {
+		t.Errorf("all-zero: %v, want 1", got)
+	}
+}
+
+func TestEvaluateFairAndUnfair(t *testing.T) {
+	net, err := topology.SingleGateway(2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	law := control.AdditiveTSI{Eta: 0.1, BSS: 0.5}
+	sys, err := core.NewSystem(net, queueing.FIFO{}, signal.Aggregate, signal.Rational{}, control.Uniform(law, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fair point: equal rates.
+	rFair := []float64{0.25, 0.25}
+	obs, err := sys.Observe(rFair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Evaluate(sys, obs, rFair, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Fair || len(rep.Violations) != 0 {
+		t.Errorf("equal rates should be fair: %+v", rep)
+	}
+	// Unfair manifold point: same sum, skewed split.
+	rSkew := []float64{0.4, 0.1}
+	obs, err = sys.Observe(rSkew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Evaluate(sys, obs, rSkew, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fair {
+		t.Error("skewed rates sharing a bottleneck should be unfair")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Slower == 1 && v.Faster == 0 && v.Gateway == 0 {
+			found = true
+		}
+		if v.String() == "" {
+			t.Error("violation should render")
+		}
+	}
+	if !found {
+		t.Errorf("expected violation (1 slower than 0 at gw 0), got %+v", rep.Violations)
+	}
+	if rep.JainIndex >= 1 {
+		t.Errorf("Jain index of skewed rates = %v, want < 1", rep.JainIndex)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	net, _ := topology.SingleGateway(2, 1, 0)
+	law := control.AdditiveTSI{Eta: 0.1, BSS: 0.5}
+	sys, _ := core.NewSystem(net, queueing.FIFO{}, signal.Aggregate, signal.Rational{}, control.Uniform(law, 2))
+	obs, _ := sys.Observe([]float64{0.1, 0.1})
+	if _, err := Evaluate(nil, obs, []float64{0.1, 0.1}, 1e-9); err == nil {
+		t.Error("want error for nil system")
+	}
+	if _, err := Evaluate(sys, nil, []float64{0.1, 0.1}, 1e-9); err == nil {
+		t.Error("want error for nil observation")
+	}
+	if _, err := Evaluate(sys, obs, []float64{0.1}, 1e-9); err == nil {
+		t.Error("want error for rate length mismatch")
+	}
+}
+
+// Property: the fair allocation never overloads a gateway beyond
+// ρ_SS·μ, saturates at least one gateway per connection's path at
+// exactly ρ_SS·μ (its bottleneck), and is scale-covariant (TSI).
+func TestPropFairAllocationInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net, err := topology.Random(rng, 2+rng.Intn(4), 2+rng.Intn(6), 2, 0.5, 3, 0)
+		if err != nil {
+			return false
+		}
+		bss := 0.2 + 0.6*rng.Float64()
+		r, err := FairAllocation(net, signal.Rational{}, bss)
+		if err != nil {
+			return false
+		}
+		css, err := signal.Rational{}.Inverse(bss)
+		if err != nil {
+			return false
+		}
+		rho := queueing.GInv(css)
+		// Per-gateway load bound, and bottleneck saturation.
+		loads := make([]float64, net.NumGateways())
+		for a := 0; a < net.NumGateways(); a++ {
+			for _, i := range net.Connections(a) {
+				loads[a] += r[i]
+			}
+			if loads[a] > rho*net.Gateway(a).Mu+1e-9 {
+				return false
+			}
+		}
+		for i := 0; i < net.NumConnections(); i++ {
+			saturated := false
+			for _, a := range net.Route(i) {
+				if loads[a] >= rho*net.Gateway(a).Mu-1e-9 {
+					saturated = true
+					break
+				}
+			}
+			if !saturated {
+				return false // rate could be raised: not max-min
+			}
+		}
+		// TSI: scaling servers scales the allocation.
+		c := 1 + rng.Float64()*10
+		scaled, err := net.ScaleServers(c)
+		if err != nil {
+			return false
+		}
+		rc, err := FairAllocation(scaled, signal.Rational{}, bss)
+		if err != nil {
+			return false
+		}
+		for i := range r {
+			if math.Abs(rc[i]-c*r[i]) > 1e-9*(1+c*r[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: raising any single gateway's capacity never lowers the
+// minimum fair rate — max-min fairness maximizes the minimum, and a
+// larger capacity region can only raise it. (Note individual rates CAN
+// drop: freeing one bottleneck lets its connections claim more
+// elsewhere; only the minimum is protected.)
+func TestPropFairAllocationMinMonotoneInCapacity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net, err := topology.Random(rng, 2+rng.Intn(3), 2+rng.Intn(5), 2, 0.5, 2, 0)
+		if err != nil {
+			return false
+		}
+		const bss = 0.5
+		before, err := FairAllocation(net, signal.Rational{}, bss)
+		if err != nil {
+			return false
+		}
+		// Rebuild with one gateway's μ raised.
+		target := rng.Intn(net.NumGateways())
+		var bld topology.Builder
+		for a := 0; a < net.NumGateways(); a++ {
+			g := net.Gateway(a)
+			mu := g.Mu
+			if a == target {
+				mu *= 1 + rng.Float64()*3
+			}
+			bld.AddGateway(g.Name, mu, g.Latency)
+		}
+		for i := 0; i < net.NumConnections(); i++ {
+			bld.AddConnection(net.Route(i)...)
+		}
+		bigger, err := bld.Build()
+		if err != nil {
+			return false
+		}
+		after, err := FairAllocation(bigger, signal.Rational{}, bss)
+		if err != nil {
+			return false
+		}
+		minBefore, minAfter := math.Inf(1), math.Inf(1)
+		for i := range before {
+			minBefore = math.Min(minBefore, before[i])
+			minAfter = math.Min(minAfter, after[i])
+		}
+		return minAfter >= minBefore-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the fair allocation is a zero-residual steady state of the
+// individual-feedback system (any discipline), and Evaluate judges it
+// fair — the Theorem 2/Theorem 3 consistency requirement.
+func TestPropFairAllocationIsSteadyAndFair(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net, err := topology.Random(rng, 1+rng.Intn(3), 1+rng.Intn(5), 1, 0.5, 2, 0.1)
+		if err != nil {
+			return false
+		}
+		bss := 0.2 + 0.6*rng.Float64()
+		r, err := FairAllocation(net, signal.Rational{}, bss)
+		if err != nil {
+			return false
+		}
+		law := control.AdditiveTSI{Eta: 0.1, BSS: bss}
+		disc := queueing.Discipline(queueing.FIFO{})
+		if seed%2 == 0 {
+			disc = queueing.FairShare{}
+		}
+		sys, err := core.NewSystem(net, disc, signal.Individual, signal.Rational{}, control.Uniform(law, net.NumConnections()))
+		if err != nil {
+			return false
+		}
+		resid, err := sys.Residual(r)
+		if err != nil || resid > 1e-8 {
+			return false
+		}
+		obs, err := sys.Observe(r)
+		if err != nil {
+			return false
+		}
+		rep, err := Evaluate(sys, obs, r, 1e-9)
+		return err == nil && rep.Fair
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package game implements the game-theoretic view of gateway service
+// disciplines that motivated Fair Share in the first place: the paper
+// introduces FS citing [She89] ("Making Greed Work in Networks"),
+// where sources are *selfish* — each picks its own sending rate to
+// maximize a private utility, throughput minus a delay penalty —
+// rather than obedient implementers of a flow-control law.
+//
+// The utility used here is
+//
+//	U_i(r) = r_i − α_i · W_i(r)
+//
+// with W_i the mean sojourn time of connection i's packets at a shared
+// gateway. Under FIFO, W is common property (one connection's traffic
+// delays everyone identically), so the game has a continuum of Nash
+// equilibria, almost all unfair — whoever moves first grabs the
+// capacity. Under Fair Share, each connection's delay is essentially
+// its own doing, and sequential best-response dynamics converge to a
+// unique, fair equilibrium. Experiment E20 charts both.
+package game
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nettheory/feedbackflow/internal/queueing"
+)
+
+// Config fixes a single-gateway rate-setting game.
+type Config struct {
+	// Disc is the gateway service discipline.
+	Disc queueing.Discipline
+	// Mu is the gateway service rate.
+	Mu float64
+	// Alpha is each player's delay sensitivity (α_i > 0); its length
+	// sets the player count.
+	Alpha []float64
+}
+
+func (c Config) validate() error {
+	if c.Disc == nil {
+		return fmt.Errorf("game: nil discipline")
+	}
+	if c.Mu <= 0 || math.IsNaN(c.Mu) || math.IsInf(c.Mu, 0) {
+		return fmt.Errorf("game: invalid service rate %v", c.Mu)
+	}
+	if len(c.Alpha) == 0 {
+		return fmt.Errorf("game: no players")
+	}
+	for i, a := range c.Alpha {
+		if a <= 0 || math.IsNaN(a) || math.IsInf(a, 0) {
+			return fmt.Errorf("game: invalid delay sensitivity α[%d] = %v", i, a)
+		}
+	}
+	return nil
+}
+
+// Utility returns U_i(r) = r_i − α_i·W_i(r). Overloaded states yield
+// −Inf (infinite delay penalty).
+func Utility(cfg Config, r []float64, i int) (float64, error) {
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	if len(r) != len(cfg.Alpha) {
+		return 0, fmt.Errorf("game: %d rates for %d players", len(r), len(cfg.Alpha))
+	}
+	if i < 0 || i >= len(r) {
+		return 0, fmt.Errorf("game: player %d out of range", i)
+	}
+	w, err := cfg.Disc.SojournTimes(r, cfg.Mu)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsInf(w[i], 1) {
+		return math.Inf(-1), nil
+	}
+	return r[i] - cfg.Alpha[i]*w[i], nil
+}
+
+// BestResponse returns player i's utility-maximizing rate holding the
+// other rates fixed, found by golden-section search over [0, r_max)
+// where r_max keeps player i's own service feasible.
+func BestResponse(cfg Config, r []float64, i int) (float64, error) {
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	if len(r) != len(cfg.Alpha) {
+		return 0, fmt.Errorf("game: %d rates for %d players", len(r), len(cfg.Alpha))
+	}
+	probe := append([]float64(nil), r...)
+	u := func(ri float64) float64 {
+		probe[i] = ri
+		w, err := cfg.Disc.SojournTimes(probe, cfg.Mu)
+		if err != nil || math.IsInf(w[i], 1) || math.IsNaN(w[i]) {
+			return math.Inf(-1)
+		}
+		return ri - cfg.Alpha[i]*w[i]
+	}
+	// Upper bracket: the rate can never usefully exceed μ.
+	lo, hi := 0.0, cfg.Mu
+	// Golden-section search; U is unimodal in r_i for both disciplines
+	// (concave throughput term, convex delay term).
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, f2 := u(x1), u(x2)
+	for it := 0; it < 200 && b-a > 1e-12*(1+b); it++ {
+		if f1 >= f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1 = u(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2 = u(x2)
+		}
+	}
+	best := 0.5 * (a + b)
+	// A corner at zero can beat the interior stationary point when the
+	// delay penalty is overwhelming.
+	if u(0) >= u(best) {
+		return 0, nil
+	}
+	return best, nil
+}
+
+// Result reports a best-response dynamics run.
+type Result struct {
+	// Rates is the final rate profile.
+	Rates []float64
+	// Rounds is the number of full sequential sweeps performed.
+	Rounds int
+	// Converged reports whether a sweep changed no rate by more than
+	// the tolerance.
+	Converged bool
+}
+
+// SequentialBestResponse runs round-robin best-response dynamics from
+// r0: in each round every player, in index order, replaces its rate
+// with its best response to the current profile.
+func SequentialBestResponse(cfg Config, r0 []float64, maxRounds int, tol float64) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(r0) != len(cfg.Alpha) {
+		return nil, fmt.Errorf("game: %d initial rates for %d players", len(r0), len(cfg.Alpha))
+	}
+	if maxRounds <= 0 {
+		maxRounds = 1000
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	r := append([]float64(nil), r0...)
+	res := &Result{}
+	for round := 0; round < maxRounds; round++ {
+		maxChange := 0.0
+		for i := range r {
+			br, err := BestResponse(cfg, r, i)
+			if err != nil {
+				return nil, err
+			}
+			if c := math.Abs(br - r[i]); c > maxChange {
+				maxChange = c
+			}
+			r[i] = br
+		}
+		res.Rounds = round + 1
+		if maxChange <= tol*(1+maxAbs(r)) {
+			res.Converged = true
+			break
+		}
+	}
+	res.Rates = r
+	return res, nil
+}
+
+func maxAbs(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// NashGap returns the largest utility improvement any single player
+// could gain by deviating unilaterally from r — zero (within numeric
+// noise) exactly at a Nash equilibrium.
+func NashGap(cfg Config, r []float64) (float64, error) {
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	gap := 0.0
+	for i := range r {
+		cur, err := Utility(cfg, r, i)
+		if err != nil {
+			return 0, err
+		}
+		br, err := BestResponse(cfg, r, i)
+		if err != nil {
+			return 0, err
+		}
+		probe := append([]float64(nil), r...)
+		probe[i] = br
+		best, err := Utility(cfg, probe, i)
+		if err != nil {
+			return 0, err
+		}
+		if d := best - cur; d > gap {
+			gap = d
+		}
+	}
+	return gap, nil
+}

@@ -1,0 +1,223 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nettheory/feedbackflow/internal/queueing"
+)
+
+func fifoCfg(n int, alpha float64) Config {
+	a := make([]float64, n)
+	for i := range a {
+		a[i] = alpha
+	}
+	return Config{Disc: queueing.FIFO{}, Mu: 1, Alpha: a}
+}
+
+func fsCfg(n int, alpha float64) Config {
+	c := fifoCfg(n, alpha)
+	c.Disc = queueing.FairShare{}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Disc: nil, Mu: 1, Alpha: []float64{1}},
+		{Disc: queueing.FIFO{}, Mu: 0, Alpha: []float64{1}},
+		{Disc: queueing.FIFO{}, Mu: 1, Alpha: nil},
+		{Disc: queueing.FIFO{}, Mu: 1, Alpha: []float64{-1}},
+		{Disc: queueing.FIFO{}, Mu: 1, Alpha: []float64{math.NaN()}},
+	}
+	for k, cfg := range bad {
+		if _, err := Utility(cfg, make([]float64, len(cfg.Alpha)), 0); err == nil {
+			t.Errorf("case %d: want validation error", k)
+		}
+	}
+	good := fifoCfg(2, 0.01)
+	if _, err := Utility(good, []float64{0.1}, 0); err == nil {
+		t.Error("want rate-length error")
+	}
+	if _, err := Utility(good, []float64{0.1, 0.1}, 5); err == nil {
+		t.Error("want player-range error")
+	}
+	if _, err := SequentialBestResponse(good, []float64{0.1}, 10, 1e-9); err == nil {
+		t.Error("want initial-length error")
+	}
+	if _, err := BestResponse(good, []float64{0.1}, 0); err == nil {
+		t.Error("want best-response length error")
+	}
+}
+
+func TestUtilityKnown(t *testing.T) {
+	// Single FIFO player at r=0.5, μ=1, α=0.1: W = 1/(1−0.5) = 2,
+	// U = 0.5 − 0.2.
+	cfg := fifoCfg(1, 0.1)
+	u, err := Utility(cfg, []float64{0.5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u-0.3) > 1e-12 {
+		t.Errorf("U = %v, want 0.3", u)
+	}
+	// Overload: −Inf.
+	u, err = Utility(cfg, []float64{1.5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(u, -1) {
+		t.Errorf("overload U = %v, want -Inf", u)
+	}
+}
+
+func TestBestResponseSinglePlayerFIFO(t *testing.T) {
+	// One player: max r − α/(μ−r) has optimum at r = μ − √α.
+	cfg := fifoCfg(1, 0.04)
+	br, err := BestResponse(cfg, []float64{0.1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - 0.2
+	if math.Abs(br-want) > 1e-6 {
+		t.Errorf("best response %v, want %v", br, want)
+	}
+}
+
+func TestBestResponseCornerAtZero(t *testing.T) {
+	// Huge delay sensitivity: staying silent beats any transmission.
+	// (For FIFO the probe still pays the queueing delay of the other
+	// connection's traffic, so U(0) = −α·W(0) > −∞ but any r > 0
+	// earns less than it costs when α is large enough... the corner
+	// must win.)
+	cfg := fifoCfg(2, 100)
+	br, err := BestResponse(cfg, []float64{0.1, 0.3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br != 0 {
+		t.Errorf("best response %v, want 0 (corner)", br)
+	}
+}
+
+func TestFIFOEquilibriumDependsOnHistory(t *testing.T) {
+	// FIFO: the game has a continuum of equilibria with the same
+	// total μ−√α; the sequential first mover takes the slack, so
+	// different starts end at different (generally unfair) equilibria.
+	cfg := fifoCfg(2, 0.04)
+	a, err := SequentialBestResponse(cfg, []float64{0, 0}, 100, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SequentialBestResponse(cfg, []float64{0, 0.5}, 100, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Converged || !b.Converged {
+		t.Fatal("FIFO dynamics should converge")
+	}
+	wantTotal := 1 - 0.2
+	for _, res := range []*Result{a, b} {
+		if math.Abs(res.Rates[0]+res.Rates[1]-wantTotal) > 1e-6 {
+			t.Errorf("total %v, want %v", res.Rates[0]+res.Rates[1], wantTotal)
+		}
+		gap, err := NashGap(cfg, res.Rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gap > 1e-6 {
+			t.Errorf("Nash gap %v at %v", gap, res.Rates)
+		}
+	}
+	// Different histories, different equilibria.
+	if math.Abs(a.Rates[0]-b.Rates[0]) < 0.1 {
+		t.Errorf("equilibria should differ: %v vs %v", a.Rates, b.Rates)
+	}
+	// The zero-start first mover grabs everything.
+	if a.Rates[0] < wantTotal-1e-6 || a.Rates[1] > 1e-6 {
+		t.Errorf("first mover should take the whole slack: %v", a.Rates)
+	}
+}
+
+func TestFairShareEquilibriumUniqueAndFair(t *testing.T) {
+	// Fair Share: selfish symmetric players reach the same fair
+	// equilibrium from very different starts — greed works.
+	cfg := fsCfg(3, 0.04)
+	starts := [][]float64{
+		{0, 0, 0},
+		{0.8, 0.01, 0.01},
+		{0.1, 0.4, 0.2},
+	}
+	var ref []float64
+	for k, r0 := range starts {
+		res, err := SequentialBestResponse(cfg, r0, 300, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("start %d did not converge", k)
+		}
+		gap, err := NashGap(cfg, res.Rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gap > 1e-6 {
+			t.Errorf("start %d: Nash gap %v", k, gap)
+		}
+		// Nearly fair: the min() kink in the Fair Share delay lets one
+		// player perch a few percent above the tie, so exact symmetry
+		// is not an equilibrium — but the spread stays within 5%
+		// (contrast FIFO, where total starvation is an equilibrium).
+		lo, hi := res.Rates[0], res.Rates[0]
+		for _, ri := range res.Rates {
+			lo = math.Min(lo, ri)
+			hi = math.Max(hi, ri)
+		}
+		if hi > 1.05*lo {
+			t.Errorf("start %d: equilibrium spread too wide: %v", k, res.Rates)
+		}
+		if ref == nil {
+			ref = res.Rates
+		} else {
+			for i := range ref {
+				if math.Abs(res.Rates[i]-ref[i]) > 1e-5 {
+					t.Errorf("start %d: equilibrium differs from reference: %v vs %v", k, res.Rates, ref)
+				}
+			}
+		}
+	}
+	// The equilibrium is non-degenerate.
+	if ref[0] < 0.01 {
+		t.Errorf("degenerate equilibrium %v", ref)
+	}
+}
+
+func TestFairShareProtectsFromGreedyNeighbor(t *testing.T) {
+	// A nearly delay-insensitive hog (tiny α) shares a Fair Share
+	// gateway with a sensitive player. The sensitive player's
+	// equilibrium rate must stay well above zero.
+	cfg := Config{Disc: queueing.FairShare{}, Mu: 1, Alpha: []float64{1e-4, 0.04}}
+	res, err := SequentialBestResponse(cfg, []float64{0.1, 0.1}, 300, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if res.Rates[1] < 0.05 {
+		t.Errorf("sensitive player starved: %v", res.Rates)
+	}
+	if res.Rates[0] < res.Rates[1] {
+		t.Errorf("the hog should send at least as fast: %v", res.Rates)
+	}
+}
+
+func TestNashGapDetectsNonEquilibrium(t *testing.T) {
+	cfg := fifoCfg(2, 0.04)
+	gap, err := NashGap(cfg, []float64{0.01, 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap < 0.1 {
+		t.Errorf("a clearly suboptimal profile should have a large gap, got %v", gap)
+	}
+}

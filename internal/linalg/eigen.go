@@ -1,0 +1,379 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNoConvergence is returned when the QR iteration fails to isolate
+// an eigenvalue within its iteration budget; in practice this only
+// happens for pathologically conditioned inputs.
+var ErrNoConvergence = errors.New("linalg: QR eigenvalue iteration did not converge")
+
+// Eigenvalues returns all eigenvalues of the square matrix a as
+// complex128 values, sorted by decreasing magnitude (ties broken by
+// real part, then imaginary part). The input is not modified.
+//
+// The implementation is the classical dense route: diagonal balancing,
+// reduction to upper Hessenberg form by stabilized elementary
+// similarity transformations, then the implicit double-shift QR
+// iteration (the EISPACK HQR algorithm). Eigenvectors are not
+// computed; the flow-control stability analysis needs only spectra.
+func Eigenvalues(a *Matrix) ([]complex128, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, fmt.Errorf("linalg: eigenvalues of non-square %dx%d matrix", n, c)
+	}
+	h := a.Clone()
+	balance(h)
+	hessenberg(h)
+	eig, err := hqr(h)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(eig, func(i, j int) bool {
+		mi, mj := cmplxAbs(eig[i]), cmplxAbs(eig[j])
+		if mi != mj {
+			return mi > mj
+		}
+		if real(eig[i]) != real(eig[j]) {
+			return real(eig[i]) > real(eig[j])
+		}
+		return imag(eig[i]) > imag(eig[j])
+	})
+	return eig, nil
+}
+
+// SpectralRadius returns the largest eigenvalue magnitude of a.
+func SpectralRadius(a *Matrix) (float64, error) {
+	eig, err := Eigenvalues(a)
+	if err != nil {
+		return 0, err
+	}
+	return cmplxAbs(eig[0]), nil
+}
+
+func cmplxAbs(z complex128) float64 { return math.Hypot(real(z), imag(z)) }
+
+// balance applies a diagonal similarity transform (powers of the
+// floating-point radix, so it is exact) that makes row and column
+// norms comparable, improving the accuracy of the QR iteration.
+func balance(a *Matrix) {
+	const radix = 2.0
+	n, _ := a.Dims()
+	sqrdx := radix * radix
+	for done := false; !done; {
+		done = true
+		for i := 0; i < n; i++ {
+			r, c := 0.0, 0.0
+			for j := 0; j < n; j++ {
+				if j != i {
+					c += math.Abs(a.At(j, i))
+					r += math.Abs(a.At(i, j))
+				}
+			}
+			if c == 0 || r == 0 {
+				continue
+			}
+			g := r / radix
+			f := 1.0
+			s := c + r
+			for c < g {
+				f *= radix
+				c *= sqrdx
+			}
+			g = r * radix
+			for c > g {
+				f /= radix
+				c /= sqrdx
+			}
+			if (c+r)/f < 0.95*s {
+				done = false
+				g = 1 / f
+				for j := 0; j < n; j++ {
+					a.Set(i, j, a.At(i, j)*g)
+				}
+				for j := 0; j < n; j++ {
+					a.Set(j, i, a.At(j, i)*f)
+				}
+			}
+		}
+	}
+}
+
+// hessenberg reduces a to upper Hessenberg form in place using
+// stabilized elementary similarity transformations (Gaussian
+// elimination with pivoting), then zeroes the sub-sub-diagonal
+// multipliers it leaves behind.
+func hessenberg(a *Matrix) {
+	n, _ := a.Dims()
+	for m := 1; m < n-1; m++ {
+		// Pivot: largest |a[j][m-1]| for j >= m.
+		x := 0.0
+		i := m
+		for j := m; j < n; j++ {
+			if math.Abs(a.At(j, m-1)) > math.Abs(x) {
+				x = a.At(j, m-1)
+				i = j
+			}
+		}
+		if i != m {
+			for j := m - 1; j < n; j++ {
+				vi, vm := a.At(i, j), a.At(m, j)
+				a.Set(i, j, vm)
+				a.Set(m, j, vi)
+			}
+			for j := 0; j < n; j++ {
+				vi, vm := a.At(j, i), a.At(j, m)
+				a.Set(j, i, vm)
+				a.Set(j, m, vi)
+			}
+		}
+		if x != 0 {
+			for i := m + 1; i < n; i++ {
+				y := a.At(i, m-1)
+				if y == 0 {
+					continue
+				}
+				y /= x
+				a.Set(i, m-1, y)
+				for j := m; j < n; j++ {
+					a.Set(i, j, a.At(i, j)-y*a.At(m, j))
+				}
+				for j := 0; j < n; j++ {
+					a.Set(j, m, a.At(j, m)+y*a.At(j, i))
+				}
+			}
+		}
+	}
+	// Discard the multipliers stored below the subdiagonal.
+	for i := 2; i < n; i++ {
+		for j := 0; j < i-1; j++ {
+			a.Set(i, j, 0)
+		}
+	}
+}
+
+// hqr finds all eigenvalues of an upper Hessenberg matrix by the
+// implicit double-shift QR iteration. The matrix is destroyed.
+func hqr(a *Matrix) ([]complex128, error) {
+	n, _ := a.Dims()
+	eig := make([]complex128, 0, n)
+
+	anorm := 0.0
+	for i := 0; i < n; i++ {
+		lo := i - 1
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j < n; j++ {
+			anorm += math.Abs(a.At(i, j))
+		}
+	}
+	if anorm == 0 {
+		// The zero matrix: all eigenvalues are zero.
+		return make([]complex128, n), nil
+	}
+
+	nn := n - 1
+	t := 0.0
+	for nn >= 0 {
+		its := 0
+		var l int
+		for {
+			// Look for a single small subdiagonal element.
+			for l = nn; l >= 1; l-- {
+				s := math.Abs(a.At(l-1, l-1)) + math.Abs(a.At(l, l))
+				if s == 0 {
+					s = anorm
+				}
+				if math.Abs(a.At(l, l-1))+s == s {
+					a.Set(l, l-1, 0)
+					break
+				}
+			}
+			x := a.At(nn, nn)
+			if l == nn {
+				// One root found.
+				eig = append(eig, complex(x+t, 0))
+				nn--
+				break
+			}
+			y := a.At(nn-1, nn-1)
+			w := a.At(nn, nn-1) * a.At(nn-1, nn)
+			if l == nn-1 {
+				// Two roots found: solve the trailing 2x2 block.
+				p := 0.5 * (y - x)
+				q := p*p + w
+				z := math.Sqrt(math.Abs(q))
+				x += t
+				if q >= 0 {
+					// Real pair.
+					if p >= 0 {
+						z = p + z
+					} else {
+						z = p - z
+					}
+					r1 := x + z
+					r2 := r1
+					if z != 0 {
+						r2 = x - w/z
+					}
+					eig = append(eig, complex(r1, 0), complex(r2, 0))
+				} else {
+					// Complex conjugate pair.
+					eig = append(eig, complex(x+p, z), complex(x+p, -z))
+				}
+				nn -= 2
+				break
+			}
+			// No roots isolated yet: perform a double-shift QR sweep.
+			if its == 60 {
+				return nil, ErrNoConvergence
+			}
+			if its == 10 || its == 20 || its == 30 || its == 40 || its == 50 {
+				// Exceptional shift to break symmetry-induced cycling.
+				t += x
+				for i := 0; i <= nn; i++ {
+					a.Set(i, i, a.At(i, i)-x)
+				}
+				s := math.Abs(a.At(nn, nn-1)) + math.Abs(a.At(nn-1, nn-2))
+				y = 0.75 * s
+				x = y
+				w = -0.4375 * s * s
+			}
+			its++
+			var m int
+			var p, q, r float64
+			for m = nn - 2; m >= l; m-- {
+				z := a.At(m, m)
+				rr := x - z
+				ss := y - z
+				p = (rr*ss-w)/a.At(m+1, m) + a.At(m, m+1)
+				q = a.At(m+1, m+1) - z - rr - ss
+				r = a.At(m+2, m+1)
+				s := math.Abs(p) + math.Abs(q) + math.Abs(r)
+				p /= s
+				q /= s
+				r /= s
+				if m == l {
+					break
+				}
+				u := math.Abs(a.At(m, m-1)) * (math.Abs(q) + math.Abs(r))
+				v := math.Abs(p) * (math.Abs(a.At(m-1, m-1)) + math.Abs(z) + math.Abs(a.At(m+1, m+1)))
+				if u+v == v {
+					break
+				}
+			}
+			for i := m + 2; i <= nn; i++ {
+				a.Set(i, i-2, 0)
+				if i != m+2 {
+					a.Set(i, i-3, 0)
+				}
+			}
+			for k := m; k <= nn-1; k++ {
+				if k != m {
+					p = a.At(k, k-1)
+					q = a.At(k+1, k-1)
+					r = 0
+					if k != nn-1 {
+						r = a.At(k+2, k-1)
+					}
+					x = math.Abs(p) + math.Abs(q) + math.Abs(r)
+					if x != 0 {
+						p /= x
+						q /= x
+						r /= x
+					}
+				}
+				s := math.Sqrt(p*p + q*q + r*r)
+				if p < 0 {
+					s = -s
+				}
+				if s == 0 {
+					continue
+				}
+				if k == m {
+					if l != m {
+						a.Set(k, k-1, -a.At(k, k-1))
+					}
+				} else {
+					a.Set(k, k-1, -s*x)
+				}
+				p += s
+				x = p / s
+				y = q / s
+				z := r / s
+				q /= p
+				r /= p
+				// Row modification.
+				for j := k; j <= nn; j++ {
+					pp := a.At(k, j) + q*a.At(k+1, j)
+					if k != nn-1 {
+						pp += r * a.At(k+2, j)
+						a.Set(k+2, j, a.At(k+2, j)-pp*z)
+					}
+					a.Set(k+1, j, a.At(k+1, j)-pp*y)
+					a.Set(k, j, a.At(k, j)-pp*x)
+				}
+				// Column modification.
+				mmin := nn
+				if k+3 < nn {
+					mmin = k + 3
+				}
+				for i := l; i <= mmin; i++ {
+					pp := x*a.At(i, k) + y*a.At(i, k+1)
+					if k != nn-1 {
+						pp += z * a.At(i, k+2)
+						a.Set(i, k+2, a.At(i, k+2)-pp*r)
+					}
+					a.Set(i, k+1, a.At(i, k+1)-pp*q)
+					a.Set(i, k, a.At(i, k)-pp)
+				}
+			}
+		}
+	}
+	return eig, nil
+}
+
+// PowerIteration estimates the dominant eigenvalue magnitude of a by
+// repeated multiplication, as an independent cross-check on the QR
+// path. It returns the magnitude estimate after iters steps starting
+// from the all-ones vector (with a deterministic perturbation so it is
+// not orthogonal to the dominant eigenvector in symmetric cases).
+func PowerIteration(a *Matrix, iters int) (float64, error) {
+	n, c := a.Dims()
+	if n != c {
+		return 0, fmt.Errorf("linalg: power iteration on non-square %dx%d matrix", n, c)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 + 0.1*float64(i%7)
+	}
+	norm := func(v []float64) float64 {
+		s := 0.0
+		for _, e := range v {
+			s += e * e
+		}
+		return math.Sqrt(s)
+	}
+	lambda := 0.0
+	for it := 0; it < iters; it++ {
+		y, err := a.MulVec(x)
+		if err != nil {
+			return 0, err
+		}
+		ny := norm(y)
+		if ny == 0 {
+			return 0, nil
+		}
+		lambda = ny / norm(x)
+		for i := range y {
+			y[i] /= ny
+		}
+		x = y
+	}
+	return lambda, nil
+}

@@ -1,0 +1,289 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// eigClose checks that got and want contain the same multiset of
+// complex values within tol, irrespective of order.
+func eigClose(t *testing.T, got, want []complex128, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("eigenvalue count %d, want %d", len(got), len(want))
+	}
+	used := make([]bool, len(want))
+	for _, g := range got {
+		found := false
+		for i, w := range want {
+			if !used[i] && cmplxAbs(g-w) <= tol {
+				used[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("eigenvalue %v not matched in %v (got %v)", g, want, got)
+		}
+	}
+}
+
+func TestEigenDiagonal(t *testing.T) {
+	a := mustFromRows(t, [][]float64{
+		{3, 0, 0},
+		{0, -1, 0},
+		{0, 0, 7},
+	})
+	eig, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eigClose(t, eig, []complex128{3, -1, 7}, 1e-10)
+}
+
+func TestEigenSymmetric2x2(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{2, 1}, {1, 2}})
+	eig, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eigClose(t, eig, []complex128{3, 1}, 1e-10)
+}
+
+func TestEigenRotationComplexPair(t *testing.T) {
+	// Rotation by 90°: eigenvalues ±i.
+	a := mustFromRows(t, [][]float64{{0, -1}, {1, 0}})
+	eig, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eigClose(t, eig, []complex128{complex(0, 1), complex(0, -1)}, 1e-10)
+}
+
+func TestEigenCompanionCubic(t *testing.T) {
+	// Companion matrix of x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3).
+	a := mustFromRows(t, [][]float64{
+		{6, -11, 6},
+		{1, 0, 0},
+		{0, 1, 0},
+	})
+	eig, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eigClose(t, eig, []complex128{1, 2, 3}, 1e-8)
+}
+
+func TestEigenUpperTriangular(t *testing.T) {
+	a := mustFromRows(t, [][]float64{
+		{5, 1, 2, 3},
+		{0, 4, 9, -1},
+		{0, 0, -2, 7},
+		{0, 0, 0, 0.5},
+	})
+	eig, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eigClose(t, eig, []complex128{5, 4, -2, 0.5}, 1e-9)
+}
+
+// TestEigenRankOnePerturbation reproduces the spectrum the paper uses
+// in its aggregate-feedback instability example: DF = I − (η/N)·J·N?
+// Specifically, for F = I − η·(ones/N-free form), the matrix
+// A = I − η·J/μ with J the all-ones N×N matrix has eigenvalues
+// 1 − ηN (once, eigenvector 1) and 1 (N−1 times).
+func TestEigenRankOnePerturbation(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 10, 17} {
+		eta := 0.3
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := -eta
+				if i == j {
+					v += 1
+				}
+				a.Set(i, j, v)
+			}
+		}
+		eig, err := Eigenvalues(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]complex128, n)
+		want[0] = complex(1-eta*float64(n), 0)
+		for i := 1; i < n; i++ {
+			want[i] = 1
+		}
+		eigClose(t, eig, want, 1e-7)
+	}
+}
+
+func TestEigenZeroMatrix(t *testing.T) {
+	eig, err := Eigenvalues(NewMatrix(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eigClose(t, eig, []complex128{0, 0, 0, 0}, 0)
+}
+
+func TestEigenOneByOne(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{-3.25}})
+	eig, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eigClose(t, eig, []complex128{-3.25}, 1e-12)
+}
+
+func TestEigenNonSquare(t *testing.T) {
+	if _, err := Eigenvalues(NewMatrix(2, 3)); err == nil {
+		t.Error("want error for non-square input")
+	}
+}
+
+func TestEigenSortedByMagnitude(t *testing.T) {
+	a := mustFromRows(t, [][]float64{
+		{1, 0, 0},
+		{0, -5, 0},
+		{0, 0, 3},
+	})
+	eig, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(cmplxAbs(eig[0]) >= cmplxAbs(eig[1]) && cmplxAbs(eig[1]) >= cmplxAbs(eig[2])) {
+		t.Errorf("not sorted by magnitude: %v", eig)
+	}
+	if real(eig[0]) != -5 {
+		t.Errorf("dominant should be -5, got %v", eig[0])
+	}
+}
+
+func TestSpectralRadius(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{0, -2}, {2, 0}})
+	r, err := SpectralRadius(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-2) > 1e-10 {
+		t.Errorf("spectral radius = %v, want 2", r)
+	}
+}
+
+func TestEigenDoesNotModifyInput(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	orig := a.Clone()
+	if _, err := Eigenvalues(a); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(orig, 0) {
+		t.Error("Eigenvalues modified its input")
+	}
+}
+
+func TestPowerIterationMatchesQR(t *testing.T) {
+	a := mustFromRows(t, [][]float64{
+		{4, 1, 0},
+		{1, 3, 1},
+		{0, 1, 2},
+	})
+	qr, err := SpectralRadius(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := PowerIteration(a, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(qr-pi) > 1e-6 {
+		t.Errorf("power iteration %v vs QR %v", pi, qr)
+	}
+	if _, err := PowerIteration(NewMatrix(2, 3), 10); err == nil {
+		t.Error("want error for non-square input")
+	}
+}
+
+// Property: eigenvalue sum equals trace and eigenvalue product equals
+// determinant, for random matrices.
+func TestPropEigenTraceDet(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		eig, err := Eigenvalues(a)
+		if err != nil {
+			return false
+		}
+		sum := complex(0, 0)
+		prod := complex(1, 0)
+		for _, e := range eig {
+			sum += e
+			prod *= e
+		}
+		tr, err := a.Trace()
+		if err != nil {
+			return false
+		}
+		det, err := Det(a)
+		if err != nil {
+			return false
+		}
+		scale := 1.0 + math.Abs(tr)
+		if cmplxAbs(sum-complex(tr, 0))/scale > 1e-6 {
+			return false
+		}
+		dscale := 1.0 + math.Abs(det)
+		return cmplxAbs(prod-complex(det, 0))/dscale < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: eigenvalues of a random lower-triangular matrix are its
+// diagonal — the structural fact Theorem 4 exploits.
+func TestPropEigenTriangularIsDiagonal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		a := NewMatrix(n, n)
+		diag := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				a.Set(i, j, rng.NormFloat64()*3)
+			}
+			diag[i] = a.At(i, i)
+		}
+		eig, err := Eigenvalues(a)
+		if err != nil {
+			return false
+		}
+		got := make([]float64, 0, n)
+		for _, e := range eig {
+			if math.Abs(imag(e)) > 1e-7 {
+				return false
+			}
+			got = append(got, real(e))
+		}
+		sort.Float64s(got)
+		sort.Float64s(diag)
+		for i := range diag {
+			if math.Abs(got[i]-diag[i]) > 1e-6*(1+math.Abs(diag[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization or solve encounters a
+// (numerically) singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U, with
+// L unit lower triangular and U upper triangular, stored compactly in
+// a single matrix.
+type LU struct {
+	lu    *Matrix
+	pivot []int   // pivot[k] = row swapped with row k at step k
+	sign  float64 // +1 or -1: determinant sign contribution of the swaps
+}
+
+// Factorize computes the LU factorization of the square matrix a. The
+// input is not modified.
+func Factorize(a *Matrix) (*LU, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, fmt.Errorf("linalg: LU of non-square %dx%d matrix", n, c)
+	}
+	lu := a.Clone()
+	piv := make([]int, n)
+	sign := 1.0
+	for k := 0; k < n; k++ {
+		// Partial pivoting: largest magnitude in column k at or below row k.
+		p := k
+		maxAbs := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if ab := math.Abs(lu.At(i, k)); ab > maxAbs {
+				maxAbs = ab
+				p = i
+			}
+		}
+		piv[k] = p
+		if maxAbs == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			sign = -sign
+			for j := 0; j < n; j++ {
+				vk, vp := lu.At(k, j), lu.At(p, j)
+				lu.Set(k, j, vp)
+				lu.Set(p, j, vk)
+			}
+		}
+		pivVal := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivVal
+			lu.Set(i, k, m)
+			for j := k + 1; j < n; j++ {
+				lu.Set(i, j, lu.At(i, j)-m*lu.At(k, j))
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: piv, sign: sign}, nil
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() float64 {
+	n, _ := f.lu.Dims()
+	d := f.sign
+	for i := 0; i < n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve solves A·x = b for x. b is not modified.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n, _ := f.lu.Dims()
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: rhs length %d does not match order %d", len(b), n)
+	}
+	x := append([]float64(nil), b...)
+	// Apply the recorded row swaps to the right-hand side.
+	for k := 0; k < n; k++ {
+		if p := f.pivot[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution with unit lower triangular L.
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		d := f.lu.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// Solve solves A·x = b via LU factorization; a convenience wrapper for
+// one-shot solves.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Det returns the determinant of a, or 0 when a is exactly singular.
+func Det(a *Matrix) (float64, error) {
+	f, err := Factorize(a)
+	if errors.Is(err, ErrSingular) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return f.Det(), nil
+}
+
+// Inverse returns A⁻¹ computed column-by-column from the LU factors.
+func Inverse(a *Matrix) (*Matrix, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, fmt.Errorf("linalg: inverse of non-square %dx%d matrix", n, c)
+	}
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	inv := NewMatrix(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := f.Solve(e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}

@@ -1,0 +1,236 @@
+// Package linalg implements the small dense linear-algebra kernel used
+// by the stability analysis: real matrices, LU factorization, and an
+// eigenvalue solver (balancing, Hessenberg reduction, and the implicit
+// double-shift QR iteration). Only the standard library is used.
+//
+// The package is sized for the flow-control model, where matrices are
+// Jacobians with one row per connection — tens, not thousands, of rows
+// — so clarity is preferred over blocking or vectorization.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense, row-major real matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns a zero rows×cols matrix. It panics if either
+// dimension is non-positive, mirroring make's behavior for negative
+// lengths: a dimension error is a programming bug, not runtime input.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal,
+// positive length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("linalg: FromRows needs a non-empty rectangle")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			return nil, fmt.Errorf("linalg: row %d has %d entries, want %d", i, len(r), m.cols)
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Dims returns the row and column counts.
+func (m *Matrix) Dims() (rows, cols int) { return m.rows, m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	return append([]float64(nil), m.data[i*m.cols:(i+1)*m.cols]...)
+}
+
+// Mul returns the matrix product m·n.
+func (m *Matrix) Mul(n *Matrix) (*Matrix, error) {
+	if m.cols != n.rows {
+		return nil, fmt.Errorf("linalg: dimension mismatch %dx%d · %dx%d", m.rows, m.cols, n.rows, n.cols)
+	}
+	out := NewMatrix(m.rows, n.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < n.cols; j++ {
+				out.data[i*out.cols+j] += a * n.At(k, j)
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m·x for a column vector x.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if m.cols != len(x) {
+		return nil, fmt.Errorf("linalg: vector length %d does not match %d columns", len(x), m.cols)
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		s := 0.0
+		for j := 0; j < m.cols; j++ {
+			s += m.At(i, j) * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Add returns m + n.
+func (m *Matrix) Add(n *Matrix) (*Matrix, error) {
+	if m.rows != n.rows || m.cols != n.cols {
+		return nil, fmt.Errorf("linalg: dimension mismatch %dx%d + %dx%d", m.rows, m.cols, n.rows, n.cols)
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] += n.data[i]
+	}
+	return out, nil
+}
+
+// Sub returns m − n.
+func (m *Matrix) Sub(n *Matrix) (*Matrix, error) {
+	if m.rows != n.rows || m.cols != n.cols {
+		return nil, fmt.Errorf("linalg: dimension mismatch %dx%d - %dx%d", m.rows, m.cols, n.rows, n.cols)
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] -= n.data[i]
+	}
+	return out, nil
+}
+
+// Scale returns c·m.
+func (m *Matrix) Scale(c float64) *Matrix {
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] *= c
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Trace returns the sum of diagonal elements of a square matrix.
+func (m *Matrix) Trace() (float64, error) {
+	if m.rows != m.cols {
+		return 0, fmt.Errorf("linalg: trace of non-square %dx%d matrix", m.rows, m.cols)
+	}
+	t := 0.0
+	for i := 0; i < m.rows; i++ {
+		t += m.At(i, i)
+	}
+	return t, nil
+}
+
+// MaxAbs returns the largest absolute element value.
+func (m *Matrix) MaxAbs() float64 {
+	mx := 0.0
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// IsLowerTriangular reports whether every element strictly above the
+// diagonal has absolute value at most tol.
+func (m *Matrix) IsLowerTriangular(tol float64) bool {
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			if math.Abs(m.At(i, j)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsUpperTriangular reports whether every element strictly below the
+// diagonal has absolute value at most tol.
+func (m *Matrix) IsUpperTriangular(tol float64) bool {
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < i && j < m.cols; j++ {
+			if math.Abs(m.At(i, j)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Equal reports whether m and n have identical dimensions and all
+// elements agree within tol.
+func (m *Matrix) Equal(n *Matrix, tol float64) bool {
+	if m.rows != n.rows || m.cols != n.cols {
+		return false
+	}
+	for i := range m.data {
+		if math.Abs(m.data[i]-n.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix with aligned columns, suitable for test
+// failure output.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "% 11.5g", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

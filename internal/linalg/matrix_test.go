@@ -1,0 +1,335 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustFromRows(t *testing.T, rows [][]float64) *Matrix {
+	t.Helper()
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMatrixPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMatrix(0, 3) should panic")
+		}
+	}()
+	NewMatrix(0, 3)
+}
+
+func TestFromRowsErrors(t *testing.T) {
+	if _, err := FromRows(nil); err == nil {
+		t.Error("want error for empty input")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("want error for ragged input")
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	i2 := Identity(2)
+	p, err := a.Mul(i2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(a, 0) {
+		t.Errorf("A·I != A:\n%v", p)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	b := mustFromRows(t, [][]float64{{5, 6}, {7, 8}})
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustFromRows(t, [][]float64{{19, 22}, {43, 50}})
+	if !p.Equal(want, 1e-12) {
+		t.Errorf("product:\n%vwant:\n%v", p, want)
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Error("want dimension error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	y, err := a.MulVec([]float64{1, 0, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != -2 || y[1] != -2 {
+		t.Errorf("MulVec = %v, want [-2 -2]", y)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Error("want length error")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	b := mustFromRows(t, [][]float64{{4, 3}, {2, 1}})
+	s, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustFromRows(t, [][]float64{{5, 5}, {5, 5}})
+	if !s.Equal(want, 0) {
+		t.Errorf("Add:\n%v", s)
+	}
+	d, err := s.Sub(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(a, 0) {
+		t.Errorf("Sub did not invert Add:\n%v", d)
+	}
+	if got := a.Scale(2).At(1, 1); got != 8 {
+		t.Errorf("Scale: got %v, want 8", got)
+	}
+	if _, err := a.Add(NewMatrix(3, 3)); err == nil {
+		t.Error("want dimension error from Add")
+	}
+	if _, err := a.Sub(NewMatrix(3, 3)); err == nil {
+		t.Error("want dimension error from Sub")
+	}
+}
+
+func TestTransposeTrace(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.Transpose()
+	r, c := at.Dims()
+	if r != 3 || c != 2 {
+		t.Fatalf("transpose dims %dx%d", r, c)
+	}
+	if at.At(2, 1) != 6 {
+		t.Errorf("At(2,1) = %v, want 6", at.At(2, 1))
+	}
+	sq := mustFromRows(t, [][]float64{{1, 9}, {9, 5}})
+	tr, err := sq.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != 6 {
+		t.Errorf("trace = %v, want 6", tr)
+	}
+	if _, err := a.Trace(); err == nil {
+		t.Error("want error for non-square trace")
+	}
+}
+
+func TestTriangularPredicates(t *testing.T) {
+	lower := mustFromRows(t, [][]float64{{1, 0}, {5, 2}})
+	if !lower.IsLowerTriangular(0) {
+		t.Error("lower should be lower-triangular")
+	}
+	if lower.IsUpperTriangular(0) {
+		t.Error("lower should not be upper-triangular")
+	}
+	if !lower.IsUpperTriangular(5) {
+		t.Error("tolerance 5 should accept the 5 below diagonal")
+	}
+	upper := lower.Transpose()
+	if !upper.IsUpperTriangular(0) || upper.IsLowerTriangular(0) {
+		t.Error("transpose should flip triangularity")
+	}
+}
+
+func TestRowCloneIndependence(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	c := a.Clone()
+	c.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone should not alias")
+	}
+	r := a.Row(1)
+	r[0] = -1
+	if a.At(1, 0) != 3 {
+		t.Error("Row should return a copy")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, -7}, {3, 4}})
+	if a.MaxAbs() != 7 {
+		t.Errorf("MaxAbs = %v, want 7", a.MaxAbs())
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	if Identity(2).String() == "" {
+		t.Error("String should render something")
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ for random matrices.
+func TestPropTransposeProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		m := 2 + rng.Intn(5)
+		k := 2 + rng.Intn(5)
+		a := NewMatrix(n, m)
+		b := NewMatrix(m, k)
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j < k; j++ {
+				b.Set(i, j, rng.NormFloat64())
+			}
+		}
+		ab, err := a.Mul(b)
+		if err != nil {
+			return false
+		}
+		btat, err := b.Transpose().Mul(a.Transpose())
+		if err != nil {
+			return false
+		}
+		return ab.Transpose().Equal(btat, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLUSolveKnown(t *testing.T) {
+	a := mustFromRows(t, [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := Solve(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{3, 8}, {4, 6}})
+	d, err := Det(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-(-14)) > 1e-12 {
+		t.Errorf("det = %v, want -14", d)
+	}
+	// Singular determinant reports 0.
+	s := mustFromRows(t, [][]float64{{1, 2}, {2, 4}})
+	d, err = Det(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("singular det = %v, want 0", d)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	s := mustFromRows(t, [][]float64{{1, 2}, {2, 4}})
+	if _, err := Factorize(s); err != ErrSingular {
+		t.Errorf("Factorize(singular) error = %v, want ErrSingular", err)
+	}
+	if _, err := Solve(s, []float64{1, 2}); err == nil {
+		t.Error("Solve of singular should fail")
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if _, err := Factorize(NewMatrix(2, 3)); err == nil {
+		t.Error("want error for non-square factorize")
+	}
+}
+
+func TestLUSolveRHSLength(t *testing.T) {
+	f, err := Factorize(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1}); err == nil {
+		t.Error("want rhs length error")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := a.Mul(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(Identity(2), 1e-10) {
+		t.Errorf("A·A⁻¹ =\n%v", p)
+	}
+	if _, err := Inverse(NewMatrix(2, 3)); err == nil {
+		t.Error("want error for non-square inverse")
+	}
+	if _, err := Inverse(mustFromRows(t, [][]float64{{1, 2}, {2, 4}})); err == nil {
+		t.Error("want error for singular inverse")
+	}
+}
+
+// Property: LU solve residual ||Ax-b|| is tiny for random
+// well-conditioned (diagonally dominant) systems.
+func TestPropLUSolveResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		a := NewMatrix(n, n)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				rowSum += math.Abs(v)
+			}
+			a.Set(i, i, a.At(i, i)+rowSum+1) // ensure diagonal dominance
+			b[i] = rng.NormFloat64() * 10
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		ax, err := a.MulVec(x)
+		if err != nil {
+			return false
+		}
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Package queueing implements the gateway service-discipline models of
+// Section 2.2 of the paper: the function Q(r) mapping a vector of
+// Poisson sending rates to per-connection average queue lengths at an
+// exponential server, for the FIFO and Fair Share disciplines, together
+// with the feasibility constraints any realizable non-stalling
+// discipline must satisfy, the robustness bound of Theorem 5, and the
+// Table 1 priority decomposition.
+//
+// Queue lengths here are mean numbers in system (M/M/1 convention), so
+// the fundamental function is g(x) = x/(1−x): the mean number in
+// system of an M/M/1 queue at load x. Overload (load ≥ 1) is
+// represented by +Inf queue entries rather than an error, because
+// overload is a legitimate transient state of the flow-control
+// iteration: the congestion signal saturates at 1 and the sources back
+// off.
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// Discipline computes steady-state per-connection queue statistics for
+// one gateway. Implementations must be symmetric in the rate vector
+// (datagram gateways have no a-priori knowledge of connections) and
+// time-scale invariant: Q(c·r, c·μ) = Q(r, μ).
+type Discipline interface {
+	// Name identifies the discipline ("FIFO", "FairShare").
+	Name() string
+
+	// Queues returns the average queue length Q_i of each connection,
+	// given sending rates r and server rate mu. Overloaded connections
+	// have Q_i = +Inf; zero-rate connections have Q_i = 0. It returns an
+	// error for invalid input (negative or non-finite rates, mu <= 0).
+	Queues(r []float64, mu float64) ([]float64, error)
+
+	// SojournTimes returns the mean time in system W_i of each
+	// connection's packets (Little's law W_i = Q_i / r_i), using the
+	// analytic zero-rate limit for probe connections with r_i = 0.
+	SojournTimes(r []float64, mu float64) ([]float64, error)
+}
+
+// G is the M/M/1 occupancy function g(x) = x/(1−x). It returns +Inf
+// for x ≥ 1 and panics for negative or NaN x: a negative load is
+// always a caller bug, never a model state.
+func G(x float64) float64 {
+	if x < 0 || math.IsNaN(x) {
+		panic(fmt.Sprintf("queueing: g(%v) undefined", x))
+	}
+	if x >= 1 {
+		return math.Inf(1)
+	}
+	return x / (1 - x)
+}
+
+// GInv inverts g: GInv(q) = q/(1+q), mapping a target total queue to
+// the load that produces it. GInv(+Inf) = 1.
+func GInv(q float64) float64 {
+	if q < 0 || math.IsNaN(q) {
+		panic(fmt.Sprintf("queueing: g⁻¹(%v) undefined", q))
+	}
+	if math.IsInf(q, 1) {
+		return 1
+	}
+	return q / (1 + q)
+}
+
+// validate checks a rate vector and server rate, returning the total
+// load ρ_tot = Σ r_i / μ.
+func validate(r []float64, mu float64) (float64, error) {
+	if len(r) == 0 {
+		return 0, fmt.Errorf("queueing: empty rate vector")
+	}
+	if mu <= 0 || math.IsNaN(mu) || math.IsInf(mu, 0) {
+		return 0, fmt.Errorf("queueing: invalid service rate %v", mu)
+	}
+	sum := 0.0
+	for i, ri := range r {
+		if ri < 0 || math.IsNaN(ri) || math.IsInf(ri, 0) {
+			return 0, fmt.Errorf("queueing: invalid rate r[%d] = %v", i, ri)
+		}
+		sum += ri
+	}
+	return sum / mu, nil
+}
+
+// TotalQueue returns the aggregate mean queue Q_tot = g(ρ_tot). It is
+// the same for every non-stalling discipline (work conservation), a
+// fact the paper uses to make aggregate congestion signals insensitive
+// to the service discipline.
+func TotalQueue(r []float64, mu float64) (float64, error) {
+	rho, err := validate(r, mu)
+	if err != nil {
+		return 0, err
+	}
+	return G(rho), nil
+}

@@ -1,0 +1,131 @@
+package queueing
+
+import (
+	"math"
+	"sort"
+)
+
+// FairShare is the service discipline of Section 2.2 (introduced in
+// [She89]): a preemptive priority discipline in which each
+// connection's Poisson stream is split into priority substreams so
+// that, at every priority level, no connection has more traffic in
+// that level and above than any connection with a larger total rate
+// (see Table 1 of the paper and PriorityDecomposition in this
+// package).
+//
+// With rates labelled in increasing order, the cumulative load through
+// priority class i is L_i = Σ_k min(r_k, r_i)/μ, and because classes
+// 1..i of a preemptive-resume M/M/1 with identical exponential service
+// behave exactly as an M/M/1 at load L_i, the queue lengths satisfy
+//
+//	g(L_i) = Σ_{k<i} Q_k + (N−i+1)·Q_i ,
+//
+// which is solved here by forward substitution. The recursion is
+// triangular — Q_i depends only on rates r_k ≤ r_i — and that
+// triangularity is what drives Theorem 4's stability result.
+type FairShare struct{}
+
+// Name implements Discipline.
+func (FairShare) Name() string { return "FairShare" }
+
+// Queues implements Discipline. A key property visible here: overload
+// caused by high-rate connections leaves low-rate connections' queues
+// finite — Fair Share protects them — whereas FIFO overload is total.
+func (FairShare) Queues(r []float64, mu float64) ([]float64, error) {
+	if _, err := validate(r, mu); err != nil {
+		return nil, err
+	}
+	n := len(r)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return r[idx[a]] < r[idx[b]] })
+
+	q := make([]float64, n)
+	sumQ := 0.0
+	for pos, i := range idx {
+		ri := r[i]
+		if ri == 0 {
+			q[i] = 0
+			continue
+		}
+		// Cumulative load through connection i's topmost priority class.
+		load := 0.0
+		for _, rk := range r {
+			load += math.Min(rk, ri)
+		}
+		load /= mu
+		if load >= 1 {
+			// This and every higher-rate connection is overloaded; the
+			// lower-rate connections already computed keep finite queues.
+			for _, j := range idx[pos:] {
+				q[j] = math.Inf(1)
+			}
+			return q, nil
+		}
+		qi := (G(load) - sumQ) / float64(n-pos)
+		if qi < 0 {
+			qi = 0 // guard against rounding at vanishing loads
+		}
+		q[i] = qi
+		sumQ += qi
+	}
+	return q, nil
+}
+
+// SojournTimes implements Discipline. W_i = Q_i/r_i for positive
+// rates; a zero-rate probe packet preempts all traffic and sees only
+// its own service time 1/μ (the r→0 limit of the recursion).
+func (fs FairShare) SojournTimes(r []float64, mu float64) ([]float64, error) {
+	q, err := fs.Queues(r, mu)
+	if err != nil {
+		return nil, err
+	}
+	w := make([]float64, len(r))
+	for i, ri := range r {
+		switch {
+		case ri == 0:
+			w[i] = 1 / mu
+		case math.IsInf(q[i], 1):
+			w[i] = math.Inf(1)
+		default:
+			w[i] = q[i] / ri
+		}
+	}
+	return w, nil
+}
+
+// PriorityDecomposition returns the Table 1 substream rate matrix for
+// the Fair Share discipline. Rates are first sorted ascending; entry
+// [i][j] of the result is the rate sorted-connection i contributes to
+// priority class j (class 0 is the highest priority). The returned
+// perm maps sorted positions back to the original indices:
+// perm[pos] = original index.
+//
+// Row sums reproduce the sorted rates, and column j is nonzero only
+// for connections i ≥ j, exactly the triangular pattern of Table 1.
+func PriorityDecomposition(r []float64) (table [][]float64, perm []int) {
+	n := len(r)
+	perm = make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return r[perm[a]] < r[perm[b]] })
+	sorted := make([]float64, n)
+	for pos, i := range perm {
+		sorted[pos] = r[i]
+	}
+	table = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		table[i] = make([]float64, n)
+		prev := 0.0
+		for j := 0; j <= i; j++ {
+			table[i][j] = sorted[j] - prev
+			prev = sorted[j]
+		}
+		// The diagonal entry is min(r_i, r_i) − r_{i−1}, already set by
+		// the loop since sorted[i] = r_i.
+	}
+	return table, perm
+}

@@ -1,0 +1,53 @@
+package queueing
+
+import "math"
+
+// FIFO is the first-in-first-out service discipline: packets are
+// served in arrival order with no distinction between connections.
+// The classical M/M/1 decomposition gives Q_i = ρ_i / (1 − ρ_tot).
+type FIFO struct{}
+
+// Name implements Discipline.
+func (FIFO) Name() string { return "FIFO" }
+
+// Queues implements Discipline. In overload (ρ_tot ≥ 1) every
+// connection with a positive rate has an unbounded queue.
+func (FIFO) Queues(r []float64, mu float64) ([]float64, error) {
+	rho, err := validate(r, mu)
+	if err != nil {
+		return nil, err
+	}
+	q := make([]float64, len(r))
+	if rho >= 1 {
+		for i, ri := range r {
+			if ri > 0 {
+				q[i] = math.Inf(1)
+			}
+		}
+		return q, nil
+	}
+	for i, ri := range r {
+		q[i] = (ri / mu) / (1 - rho)
+	}
+	return q, nil
+}
+
+// SojournTimes implements Discipline. Every packet, regardless of
+// connection, sees the same mean time in system 1/(μ − λ_tot); this is
+// exactly FIFO's lack of protection. Zero-rate probe connections see
+// the same value (PASTA).
+func (FIFO) SojournTimes(r []float64, mu float64) ([]float64, error) {
+	rho, err := validate(r, mu)
+	if err != nil {
+		return nil, err
+	}
+	w := make([]float64, len(r))
+	sojourn := math.Inf(1)
+	if rho < 1 {
+		sojourn = 1 / (mu * (1 - rho))
+	}
+	for i := range r {
+		w[i] = sojourn
+	}
+	return w, nil
+}

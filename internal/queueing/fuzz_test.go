@@ -1,0 +1,118 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFairShareInvariants drives the Fair Share recursion with
+// arbitrary rate triples, checking the invariants that must hold for
+// every valid input: conservation of the total queue in the stable
+// region, queue/rate order agreement, the Theorem 5 bound, and
+// protection of stable connections in partial overload.
+func FuzzFairShareInvariants(f *testing.F) {
+	f.Add(0.1, 0.2, 0.3, 1.0)
+	f.Add(0.0, 0.0, 0.9, 1.0)
+	f.Add(0.3, 0.3, 0.3, 1.0)
+	f.Add(0.1, 0.5, 2.0, 1.0) // partial overload
+	f.Add(0.001, 0.001, 0.9, 0.5)
+	f.Fuzz(func(t *testing.T, r0, r1, r2, mu float64) {
+		r := []float64{r0, r1, r2}
+		for _, ri := range r {
+			if ri < 0 || math.IsNaN(ri) || math.IsInf(ri, 0) || ri > 1e6 {
+				t.Skip()
+			}
+		}
+		if mu <= 1e-9 || math.IsNaN(mu) || math.IsInf(mu, 0) || mu > 1e6 {
+			t.Skip()
+		}
+		q, err := FairShare{}.Queues(r, mu)
+		if err != nil {
+			t.Fatalf("valid input rejected: %v", err)
+		}
+		// Order agreement.
+		for i := range r {
+			for j := range r {
+				if r[i] > r[j]+1e-12 && q[i] < q[j]-1e-9 {
+					t.Fatalf("queue order violates rate order: r=%v q=%v", r, q)
+				}
+			}
+		}
+		// Theorem 5 bound for every finite queue. Within floating-point
+		// distance of criticality (N·r_i ≈ μ) both sides are ~1/ε with
+		// independent rounding, so the comparison is skipped there —
+		// mathematically both diverge together.
+		for i, qi := range q {
+			if math.IsInf(qi, 1) {
+				continue
+			}
+			if qi < 0 {
+				t.Fatalf("negative queue %v for r=%v", qi, r)
+			}
+			bound := RobustBound(r[i], mu, len(r))
+			if math.IsInf(bound, 1) || bound > 1e9 {
+				continue
+			}
+			if qi > bound*(1+1e-9)+1e-9 {
+				t.Fatalf("Theorem 5 bound violated: q=%v bound=%v r=%v mu=%v", qi, bound, r, mu)
+			}
+		}
+		// Conservation when stable.
+		sum := r0 + r1 + r2
+		if sum < mu*(1-1e-9) {
+			total := 0.0
+			for _, qi := range q {
+				total += qi
+			}
+			want := G(sum / mu)
+			if math.Abs(total-want) > 1e-6*(1+want) {
+				t.Fatalf("conservation broken: ΣQ=%v want %v (r=%v mu=%v)", total, want, r, mu)
+			}
+		}
+		// Partial overload: connections whose cumulative class load is
+		// stable must stay finite.
+		for i, qi := range q {
+			cum := 0.0
+			for _, rk := range r {
+				cum += math.Min(rk, r[i])
+			}
+			if cum < mu*(1-1e-9) && math.IsInf(qi, 1) {
+				t.Fatalf("stable connection drowned: i=%d r=%v mu=%v", i, r, mu)
+			}
+		}
+	})
+}
+
+// FuzzPriorityDecomposition checks the Table 1 decomposition on
+// arbitrary rate vectors: non-negative entries, triangular shape, and
+// row sums equal to the rates.
+func FuzzPriorityDecomposition(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 4.0)
+	f.Add(0.0, 0.0, 0.0, 0.0)
+	f.Add(5.0, 5.0, 5.0, 5.0)
+	f.Add(0.1, 100.0, 0.1, 100.0)
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		r := []float64{a, b, c, d}
+		for _, ri := range r {
+			if ri < 0 || math.IsNaN(ri) || math.IsInf(ri, 0) || ri > 1e9 {
+				t.Skip()
+			}
+		}
+		table, perm := PriorityDecomposition(r)
+		for i := range table {
+			sum := 0.0
+			for j, v := range table[i] {
+				if v < -1e-9 {
+					t.Fatalf("negative substream %v at [%d][%d] for r=%v", v, i, j, r)
+				}
+				if j > i && v != 0 {
+					t.Fatalf("non-triangular entry at [%d][%d] for r=%v", i, j, r)
+				}
+				sum += v
+			}
+			if math.Abs(sum-r[perm[i]]) > 1e-6*(1+r[perm[i]]) {
+				t.Fatalf("row %d sums to %v, want %v (r=%v)", i, sum, r[perm[i]], r)
+			}
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package queueing
+
+import (
+	"math"
+	"sort"
+)
+
+// NonPreemptiveFairShare is Fair Share without preemption: the same
+// Table 1 substream priority classes, but an arriving high-priority
+// packet waits for the packet in service to finish. It exists as an
+// ablation (experiment A3): the classical non-preemptive priority
+// formulas show the Theorem 5 robustness bound then FAILS whenever a
+// connection's rate is below the gateway average — preemption is
+// load-bearing in the paper's robustness result, not an implementation
+// detail.
+//
+// With classes ordered by priority, common exponential service μ, and
+// cumulative class loads L_j (the same L_j = Σ_k min(r_k, r_j)/μ as
+// the preemptive recursion), the Kleinrock non-preemptive formulas
+// give per-class mean waits
+//
+//	W_j = W0 / ((1 − L_{j−1})(1 − L_j)),   W0 = min(ρ_tot, 1)/μ,
+//
+// (W0 is the mean residual service seen on arrival) and a connection's
+// mean queue is the Little sum over its substreams,
+// Q_i = Σ_{j≤i} λ_ij·(W_j + 1/μ). Kleinrock's conservation law makes
+// the totals match g(ρ_tot), so the aggregate signal remains
+// discipline-blind even here.
+type NonPreemptiveFairShare struct{}
+
+// Name implements Discipline.
+func (NonPreemptiveFairShare) Name() string { return "NonPreemptiveFairShare" }
+
+// Queues implements Discipline.
+func (NonPreemptiveFairShare) Queues(r []float64, mu float64) ([]float64, error) {
+	if _, err := validate(r, mu); err != nil {
+		return nil, err
+	}
+	n := len(r)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return r[idx[a]] < r[idx[b]] })
+
+	rhoTot := 0.0
+	for _, ri := range r {
+		rhoTot += ri / mu
+	}
+	w0 := math.Min(rhoTot, 1) / mu
+
+	// Per sorted class j: boundary rates and cumulative loads.
+	q := make([]float64, n)
+	// classSojourn[j] is the mean time in system of class-j packets.
+	classSojourn := make([]float64, n)
+	prevLoad := 0.0
+	for j, i := range idx {
+		// Cumulative load through class j = Σ_k min(r_k, r_{(j)})/μ.
+		load := 0.0
+		for _, rk := range r {
+			load += math.Min(rk, r[i])
+		}
+		load /= mu
+		if load >= 1 {
+			classSojourn[j] = math.Inf(1)
+		} else {
+			classSojourn[j] = w0/((1-prevLoad)*(1-load)) + 1/mu
+		}
+		prevLoad = math.Min(load, 1)
+		_ = i
+	}
+	// Connection i's queue: Little over its Table 1 substreams.
+	sortedRates := make([]float64, n)
+	for j, i := range idx {
+		sortedRates[j] = r[i]
+	}
+	for pos, i := range idx {
+		if r[i] == 0 {
+			q[i] = 0
+			continue
+		}
+		total := 0.0
+		prev := 0.0
+		for j := 0; j <= pos; j++ {
+			lambda := sortedRates[j] - prev
+			prev = sortedRates[j]
+			if lambda == 0 {
+				continue
+			}
+			if math.IsInf(classSojourn[j], 1) {
+				total = math.Inf(1)
+				break
+			}
+			total += lambda * classSojourn[j]
+		}
+		q[i] = total
+	}
+	return q, nil
+}
+
+// SojournTimes implements Discipline. A zero-rate probe joins the top
+// priority class but cannot preempt: it waits for the residual service
+// W0 plus its own service.
+func (d NonPreemptiveFairShare) SojournTimes(r []float64, mu float64) ([]float64, error) {
+	q, err := d.Queues(r, mu)
+	if err != nil {
+		return nil, err
+	}
+	rhoTot := 0.0
+	for _, ri := range r {
+		rhoTot += ri / mu
+	}
+	w := make([]float64, len(r))
+	for i, ri := range r {
+		switch {
+		case ri == 0:
+			w[i] = math.Min(rhoTot, 1)/mu + 1/mu
+		case math.IsInf(q[i], 1):
+			w[i] = math.Inf(1)
+		default:
+			w[i] = q[i] / ri
+		}
+	}
+	return w, nil
+}

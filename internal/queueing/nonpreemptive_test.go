@@ -1,0 +1,170 @@
+package queueing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNonPreemptiveSingleConnectionMatchesFIFO(t *testing.T) {
+	// One connection: non-preemptive priority degenerates to M/M/1.
+	qf, err := FIFO{}.Queues([]float64{0.6}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qn, err := NonPreemptiveFairShare{}.Queues([]float64{0.6}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(qf[0]-qn[0]) > 1e-12 {
+		t.Errorf("single connection: FIFO %v vs NP-FS %v", qf[0], qn[0])
+	}
+}
+
+func TestNonPreemptiveKnownValues(t *testing.T) {
+	// Two connections, r = (0.1, 0.5), μ = 1. Classes: A with λ = 0.2
+	// (both at 0.1), B with λ = 0.4 (conn 1's excess). Loads L_1 =
+	// 0.2, L_2 = 0.6; W0 = 0.6.
+	// T_A = 0.6/(1·0.8) + 1 = 1.75; T_B = 0.6/(0.8·0.4) + 1 = 2.875.
+	// Q_0 = 0.1·1.75 = 0.175; Q_1 = 0.1·1.75 + 0.4·2.875 = 1.325.
+	q, err := NonPreemptiveFairShare{}.Queues([]float64{0.1, 0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q[0]-0.175) > 1e-12 {
+		t.Errorf("Q_0 = %v, want 0.175", q[0])
+	}
+	if math.Abs(q[1]-1.325) > 1e-12 {
+		t.Errorf("Q_1 = %v, want 1.325", q[1])
+	}
+}
+
+// The A3 headline, analytically: non-preemptive Fair Share violates
+// the Theorem 5 bound exactly when a rate is below the gateway
+// average. At the minimum rate the condition Q_1 ≤ r_1/(μ−N·r_1)
+// reduces to ρ_tot ≤ N·ρ_1.
+func TestNonPreemptiveViolatesRobustBound(t *testing.T) {
+	r := []float64{0.1, 0.5} // r_0 well below the mean
+	bad, err := RobustnessViolations(NonPreemptiveFairShare{}, r, 1, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, i := range bad {
+		if i == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("below-average connection should violate the bound, got %v", bad)
+	}
+	// Equal rates satisfy it (ρ_tot = N·ρ_i exactly).
+	bad, err = RobustnessViolations(NonPreemptiveFairShare{}, []float64{0.3, 0.3}, 1, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Errorf("equal rates should satisfy the bound, got %v", bad)
+	}
+}
+
+func TestNonPreemptiveZeroRate(t *testing.T) {
+	q, err := NonPreemptiveFairShare{}.Queues([]float64{0, 0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q[0] != 0 {
+		t.Errorf("zero-rate queue = %v", q[0])
+	}
+	w, err := NonPreemptiveFairShare{}.SojournTimes([]float64{0, 0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probe waits for the residual service: W0 + 1/μ = 0.5 + 1.
+	if math.Abs(w[0]-1.5) > 1e-12 {
+		t.Errorf("probe sojourn = %v, want 1.5", w[0])
+	}
+}
+
+func TestNonPreemptivePartialOverload(t *testing.T) {
+	// The hog overloads; the low-rate connection stays finite (its
+	// class load is small) but now pays the residual-service tax.
+	q, err := NonPreemptiveFairShare{}.Queues([]float64{0.1, 2.0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(q[0], 1) {
+		t.Error("low-rate connection should stay finite")
+	}
+	if !math.IsInf(q[1], 1) {
+		t.Error("the hog should be overloaded")
+	}
+	// Compare with preemptive FS: non-preemptive is strictly worse for
+	// the protected connection (it waits behind in-service hog
+	// packets).
+	qp, err := FairShare{}.Queues([]float64{0.1, 2.0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q[0] <= qp[0] {
+		t.Errorf("non-preemptive (%v) should exceed preemptive (%v) for the protected connection", q[0], qp[0])
+	}
+}
+
+// Property: Kleinrock's conservation law — the non-preemptive variant
+// conserves the same total queue g(ρ_tot) as every other work-
+// conserving discipline.
+func TestPropNonPreemptiveConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mu := 0.5 + rng.Float64()*4
+		r := randRates(rng, 1+rng.Intn(8), mu, 0.95)
+		q, err := NonPreemptiveFairShare{}.Queues(r, mu)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, qi := range q {
+			sum += qi
+		}
+		want, err := TotalQueue(r, mu)
+		if err != nil {
+			return false
+		}
+		return math.Abs(sum-want) < 1e-9*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: non-preemption only hurts the lowest-rate connection —
+// its queue is always at least the preemptive Fair Share value.
+func TestPropNonPreemptiveDominatesForMinRate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randRates(rng, 2+rng.Intn(6), 1, 0.9)
+		minI := 0
+		for i := range r {
+			if r[i] < r[minI] {
+				minI = i
+			}
+		}
+		if r[minI] == 0 {
+			return true
+		}
+		qn, err := NonPreemptiveFairShare{}.Queues(r, 1)
+		if err != nil {
+			return false
+		}
+		qp, err := FairShare{}.Queues(r, 1)
+		if err != nil {
+			return false
+		}
+		return qn[minI] >= qp[minI]-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

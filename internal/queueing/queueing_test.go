@@ -1,0 +1,454 @@
+package queueing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randRates draws n rates in (0, maxLoad·mu/n) so the system stays
+// strictly stable.
+func randRates(rng *rand.Rand, n int, mu, maxLoad float64) []float64 {
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = rng.Float64() * maxLoad * mu / float64(n)
+	}
+	return r
+}
+
+func TestG(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0},
+		{0.5, 1},
+		{0.9, 9},
+		{1, math.Inf(1)},
+		{1.5, math.Inf(1)},
+	}
+	for _, c := range cases {
+		if got := G(c.x); got != c.want && math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("G(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestGPanics(t *testing.T) {
+	for _, x := range []float64{-0.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("G(%v) should panic", x)
+				}
+			}()
+			G(x)
+		}()
+	}
+}
+
+func TestGInv(t *testing.T) {
+	if got := GInv(1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("GInv(1) = %v, want 0.5", got)
+	}
+	if got := GInv(math.Inf(1)); got != 1 {
+		t.Errorf("GInv(Inf) = %v, want 1", got)
+	}
+	// Round trip.
+	for _, x := range []float64{0, 0.1, 0.5, 0.99} {
+		if got := GInv(G(x)); math.Abs(got-x) > 1e-12 {
+			t.Errorf("GInv(G(%v)) = %v", x, got)
+		}
+	}
+}
+
+func TestGInvPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("GInv(-1) should panic")
+		}
+	}()
+	GInv(-1)
+}
+
+func TestValidateErrors(t *testing.T) {
+	var f FIFO
+	if _, err := f.Queues(nil, 1); err == nil {
+		t.Error("want error for empty rates")
+	}
+	if _, err := f.Queues([]float64{1}, 0); err == nil {
+		t.Error("want error for mu=0")
+	}
+	if _, err := f.Queues([]float64{-1}, 1); err == nil {
+		t.Error("want error for negative rate")
+	}
+	if _, err := f.Queues([]float64{math.NaN()}, 1); err == nil {
+		t.Error("want error for NaN rate")
+	}
+	if _, err := f.Queues([]float64{1}, math.Inf(1)); err == nil {
+		t.Error("want error for infinite mu")
+	}
+}
+
+func TestFIFOSingleConnection(t *testing.T) {
+	q, err := FIFO{}.Queues([]float64{0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q[0]-1) > 1e-12 { // g(0.5) = 1
+		t.Errorf("Q = %v, want 1", q[0])
+	}
+}
+
+func TestFIFOProportionalSplit(t *testing.T) {
+	q, err := FIFO{}.Queues([]float64{0.1, 0.3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q_i = ρ_i/(1-0.4): 1/6 and 1/2.
+	if math.Abs(q[0]-0.1/0.6) > 1e-12 || math.Abs(q[1]-0.3/0.6) > 1e-12 {
+		t.Errorf("Q = %v", q)
+	}
+}
+
+func TestFIFOOverload(t *testing.T) {
+	q, err := FIFO{}.Queues([]float64{0.7, 0.5, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(q[0], 1) || !math.IsInf(q[1], 1) {
+		t.Errorf("overloaded queues should be +Inf: %v", q)
+	}
+	if q[2] != 0 {
+		t.Errorf("zero-rate queue should be 0 even in overload, got %v", q[2])
+	}
+}
+
+func TestFIFOSojourn(t *testing.T) {
+	w, err := FIFO{}.SojournTimes([]float64{0.25, 0.25, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (1 - 0.5) // 1/(μ-λ) = 2
+	for i, wi := range w {
+		if math.Abs(wi-want) > 1e-12 {
+			t.Errorf("W[%d] = %v, want %v (FIFO gives everyone the same delay)", i, wi, want)
+		}
+	}
+	w, err = FIFO{}.SojournTimes([]float64{1.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(w[0], 1) {
+		t.Errorf("overloaded sojourn should be +Inf, got %v", w[0])
+	}
+}
+
+func TestFairShareSymmetricRates(t *testing.T) {
+	// All rates equal: every connection gets Q = g(ρ_tot)/N.
+	r := []float64{0.2, 0.2, 0.2}
+	q, err := FairShare{}.Queues(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := G(0.6) / 3
+	for i, qi := range q {
+		if math.Abs(qi-want) > 1e-12 {
+			t.Errorf("Q[%d] = %v, want %v", i, qi, want)
+		}
+	}
+}
+
+func TestFairShareSingleConnectionMatchesFIFO(t *testing.T) {
+	qf, err := FIFO{}.Queues([]float64{0.7}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := FairShare{}.Queues([]float64{0.7}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(qf[0]-qs[0]) > 1e-12 {
+		t.Errorf("single connection: FIFO %v vs FS %v", qf[0], qs[0])
+	}
+}
+
+func TestFairShareMinRateEqualsRobustBound(t *testing.T) {
+	// The connection with the smallest rate meets the Theorem 5 bound
+	// with equality: Q_min = r/(μ − N·r).
+	r := []float64{0.05, 0.2, 0.3, 0.25}
+	q, err := FairShare{}.Queues(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RobustBound(0.05, 1, 4)
+	if math.Abs(q[0]-want) > 1e-12 {
+		t.Errorf("Q_min = %v, want %v", q[0], want)
+	}
+}
+
+func TestFairShareProtectsLowRatesInOverload(t *testing.T) {
+	// Connection 1 overloads the gateway; connection 0's queue stays
+	// finite under Fair Share but explodes under FIFO.
+	r := []float64{0.1, 2.0}
+	qfs, err := FairShare{}.Queues(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(qfs[0], 1) {
+		t.Error("Fair Share should protect the low-rate connection")
+	}
+	// Its queue is that of sharing with the hog's equal-priority
+	// substream only: g(2·0.1)/2.
+	want := G(0.2) / 2
+	if math.Abs(qfs[0]-want) > 1e-12 {
+		t.Errorf("protected queue = %v, want %v", qfs[0], want)
+	}
+	if !math.IsInf(qfs[1], 1) {
+		t.Error("the overloading connection should see an infinite queue")
+	}
+	qf, err := FIFO{}.Queues(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(qf[0], 1) {
+		t.Error("FIFO overload should drown everyone")
+	}
+}
+
+func TestFairShareZeroRate(t *testing.T) {
+	q, err := FairShare{}.Queues([]float64{0, 0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q[0] != 0 {
+		t.Errorf("zero-rate queue = %v, want 0", q[0])
+	}
+	w, err := FairShare{}.SojournTimes([]float64{0, 0.5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-0.5) > 1e-12 {
+		t.Errorf("zero-rate FS probe sojourn = %v, want 1/μ = 0.5", w[0])
+	}
+}
+
+func TestFairShareSojournInfinite(t *testing.T) {
+	w, err := FairShare{}.SojournTimes([]float64{0.1, 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(w[0], 1) {
+		t.Error("protected connection should have finite sojourn")
+	}
+	if !math.IsInf(w[1], 1) {
+		t.Error("overloading connection should have infinite sojourn")
+	}
+}
+
+// Property: both disciplines conserve the total queue, Σ Q_i =
+// g(ρ_tot) — the discipline-insensitivity of aggregate congestion.
+func TestPropConservation(t *testing.T) {
+	disciplines := []Discipline{FIFO{}, FairShare{}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mu := 0.5 + rng.Float64()*10
+		r := randRates(rng, 1+rng.Intn(10), mu, 0.95)
+		want, err := TotalQueue(r, mu)
+		if err != nil {
+			return false
+		}
+		for _, d := range disciplines {
+			q, err := d.Queues(r, mu)
+			if err != nil {
+				return false
+			}
+			sum := 0.0
+			for _, qi := range q {
+				sum += qi
+			}
+			if math.Abs(sum-want) > 1e-9*(1+want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: both disciplines are symmetric — permuting rates permutes
+// queues identically (Section 2.2's datagram requirement).
+func TestPropSymmetry(t *testing.T) {
+	disciplines := []Discipline{FIFO{}, FairShare{}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mu := 1.0
+		n := 2 + rng.Intn(8)
+		r := randRates(rng, n, mu, 0.9)
+		perm := rng.Perm(n)
+		rp := make([]float64, n)
+		for i, p := range perm {
+			rp[i] = r[p]
+		}
+		for _, d := range disciplines {
+			q, err := d.Queues(r, mu)
+			if err != nil {
+				return false
+			}
+			qp, err := d.Queues(rp, mu)
+			if err != nil {
+				return false
+			}
+			for i, p := range perm {
+				if math.Abs(qp[i]-q[p]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: both disciplines are time-scale invariant —
+// Q(c·r, c·μ) = Q(r, μ) (Section 2.2).
+func TestPropTimeScaleInvariance(t *testing.T) {
+	disciplines := []Discipline{FIFO{}, FairShare{}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mu := 1.0
+		n := 1 + rng.Intn(6)
+		r := randRates(rng, n, mu, 0.9)
+		c := math.Exp(rng.Float64()*10 - 5) // scales across ~4 decades
+		rc := make([]float64, n)
+		for i := range r {
+			rc[i] = r[i] * c
+		}
+		for _, d := range disciplines {
+			q, err := d.Queues(r, mu)
+			if err != nil {
+				return false
+			}
+			qc, err := d.Queues(rc, mu*c)
+			if err != nil {
+				return false
+			}
+			for i := range q {
+				if math.Abs(qc[i]-q[i]) > 1e-7*(1+q[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: monotonicity assumption (2) of Section 2.2 —
+// Q_i > Q_j ⟺ r_i > r_j — holds for both disciplines.
+func TestPropQueueOrderMatchesRateOrder(t *testing.T) {
+	disciplines := []Discipline{FIFO{}, FairShare{}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mu := 1.0
+		n := 2 + rng.Intn(8)
+		r := randRates(rng, n, mu, 0.9)
+		for _, d := range disciplines {
+			q, err := d.Queues(r, mu)
+			if err != nil {
+				return false
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if r[i] > r[j]+1e-12 && q[i] <= q[j]-1e-12 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Fair Share's recursion is triangular — Q_i depends only on
+// rates r_k ≤ r_i. Raising the largest rate must not change any other
+// queue (the paper's "locally Q_i depends only on those r_j with
+// r_j ≤ r_i").
+func TestPropFairShareTriangularDependence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mu := 1.0
+		n := 2 + rng.Intn(6)
+		r := randRates(rng, n, mu, 0.6)
+		// Find the max-rate connection and bump it (staying stable).
+		maxI := 0
+		for i := range r {
+			if r[i] > r[maxI] {
+				maxI = i
+			}
+		}
+		q1, err := FairShare{}.Queues(r, mu)
+		if err != nil {
+			return false
+		}
+		r2 := append([]float64(nil), r...)
+		r2[maxI] += 0.3 / float64(n) * mu
+		q2, err := FairShare{}.Queues(r2, mu)
+		if err != nil {
+			return false
+		}
+		for i := range r {
+			if i == maxI {
+				continue
+			}
+			if math.Abs(q1[i]-q2[i]) > 1e-9 {
+				return false
+			}
+		}
+		return q2[maxI] >= q1[maxI]-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sojourn times satisfy Little's law against queues for
+// positive rates.
+func TestPropLittleConsistency(t *testing.T) {
+	disciplines := []Discipline{FIFO{}, FairShare{}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mu := 2.0
+		n := 1 + rng.Intn(6)
+		r := randRates(rng, n, mu, 0.9)
+		for i := range r {
+			r[i] += 1e-6 // keep rates strictly positive
+		}
+		for _, d := range disciplines {
+			q, err := d.Queues(r, mu)
+			if err != nil {
+				return false
+			}
+			w, err := d.SojournTimes(r, mu)
+			if err != nil {
+				return false
+			}
+			for i := range r {
+				if math.Abs(w[i]*r[i]-q[i]) > 1e-9*(1+q[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,70 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// RobustBound returns the Theorem 5 bound r/(μ − N·r): a service
+// discipline supports robust TSI individual feedback flow control if
+// and only if Q_i(r) ≤ RobustBound(r_i, μ, N) for every rate vector.
+// The bound is +Inf when N·r ≥ μ (the reservation share is exhausted).
+func RobustBound(r, mu float64, n int) float64 {
+	if r < 0 || mu <= 0 || n <= 0 {
+		panic(fmt.Sprintf("queueing: RobustBound(%v, %v, %d) undefined", r, mu, n))
+	}
+	den := mu - float64(n)*r
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return r / den
+}
+
+// RobustnessViolations evaluates the Theorem 5 criterion for
+// discipline d at rate vector r: it returns the indices i with
+// Q_i(r) > r_i/(μ − N·r_i) beyond relative tolerance tol. The paper
+// proves Fair Share always returns an empty list (with equality at the
+// minimum rate) and FIFO does not.
+func RobustnessViolations(d Discipline, r []float64, mu, tol float64) ([]int, error) {
+	q, err := d.Queues(r, mu)
+	if err != nil {
+		return nil, err
+	}
+	n := len(r)
+	var bad []int
+	for i, qi := range q {
+		bound := RobustBound(r[i], mu, n)
+		if math.IsInf(bound, 1) {
+			continue // vacuous: the reservation benchmark is itself unstable
+		}
+		if qi > bound+tol*(1+bound) {
+			bad = append(bad, i)
+		}
+	}
+	return bad, nil
+}
+
+// ReservationQueue returns the queue length connection i would have in
+// the reservation-based benchmark of Section 2.4.4: alone at a server
+// of rate μ/N. It is g(N·r_i/μ).
+func ReservationQueue(r, mu float64, n int) float64 {
+	if r < 0 || mu <= 0 || n <= 0 {
+		panic(fmt.Sprintf("queueing: ReservationQueue(%v, %v, %d) undefined", r, mu, n))
+	}
+	return G(float64(n) * r / mu)
+}
+
+// ReservationSojourn returns the mean packet sojourn time of the
+// reservation benchmark: 1/(μ/N − r), or +Inf when the reserved share
+// is saturated. Robust TSI individual feedback flow control beats this
+// by at least a factor N at each gateway (Section 3.4).
+func ReservationSojourn(r, mu float64, n int) float64 {
+	if r < 0 || mu <= 0 || n <= 0 {
+		panic(fmt.Sprintf("queueing: ReservationSojourn(%v, %v, %d) undefined", r, mu, n))
+	}
+	den := mu/float64(n) - r
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / den
+}

@@ -1,0 +1,345 @@
+package queueing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRobustBound(t *testing.T) {
+	// r=0.1, μ=1, N=4: bound = 0.1/0.6.
+	if got, want := RobustBound(0.1, 1, 4), 0.1/0.6; math.Abs(got-want) > 1e-12 {
+		t.Errorf("RobustBound = %v, want %v", got, want)
+	}
+	if !math.IsInf(RobustBound(0.5, 1, 4), 1) {
+		t.Error("bound should be +Inf when N·r ≥ μ")
+	}
+}
+
+func TestRobustBoundPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for negative rate")
+		}
+	}()
+	RobustBound(-1, 1, 2)
+}
+
+func TestFIFOViolatesRobustness(t *testing.T) {
+	// A below-average rate under FIFO violates the Theorem 5 bound.
+	r := []float64{0.05, 0.6}
+	bad, err := RobustnessViolations(FIFO{}, r, 1, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) == 0 || bad[0] != 0 {
+		t.Errorf("expected connection 0 to violate, got %v", bad)
+	}
+}
+
+func TestFIFOUniformRatesSatisfyBound(t *testing.T) {
+	// With equal rates FIFO meets the bound exactly (Σr = N·r_i).
+	r := []float64{0.2, 0.2, 0.2}
+	bad, err := RobustnessViolations(FIFO{}, r, 1, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Errorf("uniform FIFO should not violate, got %v", bad)
+	}
+}
+
+// Property (Theorem 5, sufficiency direction): Fair Share never
+// violates Q_i ≤ r_i/(μ − N·r_i), including in partial overload.
+func TestPropFairShareNeverViolatesRobustBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mu := 0.5 + rng.Float64()*5
+		n := 1 + rng.Intn(10)
+		r := make([]float64, n)
+		for i := range r {
+			// Allow loads past stability to exercise the overload path.
+			r[i] = rng.Float64() * 1.5 * mu / float64(n)
+		}
+		bad, err := RobustnessViolations(FairShare{}, r, mu, 1e-9)
+		return err == nil && len(bad) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FIFO violates the bound whenever rates are sufficiently
+// skewed (some r_i below the mean by a margin), confirming the paper's
+// "FIFO does not satisfy this condition".
+func TestPropFIFOViolatesWhenSkewed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mu := 1.0
+		n := 2 + rng.Intn(6)
+		r := randRates(rng, n, mu, 0.8)
+		r[0] = r[0] / 10 // force a clearly below-average connection
+		// Only meaningful when the reservation benchmark is stable for r[0].
+		if float64(n)*r[0] >= mu {
+			return true
+		}
+		sum := 0.0
+		for _, ri := range r {
+			sum += ri
+		}
+		if sum <= float64(n)*r[0]+1e-6 || sum >= mu {
+			return true // not skewed enough, or unstable total
+		}
+		bad, err := RobustnessViolations(FIFO{}, r, mu, 1e-9)
+		if err != nil {
+			return false
+		}
+		for _, i := range bad {
+			if i == 0 {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReservationQueue(t *testing.T) {
+	// N=4, μ=1, r=0.1: load on the μ/4 reserved server is 0.4.
+	want := G(0.4)
+	if got := ReservationQueue(0.1, 1, 4); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ReservationQueue = %v, want %v", got, want)
+	}
+}
+
+func TestReservationSojourn(t *testing.T) {
+	// μ/N = 0.25, r = 0.1: sojourn 1/0.15.
+	want := 1 / 0.15
+	if got := ReservationSojourn(0.1, 1, 4); math.Abs(got-want) > 1e-9 {
+		t.Errorf("ReservationSojourn = %v, want %v", got, want)
+	}
+	if !math.IsInf(ReservationSojourn(0.3, 1, 4), 1) {
+		t.Error("saturated reservation should be +Inf")
+	}
+}
+
+func TestReservationPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"queue":   func() { ReservationQueue(0.1, 0, 4) },
+		"sojourn": func() { ReservationSojourn(0.1, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// The Section 3.4 delay claim: a robust discipline at full fair load
+// has per-connection sojourn lower than the reservation benchmark by
+// at least a factor N.
+func TestFairShareDelayBeatsReservationByFactorN(t *testing.T) {
+	mu := 1.0
+	for _, n := range []int{2, 4, 8, 16} {
+		r := make([]float64, n)
+		for i := range r {
+			r[i] = 0.8 * mu / float64(n) // fair share of an 80% loaded gateway
+		}
+		w, err := FairShare{}.SojournTimes(r, mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resv := ReservationSojourn(r[0], mu, n)
+		ratio := resv / w[0]
+		if ratio < float64(n)*0.999 {
+			t.Errorf("N=%d: reservation/FS delay ratio %v, want >= %d", n, ratio, n)
+		}
+	}
+}
+
+func TestPriorityDecompositionTable1(t *testing.T) {
+	// The paper's Table 1 with r = (r1, r2, r3, r4) = (1, 2, 3, 4):
+	// row i has entries r1, r2−r1, …: here all ones.
+	table, perm := PriorityDecomposition([]float64{1, 2, 3, 4})
+	want := [][]float64{
+		{1, 0, 0, 0},
+		{1, 1, 0, 0},
+		{1, 1, 1, 0},
+		{1, 1, 1, 1},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(table[i][j]-want[i][j]) > 1e-12 {
+				t.Errorf("table[%d][%d] = %v, want %v", i, j, table[i][j], want[i][j])
+			}
+		}
+	}
+	for i, p := range perm {
+		if p != i {
+			t.Errorf("perm[%d] = %d for already-sorted input", i, p)
+		}
+	}
+}
+
+func TestPriorityDecompositionUnsorted(t *testing.T) {
+	table, perm := PriorityDecomposition([]float64{3, 1, 2})
+	// Sorted rates: 1 (orig 1), 2 (orig 2), 3 (orig 0).
+	if perm[0] != 1 || perm[1] != 2 || perm[2] != 0 {
+		t.Errorf("perm = %v", perm)
+	}
+	wantRows := [][]float64{
+		{1, 0, 0},
+		{1, 1, 0},
+		{1, 1, 1},
+	}
+	for i := range wantRows {
+		for j := range wantRows[i] {
+			if math.Abs(table[i][j]-wantRows[i][j]) > 1e-12 {
+				t.Errorf("table[%d][%d] = %v, want %v", i, j, table[i][j], wantRows[i][j])
+			}
+		}
+	}
+}
+
+// Property: Table 1 row sums reproduce the sorted rates, and columns
+// are triangular (class j is used only by connections i ≥ j).
+func TestPropPriorityDecomposition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		r := make([]float64, n)
+		for i := range r {
+			r[i] = rng.Float64() * 5
+		}
+		table, perm := PriorityDecomposition(r)
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				if table[i][j] < -1e-12 {
+					return false // negative substream rate
+				}
+				if j > i && table[i][j] != 0 {
+					return false // above-diagonal entry
+				}
+				sum += table[i][j]
+			}
+			if math.Abs(sum-r[perm[i]]) > 1e-9 {
+				return false // row sum must equal the connection's rate
+			}
+		}
+		// Within a class all participating connections get the same rate.
+		for j := 0; j < n; j++ {
+			for i := j + 1; i < n; i++ {
+				if math.Abs(table[i][j]-table[j][j]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckFeasibilityAccepts(t *testing.T) {
+	r := []float64{0.1, 0.2, 0.3}
+	for _, d := range []Discipline{FIFO{}, FairShare{}} {
+		q, err := d.Queues(r, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := CheckFeasibility(r, q, 1, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Feasible {
+			t.Errorf("%s should be feasible: %+v", d.Name(), rep)
+		}
+	}
+}
+
+func TestCheckFeasibilityConservationViolation(t *testing.T) {
+	r := []float64{0.2, 0.2}
+	rep, err := CheckFeasibility(r, []float64{0.1, 0.1}, 1, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Feasible || rep.ConservationErr < 0.1 {
+		t.Errorf("under-conserving Q should fail: %+v", rep)
+	}
+}
+
+func TestCheckFeasibilityPrefixViolation(t *testing.T) {
+	// Conserve the total but starve one connection below its solo
+	// bound: Q = (tiny, rest). With ratios sorted, the first prefix is
+	// below g(ρ_1).
+	r := []float64{0.4, 0.4}
+	total := G(0.8)
+	q := []float64{0.01, total - 0.01}
+	rep, err := CheckFeasibility(r, q, 1, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Feasible || len(rep.PrefixViolations) == 0 {
+		t.Errorf("prefix-starving Q should fail: %+v", rep)
+	}
+}
+
+func TestCheckFeasibilityErrors(t *testing.T) {
+	if _, err := CheckFeasibility([]float64{0.1}, []float64{0.1, 0.2}, 1, 1e-9); err == nil {
+		t.Error("want length mismatch error")
+	}
+	if _, err := CheckFeasibility([]float64{-1}, []float64{0}, 1, 1e-9); err == nil {
+		t.Error("want validation error")
+	}
+}
+
+func TestCheckFeasibilityOverloadConsistent(t *testing.T) {
+	// Both total and computed queues infinite: conservation holds.
+	r := []float64{0.7, 0.7}
+	q, err := FIFO{}.Queues(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckFeasibility(r, q, 1, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ConservationErr != 0 {
+		t.Errorf("Inf/Inf conservation error = %v, want 0", rep.ConservationErr)
+	}
+}
+
+// Property: FIFO and Fair Share queue vectors always pass the
+// feasibility check in the stable region — they are realizable
+// disciplines.
+func TestPropDisciplinesFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mu := 0.5 + rng.Float64()*4
+		n := 1 + rng.Intn(8)
+		r := randRates(rng, n, mu, 0.95)
+		for _, d := range []Discipline{FIFO{}, FairShare{}} {
+			q, err := d.Queues(r, mu)
+			if err != nil {
+				return false
+			}
+			rep, err := CheckFeasibility(r, q, mu, 1e-7)
+			if err != nil || !rep.Feasible {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/nettheory/feedbackflow/internal/core"
+)
+
+// TestShippedScenarioFiles keeps the sample files in scenarios/ valid:
+// every one must load, build, and converge.
+func TestShippedScenarioFiles(t *testing.T) {
+	dir := filepath.Join("..", "..", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("scenarios directory missing: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no sample scenarios shipped")
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			f, err := os.Open(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			spec, err := Load(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, r0, err := spec.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := spec.RunOptions()
+			if opt.MaxSteps == 0 {
+				opt = core.RunOptions{MaxSteps: 400000}
+			}
+			res, err := sys.Run(r0, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Errorf("sample scenario %s did not converge", e.Name())
+			}
+		})
+	}
+}

@@ -1,0 +1,243 @@
+// Package scenario loads declarative JSON descriptions of feedback
+// flow control experiments — topology, service discipline, signalling,
+// and per-connection rate adjustment laws — and builds runnable
+// systems from them. It exists so that the workbench CLI (cmd/ffc) and
+// downstream users can define reproducible scenarios as data rather
+// than code.
+//
+// A minimal scenario:
+//
+//	{
+//	  "name": "two-bottleneck",
+//	  "discipline": "fairshare",
+//	  "feedback": "individual",
+//	  "gateways": [
+//	    {"name": "A", "mu": 1.0, "latency": 0.1},
+//	    {"name": "B", "mu": 2.0, "latency": 0.1}
+//	  ],
+//	  "connections": [
+//	    {"path": ["A", "B"], "law": {"kind": "additive", "eta": 0.05, "bss": 0.5}},
+//	    {"path": ["A"],      "law": {"kind": "additive", "eta": 0.05, "bss": 0.5}}
+//	  ]
+//	}
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/nettheory/feedbackflow/internal/control"
+	"github.com/nettheory/feedbackflow/internal/core"
+	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/signal"
+	"github.com/nettheory/feedbackflow/internal/topology"
+)
+
+// Spec is a declarative scenario.
+type Spec struct {
+	// Name labels the scenario in output.
+	Name string `json:"name"`
+	// Discipline selects the gateway service discipline: "fifo" or
+	// "fairshare" (default "fairshare").
+	Discipline string `json:"discipline"`
+	// Feedback selects the congestion signalling style: "aggregate"
+	// or "individual" (default "individual").
+	Feedback string `json:"feedback"`
+	// Signal selects the signal function B (default rational).
+	Signal SignalSpec `json:"signal"`
+	// Gateways lists the logical gateways.
+	Gateways []GatewaySpec `json:"gateways"`
+	// Connections lists the connections with their routes and laws.
+	Connections []ConnectionSpec `json:"connections"`
+	// Initial optionally fixes the initial rate vector; when empty,
+	// every connection starts at 1% of its first gateway's rate.
+	Initial []float64 `json:"initial"`
+	// MaxSteps bounds the iteration (default core's 20000).
+	MaxSteps int `json:"maxSteps"`
+}
+
+// GatewaySpec describes one gateway.
+type GatewaySpec struct {
+	Name    string  `json:"name"`
+	Mu      float64 `json:"mu"`
+	Latency float64 `json:"latency"`
+}
+
+// ConnectionSpec describes one connection.
+type ConnectionSpec struct {
+	// Path is the ordered list of gateway names the connection
+	// traverses.
+	Path []string `json:"path"`
+	// Law is the connection's rate adjustment law.
+	Law LawSpec `json:"law"`
+}
+
+// LawSpec describes a rate adjustment law.
+type LawSpec struct {
+	// Kind: "additive", "multiplicative", "power", "fairrate",
+	// "window".
+	Kind string  `json:"kind"`
+	Eta  float64 `json:"eta"`
+	Beta float64 `json:"beta"`
+	BSS  float64 `json:"bss"`
+	P    float64 `json:"p"`
+}
+
+// SignalSpec describes the signal function B.
+type SignalSpec struct {
+	// Kind: "rational" (default), "power", "exponential", "binary".
+	Kind      string  `json:"kind"`
+	K         float64 `json:"k"`         // power exponent
+	Theta     float64 `json:"theta"`     // exponential scale
+	Threshold float64 `json:"threshold"` // binary threshold
+}
+
+// Load parses a scenario from JSON. Unknown fields are rejected so
+// typos fail loudly.
+func Load(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return &s, nil
+}
+
+// Build validates the spec and assembles the system plus the initial
+// rate vector.
+func (s *Spec) Build() (*core.System, []float64, error) {
+	if len(s.Gateways) == 0 {
+		return nil, nil, fmt.Errorf("scenario: no gateways")
+	}
+	if len(s.Connections) == 0 {
+		return nil, nil, fmt.Errorf("scenario: no connections")
+	}
+	var bld topology.Builder
+	byName := make(map[string]int, len(s.Gateways))
+	for _, g := range s.Gateways {
+		if g.Name == "" {
+			return nil, nil, fmt.Errorf("scenario: gateway with empty name")
+		}
+		if _, dup := byName[g.Name]; dup {
+			return nil, nil, fmt.Errorf("scenario: duplicate gateway name %q", g.Name)
+		}
+		byName[g.Name] = bld.AddGateway(g.Name, g.Mu, g.Latency)
+	}
+	laws := make([]control.Law, 0, len(s.Connections))
+	for ci, c := range s.Connections {
+		path := make([]int, 0, len(c.Path))
+		for _, name := range c.Path {
+			idx, ok := byName[name]
+			if !ok {
+				return nil, nil, fmt.Errorf("scenario: connection %d references unknown gateway %q", ci, name)
+			}
+			path = append(path, idx)
+		}
+		bld.AddConnection(path...)
+		law, err := buildLaw(c.Law)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario: connection %d: %w", ci, err)
+		}
+		laws = append(laws, law)
+	}
+	net, err := bld.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario: %w", err)
+	}
+
+	disc, err := buildDiscipline(s.Discipline)
+	if err != nil {
+		return nil, nil, err
+	}
+	style, err := buildFeedback(s.Feedback)
+	if err != nil {
+		return nil, nil, err
+	}
+	sigFn, err := buildSignal(s.Signal)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := core.NewSystem(net, disc, style, sigFn, laws)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario: %w", err)
+	}
+
+	r0 := s.Initial
+	if len(r0) == 0 {
+		r0 = make([]float64, net.NumConnections())
+		for i := range r0 {
+			first := net.Route(i)[0]
+			r0[i] = 0.01 * net.Gateway(first).Mu
+		}
+	} else if len(r0) != net.NumConnections() {
+		return nil, nil, fmt.Errorf("scenario: %d initial rates for %d connections", len(r0), net.NumConnections())
+	}
+	return sys, r0, nil
+}
+
+// RunOptions returns the core options implied by the spec.
+func (s *Spec) RunOptions() core.RunOptions {
+	return core.RunOptions{MaxSteps: s.MaxSteps}
+}
+
+func buildDiscipline(kind string) (queueing.Discipline, error) {
+	switch strings.ToLower(kind) {
+	case "", "fairshare", "fs":
+		return queueing.FairShare{}, nil
+	case "fifo":
+		return queueing.FIFO{}, nil
+	}
+	return nil, fmt.Errorf("scenario: unknown discipline %q", kind)
+}
+
+func buildFeedback(kind string) (signal.Style, error) {
+	switch strings.ToLower(kind) {
+	case "", "individual":
+		return signal.Individual, nil
+	case "aggregate":
+		return signal.Aggregate, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown feedback style %q", kind)
+}
+
+func buildSignal(sp SignalSpec) (signal.Func, error) {
+	switch strings.ToLower(sp.Kind) {
+	case "", "rational":
+		return signal.Rational{}, nil
+	case "power":
+		if sp.K <= 0 {
+			return nil, fmt.Errorf("scenario: power signal needs k > 0")
+		}
+		return signal.Power{K: sp.K}, nil
+	case "exponential":
+		if sp.Theta <= 0 {
+			return nil, fmt.Errorf("scenario: exponential signal needs theta > 0")
+		}
+		return signal.Exponential{Theta: sp.Theta}, nil
+	case "binary":
+		if sp.Threshold <= 0 {
+			return nil, fmt.Errorf("scenario: binary signal needs threshold > 0")
+		}
+		return signal.Binary{Threshold: sp.Threshold}, nil
+	}
+	return nil, fmt.Errorf("scenario: unknown signal kind %q", sp.Kind)
+}
+
+func buildLaw(sp LawSpec) (control.Law, error) {
+	switch strings.ToLower(sp.Kind) {
+	case "", "additive":
+		return control.AdditiveTSI{Eta: sp.Eta, BSS: sp.BSS}, nil
+	case "multiplicative":
+		return control.MultiplicativeTSI{Eta: sp.Eta, BSS: sp.BSS}, nil
+	case "power":
+		return control.PowerTSI{Eta: sp.Eta, BSS: sp.BSS, P: sp.P}, nil
+	case "fairrate":
+		return control.FairRateLIMD{Eta: sp.Eta, Beta: sp.Beta}, nil
+	case "window":
+		return control.WindowLIMD{Eta: sp.Eta, Beta: sp.Beta}, nil
+	}
+	return nil, fmt.Errorf("unknown law kind %q", sp.Kind)
+}

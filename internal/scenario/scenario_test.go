@@ -1,0 +1,164 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/nettheory/feedbackflow/internal/core"
+)
+
+const validJSON = `{
+  "name": "two-bottleneck",
+  "discipline": "fairshare",
+  "feedback": "individual",
+  "gateways": [
+    {"name": "A", "mu": 1.0, "latency": 0.1},
+    {"name": "B", "mu": 2.0, "latency": 0.1}
+  ],
+  "connections": [
+    {"path": ["A", "B"], "law": {"kind": "additive", "eta": 0.05, "bss": 0.5}},
+    {"path": ["A"],      "law": {"kind": "additive", "eta": 0.05, "bss": 0.5}},
+    {"path": ["B"],      "law": {"kind": "additive", "eta": 0.05, "bss": 0.5}}
+  ]
+}`
+
+func TestLoadAndBuild(t *testing.T) {
+	spec, err := Load(strings.NewReader(validJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "two-bottleneck" {
+		t.Errorf("name = %q", spec.Name)
+	}
+	sys, r0, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Network().NumGateways() != 2 || sys.Network().NumConnections() != 3 {
+		t.Fatalf("built shape %d/%d", sys.Network().NumGateways(), sys.Network().NumConnections())
+	}
+	if len(r0) != 3 {
+		t.Fatalf("initial rates %v", r0)
+	}
+	// Default start: 1% of the first gateway's rate.
+	if math.Abs(r0[0]-0.01) > 1e-12 || math.Abs(r0[2]-0.02) > 1e-12 {
+		t.Errorf("default initial rates %v", r0)
+	}
+}
+
+func TestEndToEndRun(t *testing.T) {
+	spec, err := Load(strings.NewReader(validJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, r0, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(r0, core.RunOptions{MaxSteps: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("scenario did not converge")
+	}
+	// Individual feedback on this topology: long and crossA share the
+	// bottleneck A (capacity 0.5), crossB picks up the slack at B.
+	if math.Abs(res.Rates[0]-0.25) > 1e-4 || math.Abs(res.Rates[1]-0.25) > 1e-4 {
+		t.Errorf("bottleneck-A rates %v, want 0.25 each", res.Rates[:2])
+	}
+	if math.Abs(res.Rates[2]-0.75) > 1e-4 {
+		t.Errorf("crossB rate %v, want 0.75", res.Rates[2])
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"nam": "typo"}`)); err == nil {
+		t.Error("unknown field should fail")
+	}
+	if _, err := Load(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"no gateways", `{"connections": [{"path": ["A"]}]}`},
+		{"no connections", `{"gateways": [{"name": "A", "mu": 1}]}`},
+		{"empty gateway name", `{"gateways": [{"name": "", "mu": 1}], "connections": [{"path": [""]}]}`},
+		{"duplicate gateway", `{"gateways": [{"name": "A", "mu": 1}, {"name": "A", "mu": 2}], "connections": [{"path": ["A"]}]}`},
+		{"unknown gateway in path", `{"gateways": [{"name": "A", "mu": 1}], "connections": [{"path": ["B"]}]}`},
+		{"bad mu", `{"gateways": [{"name": "A", "mu": 0}], "connections": [{"path": ["A"]}]}`},
+		{"bad law kind", `{"gateways": [{"name": "A", "mu": 1}], "connections": [{"path": ["A"], "law": {"kind": "quantum"}}]}`},
+		{"bad discipline", `{"discipline": "lifo", "gateways": [{"name": "A", "mu": 1}], "connections": [{"path": ["A"], "law": {"eta": 0.1, "bss": 0.5}}]}`},
+		{"bad feedback", `{"feedback": "gossip", "gateways": [{"name": "A", "mu": 1}], "connections": [{"path": ["A"], "law": {"eta": 0.1, "bss": 0.5}}]}`},
+		{"bad signal", `{"signal": {"kind": "sigmoid"}, "gateways": [{"name": "A", "mu": 1}], "connections": [{"path": ["A"], "law": {"eta": 0.1, "bss": 0.5}}]}`},
+		{"power signal no k", `{"signal": {"kind": "power"}, "gateways": [{"name": "A", "mu": 1}], "connections": [{"path": ["A"], "law": {"eta": 0.1, "bss": 0.5}}]}`},
+		{"exponential no theta", `{"signal": {"kind": "exponential"}, "gateways": [{"name": "A", "mu": 1}], "connections": [{"path": ["A"], "law": {"eta": 0.1, "bss": 0.5}}]}`},
+		{"binary no threshold", `{"signal": {"kind": "binary"}, "gateways": [{"name": "A", "mu": 1}], "connections": [{"path": ["A"], "law": {"eta": 0.1, "bss": 0.5}}]}`},
+		{"initial length mismatch", `{"initial": [0.1], "gateways": [{"name": "A", "mu": 1}], "connections": [{"path": ["A"], "law": {"eta": 0.1, "bss": 0.5}}, {"path": ["A"], "law": {"eta": 0.1, "bss": 0.5}}]}`},
+	}
+	for _, c := range cases {
+		spec, err := Load(strings.NewReader(c.json))
+		if err != nil {
+			continue // parse-level rejection is fine too
+		}
+		if _, _, err := spec.Build(); err == nil {
+			t.Errorf("%s: want build error", c.name)
+		}
+	}
+}
+
+func TestAllLawAndSignalKinds(t *testing.T) {
+	js := `{
+	  "discipline": "fifo",
+	  "feedback": "aggregate",
+	  "signal": {"kind": "exponential", "theta": 2},
+	  "gateways": [{"name": "G", "mu": 1}],
+	  "connections": [
+	    {"path": ["G"], "law": {"kind": "additive", "eta": 0.1, "bss": 0.5}},
+	    {"path": ["G"], "law": {"kind": "multiplicative", "eta": 0.1, "bss": 0.5}},
+	    {"path": ["G"], "law": {"kind": "power", "eta": 0.1, "bss": 0.5, "p": 1}},
+	    {"path": ["G"], "law": {"kind": "fairrate", "eta": 0.1, "beta": 0.5}},
+	    {"path": ["G"], "law": {"kind": "window", "eta": 0.1, "beta": 0.5}}
+	  ]
+	}`
+	spec, err := Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, r0, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Step(r0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplicitInitialAndMaxSteps(t *testing.T) {
+	js := `{
+	  "gateways": [{"name": "G", "mu": 1}],
+	  "connections": [{"path": ["G"], "law": {"eta": 0.1, "bss": 0.5}}],
+	  "initial": [0.3],
+	  "maxSteps": 77
+	}`
+	spec, err := Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r0, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0[0] != 0.3 {
+		t.Errorf("initial = %v", r0)
+	}
+	if spec.RunOptions().MaxSteps != 77 {
+		t.Errorf("maxSteps = %d", spec.RunOptions().MaxSteps)
+	}
+}

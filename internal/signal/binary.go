@@ -1,0 +1,46 @@
+package signal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Binary is the threshold congestion bit of the DECbit / Chiu–Jain
+// setting analyzed in Section 4 of the paper: the signal is 0 below a
+// congestion threshold and 1 at or above it.
+//
+// Binary deliberately violates the paper's standing assumptions on B
+// (it is not strictly increasing and not continuous), which is exactly
+// why the paper's steady-state analysis excludes it: a system driven
+// by a binary signal is never at rest — it oscillates around the
+// threshold. The E14 experiment uses it to reproduce the Section 4
+// observations about linear-increase/multiplicative-decrease: fair and
+// TSI *on average*, with an oscillation period that grows linearly
+// with the server rate.
+type Binary struct {
+	// Threshold is the congestion level at which the bit sets (> 0).
+	Threshold float64
+}
+
+// Name implements Func.
+func (b Binary) Name() string { return fmt.Sprintf("step(C>=%g)", b.Threshold) }
+
+// Eval implements Func.
+func (b Binary) Eval(c float64) float64 {
+	checkCongestion(c)
+	if b.Threshold <= 0 || math.IsNaN(b.Threshold) {
+		panic(fmt.Sprintf("signal: Binary threshold %v must be positive", b.Threshold))
+	}
+	if c >= b.Threshold {
+		return 1
+	}
+	return 0
+}
+
+// Inverse implements Func. A step function has no inverse; the
+// Theorem 2 fair-allocation construction is therefore unavailable for
+// binary feedback, matching the paper's observation that the Chiu–Jain
+// system has no steady state to construct.
+func (b Binary) Inverse(float64) (float64, error) {
+	return 0, fmt.Errorf("signal: the binary signal %s is not invertible", b.Name())
+}

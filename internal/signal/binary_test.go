@@ -1,0 +1,64 @@
+package signal
+
+import "testing"
+
+func TestBinaryEval(t *testing.T) {
+	b := Binary{Threshold: 2}
+	cases := []struct{ c, want float64 }{
+		{0, 0},
+		{1.999, 0},
+		{2, 1},
+		{100, 1},
+	}
+	for _, cse := range cases {
+		if got := b.Eval(cse.c); got != cse.want {
+			t.Errorf("Eval(%v) = %v, want %v", cse.c, got, cse.want)
+		}
+	}
+	if b.Name() == "" {
+		t.Error("Name should render")
+	}
+}
+
+func TestBinaryNotInvertible(t *testing.T) {
+	if _, err := (Binary{Threshold: 2}).Inverse(0.5); err == nil {
+		t.Error("binary signal must refuse inversion")
+	}
+}
+
+func TestBinaryPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero threshold should panic")
+			}
+		}()
+		Binary{}.Eval(1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative congestion should panic")
+			}
+		}()
+		Binary{Threshold: 1}.Eval(-1)
+	}()
+}
+
+func TestBinaryInGatewaySignals(t *testing.T) {
+	// Aggregate binary feedback: bit clear below threshold, set above.
+	sig, err := GatewaySignals(Aggregate, Binary{Threshold: 3}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig[0] != 0 || sig[1] != 0 {
+		t.Errorf("below-threshold signals = %v", sig)
+	}
+	sig, err = GatewaySignals(Aggregate, Binary{Threshold: 3}, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig[0] != 1 || sig[1] != 1 {
+		t.Errorf("above-threshold signals = %v", sig)
+	}
+}

@@ -1,0 +1,234 @@
+// Package signal implements the congestion-signalling side of feedback
+// flow control (Section 2.3.1 of the paper): signal functions B
+// mapping a congestion measure C ∈ [0, ∞] to a signal b ∈ [0, 1], the
+// aggregate and individual congestion measures computed from gateway
+// queue lengths, and the bottleneck combination b_i = max_a b^a_i.
+package signal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Func is a congestion signal function B. The paper requires B to be
+// strictly increasing with B(0) = 0 and B(∞) = 1; implementations in
+// this package satisfy that, and Inverse exists so the Theorem 2 fair
+// steady state can be constructed.
+type Func interface {
+	// Name identifies the signal function.
+	Name() string
+	// Eval returns B(c) ∈ [0,1]. c must be non-negative (or +Inf).
+	Eval(c float64) float64
+	// Inverse returns the congestion C with B(C) = b, for b ∈ [0,1).
+	// b = 1 maps to +Inf. Values outside [0,1] are an error.
+	Inverse(b float64) (float64, error)
+}
+
+func checkCongestion(c float64) {
+	if c < 0 || math.IsNaN(c) {
+		panic(fmt.Sprintf("signal: congestion measure %v is invalid", c))
+	}
+}
+
+func checkSignalRange(b float64) error {
+	if b < 0 || b > 1 || math.IsNaN(b) {
+		return fmt.Errorf("signal: %v outside [0,1]", b)
+	}
+	return nil
+}
+
+// Rational is the paper's worked-example signal B(C) = C/(1+C). Under
+// aggregate feedback with C = g(ρ) it makes b = ρ exactly, which is
+// what produces the clean 1−ηN eigenvalue in the Section 3.3
+// instability example.
+type Rational struct{}
+
+// Name implements Func.
+func (Rational) Name() string { return "C/(1+C)" }
+
+// Eval implements Func.
+func (Rational) Eval(c float64) float64 {
+	checkCongestion(c)
+	if math.IsInf(c, 1) {
+		return 1
+	}
+	return c / (1 + c)
+}
+
+// Inverse implements Func.
+func (Rational) Inverse(b float64) (float64, error) {
+	if err := checkSignalRange(b); err != nil {
+		return 0, err
+	}
+	if b == 1 {
+		return math.Inf(1), nil
+	}
+	return b / (1 - b), nil
+}
+
+// Power is B(C) = (C/(1+C))^K. K = 2 yields the quadratic map of the
+// Section 3.3 chaos example; K = 1 reduces to Rational.
+type Power struct {
+	K float64 // exponent, must be > 0
+}
+
+// Name implements Func.
+func (p Power) Name() string { return fmt.Sprintf("(C/(1+C))^%g", p.K) }
+
+// Eval implements Func.
+func (p Power) Eval(c float64) float64 {
+	checkCongestion(c)
+	if p.K <= 0 || math.IsNaN(p.K) {
+		panic(fmt.Sprintf("signal: Power exponent %v must be positive", p.K))
+	}
+	if math.IsInf(c, 1) {
+		return 1
+	}
+	return math.Pow(c/(1+c), p.K)
+}
+
+// Inverse implements Func.
+func (p Power) Inverse(b float64) (float64, error) {
+	if err := checkSignalRange(b); err != nil {
+		return 0, err
+	}
+	if p.K <= 0 || math.IsNaN(p.K) {
+		return 0, fmt.Errorf("signal: Power exponent %v must be positive", p.K)
+	}
+	if b == 1 {
+		return math.Inf(1), nil
+	}
+	root := math.Pow(b, 1/p.K)
+	return root / (1 - root), nil
+}
+
+// Exponential is B(C) = 1 − e^(−C/θ): a signal family that is *not*
+// the rational one, used to confirm the qualitative results do not
+// depend on the particular B.
+type Exponential struct {
+	Theta float64 // scale, must be > 0
+}
+
+// Name implements Func.
+func (e Exponential) Name() string { return fmt.Sprintf("1-exp(-C/%g)", e.Theta) }
+
+// Eval implements Func.
+func (e Exponential) Eval(c float64) float64 {
+	checkCongestion(c)
+	if e.Theta <= 0 || math.IsNaN(e.Theta) {
+		panic(fmt.Sprintf("signal: Exponential scale %v must be positive", e.Theta))
+	}
+	if math.IsInf(c, 1) {
+		return 1
+	}
+	return 1 - math.Exp(-c/e.Theta)
+}
+
+// Inverse implements Func.
+func (e Exponential) Inverse(b float64) (float64, error) {
+	if err := checkSignalRange(b); err != nil {
+		return 0, err
+	}
+	if e.Theta <= 0 || math.IsNaN(e.Theta) {
+		return 0, fmt.Errorf("signal: Exponential scale %v must be positive", e.Theta)
+	}
+	if b == 1 {
+		return math.Inf(1), nil
+	}
+	return -e.Theta * math.Log(1-b), nil
+}
+
+// Style selects between the two kinds of congestion feedback the paper
+// analyzes.
+type Style int
+
+const (
+	// Aggregate feedback: every connection through a gateway receives
+	// the same signal B(Q_tot), blind to who causes the congestion.
+	Aggregate Style = iota
+	// Individual feedback: connection i receives B(C_i) with
+	// C_i = Σ_k min(Q_k, Q_i), reflecting its own contribution and
+	// ignoring queues larger than its own.
+	Individual
+)
+
+// String implements fmt.Stringer.
+func (s Style) String() string {
+	switch s {
+	case Aggregate:
+		return "aggregate"
+	case Individual:
+		return "individual"
+	}
+	return fmt.Sprintf("Style(%d)", int(s))
+}
+
+// AggregateCongestion returns C = Σ Q_k, the total queue length.
+func AggregateCongestion(q []float64) float64 {
+	c := 0.0
+	for _, qk := range q {
+		checkCongestion(qk)
+		c += qk
+	}
+	return c
+}
+
+// IndividualCongestion returns C_i = Σ_k min(Q_k, Q_i): the paper's
+// individual congestion measure, which charges connection i for its
+// own queue and for the part of every other queue not exceeding its
+// own. For the smallest queue this equals N·Q_i; for the largest it
+// equals the aggregate measure.
+func IndividualCongestion(q []float64, i int) float64 {
+	if i < 0 || i >= len(q) {
+		panic(fmt.Sprintf("signal: connection %d out of range [0,%d)", i, len(q)))
+	}
+	qi := q[i]
+	checkCongestion(qi)
+	c := 0.0
+	for _, qk := range q {
+		checkCongestion(qk)
+		c += math.Min(qk, qi)
+	}
+	return c
+}
+
+// GatewaySignals returns the per-connection signals b^a_i emitted by
+// one gateway whose current queue vector is q, under the given
+// feedback style and signal function.
+func GatewaySignals(style Style, b Func, q []float64) ([]float64, error) {
+	out := make([]float64, len(q))
+	switch style {
+	case Aggregate:
+		s := b.Eval(AggregateCongestion(q))
+		for i := range out {
+			out[i] = s
+		}
+	case Individual:
+		for i := range out {
+			out[i] = b.Eval(IndividualCongestion(q, i))
+		}
+	default:
+		return nil, fmt.Errorf("signal: unknown feedback style %d", int(style))
+	}
+	return out, nil
+}
+
+// CombineBottleneck implements b_i = max_a b^a_i over a connection's
+// path (bottleneck flow control in the sense of [Jaf81]): given the
+// signals a connection received from each gateway it crosses, the
+// combined signal is the largest.
+func CombineBottleneck(perGateway []float64) (float64, error) {
+	if len(perGateway) == 0 {
+		return 0, fmt.Errorf("signal: no per-gateway signals to combine")
+	}
+	b := 0.0
+	for _, s := range perGateway {
+		if err := checkSignalRange(s); err != nil {
+			return 0, err
+		}
+		if s > b {
+			b = s
+		}
+	}
+	return b, nil
+}

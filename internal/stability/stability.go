@@ -1,0 +1,267 @@
+// Package stability implements the linear stability analysis of
+// Section 2.4.3 and 3.3 of the paper: numerical computation of the
+// stability matrix DF_ij = ∂F_i/∂r_j at a steady state, and its
+// classification into unilateral stability (|DF_ii| < 1: each
+// connection, varying alone, returns to rest) and systemic stability
+// (spectral radius of DF < 1: joint deviations dissipate).
+//
+// Because the model's max/min operations make some partial derivatives
+// discontinuous at steady states, the Jacobian is computed with
+// selectable one-sided differences; the forward scheme probes the
+// branch where the perturbed connection's queue grows, which is the
+// branch that matters for the triangularity argument of Theorem 4.
+package stability
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/nettheory/feedbackflow/internal/linalg"
+)
+
+// Scheme selects the finite-difference stencil used for the Jacobian.
+type Scheme int
+
+const (
+	// Forward differences: (F(r + h·e_j) − F(r)) / h.
+	Forward Scheme = iota
+	// Backward differences: (F(r) − F(r − h·e_j)) / h.
+	Backward
+	// Central differences: (F(r + h·e_j) − F(r − h·e_j)) / 2h. More
+	// accurate on smooth regions, but averages across kinks.
+	Central
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case Forward:
+		return "forward"
+	case Backward:
+		return "backward"
+	case Central:
+		return "central"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Jacobian numerically differentiates the map F at r with step h
+// (scaled by 1 + |r_j| per coordinate). Backward probes clamp at zero
+// so the map's domain (non-negative rates) is respected.
+func Jacobian(F func([]float64) []float64, r []float64, h float64, scheme Scheme) (*linalg.Matrix, error) {
+	n := len(r)
+	if n == 0 {
+		return nil, fmt.Errorf("stability: empty rate vector")
+	}
+	if h <= 0 || math.IsNaN(h) {
+		return nil, fmt.Errorf("stability: invalid step %v", h)
+	}
+	base := F(r)
+	if len(base) != n {
+		return nil, fmt.Errorf("stability: F returned %d values for %d rates", len(base), n)
+	}
+	df := linalg.NewMatrix(n, n)
+	probe := make([]float64, n)
+	for j := 0; j < n; j++ {
+		hj := h * (1 + math.Abs(r[j]))
+		var hi, lo []float64
+		var span float64
+		switch scheme {
+		case Forward:
+			copy(probe, r)
+			probe[j] += hj
+			hi = F(probe)
+			lo = base
+			span = hj
+		case Backward:
+			step := hj
+			if r[j]-step < 0 {
+				step = r[j] // clamp: stay in the domain
+			}
+			if step == 0 {
+				// At the boundary a backward probe is impossible; fall
+				// back to forward for this coordinate.
+				copy(probe, r)
+				probe[j] += hj
+				hi = F(probe)
+				lo = base
+				span = hj
+				break
+			}
+			copy(probe, r)
+			probe[j] -= step
+			hi = base
+			lo = F(probe)
+			span = step
+		case Central:
+			down := hj
+			if r[j]-down < 0 {
+				down = r[j]
+			}
+			copy(probe, r)
+			probe[j] += hj
+			up := F(probe)
+			copy(probe, r)
+			probe[j] -= down
+			dn := F(probe)
+			hi, lo = up, dn
+			span = hj + down
+			if span == 0 {
+				return nil, fmt.Errorf("stability: degenerate central stencil at coordinate %d", j)
+			}
+		default:
+			return nil, fmt.Errorf("stability: unknown scheme %v", scheme)
+		}
+		for i := 0; i < n; i++ {
+			df.Set(i, j, (hi[i]-lo[i])/span)
+		}
+	}
+	return df, nil
+}
+
+// Report classifies a stability matrix.
+type Report struct {
+	// DF is the stability matrix analyzed.
+	DF *linalg.Matrix
+	// Eigenvalues of DF, sorted by decreasing magnitude.
+	Eigenvalues []complex128
+	// SpectralRadius is |Eigenvalues[0]|.
+	SpectralRadius float64
+	// MaxAbsDiag is max_i |DF_ii|.
+	MaxAbsDiag float64
+	// Unilateral reports |DF_ii| < 1 for all i: each connection is
+	// individually stable.
+	Unilateral bool
+	// Systemic reports SpectralRadius < 1: the steady state is
+	// linearly stable as a whole.
+	Systemic bool
+	// TriangularOrder, when non-nil, is a permutation p such that the
+	// reordered matrix DF[p_i][p_j] is lower triangular within TriTol —
+	// the structural property Theorem 4 proves for Fair Share. Nil when
+	// no such order exists.
+	TriangularOrder []int
+	// TriTol is the tolerance used for the triangularity test.
+	TriTol float64
+}
+
+// Analyze computes eigenvalues and the stability classification of df.
+// triTol is the absolute tolerance for detecting triangular structure
+// (pass, e.g., 1e-6; entries smaller than triTol·maxAbs are treated as
+// zero).
+func Analyze(df *linalg.Matrix, triTol float64) (*Report, error) {
+	n, c := df.Dims()
+	if n != c {
+		return nil, fmt.Errorf("stability: non-square %dx%d matrix", n, c)
+	}
+	eig, err := linalg.Eigenvalues(df)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{DF: df, Eigenvalues: eig, TriTol: triTol}
+	rep.SpectralRadius = math.Hypot(real(eig[0]), imag(eig[0]))
+	for i := 0; i < n; i++ {
+		if a := math.Abs(df.At(i, i)); a > rep.MaxAbsDiag {
+			rep.MaxAbsDiag = a
+		}
+	}
+	rep.Unilateral = rep.MaxAbsDiag < 1
+	rep.Systemic = rep.SpectralRadius < 1
+	rep.TriangularOrder = triangularOrder(df, triTol)
+	return rep, nil
+}
+
+// triangularOrder searches for a simultaneous row/column permutation
+// making df lower triangular within tol, by greedily peeling rows
+// whose above-diagonal mass would be zero — i.e. repeatedly choosing a
+// row with at most one "column support" remaining. It returns nil if
+// no ordering works.
+func triangularOrder(df *linalg.Matrix, tol float64) []int {
+	n, _ := df.Dims()
+	scale := df.MaxAbs()
+	if scale == 0 {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		return order
+	}
+	thresh := tol * scale
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	// Greedy: the last position of the ordering must be a column whose
+	// entries in all other remaining rows are ~0 (no one depends on
+	// it). Peel from the back.
+	order := make([]int, n)
+	for pos := n - 1; pos >= 0; pos-- {
+		found := -1
+		for _, jCand := range remaining {
+			ok := true
+			for _, i := range remaining {
+				if i == jCand {
+					continue
+				}
+				if math.Abs(df.At(i, jCand)) > thresh {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				found = jCand
+				break
+			}
+		}
+		if found < 0 {
+			return nil
+		}
+		order[pos] = found
+		// Remove found from remaining.
+		for k, v := range remaining {
+			if v == found {
+				remaining = append(remaining[:k], remaining[k+1:]...)
+				break
+			}
+		}
+	}
+	return order
+}
+
+// Permuted returns the matrix reordered by the permutation p (rows and
+// columns simultaneously): out[i][j] = df[p_i][p_j].
+func Permuted(df *linalg.Matrix, p []int) (*linalg.Matrix, error) {
+	n, c := df.Dims()
+	if n != c {
+		return nil, fmt.Errorf("stability: non-square %dx%d matrix", n, c)
+	}
+	if len(p) != n {
+		return nil, fmt.Errorf("stability: permutation length %d for order %d", len(p), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range p {
+		if v < 0 || v >= n || seen[v] {
+			return nil, fmt.Errorf("stability: %v is not a permutation of 0..%d", p, n-1)
+		}
+		seen[v] = true
+	}
+	out := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Set(i, j, df.At(p[i], p[j]))
+		}
+	}
+	return out, nil
+}
+
+// SortByValue returns the permutation that orders indices by ascending
+// value — used to order a Jacobian by steady-state rate, the order in
+// which Theorem 4's Fair Share triangularity appears.
+func SortByValue(v []float64) []int {
+	p := make([]int, len(v))
+	for i := range p {
+		p[i] = i
+	}
+	sort.SliceStable(p, func(a, b int) bool { return v[p[a]] < v[p[b]] })
+	return p
+}

@@ -1,0 +1,349 @@
+package stability
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nettheory/feedbackflow/internal/control"
+	"github.com/nettheory/feedbackflow/internal/core"
+	"github.com/nettheory/feedbackflow/internal/linalg"
+	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/signal"
+	"github.com/nettheory/feedbackflow/internal/topology"
+)
+
+// linearMap builds F(r) = A·r + c for testing the differentiator.
+func linearMap(a *linalg.Matrix, c []float64) func([]float64) []float64 {
+	return func(r []float64) []float64 {
+		out, err := a.MulVec(r)
+		if err != nil {
+			panic(err)
+		}
+		for i := range out {
+			out[i] += c[i]
+		}
+		return out
+	}
+}
+
+func TestJacobianLinearAllSchemes(t *testing.T) {
+	a, err := linalg.FromRows([][]float64{
+		{0.5, -0.2, 0},
+		{0.1, 0.9, 0.3},
+		{-0.4, 0, 0.7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	F := linearMap(a, []float64{1, -2, 3})
+	r := []float64{0.3, 0.7, 1.2}
+	for _, s := range []Scheme{Forward, Backward, Central} {
+		df, err := Jacobian(F, r, 1e-6, s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !df.Equal(a, 1e-6) {
+			t.Errorf("%v scheme:\n%vwant:\n%v", s, df, a)
+		}
+	}
+}
+
+func TestJacobianBackwardAtBoundary(t *testing.T) {
+	// r_j = 0: backward must fall back to forward, not probe negative.
+	sq := func(r []float64) []float64 {
+		if r[0] < 0 {
+			t.Errorf("probed negative rate %v", r[0])
+		}
+		return []float64{r[0] * r[0]}
+	}
+	df, err := Jacobian(sq, []float64{0}, 1e-6, Backward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(df.At(0, 0)) > 1e-5 {
+		t.Errorf("d(x²)/dx at 0 = %v", df.At(0, 0))
+	}
+}
+
+func TestJacobianErrors(t *testing.T) {
+	id := func(r []float64) []float64 { return r }
+	if _, err := Jacobian(id, nil, 1e-6, Forward); err == nil {
+		t.Error("want error for empty vector")
+	}
+	if _, err := Jacobian(id, []float64{1}, 0, Forward); err == nil {
+		t.Error("want error for zero step")
+	}
+	if _, err := Jacobian(id, []float64{1}, 1e-6, Scheme(9)); err == nil {
+		t.Error("want error for unknown scheme")
+	}
+	bad := func(r []float64) []float64 { return r[:0] }
+	if _, err := Jacobian(bad, []float64{1}, 1e-6, Forward); err == nil {
+		t.Error("want error for dimension-mangling F")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if Forward.String() != "forward" || Backward.String() != "backward" || Central.String() != "central" {
+		t.Error("unexpected scheme names")
+	}
+	if Scheme(9).String() == "" {
+		t.Error("unknown scheme should render")
+	}
+}
+
+// aggregateSystem builds the Section 3.3 example: single gateway μ=1,
+// N connections, aggregate feedback, rational signal (so b = ρ), law
+// f = η(bss − b).
+func aggregateSystem(t *testing.T, n int, eta, bss float64) *core.System {
+	t.Helper()
+	net, err := topology.SingleGateway(n, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	law := control.AdditiveTSI{Eta: eta, BSS: bss}
+	sys, err := core.NewSystem(net, queueing.FIFO{}, signal.Aggregate, signal.Rational{}, control.Uniform(law, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestPaperInstabilityExample reproduces the Section 3.3 analysis:
+// DF = I − η·J (μ=1), eigenvalues {1−ηN, 1×(N−1)}; unilaterally
+// stable for η < 2 but systemically unstable once ηN > 2.
+func TestPaperInstabilityExample(t *testing.T) {
+	const (
+		n   = 5
+		eta = 0.5
+		bss = 0.5
+	)
+	sys := aggregateSystem(t, n, eta, bss)
+	// The fair steady state: r_i = bss/N each.
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = bss / n
+	}
+	df, err := Jacobian(sys.StepFunc(), r, 1e-7, Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic: DF_ij = δ_ij − η.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := -eta
+			if i == j {
+				want += 1
+			}
+			if math.Abs(df.At(i, j)-want) > 1e-5 {
+				t.Errorf("DF[%d][%d] = %v, want %v", i, j, df.At(i, j), want)
+			}
+		}
+	}
+	rep, err := Analyze(df, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Unilateral {
+		t.Errorf("η=%v < 2 should be unilaterally stable (maxDiag=%v)", eta, rep.MaxAbsDiag)
+	}
+	if rep.Systemic {
+		t.Errorf("ηN = %v > 2 should be systemically unstable (radius=%v)", eta*n, rep.SpectralRadius)
+	}
+	wantRadius := math.Abs(1 - eta*float64(n)) // = 1.5
+	if math.Abs(rep.SpectralRadius-wantRadius) > 1e-4 {
+		t.Errorf("spectral radius = %v, want %v (the paper's 1−ηN)", rep.SpectralRadius, wantRadius)
+	}
+	// The manifold directions carry eigenvalue 1 with multiplicity N−1.
+	ones := 0
+	for _, e := range rep.Eigenvalues {
+		if math.Abs(real(e)-1) < 1e-4 && math.Abs(imag(e)) < 1e-4 {
+			ones++
+		}
+	}
+	if ones != n-1 {
+		t.Errorf("%d unit eigenvalues, want %d", ones, n-1)
+	}
+}
+
+func TestAggregateStableWhenEtaSmall(t *testing.T) {
+	// η < 2/N ⇒ systemically stable.
+	const n = 5
+	sys := aggregateSystem(t, n, 0.3, 0.5)
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = 0.1
+	}
+	df, err := Jacobian(sys.StepFunc(), r, 1e-7, Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(df, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Systemic || !rep.Unilateral {
+		t.Errorf("η=0.3, N=5 (ηN=1.5<2) should be stable: %+v", rep)
+	}
+}
+
+// fsHeterogeneousSteadyState converges an individual-feedback Fair
+// Share system with per-connection target signals and returns the
+// system and its steady state.
+func fsHeterogeneousSteadyState(t *testing.T, disc queueing.Discipline) (*core.System, []float64) {
+	t.Helper()
+	net, err := topology.SingleGateway(3, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	laws := []control.Law{
+		control.AdditiveTSI{Eta: 0.05, BSS: 0.3},
+		control.AdditiveTSI{Eta: 0.05, BSS: 0.5},
+		control.AdditiveTSI{Eta: 0.05, BSS: 0.7},
+	}
+	sys, err := core.NewSystem(net, disc, signal.Individual, signal.Rational{}, laws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run([]float64{0.1, 0.1, 0.1}, core.RunOptions{MaxSteps: 200000, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("%s heterogeneous system did not converge", disc.Name())
+	}
+	return sys, res.Rates
+}
+
+// TestTheorem4Triangularity verifies the structural heart of Theorem
+// 4: with Fair Share service and individual feedback, DF (ordered by
+// ascending steady-state rate) is lower triangular, its eigenvalues
+// are the diagonal entries, and unilateral stability therefore implies
+// systemic stability. FIFO, in contrast, yields a full matrix.
+func TestTheorem4Triangularity(t *testing.T) {
+	sys, r := fsHeterogeneousSteadyState(t, queueing.FairShare{})
+	df, err := Jacobian(sys.StepFunc(), r, 1e-7, Forward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(df, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TriangularOrder == nil {
+		t.Fatalf("Fair Share DF should be triangularizable:\n%v", df)
+	}
+	perm, err := Permuted(df, rep.TriangularOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !perm.IsLowerTriangular(1e-5 * df.MaxAbs()) {
+		t.Errorf("permuted DF not lower triangular:\n%v", perm)
+	}
+	// The triangular order must coincide with ascending rate order.
+	rateOrder := SortByValue(r)
+	for k := range rateOrder {
+		if rateOrder[k] != rep.TriangularOrder[k] {
+			t.Errorf("triangular order %v != rate order %v", rep.TriangularOrder, rateOrder)
+			break
+		}
+	}
+	// Eigenvalues equal the diagonal.
+	for i := 0; i < len(r); i++ {
+		d := df.At(i, i)
+		found := false
+		for _, e := range rep.Eigenvalues {
+			if math.Abs(real(e)-d) < 1e-4 && math.Abs(imag(e)) < 1e-6 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("diagonal %v missing from eigenvalues %v", d, rep.Eigenvalues)
+		}
+	}
+	// Theorem 4's payoff at this steady state: unilateral ⇒ systemic.
+	if rep.Unilateral && !rep.Systemic {
+		t.Error("unilaterally stable Fair Share system must be systemically stable")
+	}
+	if !rep.Unilateral {
+		t.Error("small-gain heterogeneous FS system should be unilaterally stable")
+	}
+
+	// FIFO contrast: the same construction yields a non-triangular DF.
+	sysF, rF := fsHeterogeneousSteadyState(t, queueing.FIFO{})
+	dfF, err := Jacobian(sysF.StepFunc(), rF, 1e-7, Forward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repF, err := Analyze(dfF, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repF.TriangularOrder != nil {
+		t.Errorf("FIFO DF unexpectedly triangular:\n%v", dfF)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(linalg.NewMatrix(2, 3), 1e-6); err == nil {
+		t.Error("want error for non-square matrix")
+	}
+}
+
+func TestTriangularOrderKnownMatrix(t *testing.T) {
+	// A permuted lower-triangular matrix must be recognized.
+	m, err := linalg.FromRows([][]float64{
+		{2, 5, 1}, // row depends on everything: last in order
+		{0, 3, 0}, // depends only on itself: first
+		{0, 4, 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := triangularOrder(m, 1e-9)
+	if order == nil {
+		t.Fatal("should find a triangular order")
+	}
+	perm, err := Permuted(m, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !perm.IsLowerTriangular(1e-9) {
+		t.Errorf("order %v does not triangularize:\n%v", order, perm)
+	}
+	// A genuinely full matrix has none.
+	full, err := linalg.FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if triangularOrder(full, 1e-9) != nil {
+		t.Error("full matrix should have no triangular order")
+	}
+	// The zero matrix trivially has one.
+	if triangularOrder(linalg.NewMatrix(3, 3), 1e-9) == nil {
+		t.Error("zero matrix should be triangularizable")
+	}
+}
+
+func TestPermutedErrors(t *testing.T) {
+	m := linalg.Identity(3)
+	if _, err := Permuted(m, []int{0, 1}); err == nil {
+		t.Error("want length error")
+	}
+	if _, err := Permuted(m, []int{0, 1, 1}); err == nil {
+		t.Error("want non-permutation error")
+	}
+	if _, err := Permuted(linalg.NewMatrix(2, 3), []int{0, 1}); err == nil {
+		t.Error("want non-square error")
+	}
+}
+
+func TestSortByValue(t *testing.T) {
+	p := SortByValue([]float64{0.3, 0.1, 0.2})
+	want := []int{1, 2, 0}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Errorf("perm = %v, want %v", p, want)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Autocorrelation returns the sample autocorrelation of xs at the
+// given lag: the correlation between x_t and x_{t+lag} around the
+// common mean. Lag 0 returns 1 for any non-constant series. It returns
+// an error when the lag is out of range or the series is too short or
+// constant.
+func Autocorrelation(xs []float64, lag int) (float64, error) {
+	if lag < 0 || lag >= len(xs) {
+		return 0, fmt.Errorf("stats: lag %d outside [0,%d)", lag, len(xs))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: need at least 2 samples, have %d", len(xs))
+	}
+	m := Mean(xs)
+	var num, den float64
+	for t := 0; t+lag < len(xs); t++ {
+		num += (xs[t] - m) * (xs[t+lag] - m)
+	}
+	for _, x := range xs {
+		den += (x - m) * (x - m)
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("stats: constant series has no autocorrelation")
+	}
+	return num / den, nil
+}
+
+// IntegratedAutocorrTime estimates the integrated autocorrelation time
+// τ = 1 + 2·Σ_k ρ(k), truncating the sum at the first non-positive
+// autocorrelation (the standard initial-positive-sequence rule). A
+// value of 1 means independent samples; larger values mean each sample
+// carries 1/τ of an independent sample's information.
+func IntegratedAutocorrTime(xs []float64) (float64, error) {
+	if len(xs) < 4 {
+		return 0, fmt.Errorf("stats: need at least 4 samples, have %d", len(xs))
+	}
+	tau := 1.0
+	maxLag := len(xs) / 4
+	for k := 1; k <= maxLag; k++ {
+		rho, err := Autocorrelation(xs, k)
+		if err != nil {
+			return 0, err
+		}
+		if rho <= 0 {
+			break
+		}
+		tau += 2 * rho
+	}
+	return tau, nil
+}
+
+// EffectiveSampleSize returns n/τ: the number of effectively
+// independent samples in the correlated series xs. It is the quantity
+// that justifies a batch-means batch count — batches should each hold
+// several τ's worth of samples.
+func EffectiveSampleSize(xs []float64) (float64, error) {
+	tau, err := IntegratedAutocorrTime(xs)
+	if err != nil {
+		return 0, err
+	}
+	ess := float64(len(xs)) / tau
+	if ess < 1 {
+		ess = 1
+	}
+	if math.IsNaN(ess) {
+		return 0, fmt.Errorf("stats: effective sample size undefined")
+	}
+	return ess, nil
+}

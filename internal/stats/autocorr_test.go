@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAutocorrelationLagZero(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	rho, err := Autocorrelation(xs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1) > 1e-12 {
+		t.Errorf("ρ(0) = %v, want 1", rho)
+	}
+}
+
+func TestAutocorrelationAlternating(t *testing.T) {
+	// A perfectly alternating series has ρ(1) ≈ −1.
+	xs := make([]float64, 100)
+	for i := range xs {
+		if i%2 == 0 {
+			xs[i] = 1
+		} else {
+			xs[i] = -1
+		}
+	}
+	rho, err := Autocorrelation(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho > -0.9 {
+		t.Errorf("ρ(1) = %v, want ≈ -1", rho)
+	}
+}
+
+func TestAutocorrelationWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	rho, err := Autocorrelation(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho) > 0.05 {
+		t.Errorf("white-noise ρ(1) = %v, want ≈ 0", rho)
+	}
+}
+
+func TestAutocorrelationAR1(t *testing.T) {
+	// AR(1) with coefficient φ has ρ(k) = φ^k.
+	const phi = 0.7
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 50000)
+	prev := 0.0
+	for i := range xs {
+		prev = phi*prev + rng.NormFloat64()
+		xs[i] = prev
+	}
+	for _, k := range []int{1, 2, 3} {
+		rho, err := Autocorrelation(xs, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Pow(phi, float64(k))
+		if math.Abs(rho-want) > 0.05 {
+			t.Errorf("ρ(%d) = %v, want ≈ %v", k, rho, want)
+		}
+	}
+}
+
+func TestAutocorrelationErrors(t *testing.T) {
+	if _, err := Autocorrelation([]float64{1, 2}, -1); err == nil {
+		t.Error("want error for negative lag")
+	}
+	if _, err := Autocorrelation([]float64{1, 2}, 5); err == nil {
+		t.Error("want error for lag out of range")
+	}
+	if _, err := Autocorrelation([]float64{1}, 0); err == nil {
+		t.Error("want error for a single sample")
+	}
+	if _, err := Autocorrelation([]float64{3, 3, 3}, 1); err == nil {
+		t.Error("want error for a constant series")
+	}
+}
+
+func TestIntegratedAutocorrTimeAR1(t *testing.T) {
+	// AR(1): τ = 1 + 2·Σφ^k = 1 + 2φ/(1−φ) = (1+φ)/(1−φ).
+	const phi = 0.6
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 100000)
+	prev := 0.0
+	for i := range xs {
+		prev = phi*prev + rng.NormFloat64()
+		xs[i] = prev
+	}
+	tau, err := IntegratedAutocorrTime(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 + phi) / (1 - phi) // = 4
+	if math.Abs(tau-want) > 0.5 {
+		t.Errorf("τ = %v, want ≈ %v", tau, want)
+	}
+	ess, err := EffectiveSampleSize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ess-float64(len(xs))/want) > 0.2*float64(len(xs))/want {
+		t.Errorf("ESS = %v, want ≈ %v", ess, float64(len(xs))/want)
+	}
+}
+
+func TestEffectiveSampleSizeIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	ess, err := EffectiveSampleSize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ess < 0.8*float64(len(xs)) {
+		t.Errorf("independent ESS = %v, want ≈ %d", ess, len(xs))
+	}
+}
+
+func TestIntegratedAutocorrTimeErrors(t *testing.T) {
+	if _, err := IntegratedAutocorrTime([]float64{1, 2}); err == nil {
+		t.Error("want error for too-short series")
+	}
+	if _, err := EffectiveSampleSize([]float64{1}); err == nil {
+		t.Error("want error for too-short series")
+	}
+}

@@ -1,0 +1,226 @@
+// Package stats provides small statistical utilities used by the
+// simulation and experiment harnesses: summary statistics, confidence
+// intervals via the batch-means method, histograms, time-weighted
+// averages for piecewise-constant sample paths, and autocorrelation /
+// effective-sample-size estimators for judging how much information a
+// correlated simulation output series actually carries.
+//
+// The package is deliberately free of any model knowledge; it operates
+// on plain float64 slices so that it can be reused by the event-driven
+// simulator, the analytic experiments, and the tests that cross-check
+// them.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty
+// slice; callers that must distinguish use Summarize.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (n-1 in the
+// denominator). Slices with fewer than two elements yield 0.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest element of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Summary holds basic summary statistics of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64
+	StdDev   float64
+	Min      float64
+	Max      float64
+}
+
+// Summarize computes a Summary of xs. It returns ErrEmpty when xs is
+// empty.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	v := Variance(xs)
+	return Summary{
+		N:        len(xs),
+		Mean:     Mean(xs),
+		Variance: v,
+		StdDev:   math.Sqrt(v),
+		Min:      Min(xs),
+		Max:      Max(xs),
+	}, nil
+}
+
+// String renders the summary in a compact single-line form.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g sd=%.4g min=%.6g max=%.6g",
+		s.N, s.Mean, s.StdDev, s.Min, s.Max)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It returns ErrEmpty when xs
+// is empty and an error when q is outside [0, 1]. xs is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %v outside [0,1]", q)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 0.5 quantile of xs.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// CI holds a symmetric confidence interval around a point estimate.
+type CI struct {
+	Mean     float64
+	HalfWide float64 // half-width of the interval
+	Level    float64 // e.g. 0.95
+}
+
+// Lo returns the lower endpoint of the interval.
+func (c CI) Lo() float64 { return c.Mean - c.HalfWide }
+
+// Hi returns the upper endpoint of the interval.
+func (c CI) Hi() float64 { return c.Mean + c.HalfWide }
+
+// Contains reports whether x lies inside the interval (inclusive).
+func (c CI) Contains(x float64) bool { return x >= c.Lo() && x <= c.Hi() }
+
+// String renders the interval as "mean ± half (level%)".
+func (c CI) String() string {
+	return fmt.Sprintf("%.6g ± %.3g (%.0f%%)", c.Mean, c.HalfWide, c.Level*100)
+}
+
+// MeanCI returns a confidence interval for the mean of xs, treating the
+// samples as independent and using a normal critical value. level must
+// be one of the supported levels (0.90, 0.95, 0.99).
+func MeanCI(xs []float64, level float64) (CI, error) {
+	if len(xs) < 2 {
+		return CI{}, fmt.Errorf("stats: need at least 2 samples for a CI, have %d", len(xs))
+	}
+	z, err := zCritical(level)
+	if err != nil {
+		return CI{}, err
+	}
+	m := Mean(xs)
+	se := math.Sqrt(Variance(xs) / float64(len(xs)))
+	return CI{Mean: m, HalfWide: z * se, Level: level}, nil
+}
+
+// zCritical returns the two-sided normal critical value for the given
+// confidence level.
+func zCritical(level float64) (float64, error) {
+	switch level {
+	case 0.90:
+		return 1.6449, nil
+	case 0.95:
+		return 1.9600, nil
+	case 0.99:
+		return 2.5758, nil
+	}
+	return 0, fmt.Errorf("stats: unsupported confidence level %v (use 0.90, 0.95 or 0.99)", level)
+}
+
+// BatchMeans partitions xs into nbatch equal-size consecutive batches
+// (discarding any remainder at the tail) and returns the batch means.
+// It is the standard variance-reduction device for correlated
+// steady-state simulation output.
+func BatchMeans(xs []float64, nbatch int) ([]float64, error) {
+	if nbatch <= 0 {
+		return nil, fmt.Errorf("stats: nbatch must be positive, got %d", nbatch)
+	}
+	size := len(xs) / nbatch
+	if size == 0 {
+		return nil, fmt.Errorf("stats: %d samples cannot fill %d batches", len(xs), nbatch)
+	}
+	means := make([]float64, nbatch)
+	for b := 0; b < nbatch; b++ {
+		means[b] = Mean(xs[b*size : (b+1)*size])
+	}
+	return means, nil
+}
+
+// BatchMeanCI computes a confidence interval for the steady-state mean
+// of a correlated series via the batch-means method.
+func BatchMeanCI(xs []float64, nbatch int, level float64) (CI, error) {
+	means, err := BatchMeans(xs, nbatch)
+	if err != nil {
+		return CI{}, err
+	}
+	return MeanCI(means, level)
+}
+
+// RelativeError returns |got-want| / max(|want|, floor). The floor
+// guards against division by values near zero.
+func RelativeError(got, want, floor float64) float64 {
+	den := math.Abs(want)
+	if den < floor {
+		den = floor
+	}
+	return math.Abs(got-want) / den
+}

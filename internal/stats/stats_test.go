@@ -1,0 +1,393 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanBasic(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{-1, 1}, 0},
+		{[]float64{2, 2, 2, 2}, 2},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	// Sample variance of {2,4,4,4,5,5,7,9} is 32/7.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	want := 32.0 / 7.0
+	if got := Variance(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+}
+
+func TestVarianceDegenerate(t *testing.T) {
+	if v := Variance(nil); v != 0 {
+		t.Errorf("Variance(nil) = %v, want 0", v)
+	}
+	if v := Variance([]float64{3}); v != 0 {
+		t.Errorf("Variance(single) = %v, want 0", v)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Min(xs) != -1 {
+		t.Errorf("Min = %v, want -1", Min(xs))
+	}
+	if Max(xs) != 5 {
+		t.Errorf("Max = %v, want 5", Max(xs))
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty Min/Max should be +Inf/-Inf")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Errorf("Summarize(nil) error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSummarizeString(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("unexpected summary %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, c := range []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	} {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	got, err := Quantile([]float64{0, 10}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-3) > 1e-12 {
+		t.Errorf("Quantile(0.3) = %v, want 3", got)
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+	if _, err := Quantile([]float64{1}, -0.1); err == nil {
+		t.Error("want error for q<0")
+	}
+	if _, err := Quantile([]float64{1}, 1.1); err == nil {
+		t.Error("want error for q>1")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Median(xs); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = 5 + rng.NormFloat64()
+	}
+	ci, err := MeanCI(xs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ci.Contains(5) {
+		t.Errorf("95%% CI %v should contain the true mean 5", ci)
+	}
+	if ci.HalfWide <= 0 {
+		t.Errorf("half width should be positive, got %v", ci.HalfWide)
+	}
+	if ci.Lo() >= ci.Hi() {
+		t.Errorf("degenerate interval [%v,%v]", ci.Lo(), ci.Hi())
+	}
+}
+
+func TestMeanCIErrors(t *testing.T) {
+	if _, err := MeanCI([]float64{1}, 0.95); err == nil {
+		t.Error("want error for single sample")
+	}
+	if _, err := MeanCI([]float64{1, 2}, 0.5); err == nil {
+		t.Error("want error for unsupported level")
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	xs := []float64{1, 1, 2, 2, 3, 3, 4} // remainder 4 discarded with 3 batches
+	means, err := BatchMeans(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(means[i]-want[i]) > 1e-12 {
+			t.Errorf("batch %d mean = %v, want %v", i, means[i], want[i])
+		}
+	}
+}
+
+func TestBatchMeansErrors(t *testing.T) {
+	if _, err := BatchMeans([]float64{1}, 0); err == nil {
+		t.Error("want error for nbatch<=0")
+	}
+	if _, err := BatchMeans([]float64{1}, 2); err == nil {
+		t.Error("want error when samples cannot fill batches")
+	}
+}
+
+func TestBatchMeanCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 10000)
+	// AR(1)-ish correlated series around 3.
+	prev := 3.0
+	for i := range xs {
+		prev = 3 + 0.8*(prev-3) + rng.NormFloat64()
+		xs[i] = prev
+	}
+	ci, err := BatchMeanCI(xs, 20, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ci.Contains(3) {
+		t.Errorf("99%% batch-means CI %v should contain 3", ci)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(11, 10, 1e-9); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelativeError = %v, want 0.1", got)
+	}
+	// Floor prevents division blowup near zero.
+	if got := RelativeError(0.5, 0, 1); got != 0.5 {
+		t.Errorf("RelativeError with floor = %v, want 0.5", got)
+	}
+}
+
+func TestTimeAverageConstant(t *testing.T) {
+	ta := NewTimeAverage(0)
+	if err := ta.Observe(4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Observe(4, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := ta.Value(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("constant path average = %v, want 4", got)
+	}
+	if ta.Elapsed() != 5 {
+		t.Errorf("elapsed = %v, want 5", ta.Elapsed())
+	}
+}
+
+func TestTimeAverageSteps(t *testing.T) {
+	// Value 0 on [0,1), 10 on [1,3): average = 20/3.
+	ta := NewTimeAverage(0)
+	if err := ta.Observe(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Observe(10, 3); err != nil {
+		t.Fatal(err)
+	}
+	want := 20.0 / 3.0
+	if got := ta.Value(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("step path average = %v, want %v", got, want)
+	}
+}
+
+func TestTimeAverageBackwards(t *testing.T) {
+	ta := NewTimeAverage(5)
+	if err := ta.Observe(1, 4); err == nil {
+		t.Error("want error for backwards time")
+	}
+}
+
+func TestTimeAverageReset(t *testing.T) {
+	ta := NewTimeAverage(0)
+	_ = ta.Observe(100, 10) // warmup to be discarded
+	ta.Reset(10)
+	if !math.IsNaN(ta.Value()) {
+		t.Errorf("after reset, Value = %v, want NaN", ta.Value())
+	}
+	_ = ta.Observe(2, 11)
+	if got := ta.Value(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("post-reset average = %v, want 2", got)
+	}
+}
+
+func TestTimeAverageZeroValue(t *testing.T) {
+	var ta TimeAverage
+	if err := ta.Observe(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := ta.Value(); math.Abs(got-3) > 1e-12 {
+		t.Errorf("zero-value accumulator average = %v, want 3", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.Underflow != 1 {
+		t.Errorf("underflow = %d, want 1", h.Underflow)
+	}
+	if h.Overflow != 2 {
+		t.Errorf("overflow = %d, want 2", h.Overflow)
+	}
+	if h.Bins[0] != 2 { // 0 and 1.9
+		t.Errorf("bin0 = %d, want 2", h.Bins[0])
+	}
+	if h.Bins[1] != 1 { // 2
+		t.Errorf("bin1 = %d, want 1", h.Bins[1])
+	}
+	if h.Bins[4] != 1 { // 9.99
+		t.Errorf("bin4 = %d, want 1", h.Bins[4])
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("want error for zero bins")
+	}
+	if _, err := NewHistogram(1, 1, 3); err == nil {
+		t.Error("want error for empty range")
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 5)
+	if got := h.BinCenter(0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("BinCenter(0) = %v, want 1", got)
+	}
+	if got := h.BinCenter(4); math.Abs(got-9) > 1e-12 {
+		t.Errorf("BinCenter(4) = %v, want 9", got)
+	}
+}
+
+func TestHistogramFractions(t *testing.T) {
+	h, _ := NewHistogram(0, 4, 2)
+	if h.Fractions() != nil {
+		t.Error("empty histogram should yield nil fractions")
+	}
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	h.Add(-5)
+	fs := h.Fractions()
+	if math.Abs(fs[0]-0.5) > 1e-12 || math.Abs(fs[1]-0.25) > 1e-12 {
+		t.Errorf("fractions = %v", fs)
+	}
+}
+
+// Property: the mean always lies within [min, max].
+func TestPropMeanBounded(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m := Mean(clean)
+		return m >= Min(clean)-1e-9*math.Abs(Min(clean))-1e-9 &&
+			m <= Max(clean)+1e-9*math.Abs(Max(clean))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shifting a sample shifts the mean and preserves variance.
+func TestPropShiftInvariance(t *testing.T) {
+	f := func(seed int64, shift float64) bool {
+		if math.IsNaN(shift) || math.Abs(shift) > 1e6 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 50)
+		ys := make([]float64, 50)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+			ys[i] = xs[i] + shift
+		}
+		dm := Mean(ys) - Mean(xs)
+		dv := Variance(ys) - Variance(xs)
+		return math.Abs(dm-shift) < 1e-6 && math.Abs(dv) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantile is monotone in q.
+func TestPropQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 30)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v, err := Quantile(xs, q)
+			if err != nil || v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// TimeAverage accumulates the time-weighted average of a
+// piecewise-constant sample path, such as the number of packets in a
+// queue over simulated time. Record the path by calling Observe with
+// the value that held *since the previous observation time*.
+//
+// The zero value is ready to use and starts at time 0.
+type TimeAverage struct {
+	lastTime  float64
+	weighted  float64 // integral of value dt
+	total     float64 // total elapsed time
+	started   bool
+	startTime float64
+}
+
+// NewTimeAverage returns an accumulator whose clock starts at start.
+func NewTimeAverage(start float64) *TimeAverage {
+	return &TimeAverage{lastTime: start, started: true, startTime: start}
+}
+
+// Observe records that the path held value from the previous
+// observation time until now. Calls must have non-decreasing now; a
+// regression returns an error and leaves the accumulator unchanged.
+func (t *TimeAverage) Observe(value, now float64) error {
+	if !t.started {
+		t.started = true
+		t.lastTime = 0
+	}
+	dt := now - t.lastTime
+	if dt < 0 {
+		return fmt.Errorf("stats: time went backwards (%.6g -> %.6g)", t.lastTime, now)
+	}
+	t.weighted += value * dt
+	t.total += dt
+	t.lastTime = now
+	return nil
+}
+
+// Reset discards accumulated history and restarts the clock at now.
+// Use it to drop a warmup period.
+func (t *TimeAverage) Reset(now float64) {
+	t.lastTime = now
+	t.startTime = now
+	t.weighted = 0
+	t.total = 0
+	t.started = true
+}
+
+// Value returns the time-weighted average so far, or NaN if no time has
+// elapsed.
+func (t *TimeAverage) Value() float64 {
+	if t.total == 0 {
+		return math.NaN()
+	}
+	return t.weighted / t.total
+}
+
+// Elapsed returns the total time accumulated since the last Reset.
+func (t *TimeAverage) Elapsed() float64 { return t.total }
+
+// Histogram is a fixed-bin histogram over [lo, hi). Values outside the
+// range are counted in the under/overflow bins.
+type Histogram struct {
+	Lo, Hi    float64
+	Bins      []int
+	Underflow int
+	Overflow  int
+	count     int
+}
+
+// NewHistogram creates a histogram with n bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs positive bin count, got %d", n)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram range [%v,%v) is empty", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, n)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.count++
+	switch {
+	case x < h.Lo:
+		h.Underflow++
+	case x >= h.Hi:
+		h.Overflow++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Bins)))
+		if i == len(h.Bins) { // guard against floating-point edge
+			i--
+		}
+		h.Bins[i]++
+	}
+}
+
+// Count returns the total number of observations, including under- and
+// overflow.
+func (h *Histogram) Count() int { return h.count }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Bins))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Fractions returns the in-range bin counts normalized by the total
+// observation count; it returns nil when the histogram is empty.
+func (h *Histogram) Fractions() []float64 {
+	if h.count == 0 {
+		return nil
+	}
+	fs := make([]float64, len(h.Bins))
+	for i, c := range h.Bins {
+		fs[i] = float64(c) / float64(h.count)
+	}
+	return fs
+}

@@ -1,0 +1,230 @@
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot is a character-grid scatter/line plot. Add one or more series,
+// then render with String. Each series is drawn with its own glyph;
+// later series overdraw earlier ones where they collide.
+type Plot struct {
+	title      string
+	xlab, ylab string
+	width      int
+	height     int
+	series     []series
+	xmin, xmax float64
+	ymin, ymax float64
+	fixedX     bool
+	fixedY     bool
+}
+
+type series struct {
+	glyph byte
+	xs    []float64
+	ys    []float64
+	label string
+}
+
+// NewPlot creates a plot grid of the given interior size (columns ×
+// rows of characters). Sizes are clamped to a minimum of 8×4.
+func NewPlot(title string, width, height int) *Plot {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	return &Plot{title: title, width: width, height: height}
+}
+
+// SetLabels sets the axis labels.
+func (p *Plot) SetLabels(x, y string) {
+	p.xlab, p.ylab = x, y
+}
+
+// SetXRange fixes the x-axis range instead of auto-scaling.
+func (p *Plot) SetXRange(lo, hi float64) {
+	p.xmin, p.xmax, p.fixedX = lo, hi, true
+}
+
+// SetYRange fixes the y-axis range instead of auto-scaling.
+func (p *Plot) SetYRange(lo, hi float64) {
+	p.ymin, p.ymax, p.fixedY = lo, hi, true
+}
+
+// AddSeries adds a named series drawn with glyph. xs and ys must have
+// equal length; non-finite points are skipped at render time.
+func (p *Plot) AddSeries(label string, glyph byte, xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("textplot: series %q has %d xs but %d ys", label, len(xs), len(ys))
+	}
+	p.series = append(p.series, series{glyph: glyph, xs: xs, ys: ys, label: label})
+	return nil
+}
+
+// String renders the plot.
+func (p *Plot) String() string {
+	xmin, xmax := p.xmin, p.xmax
+	ymin, ymax := p.ymin, p.ymax
+	if !p.fixedX || !p.fixedY {
+		axmin, axmax := math.Inf(1), math.Inf(-1)
+		aymin, aymax := math.Inf(1), math.Inf(-1)
+		for _, s := range p.series {
+			for i := range s.xs {
+				x, y := s.xs[i], s.ys[i]
+				if !finite(x) || !finite(y) {
+					continue
+				}
+				axmin = math.Min(axmin, x)
+				axmax = math.Max(axmax, x)
+				aymin = math.Min(aymin, y)
+				aymax = math.Max(aymax, y)
+			}
+		}
+		if !p.fixedX {
+			xmin, xmax = axmin, axmax
+		}
+		if !p.fixedY {
+			ymin, ymax = aymin, aymax
+		}
+	}
+	if !finite(xmin) || !finite(xmax) {
+		xmin, xmax = 0, 1
+	}
+	if !finite(ymin) || !finite(ymax) {
+		ymin, ymax = 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, p.height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", p.width))
+	}
+	for _, s := range p.series {
+		for i := range s.xs {
+			x, y := s.xs[i], s.ys[i]
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			col := int((x - xmin) / (xmax - xmin) * float64(p.width-1))
+			row := int((y - ymin) / (ymax - ymin) * float64(p.height-1))
+			if col < 0 || col >= p.width || row < 0 || row >= p.height {
+				continue
+			}
+			grid[p.height-1-row][col] = s.glyph
+		}
+	}
+
+	var b strings.Builder
+	if p.title != "" {
+		b.WriteString(p.title)
+		b.WriteByte('\n')
+	}
+	if p.ylab != "" {
+		fmt.Fprintf(&b, "%s\n", p.ylab)
+	}
+	fmt.Fprintf(&b, "%10.4g +%s\n", ymax, strings.Repeat("-", p.width))
+	for r := 0; r < p.height; r++ {
+		fmt.Fprintf(&b, "%10s |%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10.4g +%s\n", ymin, strings.Repeat("-", p.width))
+	fmt.Fprintf(&b, "%10s  %-.4g%s%.4g\n", "", xmin,
+		strings.Repeat(" ", maxInt(1, p.width-len(fmt.Sprintf("%.4g", xmin))-len(fmt.Sprintf("%.4g", xmax)))), xmax)
+	if p.xlab != "" {
+		fmt.Fprintf(&b, "%10s  %s\n", "", p.xlab)
+	}
+	for _, s := range p.series {
+		if s.label != "" {
+			fmt.Fprintf(&b, "%10s  %c = %s\n", "", s.glyph, s.label)
+		}
+	}
+	return b.String()
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Heatmap renders a matrix of values as a character grid using a
+// density ramp, with rows labelled by ylabels and columns summarized
+// by the x range.
+type Heatmap struct {
+	title   string
+	ramp    []byte
+	rows    [][]float64
+	ylabels []string
+}
+
+// NewHeatmap creates an empty heatmap.
+func NewHeatmap(title string) *Heatmap {
+	return &Heatmap{title: title, ramp: []byte(" .:-=+*#%@")}
+}
+
+// AddRow appends one row of values with a label.
+func (h *Heatmap) AddRow(label string, values []float64) {
+	h.ylabels = append(h.ylabels, label)
+	h.rows = append(h.rows, values)
+}
+
+// String renders the heatmap, scaling the ramp to the global min/max.
+func (h *Heatmap) String() string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range h.rows {
+		for _, v := range r {
+			if finite(v) {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+	}
+	if !finite(lo) || !finite(hi) {
+		lo, hi = 0, 1
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	labw := 0
+	for _, l := range h.ylabels {
+		if len(l) > labw {
+			labw = len(l)
+		}
+	}
+	var b strings.Builder
+	if h.title != "" {
+		b.WriteString(h.title)
+		b.WriteByte('\n')
+	}
+	for i, r := range h.rows {
+		fmt.Fprintf(&b, "%-*s |", labw, h.ylabels[i])
+		for _, v := range r {
+			if !finite(v) {
+				b.WriteByte('?')
+				continue
+			}
+			k := int((v - lo) / (hi - lo) * float64(len(h.ramp)-1))
+			if k < 0 {
+				k = 0
+			}
+			if k >= len(h.ramp) {
+				k = len(h.ramp) - 1
+			}
+			b.WriteByte(h.ramp[k])
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "%-*s  scale: '%c'=%.4g .. '%c'=%.4g\n", labw, "", h.ramp[0], lo, h.ramp[len(h.ramp)-1], hi)
+	return b.String()
+}

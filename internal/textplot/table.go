@@ -1,0 +1,110 @@
+// Package textplot renders tables, line/scatter plots, and heatmaps as
+// plain text. The experiment harness uses it to regenerate every
+// "table and figure" of the paper as terminal output, keeping the
+// repository free of plotting dependencies.
+package textplot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows of cells and renders them with aligned
+// columns in a GitHub-flavored-markdown-compatible layout.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row. Cells beyond the header count are kept; short
+// rows are padded with empty cells at render time.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowValues appends a row, formatting each value with a sensible
+// default: floats as %.6g, ints as %d, bools as yes/no, everything
+// else with %v.
+func (t *Table) AddRowValues(values ...interface{}) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case string:
+			cells[i] = x
+		case float64:
+			cells[i] = fmt.Sprintf("%.6g", x)
+		case int:
+			cells[i] = fmt.Sprintf("%d", x)
+		case bool:
+			if x {
+				cells[i] = "yes"
+			} else {
+				cells[i] = "no"
+			}
+		default:
+			cells[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.AddRow(cells...)
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	ncol := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	cell := func(row []string, j int) string {
+		if j < len(row) {
+			return row[j]
+		}
+		return ""
+	}
+	for j := 0; j < ncol; j++ {
+		if j < len(t.headers) && len(t.headers[j]) > widths[j] {
+			widths[j] = len(t.headers[j])
+		}
+		for _, r := range t.rows {
+			if l := len(cell(r, j)); l > widths[j] {
+				widths[j] = l
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		b.WriteString("|")
+		for j := 0; j < ncol; j++ {
+			fmt.Fprintf(&b, " %-*s |", widths[j], cell(row, j))
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.headers) > 0 {
+		writeRow(t.headers)
+		b.WriteString("|")
+		for j := 0; j < ncol; j++ {
+			b.WriteString(strings.Repeat("-", widths[j]+2))
+			b.WriteString("|")
+		}
+		b.WriteByte('\n')
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,168 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableBasic(t *testing.T) {
+	tb := NewTable("T", "a", "bb")
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	out := tb.String()
+	if !strings.Contains(out, "T\n") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "| a   | bb |") {
+		t.Errorf("header misaligned:\n%s", out)
+	}
+	if !strings.Contains(out, "| 333 | 4  |") {
+		t.Errorf("row misaligned:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d, want 2", tb.NumRows())
+	}
+}
+
+func TestTableShortAndLongRows(t *testing.T) {
+	tb := NewTable("", "x", "y")
+	tb.AddRow("1")           // short: padded
+	tb.AddRow("1", "2", "3") // long: extra column kept
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, separator, two rows
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	for _, l := range lines {
+		if len(l) != len(lines[0]) {
+			t.Errorf("ragged render:\n%s", out)
+		}
+	}
+}
+
+func TestTableAddRowValues(t *testing.T) {
+	tb := NewTable("", "s", "f", "i", "b", "other")
+	tb.AddRowValues("str", 3.5, 42, true, []int{1})
+	out := tb.String()
+	for _, want := range []string{"str", "3.5", "42", "yes", "[1]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	tb.AddRowValues(false)
+	if !strings.Contains(tb.String(), "no") {
+		t.Error("bool false should render as no")
+	}
+}
+
+func TestTableNoHeaders(t *testing.T) {
+	tb := NewTable("only", []string{}...)
+	tb.AddRow("x")
+	out := tb.String()
+	if strings.Contains(out, "--") {
+		t.Errorf("no separator expected without headers:\n%s", out)
+	}
+	if !strings.Contains(out, "| x |") {
+		t.Errorf("row missing:\n%s", out)
+	}
+}
+
+func TestPlotRendersPoints(t *testing.T) {
+	p := NewPlot("P", 20, 10)
+	p.SetLabels("x", "y")
+	if err := p.AddSeries("line", '*', []float64{0, 1, 2}, []float64{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.String()
+	if !strings.Contains(out, "P\n") {
+		t.Error("missing title")
+	}
+	if strings.Count(out, "*") < 3 {
+		t.Errorf("expected at least 3 plotted points:\n%s", out)
+	}
+	if !strings.Contains(out, "* = line") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+}
+
+func TestPlotSeriesLengthMismatch(t *testing.T) {
+	p := NewPlot("", 10, 5)
+	if err := p.AddSeries("bad", 'x', []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("want length mismatch error")
+	}
+}
+
+func TestPlotSkipsNonFinite(t *testing.T) {
+	p := NewPlot("", 10, 5)
+	_ = p.AddSeries("", 'o', []float64{0, math.NaN(), 1}, []float64{0, 5, math.Inf(1)})
+	out := p.String() // must not panic; only the finite point plots
+	if strings.Count(out, "o") != 1 {
+		t.Errorf("expected exactly one finite point:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := NewPlot("empty", 10, 5)
+	if out := p.String(); out == "" {
+		t.Error("empty plot should still render a frame")
+	}
+}
+
+func TestPlotFixedRanges(t *testing.T) {
+	p := NewPlot("", 10, 5)
+	p.SetXRange(0, 100)
+	p.SetYRange(0, 100)
+	_ = p.AddSeries("", '#', []float64{500}, []float64{500}) // out of range: clipped
+	out := p.String()
+	if strings.Contains(out, "#") {
+		t.Errorf("out-of-range point should be clipped:\n%s", out)
+	}
+	if !strings.Contains(out, "100") {
+		t.Errorf("fixed range labels missing:\n%s", out)
+	}
+}
+
+func TestPlotMinimumSize(t *testing.T) {
+	p := NewPlot("", 1, 1) // clamped to 8x4
+	_ = p.AddSeries("", '.', []float64{0}, []float64{0})
+	if p.String() == "" {
+		t.Error("clamped plot should render")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	h := NewHeatmap("H")
+	h.AddRow("low", []float64{0, 0, 0})
+	h.AddRow("high", []float64{1, 1, 1})
+	out := h.String()
+	if !strings.Contains(out, "H\n") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "low ") || !strings.Contains(out, "high") {
+		t.Errorf("missing row labels:\n%s", out)
+	}
+	if !strings.Contains(out, "@@@") {
+		t.Errorf("max row should use densest glyph:\n%s", out)
+	}
+	if !strings.Contains(out, "   ") {
+		t.Errorf("min row should use lightest glyph:\n%s", out)
+	}
+}
+
+func TestHeatmapNaN(t *testing.T) {
+	h := NewHeatmap("")
+	h.AddRow("r", []float64{math.NaN(), 1, 2})
+	out := h.String()
+	if !strings.Contains(out, "?") {
+		t.Errorf("NaN should render as ?:\n%s", out)
+	}
+}
+
+func TestHeatmapConstant(t *testing.T) {
+	h := NewHeatmap("")
+	h.AddRow("c", []float64{5, 5})
+	if h.String() == "" { // must not divide by zero
+		t.Error("constant heatmap should render")
+	}
+}

@@ -1,0 +1,50 @@
+package topology
+
+import "fmt"
+
+// Ring builds a cycle of size gateways in which connection i enters at
+// gateway i and traverses hops consecutive gateways (wrapping around).
+// Every gateway then carries exactly hops connections, making the ring
+// the canonical symmetric multi-bottleneck topology: the fair
+// allocation is uniform, but no single gateway is "the" bottleneck.
+func Ring(size, hops int, mu, latency float64) (*Network, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("topology: ring needs at least 2 gateways, got %d", size)
+	}
+	if hops < 1 || hops > size {
+		return nil, fmt.Errorf("topology: ring hop count %d outside [1,%d]", hops, size)
+	}
+	var b Builder
+	gws := make([]int, size)
+	for i := 0; i < size; i++ {
+		gws[i] = b.AddGateway(fmt.Sprintf("ring%d", i), mu, latency)
+	}
+	for i := 0; i < size; i++ {
+		path := make([]int, hops)
+		for h := 0; h < hops; h++ {
+			path[h] = gws[(i+h)%size]
+		}
+		b.AddConnection(path...)
+	}
+	return b.Build()
+}
+
+// Dumbbell builds the classic dumbbell: left access gateways and right
+// access gateways joined by one shared bottleneck link. Connection k
+// enters at left gateway k, crosses the bottleneck, and exits through
+// right gateway k. Access gateways have rate accessMu; the shared
+// gateway has rate bottleneckMu, and is the bottleneck whenever
+// bottleneckMu < pairs·accessMu.
+func Dumbbell(pairs int, accessMu, bottleneckMu, latency float64) (*Network, error) {
+	if pairs < 1 {
+		return nil, fmt.Errorf("topology: dumbbell needs at least 1 pair, got %d", pairs)
+	}
+	var b Builder
+	shared := b.AddGateway("bottleneck", bottleneckMu, latency)
+	for k := 0; k < pairs; k++ {
+		left := b.AddGateway(fmt.Sprintf("left%d", k), accessMu, latency)
+		right := b.AddGateway(fmt.Sprintf("right%d", k), accessMu, latency)
+		b.AddConnection(left, shared, right)
+	}
+	return b.Build()
+}

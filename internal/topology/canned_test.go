@@ -1,0 +1,88 @@
+package topology
+
+import "testing"
+
+func TestRing(t *testing.T) {
+	net, err := Ring(5, 3, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumGateways() != 5 || net.NumConnections() != 5 {
+		t.Fatalf("shape: %d gw, %d conn", net.NumGateways(), net.NumConnections())
+	}
+	// Every gateway carries exactly hops connections.
+	for a := 0; a < 5; a++ {
+		if net.NumAt(a) != 3 {
+			t.Errorf("N^%d = %d, want 3", a, net.NumAt(a))
+		}
+	}
+	// Connection 1's route wraps: gateways 1, 2, 3.
+	r := net.Route(1)
+	if len(r) != 3 || r[0] != 1 || r[1] != 2 || r[2] != 3 {
+		t.Errorf("route(1) = %v", r)
+	}
+	// Wrapping route: connection 4 crosses 4, 0, 1.
+	r = net.Route(4)
+	if r[0] != 4 || r[1] != 0 || r[2] != 1 {
+		t.Errorf("route(4) = %v", r)
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	if _, err := Ring(1, 1, 1, 0); err == nil {
+		t.Error("want error for size < 2")
+	}
+	if _, err := Ring(4, 0, 1, 0); err == nil {
+		t.Error("want error for hops < 1")
+	}
+	if _, err := Ring(4, 5, 1, 0); err == nil {
+		t.Error("want error for hops > size")
+	}
+}
+
+func TestRingFullHops(t *testing.T) {
+	// hops == size: every connection crosses every gateway once.
+	net, err := Ring(3, 3, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 3; a++ {
+		if net.NumAt(a) != 3 {
+			t.Errorf("N^%d = %d, want 3", a, net.NumAt(a))
+		}
+	}
+}
+
+func TestDumbbell(t *testing.T) {
+	net, err := Dumbbell(3, 5, 1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumGateways() != 7 || net.NumConnections() != 3 {
+		t.Fatalf("shape: %d gw, %d conn", net.NumGateways(), net.NumConnections())
+	}
+	// The shared gateway (index 0) carries everyone.
+	if net.NumAt(0) != 3 {
+		t.Errorf("bottleneck N = %d, want 3", net.NumAt(0))
+	}
+	// Each access gateway carries one connection.
+	for a := 1; a < 7; a++ {
+		if net.NumAt(a) != 1 {
+			t.Errorf("access %d N = %d, want 1", a, net.NumAt(a))
+		}
+	}
+	// Routes are left → shared → right.
+	r := net.Route(1)
+	if len(r) != 3 || r[1] != 0 {
+		t.Errorf("route(1) = %v, want middle hop at the bottleneck", r)
+	}
+	if net.Gateway(0).Mu != 1 || net.Gateway(1).Mu != 5 {
+		t.Error("gateway rates misassigned")
+	}
+}
+
+func TestDumbbellErrors(t *testing.T) {
+	if _, err := Dumbbell(0, 1, 1, 0); err == nil {
+		t.Error("want error for zero pairs")
+	}
+}

@@ -1,0 +1,45 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the network as a Graphviz digraph: gateways as
+// boxes annotated with μ and latency, and one colored edge path per
+// connection. The output is deterministic, so it is safe to use in
+// golden tests and documentation pipelines.
+func WriteDOT(w io.Writer, n *Network, name string) error {
+	if n == nil {
+		return fmt.Errorf("topology: nil network")
+	}
+	if name == "" {
+		name = "network"
+	}
+	var err error
+	p := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("digraph %q {\n", name)
+	p("  rankdir=LR;\n  node [shape=box];\n")
+	for a := 0; a < n.NumGateways(); a++ {
+		g := n.Gateway(a)
+		p("  g%d [label=\"%s\\nμ=%g l=%g\"];\n", a, g.Name, g.Mu, g.Latency)
+	}
+	colors := []string{"black", "blue", "red", "darkgreen", "purple", "orange", "brown", "cadetblue"}
+	for i := 0; i < n.NumConnections(); i++ {
+		color := colors[i%len(colors)]
+		route := n.Route(i)
+		p("  src%d [shape=circle, label=\"c%d\", color=%q];\n", i, i, color)
+		p("  dst%d [shape=doublecircle, label=\"\", color=%q];\n", i, color)
+		p("  src%d -> g%d [color=%q];\n", i, route[0], color)
+		for h := 1; h < len(route); h++ {
+			p("  g%d -> g%d [color=%q, label=\"c%d\"];\n", route[h-1], route[h], color, i)
+		}
+		p("  g%d -> dst%d [color=%q];\n", route[len(route)-1], i, color)
+	}
+	p("}\n")
+	return err
+}

@@ -1,0 +1,70 @@
+package topology
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	net, err := ParkingLot(2, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteDOT(&b, net, "lot"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`digraph "lot" {`,
+		"g0 [label=\"gw0\\nμ=1 l=0.1\"]",
+		"g0 -> g1", // the long connection's inter-gateway hop
+		"src0 -> g0",
+		"dst0",
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic output.
+	var b2 strings.Builder
+	if err := WriteDOT(&b2, net, "lot"); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("DOT output should be deterministic")
+	}
+}
+
+func TestWriteDOTDefaults(t *testing.T) {
+	net, err := SingleGateway(1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteDOT(&b, net, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `digraph "network"`) {
+		t.Errorf("default name missing:\n%s", b.String())
+	}
+	if err := WriteDOT(&b, nil, "x"); err == nil {
+		t.Error("want error for nil network")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("sink failure") }
+
+func TestWriteDOTPropagatesErrors(t *testing.T) {
+	net, err := SingleGateway(1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDOT(failWriter{}, net, "x"); err == nil {
+		t.Error("want propagated write error")
+	}
+}

@@ -1,0 +1,319 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasic(t *testing.T) {
+	var b Builder
+	g0 := b.AddGateway("a", 1, 0.1)
+	g1 := b.AddGateway("b", 2, 0.2)
+	c0 := b.AddConnection(g0, g1)
+	c1 := b.AddConnection(g1)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumGateways() != 2 || net.NumConnections() != 2 {
+		t.Fatalf("dims %d gw, %d conn", net.NumGateways(), net.NumConnections())
+	}
+	if got := net.Route(c0); len(got) != 2 || got[0] != g0 || got[1] != g1 {
+		t.Errorf("route 0 = %v", got)
+	}
+	if got := net.Connections(g1); len(got) != 2 || got[0] != c0 || got[1] != c1 {
+		t.Errorf("Γ(g1) = %v", got)
+	}
+	if net.NumAt(g0) != 1 {
+		t.Errorf("N^g0 = %d, want 1", net.NumAt(g0))
+	}
+	if g := net.Gateway(g1); g.Name != "b" || g.Mu != 2 || g.Latency != 0.2 {
+		t.Errorf("gateway = %+v", g)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Builder
+	}{
+		{"bad mu", func() *Builder {
+			var b Builder
+			b.AddGateway("g", 0, 0)
+			b.AddConnection(0)
+			return &b
+		}},
+		{"negative mu", func() *Builder {
+			var b Builder
+			b.AddGateway("g", -1, 0)
+			b.AddConnection(0)
+			return &b
+		}},
+		{"NaN mu", func() *Builder {
+			var b Builder
+			b.AddGateway("g", math.NaN(), 0)
+			b.AddConnection(0)
+			return &b
+		}},
+		{"negative latency", func() *Builder {
+			var b Builder
+			b.AddGateway("g", 1, -1)
+			b.AddConnection(0)
+			return &b
+		}},
+		{"empty route", func() *Builder {
+			var b Builder
+			b.AddGateway("g", 1, 0)
+			b.AddConnection()
+			return &b
+		}},
+		{"unknown gateway", func() *Builder {
+			var b Builder
+			b.AddGateway("g", 1, 0)
+			b.AddConnection(5)
+			return &b
+		}},
+		{"duplicate gateway in route", func() *Builder {
+			var b Builder
+			g := b.AddGateway("g", 1, 0)
+			b.AddConnection(g, g)
+			return &b
+		}},
+		{"no gateways", func() *Builder { return &Builder{} }},
+		{"no connections", func() *Builder {
+			var b Builder
+			b.AddGateway("g", 1, 0)
+			return &b
+		}},
+		{"idle gateway", func() *Builder {
+			var b Builder
+			b.AddGateway("g0", 1, 0)
+			b.AddGateway("g1", 1, 0)
+			b.AddConnection(0)
+			return &b
+		}},
+	}
+	for _, c := range cases {
+		if _, err := c.build().Build(); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestPathLatency(t *testing.T) {
+	var b Builder
+	g0 := b.AddGateway("a", 1, 0.5)
+	g1 := b.AddGateway("b", 1, 0.25)
+	b.AddConnection(g0, g1)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.PathLatency(0); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("path latency = %v, want 0.75", got)
+	}
+}
+
+func TestScaleServers(t *testing.T) {
+	net, err := SingleGateway(3, 2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := net.ScaleServers(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.Gateway(0).Mu != 20 {
+		t.Errorf("scaled mu = %v, want 20", scaled.Gateway(0).Mu)
+	}
+	if scaled.Gateway(0).Latency != 0.1 {
+		t.Errorf("latency should be unchanged, got %v", scaled.Gateway(0).Latency)
+	}
+	if net.Gateway(0).Mu != 2 {
+		t.Error("original modified")
+	}
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := net.ScaleServers(bad); err == nil {
+			t.Errorf("ScaleServers(%v) should fail", bad)
+		}
+	}
+}
+
+func TestWithLatencies(t *testing.T) {
+	net, err := SingleGateway(2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := net.WithLatencies([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Gateway(0).Latency != 3 {
+		t.Errorf("latency = %v, want 3", mod.Gateway(0).Latency)
+	}
+	if _, err := net.WithLatencies([]float64{1, 2}); err == nil {
+		t.Error("want length error")
+	}
+}
+
+func TestSingleGateway(t *testing.T) {
+	net, err := SingleGateway(5, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumGateways() != 1 || net.NumConnections() != 5 || net.NumAt(0) != 5 {
+		t.Errorf("unexpected shape: %d gw, %d conn, N=%d",
+			net.NumGateways(), net.NumConnections(), net.NumAt(0))
+	}
+	if _, err := SingleGateway(0, 1, 0); err == nil {
+		t.Error("want error for zero connections")
+	}
+}
+
+func TestParkingLot(t *testing.T) {
+	net, err := ParkingLot(3, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumGateways() != 3 || net.NumConnections() != 4 {
+		t.Fatalf("shape: %d gw, %d conn", net.NumGateways(), net.NumConnections())
+	}
+	// Connection 0 is the long one.
+	if len(net.Route(0)) != 3 {
+		t.Errorf("long route length %d, want 3", len(net.Route(0)))
+	}
+	// Every gateway carries the long connection plus one cross.
+	for a := 0; a < 3; a++ {
+		if net.NumAt(a) != 2 {
+			t.Errorf("N^%d = %d, want 2", a, net.NumAt(a))
+		}
+	}
+	if _, err := ParkingLot(0, 1, 0); err == nil {
+		t.Error("want error for zero hops")
+	}
+}
+
+func TestStar(t *testing.T) {
+	net, err := Star(4, 10, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumGateways() != 5 || net.NumConnections() != 4 {
+		t.Fatalf("shape: %d gw, %d conn", net.NumGateways(), net.NumConnections())
+	}
+	if net.NumAt(0) != 4 { // hub carries everything
+		t.Errorf("hub N = %d, want 4", net.NumAt(0))
+	}
+	for a := 1; a < 5; a++ {
+		if net.NumAt(a) != 1 {
+			t.Errorf("leaf %d N = %d, want 1", a, net.NumAt(a))
+		}
+	}
+	if _, err := Star(0, 1, 1, 0); err == nil {
+		t.Error("want error for zero leaves")
+	}
+}
+
+func TestRandomValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Random(rng, 0, 1, 1, 1, 2, 0); err == nil {
+		t.Error("want error for zero gateways")
+	}
+	if _, err := Random(rng, 2, 0, 1, 1, 2, 0); err == nil {
+		t.Error("want error for zero connections")
+	}
+	if _, err := Random(rng, 2, 1, 3, 1, 2, 0); err == nil {
+		t.Error("want error for maxPath > gateways")
+	}
+	if _, err := Random(rng, 2, 1, 1, 0, 2, 0); err == nil {
+		t.Error("want error for non-positive muLo")
+	}
+	if _, err := Random(rng, 2, 1, 1, 2, 1, 0); err == nil {
+		t.Error("want error for muHi < muLo")
+	}
+}
+
+// Property: random topologies are structurally consistent — Γ and γ
+// are inverse incidence relations and every gateway is loaded.
+func TestPropRandomConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nG := 1 + rng.Intn(6)
+		nC := 1 + rng.Intn(8)
+		net, err := Random(rng, nG, nC, 1+rng.Intn(nG), 0.5, 2.0, 0.1)
+		if err != nil {
+			return false
+		}
+		// Γ/γ inverse consistency.
+		for i := 0; i < net.NumConnections(); i++ {
+			for _, a := range net.Route(i) {
+				found := false
+				for _, j := range net.Connections(a) {
+					if j == i {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		for a := 0; a < net.NumGateways(); a++ {
+			if net.NumAt(a) == 0 {
+				return false
+			}
+			for _, i := range net.Connections(a) {
+				found := false
+				for _, g := range net.Route(i) {
+					if g == a {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ScaleServers composes multiplicatively and preserves
+// topology.
+func TestPropScaleCompose(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net, err := Random(rng, 3, 4, 2, 1, 5, 0)
+		if err != nil {
+			return false
+		}
+		a, err := net.ScaleServers(2)
+		if err != nil {
+			return false
+		}
+		b, err := a.ScaleServers(3)
+		if err != nil {
+			return false
+		}
+		c, err := net.ScaleServers(6)
+		if err != nil {
+			return false
+		}
+		for g := 0; g < net.NumGateways(); g++ {
+			if math.Abs(b.Gateway(g).Mu-c.Gateway(g).Mu) > 1e-9 {
+				return false
+			}
+		}
+		return b.NumConnections() == net.NumConnections()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
