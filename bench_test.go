@@ -176,6 +176,35 @@ func BenchmarkSystemStep(b *testing.B) {
 	}
 }
 
+// BenchmarkStepNoTracer measures the same 32-connection Fair Share
+// update through the instrumented step path with tracing disabled.
+// Its allocs/op must match BenchmarkSystemStep's seed value exactly:
+// the telemetry layer (per-step residual tracking, RunStats, the nil
+// tracer check) is free when no tracer is attached.
+func BenchmarkStepNoTracer(b *testing.B) {
+	net, err := ff.SingleGateway(32, 2, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	law := ff.AdditiveTSI{Eta: 0.1, BSS: 0.5}
+	sys, err := ff.NewSystem(net, ff.FairShare{}, ff.Individual, ff.Rational{}, ff.UniformLaws(law, 32))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := benchRates(32)
+	var opt ff.RunOptions // nil Tracer: the traced branch must never run
+	if opt.Tracer != nil {
+		b.Fatal("tracer unexpectedly set")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Step(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRunToSteadyState measures a full convergence run of the
 // quickstart scenario.
 func BenchmarkRunToSteadyState(b *testing.B) {

@@ -1,0 +1,62 @@
+package feedbackflow_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// benchRecord is one row of BENCH_core.json.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// TestWriteBenchJSON re-runs the core micro-benchmarks and writes
+// their results as machine-readable JSON for regression tracking. It
+// is opt-in — set BENCH_JSON to the output path (conventionally
+// BENCH_core.json):
+//
+//	BENCH_JSON=BENCH_core.json go test -run TestWriteBenchJSON .
+func TestWriteBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		t.Skip("BENCH_JSON not set; skipping benchmark JSON emission")
+	}
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"BenchmarkFIFOQueues", BenchmarkFIFOQueues},
+		{"BenchmarkFairShareQueues", BenchmarkFairShareQueues},
+		{"BenchmarkSystemStep", BenchmarkSystemStep},
+		{"BenchmarkStepNoTracer", BenchmarkStepNoTracer},
+		{"BenchmarkRunToSteadyState", BenchmarkRunToSteadyState},
+		{"BenchmarkStabilityAnalysis", BenchmarkStabilityAnalysis},
+		{"BenchmarkEventSim", BenchmarkEventSim},
+	}
+	records := make([]benchRecord, 0, len(benches))
+	for _, bm := range benches {
+		res := testing.Benchmark(bm.fn)
+		if res.N == 0 {
+			t.Fatalf("%s did not run", bm.name)
+		}
+		records = append(records, benchRecord{
+			Name:        bm.name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
+		t.Logf("%s: %.0f ns/op, %d allocs/op", bm.name,
+			float64(res.T.Nanoseconds())/float64(res.N), res.AllocsPerOp())
+	}
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

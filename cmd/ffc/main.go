@@ -9,6 +9,7 @@
 //	ffc -topology single -n 4 -feedback individual -discipline fairshare
 //	ffc -topology parkinglot -hops 3 -feedback aggregate -eta 0.3
 //	ffc -law window -eta 0.02 -beta 0.2          # DECbit-style window LIMD
+//	ffc -metrics-json run.json -trace 2>steps.tsv # instrumented run
 package main
 
 import (
@@ -19,7 +20,17 @@ import (
 	"strings"
 
 	ff "github.com/nettheory/feedbackflow"
+	"github.com/nettheory/feedbackflow/internal/cli"
+	"github.com/nettheory/feedbackflow/internal/obs"
 )
+
+// obsFlags carries the telemetry options threaded through every run
+// path: -metrics-json and -trace.
+type obsFlags struct {
+	metricsJSON string
+	trace       bool
+	traceEvery  int
+}
 
 func main() {
 	var (
@@ -39,10 +50,21 @@ func main() {
 		steps    = flag.Int("steps", 200000, "max iteration steps")
 		seed     = flag.Int64("seed", 1, "seed for the random initial rates")
 	)
+	var ofl obsFlags
+	flag.StringVar(&ofl.metricsJSON, "metrics-json", "", "write a machine-readable run report to this path (\"-\" for stdout)")
+	flag.BoolVar(&ofl.trace, "trace", false, "stream a per-step TSV trace (step, residual, rates, signals) to stderr")
+	flag.IntVar(&ofl.traceEvery, "trace-every", 1, "with -trace, emit every k'th step")
 	flag.Parse()
 
+	if *dot && (ofl.trace || ofl.metricsJSON != "") {
+		fatal(fmt.Errorf("-dot prints a topology and runs nothing; it cannot be combined with -trace or -metrics-json"))
+	}
+	if ofl.traceEvery < 1 {
+		fatal(fmt.Errorf("-trace-every must be at least 1, got %d", ofl.traceEvery))
+	}
+
 	if *config != "" {
-		if err := runConfig(*config); err != nil {
+		if err := runConfig(*config, ofl); err != nil {
 			fatal(err)
 		}
 		return
@@ -89,13 +111,13 @@ func main() {
 
 	fmt.Printf("scenario: %s topology, %s gateways, %s feedback, law %s\n",
 		*topo, discipline.Name(), style, law.Name())
-	if err := runAndReport(sys, r0, ff.RunOptions{MaxSteps: *steps}); err != nil {
+	if err := runAndReport(sys, r0, ff.RunOptions{MaxSteps: *steps}, *topo, ofl); err != nil {
 		fatal(err)
 	}
 }
 
 // runConfig loads a declarative JSON scenario and reports its run.
-func runConfig(path string) error {
+func runConfig(path string, ofl obsFlags) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -111,23 +133,51 @@ func runConfig(path string) error {
 	}
 	fmt.Printf("scenario: %s (%s gateways, %s feedback)\n",
 		spec.Name, sys.Discipline().Name(), sys.Style())
-	return runAndReport(sys, r0, spec.RunOptions())
+	return runAndReport(sys, r0, spec.RunOptions(), spec.Name, ofl)
 }
 
 // runAndReport iterates the system to steady state and prints the
-// throughput, fairness, and stability report.
-func runAndReport(sys *ff.System, r0 []float64, opt ff.RunOptions) error {
+// throughput, fairness, and stability report, emitting the requested
+// telemetry (per-step trace, metrics JSON) along the way.
+func runAndReport(sys *ff.System, r0 []float64, opt ff.RunOptions, scenario string, ofl obsFlags) error {
+	var tsv *obs.TSVTracer
+	if ofl.trace {
+		tsv = obs.NewTSVTracer(os.Stderr, ofl.traceEvery)
+		opt.Tracer = tsv
+	}
 	fmt.Printf("initial rates: %s\n", fmtRates(r0))
 	res, err := sys.Run(r0, opt)
 	if err != nil {
 		return err
 	}
+	if tsv != nil {
+		if err := tsv.Flush(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	// The report is written last so that -metrics-json - leaves stdout
+	// ending in one clean JSON block; the non-converged path still
+	// writes it before exiting 1.
+	report := func() error {
+		if ofl.metricsJSON == "" {
+			return nil
+		}
+		if err := writeMetrics(sys, res, scenario, ofl.metricsJSON); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		return nil
+	}
 	if !res.Converged {
 		fmt.Printf("did NOT converge after %d steps (oscillatory or chaotic); last rates: %s\n",
 			res.Steps, fmtRates(res.Rates))
+		if err := report(); err != nil {
+			return err
+		}
 		os.Exit(1)
 	}
-	fmt.Printf("converged in %d steps\n", res.Steps)
+	fmt.Printf("converged in %d steps (%.2fms, residual %.3g -> %.3g)\n",
+		res.Steps, float64(res.Stats.WallTime.Nanoseconds())/1e6,
+		res.Stats.InitialResidual, res.Stats.FinalResidual)
 	fmt.Printf("steady-state rates: %s\n", fmtRates(res.Rates))
 	fmt.Printf("signals b_i: %s   delays d_i: %s\n", fmtRates(res.Final.Signals), fmtRates(res.Final.Delays))
 
@@ -147,7 +197,16 @@ func runAndReport(sys *ff.System, r0 []float64, opt ff.RunOptions) error {
 	}
 	fmt.Printf("stability: unilateral=%v systemic=%v spectralRadius=%.4f triangular=%v\n",
 		st.Unilateral, st.Systemic, st.SpectralRadius, st.TriangularOrder != nil)
-	return nil
+	return report()
+}
+
+// writeMetrics builds the run report and writes it to path.
+func writeMetrics(sys *ff.System, res *ff.RunResult, scenario, path string) error {
+	report, err := sys.Report(res, scenario)
+	if err != nil {
+		return err
+	}
+	return cli.WriteJSON(path, report)
 }
 
 func buildTopology(kind string, n, hops int, mu, latency float64) (*ff.Network, error) {
@@ -208,7 +267,4 @@ func fmtRates(r []float64) string {
 	return "[" + strings.Join(parts, " ") + "]"
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ffc:", err)
-	os.Exit(2)
-}
+func fatal(err error) { cli.Fatal("ffc", err) }

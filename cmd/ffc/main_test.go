@@ -1,8 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	ff "github.com/nettheory/feedbackflow"
+	"github.com/nettheory/feedbackflow/internal/obs"
 )
 
 func TestBuildTopology(t *testing.T) {
@@ -82,6 +88,88 @@ func TestBuildLaw(t *testing.T) {
 	}
 	if _, err := buildLaw("quadratic", 0.1, 0.5, 0.5); err == nil {
 		t.Error("quadratic: want error")
+	}
+}
+
+// TestMetricsJSONRoundTrip is the -metrics-json acceptance check: run
+// the canned single-bottleneck scenario, write the report the way the
+// flag does, and decode it back — asserting the step count, final
+// residual, wall time, and per-gateway queue statistics survive.
+func TestMetricsJSONRoundTrip(t *testing.T) {
+	net, err := buildTopology("single", 4, 3, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	law, err := buildLaw("additive", 0.1, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := ff.NewSystem(net, ff.FairShare{}, ff.Individual, ff.Rational{}, ff.UniformLaws(law, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run([]float64{0.05, 0.1, 0.15, 0.2}, ff.RunOptions{MaxSteps: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("canned scenario did not converge")
+	}
+
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := writeMetrics(sys, res, "single", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.RunReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not decode: %v\n%s", err, data)
+	}
+
+	if rep.Schema != obs.RunReportSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, obs.RunReportSchema)
+	}
+	if rep.Scenario != "single" {
+		t.Errorf("scenario = %q", rep.Scenario)
+	}
+	if rep.Steps != res.Steps || rep.Steps <= 0 {
+		t.Errorf("steps = %d, want %d (> 0)", rep.Steps, res.Steps)
+	}
+	if !rep.Converged {
+		t.Error("report says not converged")
+	}
+	if got, want := float64(rep.FinalResidual), res.Stats.FinalResidual; got != want {
+		t.Errorf("final residual = %g, want %g", got, want)
+	}
+	if rep.WallNS <= 0 {
+		t.Errorf("wall_ns = %d, want > 0", rep.WallNS)
+	}
+	if len(rep.Rates) != 4 || len(rep.Signals) != 4 || len(rep.Delays) != 4 {
+		t.Fatalf("vector lengths: %d rates, %d signals, %d delays",
+			len(rep.Rates), len(rep.Signals), len(rep.Delays))
+	}
+	if len(rep.Gateways) != 1 {
+		t.Fatalf("gateways = %d, want 1", len(rep.Gateways))
+	}
+	gw := rep.Gateways[0]
+	if gw.Connections != 4 || len(gw.Queues) != 4 {
+		t.Errorf("gateway: %d connections, %d queues", gw.Connections, len(gw.Queues))
+	}
+	var total float64
+	for _, q := range gw.Queues {
+		if q < 0 {
+			t.Errorf("negative queue %g", float64(q))
+		}
+		total += float64(q)
+	}
+	if got := float64(gw.TotalQueue); total != 0 && (got < 0.999*total || got > 1.001*total) {
+		t.Errorf("total queue %g does not match sum of queues %g", got, total)
+	}
+	if u := float64(gw.Utilization); u <= 0 || u >= 1 {
+		t.Errorf("utilization = %g, want in (0, 1)", u)
 	}
 }
 

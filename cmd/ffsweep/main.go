@@ -9,10 +9,16 @@
 //	ffsweep -mode stability > stability.csv
 //	ffsweep -mode robustness > robustness.csv
 //	ffsweep -mode chaos > chaos.csv
+//	ffsweep -mode chaos -debug-addr localhost:6060 > chaos.csv
+//
+// With -debug-addr, a diagnostics HTTP server exposes net/http/pprof
+// under /debug/pprof and live sweep progress counters under
+// /debug/vars — useful for profiling long sweeps in place.
 package main
 
 import (
 	"encoding/csv"
+	"expvar"
 	"flag"
 	"fmt"
 	"math"
@@ -20,29 +26,63 @@ import (
 	"strconv"
 
 	ff "github.com/nettheory/feedbackflow"
+	"github.com/nettheory/feedbackflow/internal/cli"
+	"github.com/nettheory/feedbackflow/internal/obs"
 )
 
+// sweep aggregates the telemetry of one ffsweep process: a CSV writer
+// plus progress counters published via expvar when -debug-addr is set.
+type sweep struct {
+	w      *csv.Writer
+	rows   *obs.Counter
+	points *obs.Counter
+}
+
+// write emits one CSV record and counts it.
+func (s *sweep) write(record []string) error {
+	s.rows.Inc()
+	return s.w.Write(record)
+}
+
 func main() {
-	mode := flag.String("mode", "stability", "sweep: stability, robustness, chaos")
+	var (
+		mode      = flag.String("mode", "stability", "sweep: stability, robustness, chaos")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	)
 	flag.Parse()
 
-	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
+	reg := obs.NewRegistry()
+	s := &sweep{
+		w:      csv.NewWriter(os.Stdout),
+		rows:   reg.Counter("sweep.rows_written"),
+		points: reg.Counter("sweep.points_evaluated"),
+	}
+	defer s.w.Flush()
+
+	if *debugAddr != "" {
+		expvar.Publish("feedbackflow.sweep", expvar.Func(func() interface{} {
+			return reg.Snapshot()
+		}))
+		addr, err := cli.StartDebugServer(*debugAddr)
+		if err != nil {
+			fatal(fmt.Errorf("debug server: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "ffsweep: diagnostics at http://%s/debug/pprof and /debug/vars\n", addr)
+	}
 
 	var err error
 	switch *mode {
 	case "stability":
-		err = sweepStability(w)
+		err = sweepStability(s)
 	case "robustness":
-		err = sweepRobustness(w)
+		err = sweepRobustness(s)
 	case "chaos":
-		err = sweepChaos(w)
+		err = sweepChaos(s)
 	default:
-		err = fmt.Errorf("unknown mode %q", *mode)
+		err = fmt.Errorf("unknown mode %q (want stability, robustness, chaos)", *mode)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ffsweep:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 }
 
@@ -51,8 +91,8 @@ func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
 // sweepStability emits, for each (N, η), the max |DF_ii| and the
 // transverse spectral radius of the aggregate-feedback stability
 // matrix at the fair point (the E5 setting).
-func sweepStability(w *csv.Writer) error {
-	if err := w.Write([]string{"n", "eta", "max_abs_diag", "spectral_radius", "unilateral", "systemic_transverse"}); err != nil {
+func sweepStability(s *sweep) error {
+	if err := s.write([]string{"n", "eta", "max_abs_diag", "spectral_radius", "unilateral", "systemic_transverse"}); err != nil {
 		return err
 	}
 	const bss = 0.5
@@ -62,6 +102,7 @@ func sweepStability(w *csv.Writer) error {
 			return err
 		}
 		for eta := 0.05; eta <= 2.0; eta += 0.05 {
+			s.points.Inc()
 			law := ff.AdditiveTSI{Eta: eta, BSS: bss}
 			sys, err := ff.NewSystem(net, ff.FIFO{}, ff.Aggregate, ff.Rational{}, ff.UniformLaws(law, n))
 			if err != nil {
@@ -84,7 +125,7 @@ func sweepStability(w *csv.Writer) error {
 					transverse = m
 				}
 			}
-			if err := w.Write([]string{
+			if err := s.write([]string{
 				strconv.Itoa(n), fmtF(eta), fmtF(rep.MaxAbsDiag), fmtF(transverse),
 				strconv.FormatBool(rep.Unilateral), strconv.FormatBool(transverse < 1),
 			}); err != nil {
@@ -98,8 +139,8 @@ func sweepStability(w *csv.Writer) error {
 // sweepRobustness emits, for each spread of target signals, the meek
 // connection's steady throughput relative to its reservation floor
 // under the three design points of E9.
-func sweepRobustness(w *csv.Writer) error {
-	if err := w.Write([]string{"bss_gap", "design", "meek_rate", "floor", "ratio"}); err != nil {
+func sweepRobustness(s *sweep) error {
+	if err := s.write([]string{"bss_gap", "design", "meek_rate", "floor", "ratio"}); err != nil {
 		return err
 	}
 	const (
@@ -128,6 +169,7 @@ func sweepRobustness(w *csv.Writer) error {
 		}
 		floor := meek * mu / n
 		for _, d := range designs {
+			s.points.Inc()
 			sys, err := ff.NewSystem(net, d.disc, d.style, ff.Rational{}, laws)
 			if err != nil {
 				return err
@@ -137,7 +179,7 @@ func sweepRobustness(w *csv.Writer) error {
 				return err
 			}
 			ratio := out.Rates[1] / floor
-			if err := w.Write([]string{
+			if err := s.write([]string{
 				fmtF(gap), d.label, fmtF(out.Rates[1]), fmtF(floor), fmtF(ratio),
 			}); err != nil {
 				return err
@@ -149,8 +191,8 @@ func sweepRobustness(w *csv.Writer) error {
 
 // sweepChaos emits attractor samples of the symmetric recursion over
 // ηN — the raw data of the E6 bifurcation diagram.
-func sweepChaos(w *csv.Writer) error {
-	if err := w.Write([]string{"eta_n", "attractor_n_r"}); err != nil {
+func sweepChaos(s *sweep) error {
+	if err := s.write([]string{"eta_n", "attractor_n_r"}); err != nil {
 		return err
 	}
 	const (
@@ -158,6 +200,7 @@ func sweepChaos(w *csv.Writer) error {
 		beta = 0.25
 	)
 	for etaN := 1.0; etaN <= 2.99; etaN += 0.005 {
+		s.points.Inc()
 		m := ff.SymmetricRecursion(etaN/float64(n), beta, n)
 		x := math.Sqrt(beta) / float64(n) * 1.1
 		for burn := 0; burn < 4000; burn++ {
@@ -165,10 +208,12 @@ func sweepChaos(w *csv.Writer) error {
 		}
 		for keep := 0; keep < 50; keep++ {
 			x = m(x)
-			if err := w.Write([]string{fmtF(etaN), fmtF(float64(n) * x)}); err != nil {
+			if err := s.write([]string{fmtF(etaN), fmtF(float64(n) * x)}); err != nil {
 				return err
 			}
 		}
 	}
 	return nil
 }
+
+func fatal(err error) { cli.Fatal("ffsweep", err) }

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"expvar"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/nettheory/feedbackflow/internal/cli"
+	"github.com/nettheory/feedbackflow/internal/obs"
+)
+
+func newTestSweep(w io.Writer) (*sweep, *obs.Registry) {
+	reg := obs.NewRegistry()
+	return &sweep{
+		w:      csv.NewWriter(w),
+		rows:   reg.Counter("sweep.rows_written"),
+		points: reg.Counter("sweep.points_evaluated"),
+	}, reg
+}
+
+// TestSweepCountsRows checks that every emitted CSV record is counted.
+func TestSweepCountsRows(t *testing.T) {
+	var buf strings.Builder
+	s, _ := newTestSweep(&buf)
+	if err := sweepChaos(s); err != nil {
+		t.Fatal(err)
+	}
+	s.w.Flush()
+	lines := strings.Count(buf.String(), "\n")
+	if got := s.rows.Value(); got != int64(lines) {
+		t.Errorf("rows counter = %d, CSV lines = %d", got, lines)
+	}
+	if s.points.Value() == 0 {
+		t.Error("points counter never incremented")
+	}
+}
+
+// TestDebugVarsExposeSweepCounters drives the -debug-addr path end to
+// end: publish the registry the way main does, start the diagnostics
+// server, and read the counters back through /debug/vars.
+func TestDebugVarsExposeSweepCounters(t *testing.T) {
+	var buf strings.Builder
+	s, reg := newTestSweep(&buf)
+	if err := sweepRobustness(s); err != nil {
+		t.Fatal(err)
+	}
+	s.w.Flush()
+
+	// expvar.Publish panics on duplicate names, so use a test-scoped
+	// name; main publishes the same shape as "feedbackflow.sweep".
+	expvar.Publish("feedbackflow.sweep.test", expvar.Func(func() interface{} {
+		return reg.Snapshot()
+	}))
+	addr, err := cli.StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr.String() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		Sweep map[string]int64 `json:"feedbackflow.sweep.test"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if vars.Sweep["sweep.rows_written"] != s.rows.Value() {
+		t.Errorf("expvar rows = %d, counter = %d",
+			vars.Sweep["sweep.rows_written"], s.rows.Value())
+	}
+	if vars.Sweep["sweep.points_evaluated"] == 0 {
+		t.Error("points counter not visible through expvar")
+	}
+}

@@ -7,29 +7,36 @@
 //	fftables            # run the full suite
 //	fftables -run E5    # run one experiment
 //	fftables -list      # list experiment IDs and titles
+//	fftables -metrics-json reports.json   # also write structured reports
 //
 // The process exits non-zero if any experiment's reproduction checks
 // fail.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	ff "github.com/nettheory/feedbackflow"
+	"github.com/nettheory/feedbackflow/internal/cli"
 )
 
 func main() {
 	var (
-		runID  = flag.String("run", "", "run a single experiment by ID (e.g. E5); empty runs all")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		asJSON = flag.Bool("json", false, "emit results as a JSON array instead of text")
+		runID   = flag.String("run", "", "run a single experiment by ID (e.g. E5); empty runs all")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		asJSON  = flag.Bool("json", false, "emit results as a JSON array instead of text")
+		metrics = flag.String("metrics-json", "", "write machine-readable experiment reports to this path (\"-\" for stdout)")
 	)
 	flag.Parse()
 
 	if *list {
+		if *asJSON || *metrics != "" {
+			fatal(fmt.Errorf("-list runs nothing; it cannot be combined with -json or -metrics-json"))
+		}
 		for _, s := range ff.Experiments() {
 			fmt.Printf("%-4s %s\n", s.ID, s.Title)
 		}
@@ -40,10 +47,10 @@ func main() {
 	if *runID != "" {
 		res, err := ff.RunExperiment(*runID)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fatal(err)
 		}
 		emit(*asJSON, []*ff.ExperimentResult{res})
+		writeReports(*metrics, []*ff.ExperimentResult{res})
 		if !res.Pass {
 			os.Exit(1)
 		}
@@ -65,6 +72,7 @@ func main() {
 		}
 	}
 	emit(*asJSON, results)
+	writeReports(*metrics, results)
 	if !*asJSON {
 		fmt.Printf("%d/%d experiments reproduced the paper's predictions\n", len(specs)-failed, len(specs))
 	}
@@ -79,8 +87,7 @@ func emit(asJSON bool, results []*ff.ExperimentResult) {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(results); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fatal(err)
 		}
 		return
 	}
@@ -89,3 +96,25 @@ func emit(asJSON bool, results []*ff.ExperimentResult) {
 		fmt.Println()
 	}
 }
+
+// writeReports writes the structured experiment reports when
+// -metrics-json was given. Reports are rendered to a buffer first so a
+// half-written file never masquerades as a complete one.
+func writeReports(path string, results []*ff.ExperimentResult) {
+	if path == "" {
+		return
+	}
+	var buf bytes.Buffer
+	if err := ff.WriteExperimentReports(&buf, results); err != nil {
+		fatal(err)
+	}
+	if path == "-" {
+		os.Stdout.Write(buf.Bytes())
+		return
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) { cli.Fatal("fftables", err) }

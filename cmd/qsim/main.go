@@ -12,12 +12,33 @@ import (
 	"flag"
 	"fmt"
 	"math"
-	"os"
 	"strconv"
 	"strings"
 
 	ff "github.com/nettheory/feedbackflow"
+	"github.com/nettheory/feedbackflow/internal/cli"
+	"github.com/nettheory/feedbackflow/internal/obs"
 )
+
+// simReportSchema identifies the qsim run-report JSON schema version.
+const simReportSchema = "feedbackflow/sim-report/v1"
+
+// simReport is the machine-readable form of one gateway simulation:
+// the configuration, the analytic prediction, the measured queues, and
+// the event-level metrics gathered by the simulator.
+type simReport struct {
+	Schema     string        `json:"schema"`
+	Discipline string        `json:"discipline"`
+	Mu         float64       `json:"mu"`
+	Rates      []float64     `json:"rates"`
+	Duration   float64       `json:"duration"`
+	Seed       int64         `json:"seed"`
+	AnalyticQ  []obs.Float   `json:"analytic_queue"`
+	SimQ       []float64     `json:"simulated_queue"`
+	TotalQueue float64       `json:"total_queue"`
+	Served     []int64       `json:"served"`
+	Metrics    ff.SimMetrics `json:"metrics"`
+}
 
 func main() {
 	var (
@@ -26,6 +47,7 @@ func main() {
 		disc     = flag.String("discipline", "fairshare", "discipline: fifo, fairshare")
 		duration = flag.Float64("duration", 60000, "measured simulated time")
 		seed     = flag.Int64("seed", 1, "random seed")
+		metrics  = flag.String("metrics-json", "", "write a machine-readable simulation report to this path (\"-\" for stdout)")
 	)
 	flag.Parse()
 
@@ -73,6 +95,34 @@ func main() {
 			i, r, analyticStr, res.MeanQueue[i], res.QueueCI[i].HalfWide, res.Served[i])
 	}
 	fmt.Printf("total queue: simulated %.4f\n", res.TotalQueue)
+
+	if *metrics != "" {
+		rep := buildSimReport(analytic.Name(), *mu, rates, *duration, *seed, want, res)
+		if err := cli.WriteJSON(*metrics, rep); err != nil {
+			fatal(fmt.Errorf("metrics: %w", err))
+		}
+	}
+}
+
+// buildSimReport assembles the -metrics-json payload for one run.
+func buildSimReport(disc string, mu float64, rates []float64, duration float64, seed int64, analyticQ []float64, res *ff.GatewaySimResult) *simReport {
+	served := make([]int64, len(res.Served))
+	for i, s := range res.Served {
+		served[i] = int64(s)
+	}
+	return &simReport{
+		Schema:     simReportSchema,
+		Discipline: disc,
+		Mu:         mu,
+		Rates:      rates,
+		Duration:   duration,
+		Seed:       seed,
+		AnalyticQ:  obs.Floats(analyticQ),
+		SimQ:       res.MeanQueue,
+		TotalQueue: res.TotalQueue,
+		Served:     served,
+		Metrics:    res.Metrics,
+	}
 }
 
 func parseRates(s string) ([]float64, error) {
@@ -88,7 +138,4 @@ func parseRates(s string) ([]float64, error) {
 	return rates, nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "qsim:", err)
-	os.Exit(2)
-}
+func fatal(err error) { cli.Fatal("qsim", err) }

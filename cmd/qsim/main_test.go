@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	ff "github.com/nettheory/feedbackflow"
+	"github.com/nettheory/feedbackflow/internal/cli"
+)
 
 func TestParseRates(t *testing.T) {
 	r, err := parseRates("0.1, 0.2 ,0.3")
@@ -15,5 +23,54 @@ func TestParseRates(t *testing.T) {
 	}
 	if _, err := parseRates(""); err == nil {
 		t.Error("empty string should fail to parse")
+	}
+}
+
+// TestSimReportRoundTrip runs a short simulation, writes the
+// -metrics-json payload, and decodes it back.
+func TestSimReportRoundTrip(t *testing.T) {
+	rates := []float64{0.2, 0.3}
+	const mu, duration, seed = 1.0, 2000.0, 7
+	want, err := ff.FairShare{}.Queues(rates, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ff.SimulateGateway(ff.GatewaySimConfig{
+		Rates:      rates,
+		Mu:         mu,
+		Discipline: ff.SimFairShare,
+		Seed:       seed,
+		Duration:   duration,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "sim.json")
+	rep := buildSimReport("FairShare", mu, rates, duration, seed, want, res)
+	if err := cli.WriteJSON(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out simReport
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("report does not decode: %v\n%s", err, data)
+	}
+	if out.Schema != simReportSchema || out.Discipline != "FairShare" {
+		t.Errorf("identity: %q %q", out.Schema, out.Discipline)
+	}
+	if len(out.SimQ) != 2 || len(out.AnalyticQ) != 2 || len(out.Served) != 2 {
+		t.Fatalf("vector lengths: %d sim, %d analytic, %d served",
+			len(out.SimQ), len(out.AnalyticQ), len(out.Served))
+	}
+	ev := out.Metrics.Events
+	if ev.Scheduled != ev.Fired+ev.Cancelled+ev.Pending {
+		t.Errorf("event accounting broken: %+v", ev)
+	}
+	if out.Metrics.Arrivals == 0 || out.Metrics.QueueDepth.Count == 0 {
+		t.Errorf("metrics not populated: %+v", out.Metrics)
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"github.com/nettheory/feedbackflow/internal/experiments"
 	"github.com/nettheory/feedbackflow/internal/fairness"
 	"github.com/nettheory/feedbackflow/internal/game"
+	"github.com/nettheory/feedbackflow/internal/obs"
 	"github.com/nettheory/feedbackflow/internal/queueing"
 	"github.com/nettheory/feedbackflow/internal/scenario"
 	"github.com/nettheory/feedbackflow/internal/signal"
@@ -131,6 +132,9 @@ type (
 	RunOptions = core.RunOptions
 	// RunResult reports a Run's outcome.
 	RunResult = core.RunResult
+	// RunStats summarizes a run's step count, wall time, and residual
+	// trajectory.
+	RunStats = core.RunStats
 	// WindowSystem models genuine window-based flow control: windows
 	// adjusted by the laws, rates solving Little's law r = w/d(r).
 	WindowSystem = core.WindowSystem
@@ -179,7 +183,35 @@ type (
 	NetworkSimResult = eventsim.NetworkResult
 	// NetworkSimGateway describes one simulated gateway.
 	NetworkSimGateway = eventsim.NetworkGateway
+	// SimMetrics carries the event-level telemetry of one gateway
+	// simulation: engine event accounting, packet counts, and the
+	// sampled queue-depth distribution.
+	SimMetrics = eventsim.SimMetrics
+	// SimEngineStats is the event-loop accounting of a simulation run;
+	// Scheduled = Fired + Cancelled + Pending always holds.
+	SimEngineStats = eventsim.EngineStats
 )
+
+// Observability types: step tracing and machine-readable run reports
+// (package internal/obs; see docs/OBSERVABILITY.md).
+type (
+	// StepTracer receives a callback after every iteration step.
+	StepTracer = obs.StepTracer
+	// StepTracerFunc adapts a function to the StepTracer interface.
+	StepTracerFunc = obs.StepFunc
+	// TSVTracer streams per-step traces as tab-separated values.
+	TSVTracer = obs.TSVTracer
+	// RunReport is the machine-readable summary of one Run, written by
+	// ffc -metrics-json.
+	RunReport = obs.RunReport
+	// GatewayReport is the per-gateway block of a RunReport.
+	GatewayReport = obs.GatewayReport
+)
+
+// NewTSVTracer returns a tracer streaming every'th step to w as TSV.
+func NewTSVTracer(w io.Writer, every int) *TSVTracer {
+	return obs.NewTSVTracer(w, every)
+}
 
 // Simulated disciplines.
 const (
@@ -387,6 +419,15 @@ func RunExperiment(id string) (*ExperimentResult, error) {
 		return nil, &UnknownExperimentError{ID: id}
 	}
 	return spec.Run()
+}
+
+// WriteExperimentReports encodes one machine-readable report per
+// experiment result as an indented JSON array — the payload behind
+// fftables -metrics-json. Unlike the rendered exhibits, reports carry
+// the structured check outcomes plus the wall time and allocation
+// telemetry captured by the experiment registry.
+func WriteExperimentReports(w io.Writer, results []*ExperimentResult) error {
+	return experiments.WriteReports(w, results)
 }
 
 // UnknownExperimentError reports a RunExperiment ID that is not in the

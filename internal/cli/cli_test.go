@@ -1,0 +1,88 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteJSONFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	in := map[string]int{"steps": 42}
+	if err := WriteJSON(path, in); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Fatal("report does not end in a newline")
+	}
+	var out map[string]int
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["steps"] != 42 {
+		t.Fatalf("round trip: %v", out)
+	}
+}
+
+func TestWriteJSONBadPath(t *testing.T) {
+	if err := WriteJSON(filepath.Join(t.TempDir(), "no", "such", "dir.json"), 1); err == nil {
+		t.Fatal("want error for unwritable path")
+	}
+}
+
+func TestFatalExitsNonZero(t *testing.T) {
+	code := -1
+	exit = func(c int) { code = c }
+	defer func() { exit = os.Exit }()
+	Fatal("tool", fmt.Errorf("boom"))
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	code = -1
+	Fatalf("tool", "bad flag %q", "x")
+	if code != 2 {
+		t.Fatalf("Fatalf exit code = %d, want 2", code)
+	}
+}
+
+func TestStartDebugServer(t *testing.T) {
+	addr, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, path := range []string{"/debug/vars", "/debug/pprof/cmdline"} {
+		resp, err := client.Get("http://" + addr.String() + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Fatalf("%s: empty body", path)
+		}
+	}
+	// /debug/vars must be JSON (expvar's contract).
+	resp, err := client.Get("http://" + addr.String() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 )
 
 // RunAsync iterates the model with asynchronous updates: at each step
@@ -19,7 +20,15 @@ import (
 // residual criterion, not the rate-change criterion used by Run,
 // because a single asynchronous update moving one coordinate slightly
 // says nothing about the rest.
+//
+// When opt.Tracer is set it is invoked once per single-connection
+// update with the pre-update state, under the same contract as Run
+// (see obs.StepTracer). The result's Stats summarize the residual
+// trajectory over the states at which residuals were evaluated: every
+// step when tracing, otherwise the once-per-N convergence checks plus
+// the initial and final states.
 func (s *System) RunAsync(r0 []float64, opt RunOptions, seed int64) (*RunResult, error) {
+	start := time.Now()
 	opt = opt.withDefaults()
 	n := s.net.NumConnections()
 	if len(r0) != n {
@@ -31,11 +40,23 @@ func (s *System) RunAsync(r0 []float64, opt RunOptions, seed int64) (*RunResult,
 	if opt.Record {
 		res.Trajectory = append(res.Trajectory, append([]float64(nil), r...))
 	}
+	sampled := false
 	for step := 0; step < opt.MaxSteps; step++ {
 		i := rng.Intn(n)
 		obs, err := s.Observe(r)
 		if err != nil {
 			return nil, err
+		}
+		// The residual at the pre-update state comes almost for free
+		// given the observation; compute it when anything consumes it
+		// (the tracer every step, the stats on the first step).
+		if opt.Tracer != nil || !sampled {
+			resid := s.residualFrom(r, obs)
+			res.Stats.observe(resid, !sampled)
+			sampled = true
+			if opt.Tracer != nil {
+				opt.Tracer.OnStep(step, r, resid, obs.Signals)
+			}
 		}
 		f := s.laws[i].Adjust(r[i], obs.Signals[i], obs.Delays[i])
 		v := r[i] + f
@@ -52,6 +73,8 @@ func (s *System) RunAsync(r0 []float64, opt RunOptions, seed int64) (*RunResult,
 			if err != nil {
 				return nil, err
 			}
+			res.Stats.observe(resid, !sampled)
+			sampled = true
 			if resid <= opt.Tol {
 				res.Converged = true
 				break
@@ -64,5 +87,10 @@ func (s *System) RunAsync(r0 []float64, opt RunOptions, seed int64) (*RunResult,
 		return nil, err
 	}
 	res.Final = final
+	finalResid := s.residualFrom(r, final)
+	res.Stats.observe(finalResid, !sampled)
+	res.Stats.FinalResidual = finalResid
+	res.Stats.Steps = res.Steps
+	res.Stats.WallTime = time.Since(start)
 	return res, nil
 }

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/nettheory/feedbackflow/internal/obs"
+)
+
+// Report assembles the machine-readable run report for a completed
+// run: the iteration outcome and residual summary from res.Stats plus
+// per-gateway queue statistics derived from the final observation.
+// This is what ffc -metrics-json emits.
+func (s *System) Report(res *RunResult, scenario string) (*obs.RunReport, error) {
+	if res == nil || res.Final == nil {
+		return nil, fmt.Errorf("core: report of an incomplete run")
+	}
+	rep := &obs.RunReport{
+		Schema:          obs.RunReportSchema,
+		Scenario:        scenario,
+		Steps:           res.Steps,
+		Converged:       res.Converged,
+		WallNS:          res.Stats.WallTime.Nanoseconds(),
+		InitialResidual: obs.Float(res.Stats.InitialResidual),
+		FinalResidual:   obs.Float(res.Stats.FinalResidual),
+		MinResidual:     obs.Float(res.Stats.MinResidual),
+		MaxResidual:     obs.Float(res.Stats.MaxResidual),
+		Rates:           obs.Floats(res.Rates),
+		Signals:         obs.Floats(res.Final.Signals),
+		Delays:          obs.Floats(res.Final.Delays),
+	}
+	for a, queues := range res.Final.Queues {
+		g := obs.GatewayReport{
+			Gateway:     a,
+			Connections: len(queues),
+			Queues:      obs.Floats(queues),
+		}
+		load := 0.0
+		for _, i := range s.net.Connections(a) {
+			load += res.Rates[i]
+		}
+		g.Utilization = obs.Float(load / s.net.Gateway(a).Mu)
+		total, max := 0.0, 0.0
+		for _, q := range queues {
+			total += q
+			if q > max {
+				max = q
+			}
+		}
+		g.TotalQueue = obs.Float(total)
+		g.MaxQueue = obs.Float(max)
+		rep.Gateways = append(rep.Gateways, g)
+	}
+	return rep, nil
+}

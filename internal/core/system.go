@@ -13,8 +13,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/nettheory/feedbackflow/internal/control"
+	"github.com/nettheory/feedbackflow/internal/obs"
 	"github.com/nettheory/feedbackflow/internal/queueing"
 	"github.com/nettheory/feedbackflow/internal/signal"
 	"github.com/nettheory/feedbackflow/internal/topology"
@@ -161,11 +163,25 @@ func (s *System) Observe(r []float64) (*Observation, error) {
 
 // Step applies one synchronous update r' = max(0, r + f(r, b, d)).
 func (s *System) Step(r []float64) ([]float64, error) {
-	obs, err := s.Observe(r)
-	if err != nil {
+	next := make([]float64, len(r))
+	if _, _, err := s.stepInto(r, next); err != nil {
 		return nil, err
 	}
-	next := make([]float64, len(r))
+	return next, nil
+}
+
+// stepInto applies one synchronous update of r into next (which must
+// have the same length and not alias r), returning the observation at
+// r and the steady-state residual max|f_i| there. Computing the
+// residual alongside the update is free — the f_i are already in hand
+// — which is what lets Run keep a residual trajectory summary without
+// extra Observe calls.
+func (s *System) stepInto(r, next []float64) (*Observation, float64, error) {
+	obs, err := s.Observe(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	residual := 0.0
 	for i := range r {
 		f := s.laws[i].Adjust(r[i], obs.Signals[i], obs.Delays[i])
 		v := r[i] + f
@@ -173,8 +189,14 @@ func (s *System) Step(r []float64) ([]float64, error) {
 			v = 0
 		}
 		next[i] = v
+		if r[i] == 0 && f < 0 {
+			continue // truncated: at rest by the truncation rule
+		}
+		if a := math.Abs(f); a > residual {
+			residual = a
+		}
 	}
-	return next, nil
+	return obs, residual, nil
 }
 
 // Residual returns max_i |f_i(r, b_i, d_i)| — the distance from the
@@ -187,6 +209,12 @@ func (s *System) Residual(r []float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	return s.residualFrom(r, obs), nil
+}
+
+// residualFrom computes the steady-state residual at r from an
+// observation already taken there.
+func (s *System) residualFrom(r []float64, obs *Observation) float64 {
 	res := 0.0
 	for i := range r {
 		f := s.laws[i].Adjust(r[i], obs.Signals[i], obs.Delays[i])
@@ -197,7 +225,7 @@ func (s *System) Residual(r []float64) (float64, error) {
 			res = a
 		}
 	}
-	return res, nil
+	return res
 }
 
 // RunOptions controls Run.
@@ -212,6 +240,11 @@ type RunOptions struct {
 	Window int
 	// Record retains the full trajectory in the result.
 	Record bool
+	// Tracer, when non-nil, receives one callback per applied update
+	// with the pre-update state (see obs.StepTracer for the exact
+	// contract). A nil Tracer adds no work and no allocations to the
+	// iteration (guarded by BenchmarkStepNoTracer).
+	Tracer obs.StepTracer
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -227,6 +260,41 @@ func (o RunOptions) withDefaults() RunOptions {
 	return o
 }
 
+// RunStats is the telemetry a run records about itself: step count,
+// wall time, and a summary of the residual trajectory (the distance
+// max|f_i| from steady state at each visited rate vector). It is
+// collected unconditionally — the residuals fall out of the updates
+// already being computed — so every run is measurable after the fact.
+type RunStats struct {
+	// Steps is the number of updates applied (same as RunResult.Steps).
+	Steps int
+	// WallTime is the elapsed wall-clock time of the run.
+	WallTime time.Duration
+	// InitialResidual is the residual at the initial rate vector.
+	InitialResidual float64
+	// FinalResidual is the residual at the final rate vector.
+	FinalResidual float64
+	// MinResidual and MaxResidual are the extremes over every visited
+	// rate vector (including initial and final). A converging run has
+	// FinalResidual ≈ MinResidual; an oscillating one does not.
+	MinResidual, MaxResidual float64
+}
+
+// observe folds one residual sample into the summary.
+func (st *RunStats) observe(resid float64, first bool) {
+	if first {
+		st.InitialResidual = resid
+		st.MinResidual, st.MaxResidual = resid, resid
+		return
+	}
+	if resid < st.MinResidual {
+		st.MinResidual = resid
+	}
+	if resid > st.MaxResidual {
+		st.MaxResidual = resid
+	}
+}
+
 // RunResult reports the outcome of an iteration run.
 type RunResult struct {
 	// Rates is the final rate vector.
@@ -238,6 +306,9 @@ type RunResult struct {
 	Converged bool
 	// Final is the observation at the final rates.
 	Final *Observation
+	// Stats holds the run's telemetry: wall time and the residual
+	// trajectory summary.
+	Stats RunStats
 	// Trajectory holds every visited rate vector (including the
 	// initial one) when RunOptions.Record is set, and is nil otherwise.
 	Trajectory [][]float64
@@ -246,20 +317,26 @@ type RunResult struct {
 // Run iterates the synchronous procedure from r0 until convergence or
 // the step budget is exhausted.
 func (s *System) Run(r0 []float64, opt RunOptions) (*RunResult, error) {
+	start := time.Now()
 	opt = opt.withDefaults()
 	if len(r0) != s.net.NumConnections() {
 		return nil, fmt.Errorf("core: %d initial rates for %d connections", len(r0), s.net.NumConnections())
 	}
 	r := append([]float64(nil), r0...)
+	next := make([]float64, len(r))
 	res := &RunResult{}
 	if opt.Record {
 		res.Trajectory = append(res.Trajectory, append([]float64(nil), r...))
 	}
 	calm := 0
 	for step := 0; step < opt.MaxSteps; step++ {
-		next, err := s.Step(r)
+		obs, resid, err := s.stepInto(r, next)
 		if err != nil {
 			return nil, err
+		}
+		res.Stats.observe(resid, step == 0)
+		if opt.Tracer != nil {
+			opt.Tracer.OnStep(step, r, resid, obs.Signals)
 		}
 		maxChange, maxRate := 0.0, 0.0
 		for i := range r {
@@ -270,7 +347,7 @@ func (s *System) Run(r0 []float64, opt RunOptions) (*RunResult, error) {
 				maxRate = next[i]
 			}
 		}
-		r = next
+		r, next = next, r
 		res.Steps = step + 1
 		if opt.Record {
 			res.Trajectory = append(res.Trajectory, append([]float64(nil), r...))
@@ -291,6 +368,11 @@ func (s *System) Run(r0 []float64, opt RunOptions) (*RunResult, error) {
 		return nil, err
 	}
 	res.Final = final
+	finalResid := s.residualFrom(r, final)
+	res.Stats.observe(finalResid, res.Steps == 0)
+	res.Stats.FinalResidual = finalResid
+	res.Stats.Steps = res.Steps
+	res.Stats.WallTime = time.Since(start)
 	return res, nil
 }
 

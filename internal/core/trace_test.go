@@ -1,0 +1,272 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/nettheory/feedbackflow/internal/control"
+	"github.com/nettheory/feedbackflow/internal/obs"
+	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/signal"
+	"github.com/nettheory/feedbackflow/internal/topology"
+)
+
+// traceSystem builds the canonical single-gateway system used by the
+// tracing tests.
+func traceSystem(t *testing.T, n int) *System {
+	t.Helper()
+	net, err := topology.SingleGateway(n, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	law := control.AdditiveTSI{Eta: 0.1, BSS: 0.5}
+	sys, err := NewSystem(net, queueing.FairShare{}, signal.Individual, signal.Rational{}, control.Uniform(law, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// recordingTracer retains every callback (copying the borrowed
+// slices, per the StepTracer contract).
+type recordingTracer struct {
+	steps     []int
+	rs        [][]float64
+	residuals []float64
+	signals   [][]float64
+}
+
+func (rt *recordingTracer) OnStep(step int, r []float64, residual float64, signals []float64) {
+	rt.steps = append(rt.steps, step)
+	rt.rs = append(rt.rs, append([]float64(nil), r...))
+	rt.residuals = append(rt.residuals, residual)
+	rt.signals = append(rt.signals, append([]float64(nil), signals...))
+}
+
+func traceR0(n int) []float64 {
+	r0 := make([]float64, n)
+	for i := range r0 {
+		r0[i] = 0.02 * float64(i+1)
+	}
+	return r0
+}
+
+// TestRunTracerExactCallbacks asserts the tracer contract: exactly
+// Steps callbacks with step indices 0..Steps-1, each seeing the
+// pre-update state.
+func TestRunTracerExactCallbacks(t *testing.T) {
+	const n = 4
+	sys := traceSystem(t, n)
+	rt := &recordingTracer{}
+	res, err := sys.Run(traceR0(n), RunOptions{Tracer: rt, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("run did not converge")
+	}
+	if len(rt.steps) != res.Steps {
+		t.Fatalf("tracer saw %d callbacks for %d steps", len(rt.steps), res.Steps)
+	}
+	for k, s := range rt.steps {
+		if s != k {
+			t.Fatalf("callback %d has step index %d (want monotone 0,1,2,...)", k, s)
+		}
+	}
+	// The k'th callback's r must be the k'th trajectory entry (the
+	// state *before* update k), and its residual must match Residual
+	// at that state.
+	for k := range rt.steps {
+		for i := range rt.rs[k] {
+			if rt.rs[k][i] != res.Trajectory[k][i] {
+				t.Fatalf("callback %d saw r=%v, trajectory has %v", k, rt.rs[k], res.Trajectory[k])
+			}
+		}
+	}
+	wantResid, err := sys.Residual(res.Trajectory[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.residuals[0] != wantResid {
+		t.Fatalf("callback 0 residual = %v, Residual = %v", rt.residuals[0], wantResid)
+	}
+	if len(rt.signals[0]) != n {
+		t.Fatalf("callback 0 signals have length %d", len(rt.signals[0]))
+	}
+}
+
+// TestRunTracingBitIdentical asserts that attaching a tracer changes
+// nothing about the run's results, bit for bit.
+func TestRunTracingBitIdentical(t *testing.T) {
+	const n = 5
+	sys := traceSystem(t, n)
+	plain, err := sys.Run(traceR0(n), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := sys.Run(traceR0(n), RunOptions{Tracer: &recordingTracer{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Steps != traced.Steps || plain.Converged != traced.Converged {
+		t.Fatalf("steps/converged diverge: %d/%v vs %d/%v",
+			plain.Steps, plain.Converged, traced.Steps, traced.Converged)
+	}
+	for i := range plain.Rates {
+		if math.Float64bits(plain.Rates[i]) != math.Float64bits(traced.Rates[i]) {
+			t.Fatalf("rate %d diverges: %x vs %x", i,
+				math.Float64bits(plain.Rates[i]), math.Float64bits(traced.Rates[i]))
+		}
+	}
+	for i := range plain.Final.Signals {
+		if math.Float64bits(plain.Final.Signals[i]) != math.Float64bits(traced.Final.Signals[i]) {
+			t.Fatalf("signal %d diverges", i)
+		}
+	}
+}
+
+// TestRunStats sanity-checks the always-on residual telemetry.
+func TestRunStats(t *testing.T) {
+	const n = 4
+	sys := traceSystem(t, n)
+	res, err := sys.Run(traceR0(n), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Steps != res.Steps {
+		t.Fatalf("Stats.Steps = %d, want %d", st.Steps, res.Steps)
+	}
+	if st.WallTime <= 0 {
+		t.Fatalf("WallTime = %v", st.WallTime)
+	}
+	if st.MinResidual > st.MaxResidual {
+		t.Fatalf("min %v > max %v", st.MinResidual, st.MaxResidual)
+	}
+	if st.FinalResidual < st.MinResidual || st.FinalResidual > st.MaxResidual {
+		t.Fatalf("final %v outside [%v, %v]", st.FinalResidual, st.MinResidual, st.MaxResidual)
+	}
+	if st.InitialResidual < st.MinResidual || st.InitialResidual > st.MaxResidual {
+		t.Fatalf("initial %v outside [%v, %v]", st.InitialResidual, st.MinResidual, st.MaxResidual)
+	}
+	// A converged run must end much closer to steady state than it
+	// started.
+	if !res.Converged || st.FinalResidual >= st.InitialResidual {
+		t.Fatalf("converged=%v initial=%v final=%v", res.Converged, st.InitialResidual, st.FinalResidual)
+	}
+	wantFinal, err := sys.Residual(res.Rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FinalResidual != wantFinal {
+		t.Fatalf("FinalResidual = %v, Residual(final rates) = %v", st.FinalResidual, wantFinal)
+	}
+}
+
+// TestRunAsyncTracer asserts the tracer contract holds for the
+// asynchronous iteration too, and that tracing does not perturb it.
+func TestRunAsyncTracer(t *testing.T) {
+	const n = 4
+	sys := traceSystem(t, n)
+	rt := &recordingTracer{}
+	opt := RunOptions{MaxSteps: 4000, Tol: 1e-8}
+	tracedOpt := opt
+	tracedOpt.Tracer = rt
+	traced, err := sys.RunAsync(traceR0(n), tracedOpt, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := sys.RunAsync(traceR0(n), opt, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.steps) != traced.Steps {
+		t.Fatalf("tracer saw %d callbacks for %d async steps", len(rt.steps), traced.Steps)
+	}
+	for k, s := range rt.steps {
+		if s != k {
+			t.Fatalf("callback %d has step index %d", k, s)
+		}
+	}
+	if plain.Steps != traced.Steps || plain.Converged != traced.Converged {
+		t.Fatalf("tracing perturbed the async run: %d/%v vs %d/%v",
+			plain.Steps, plain.Converged, traced.Steps, traced.Converged)
+	}
+	for i := range plain.Rates {
+		if math.Float64bits(plain.Rates[i]) != math.Float64bits(traced.Rates[i]) {
+			t.Fatalf("async rate %d diverges", i)
+		}
+	}
+	if traced.Stats.WallTime <= 0 || traced.Stats.Steps != traced.Steps {
+		t.Fatalf("async stats not recorded: %+v", traced.Stats)
+	}
+}
+
+// TestWindowRunTracer asserts the window system honors the tracer and
+// records stats.
+func TestWindowRunTracer(t *testing.T) {
+	const n = 3
+	sys := traceSystem(t, n)
+	ws, err := NewWindowSystem(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := &recordingTracer{}
+	w0 := []float64{0.5, 0.7, 0.9}
+	res, err := ws.Run(w0, RunOptions{MaxSteps: 5000, Tol: 1e-9, Tracer: rt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.steps) != res.Steps {
+		t.Fatalf("tracer saw %d callbacks for %d window steps", len(rt.steps), res.Steps)
+	}
+	plain, err := ws.Run(w0, RunOptions{MaxSteps: 5000, Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Windows {
+		if math.Float64bits(plain.Windows[i]) != math.Float64bits(res.Windows[i]) {
+			t.Fatalf("window %d diverges with tracing", i)
+		}
+	}
+	if res.Stats.Steps != res.Steps || res.Stats.WallTime <= 0 {
+		t.Fatalf("window stats not recorded: %+v", res.Stats)
+	}
+}
+
+// TestRunReport round-trips the builder output at the core level; the
+// CLI-level round trip (through a file) lives in cmd/ffc.
+func TestRunReport(t *testing.T) {
+	const n = 4
+	sys := traceSystem(t, n)
+	res, err := sys.Run(traceR0(n), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Report(res, "trace-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != obs.RunReportSchema || rep.Scenario != "trace-test" {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if rep.Steps != res.Steps || rep.Converged != res.Converged {
+		t.Fatalf("report outcome: %+v", rep)
+	}
+	if rep.WallNS <= 0 {
+		t.Fatalf("report wall time: %d", rep.WallNS)
+	}
+	if len(rep.Gateways) != 1 {
+		t.Fatalf("report has %d gateways, want 1", len(rep.Gateways))
+	}
+	g := rep.Gateways[0]
+	if g.Connections != n || len(g.Queues) != n {
+		t.Fatalf("gateway report: %+v", g)
+	}
+	if float64(g.Utilization) <= 0 || float64(g.TotalQueue) <= 0 {
+		t.Fatalf("gateway stats not populated: %+v", g)
+	}
+	if _, err := sys.Report(&RunResult{}, "x"); err == nil {
+		t.Fatal("report of an incomplete run should error")
+	}
+}

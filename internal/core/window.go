@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // WindowSystem models genuine window-based flow control on top of the
@@ -117,11 +118,18 @@ type WindowRunResult struct {
 	Converged bool
 	// Final is the observation at the final rates.
 	Final *Observation
+	// Stats holds the run's telemetry. Residuals here are over window
+	// adjustments: max_i |f_i(w_i, b_i, d_i)| with truncated windows
+	// (w_i = 0, f_i < 0) contributing zero.
+	Stats RunStats
 }
 
 // Run iterates the synchronous window adjustment from w0 until the
-// windows converge or the step budget is exhausted.
+// windows converge or the step budget is exhausted. A RunOptions
+// Tracer receives one callback per window update with the pre-update
+// Little's-law rates and signals.
 func (ws *WindowSystem) Run(w0 []float64, opt RunOptions) (*WindowRunResult, error) {
+	start := time.Now()
 	opt = opt.withDefaults()
 	n := ws.sys.net.NumConnections()
 	if len(w0) != n {
@@ -137,9 +145,31 @@ func (ws *WindowSystem) Run(w0 []float64, opt RunOptions) (*WindowRunResult, err
 			return nil, err
 		}
 		r = rates
-		maxChange, maxW := 0.0, 0.0
+		maxChange, maxW, resid := 0.0, 0.0, 0.0
+		if opt.Tracer != nil {
+			// The residual must reflect the pre-update windows, so it
+			// is assembled in the same pass as the updates below; the
+			// tracer fires first with the pre-update rates, using a
+			// dedicated pre-pass over the laws.
+			for i := range w {
+				f := ws.sys.laws[i].Adjust(w[i], obs.Signals[i], obs.Delays[i])
+				if w[i] == 0 && f < 0 {
+					continue
+				}
+				if a := math.Abs(f); a > resid {
+					resid = a
+				}
+			}
+			opt.Tracer.OnStep(step, r, resid, obs.Signals)
+		}
+		resid = 0
 		for i := range w {
 			f := ws.sys.laws[i].Adjust(w[i], obs.Signals[i], obs.Delays[i])
+			if !(w[i] == 0 && f < 0) {
+				if a := math.Abs(f); a > resid {
+					resid = a
+				}
+			}
 			next := w[i] + f
 			if next < 0 || math.IsNaN(next) {
 				next = 0
@@ -152,6 +182,7 @@ func (ws *WindowSystem) Run(w0 []float64, opt RunOptions) (*WindowRunResult, err
 				maxW = w[i]
 			}
 		}
+		res.Stats.observe(resid, step == 0)
 		res.Steps = step + 1
 		if maxChange <= opt.Tol*(1+maxW) {
 			calm++
@@ -170,5 +201,19 @@ func (ws *WindowSystem) Run(w0 []float64, opt RunOptions) (*WindowRunResult, err
 	res.Windows = w
 	res.Rates = rates
 	res.Final = obs
+	finalResid := 0.0
+	for i := range w {
+		f := ws.sys.laws[i].Adjust(w[i], obs.Signals[i], obs.Delays[i])
+		if w[i] == 0 && f < 0 {
+			continue
+		}
+		if a := math.Abs(f); a > finalResid {
+			finalResid = a
+		}
+	}
+	res.Stats.observe(finalResid, res.Steps == 0)
+	res.Stats.FinalResidual = finalResid
+	res.Stats.Steps = res.Steps
+	res.Stats.WallTime = time.Since(start)
 	return res, nil
 }

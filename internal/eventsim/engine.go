@@ -23,10 +23,18 @@ import (
 
 // Engine is a discrete-event scheduler: a time-ordered queue of
 // callbacks. Events scheduled at equal times fire in scheduling order.
+//
+// The engine counts its own traffic — every scheduled, fired, and
+// cancelled event — so any simulation built on it can reconcile its
+// event accounting (see Stats).
 type Engine struct {
 	now   float64
 	queue eventQueue
 	seq   uint64
+
+	scheduled uint64
+	fired     uint64
+	cancelled uint64
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -35,14 +43,43 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current simulation time.
 func (e *Engine) Now() float64 { return e.now }
 
+// EngineStats is the engine's event accounting. The invariant
+// Scheduled = Fired + Cancelled + Pending holds at every quiescent
+// point (i.e. whenever no event callback is mid-flight), because each
+// scheduled event ends in exactly one of the three terminal states.
+type EngineStats struct {
+	// Scheduled counts successful Schedule calls.
+	Scheduled uint64 `json:"scheduled"`
+	// Fired counts events whose callbacks ran.
+	Fired uint64 `json:"fired"`
+	// Cancelled counts events removed by Handle.Cancel before firing.
+	Cancelled uint64 `json:"cancelled"`
+	// Pending counts live events still queued.
+	Pending uint64 `json:"pending"`
+}
+
+// Stats returns the engine's current event accounting.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Scheduled: e.scheduled,
+		Fired:     e.fired,
+		Cancelled: e.cancelled,
+		Pending:   uint64(e.Pending()),
+	}
+}
+
 // Handle identifies a scheduled event and allows cancellation.
-type Handle struct{ item *eventItem }
+type Handle struct {
+	item *eventItem
+	eng  *Engine
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired
 // or already-cancelled event is a no-op.
 func (h Handle) Cancel() {
-	if h.item != nil {
+	if h.item != nil && h.item.fn != nil {
 		h.item.fn = nil
+		h.eng.cancelled++
 	}
 }
 
@@ -57,8 +94,9 @@ func (e *Engine) Schedule(at float64, fn func()) (Handle, error) {
 	}
 	it := &eventItem{at: at, seq: e.seq, fn: fn}
 	e.seq++
+	e.scheduled++
 	heap.Push(&e.queue, it)
-	return Handle{item: it}, nil
+	return Handle{item: it, eng: e}, nil
 }
 
 // Step fires the next event, advancing the clock. It returns false
@@ -72,6 +110,7 @@ func (e *Engine) Step() bool {
 		e.now = it.at
 		fn := it.fn
 		it.fn = nil
+		e.fired++
 		fn()
 		return true
 	}

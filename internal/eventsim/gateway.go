@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"github.com/nettheory/feedbackflow/internal/obs"
 	"github.com/nettheory/feedbackflow/internal/stats"
 )
 
@@ -125,6 +126,29 @@ type GatewayResult struct {
 	// batch-independence assumption (e.g. with
 	// stats.Autocorrelation).
 	BatchQueueMeans [][]float64
+	// Metrics is the run's simulator telemetry: engine event
+	// accounting, packet counts, preemptions, and the sampled
+	// total-queue-depth distribution.
+	Metrics SimMetrics
+}
+
+// SimMetrics is the instrumentation a packet-level simulation records
+// about itself, over the whole run (warmup included) unless noted.
+type SimMetrics struct {
+	// Events is the discrete-event engine's accounting; at the end of
+	// a run Scheduled = Fired + Cancelled + Pending.
+	Events EngineStats `json:"events"`
+	// Arrivals counts packets admitted to the gateway.
+	Arrivals int64 `json:"arrivals"`
+	// Departures counts service completions.
+	Departures int64 `json:"departures"`
+	// Preemptions counts service interruptions (preemptive Fair Share
+	// only; zero for the other disciplines).
+	Preemptions int64 `json:"preemptions"`
+	// QueueDepth is the distribution of the total number in system as
+	// seen by arriving packets during the measurement interval (a
+	// PASTA sample of the queue-depth process).
+	QueueDepth obs.HistogramSnapshot `json:"queue_depth"`
 }
 
 // packet is one simulated packet. arrived is the arrival time at the
@@ -151,6 +175,10 @@ type gatewaySim struct {
 	served   []int64
 	sojourn  []float64 // summed sojourn of completed packets
 	measure  bool
+
+	arrivals   int64
+	departures int64
+	qdepth     *obs.Histogram // total-in-system at arrival instants
 
 	// On-off source state (Burstiness > 1).
 	srcOn      []bool
@@ -203,6 +231,7 @@ func SimulateGateway(cfg GatewayConfig) (*GatewayResult, error) {
 		acc:      make([]*stats.TimeAverage, n),
 		served:   make([]int64, n),
 		sojourn:  make([]float64, n),
+		qdepth:   obs.NewHistogram(1, 1e4, 4),
 	}
 	for i := range s.acc {
 		s.acc[i] = stats.NewTimeAverage(0)
@@ -305,6 +334,13 @@ func SimulateGateway(cfg GatewayConfig) (*GatewayResult, error) {
 		for k, dt := range s.distTime {
 			res.TotalQueueDist[k] = dt / cfg.Duration
 		}
+	}
+	res.Metrics = SimMetrics{
+		Events:      s.eng.Stats(),
+		Arrivals:    s.arrivals,
+		Departures:  s.departures,
+		Preemptions: s.server.preemptions,
+		QueueDepth:  s.qdepth.Snapshot(),
 	}
 	return res, nil
 }
@@ -427,6 +463,12 @@ func (s *gatewaySim) scheduleArrival(i int) {
 func (s *gatewaySim) arrive(i int) {
 	now := s.eng.Now()
 	s.snapshot(now)
+	s.arrivals++
+	if s.measure {
+		// By PASTA the depth seen by a Poisson arrival (before it
+		// joins) is distributed as the time-stationary depth.
+		s.qdepth.Observe(float64(s.total))
+	}
 	p := &packet{conn: i, class: s.classFor(i), arrived: now}
 	s.inSystem[i]++
 	s.total++
@@ -439,6 +481,7 @@ func (s *gatewaySim) arrive(i int) {
 func (s *gatewaySim) depart(p *packet) {
 	now := s.eng.Now()
 	s.snapshot(now)
+	s.departures++
 	s.inSystem[p.conn]--
 	s.total--
 	if s.measure {

@@ -1,0 +1,155 @@
+package eventsim
+
+import (
+	"testing"
+)
+
+// TestEngineStatsReconcile asserts the engine's accounting invariant
+// scheduled = fired + cancelled + pending directly on a hand-built
+// event pattern.
+func TestEngineStatsReconcile(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	var handles []Handle
+	for i := 0; i < 10; i++ {
+		h, err := e.Schedule(float64(i+1), func() { fired++ })
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	handles[3].Cancel()
+	handles[7].Cancel()
+	handles[7].Cancel() // double-cancel is a no-op and must not double-count
+	if err := e.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Scheduled != 10 {
+		t.Fatalf("scheduled = %d, want 10", st.Scheduled)
+	}
+	if st.Cancelled != 2 {
+		t.Fatalf("cancelled = %d, want 2", st.Cancelled)
+	}
+	// Events at times 1..5 minus the cancelled one at 4 fired.
+	if st.Fired != 4 || fired != 4 {
+		t.Fatalf("fired = %d (callbacks %d), want 4", st.Fired, fired)
+	}
+	if st.Scheduled != st.Fired+st.Cancelled+st.Pending {
+		t.Fatalf("reconciliation failed: %+v", st)
+	}
+	// Cancelling an already-fired event must not count either.
+	handles[0].Cancel()
+	if got := e.Stats().Cancelled; got != 2 {
+		t.Fatalf("cancel after fire counted: %d", got)
+	}
+}
+
+// TestGatewayMetricsReconcile runs real simulations across all four
+// disciplines and checks that the recorded metrics reconcile: engine
+// accounting balances, packet conservation holds, and preemptions
+// appear exactly where the discipline allows them.
+func TestGatewayMetricsReconcile(t *testing.T) {
+	for _, kind := range []DisciplineKind{SimFIFO, SimFairShare, SimFairQueueing, SimFairShareNonPreemptive} {
+		res, err := SimulateGateway(GatewayConfig{
+			Rates:      []float64{0.2, 0.3, 0.35},
+			Mu:         1,
+			Discipline: kind,
+			Seed:       42,
+			Duration:   4000,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		m := res.Metrics
+		if m.Events.Scheduled != m.Events.Fired+m.Events.Cancelled+m.Events.Pending {
+			t.Errorf("%v: event accounting does not reconcile: %+v", kind, m.Events)
+		}
+		if m.Events.Scheduled == 0 || m.Events.Fired == 0 {
+			t.Errorf("%v: no events counted: %+v", kind, m.Events)
+		}
+		if m.Arrivals <= 0 || m.Departures <= 0 {
+			t.Errorf("%v: packet counts missing: %+v", kind, m)
+		}
+		// Packets still in the system at the end are the only
+		// arrival/departure imbalance.
+		if m.Arrivals < m.Departures {
+			t.Errorf("%v: more departures (%d) than arrivals (%d)", kind, m.Departures, m.Arrivals)
+		}
+		served := int64(0)
+		for _, s := range res.Served {
+			served += s
+		}
+		if m.Departures < served {
+			t.Errorf("%v: departures %d < measured served %d", kind, m.Departures, served)
+		}
+		switch kind {
+		case SimFairShare:
+			if m.Preemptions == 0 {
+				t.Errorf("FairShare with heterogeneous rates recorded no preemptions")
+			}
+		default:
+			if m.Preemptions != 0 {
+				t.Errorf("%v: recorded %d preemptions, want 0", kind, m.Preemptions)
+			}
+		}
+		if m.QueueDepth.Count == 0 {
+			t.Errorf("%v: queue-depth histogram is empty", kind)
+		}
+		// Arriving packets during measurement sampled the depth; there
+		// are at least as many arrivals overall as samples.
+		if m.QueueDepth.Count > m.Arrivals {
+			t.Errorf("%v: %d depth samples for %d arrivals", kind, m.QueueDepth.Count, m.Arrivals)
+		}
+	}
+}
+
+// TestGatewayMetricsQueueDepthMean cross-checks the PASTA depth
+// sample's mean against the time-average total queue: for Poisson
+// arrivals the two estimate the same quantity.
+func TestGatewayMetricsQueueDepthMean(t *testing.T) {
+	res, err := SimulateGateway(GatewayConfig{
+		Rates:      []float64{0.3, 0.3},
+		Mu:         1,
+		Discipline: SimFIFO,
+		Seed:       7,
+		Duration:   30000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(res.Metrics.QueueDepth.Mean)
+	want := res.TotalQueue
+	if diff := got - want; diff > 0.15 || diff < -0.15 {
+		t.Fatalf("PASTA mean depth %v vs time-average %v", got, want)
+	}
+}
+
+// TestNetworkMetrics checks the multi-gateway simulator's accounting.
+func TestNetworkMetrics(t *testing.T) {
+	res, err := SimulateNetwork(NetworkConfig{
+		Gateways:   []NetworkGateway{{Mu: 1}, {Mu: 1}},
+		Routes:     [][]int{{0, 1}, {0}, {1}},
+		Rates:      []float64{0.2, 0.3, 0.3},
+		Discipline: SimFairShare,
+		Seed:       3,
+		Duration:   4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events.Scheduled != res.Events.Fired+res.Events.Cancelled+res.Events.Pending {
+		t.Fatalf("network event accounting does not reconcile: %+v", res.Events)
+	}
+	if len(res.Preemptions) != 2 {
+		t.Fatalf("preemptions per gateway: %v", res.Preemptions)
+	}
+	total := res.Preemptions[0] + res.Preemptions[1]
+	if total == 0 {
+		t.Fatal("Fair Share network with mixed rates recorded no preemptions")
+	}
+	if res.Events.Cancelled < uint64(total) {
+		t.Fatalf("each preemption cancels a service completion: cancelled %d < preemptions %d",
+			res.Events.Cancelled, total)
+	}
+}

@@ -63,6 +63,10 @@ type NetworkResult struct {
 	MeanEndToEndDelay []float64
 	// MeasuredTime is the measurement interval length.
 	MeasuredTime float64
+	// Events is the shared engine's event accounting for the whole run.
+	Events EngineStats
+	// Preemptions[a] counts service interruptions at gateway a.
+	Preemptions []int64
 }
 
 type networkSim struct {
@@ -211,6 +215,11 @@ func SimulateNetwork(cfg NetworkConfig) (*NetworkResult, error) {
 		} else {
 			res.MeanEndToEndDelay[i] = math.NaN()
 		}
+	}
+	res.Events = s.eng.Stats()
+	res.Preemptions = make([]int64, nGw)
+	for a, srv := range s.servers {
+		res.Preemptions[a] = srv.preemptions
 	}
 	return res, nil
 }

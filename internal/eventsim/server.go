@@ -39,6 +39,8 @@ type prioServer struct {
 	serving *packet
 	svcDone Handle
 	lastRR  int // class served most recently under round robin
+	// preemptions counts service interruptions (preempt=true only).
+	preemptions int64
 	// onDeparture is invoked after a packet finishes service, with the
 	// departed packet. The server has already moved on to the next
 	// packet (if any) when the callback runs.
@@ -79,6 +81,7 @@ func (s *prioServer) admit(p *packet) {
 	case s.preempt && p.class < s.serving.class:
 		// Preempt: the lower-priority packet returns to the head of
 		// its class queue.
+		s.preemptions++
 		s.svcDone.Cancel()
 		q := s.queues[s.serving.class]
 		s.queues[s.serving.class] = append([]*packet{s.serving}, q...)

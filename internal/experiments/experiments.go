@@ -34,8 +34,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Result is the outcome of one experiment.
@@ -53,6 +55,14 @@ type Result struct {
 	Pass bool
 	// Notes records the checked predictions and their outcomes.
 	Notes []string
+	// Elapsed is the wall-clock time the experiment took; it is filled
+	// in by the registry's instrumentation wrapper, not by the
+	// experiments themselves.
+	Elapsed time.Duration
+	// AllocBytes is the total heap allocation the experiment performed
+	// (a cumulative-throughput measure, not peak residency), from the
+	// same wrapper.
+	AllocBytes uint64
 }
 
 // note appends a formatted check note, marking it as the overall
@@ -95,9 +105,26 @@ type Spec struct {
 
 var registry = map[string]Spec{}
 
+// register adds an experiment to the registry, wrapping its Run with
+// the instrumentation every experiment gets for free: wall-time and
+// allocation capture into the Result. The wrapper never alters the
+// exhibit text or the checks, so reproductions are unaffected.
 func register(s Spec) {
 	if _, dup := registry[s.ID]; dup {
 		panic(fmt.Sprintf("experiments: duplicate id %q", s.ID))
+	}
+	run := s.Run
+	s.Run = func() (*Result, error) {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		res, err := run()
+		if res != nil {
+			res.Elapsed = time.Since(start)
+			runtime.ReadMemStats(&m1)
+			res.AllocBytes = m1.TotalAlloc - m0.TotalAlloc
+		}
+		return res, err
 	}
 	registry[s.ID] = s
 }

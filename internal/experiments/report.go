@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReportSchema identifies the experiment-report JSON schema version.
+const ReportSchema = "feedbackflow/experiment-report/v1"
+
+// Report is the machine-readable form of one experiment Result: the
+// identity and verdict plus the telemetry captured by the registry
+// wrapper, with the free-text check notes parsed back into structured
+// (ok, text) pairs. The rendered exhibit text is deliberately omitted
+// — reports are for dashboards and regression tracking, not for
+// re-reading tables.
+type Report struct {
+	Schema     string  `json:"schema"`
+	ID         string  `json:"id"`
+	Title      string  `json:"title"`
+	Source     string  `json:"source"`
+	Pass       bool    `json:"pass"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+	Checks     []Check `json:"checks"`
+}
+
+// Check is one reproduction check and its outcome.
+type Check struct {
+	OK   bool   `json:"ok"`
+	Text string `json:"text"`
+}
+
+// NewReport converts a Result into its report form.
+func NewReport(r *Result) *Report {
+	rep := &Report{
+		Schema:     ReportSchema,
+		ID:         r.ID,
+		Title:      r.Title,
+		Source:     r.Source,
+		Pass:       r.Pass,
+		ElapsedMS:  float64(r.Elapsed.Nanoseconds()) / 1e6,
+		AllocBytes: r.AllocBytes,
+	}
+	for _, n := range r.Notes {
+		c := Check{Text: n}
+		// Notes are written by Result.note as "[ok] ..." / "[FAIL] ...".
+		if rest, found := strings.CutPrefix(n, "[ok] "); found {
+			c.OK, c.Text = true, rest
+		} else if rest, found := strings.CutPrefix(n, "[FAIL] "); found {
+			c.OK, c.Text = false, rest
+		}
+		rep.Checks = append(rep.Checks, c)
+	}
+	return rep
+}
+
+// WriteReports encodes one report per result as an indented JSON
+// array — the payload behind fftables -metrics-json.
+func WriteReports(w io.Writer, results []*Result) error {
+	reports := make([]*Report, 0, len(results))
+	for _, r := range results {
+		if r == nil {
+			return fmt.Errorf("experiments: nil result")
+		}
+		reports = append(reports, NewReport(r))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}

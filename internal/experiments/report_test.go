@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRegistryInstrumentation asserts every registered experiment's
+// Run is wrapped: results come back with wall time (and the wrapper
+// does not disturb the result's identity fields).
+func TestRegistryInstrumentation(t *testing.T) {
+	spec, ok := Lookup("E1")
+	if !ok {
+		t.Fatal("E1 not registered")
+	}
+	res, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "E1" {
+		t.Fatalf("wrapper disturbed ID: %q", res.ID)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatalf("Elapsed not captured: %v", res.Elapsed)
+	}
+	if res.AllocBytes == 0 {
+		t.Fatalf("AllocBytes not captured")
+	}
+}
+
+// TestReportRoundTrip encodes a result's report and decodes it back.
+func TestReportRoundTrip(t *testing.T) {
+	spec, ok := Lookup("E1")
+	if !ok {
+		t.Fatal("E1 not registered")
+	}
+	res, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteReports(&buf, []*Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	var out []Report
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("reports do not decode: %v\n%s", err, buf.String())
+	}
+	if len(out) != 1 {
+		t.Fatalf("got %d reports", len(out))
+	}
+	rep := out[0]
+	if rep.Schema != ReportSchema || rep.ID != "E1" || rep.Title != res.Title || rep.Source != res.Source {
+		t.Fatalf("report identity mangled: %+v", rep)
+	}
+	if rep.Pass != res.Pass {
+		t.Fatalf("pass = %v, want %v", rep.Pass, res.Pass)
+	}
+	if rep.ElapsedMS <= 0 {
+		t.Fatalf("elapsed_ms = %v", rep.ElapsedMS)
+	}
+	if len(rep.Checks) != len(res.Notes) {
+		t.Fatalf("%d checks for %d notes", len(rep.Checks), len(res.Notes))
+	}
+	for i, c := range rep.Checks {
+		if c.Text == "" {
+			t.Fatalf("check %d has empty text", i)
+		}
+	}
+}
+
+// TestNewReportParsesNotes checks the "[ok]"/"[FAIL]" note parsing.
+func TestNewReportParsesNotes(t *testing.T) {
+	r := &Result{ID: "X1", Pass: false, Notes: []string{
+		"[ok] holds",
+		"[FAIL] broke",
+		"free-form note",
+	}}
+	rep := NewReport(r)
+	want := []Check{{true, "holds"}, {false, "broke"}, {false, "free-form note"}}
+	if len(rep.Checks) != len(want) {
+		t.Fatalf("checks: %+v", rep.Checks)
+	}
+	for i := range want {
+		if rep.Checks[i] != want[i] {
+			t.Errorf("check %d = %+v, want %+v", i, rep.Checks[i], want[i])
+		}
+	}
+}

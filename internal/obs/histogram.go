@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram counts observations in fixed log-spaced buckets. The
+// layout is chosen at construction and never changes, so Observe is
+// allocation-free: values land in [lo, hi) buckets whose upper bounds
+// grow geometrically with perDecade buckets per factor of ten, with
+// one underflow bucket below lo (which also absorbs zero and negative
+// values) and one overflow bucket at hi and above.
+//
+// The aggregate sum, minimum, and maximum are tracked exactly, so the
+// mean is not subject to bucketing error; quantiles are estimated to
+// bucket resolution (a relative error of 10^(1/perDecade)).
+type Histogram struct {
+	bounds  []float64 // upper bounds of buckets 0..len-1; last bucket is unbounded
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+}
+
+// NewHistogram returns a histogram spanning [lo, hi) with perDecade
+// log-spaced buckets per factor of ten. lo and hi must be positive
+// with lo < hi; perDecade must be positive. Out-of-range arguments are
+// clamped to a minimal sane layout rather than rejected, because
+// histograms are constructed in instrumentation paths where an error
+// return would be unusable.
+func NewHistogram(lo, hi float64, perDecade int) *Histogram {
+	if !(lo > 0) {
+		lo = 1e-9
+	}
+	if !(hi > lo) {
+		hi = lo * 10
+	}
+	if perDecade <= 0 {
+		perDecade = 1
+	}
+	// bounds[0] = lo is the underflow bucket's upper bound; subsequent
+	// bounds multiply by 10^(1/perDecade) until hi is reached.
+	ratio := math.Pow(10, 1/float64(perDecade))
+	bounds := []float64{lo}
+	for b := lo; b < hi; {
+		b *= ratio
+		if b > hi {
+			b = hi
+		}
+		bounds = append(bounds, b)
+	}
+	h := &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one value. NaN observations are dropped.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.counts[h.bucket(v)].Add(1)
+	h.count.Add(1)
+	casAdd(&h.sumBits, v)
+	casMin(&h.minBits, v)
+	casMax(&h.maxBits, v)
+}
+
+// bucket returns the index of the bucket containing v: bucket i holds
+// values < bounds[i] (and >= bounds[i-1] for i > 0); the final bucket
+// holds values >= bounds[len-1].
+func (h *Histogram) bucket(v float64) int {
+	return sort.SearchFloat64s(h.bounds, math.Nextafter(v, math.Inf(1)))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Bucket is one non-empty histogram bucket in a snapshot: Count
+// observations with values < Le (and >= the previous bucket's Le).
+// The overflow bucket has Le = +Inf, rendered as the string "+Inf" in
+// JSON (see Float).
+type Bucket struct {
+	Le    Float `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram in a
+// JSON-marshalable form. Only non-empty buckets are retained.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     Float    `json:"sum"`
+	Min     Float    `json:"min,omitempty"` // zero value when Count == 0
+	Max     Float    `json:"max,omitempty"`
+	Mean    Float    `json:"mean,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the current state. Concurrent Observe calls may or
+// may not be included; the snapshot is internally consistent enough
+// for reporting (bucket counts are copied one atomic load at a time).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: Float(math.Float64frombits(h.sumBits.Load()))}
+	if s.Count == 0 {
+		return s
+	}
+	s.Min = Float(math.Float64frombits(h.minBits.Load()))
+	s.Max = Float(math.Float64frombits(h.maxBits.Load()))
+	s.Mean = s.Sum / Float(s.Count)
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		s.Buckets = append(s.Buckets, Bucket{Le: Float(le), Count: c})
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket
+// counts, returning the upper bound of the bucket in which the
+// quantile falls (so the estimate is conservative to one bucket's
+// resolution), clamped to the exactly-tracked observed maximum. It
+// returns NaN for an empty snapshot or q outside [0, 1].
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			return math.Min(float64(b.Le), float64(s.Max))
+		}
+	}
+	return float64(s.Max)
+}
+
+// casAdd atomically adds v to the float64 stored as bits in b.
+func casAdd(b *atomic.Uint64, v float64) {
+	for {
+		old := b.Load()
+		niu := math.Float64bits(math.Float64frombits(old) + v)
+		if b.CompareAndSwap(old, niu) {
+			return
+		}
+	}
+}
+
+func casMin(b *atomic.Uint64, v float64) {
+	for {
+		old := b.Load()
+		if v >= math.Float64frombits(old) {
+			return
+		}
+		if b.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func casMax(b *atomic.Uint64, v float64) {
+	for {
+		old := b.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if b.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram(1, 1000, 1) // bounds 1, 10, 100, 1000
+	for _, v := range []float64{0, 0.5, 1, 5, 10, 99, 1000, 5000} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	s := h.Snapshot()
+	if s.Count != 8 {
+		t.Fatalf("snapshot count = %d", s.Count)
+	}
+	if float64(s.Min) != 0 || float64(s.Max) != 5000 {
+		t.Fatalf("min/max = %v/%v, want 0/5000", s.Min, s.Max)
+	}
+	// Reconstruct per-bucket counts: <1: {0, 0.5}; <10: {1, 5};
+	// <100: {10, 99}; <1000: {}; overflow: {1000, 5000}.
+	want := map[float64]int64{1: 2, 10: 2, 100: 2, math.Inf(1): 2}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v", s.Buckets)
+	}
+	total := int64(0)
+	for _, b := range s.Buckets {
+		if want[float64(b.Le)] != b.Count {
+			t.Errorf("bucket le=%v count=%d, want %d", b.Le, b.Count, want[float64(b.Le)])
+		}
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", total, s.Count)
+	}
+}
+
+func TestHistogramMeanExact(t *testing.T) {
+	h := NewHistogram(0.1, 10, 4)
+	sum := 0.0
+	for i := 1; i <= 100; i++ {
+		v := float64(i) / 10
+		h.Observe(v)
+		sum += v
+	}
+	s := h.Snapshot()
+	if math.Abs(float64(s.Mean)-sum/100) > 1e-12 {
+		t.Fatalf("mean = %v, want %v (tracked exactly, not from buckets)", s.Mean, sum/100)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1, 1e4, 8)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	// Bucket resolution is 10^(1/8) ≈ 1.33; the estimate returns the
+	// bucket upper bound, so it must be within one ratio above truth.
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		truth := q * 1000
+		got := s.Quantile(q)
+		if got < truth || got > truth*1.34 {
+			t.Errorf("q%.2f = %v, want in [%v, %v]", q, got, truth, truth*1.34)
+		}
+	}
+	if got := s.Quantile(1); got != 1000 {
+		t.Errorf("q1 = %v, want exact max 1000", got)
+	}
+	if !math.IsNaN(s.Quantile(-0.1)) || !math.IsNaN(s.Quantile(1.1)) {
+		t.Error("out-of-range quantile should be NaN")
+	}
+	if !math.IsNaN((HistogramSnapshot{}).Quantile(0.5)) {
+		t.Error("empty snapshot quantile should be NaN")
+	}
+}
+
+func TestHistogramDegenerateLayout(t *testing.T) {
+	// Hostile construction arguments are clamped, not rejected.
+	h := NewHistogram(-1, -2, 0)
+	h.Observe(1)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestHistogramObserveAllocs(t *testing.T) {
+	h := NewHistogram(1, 1e6, 4)
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(42) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v per call, want 0", allocs)
+	}
+}

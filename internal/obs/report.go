@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// RunReportSchema identifies the run-report JSON schema version.
+const RunReportSchema = "feedbackflow/run-report/v1"
+
+// Float is a float64 whose JSON encoding round-trips non-finite
+// values: finite numbers marshal as JSON numbers, while NaN and ±Inf
+// marshal as the strings "NaN", "+Inf", and "-Inf" (plain
+// encoding/json rejects them). The model legitimately produces
+// infinities — overloaded gateways have infinite queues and delays —
+// so run reports must survive them.
+type Float float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Float) UnmarshalJSON(data []byte) error {
+	s := string(data)
+	switch s {
+	case `"NaN"`:
+		*f = Float(math.NaN())
+		return nil
+	case `"+Inf"`, `"Inf"`:
+		*f = Float(math.Inf(1))
+		return nil
+	case `"-Inf"`:
+		*f = Float(math.Inf(-1))
+		return nil
+	case "null":
+		return nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("obs: invalid Float %s: %v", s, err)
+	}
+	*f = Float(v)
+	return nil
+}
+
+// Floats converts a []float64 for embedding in a report.
+func Floats(xs []float64) []Float {
+	if xs == nil {
+		return nil
+	}
+	out := make([]Float, len(xs))
+	for i, x := range xs {
+		out[i] = Float(x)
+	}
+	return out
+}
+
+// RunReport is the machine-readable report of one iterative run,
+// written by ffc -metrics-json. Every field decodes back losslessly
+// (see Float for the non-finite convention).
+type RunReport struct {
+	Schema   string `json:"schema"`
+	Scenario string `json:"scenario,omitempty"`
+
+	// Iteration outcome.
+	Steps     int   `json:"steps"`
+	Converged bool  `json:"converged"`
+	WallNS    int64 `json:"wall_ns"`
+
+	// Residual trajectory summary: the steady-state distance max|f_i|
+	// at the initial state, at the final state, and its extremes over
+	// all visited states.
+	InitialResidual Float `json:"initial_residual"`
+	FinalResidual   Float `json:"final_residual"`
+	MinResidual     Float `json:"min_residual"`
+	MaxResidual     Float `json:"max_residual"`
+
+	// Final state.
+	Rates   []Float `json:"rates"`
+	Signals []Float `json:"signals"`
+	Delays  []Float `json:"delays"`
+
+	// Per-gateway queue statistics at the final state.
+	Gateways []GatewayReport `json:"gateways"`
+}
+
+// GatewayReport summarizes one gateway's state in a RunReport.
+type GatewayReport struct {
+	// Gateway is the gateway index in the topology.
+	Gateway int `json:"gateway"`
+	// Connections is the number of connections crossing it.
+	Connections int `json:"connections"`
+	// Utilization is the offered load Σ r_i / μ.
+	Utilization Float `json:"utilization"`
+	// TotalQueue is the summed per-connection average queue (+Inf when
+	// overloaded).
+	TotalQueue Float `json:"total_queue"`
+	// MaxQueue is the largest per-connection average queue.
+	MaxQueue Float `json:"max_queue"`
+	// Queues lists the per-connection average queues, parallel to the
+	// topology's Connections(gateway) order.
+	Queues []Float `json:"queues"`
+}

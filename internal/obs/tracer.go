@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// StepTracer receives one callback per iteration step of a run. The
+// contract, honored by core.Run, core.RunAsync, and the window system:
+//
+//   - OnStep is called exactly once per applied update, with step
+//     indices 0, 1, 2, ... strictly increasing;
+//   - r and signals describe the state *before* the update at that
+//     step, and residual is max_i |f_i| at that state (truncated
+//     connections contributing zero, as in core.Residual);
+//   - the slices are borrowed: they may be reused by the caller after
+//     OnStep returns, so a tracer that retains them must copy;
+//   - tracing must not change results — implementations must not
+//     mutate the slices.
+type StepTracer interface {
+	OnStep(step int, r []float64, residual float64, signals []float64)
+}
+
+// StepFunc adapts a plain function to the StepTracer interface.
+type StepFunc func(step int, r []float64, residual float64, signals []float64)
+
+// OnStep implements StepTracer.
+func (f StepFunc) OnStep(step int, r []float64, residual float64, signals []float64) {
+	f(step, r, residual, signals)
+}
+
+// MultiTracer fans each callback out to every element in order.
+type MultiTracer []StepTracer
+
+// OnStep implements StepTracer.
+func (m MultiTracer) OnStep(step int, r []float64, residual float64, signals []float64) {
+	for _, t := range m {
+		t.OnStep(step, r, residual, signals)
+	}
+}
+
+// TSVTracer streams one tab-separated line per traced step:
+//
+//	step  residual  r0 ... r(n-1)  b0 ... b(n-1)
+//
+// with a leading "# step residual r[n] b[n]" comment line before the
+// first record. It buffers internally; call Flush when the run ends.
+// Write errors are sticky and reported by Flush, so the hot path never
+// branches on I/O failure.
+type TSVTracer struct {
+	w     *bufio.Writer
+	every int
+	buf   []byte
+	wrote bool
+	err   error
+}
+
+// NewTSVTracer traces to w, emitting every every'th step (every <= 1
+// means every step).
+func NewTSVTracer(w io.Writer, every int) *TSVTracer {
+	if every < 1 {
+		every = 1
+	}
+	return &TSVTracer{w: bufio.NewWriter(w), every: every}
+}
+
+// OnStep implements StepTracer.
+func (t *TSVTracer) OnStep(step int, r []float64, residual float64, signals []float64) {
+	if t.err != nil || step%t.every != 0 {
+		return
+	}
+	if !t.wrote {
+		t.wrote = true
+		t.buf = append(t.buf[:0], "# step\tresidual\tr["...)
+		t.buf = strconv.AppendInt(t.buf, int64(len(r)), 10)
+		t.buf = append(t.buf, "]\tb["...)
+		t.buf = strconv.AppendInt(t.buf, int64(len(signals)), 10)
+		t.buf = append(t.buf, "]\n"...)
+		if _, err := t.w.Write(t.buf); err != nil {
+			t.err = err
+			return
+		}
+	}
+	t.buf = strconv.AppendInt(t.buf[:0], int64(step), 10)
+	t.buf = append(t.buf, '\t')
+	t.buf = strconv.AppendFloat(t.buf, residual, 'g', 12, 64)
+	for _, v := range r {
+		t.buf = append(t.buf, '\t')
+		t.buf = strconv.AppendFloat(t.buf, v, 'g', 12, 64)
+	}
+	for _, v := range signals {
+		t.buf = append(t.buf, '\t')
+		t.buf = strconv.AppendFloat(t.buf, v, 'g', 12, 64)
+	}
+	t.buf = append(t.buf, '\n')
+	if _, err := t.w.Write(t.buf); err != nil {
+		t.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first write error
+// encountered, if any.
+func (t *TSVTracer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// CountingTracer counts callbacks and records the last step index —
+// the cheapest possible tracer, useful in tests and as a liveness
+// probe.
+type CountingTracer struct {
+	// Calls is the number of OnStep invocations.
+	Calls int
+	// LastStep is the step index of the most recent invocation (-1
+	// before the first).
+	LastStep int
+	// LastResidual is the residual of the most recent invocation.
+	LastResidual float64
+}
+
+// NewCountingTracer returns a tracer with LastStep = -1.
+func NewCountingTracer() *CountingTracer { return &CountingTracer{LastStep: -1} }
+
+// OnStep implements StepTracer.
+func (c *CountingTracer) OnStep(step int, r []float64, residual float64, signals []float64) {
+	c.Calls++
+	c.LastStep = step
+	c.LastResidual = residual
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTSVTracer(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTSVTracer(&sb, 1)
+	tr.OnStep(0, []float64{0.25, 0.5}, 0.125, []float64{0.1, 0.2})
+	tr.OnStep(1, []float64{0.3, 0.5}, 0.0625, []float64{0.15, 0.2})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines: %q", len(lines), sb.String())
+	}
+	if !strings.HasPrefix(lines[0], "# step\tresidual") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	fields := strings.Split(lines[1], "\t")
+	if len(fields) != 2+2+2 {
+		t.Fatalf("record has %d fields: %q", len(fields), lines[1])
+	}
+	if fields[0] != "0" || fields[1] != "0.125" || fields[2] != "0.25" {
+		t.Fatalf("record = %q", lines[1])
+	}
+}
+
+func TestTSVTracerEvery(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTSVTracer(&sb, 10)
+	for step := 0; step < 25; step++ {
+		tr.OnStep(step, []float64{1}, 0, []float64{0})
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Header + steps 0, 10, 20.
+	if got := strings.Count(sb.String(), "\n"); got != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", got, sb.String())
+	}
+}
+
+func TestMultiTracerAndStepFunc(t *testing.T) {
+	calls := 0
+	c := NewCountingTracer()
+	m := MultiTracer{c, StepFunc(func(step int, r []float64, residual float64, signals []float64) {
+		calls++
+	})}
+	m.OnStep(3, []float64{1}, 0.5, []float64{0.2})
+	if calls != 1 || c.Calls != 1 || c.LastStep != 3 || c.LastResidual != 0.5 {
+		t.Fatalf("calls=%d counting=%+v", calls, c)
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	in := []Float{0, 1.5, Float(math.Inf(1)), Float(math.Inf(-1)), Float(math.NaN()), -2.25e-9}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Float
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range in {
+		a, b := float64(in[i]), float64(out[i])
+		if math.IsNaN(a) != math.IsNaN(b) || (!math.IsNaN(a) && a != b) {
+			t.Errorf("index %d: %v -> %v", i, a, b)
+		}
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), new(Float)); err == nil {
+		t.Error("bogus Float string should not decode")
+	}
+}
+
+func TestRunReportRoundTrip(t *testing.T) {
+	in := RunReport{
+		Schema:          RunReportSchema,
+		Scenario:        "single",
+		Steps:           120,
+		Converged:       true,
+		WallNS:          12345,
+		InitialResidual: 0.5,
+		FinalResidual:   1e-11,
+		MinResidual:     1e-11,
+		MaxResidual:     0.5,
+		Rates:           Floats([]float64{0.25, 0.25}),
+		Signals:         Floats([]float64{0.5, 0.5}),
+		Delays:          Floats([]float64{1.1, math.Inf(1)}),
+		Gateways: []GatewayReport{{
+			Gateway:     0,
+			Connections: 2,
+			Utilization: 0.5,
+			TotalQueue:  1,
+			MaxQueue:    0.5,
+			Queues:      Floats([]float64{0.5, 0.5}),
+		}},
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out RunReport
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema != RunReportSchema || out.Steps != 120 || !out.Converged ||
+		out.WallNS != 12345 || len(out.Gateways) != 1 || len(out.Rates) != 2 {
+		t.Fatalf("round trip mangled the report: %+v", out)
+	}
+	if !math.IsInf(float64(out.Delays[1]), 1) {
+		t.Fatalf("infinite delay did not survive: %v", out.Delays)
+	}
+}
