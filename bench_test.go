@@ -8,6 +8,7 @@
 package feedbackflow_test
 
 import (
+	"fmt"
 	"testing"
 
 	ff "github.com/nettheory/feedbackflow"
@@ -178,9 +179,12 @@ func BenchmarkSystemStep(b *testing.B) {
 
 // BenchmarkStepNoTracer measures the same 32-connection Fair Share
 // update through the instrumented step path with tracing disabled.
-// Its allocs/op must match BenchmarkSystemStep's seed value exactly:
-// the telemetry layer (per-step residual tracking, RunStats, the nil
-// tracer check) is free when no tracer is attached.
+// Its allocs/op must match BenchmarkSystemStep's exactly: the
+// telemetry layer (per-step residual tracking, RunStats, the nil
+// tracer check) is free when no tracer is attached. Since the
+// workspace kernel landed, both sit at 1 alloc/op — the returned rate
+// slice — down from 88 in the pre-plan implementation; the steady
+// zero-alloc path is BenchmarkWorkspaceStep.
 func BenchmarkStepNoTracer(b *testing.B) {
 	net, err := ff.SingleGateway(32, 2, 0.1)
 	if err != nil {
@@ -202,6 +206,124 @@ func BenchmarkStepNoTracer(b *testing.B) {
 		if _, err := sys.Step(r); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchSystem builds the standard micro-benchmark system: n
+// connections, one gateway, individual-feedback Fair Share.
+func benchSystem(b *testing.B, n int) *ff.System {
+	b.Helper()
+	net, err := ff.SingleGateway(n, 2, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	law := ff.AdditiveTSI{Eta: 0.1, BSS: 0.5}
+	sys, err := ff.NewSystem(net, ff.FairShare{}, ff.Individual, ff.Rational{}, ff.UniformLaws(law, n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkObserve measures one full observation (queues, sojourns,
+// signals, delays, bottlenecks) of the 32-connection system through
+// the allocating System.Observe, whose result the caller may retain.
+func BenchmarkObserve(b *testing.B) {
+	sys := benchSystem(b, 32)
+	r := benchRates(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Observe(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkspaceObserve measures the same observation through a
+// reused Workspace — the allocation-free kernel behind Step and Run.
+func BenchmarkWorkspaceObserve(b *testing.B) {
+	sys := benchSystem(b, 32)
+	ws := sys.NewWorkspace()
+	r := benchRates(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ws.Observe(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkspaceStep measures one synchronous update through a
+// reused Workspace writing into a caller buffer: the zero-alloc
+// steady-state path.
+func BenchmarkWorkspaceStep(b *testing.B) {
+	sys := benchSystem(b, 32)
+	ws := sys.NewWorkspace()
+	r := benchRates(32)
+	next := make([]float64, len(r))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ws.Step(r, next); err != nil {
+			b.Fatal(err)
+		}
+		r, next = next, r
+	}
+}
+
+// benchRun measures a fixed-length 100-step Run (convergence disabled
+// via an unreachable tolerance) at system size n, so ops are
+// comparable across sizes.
+func benchRun(b *testing.B, n int) {
+	sys := benchSystem(b, n)
+	r0 := benchRates(n)
+	opt := ff.RunOptions{MaxSteps: 100, Tol: 1e-300}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Run(r0, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRun measures 100-step runs across system sizes; the
+// per-step cost is dominated by the Fair Share recursion (O(n log n)
+// sort plus O(n) accumulation at the single gateway).
+func BenchmarkRun(b *testing.B) {
+	for _, n := range []int{4, 64, 512} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) { benchRun(b, n) })
+	}
+}
+
+// benchReplicate measures 8 replications of a short packet-level
+// simulation distributed over the given worker count.
+func benchReplicate(b *testing.B, workers int) {
+	cfg := ff.GatewaySimConfig{
+		Rates:      []float64{0.3, 0.4},
+		Mu:         1,
+		Discipline: ff.SimFIFO,
+		Seed:       1,
+		Duration:   500,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ff.ReplicateGatewayParallel(cfg, 8, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplicateParallel compares sequential replication against
+// the worker pool. Speedup tracks available CPUs: on a single-core
+// host the two are equivalent (the 1-worker case bypasses the pool's
+// goroutines entirely), and the output is bit-identical in both.
+func BenchmarkReplicateParallel(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) { benchReplicate(b, workers) })
 	}
 }
 

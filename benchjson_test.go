@@ -33,6 +33,14 @@ func TestWriteBenchJSON(t *testing.T) {
 		{"BenchmarkFairShareQueues", BenchmarkFairShareQueues},
 		{"BenchmarkSystemStep", BenchmarkSystemStep},
 		{"BenchmarkStepNoTracer", BenchmarkStepNoTracer},
+		{"BenchmarkObserve", BenchmarkObserve},
+		{"BenchmarkWorkspaceObserve", BenchmarkWorkspaceObserve},
+		{"BenchmarkWorkspaceStep", BenchmarkWorkspaceStep},
+		{"BenchmarkRun/N=4", func(b *testing.B) { benchRun(b, 4) }},
+		{"BenchmarkRun/N=64", func(b *testing.B) { benchRun(b, 64) }},
+		{"BenchmarkRun/N=512", func(b *testing.B) { benchRun(b, 512) }},
+		{"BenchmarkReplicateParallel/workers=1", func(b *testing.B) { benchReplicate(b, 1) }},
+		{"BenchmarkReplicateParallel/workers=4", func(b *testing.B) { benchReplicate(b, 4) }},
 		{"BenchmarkRunToSteadyState", BenchmarkRunToSteadyState},
 		{"BenchmarkStabilityAnalysis", BenchmarkStabilityAnalysis},
 		{"BenchmarkEventSim", BenchmarkEventSim},

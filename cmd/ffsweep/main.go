@@ -9,14 +9,19 @@
 //	ffsweep -mode stability > stability.csv
 //	ffsweep -mode robustness > robustness.csv
 //	ffsweep -mode chaos > chaos.csv
+//	ffsweep -mode stability -workers 8 > stability.csv
 //	ffsweep -mode chaos -debug-addr localhost:6060 > chaos.csv
 //
-// With -debug-addr, a diagnostics HTTP server exposes net/http/pprof
-// under /debug/pprof and live sweep progress counters under
-// /debug/vars — useful for profiling long sweeps in place.
+// With -workers N the grid points are evaluated by N concurrent
+// workers (0 means one per CPU); rows are still emitted in grid order,
+// so the CSV is byte-identical to a sequential run. With -debug-addr,
+// a diagnostics HTTP server exposes net/http/pprof under /debug/pprof
+// and live sweep and worker-pool progress counters under /debug/vars —
+// useful for profiling long sweeps in place.
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"expvar"
 	"flag"
@@ -28,14 +33,17 @@ import (
 	ff "github.com/nettheory/feedbackflow"
 	"github.com/nettheory/feedbackflow/internal/cli"
 	"github.com/nettheory/feedbackflow/internal/obs"
+	"github.com/nettheory/feedbackflow/internal/parallel"
 )
 
-// sweep aggregates the telemetry of one ffsweep process: a CSV writer
-// plus progress counters published via expvar when -debug-addr is set.
+// sweep aggregates the telemetry and configuration of one ffsweep
+// process: a CSV writer, the worker count, plus progress counters
+// published via expvar when -debug-addr is set.
 type sweep struct {
-	w      *csv.Writer
-	rows   *obs.Counter
-	points *obs.Counter
+	w       *csv.Writer
+	workers int
+	rows    *obs.Counter
+	points  *obs.Counter
 }
 
 // write emits one CSV record and counts it.
@@ -44,24 +52,51 @@ func (s *sweep) write(record []string) error {
 	return s.w.Write(record)
 }
 
+// run evaluates n grid points with fn — concurrently when the sweep
+// was configured with more than one worker — and writes each point's
+// records in grid order, so the CSV output does not depend on the
+// worker count. fn must be safe for concurrent calls with distinct i.
+func (s *sweep) run(n int, fn func(i int) ([][]string, error)) error {
+	points, err := parallel.Map(context.Background(), n, s.workers, func(i int) ([][]string, error) {
+		s.points.Inc()
+		return fn(i)
+	})
+	if err != nil {
+		return err
+	}
+	for _, records := range points {
+		for _, record := range records {
+			if err := s.write(record); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 func main() {
 	var (
 		mode      = flag.String("mode", "stability", "sweep: stability, robustness, chaos")
+		workers   = flag.Int("workers", 1, "concurrent grid evaluators; 0 means one per CPU")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
 	reg := obs.NewRegistry()
 	s := &sweep{
-		w:      csv.NewWriter(os.Stdout),
-		rows:   reg.Counter("sweep.rows_written"),
-		points: reg.Counter("sweep.points_evaluated"),
+		w:       csv.NewWriter(os.Stdout),
+		workers: *workers,
+		rows:    reg.Counter("sweep.rows_written"),
+		points:  reg.Counter("sweep.points_evaluated"),
 	}
 	defer s.w.Flush()
 
 	if *debugAddr != "" {
 		expvar.Publish("feedbackflow.sweep", expvar.Func(func() interface{} {
 			return reg.Snapshot()
+		}))
+		expvar.Publish("feedbackflow.parallel", expvar.Func(func() interface{} {
+			return parallel.Snapshot()
 		}))
 		addr, err := cli.StartDebugServer(*debugAddr)
 		if err != nil {
@@ -96,44 +131,53 @@ func sweepStability(s *sweep) error {
 		return err
 	}
 	const bss = 0.5
+	// The grid is materialized up front — with the same accumulating
+	// float loop a sequential sweep would run, so the η values are
+	// bit-identical — and the points are then evaluated independently.
+	type point struct {
+		n   int
+		net *ff.Network
+		eta float64
+	}
+	var grid []point
 	for _, n := range []int{2, 4, 8, 16, 32} {
 		net, err := ff.SingleGateway(n, 1, 0)
 		if err != nil {
 			return err
 		}
 		for eta := 0.05; eta <= 2.0; eta += 0.05 {
-			s.points.Inc()
-			law := ff.AdditiveTSI{Eta: eta, BSS: bss}
-			sys, err := ff.NewSystem(net, ff.FIFO{}, ff.Aggregate, ff.Rational{}, ff.UniformLaws(law, n))
-			if err != nil {
-				return err
-			}
-			r := make([]float64, n)
-			for i := range r {
-				r[i] = bss / float64(n)
-			}
-			rep, err := ff.AnalyzeStability(sys, r, 1e-7, ff.CentralDiff)
-			if err != nil {
-				return err
-			}
-			transverse := 0.0
-			for _, ev := range rep.Eigenvalues {
-				if math.Hypot(real(ev)-1, imag(ev)) <= 1e-6 {
-					continue // steady-state manifold direction
-				}
-				if m := math.Hypot(real(ev), imag(ev)); m > transverse {
-					transverse = m
-				}
-			}
-			if err := s.write([]string{
-				strconv.Itoa(n), fmtF(eta), fmtF(rep.MaxAbsDiag), fmtF(transverse),
-				strconv.FormatBool(rep.Unilateral), strconv.FormatBool(transverse < 1),
-			}); err != nil {
-				return err
-			}
+			grid = append(grid, point{n: n, net: net, eta: eta})
 		}
 	}
-	return nil
+	return s.run(len(grid), func(i int) ([][]string, error) {
+		p := grid[i]
+		law := ff.AdditiveTSI{Eta: p.eta, BSS: bss}
+		sys, err := ff.NewSystem(p.net, ff.FIFO{}, ff.Aggregate, ff.Rational{}, ff.UniformLaws(law, p.n))
+		if err != nil {
+			return nil, err
+		}
+		r := make([]float64, p.n)
+		for i := range r {
+			r[i] = bss / float64(p.n)
+		}
+		rep, err := ff.AnalyzeStability(sys, r, 1e-7, ff.CentralDiff)
+		if err != nil {
+			return nil, err
+		}
+		transverse := 0.0
+		for _, ev := range rep.Eigenvalues {
+			if math.Hypot(real(ev)-1, imag(ev)) <= 1e-6 {
+				continue // steady-state manifold direction
+			}
+			if m := math.Hypot(real(ev), imag(ev)); m > transverse {
+				transverse = m
+			}
+		}
+		return [][]string{{
+			strconv.Itoa(p.n), fmtF(p.eta), fmtF(rep.MaxAbsDiag), fmtF(transverse),
+			strconv.FormatBool(rep.Unilateral), strconv.FormatBool(transverse < 1),
+		}}, nil
+	})
 }
 
 // sweepRobustness emits, for each spread of target signals, the meek
@@ -161,32 +205,38 @@ func sweepRobustness(s *sweep) error {
 		{"individual_fifo", ff.Individual, ff.FIFO{}},
 		{"individual_fairshare", ff.Individual, ff.FairShare{}},
 	}
+	type point struct {
+		gap    float64
+		design int
+	}
+	var grid []point
 	for gap := 0.0; gap <= 0.5; gap += 0.05 {
-		greedy, meek := base+gap/2, base-gap/2
+		for d := range designs {
+			grid = append(grid, point{gap: gap, design: d})
+		}
+	}
+	return s.run(len(grid), func(i int) ([][]string, error) {
+		p := grid[i]
+		d := designs[p.design]
+		greedy, meek := base+p.gap/2, base-p.gap/2
 		laws := []ff.Law{
 			ff.AdditiveTSI{Eta: 0.05, BSS: greedy},
 			ff.AdditiveTSI{Eta: 0.05, BSS: meek},
 		}
 		floor := meek * mu / n
-		for _, d := range designs {
-			s.points.Inc()
-			sys, err := ff.NewSystem(net, d.disc, d.style, ff.Rational{}, laws)
-			if err != nil {
-				return err
-			}
-			out, err := sys.Run([]float64{0.2, 0.2}, ff.RunOptions{MaxSteps: 400000})
-			if err != nil {
-				return err
-			}
-			ratio := out.Rates[1] / floor
-			if err := s.write([]string{
-				fmtF(gap), d.label, fmtF(out.Rates[1]), fmtF(floor), fmtF(ratio),
-			}); err != nil {
-				return err
-			}
+		sys, err := ff.NewSystem(net, d.disc, d.style, ff.Rational{}, laws)
+		if err != nil {
+			return nil, err
 		}
-	}
-	return nil
+		out, err := sys.Run([]float64{0.2, 0.2}, ff.RunOptions{MaxSteps: 400000})
+		if err != nil {
+			return nil, err
+		}
+		ratio := out.Rates[1] / floor
+		return [][]string{{
+			fmtF(p.gap), d.label, fmtF(out.Rates[1]), fmtF(floor), fmtF(ratio),
+		}}, nil
+	})
 }
 
 // sweepChaos emits attractor samples of the symmetric recursion over
@@ -199,21 +249,24 @@ func sweepChaos(s *sweep) error {
 		n    = 100
 		beta = 0.25
 	)
+	var grid []float64
 	for etaN := 1.0; etaN <= 2.99; etaN += 0.005 {
-		s.points.Inc()
+		grid = append(grid, etaN)
+	}
+	return s.run(len(grid), func(i int) ([][]string, error) {
+		etaN := grid[i]
 		m := ff.SymmetricRecursion(etaN/float64(n), beta, n)
 		x := math.Sqrt(beta) / float64(n) * 1.1
 		for burn := 0; burn < 4000; burn++ {
 			x = m(x)
 		}
+		records := make([][]string, 0, 50)
 		for keep := 0; keep < 50; keep++ {
 			x = m(x)
-			if err := s.write([]string{fmtF(etaN), fmtF(float64(n) * x)}); err != nil {
-				return err
-			}
+			records = append(records, []string{fmtF(etaN), fmtF(float64(n) * x)})
 		}
-	}
-	return nil
+		return records, nil
+	})
 }
 
 func fatal(err error) { cli.Fatal("ffsweep", err) }

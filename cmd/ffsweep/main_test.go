@@ -17,10 +17,44 @@ import (
 func newTestSweep(w io.Writer) (*sweep, *obs.Registry) {
 	reg := obs.NewRegistry()
 	return &sweep{
-		w:      csv.NewWriter(w),
-		rows:   reg.Counter("sweep.rows_written"),
-		points: reg.Counter("sweep.points_evaluated"),
+		w:       csv.NewWriter(w),
+		workers: 1,
+		rows:    reg.Counter("sweep.rows_written"),
+		points:  reg.Counter("sweep.points_evaluated"),
 	}, reg
+}
+
+// TestParallelSweepOutputIdentical is the -workers acceptance check:
+// every sweep mode must emit byte-identical CSV no matter how many
+// workers evaluate the grid.
+func TestParallelSweepOutputIdentical(t *testing.T) {
+	modes := map[string]func(*sweep) error{
+		"stability":  sweepStability,
+		"robustness": sweepRobustness,
+		"chaos":      sweepChaos,
+	}
+	for name, run := range modes {
+		t.Run(name, func(t *testing.T) {
+			var seq strings.Builder
+			s, _ := newTestSweep(&seq)
+			if err := run(s); err != nil {
+				t.Fatal(err)
+			}
+			s.w.Flush()
+			for _, workers := range []int{0, 4} {
+				var par strings.Builder
+				p, _ := newTestSweep(&par)
+				p.workers = workers
+				if err := run(p); err != nil {
+					t.Fatal(err)
+				}
+				p.w.Flush()
+				if par.String() != seq.String() {
+					t.Errorf("workers=%d: CSV differs from sequential output", workers)
+				}
+			}
+		})
+	}
 }
 
 // TestSweepCountsRows checks that every emitted CSV record is counted.

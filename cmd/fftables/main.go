@@ -7,7 +7,14 @@
 //	fftables            # run the full suite
 //	fftables -run E5    # run one experiment
 //	fftables -list      # list experiment IDs and titles
+//	fftables -parallel 4                  # run the suite on 4 workers
 //	fftables -metrics-json reports.json   # also write structured reports
+//
+// With -parallel N the experiments run concurrently on N workers (0
+// means one per CPU); results are still reported in suite order, so
+// the rendered exhibits and checks are unchanged — only the wall-time
+// and allocation telemetry in -metrics-json reports becomes
+// process-wide rather than per-experiment.
 //
 // The process exits non-zero if any experiment's reproduction checks
 // fail.
@@ -15,6 +22,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,10 +34,11 @@ import (
 
 func main() {
 	var (
-		runID   = flag.String("run", "", "run a single experiment by ID (e.g. E5); empty runs all")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		asJSON  = flag.Bool("json", false, "emit results as a JSON array instead of text")
-		metrics = flag.String("metrics-json", "", "write machine-readable experiment reports to this path (\"-\" for stdout)")
+		runID    = flag.String("run", "", "run a single experiment by ID (e.g. E5); empty runs all")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		asJSON   = flag.Bool("json", false, "emit results as a JSON array instead of text")
+		parallel = flag.Int("parallel", 1, "concurrent experiment runners; 0 means one per CPU")
+		metrics  = flag.String("metrics-json", "", "write machine-readable experiment reports to this path (\"-\" for stdout)")
 	)
 	flag.Parse()
 
@@ -59,15 +68,14 @@ func main() {
 
 	failed := 0
 	var results []*ff.ExperimentResult
-	for _, s := range specs {
-		res, err := s.Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", s.ID, err)
+	for _, out := range ff.RunAllExperiments(context.Background(), *parallel) {
+		if out.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", out.Spec.ID, out.Err)
 			failed++
 			continue
 		}
-		results = append(results, res)
-		if !res.Pass {
+		results = append(results, out.Result)
+		if !out.Result.Pass {
 			failed++
 		}
 	}

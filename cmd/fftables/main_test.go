@@ -1,0 +1,133 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	ff "github.com/nettheory/feedbackflow"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns what it wrote.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- b.String()
+	}()
+	defer func() {
+		os.Stdout = old
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+// runE1 runs one cheap experiment to feed the rendering helpers.
+func runE1(t *testing.T) *ff.ExperimentResult {
+	t.Helper()
+	res, err := ff.RunExperiment("E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestEmitText checks the rendered-exhibit path of emit.
+func TestEmitText(t *testing.T) {
+	res := runE1(t)
+	out := captureStdout(t, func() { emit(false, []*ff.ExperimentResult{res}) })
+	for _, want := range []string{"=== E1:", "Reproduces:", "Verdict:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered exhibit missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEmitJSON checks that -json emits a decodable array.
+func TestEmitJSON(t *testing.T) {
+	res := runE1(t)
+	out := captureStdout(t, func() { emit(true, []*ff.ExperimentResult{res}) })
+	var decoded []ff.ExperimentResult
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("-json output does not decode: %v\n%s", err, out)
+	}
+	if len(decoded) != 1 || decoded[0].ID != "E1" {
+		t.Fatalf("decoded %+v, want one E1 result", decoded)
+	}
+}
+
+// TestWriteReports checks the -metrics-json file path: the reports
+// must land on disk as a JSON array carrying the experiment IDs.
+func TestWriteReports(t *testing.T) {
+	res := runE1(t)
+	path := filepath.Join(t.TempDir(), "reports.json")
+	writeReports(path, []*ff.ExperimentResult{res})
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []map[string]interface{}
+	if err := json.Unmarshal(raw, &reports); err != nil {
+		t.Fatalf("reports file does not decode: %v", err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("%d reports, want 1", len(reports))
+	}
+	if id, _ := reports[0]["id"].(string); id != "E1" {
+		t.Errorf("report id = %v, want E1", reports[0]["id"])
+	}
+}
+
+// TestRunAllParallelMatchesSequential is the -parallel acceptance
+// check at the library layer the flag drives: the concurrent suite
+// must produce the same experiments, in the same order, with the same
+// rendered exhibits and verdicts as the sequential one.
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite twice")
+	}
+	ctx := context.Background()
+	seq := ff.RunAllExperiments(ctx, 1)
+	par := ff.RunAllExperiments(ctx, 4)
+	if len(seq) != len(par) {
+		t.Fatalf("sequential ran %d experiments, parallel %d", len(seq), len(par))
+	}
+	specs := ff.Experiments()
+	for i := range seq {
+		if seq[i].Spec.ID != specs[i].ID || par[i].Spec.ID != specs[i].ID {
+			t.Fatalf("outcome %d: IDs %q/%q, want suite order %q",
+				i, seq[i].Spec.ID, par[i].Spec.ID, specs[i].ID)
+		}
+		if (seq[i].Err == nil) != (par[i].Err == nil) {
+			t.Fatalf("%s: sequential err %v, parallel err %v", specs[i].ID, seq[i].Err, par[i].Err)
+		}
+		if seq[i].Err != nil {
+			continue
+		}
+		if got, want := par[i].Result.Render(), seq[i].Result.Render(); got != want {
+			t.Errorf("%s: parallel exhibit differs from sequential:\n--- parallel\n%s\n--- sequential\n%s",
+				specs[i].ID, got, want)
+		}
+	}
+}

@@ -29,6 +29,7 @@
 package feedbackflow
 
 import (
+	"context"
 	"io"
 
 	"github.com/nettheory/feedbackflow/internal/analytic"
@@ -140,6 +141,10 @@ type (
 	WindowSystem = core.WindowSystem
 	// WindowRunResult reports a WindowSystem run.
 	WindowRunResult = core.WindowRunResult
+	// Workspace holds preallocated iteration buffers so repeated
+	// Observe/Step calls on one goroutine are allocation-free; create
+	// one per worker with System.NewWorkspace (see docs/PERFORMANCE.md).
+	Workspace = core.Workspace
 )
 
 // Analysis types.
@@ -362,6 +367,15 @@ func ReplicateGateway(cfg GatewaySimConfig, k int) (*ReplicatedSimResult, error)
 	return eventsim.Replicate(cfg, k)
 }
 
+// ReplicateGatewayParallel is ReplicateGateway with the replications
+// distributed over at most workers goroutines (0 means one per CPU).
+// Each replication owns its seeded RNG and results are aggregated in
+// replication order, so the result is bit-identical to the sequential
+// ReplicateGateway for any worker count.
+func ReplicateGatewayParallel(cfg GatewaySimConfig, k, workers int) (*ReplicatedSimResult, error) {
+	return eventsim.ReplicateParallel(cfg, k, workers)
+}
+
 // SimulateNetwork runs a multi-gateway packet-level simulation in
 // which downstream gateways see the actual departure processes of
 // upstream ones, quantifying the paper's Poisson-output approximation
@@ -411,6 +425,20 @@ func LoadScenario(r io.Reader) (*Scenario, error) {
 // Experiments returns the full reproduction suite (E1–E20 plus
 // ablations), ordered by ID.
 func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentOutcome pairs one experiment with its Result or the error
+// that prevented one.
+type ExperimentOutcome = experiments.Outcome
+
+// RunAllExperiments runs the whole suite and returns one outcome per
+// experiment in Experiments() order. With workers > 1 the experiments
+// run concurrently (0 means one worker per CPU); exhibits and checks
+// are unaffected, but the per-experiment wall-time and allocation
+// telemetry then reflects process-wide activity. A failing experiment
+// does not stop the others.
+func RunAllExperiments(ctx context.Context, workers int) []ExperimentOutcome {
+	return experiments.RunAll(ctx, workers)
+}
 
 // RunExperiment runs the experiment with the given ID (e.g. "E5").
 func RunExperiment(id string) (*ExperimentResult, error) {

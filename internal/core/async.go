@@ -36,6 +36,8 @@ func (s *System) RunAsync(r0 []float64, opt RunOptions, seed int64) (*RunResult,
 	}
 	rng := rand.New(rand.NewSource(seed))
 	r := append([]float64(nil), r0...)
+	ws := s.acquire()
+	defer s.release(ws)
 	res := &RunResult{}
 	if opt.Record {
 		res.Trajectory = append(res.Trajectory, append([]float64(nil), r...))
@@ -43,7 +45,7 @@ func (s *System) RunAsync(r0 []float64, opt RunOptions, seed int64) (*RunResult,
 	sampled := false
 	for step := 0; step < opt.MaxSteps; step++ {
 		i := rng.Intn(n)
-		obs, err := s.Observe(r)
+		obs, err := ws.Observe(r)
 		if err != nil {
 			return nil, err
 		}
@@ -69,7 +71,7 @@ func (s *System) RunAsync(r0 []float64, opt RunOptions, seed int64) (*RunResult,
 			res.Trajectory = append(res.Trajectory, append([]float64(nil), r...))
 		}
 		if (step+1)%n == 0 {
-			resid, err := s.Residual(r)
+			resid, err := ws.Residual(r)
 			if err != nil {
 				return nil, err
 			}

@@ -13,6 +13,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"github.com/nettheory/feedbackflow/internal/control"
@@ -31,6 +32,72 @@ type System struct {
 	style signal.Style
 	b     signal.Func
 	laws  []control.Law
+	plan  plan
+	// pool recycles Workspaces for the transient fast paths (Step,
+	// Residual, Run); it keeps those entry points allocation-free in
+	// steady state without compromising concurrent use.
+	pool sync.Pool
+}
+
+// plan is the topology compiled into flat index arrays at NewSystem
+// time, so the per-step hot path does no map lookups and can address
+// all per-gateway scratch as contiguous slices. Slot p.off[a]+k in the
+// flat buffers belongs to the k'th connection of Γ(a).
+type plan struct {
+	nConns, nGws int
+	conns        [][]int   // conns[a]: Γ(a), shared with the Network
+	mu           []float64 // mu[a]: gateway a's service rate
+	off          []int     // off[a]: first flat slot of gateway a; off[nGws] = total
+	slots        [][]int   // slots[i][p]: flat slot of connection i at its p'th hop
+	hopLat       [][]float64
+	routes       [][]int // routes[i]: γ(i), shared with the Network
+	maxPath      int     // longest route, sizes the per-path scratch
+}
+
+// compilePlan precomputes the flat connection-index arrays that
+// replace the per-step local-index maps the iteration used to build.
+func compilePlan(net *topology.Network) plan {
+	nGws, nConns := net.NumGateways(), net.NumConnections()
+	p := plan{
+		nConns: nConns,
+		nGws:   nGws,
+		conns:  make([][]int, nGws),
+		mu:     make([]float64, nGws),
+		off:    make([]int, nGws+1),
+		slots:  make([][]int, nConns),
+		hopLat: make([][]float64, nConns),
+		routes: make([][]int, nConns),
+	}
+	total := 0
+	local := make([]map[int]int, nGws)
+	for a := 0; a < nGws; a++ {
+		conns := net.Connections(a)
+		p.conns[a] = conns
+		p.mu[a] = net.Gateway(a).Mu
+		p.off[a] = total
+		total += len(conns)
+		local[a] = make(map[int]int, len(conns))
+		for k, i := range conns {
+			local[a][i] = k
+		}
+	}
+	p.off[nGws] = total
+	for i := 0; i < nConns; i++ {
+		route := net.Route(i)
+		p.routes[i] = route
+		if len(route) > p.maxPath {
+			p.maxPath = len(route)
+		}
+		slots := make([]int, len(route))
+		lat := make([]float64, len(route))
+		for hop, a := range route {
+			slots[hop] = p.off[a] + local[a][i]
+			lat[hop] = net.Gateway(a).Latency
+		}
+		p.slots[i] = slots
+		p.hopLat[i] = lat
+	}
+	return p
 }
 
 // NewSystem validates and assembles a System. laws must contain one
@@ -57,8 +124,19 @@ func NewSystem(net *topology.Network, disc queueing.Discipline, style signal.Sty
 	if style != signal.Aggregate && style != signal.Individual {
 		return nil, fmt.Errorf("core: unknown feedback style %v", style)
 	}
-	return &System{net: net, disc: disc, style: style, b: b, laws: laws}, nil
+	s := &System{net: net, disc: disc, style: style, b: b, laws: laws}
+	s.plan = compilePlan(net)
+	s.pool.New = func() interface{} { return s.NewWorkspace() }
+	return s, nil
 }
+
+// acquire takes a pooled Workspace for a transient internal call.
+func (s *System) acquire() *Workspace { return s.pool.Get().(*Workspace) }
+
+// release returns a pooled Workspace. Nothing borrowed from the
+// workspace (in particular its Observation) may be retained past this
+// point.
+func (s *System) release(w *Workspace) { s.pool.Put(w) }
 
 // Network returns the topology.
 func (s *System) Network() *topology.Network { return s.net }
@@ -93,110 +171,28 @@ type Observation struct {
 	Bottlenecks [][]int
 }
 
-// Observe computes the Observation at rate vector r.
+// Observe computes the Observation at rate vector r. The returned
+// Observation is freshly allocated and owned by the caller; its queue
+// rows share one backing array. Hot loops that observe repeatedly
+// should hold a Workspace and use Workspace.Observe instead.
 func (s *System) Observe(r []float64) (*Observation, error) {
-	n := s.net.NumConnections()
-	if len(r) != n {
-		return nil, fmt.Errorf("core: %d rates for %d connections", len(r), n)
-	}
-	nGw := s.net.NumGateways()
-	obs := &Observation{
-		Signals:     make([]float64, n),
-		Delays:      make([]float64, n),
-		Queues:      make([][]float64, nGw),
-		Bottlenecks: make([][]int, n),
-	}
-	// Per-gateway queue vectors, sojourn times, and signals.
-	gwSignals := make([][]float64, nGw)
-	gwSojourn := make([][]float64, nGw)
-	localIdx := make([]map[int]int, nGw)
-	for a := 0; a < nGw; a++ {
-		conns := s.net.Connections(a)
-		local := make([]float64, len(conns))
-		localIdx[a] = make(map[int]int, len(conns))
-		for k, i := range conns {
-			local[k] = r[i]
-			localIdx[a][i] = k
-		}
-		mu := s.net.Gateway(a).Mu
-		q, err := s.disc.Queues(local, mu)
-		if err != nil {
-			return nil, fmt.Errorf("core: gateway %d: %w", a, err)
-		}
-		w, err := s.disc.SojournTimes(local, mu)
-		if err != nil {
-			return nil, fmt.Errorf("core: gateway %d: %w", a, err)
-		}
-		sig, err := signal.GatewaySignals(s.style, s.b, q)
-		if err != nil {
-			return nil, fmt.Errorf("core: gateway %d: %w", a, err)
-		}
-		obs.Queues[a] = q
-		gwSignals[a] = sig
-		gwSojourn[a] = w
-	}
-	// Combine along paths.
-	const bottleneckTol = 1e-12
-	for i := 0; i < n; i++ {
-		path := s.net.Route(i)
-		perGw := make([]float64, len(path))
-		d := 0.0
-		for p, a := range path {
-			k := localIdx[a][i]
-			perGw[p] = gwSignals[a][k]
-			d += s.net.Gateway(a).Latency + gwSojourn[a][k]
-		}
-		b, err := signal.CombineBottleneck(perGw)
-		if err != nil {
-			return nil, fmt.Errorf("core: connection %d: %w", i, err)
-		}
-		obs.Signals[i] = b
-		obs.Delays[i] = d
-		for p, a := range path {
-			if perGw[p] >= b-bottleneckTol {
-				obs.Bottlenecks[i] = append(obs.Bottlenecks[i], a)
-			}
-		}
-	}
-	return obs, nil
+	// A throwaway workspace: the caller keeps its Observation, so it
+	// cannot come from the pool.
+	return s.NewWorkspace().Observe(r)
 }
 
 // Step applies one synchronous update r' = max(0, r + f(r, b, d)).
+// The update itself runs through a pooled workspace, so the only
+// steady-state allocation is the returned slice.
 func (s *System) Step(r []float64) ([]float64, error) {
 	next := make([]float64, len(r))
-	if _, _, err := s.stepInto(r, next); err != nil {
+	w := s.acquire()
+	_, _, err := w.stepInto(r, next)
+	s.release(w)
+	if err != nil {
 		return nil, err
 	}
 	return next, nil
-}
-
-// stepInto applies one synchronous update of r into next (which must
-// have the same length and not alias r), returning the observation at
-// r and the steady-state residual max|f_i| there. Computing the
-// residual alongside the update is free — the f_i are already in hand
-// — which is what lets Run keep a residual trajectory summary without
-// extra Observe calls.
-func (s *System) stepInto(r, next []float64) (*Observation, float64, error) {
-	obs, err := s.Observe(r)
-	if err != nil {
-		return nil, 0, err
-	}
-	residual := 0.0
-	for i := range r {
-		f := s.laws[i].Adjust(r[i], obs.Signals[i], obs.Delays[i])
-		v := r[i] + f
-		if v < 0 || math.IsNaN(v) {
-			v = 0
-		}
-		next[i] = v
-		if r[i] == 0 && f < 0 {
-			continue // truncated: at rest by the truncation rule
-		}
-		if a := math.Abs(f); a > residual {
-			residual = a
-		}
-	}
-	return obs, residual, nil
 }
 
 // Residual returns max_i |f_i(r, b_i, d_i)| — the distance from the
@@ -205,11 +201,12 @@ func (s *System) stepInto(r, next []float64) (*Observation, float64, error) {
 // by the truncation rule, exactly the mechanism behind the Section 3.4
 // starvation steady state.
 func (s *System) Residual(r []float64) (float64, error) {
-	obs, err := s.Observe(r)
-	if err != nil {
+	w := s.acquire()
+	defer s.release(w)
+	if err := w.observe(r); err != nil {
 		return 0, err
 	}
-	return s.residualFrom(r, obs), nil
+	return s.residualFrom(r, &w.obs), nil
 }
 
 // residualFrom computes the steady-state residual at r from an
@@ -324,13 +321,15 @@ func (s *System) Run(r0 []float64, opt RunOptions) (*RunResult, error) {
 	}
 	r := append([]float64(nil), r0...)
 	next := make([]float64, len(r))
+	ws := s.acquire()
+	defer s.release(ws)
 	res := &RunResult{}
 	if opt.Record {
 		res.Trajectory = append(res.Trajectory, append([]float64(nil), r...))
 	}
 	calm := 0
 	for step := 0; step < opt.MaxSteps; step++ {
-		obs, resid, err := s.stepInto(r, next)
+		obs, resid, err := ws.stepInto(r, next)
 		if err != nil {
 			return nil, err
 		}

@@ -70,10 +70,15 @@ func (ws *WindowSystem) Rates(w []float64, rGuess []float64) ([]float64, *Observ
 		maxIter = 20000
 		tol     = 1e-12
 	)
+	// The inner iteration can run for thousands of rounds; a dedicated
+	// workspace makes each round allocation-free. The workspace is
+	// created per call — not pooled — because its final Observation is
+	// returned to (and retained by) the caller.
+	work := ws.sys.NewWorkspace()
 	var obs *Observation
 	var err error
 	for it := 0; it < maxIter; it++ {
-		obs, err = ws.sys.Observe(r)
+		obs, err = work.Observe(r)
 		if err != nil {
 			return nil, nil, err
 		}

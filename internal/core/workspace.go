@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/signal"
+)
+
+// Workspace holds every buffer the iteration r' = F(r) needs — flat
+// per-gateway rate/queue/sojourn/signal scratch, the discipline's sort
+// scratch, and a reusable Observation — so repeated Observe and Step
+// calls perform zero heap allocations in steady state. All sizing
+// comes from the System's compiled plan, fixed at NewSystem time.
+//
+// A Workspace belongs to one goroutine at a time; give each concurrent
+// worker its own (System itself remains safe for concurrent use, and
+// System.Step/Run draw from an internal pool). The Observation
+// returned by Observe and the observation passed to tracers are owned
+// by the workspace and overwritten by its next call.
+type Workspace struct {
+	sys *System
+
+	// Flat per-gateway scratch: gateway a's block is the slot range
+	// [plan.off[a], plan.off[a+1]).
+	local    []float64 // per-gateway rate vectors
+	sojourns []float64 // per-gateway sojourn times W^a_i
+	signals  []float64 // per-gateway signals b^a_i
+	queues   []float64 // backing array of obs.Queues
+	perGw    []float64 // one connection's per-hop signals (combine scratch)
+
+	scr queueing.Scratch
+	obs Observation
+}
+
+// NewWorkspace allocates a Workspace for s. The workspace's queue rows
+// (obs.Queues[a]) are views into one flat backing array, established
+// once here and reused by every subsequent call.
+func (s *System) NewWorkspace() *Workspace {
+	p := &s.plan
+	total := p.off[p.nGws]
+	w := &Workspace{
+		sys:      s,
+		local:    make([]float64, total),
+		sojourns: make([]float64, total),
+		signals:  make([]float64, total),
+		queues:   make([]float64, total),
+		perGw:    make([]float64, p.maxPath),
+		obs: Observation{
+			Signals:     make([]float64, p.nConns),
+			Delays:      make([]float64, p.nConns),
+			Queues:      make([][]float64, p.nGws),
+			Bottlenecks: make([][]int, p.nConns),
+		},
+	}
+	for a := 0; a < p.nGws; a++ {
+		lo, hi := p.off[a], p.off[a+1]
+		w.obs.Queues[a] = w.queues[lo:hi:hi]
+	}
+	return w
+}
+
+// System returns the system this workspace steps.
+func (w *Workspace) System() *System { return w.sys }
+
+// Observe computes the Observation at rate vector r into the
+// workspace's reusable Observation and returns it. The result — every
+// slice in it — is borrowed from the workspace: it is valid only until
+// the next Observe/Step/Run call on this workspace, and must be copied
+// to be retained. Values are bit-identical to System.Observe.
+func (w *Workspace) Observe(r []float64) (*Observation, error) {
+	if err := w.observe(r); err != nil {
+		return nil, err
+	}
+	return &w.obs, nil
+}
+
+// observe fills w.obs with the observation at r without allocating.
+func (w *Workspace) observe(r []float64) error {
+	s := w.sys
+	p := &s.plan
+	if len(r) != p.nConns {
+		return fmt.Errorf("core: %d rates for %d connections", len(r), p.nConns)
+	}
+	// Per-gateway queue vectors, sojourn times, and signals, written
+	// into the flat scratch blocks.
+	for a := 0; a < p.nGws; a++ {
+		lo, hi := p.off[a], p.off[a+1]
+		local := w.local[lo:hi]
+		for k, i := range p.conns[a] {
+			local[k] = r[i]
+		}
+		if err := queueing.ObserveInto(s.disc, w.queues[lo:hi], w.sojourns[lo:hi], local, p.mu[a], &w.scr); err != nil {
+			return fmt.Errorf("core: gateway %d: %w", a, err)
+		}
+		if err := signal.GatewaySignalsInto(w.signals[lo:hi], s.style, s.b, w.queues[lo:hi]); err != nil {
+			return fmt.Errorf("core: gateway %d: %w", a, err)
+		}
+	}
+	// Combine along paths.
+	const bottleneckTol = 1e-12
+	for i := 0; i < p.nConns; i++ {
+		slots := p.slots[i]
+		hopLat := p.hopLat[i]
+		perGw := w.perGw[:len(slots)]
+		d := 0.0
+		for hop, k := range slots {
+			perGw[hop] = w.signals[k]
+			d += hopLat[hop] + w.sojourns[k]
+		}
+		b, err := signal.CombineBottleneck(perGw)
+		if err != nil {
+			return fmt.Errorf("core: connection %d: %w", i, err)
+		}
+		w.obs.Signals[i] = b
+		w.obs.Delays[i] = d
+		bn := w.obs.Bottlenecks[i][:0]
+		for hop, a := range p.routes[i] {
+			if perGw[hop] >= b-bottleneckTol {
+				bn = append(bn, a)
+			}
+		}
+		w.obs.Bottlenecks[i] = bn
+	}
+	return nil
+}
+
+// Step applies one synchronous update r' = max(0, r + f(r, b, d)),
+// writing the result into next. next must have length len(r) and must
+// not alias r. It is the allocation-free counterpart of System.Step
+// and produces bit-identical values.
+func (w *Workspace) Step(r, next []float64) error {
+	if len(next) != len(r) {
+		return fmt.Errorf("core: %d-slot buffer for %d rates", len(next), len(r))
+	}
+	_, _, err := w.stepInto(r, next)
+	return err
+}
+
+// stepInto applies one synchronous update of r into next (same length,
+// no aliasing), returning the workspace's observation at r and the
+// steady-state residual max|f_i| there. Computing the residual
+// alongside the update is free — the f_i are already in hand — which
+// is what lets Run keep a residual trajectory summary without extra
+// Observe calls.
+func (w *Workspace) stepInto(r, next []float64) (*Observation, float64, error) {
+	if err := w.observe(r); err != nil {
+		return nil, 0, err
+	}
+	s := w.sys
+	residual := 0.0
+	for i := range r {
+		f := s.laws[i].Adjust(r[i], w.obs.Signals[i], w.obs.Delays[i])
+		v := r[i] + f
+		if v < 0 || math.IsNaN(v) {
+			v = 0
+		}
+		next[i] = v
+		if r[i] == 0 && f < 0 {
+			continue // truncated: at rest by the truncation rule
+		}
+		if a := math.Abs(f); a > residual {
+			residual = a
+		}
+	}
+	return &w.obs, residual, nil
+}
+
+// Residual is the allocation-free counterpart of System.Residual.
+func (w *Workspace) Residual(r []float64) (float64, error) {
+	if err := w.observe(r); err != nil {
+		return 0, err
+	}
+	return w.sys.residualFrom(r, &w.obs), nil
+}

@@ -1,8 +1,10 @@
 package eventsim
 
 import (
+	"context"
 	"fmt"
 
+	"github.com/nettheory/feedbackflow/internal/parallel"
 	"github.com/nettheory/feedbackflow/internal/stats"
 )
 
@@ -24,20 +26,30 @@ type ReplicatedResult struct {
 // Replicate runs k independent replications of cfg, using seeds
 // cfg.Seed, cfg.Seed+1, …, cfg.Seed+k−1, and aggregates them.
 func Replicate(cfg GatewayConfig, k int) (*ReplicatedResult, error) {
+	return ReplicateParallel(cfg, k, 1)
+}
+
+// ReplicateParallel is Replicate with the replications distributed
+// over at most parallel.Workers(workers) goroutines. Each replication
+// owns its RNG (seed cfg.Seed+rep), is simulated independently, and is
+// aggregated in replication order afterward, so the result is
+// bit-identical to Replicate no matter the worker count.
+func ReplicateParallel(cfg GatewayConfig, k, workers int) (*ReplicatedResult, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("eventsim: need at least 2 replications, got %d", k)
 	}
-	out := &ReplicatedResult{PerReplication: make([]*GatewayResult, k)}
-	n := len(cfg.Rates)
-	samples := make([][]float64, n)
-	for rep := 0; rep < k; rep++ {
+	reps, err := parallel.Map(context.Background(), k, workers, func(rep int) (*GatewayResult, error) {
 		c := cfg
 		c.Seed = cfg.Seed + int64(rep)
-		res, err := SimulateGateway(c)
-		if err != nil {
-			return nil, err
-		}
-		out.PerReplication[rep] = res
+		return SimulateGateway(c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &ReplicatedResult{PerReplication: reps}
+	n := len(cfg.Rates)
+	samples := make([][]float64, n)
+	for _, res := range reps {
 		for i := 0; i < n; i++ {
 			samples[i] = append(samples[i], res.MeanQueue[i])
 		}

@@ -45,6 +45,45 @@ func TestReplicateAggregates(t *testing.T) {
 	}
 }
 
+// TestReplicateParallelBitIdentical checks the worker-count
+// independence contract: ReplicateParallel must reproduce the
+// sequential Replicate bit for bit, because each replication owns its
+// seeded RNG and aggregation happens in replication order.
+func TestReplicateParallelBitIdentical(t *testing.T) {
+	cfg := GatewayConfig{
+		Rates:    []float64{0.3, 0.4},
+		Mu:       1,
+		Seed:     42,
+		Duration: 3000,
+	}
+	const k = 6
+	want, err := Replicate(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, k, k + 3} {
+		got, err := ReplicateParallel(cfg, k, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want.MeanQueue {
+			if math.Float64bits(got.MeanQueue[i]) != math.Float64bits(want.MeanQueue[i]) {
+				t.Errorf("workers=%d: MeanQueue[%d] = %v, want %v", workers, i, got.MeanQueue[i], want.MeanQueue[i])
+			}
+			if got.QueueCI[i] != want.QueueCI[i] {
+				t.Errorf("workers=%d: QueueCI[%d] = %v, want %v", workers, i, got.QueueCI[i], want.QueueCI[i])
+			}
+		}
+		for rep := range want.PerReplication {
+			for i := range want.PerReplication[rep].MeanQueue {
+				if math.Float64bits(got.PerReplication[rep].MeanQueue[i]) != math.Float64bits(want.PerReplication[rep].MeanQueue[i]) {
+					t.Errorf("workers=%d: replication %d mean queue differs", workers, rep)
+				}
+			}
+		}
+	}
+}
+
 func TestReplicateCINarrowsWithK(t *testing.T) {
 	cfg := GatewayConfig{
 		Rates:    []float64{0.4},

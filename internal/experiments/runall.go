@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"context"
+
+	"github.com/nettheory/feedbackflow/internal/parallel"
+)
+
+// Outcome pairs one experiment with what running it produced: a
+// Result, or the error that prevented one. Exactly one of the two is
+// non-nil.
+type Outcome struct {
+	Spec   Spec
+	Result *Result
+	Err    error
+}
+
+// RunAll runs every registered experiment and returns one Outcome per
+// Spec, in All() order, regardless of worker count. With workers > 1
+// the experiments run concurrently on at most parallel.Workers(workers)
+// goroutines; every experiment builds its own systems and RNGs, so the
+// exhibits and checks are identical to a sequential run. The only
+// concurrency-sensitive fields are the Elapsed and AllocBytes telemetry
+// in each Result: they are captured per process (runtime.ReadMemStats),
+// so concurrent experiments inflate each other's numbers.
+//
+// A failing experiment does not stop the others; its error is recorded
+// in its Outcome.
+func RunAll(ctx context.Context, workers int) []Outcome {
+	specs := All()
+	outs := make([]Outcome, len(specs))
+	// The worker fn never returns an error: failures are per-outcome
+	// data here, not reasons to stop the suite.
+	_ = parallel.ForEach(ctx, len(specs), workers, func(i int) error {
+		res, err := specs[i].Run()
+		outs[i] = Outcome{Spec: specs[i], Result: res, Err: err}
+		return nil
+	})
+	// On context cancellation unclaimed outcomes keep their zero value;
+	// surface that as the context's error so callers can tell "not run"
+	// from "ran and failed".
+	if err := ctx.Err(); err != nil {
+		for i := range outs {
+			if outs[i].Result == nil && outs[i].Err == nil {
+				outs[i] = Outcome{Spec: specs[i], Err: err}
+			}
+		}
+	}
+	return outs
+}

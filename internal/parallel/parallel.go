@@ -1,0 +1,178 @@
+// Package parallel is the bounded worker pool behind the repository's
+// parallel drivers: ffsweep's row-parallel grid evaluation, the
+// fftables experiment fan-out, and eventsim's replicated simulations.
+//
+// The design constraints, in order:
+//
+//  1. Determinism. Map collects results in index order, and a failing
+//     run always reports the error of the lowest-indexed failing item,
+//     so output and errors are byte-identical no matter how many
+//     workers run or how the scheduler interleaves them.
+//  2. Bounded concurrency. At most Workers(workers) goroutines touch
+//     items at any moment; work is claimed from an atomic counter, so
+//     no per-item channel traffic or fan-in machinery is needed.
+//  3. Cancellation. A context cancels outstanding work between items;
+//     items already started are allowed to finish (model evaluations
+//     are short and side-effect free).
+//
+// The package also counts its work through package-level telemetry
+// (see Snapshot), which the binaries expose over expvar via their
+// -debug-addr flag; docs/OBSERVABILITY.md documents the counter names.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/nettheory/feedbackflow/internal/obs"
+)
+
+// Package-level telemetry: every pool run and item outcome is counted
+// here, so a -debug-addr diagnostics server shows live progress of any
+// parallel driver in the process.
+var (
+	registry = obs.NewRegistry()
+	// runs counts ForEach/Map invocations.
+	runs = registry.Counter("parallel.runs")
+	// tasksStarted counts items handed to a worker.
+	tasksStarted = registry.Counter("parallel.tasks_started")
+	// tasksCompleted counts items that returned without error.
+	tasksCompleted = registry.Counter("parallel.tasks_completed")
+	// tasksFailed counts items that returned an error.
+	tasksFailed = registry.Counter("parallel.tasks_failed")
+	// workersBusy gauges the number of currently running workers.
+	workersBusy = registry.Gauge("parallel.workers_busy")
+	busyCount   atomic.Int64
+)
+
+// Snapshot returns the pool telemetry keyed by counter name, in the
+// shape expvar.Func expects. Binaries publish it next to their own
+// registries.
+func Snapshot() map[string]interface{} { return registry.Snapshot() }
+
+// Workers normalizes a worker-count knob: values > 0 are taken as
+// given; anything else means "one worker per available CPU"
+// (GOMAXPROCS). The convention is shared by every -workers/-parallel
+// flag so 0 always means "use the machine".
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach invokes fn(i) for every i in [0, n) using at most
+// Workers(workers) concurrent goroutines and returns the first error
+// by item index — not by completion time — so the reported failure is
+// deterministic. A non-nil error (or ctx cancellation) stops workers
+// from claiming further items; items already running finish first.
+// With workers <= 1 the loop degenerates to a plain sequential for
+// loop on the calling goroutine.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	runs.Inc()
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := runOne(i, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64 // next unclaimed item
+		mu       sync.Mutex
+		firstIdx = n // lowest failing index seen
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+	}
+	// skip reports whether item i is above an already-failed index.
+	// After a failure, workers keep claiming — and running — items
+	// below the current lowest failure, so the reported error is the
+	// minimum of the (deterministic) failing set no matter how the
+	// scheduler interleaved the workers: an item below the final
+	// minimum can never have been skipped, because firstIdx only
+	// decreases.
+	skip := func(i int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil && i >= firstIdx
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if skip(i) {
+					continue
+				}
+				if err := runOne(i, fn); err != nil {
+					fail(i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// runOne executes one item under the pool telemetry.
+func runOne(i int, fn func(i int) error) error {
+	tasksStarted.Inc()
+	workersBusy.Set(float64(busyCount.Add(1)))
+	err := fn(i)
+	workersBusy.Set(float64(busyCount.Add(-1)))
+	if err != nil {
+		tasksFailed.Inc()
+		return err
+	}
+	tasksCompleted.Inc()
+	return nil
+}
+
+// Map applies fn to every index in [0, n) with at most
+// Workers(workers) concurrent goroutines and returns the results in
+// index order — the property that lets the sweep drivers compute rows
+// concurrently yet emit byte-identical CSV. On error the results are
+// nil and the error is the lowest-indexed failure (see ForEach).
+func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,246 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapOrdersResults checks the central determinism property: Map
+// returns out[i] = fn(i) in index order, for worker counts below, at,
+// and above the item count, including the sequential fast path.
+func TestMapOrdersResults(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{0, 1, 2, 3, 8, n, n + 7} {
+		out, err := Map(context.Background(), n, workers, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != n {
+			t.Fatalf("workers=%d: %d results for %d items", workers, len(out), n)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestForEachVisitsEveryItem checks that each index is claimed exactly
+// once regardless of worker count.
+func TestForEachVisitsEveryItem(t *testing.T) {
+	const n = 257
+	for _, workers := range []int{1, 2, 5, 16} {
+		var visits [n]atomic.Int64
+		if err := ForEach(context.Background(), n, workers, func(i int) error {
+			visits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range visits {
+			if c := visits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: item %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestForEachDeterministicError checks the first-error contract: with
+// several failing items, the reported error is always the one from the
+// lowest failing index, no matter how workers interleave. Runs many
+// iterations to give the scheduler chances to misorder.
+func TestForEachDeterministicError(t *testing.T) {
+	const n = 64
+	failing := map[int]bool{9: true, 23: true, 57: true}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for iter := 0; iter < 50; iter++ {
+			err := ForEach(context.Background(), n, workers, func(i int) error {
+				if failing[i] {
+					return fmt.Errorf("item %d failed", i)
+				}
+				return nil
+			})
+			if err == nil {
+				t.Fatalf("workers=%d iter %d: no error reported", workers, iter)
+			}
+			if got, want := err.Error(), "item 9 failed"; got != want {
+				t.Fatalf("workers=%d iter %d: error %q, want %q", workers, iter, got, want)
+			}
+		}
+	}
+}
+
+// TestForEachErrorRunsEverythingBelow checks the stronger invariant
+// behind the deterministic error: every item below the reported
+// failure has actually run (its side effects are complete), so a
+// partial Map result is never missing pre-failure entries.
+func TestForEachErrorRunsEverythingBelow(t *testing.T) {
+	const n = 200
+	const failAt = 150
+	var ran [n]atomic.Bool
+	err := ForEach(context.Background(), n, 8, func(i int) error {
+		ran[i].Store(true)
+		if i >= failAt {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("no error reported")
+	}
+	for i := 0; i < failAt; i++ {
+		if !ran[i].Load() {
+			t.Fatalf("item %d below the failure was skipped", i)
+		}
+	}
+}
+
+// TestForEachCancellation checks that cancelling the context stops
+// workers from claiming new items and is reported as the error.
+func TestForEachCancellation(t *testing.T) {
+	const n = 10000
+	ctx, cancel := context.WithCancel(context.Background())
+	var count atomic.Int64
+	err := ForEach(ctx, n, 4, func(i int) error {
+		if count.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if c := count.Load(); c >= n {
+		t.Fatalf("all %d items ran despite cancellation", n)
+	}
+}
+
+// TestForEachSequentialCancellation covers the workers<=1 fast path.
+func TestForEachSequentialCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var count int
+	err := ForEach(ctx, 100, 1, func(i int) error {
+		count++
+		if count == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if count != 3 {
+		t.Fatalf("%d items ran after cancellation, want 3", count)
+	}
+}
+
+// TestForEachBoundsConcurrency checks that no more than the requested
+// number of workers run items simultaneously.
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const n = 500
+	const workers = 3
+	var busy, peak atomic.Int64
+	var mu sync.Mutex
+	if err := ForEach(context.Background(), n, workers, func(i int) error {
+		b := busy.Add(1)
+		mu.Lock()
+		if b > peak.Load() {
+			peak.Store(b)
+		}
+		mu.Unlock()
+		runtime.Gosched()
+		busy.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent items, want <= %d", p, workers)
+	}
+}
+
+// TestForEachEmptyAndMapError covers the degenerate inputs.
+func TestForEachEmptyAndMapError(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ForEach(ctx, 0, 4, func(int) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("n=0 with cancelled ctx: error = %v, want context.Canceled", err)
+	}
+	out, err := Map(context.Background(), 10, 4, func(i int) (int, error) {
+		if i == 4 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("Map with failing item: out = %v, err = %v; want nil, error", out, err)
+	}
+}
+
+// TestWorkers checks the 0-means-GOMAXPROCS convention.
+func TestWorkers(t *testing.T) {
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != want {
+		t.Errorf("Workers(0) = %d, want %d", got, want)
+	}
+	if got := Workers(-3); got != want {
+		t.Errorf("Workers(-3) = %d, want %d", got, want)
+	}
+}
+
+// TestSnapshotCounters checks that the pool telemetry advances with
+// work and that the busy gauge settles back to zero.
+func TestSnapshotCounters(t *testing.T) {
+	before := Snapshot()
+	const n = 25
+	if err := ForEach(context.Background(), n, 4, func(i int) error {
+		if i == 13 {
+			return errors.New("boom")
+		}
+		return nil
+	}); err == nil {
+		t.Fatal("no error reported")
+	}
+	after := Snapshot()
+	// Counters snapshot as int64, gauges as float64.
+	delta := func(key string) int64 {
+		a, _ := after[key].(int64)
+		b, _ := before[key].(int64)
+		return a - b
+	}
+	if d := delta("parallel.runs"); d != 1 {
+		t.Errorf("parallel.runs advanced by %v, want 1", d)
+	}
+	if d := delta("parallel.tasks_started"); d < 1 || d > int64(n) {
+		t.Errorf("parallel.tasks_started advanced by %v, want in [1, %d]", d, n)
+	}
+	if d := delta("parallel.tasks_failed"); d != 1 {
+		t.Errorf("parallel.tasks_failed advanced by %v, want 1", d)
+	}
+	if d := delta("parallel.tasks_completed"); d < 0 {
+		t.Errorf("parallel.tasks_completed advanced by %v, want >= 0", d)
+	}
+	if g, _ := after["parallel.workers_busy"].(float64); g != 0 {
+		t.Errorf("parallel.workers_busy = %v after all pools drained, want 0", g)
+	}
+	if started, completed, failed := delta("parallel.tasks_started"), delta("parallel.tasks_completed"), delta("parallel.tasks_failed"); started != completed+failed {
+		t.Errorf("started %v != completed %v + failed %v", started, completed, failed)
+	}
+}

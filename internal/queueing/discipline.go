@@ -18,6 +18,7 @@ package queueing
 import (
 	"fmt"
 	"math"
+	"slices"
 )
 
 // Discipline computes steady-state per-connection queue statistics for
@@ -94,4 +95,94 @@ func TotalQueue(r []float64, mu float64) (float64, error) {
 		return 0, err
 	}
 	return G(rho), nil
+}
+
+// Scratch holds the reusable working storage an InPlace discipline
+// needs between calls: a sort-order buffer and two float64 buffers.
+// The zero value is ready to use; buffers grow on demand and are then
+// reused, so steady-state evaluation performs no allocations. A
+// Scratch is not safe for concurrent use — give each goroutine its
+// own.
+type Scratch struct {
+	idx    []int
+	f1, f2 []float64
+}
+
+// grow sizes the scratch buffers for an n-connection gateway.
+func (s *Scratch) grow(n int) {
+	if cap(s.idx) < n {
+		s.idx = make([]int, n)
+		s.f1 = make([]float64, n)
+		s.f2 = make([]float64, n)
+	}
+	s.idx = s.idx[:n]
+	s.f1 = s.f1[:n]
+	s.f2 = s.f2[:n]
+}
+
+// order fills s.idx with 0..n-1 stably sorted by ascending rate — the
+// priority ordering shared by both Fair Share variants — and returns
+// it.
+func (s *Scratch) order(r []float64) []int {
+	s.grow(len(r))
+	for i := range s.idx {
+		s.idx[i] = i
+	}
+	stableSortByRate(s.idx, r)
+	return s.idx
+}
+
+// stableSortByRate stably sorts connection indices by ascending rate
+// without allocating. Stability makes the ordering — and therefore
+// every downstream queue value — identical to the sort.SliceStable
+// call in the allocating Queues methods.
+func stableSortByRate(idx []int, r []float64) {
+	slices.SortStableFunc(idx, func(a, b int) int {
+		switch {
+		case r[a] < r[b]:
+			return -1
+		case r[a] > r[b]:
+			return 1
+		}
+		return 0
+	})
+}
+
+// InPlace is implemented by disciplines that can evaluate their queue
+// model into caller-provided buffers without allocating. The results
+// must be bit-identical to the allocating Queues and SojournTimes
+// methods — ObserveInto is a performance path, never a different
+// model.
+type InPlace interface {
+	Discipline
+
+	// ObserveInto writes Queues into q and SojournTimes into w (both
+	// of length len(r)), using scr for any intermediate storage.
+	ObserveInto(q, w, r []float64, mu float64, scr *Scratch) error
+}
+
+// ObserveInto evaluates d's queues and sojourn times at (r, mu) into q
+// and w. Disciplines implementing InPlace are evaluated without
+// allocation; any other Discipline falls back to the allocating
+// methods with results copied into the buffers, so callers get one
+// uniform zero-garbage entry point either way (modulo the fallback's
+// own allocations).
+func ObserveInto(d Discipline, q, w, r []float64, mu float64, scr *Scratch) error {
+	if len(q) != len(r) || len(w) != len(r) {
+		return fmt.Errorf("queueing: buffers %d/%d for %d rates", len(q), len(w), len(r))
+	}
+	if ip, ok := d.(InPlace); ok {
+		return ip.ObserveInto(q, w, r, mu, scr)
+	}
+	qq, err := d.Queues(r, mu)
+	if err != nil {
+		return err
+	}
+	ww, err := d.SojournTimes(r, mu)
+	if err != nil {
+		return err
+	}
+	copy(q, qq)
+	copy(w, ww)
+	return nil
 }

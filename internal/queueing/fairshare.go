@@ -96,6 +96,57 @@ func (fs FairShare) SojournTimes(r []float64, mu float64) ([]float64, error) {
 	return w, nil
 }
 
+// ObserveInto implements InPlace: the same forward-substitution
+// recursion writing into caller buffers, with the sojourn times
+// derived from the queues just computed instead of recomputing them —
+// halving the work of the allocating Queues + SojournTimes pair while
+// producing bit-identical values.
+func (fs FairShare) ObserveInto(q, w, r []float64, mu float64, scr *Scratch) error {
+	if _, err := validate(r, mu); err != nil {
+		return err
+	}
+	n := len(r)
+	idx := scr.order(r)
+	sumQ := 0.0
+	for pos, i := range idx {
+		ri := r[i]
+		if ri == 0 {
+			q[i] = 0
+			continue
+		}
+		load := 0.0
+		for _, rk := range r {
+			load += math.Min(rk, ri)
+		}
+		load /= mu
+		if load >= 1 {
+			// Zero-rate connections sort first, so everything from pos on
+			// has a positive rate and an unbounded queue.
+			for _, j := range idx[pos:] {
+				q[j] = math.Inf(1)
+			}
+			break
+		}
+		qi := (G(load) - sumQ) / float64(n-pos)
+		if qi < 0 {
+			qi = 0 // guard against rounding at vanishing loads
+		}
+		q[i] = qi
+		sumQ += qi
+	}
+	for i, ri := range r {
+		switch {
+		case ri == 0:
+			w[i] = 1 / mu
+		case math.IsInf(q[i], 1):
+			w[i] = math.Inf(1)
+		default:
+			w[i] = q[i] / ri
+		}
+	}
+	return nil
+}
+
 // PriorityDecomposition returns the Table 1 substream rate matrix for
 // the Fair Share discipline. Rates are first sorted ascending; entry
 // [i][j] of the result is the rate sorted-connection i contributes to

@@ -51,3 +51,29 @@ func (FIFO) SojournTimes(r []float64, mu float64) ([]float64, error) {
 	}
 	return w, nil
 }
+
+// ObserveInto implements InPlace: one validation pass, both results,
+// no allocations. Values are bit-identical to Queues + SojournTimes.
+func (FIFO) ObserveInto(q, w, r []float64, mu float64, scr *Scratch) error {
+	rho, err := validate(r, mu)
+	if err != nil {
+		return err
+	}
+	if rho >= 1 {
+		for i, ri := range r {
+			if ri > 0 {
+				q[i] = math.Inf(1)
+			} else {
+				q[i] = 0
+			}
+			w[i] = math.Inf(1)
+		}
+		return nil
+	}
+	sojourn := 1 / (mu * (1 - rho))
+	for i, ri := range r {
+		q[i] = (ri / mu) / (1 - rho)
+		w[i] = sojourn
+	}
+	return nil
+}

@@ -98,6 +98,75 @@ func (NonPreemptiveFairShare) Queues(r []float64, mu float64) ([]float64, error)
 	return q, nil
 }
 
+// ObserveInto implements InPlace: the Kleinrock recursion evaluated
+// into caller buffers, with sojourn times derived from the queues in
+// hand rather than recomputed. Values are bit-identical to Queues +
+// SojournTimes.
+func (d NonPreemptiveFairShare) ObserveInto(q, w, r []float64, mu float64, scr *Scratch) error {
+	if _, err := validate(r, mu); err != nil {
+		return err
+	}
+	idx := scr.order(r)
+	classSojourn := scr.f1
+	sortedRates := scr.f2
+
+	rhoTot := 0.0
+	for _, ri := range r {
+		rhoTot += ri / mu
+	}
+	w0 := math.Min(rhoTot, 1) / mu
+
+	prevLoad := 0.0
+	for j, i := range idx {
+		load := 0.0
+		for _, rk := range r {
+			load += math.Min(rk, r[i])
+		}
+		load /= mu
+		if load >= 1 {
+			classSojourn[j] = math.Inf(1)
+		} else {
+			classSojourn[j] = w0/((1-prevLoad)*(1-load)) + 1/mu
+		}
+		prevLoad = math.Min(load, 1)
+	}
+	for j, i := range idx {
+		sortedRates[j] = r[i]
+	}
+	for pos, i := range idx {
+		if r[i] == 0 {
+			q[i] = 0
+			continue
+		}
+		total := 0.0
+		prev := 0.0
+		for j := 0; j <= pos; j++ {
+			lambda := sortedRates[j] - prev
+			prev = sortedRates[j]
+			if lambda == 0 {
+				continue
+			}
+			if math.IsInf(classSojourn[j], 1) {
+				total = math.Inf(1)
+				break
+			}
+			total += lambda * classSojourn[j]
+		}
+		q[i] = total
+	}
+	for i, ri := range r {
+		switch {
+		case ri == 0:
+			w[i] = math.Min(rhoTot, 1)/mu + 1/mu
+		case math.IsInf(q[i], 1):
+			w[i] = math.Inf(1)
+		default:
+			w[i] = q[i] / ri
+		}
+	}
+	return nil
+}
+
 // SojournTimes implements Discipline. A zero-rate probe joins the top
 // priority class but cannot preempt: it waits for the residual service
 // W0 plus its own service.

@@ -197,6 +197,20 @@ func IndividualCongestion(q []float64, i int) float64 {
 // feedback style and signal function.
 func GatewaySignals(style Style, b Func, q []float64) ([]float64, error) {
 	out := make([]float64, len(q))
+	if err := GatewaySignalsInto(out, style, b, q); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GatewaySignalsInto is GatewaySignals writing into a caller-provided
+// buffer (len(out) must equal len(q)). It performs no allocations, so
+// the flow-control iteration can evaluate signals into reusable
+// scratch every step (see core.Workspace).
+func GatewaySignalsInto(out []float64, style Style, b Func, q []float64) error {
+	if len(out) != len(q) {
+		return fmt.Errorf("signal: %d-slot buffer for %d queues", len(out), len(q))
+	}
 	switch style {
 	case Aggregate:
 		s := b.Eval(AggregateCongestion(q))
@@ -208,9 +222,9 @@ func GatewaySignals(style Style, b Func, q []float64) ([]float64, error) {
 			out[i] = b.Eval(IndividualCongestion(q, i))
 		}
 	default:
-		return nil, fmt.Errorf("signal: unknown feedback style %d", int(style))
+		return fmt.Errorf("signal: unknown feedback style %d", int(style))
 	}
-	return out, nil
+	return nil
 }
 
 // CombineBottleneck implements b_i = max_a b^a_i over a connection's
