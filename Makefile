@@ -1,0 +1,56 @@
+# Tool pins — keep in sync with .github/workflows/ci.yml.
+STATICCHECK_VERSION := 2024.1.1
+
+# internal/lint is written against the stable go/analysis API shapes
+# but implemented stdlib-only, so the module needs no x/tools
+# requirement and builds fully offline. If the suite ever needs facts,
+# SSA, or the real multichecker, migrate by pinning:
+#
+#     go get golang.org/x/tools@v0.24.0
+#
+# and swapping internal/lint's Analyzer/Pass types for the x/tools
+# ones (the fields match deliberately).
+
+GO ?= go
+
+.PHONY: all build test race lint vet ffcvet staticcheck fmt bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The same gate CI's analysis job applies (minus the -race pass):
+# the repo's own analyzer suite, go vet, and a pinned staticcheck.
+lint: ffcvet vet staticcheck
+
+ffcvet:
+	$(GO) run ./cmd/ffcvet ./...
+
+vet:
+	$(GO) vet ./...
+
+# Runs the pinned staticcheck via `go run`, which needs network access
+# on the first use; offline, install staticcheck@$(STATICCHECK_VERSION)
+# on PATH and it is used instead.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	fi
+
+fmt:
+	test -z "$$(gofmt -l .)"
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./...
+
+clean:
+	$(GO) clean ./...

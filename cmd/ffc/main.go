@@ -173,7 +173,7 @@ func runAndReport(sys *ff.System, r0 []float64, opt ff.RunOptions, scenario stri
 		if err := report(); err != nil {
 			return err
 		}
-		os.Exit(1)
+		cli.Exit(1)
 	}
 	fmt.Printf("converged in %d steps (%.2fms, residual %.3g -> %.3g)\n",
 		res.Steps, float64(res.Stats.WallTime.Nanoseconds())/1e6,

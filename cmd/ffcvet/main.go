@@ -1,0 +1,110 @@
+// ffcvet runs the repository's static-analysis suite (internal/lint):
+// six analyzers that enforce the determinism, allocation, and safety
+// invariants the reproduction depends on. docs/ANALYSIS.md describes
+// each rule.
+//
+// Two modes share one implementation:
+//
+//	ffcvet ./...                     # standalone: delegates to go vet -vettool=itself
+//	go vet -vettool=$(which ffcvet)  # vettool: speaks the unitchecker protocol
+//
+// Standalone mode re-executes the go command with itself installed as
+// the vet tool, so package loading, export data, and caching are the
+// go command's — exactly what a multichecker built on
+// golang.org/x/tools would do, without the dependency.
+//
+// Exit status follows the repo convention: 0 clean, 1 diagnostics
+// found, 2 usage or internal error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"github.com/nettheory/feedbackflow/internal/cli"
+	"github.com/nettheory/feedbackflow/internal/lint"
+)
+
+// version tags the -V=full handshake output; the go command folds it
+// into its action cache key, so bump it when analyzer behavior
+// changes in a way the cache must notice.
+const version = "v1.0.0"
+
+func main() {
+	args := os.Args[1:]
+
+	// The go command's vettool handshake: `tool -V=full` must print
+	// "<name> version <ver>", and `tool -flags` the JSON description of
+	// supported flags (none beyond the protocol's own).
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			fmt.Printf("%s version %s\n", toolName(), version)
+			return
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	// Vettool mode: a single *.cfg argument names one package unit.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		cli.Exit(lint.RunUnitChecker(args[0], lint.Analyzers(), os.Stderr))
+	}
+
+	// Standalone mode.
+	fs := flag.NewFlagSet("ffcvet", flag.ContinueOnError)
+	list := fs.Bool("analyzers", false, "list the analyzers and exit")
+	fs.Usage = usage
+	if err := fs.Parse(args); err != nil {
+		cli.Exit(2)
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fatal(fmt.Errorf("locating own binary: %w", err))
+	}
+	vet := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	vet.Stdout = os.Stdout
+	vet.Stderr = os.Stderr
+	if err := vet.Run(); err != nil {
+		if _, isExit := err.(*exec.ExitError); isExit {
+			cli.Exit(1) // diagnostics were already printed by go vet
+		}
+		fatal(fmt.Errorf("running go vet: %w", err))
+	}
+}
+
+// toolName is the executable's base name; the go command checks it
+// against the -V=full output.
+func toolName() string {
+	return strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: ffcvet [packages]
+
+Runs the feedbackflow analyzer suite over the named packages
+(default ./...). Also usable as go vet -vettool=$(command -v ffcvet).
+
+Analyzers:
+`)
+	for _, a := range lint.Analyzers() {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+}
+
+func fatal(err error) { cli.Fatal("ffcvet", err) }

@@ -61,7 +61,7 @@ func main() {
 		emit(*asJSON, []*ff.ExperimentResult{res})
 		writeReports(*metrics, []*ff.ExperimentResult{res})
 		if !res.Pass {
-			os.Exit(1)
+			cli.Exit(1)
 		}
 		return
 	}
@@ -85,7 +85,7 @@ func main() {
 		fmt.Printf("%d/%d experiments reproduced the paper's predictions\n", len(specs)-failed, len(specs))
 	}
 	if failed > 0 {
-		os.Exit(1)
+		cli.Exit(1)
 	}
 }
 

@@ -29,13 +29,13 @@ const simReportSchema = "feedbackflow/sim-report/v1"
 type simReport struct {
 	Schema     string        `json:"schema"`
 	Discipline string        `json:"discipline"`
-	Mu         float64       `json:"mu"`
-	Rates      []float64     `json:"rates"`
-	Duration   float64       `json:"duration"`
+	Mu         obs.Float     `json:"mu"`
+	Rates      []obs.Float   `json:"rates"`
+	Duration   obs.Float     `json:"duration"`
 	Seed       int64         `json:"seed"`
 	AnalyticQ  []obs.Float   `json:"analytic_queue"`
-	SimQ       []float64     `json:"simulated_queue"`
-	TotalQueue float64       `json:"total_queue"`
+	SimQ       []obs.Float   `json:"simulated_queue"`
+	TotalQueue obs.Float     `json:"total_queue"`
 	Served     []int64       `json:"served"`
 	Metrics    ff.SimMetrics `json:"metrics"`
 }
@@ -113,13 +113,13 @@ func buildSimReport(disc string, mu float64, rates []float64, duration float64, 
 	return &simReport{
 		Schema:     simReportSchema,
 		Discipline: disc,
-		Mu:         mu,
-		Rates:      rates,
-		Duration:   duration,
+		Mu:         obs.Float(mu),
+		Rates:      obs.Floats(rates),
+		Duration:   obs.Float(duration),
 		Seed:       seed,
 		AnalyticQ:  obs.Floats(analyticQ),
-		SimQ:       res.MeanQueue,
-		TotalQueue: res.TotalQueue,
+		SimQ:       obs.Floats(res.MeanQueue),
+		TotalQueue: obs.Float(res.TotalQueue),
 		Served:     served,
 		Metrics:    res.Metrics,
 	}

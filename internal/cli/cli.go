@@ -32,6 +32,13 @@ func Fatalf(tool, format string, args ...interface{}) {
 	Fatal(tool, fmt.Errorf(format, args...))
 }
 
+// Exit terminates the process with the given status code. It is the
+// sanctioned non-error exit: binaries signal "check failed" (status 1,
+// e.g. a non-converging run or a failed reproduction) through here so
+// that every exit flows through this package — the cliexit analyzer
+// flags direct os.Exit calls in cmd/*.
+func Exit(code int) { exit(code) }
+
 // WriteJSON writes v as indented JSON to path, with "-" meaning
 // stdout. The file is written atomically enough for reports (create,
 // write, close) and always ends in a newline.

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"time"
 )
 
 // RunAsync iterates the model with asynchronous updates: at each step
@@ -28,8 +27,8 @@ import (
 // step when tracing, otherwise the once-per-N convergence checks plus
 // the initial and final states.
 func (s *System) RunAsync(r0 []float64, opt RunOptions, seed int64) (*RunResult, error) {
-	start := time.Now()
 	opt = opt.withDefaults()
+	start := opt.Clock()
 	n := s.net.NumConnections()
 	if len(r0) != n {
 		return nil, fmt.Errorf("core: %d initial rates for %d connections", len(r0), n)
@@ -93,6 +92,6 @@ func (s *System) RunAsync(r0 []float64, opt RunOptions, seed int64) (*RunResult,
 	res.Stats.observe(finalResid, !sampled)
 	res.Stats.FinalResidual = finalResid
 	res.Stats.Steps = res.Steps
-	res.Stats.WallTime = time.Since(start)
+	res.Stats.WallTime = opt.Clock().Sub(start)
 	return res, nil
 }

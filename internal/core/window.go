@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"time"
 )
 
 // WindowSystem models genuine window-based flow control on top of the
@@ -134,8 +133,8 @@ type WindowRunResult struct {
 // Tracer receives one callback per window update with the pre-update
 // Little's-law rates and signals.
 func (ws *WindowSystem) Run(w0 []float64, opt RunOptions) (*WindowRunResult, error) {
-	start := time.Now()
 	opt = opt.withDefaults()
+	start := opt.Clock()
 	n := ws.sys.net.NumConnections()
 	if len(w0) != n {
 		return nil, fmt.Errorf("core: %d initial windows for %d connections", len(w0), n)
@@ -219,6 +218,6 @@ func (ws *WindowSystem) Run(w0 []float64, opt RunOptions) (*WindowRunResult, err
 	res.Stats.observe(finalResid, res.Steps == 0)
 	res.Stats.FinalResidual = finalResid
 	res.Stats.Steps = res.Steps
-	res.Stats.WallTime = time.Since(start)
+	res.Stats.WallTime = opt.Clock().Sub(start)
 	return res, nil
 }

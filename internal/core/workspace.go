@@ -69,6 +69,13 @@ func (w *Workspace) System() *System { return w.sys }
 // slice in it — is borrowed from the workspace: it is valid only until
 // the next Observe/Step/Run call on this workspace, and must be copied
 // to be retained. Values are bit-identical to System.Observe.
+//
+// The ffc:hotpath directive marks the steady-state zero-allocation
+// contract (guarded by the allocation benchmarks); the hotalloc
+// analyzer mechanically rejects allocating constructs in any function
+// carrying it.
+//
+//ffc:hotpath
 func (w *Workspace) Observe(r []float64) (*Observation, error) {
 	if err := w.observe(r); err != nil {
 		return nil, err
@@ -77,6 +84,8 @@ func (w *Workspace) Observe(r []float64) (*Observation, error) {
 }
 
 // observe fills w.obs with the observation at r without allocating.
+//
+//ffc:hotpath
 func (w *Workspace) observe(r []float64) error {
 	s := w.sys
 	p := &s.plan
@@ -130,6 +139,8 @@ func (w *Workspace) observe(r []float64) error {
 // writing the result into next. next must have length len(r) and must
 // not alias r. It is the allocation-free counterpart of System.Step
 // and produces bit-identical values.
+//
+//ffc:hotpath
 func (w *Workspace) Step(r, next []float64) error {
 	if len(next) != len(r) {
 		return fmt.Errorf("core: %d-slot buffer for %d rates", len(next), len(r))
@@ -144,6 +155,8 @@ func (w *Workspace) Step(r, next []float64) error {
 // alongside the update is free — the f_i are already in hand — which
 // is what lets Run keep a residual trajectory summary without extra
 // Observe calls.
+//
+//ffc:hotpath
 func (w *Workspace) stepInto(r, next []float64) (*Observation, float64, error) {
 	if err := w.observe(r); err != nil {
 		return nil, 0, err
@@ -168,6 +181,8 @@ func (w *Workspace) stepInto(r, next []float64) (*Observation, float64, error) {
 }
 
 // Residual is the allocation-free counterpart of System.Residual.
+//
+//ffc:hotpath
 func (w *Workspace) Residual(r []float64) (float64, error) {
 	if err := w.observe(r); err != nil {
 		return 0, err

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"github.com/nettheory/feedbackflow/internal/obs"
 )
 
 // ReportSchema identifies the experiment-report JSON schema version.
@@ -17,14 +19,14 @@ const ReportSchema = "feedbackflow/experiment-report/v1"
 // — reports are for dashboards and regression tracking, not for
 // re-reading tables.
 type Report struct {
-	Schema     string  `json:"schema"`
-	ID         string  `json:"id"`
-	Title      string  `json:"title"`
-	Source     string  `json:"source"`
-	Pass       bool    `json:"pass"`
-	ElapsedMS  float64 `json:"elapsed_ms"`
-	AllocBytes uint64  `json:"alloc_bytes"`
-	Checks     []Check `json:"checks"`
+	Schema     string    `json:"schema"`
+	ID         string    `json:"id"`
+	Title      string    `json:"title"`
+	Source     string    `json:"source"`
+	Pass       bool      `json:"pass"`
+	ElapsedMS  obs.Float `json:"elapsed_ms"`
+	AllocBytes uint64    `json:"alloc_bytes"`
+	Checks     []Check   `json:"checks"`
 }
 
 // Check is one reproduction check and its outcome.
@@ -41,7 +43,7 @@ func NewReport(r *Result) *Report {
 		Title:      r.Title,
 		Source:     r.Source,
 		Pass:       r.Pass,
-		ElapsedMS:  float64(r.Elapsed.Nanoseconds()) / 1e6,
+		ElapsedMS:  obs.Float(float64(r.Elapsed.Nanoseconds()) / 1e6),
 		AllocBytes: r.AllocBytes,
 	}
 	for _, n := range r.Notes {

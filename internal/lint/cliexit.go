@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CLIExit keeps the binaries' exit-status contract in one place: 0
+// success, 1 reproduction/convergence failure, 2 usage or runtime
+// error, all routed through internal/cli (Fatal/Fatalf for errors,
+// Exit for status codes). Direct os.Exit and log.Fatal* calls in
+// cmd/* bypass the convention — and log.Fatal additionally exits 1,
+// colliding with the "check failed" status — so both are flagged.
+var CLIExit = &Analyzer{
+	Name: "cliexit",
+	Doc: "forbid os.Exit and log.Fatal* in cmd/* outside internal/cli; " +
+		"route exits through cli.Fatal / cli.Exit so the exit-code convention holds",
+	Run: runCLIExit,
+}
+
+func runCLIExit(pass *Pass) error {
+	if !isCmdPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "os" && fn.Name() == "Exit":
+				pass.Reportf(call.Pos(),
+					"os.Exit in cmd/*: route through internal/cli (cli.Fatal for errors, cli.Exit for status codes) so the 0/1/2 exit convention holds")
+			case fn.Pkg().Path() == "log" && strings.HasPrefix(fn.Name(), "Fatal"):
+				pass.Reportf(call.Pos(),
+					"log.%s in cmd/*: exits 1 outside the exit convention; use cli.Fatal (exit 2) or report and cli.Exit", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetRange flags `range` statements over maps inside the deterministic
+// kernel packages when the loop body is order-sensitive: it
+// accumulates floating-point values, appends to a slice declared
+// outside the loop, or feeds an externally visible writer. Map
+// iteration order is randomized per run, so any of those bodies makes
+// trajectories, observations, or traces differ bit-for-bit between
+// otherwise identical runs — exactly the regressions Table 1 and the
+// period-doubling sweep cannot survive.
+var DetRange = &Analyzer{
+	Name: "detrange",
+	Doc: "flag order-sensitive map iteration (float accumulation, slice appends, " +
+		"writer calls) in the deterministic kernel packages",
+	Run: runDetRange,
+}
+
+// writerMethods are method names treated as externally visible writers
+// when called on a receiver declared outside the loop: metric sinks,
+// tracers, and stream writers all make iteration order observable.
+var writerMethods = map[string]bool{
+	"Add": true, "Inc": true, "Set": true, "Observe": true, "Record": true,
+	"Write": true, "WriteString": true, "Emit": true, "OnStep": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func runDetRange(pass *Pass) error {
+	if !isDeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if len(f.Decls) > 0 && pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[rng.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRangeBody(pass, rng, fd.Body)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkMapRangeBody reports every order-sensitive construct in the
+// body of a map-range statement. funcBody is the enclosing function,
+// used for the sorted-sink exemption: appending map keys to a slice
+// that is sorted after the loop is the deterministic idiom, not a bug.
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if accumulatesFloat(info, x) {
+				pass.Reportf(x.Pos(),
+					"floating-point accumulation inside range over map: iteration order changes the rounding, so results are not bit-identical across runs")
+			}
+		case *ast.CallExpr:
+			if isBuiltin(info, x, "append") && len(x.Args) > 0 {
+				if id := rootIdent(x.Args[0]); id != nil && declaredOutside(info, id, rng) &&
+					!sortedAfter(info, funcBody, rng, info.ObjectOf(id)) {
+					pass.Reportf(x.Pos(),
+						"append to %s inside range over map: output order follows the randomized iteration order (sort it after the loop or iterate sorted keys)", id.Name)
+				}
+			}
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && writerMethods[sel.Sel.Name] {
+				if _, isMethod := info.Selections[sel]; isMethod {
+					if id := rootIdent(sel.X); id != nil && declaredOutside(info, id, rng) {
+						pass.Reportf(x.Pos(),
+							"%s.%s inside range over map: the writer observes the randomized iteration order", id.Name, sel.Sel.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// accumulatesFloat reports whether assign is a floating-point
+// accumulation: a compound op-assign on a float, or x = x <op> y with
+// float type. Both reorder rounding when the iteration order changes.
+func accumulatesFloat(info *types.Info, assign *ast.AssignStmt) bool {
+	switch assign.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return len(assign.Lhs) == 1 && isFloat(info.Types[assign.Lhs[0]].Type)
+	case token.ASSIGN:
+		if len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident)
+		if !ok || !isFloat(info.Types[assign.Lhs[0]].Type) {
+			return false
+		}
+		obj := info.Uses[lhs]
+		if obj == nil {
+			return false
+		}
+		bin, ok := ast.Unparen(assign.Rhs[0]).(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		switch bin.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			return mentionsObject(info, bin, obj)
+		}
+	}
+	return false
+}
+
+// isFloat reports whether t's underlying type is a floating-point
+// kind.
+func isFloat(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	if !ok {
+		if u, okU := t.Underlying().(*types.Basic); okU {
+			b = u
+		} else {
+			return false
+		}
+	}
+	return b.Info()&types.IsFloat != 0
+}
+
+// mentionsObject reports whether any identifier under e resolves to
+// obj.
+func mentionsObject(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// declaredOutside reports whether id's object is declared lexically
+// before the range statement (i.e. it outlives one iteration).
+// Package-level and field-rooted receivers count as outside.
+func declaredOutside(info *types.Info, id *ast.Ident, rng *ast.RangeStmt) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// sortFuncs are the sort-package entry points that order a slice in
+// place.
+var sortFuncs = map[string]bool{
+	"Sort": true, "Stable": true, "Strings": true, "Ints": true,
+	"Float64s": true, "Slice": true, "SliceStable": true,
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.*
+// sorting function after the range statement within the enclosing
+// function — the collect-then-sort idiom that restores determinism.
+func sortedAfter(info *types.Info, funcBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return !found
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch pkg := fn.Pkg().Path(); {
+		case pkg == "sort" && sortFuncs[fn.Name()]:
+		case pkg == "slices" && strings.HasPrefix(fn.Name(), "Sort"):
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if id := rootIdent(arg); id != nil && info.ObjectOf(id) == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isBuiltin reports whether call invokes the named built-in.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := info.Uses[id].(*types.Builtin)
+	return isB
+}

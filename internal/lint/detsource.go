@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetSource forbids ambient entropy, clock, and environment reads
+// inside the deterministic kernel packages: the global math/rand
+// functions (whose shared source makes concurrent runs order-
+// dependent), time.Now/time.Since, and os.Getenv/os.LookupEnv/
+// os.Environ. Entropy flows in through explicit seeds
+// (rand.New(rand.NewSource(seed))) and wall time through
+// core.RunOptions.Clock, so every run is a pure function of its
+// inputs.
+var DetSource = &Analyzer{
+	Name: "detsource",
+	Doc: "forbid global math/rand, time.Now, and os.Getenv in the deterministic " +
+		"kernel packages; entropy and time must flow in via seeds and RunOptions",
+	Run: runDetSource,
+}
+
+// randConstructors are the math/rand (and v2) functions that build
+// explicitly seeded generators — the sanctioned way in.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// forbiddenSources maps package path → function names whose call sites
+// are flagged.
+var forbiddenSources = map[string]map[string]bool{
+	"time": {"Now": true, "Since": true, "Until": true},
+	"os":   {"Getenv": true, "LookupEnv": true, "Environ": true},
+}
+
+func runDetSource(pass *Pass) error {
+	if !isDeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Float64) are seeded
+			}
+			switch path := fn.Pkg().Path(); path {
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"%s.%s uses the global rand source: deterministic kernels must draw from an explicitly seeded *rand.Rand", path, fn.Name())
+				}
+			default:
+				if forbiddenSources[path][fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"%s.%s in a deterministic kernel: time and environment must flow in through RunOptions (see core.RunOptions.Clock)", path, fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

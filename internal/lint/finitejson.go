@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// FiniteJSON guards the report surfaces against non-finite floats: the
+// model legitimately produces +Inf queues and delays (overloaded
+// gateways), and encoding/json rejects them at encode time — deep in a
+// run, long after the value was computed. Every float that reaches a
+// JSON report must therefore ride in obs.Float (whose MarshalJSON
+// round-trips NaN/±Inf as strings). The analyzer flags marshal calls —
+// json.Marshal, json.MarshalIndent, (*json.Encoder).Encode, and the
+// repository's cli.WriteJSON — whose argument's static type contains a
+// raw float64/float32 field not wrapped in a json.Marshaler.
+var FiniteJSON = &Analyzer{
+	Name: "finitejson",
+	Doc: "flag encoding/json marshaling of structs with raw float64 fields in " +
+		"report-emitting packages; floats must route through obs.Float",
+	Run: runFiniteJSON,
+}
+
+func runFiniteJSON(pass *Pass) error {
+	// internal/obs implements the Float convention itself.
+	if pass.Pkg.Path() == modulePath+"/internal/obs" {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			arg := marshalArg(info, call)
+			if arg == nil {
+				return true
+			}
+			tv, ok := info.Types[arg]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if path := rawFloatPath(tv.Type); path != "" {
+				pass.Reportf(call.Pos(),
+					"%s marshaled to JSON with raw float field %s: non-finite values (+Inf queues, NaN) fail to encode; use obs.Float", tv.Type, path)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// marshalArg returns the value being marshaled when call is one of the
+// recognized JSON sinks, or nil.
+func marshalArg(info *types.Info, call *ast.CallExpr) ast.Expr {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	switch fn.Pkg().Path() {
+	case "encoding/json":
+		switch fn.Name() {
+		case "Marshal", "MarshalIndent":
+			if len(call.Args) >= 1 {
+				return call.Args[0]
+			}
+		case "Encode": // (*json.Encoder).Encode
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && len(call.Args) == 1 {
+				return call.Args[0]
+			}
+		}
+	case modulePath + "/internal/cli":
+		if fn.Name() == "WriteJSON" && len(call.Args) == 2 {
+			return call.Args[1]
+		}
+	}
+	return nil
+}
+
+// rawFloatPath walks t looking for a struct field whose type contains
+// a bare float64/float32 that no json.Marshaler wraps, returning a
+// dotted path to the first such field ("" when t is clean). Named
+// types implementing json.Marshaler (obs.Float, time.Time, ...) are
+// trusted and not entered.
+func rawFloatPath(t types.Type) string {
+	return floatWalk(t, "", map[types.Type]bool{}, false)
+}
+
+func floatWalk(t types.Type, path string, seen map[types.Type]bool, inStruct bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	defer delete(seen, t)
+	if implementsJSONMarshaler(t) {
+		return ""
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if inStruct && u.Info()&types.IsFloat != 0 {
+			return path
+		}
+	case *types.Pointer:
+		return floatWalk(u.Elem(), path, seen, inStruct)
+	case *types.Slice:
+		return floatWalk(u.Elem(), path+"[]", seen, inStruct)
+	case *types.Array:
+		return floatWalk(u.Elem(), path+"[]", seen, inStruct)
+	case *types.Map:
+		return floatWalk(u.Elem(), path+"[]", seen, inStruct)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if !f.Exported() {
+				continue // encoding/json skips unexported fields
+			}
+			fp := f.Name()
+			if path != "" {
+				fp = path + "." + fp
+			}
+			if hit := floatWalk(f.Type(), fp, seen, true); hit != "" {
+				return hit
+			}
+		}
+	}
+	return ""
+}
+
+// implementsJSONMarshaler reports whether t or *t provides
+// MarshalJSON() ([]byte, error).
+func implementsJSONMarshaler(t types.Type) bool {
+	if hasMarshalJSON(t) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return hasMarshalJSON(types.NewPointer(t))
+	}
+	return false
+}
+
+func hasMarshalJSON(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		m := ms.At(i).Obj()
+		if m.Name() != "MarshalJSON" {
+			continue
+		}
+		sig, ok := m.Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 2 {
+			continue
+		}
+		if fmt.Sprint(sig.Results().At(0).Type()) == "[]byte" {
+			return true
+		}
+	}
+	return false
+}

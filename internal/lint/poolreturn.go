@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolReturn catches the workspace pool's leak mode: a function takes
+// a value with sync.Pool.Get and exits on some path without returning
+// it with Put. A leaked workspace is not a crash — the pool just
+// reallocates — so the regression is invisible to tests and shows up
+// only as allocation churn under load.
+//
+// A Get is accepted when (in order of preference):
+//   - a `defer pool.Put(...)` on the same pool exists in the function;
+//   - the gotten value is returned to the caller (ownership transfer,
+//     the acquire-wrapper pattern); or
+//   - every return statement lexically after the Get is preceded by a
+//     Put on the same pool.
+//
+// The last rule is a source-order approximation, not a CFG: it flags
+// the early-return-between-Get-and-Put shape, which is how the leak
+// actually regresses.
+var PoolReturn = &Analyzer{
+	Name: "poolreturn",
+	Doc: "flag sync.Pool.Get without a reachable Put on all return paths " +
+		"(defer the Put, or return the value to transfer ownership)",
+	Run: runPoolReturn,
+}
+
+func runPoolReturn(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// poolCall is one Get/Put/defer-Put on a pool, identified by the
+// types.Object chain of its receiver expression.
+type poolCall struct {
+	call     *ast.CallExpr
+	pos      token.Pos
+	pool     string // rendered receiver chain, e.g. "s.pool"
+	deferred bool
+	inReturn bool
+	assigned types.Object // variable the Get result lands in, if any
+}
+
+func checkPoolFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var gets, puts []poolCall
+	var returns []*ast.ReturnStmt
+
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested functions are their own scope
+		}
+		switch x := n.(type) {
+		case *ast.ReturnStmt:
+			returns = append(returns, x)
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok || !isSyncPoolRecv(info, sel) {
+				return true
+			}
+			pc := poolCall{call: x, pos: x.Pos(), pool: exprString(sel.X)}
+			for _, anc := range stack {
+				switch anc.(type) {
+				case *ast.DeferStmt:
+					pc.deferred = true
+				case *ast.ReturnStmt:
+					pc.inReturn = true
+				}
+			}
+			switch sel.Sel.Name {
+			case "Get":
+				pc.assigned = assignedObject(info, stack)
+				gets = append(gets, pc)
+			case "Put":
+				puts = append(puts, pc)
+			}
+		}
+		return true
+	})
+
+	for _, get := range gets {
+		checkOneGet(pass, get, puts, returns, info)
+	}
+}
+
+// checkOneGet applies the acceptance rules to a single Pool.Get.
+func checkOneGet(pass *Pass, get poolCall, puts []poolCall, returns []*ast.ReturnStmt, info *types.Info) {
+	if get.inReturn {
+		return // ownership transferred to the caller
+	}
+	var same []poolCall
+	for _, p := range puts {
+		if p.pool == get.pool {
+			if p.deferred {
+				return // defer Put covers every exit
+			}
+			same = append(same, p)
+		}
+	}
+	// A return of the gotten variable also transfers ownership.
+	returnsValue := func(ret *ast.ReturnStmt) bool {
+		if get.assigned == nil {
+			return false
+		}
+		for _, res := range ret.Results {
+			if id := rootIdent(res); id != nil && info.Uses[id] == get.assigned {
+				return true
+			}
+		}
+		return false
+	}
+	if len(same) == 0 {
+		for _, ret := range returns {
+			if returnsValue(ret) {
+				return
+			}
+		}
+		pass.Reportf(get.pos, "sync.Pool.Get on %s with no Put in this function: the value leaks on every path", get.pool)
+		return
+	}
+	firstPut := token.Pos(-1)
+	for _, p := range same {
+		if p.pos > get.pos && (firstPut < 0 || p.pos < firstPut) {
+			firstPut = p.pos
+		}
+	}
+	if firstPut < 0 {
+		pass.Reportf(get.pos, "sync.Pool.Get on %s with no Put after it: the value leaks", get.pool)
+		return
+	}
+	for _, ret := range returns {
+		if ret.Pos() > get.pos && ret.End() < firstPut && !returnsValue(ret) {
+			pass.Reportf(ret.Pos(), "return between %s.Get and its Put leaks the pooled value: defer the Put", get.pool)
+		}
+	}
+}
+
+// isSyncPoolRecv reports whether sel selects a method on sync.Pool or
+// *sync.Pool.
+func isSyncPoolRecv(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := s.Recv()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "Pool"
+}
+
+// assignedObject returns the variable receiving the innermost
+// assignment in stack, walking over intervening type assertions and
+// parens (x := pool.Get().(*T)).
+func assignedObject(info *types.Info, stack []ast.Node) types.Object {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch x := stack[i].(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) >= 1 {
+				if id, ok := ast.Unparen(x.Lhs[0]).(*ast.Ident); ok {
+					if obj := info.Defs[id]; obj != nil {
+						return obj
+					}
+					return info.Uses[id]
+				}
+			}
+			return nil
+		case *ast.TypeAssertExpr, *ast.ParenExpr, *ast.CallExpr, *ast.SelectorExpr:
+			continue
+		case *ast.ExprStmt, *ast.BlockStmt:
+			return nil
+		}
+	}
+	return nil
+}
+
+// exprString renders a receiver chain (identifiers, selectors, parens,
+// stars) for pool identity comparison. Unrenderable chains share one
+// placeholder bucket — erring toward matching a Get with a Put, never
+// toward a false leak report.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return "&" + exprString(x.X)
+		}
+	}
+	return "?"
+}

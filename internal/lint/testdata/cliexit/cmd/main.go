@@ -1,0 +1,23 @@
+// Fixture for the cliexit analyzer under a cmd/* package path: direct
+// os.Exit and log.Fatal* fire; plain error returns and printing stay
+// silent. (The sanctioned cli.Fatal/cli.Exit calls live in
+// internal/cli, which is outside cmd/* and therefore exempt.)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2) // want `os.Exit in cmd/\*`
+	}
+	log.Fatal("boom")            // want `log.Fatal in cmd/\*`
+	log.Fatalf("boom %d", 2)     // want `log.Fatalf in cmd/\*`
+	log.Println("shutting down") // logging itself is fine
+}
+
+func run() error { return nil }

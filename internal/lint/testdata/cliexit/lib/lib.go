@@ -1,0 +1,15 @@
+// Fixture for the cliexit analyzer outside cmd/*: library and
+// internal/cli code may call os.Exit — that is where the convention
+// is implemented.
+package cli
+
+import "os"
+
+// exit is swapped out by tests, mirroring internal/cli.
+var exit = os.Exit
+
+// Fatal is the sanctioned exit path.
+func Fatal() { exit(2) }
+
+// Exit is the sanctioned status-code path.
+func Exit(code int) { os.Exit(code) }

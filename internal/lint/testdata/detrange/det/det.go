@@ -1,0 +1,82 @@
+// Fixture for the detrange analyzer, checked under a deterministic
+// kernel package path: order-sensitive map-range bodies must fire,
+// order-independent ones must stay silent.
+package core
+
+import "sort"
+
+// counter is a writer-shaped sink for the writer-call rule.
+type counter struct{ n int }
+
+func (c *counter) Inc()          { c.n++ }
+func (c *counter) Add(v float64) {}
+
+func sumFloats(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want "floating-point accumulation inside range over map"
+	}
+	return sum
+}
+
+func sumFloatsExplicit(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum = sum + v // want "floating-point accumulation inside range over map"
+	}
+	return sum
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside range over map"
+	}
+	return keys
+}
+
+func writeEach(m map[string]float64, c *counter) {
+	for _, v := range m {
+		c.Add(v) // want "c.Add inside range over map"
+	}
+}
+
+// collectSorted is the sanctioned idiom: the sort after the loop
+// erases the iteration order.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// intCount is order-independent: integer addition commutes exactly.
+func intCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// sliceSum ranges a slice, not a map: iteration order is fixed.
+func sliceSum(xs []float64) float64 {
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// localAppend appends to a slice scoped inside the loop body.
+func localAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		local := []int{}
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

@@ -1,0 +1,20 @@
+// Fixture for the detrange analyzer, checked under a package path
+// outside the deterministic kernels: the same order-sensitive bodies
+// must stay silent, because the rule binds only the kernels.
+package report
+
+func sumFloats(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,38 @@
+// Fixture for the detsource analyzer under a deterministic kernel
+// path: ambient entropy/clock/environment reads fire, seeded and
+// injected sources stay silent.
+package core
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func ambient() float64 {
+	x := rand.Float64() // want `math/rand.Float64 uses the global rand source`
+	n := rand.Intn(10)  // want `math/rand.Intn uses the global rand source`
+	_ = n
+	return x
+}
+
+func wallClock() time.Time {
+	t := time.Now()   // want `time.Now in a deterministic kernel`
+	_ = time.Since(t) // want `time.Since in a deterministic kernel`
+	return t
+}
+
+func env() string {
+	return os.Getenv("FFC_MODE") // want `os.Getenv in a deterministic kernel`
+}
+
+// seeded is the sanctioned pattern: entropy flows in via the seed.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// injected is the sanctioned clock pattern: the reading flows in.
+func injected(clock func() time.Time) time.Time {
+	return clock()
+}

@@ -1,0 +1,13 @@
+// Fixture for the detsource analyzer outside the deterministic
+// kernels: ambient sources are allowed there (telemetry wall time,
+// CLI environment handling).
+package report
+
+import (
+	"os"
+	"time"
+)
+
+func wallClock() time.Time { return time.Now() }
+
+func env() string { return os.Getenv("FFC_MODE") }

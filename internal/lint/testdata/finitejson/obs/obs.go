@@ -1,0 +1,14 @@
+// Fixture for finitejson's one exemption: the package that implements
+// the Float convention (checked under the internal/obs path) may
+// marshal raw floats — it is the layer that makes them safe.
+package obs
+
+import "encoding/json"
+
+type snapshot struct {
+	Mean float64 `json:"mean"`
+}
+
+func encode(s snapshot) ([]byte, error) {
+	return json.Marshal(s)
+}

@@ -1,0 +1,86 @@
+// Fixture for the finitejson analyzer: marshaling a struct with raw
+// float64 fields fires (non-finite values would fail to encode), while
+// Marshaler-wrapped floats and float-free payloads stay silent.
+package reports
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+)
+
+// SafeFloat stands in for obs.Float: a float64 with a non-finite-safe
+// MarshalJSON.
+type SafeFloat float64
+
+// MarshalJSON encodes NaN/±Inf as strings.
+func (f SafeFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte(`"NaN"`), nil
+	}
+	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+type rawReport struct {
+	Name  string    `json:"name"`
+	Mean  float64   `json:"mean"`
+	Rates []float64 `json:"rates"`
+}
+
+type safeReport struct {
+	Name  string      `json:"name"`
+	Mean  SafeFloat   `json:"mean"`
+	Rates []SafeFloat `json:"rates"`
+}
+
+type nested struct {
+	Inner rawReport `json:"inner"`
+}
+
+type floatless struct {
+	Name  string `json:"name"`
+	Count int64  `json:"count"`
+}
+
+func emitRaw(w io.Writer, r *rawReport) error {
+	if _, err := json.Marshal(r); err != nil { // want "raw float field Mean"
+		return err
+	}
+	if _, err := json.MarshalIndent(r, "", "  "); err != nil { // want "raw float field Mean"
+		return err
+	}
+	return json.NewEncoder(w).Encode(r) // want "raw float field Mean"
+}
+
+func emitNested(w io.Writer, n nested) error {
+	return json.NewEncoder(w).Encode(n) // want "raw float field Inner.Mean"
+}
+
+func emitSlice(w io.Writer, rs []rawReport) error {
+	return json.NewEncoder(w).Encode(rs) // want `raw float field \[\]\.Mean`
+}
+
+func emitSafe(w io.Writer, r *safeReport) error {
+	return json.NewEncoder(w).Encode(r)
+}
+
+func emitFloatless(w io.Writer, f floatless) error {
+	return json.NewEncoder(w).Encode(f)
+}
+
+// emitOpaque marshals through an interface: the static type carries no
+// field information, so the analyzer stays silent by design.
+func emitOpaque(w io.Writer, v interface{}) error {
+	return json.NewEncoder(w).Encode(v)
+}
+
+// decodeRaw only unmarshals: reading raw floats back is fine.
+func decodeRaw(data []byte) (*rawReport, error) {
+	r := &rawReport{}
+	if err := json.Unmarshal(data, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -1,0 +1,66 @@
+// Fixture for the hotalloc analyzer: each allocating construct fires
+// inside a //ffc:hotpath function, the workspace-owned patterns stay
+// silent, and unannotated functions are never checked.
+package kernel
+
+import "fmt"
+
+type workspace struct {
+	buf   []float64
+	spill []int
+}
+
+// Step is the canonical annotated hot function.
+//
+//ffc:hotpath
+func (w *workspace) Step(r, out []float64) error {
+	if len(out) != len(r) {
+		return fmt.Errorf("kernel: %d-slot buffer for %d rates", len(out), len(r)) // cold return: exempt
+	}
+	tmp := make([]float64, len(r)) // want "hot path allocates: make"
+	_ = tmp
+	p := new(workspace) // want "hot path allocates: new"
+	_ = p
+	q := &workspace{} // want `hot path allocates: &composite literal`
+	_ = q
+	fmt.Println("step") // want `hot path allocates: fmt.Println`
+	n := 0
+	f := func() int { n++; return n } // want "hot path allocates: closure captures n"
+	_ = f()
+	s := "a" + "b" // constants fold: silent
+	_ = s
+	name := "x"
+	name = name + "y" // want "hot path allocates: string concatenation"
+	_ = name
+	var sink interface{}
+	sink = len(r) // want "hot path allocates: int value boxed into interface"
+	_ = sink
+	w.spill = append(w.spill, len(r)) // receiver-rooted: silent
+	var foreign []int
+	foreign = append(foreign, 1) // want "hot path allocates: append to a slice not rooted"
+	_ = foreign
+	out = append(out, 0) // parameter-rooted: silent
+	_ = out
+	return nil
+}
+
+// Observe shows the sanctioned workspace patterns.
+//
+//ffc:hotpath
+func (w *workspace) Observe(r []float64) error {
+	view := w.buf[:0]
+	for _, v := range r {
+		view = append(view, v) // local rooted in receiver: silent
+	}
+	w.buf = view
+	plain := func() int { return 1 } // captures nothing: silent
+	_ = plain()
+	return nil
+}
+
+// cold is identical to Step's worst lines but unannotated: silent.
+func (w *workspace) cold(r []float64) []float64 {
+	tmp := make([]float64, len(r))
+	fmt.Println("cold")
+	return tmp
+}

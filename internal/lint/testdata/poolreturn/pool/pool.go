@@ -1,0 +1,71 @@
+// Fixture for the poolreturn analyzer: Gets that can leak fire, the
+// defer-Put, balanced-Put, and ownership-transfer patterns stay
+// silent.
+package pool
+
+import (
+	"fmt"
+	"sync"
+)
+
+type ws struct{ buf []float64 }
+
+type system struct{ pool sync.Pool }
+
+// leakNoPut takes a workspace and never returns it.
+func (s *system) leakNoPut() int {
+	w := s.pool.Get().(*ws) // want `sync.Pool.Get on s.pool with no Put in this function`
+	return len(w.buf)
+}
+
+// leakEarlyReturn has a Put, but the error path skips it.
+func (s *system) leakEarlyReturn(n int) error {
+	w := s.pool.Get().(*ws)
+	if n < 0 {
+		return fmt.Errorf("pool: bad n %d", n) // want `return between s.pool.Get and its Put leaks`
+	}
+	_ = w
+	s.pool.Put(w)
+	return nil
+}
+
+// deferred is the sanctioned shape: defer covers every exit.
+func (s *system) deferred(n int) error {
+	w := s.pool.Get().(*ws)
+	defer s.pool.Put(w)
+	if n < 0 {
+		return fmt.Errorf("pool: bad n %d", n)
+	}
+	_ = w
+	return nil
+}
+
+// balanced puts on the single straight-line path.
+func (s *system) balanced() int {
+	w := s.pool.Get().(*ws)
+	n := len(w.buf)
+	s.pool.Put(w)
+	return n
+}
+
+// acquire transfers ownership to the caller, the wrapper pattern.
+func (s *system) acquire() *ws { return s.pool.Get().(*ws) }
+
+// acquireVar transfers ownership through a variable.
+func (s *system) acquireVar() *ws {
+	w := s.pool.Get().(*ws)
+	w.buf = w.buf[:0]
+	return w
+}
+
+// release is the Put side; no Get, nothing to check.
+func (s *system) release(w *ws) { s.pool.Put(w) }
+
+// twoPools keeps distinct pools distinct: putting into one does not
+// excuse leaking from the other.
+type twoPools struct{ a, b sync.Pool }
+
+func (t *twoPools) crossed() {
+	x := t.a.Get() // want `sync.Pool.Get on t.a with no Put in this function`
+	t.b.Put(x)
+}

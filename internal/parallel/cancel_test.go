@@ -1,0 +1,127 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCancelRacesError pins down the error contract when a
+// cancellation and item failures land mid-grid at once: the winner is
+// still the lowest-indexed failing item, not the cancellation and not
+// a higher-indexed error that happened to be reported first. The
+// schedule is forced, not hoped for — item 2 is guaranteed to be
+// in flight when item 6 cancels the grid, because claims come off a
+// strictly increasing atomic counter and item 6 waits for item 2's
+// started signal before cancelling.
+func TestForEachCancelRacesError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for iter := 0; iter < 200; iter++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		lowRunning := make(chan struct{})
+		err := ForEach(ctx, 16, 4, func(i int) error {
+			switch {
+			case i == 2:
+				// In flight across the cancellation; fails only after it.
+				close(lowRunning)
+				<-ctx.Done()
+				return errLow
+			case i == 6:
+				<-lowRunning
+				cancel()
+				return errHigh
+			case i >= 8:
+				// Mid-grid stragglers: drain only once cancelled.
+				<-ctx.Done()
+				return nil
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, errLow) {
+			t.Fatalf("iter %d: error = %v, want errLow from item 2", iter, err)
+		}
+	}
+}
+
+// TestForEachCancelMidGridStopsClaims checks that a cancellation
+// landing mid-grid keeps the bulk of the grid from starting — only
+// items already claimed by a worker may still run — that no item runs
+// twice, and that the cancellation is the reported error when no item
+// failed.
+func TestForEachCancelMidGridStopsClaims(t *testing.T) {
+	const n = 1 << 14
+	const workers = 8
+	ctx, cancel := context.WithCancel(context.Background())
+	var visits [n]atomic.Int64
+	var count atomic.Int64
+	err := ForEach(ctx, n, workers, func(i int) error {
+		visits[i].Add(1)
+		if count.Add(1) == 32 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	// 32 items ran before the cancel; each worker may already have
+	// claimed one more. Everything else must never have started.
+	ran := int(count.Load())
+	if ran < 32 || ran >= 32+workers+1 {
+		t.Fatalf("%d items ran, want within [32, %d)", ran, 32+workers+1)
+	}
+	for i := range visits {
+		if c := visits[i].Load(); c > 1 {
+			t.Fatalf("item %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestMapCancelMidGrid checks Map's face of the same contract: a
+// mid-grid cancellation yields nil results and the context error, and
+// a mid-grid failure beats the cancellation when its index is lowest.
+func TestMapCancelMidGrid(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var count atomic.Int64
+	out, err := Map(ctx, 4096, 4, func(i int) (int, error) {
+		if count.Add(1) == 16 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatalf("results = %d values, want nil on cancellation", len(out))
+	}
+
+	errBoom := errors.New("boom")
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	boomRunning := make(chan struct{})
+	out, err = Map(ctx2, 16, 4, func(i int) (int, error) {
+		switch {
+		case i == 1:
+			close(boomRunning)
+			<-ctx2.Done()
+			return 0, errBoom
+		case i == 5:
+			<-boomRunning
+			cancel2()
+			return 0, errors.New("late")
+		case i >= 8:
+			<-ctx2.Done()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("error = %v, want errBoom from item 1", err)
+	}
+	if out != nil {
+		t.Fatalf("results = %d values, want nil on error", len(out))
+	}
+}

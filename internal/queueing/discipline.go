@@ -167,6 +167,12 @@ type InPlace interface {
 // methods with results copied into the buffers, so callers get one
 // uniform zero-garbage entry point either way (modulo the fallback's
 // own allocations).
+//
+// The ffc:hotpath directive marks the zero-allocation contract; the
+// hotalloc analyzer rejects allocating constructs in functions
+// carrying it.
+//
+//ffc:hotpath
 func ObserveInto(d Discipline, q, w, r []float64, mu float64, scr *Scratch) error {
 	if len(q) != len(r) || len(w) != len(r) {
 		return fmt.Errorf("queueing: buffers %d/%d for %d rates", len(q), len(w), len(r))

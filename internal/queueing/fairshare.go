@@ -101,6 +101,8 @@ func (fs FairShare) SojournTimes(r []float64, mu float64) ([]float64, error) {
 // derived from the queues just computed instead of recomputing them —
 // halving the work of the allocating Queues + SojournTimes pair while
 // producing bit-identical values.
+//
+//ffc:hotpath
 func (fs FairShare) ObserveInto(q, w, r []float64, mu float64, scr *Scratch) error {
 	if _, err := validate(r, mu); err != nil {
 		return err

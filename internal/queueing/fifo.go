@@ -54,6 +54,8 @@ func (FIFO) SojournTimes(r []float64, mu float64) ([]float64, error) {
 
 // ObserveInto implements InPlace: one validation pass, both results,
 // no allocations. Values are bit-identical to Queues + SojournTimes.
+//
+//ffc:hotpath
 func (FIFO) ObserveInto(q, w, r []float64, mu float64, scr *Scratch) error {
 	rho, err := validate(r, mu)
 	if err != nil {

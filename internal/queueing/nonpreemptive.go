@@ -102,6 +102,8 @@ func (NonPreemptiveFairShare) Queues(r []float64, mu float64) ([]float64, error)
 // into caller buffers, with sojourn times derived from the queues in
 // hand rather than recomputed. Values are bit-identical to Queues +
 // SojournTimes.
+//
+//ffc:hotpath
 func (d NonPreemptiveFairShare) ObserveInto(q, w, r []float64, mu float64, scr *Scratch) error {
 	if _, err := validate(r, mu); err != nil {
 		return err

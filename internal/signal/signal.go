@@ -206,7 +206,10 @@ func GatewaySignals(style Style, b Func, q []float64) ([]float64, error) {
 // GatewaySignalsInto is GatewaySignals writing into a caller-provided
 // buffer (len(out) must equal len(q)). It performs no allocations, so
 // the flow-control iteration can evaluate signals into reusable
-// scratch every step (see core.Workspace).
+// scratch every step (see core.Workspace). The ffc:hotpath directive
+// puts that promise under the hotalloc analyzer.
+//
+//ffc:hotpath
 func GatewaySignalsInto(out []float64, style Style, b Func, q []float64) error {
 	if len(out) != len(q) {
 		return fmt.Errorf("signal: %d-slot buffer for %d queues", len(out), len(q))
