@@ -13,7 +13,7 @@ STATICCHECK_VERSION := 2024.1.1
 
 GO ?= go
 
-.PHONY: all build test race lint vet ffcvet staticcheck fmt bench clean
+.PHONY: all build test race lint vet ffcvet staticcheck fmt bench chaos clean
 
 all: build test
 
@@ -51,6 +51,20 @@ fmt:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./...
+
+# Fault-injection smoke (docs/ROBUSTNESS.md): the injector and
+# recovery suites, the ffsweep kill/resume round trip, the E22
+# robustness experiment, an ffc -fault matrix across two topologies,
+# and a short seed-corpus fuzz of the fault-spec parser.
+chaos:
+	$(GO) test -count=1 ./internal/fault/ ./internal/recovery/
+	$(GO) test -run 'TestCheckpoint' -count=1 ./cmd/ffsweep/
+	$(GO) test -run 'TestE22' -count=1 ./internal/experiments/
+	$(GO) run ./cmd/ffc -topology single -n 4 -steps 2000 \
+		-fault "seed=3,loss=0.5@50-120,outage=0@150-170" >/dev/null
+	$(GO) run ./cmd/ffc -topology parkinglot -hops 3 -steps 4000 \
+		-fault "seed=5,noise=0.1@20-200,churn=0@100-300" >/dev/null
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/fault/
 
 clean:
 	$(GO) clean ./...

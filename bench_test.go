@@ -1,4 +1,4 @@
-// Benchmarks: one per reproduced table/figure (the E1–E21 experiment
+// Benchmarks: one per reproduced table/figure (the E1–E22 experiment
 // suite plus the A1–A3 ablations), each regenerating its exhibit end
 // to end, followed by micro-benchmarks of the core model operations.
 //
@@ -418,3 +418,7 @@ func BenchmarkAblationPreemption(b *testing.B) { benchExperiment(b, "A3") }
 // BenchmarkE21ConjectureSweep regenerates the Section 3.3 conjecture
 // evidence sweep.
 func BenchmarkE21ConjectureSweep(b *testing.B) { benchExperiment(b, "E21") }
+
+// BenchmarkE22FaultRecovery regenerates the Theorem-5-under-faults
+// recovery comparison (four perturbed runs with full trajectories).
+func BenchmarkE22FaultRecovery(b *testing.B) { benchExperiment(b, "E22") }

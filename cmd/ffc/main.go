@@ -10,6 +10,14 @@
 //	ffc -topology parkinglot -hops 3 -feedback aggregate -eta 0.3
 //	ffc -law window -eta 0.02 -beta 0.2          # DECbit-style window LIMD
 //	ffc -metrics-json run.json -trace 2>steps.tsv # instrumented run
+//	ffc -fault "seed=3,loss=0.5@50-120,outage=0@150-170" -steps 2000
+//
+// With -fault, ffc runs the robustness protocol of docs/ROBUSTNESS.md:
+// an unperturbed baseline run to the fixed point, a second run with
+// the spec's faults injected, and a recovery analysis of the faulted
+// trajectory (time-to-reconvergence, rate and queue excursions,
+// starvation windows). The process exits 1 when the system fails to
+// reconverge. With -trace, both runs stream to stderr in order.
 package main
 
 import (
@@ -49,6 +57,7 @@ func main() {
 		bss      = flag.Float64("bss", 0.5, "target steady-state signal b_SS (additive/multiplicative)")
 		steps    = flag.Int("steps", 200000, "max iteration steps")
 		seed     = flag.Int64("seed", 1, "seed for the random initial rates")
+		faultStr = flag.String("fault", "", "fault-injection spec, e.g. \"seed=3,loss=0.5@50-120,outage=0@150-170\" (docs/ROBUSTNESS.md)")
 	)
 	var ofl obsFlags
 	flag.StringVar(&ofl.metricsJSON, "metrics-json", "", "write a machine-readable run report to this path (\"-\" for stdout)")
@@ -56,15 +65,19 @@ func main() {
 	flag.IntVar(&ofl.traceEvery, "trace-every", 1, "with -trace, emit every k'th step")
 	flag.Parse()
 
-	if *dot && (ofl.trace || ofl.metricsJSON != "") {
-		fatal(fmt.Errorf("-dot prints a topology and runs nothing; it cannot be combined with -trace or -metrics-json"))
+	if *dot && (ofl.trace || ofl.metricsJSON != "" || *faultStr != "") {
+		fatal(fmt.Errorf("-dot prints a topology and runs nothing; it cannot be combined with -trace, -metrics-json, or -fault"))
 	}
 	if ofl.traceEvery < 1 {
 		fatal(fmt.Errorf("-trace-every must be at least 1, got %d", ofl.traceEvery))
 	}
+	faultCfg, err := ff.ParseFaultSpec(*faultStr)
+	if err != nil {
+		fatal(fmt.Errorf("-fault: %w", err))
+	}
 
 	if *config != "" {
-		if err := runConfig(*config, ofl); err != nil {
+		if err := runConfig(*config, ofl, faultCfg); err != nil {
 			fatal(err)
 		}
 		return
@@ -111,13 +124,19 @@ func main() {
 
 	fmt.Printf("scenario: %s topology, %s gateways, %s feedback, law %s\n",
 		*topo, discipline.Name(), style, law.Name())
+	if faultCfg.Enabled() {
+		if err := runFaulted(sys, r0, ff.RunOptions{MaxSteps: *steps}, *topo, ofl, faultCfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if err := runAndReport(sys, r0, ff.RunOptions{MaxSteps: *steps}, *topo, ofl); err != nil {
 		fatal(err)
 	}
 }
 
 // runConfig loads a declarative JSON scenario and reports its run.
-func runConfig(path string, ofl obsFlags) error {
+func runConfig(path string, ofl obsFlags, faultCfg ff.FaultConfig) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -133,7 +152,94 @@ func runConfig(path string, ofl obsFlags) error {
 	}
 	fmt.Printf("scenario: %s (%s gateways, %s feedback)\n",
 		spec.Name, sys.Discipline().Name(), sys.Style())
+	if faultCfg.Enabled() {
+		return runFaulted(sys, r0, spec.RunOptions(), spec.Name, ofl, faultCfg)
+	}
 	return runAndReport(sys, r0, spec.RunOptions(), spec.Name, ofl)
+}
+
+// runFaulted runs the -fault robustness protocol: baseline run,
+// perturbed run under the injected faults, recovery analysis. The
+// printed summary mirrors the Fault and Recovery sections the run
+// report carries with -metrics-json.
+func runFaulted(sys *ff.System, r0 []float64, opt ff.RunOptions, scenario string, ofl obsFlags, cfg ff.FaultConfig) error {
+	var tsv *obs.TSVTracer
+	if ofl.trace {
+		tsv = obs.NewTSVTracer(os.Stderr, ofl.traceEvery)
+		opt.Tracer = tsv
+	}
+	fmt.Printf("initial rates: %s\n", fmtRates(r0))
+	fmt.Printf("fault spec: %s\n", cfg.String())
+	res, err := ff.RunPerturbed(sys, r0, cfg, opt)
+	if err != nil {
+		return err
+	}
+	if tsv != nil {
+		if err := tsv.Flush(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	fmt.Printf("baseline: converged in %d steps to %s\n", res.Baseline.Steps, fmtRates(res.Baseline.Rates))
+	fmt.Printf("perturbed: ran %d steps, final rates %s\n", res.Perturbed.Steps, fmtRates(res.Perturbed.Rates))
+	fmt.Printf("injected: %s\n", fmtFaultCounts(res.Fault))
+
+	rec := res.Recovery
+	fmt.Printf("recovery: maxRateExcursion=%.5f maxQueueExcursion=%.5g finalDistance=%.3g\n",
+		rec.MaxRateExcursion, rec.MaxQueueExcursion, rec.FinalDistance)
+	for _, s := range rec.Starvation {
+		fmt.Printf("starvation: connection %d starved %d steps (longest window %d, starved at end: %v)\n",
+			s.Connection, s.TotalSteps, s.LongestWindow, s.StarvedAtEnd)
+	}
+	if rec.Reconverged {
+		fmt.Printf("reconverged at step %d (%d steps after the last fault window)\n",
+			rec.ReconvergeStep, rec.TimeToReconverge)
+	} else {
+		fmt.Printf("did NOT reconverge within %d steps of the last fault window\n",
+			res.Perturbed.Steps-cfg.QuietAfter(res.Perturbed.Steps))
+	}
+
+	if ofl.metricsJSON != "" {
+		report, err := sys.Report(res.Perturbed, scenario)
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		res.Attach(report)
+		if err := cli.WriteJSON(ofl.metricsJSON, report); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+	}
+	if !rec.Reconverged {
+		cli.Exit(1)
+	}
+	return nil
+}
+
+// fmtFaultCounts renders the non-zero injection counters of a fault
+// report in a fixed order.
+func fmtFaultCounts(f *ff.FaultReport) string {
+	counts := []struct {
+		label string
+		n     int64
+	}{
+		{"signalsLost", f.SignalsLost},
+		{"signalsDelayed", f.SignalsDelayed},
+		{"signalsNoised", f.SignalsNoised},
+		{"degradedSteps", f.DegradedSteps},
+		{"outageSteps", f.OutageSteps},
+		{"churnedSteps", f.ChurnedSteps},
+		{"stuckSteps", f.StuckSteps},
+		{"greedySteps", f.GreedySteps},
+	}
+	var parts []string
+	for _, c := range counts {
+		if c.n != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", c.label, c.n))
+		}
+	}
+	if len(parts) == 0 {
+		return "nothing (no fault window overlapped the run)"
+	}
+	return strings.Join(parts, " ")
 }
 
 // runAndReport iterates the system to steady state and prints the

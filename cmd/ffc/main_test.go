@@ -2,12 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	ff "github.com/nettheory/feedbackflow"
+	"github.com/nettheory/feedbackflow/internal/cli"
 	"github.com/nettheory/feedbackflow/internal/obs"
 )
 
@@ -177,5 +179,78 @@ func TestFmtRates(t *testing.T) {
 	out := fmtRates([]float64{0.5, 0.25})
 	if !strings.HasPrefix(out, "[") || !strings.Contains(out, "0.50000") || !strings.Contains(out, "0.25000") {
 		t.Errorf("fmtRates = %q", out)
+	}
+}
+
+// TestRunFaultedMetricsJSON drives the -fault path end to end: run the
+// robustness protocol on a two-connection FairShare system, write the
+// report the way -fault -metrics-json does, and check the Fault and
+// Recovery sections survive the round trip.
+func TestRunFaultedMetricsJSON(t *testing.T) {
+	net, err := buildTopology("single", 2, 1, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	law, err := buildLaw("additive", 0.1, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := ff.NewSystem(net, ff.FairShare{}, ff.Individual, ff.Rational{}, ff.UniformLaws(law, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ff.ParseFaultSpec("seed=3,loss=0.5@50-120,outage=0@150-170")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ff.RunPerturbed(sys, []float64{0.1, 0.2}, cfg, ff.RunOptions{MaxSteps: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	report, err := sys.Report(res.Perturbed, "faulted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Attach(report)
+	path := filepath.Join(t.TempDir(), "faulted.json")
+	if err := cli.WriteJSON(path, report); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.RunReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("faulted report does not decode: %v\n%s", err, data)
+	}
+	if rep.Fault == nil || rep.Recovery == nil {
+		t.Fatal("faulted report lacks fault/recovery sections")
+	}
+	if rep.Fault.SignalsLost == 0 || rep.Fault.OutageSteps != 20 {
+		t.Errorf("fault counts: %+v", rep.Fault)
+	}
+	if !strings.Contains(rep.Fault.Spec, "loss=0.5@50-120") {
+		t.Errorf("fault spec %q lost the loss clause", rep.Fault.Spec)
+	}
+	if !rep.Recovery.Reconverged || rep.Recovery.ReconvergeStep < 170 {
+		t.Errorf("recovery: %+v", rep.Recovery)
+	}
+	// The injected outage overloads the gateway: the queue excursion is
+	// +Inf and must round-trip as the quoted string, not a bare token.
+	if !math.IsInf(float64(rep.Recovery.MaxQueueExcursion), 1) {
+		t.Errorf("max queue excursion = %v, want +Inf", rep.Recovery.MaxQueueExcursion)
+	}
+}
+
+// TestFmtFaultCounts renders only the non-zero counters.
+func TestFmtFaultCounts(t *testing.T) {
+	out := fmtFaultCounts(&ff.FaultReport{SignalsLost: 3, OutageSteps: 7})
+	if out != "signalsLost=3 outageSteps=7" {
+		t.Errorf("fmtFaultCounts = %q", out)
+	}
+	if out := fmtFaultCounts(&ff.FaultReport{}); !strings.Contains(out, "nothing") {
+		t.Errorf("empty counts render as %q", out)
 	}
 }

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// checkpointEntry is one journaled grid point: the sweep mode that
+// produced it, its grid index, and the CSV records it emitted. The
+// journal is JSONL — one entry per line, appended as points complete —
+// so a killed sweep loses at most the entry being written.
+type checkpointEntry struct {
+	Mode    string     `json:"mode"`
+	Index   int        `json:"index"`
+	Records [][]string `json:"records"`
+}
+
+// checkpoint journals completed grid points so an interrupted sweep
+// can resume without recomputing them. Completed entries loaded at
+// open time are replayed from memory; fresh points are appended to
+// the journal as they finish. Replayed and recomputed points emit the
+// same records in the same grid order, so the final CSV is
+// byte-identical to an uninterrupted run.
+type checkpoint struct {
+	mu   sync.Mutex
+	f    *os.File
+	enc  *json.Encoder
+	mode string
+	done map[int][][]string
+}
+
+// openCheckpoint opens (or creates) the journal at path for the given
+// sweep mode. With resume, existing entries are loaded — tolerating a
+// truncated final line from a killed writer — and later lookups serve
+// them from memory; without it, any existing journal is truncated and
+// the sweep starts clean. A journal written by a different mode is
+// rejected: its indices would silently mislabel this sweep's grid.
+func openCheckpoint(path, mode string, resume bool) (*checkpoint, error) {
+	ck := &checkpoint{mode: mode, done: make(map[int][][]string)}
+	if resume {
+		if err := ck.load(path); err != nil {
+			return nil, err
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY
+	if resume {
+		flags |= os.O_APPEND
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	ck.f = f
+	ck.enc = json.NewEncoder(f)
+	return ck, nil
+}
+
+// load reads journaled entries from path. A missing file is an empty
+// journal. A line that fails to parse ends the load silently when it
+// is the last line (the tail a kill mid-write leaves behind) and is an
+// error anywhere else.
+func (ck *checkpoint) load(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e checkpointEntry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			// Peek ahead: only a trailing fragment is tolerated.
+			if sc.Scan() {
+				return fmt.Errorf("checkpoint %s: line %d is corrupt mid-journal: %v", path, line, err)
+			}
+			return nil
+		}
+		if e.Mode != ck.mode {
+			return fmt.Errorf("checkpoint %s was written by -mode %s, not %s", path, e.Mode, ck.mode)
+		}
+		if e.Index < 0 {
+			return fmt.Errorf("checkpoint %s: line %d has negative index %d", path, line, e.Index)
+		}
+		ck.done[e.Index] = e.Records
+	}
+	return sc.Err()
+}
+
+// lookup returns the journaled records of grid point i, if any.
+func (ck *checkpoint) lookup(i int) ([][]string, bool) {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	recs, ok := ck.done[i]
+	return recs, ok
+}
+
+// record journals grid point i. Safe for concurrent workers; each
+// entry is one atomic Encode call, so a kill can only truncate the
+// final line — exactly what load tolerates.
+func (ck *checkpoint) record(i int, records [][]string) error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	ck.done[i] = records
+	return ck.enc.Encode(checkpointEntry{Mode: ck.mode, Index: i, Records: records})
+}
+
+// completed returns how many grid points the journal already holds.
+func (ck *checkpoint) completed() int {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return len(ck.done)
+}
+
+func (ck *checkpoint) close() error { return ck.f.Close() }

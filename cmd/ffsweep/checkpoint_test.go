@@ -1,0 +1,240 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// testGridN sizes the synthetic grid used by the checkpoint tests.
+const testGridN = 20
+
+// testGridFn is a deterministic synthetic sweep: point i emits 1 + i%3
+// records, so some points span multiple CSV rows. calls, when non-nil,
+// counts fresh evaluations.
+func testGridFn(calls *atomic.Int64) func(i int) ([][]string, error) {
+	return func(i int) ([][]string, error) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		n := 1 + i%3
+		recs := make([][]string, 0, n)
+		for k := 0; k < n; k++ {
+			recs = append(recs, []string{strconv.Itoa(i), strconv.Itoa(k), fmtF(float64(i) * 1.25)})
+		}
+		return recs, nil
+	}
+}
+
+// TestCheckpointResumeByteIdentical is the kill-and-resume contract: a
+// sweep aborted mid-run and resumed from its journal emits CSV bytes
+// identical to an uninterrupted run, without recomputing the points
+// already journaled.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	// Reference: an uninterrupted run with no checkpoint.
+	var want bytes.Buffer
+	s, _ := newTestSweep(&want)
+	s.workers = 4
+	if err := s.run(testGridN, testGridFn(nil)); err != nil {
+		t.Fatal(err)
+	}
+	s.w.Flush()
+
+	// First attempt: journal to disk, crash after 7 fresh points.
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	ck, err := openCheckpoint(path, "test", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crashed bytes.Buffer
+	s, _ = newTestSweep(&crashed)
+	s.workers = 4
+	s.ckpt = ck
+	s.abortAfter = 7
+	if err := s.run(testGridN, testGridFn(nil)); !errors.Is(err, errAborted) {
+		t.Fatalf("aborted run returned %v, want errAborted", err)
+	}
+	if err := ck.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: journaled points replay, the rest compute fresh.
+	ck, err = openCheckpoint(path, "test", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journaled := ck.completed()
+	if journaled == 0 {
+		t.Fatal("crashed run journaled nothing")
+	}
+	var got bytes.Buffer
+	var calls atomic.Int64
+	s, _ = newTestSweep(&got)
+	s.workers = 4
+	s.ckpt = ck
+	if err := s.run(testGridN, testGridFn(&calls)); err != nil {
+		t.Fatal(err)
+	}
+	s.w.Flush()
+	if err := ck.close(); err != nil {
+		t.Fatal(err)
+	}
+	if int(calls.Load()) != testGridN-journaled {
+		t.Errorf("resume recomputed: %d fn calls with %d journaled points (want %d)",
+			calls.Load(), journaled, testGridN-journaled)
+	}
+	if s.resumed.Value() != int64(journaled) {
+		t.Errorf("resumed counter = %d, journal held %d", s.resumed.Value(), journaled)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("resumed CSV differs from uninterrupted run:\ngot:\n%swant:\n%s", got.String(), want.String())
+	}
+}
+
+// TestCheckpointFullReplay: resuming a fully journaled sweep evaluates
+// nothing and still reproduces the CSV byte for byte.
+func TestCheckpointFullReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	ck, err := openCheckpoint(path, "test", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	s, _ := newTestSweep(&want)
+	s.ckpt = ck
+	if err := s.run(testGridN, testGridFn(nil)); err != nil {
+		t.Fatal(err)
+	}
+	s.w.Flush()
+	if err := ck.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ck, err = openCheckpoint(path, "test", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.close()
+	if ck.completed() != testGridN {
+		t.Fatalf("journal holds %d points, want %d", ck.completed(), testGridN)
+	}
+	var got bytes.Buffer
+	var calls atomic.Int64
+	s, _ = newTestSweep(&got)
+	s.ckpt = ck
+	if err := s.run(testGridN, testGridFn(&calls)); err != nil {
+		t.Fatal(err)
+	}
+	s.w.Flush()
+	if calls.Load() != 0 {
+		t.Errorf("full replay still evaluated %d points", calls.Load())
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Error("replayed CSV differs from original")
+	}
+}
+
+// TestCheckpointTruncatedFinalLine: the tail fragment a kill mid-write
+// leaves behind is tolerated; everything before it is recovered.
+func TestCheckpointTruncatedFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	journal := `{"mode":"test","index":0,"records":[["a"]]}` + "\n" +
+		`{"mode":"test","index":1,"records":[["b"]]}` + "\n" +
+		`{"mode":"test","index":2,"rec` // killed mid-write
+	if err := os.WriteFile(path, []byte(journal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := openCheckpoint(path, "test", true)
+	if err != nil {
+		t.Fatalf("truncated final line rejected: %v", err)
+	}
+	defer ck.close()
+	if ck.completed() != 2 {
+		t.Fatalf("recovered %d entries, want 2", ck.completed())
+	}
+	recs, ok := ck.lookup(1)
+	if !ok || len(recs) != 1 || recs[0][0] != "b" {
+		t.Fatalf("lookup(1) = %v, %v", recs, ok)
+	}
+	if _, ok := ck.lookup(2); ok {
+		t.Fatal("the truncated entry should not have loaded")
+	}
+}
+
+// TestCheckpointCorruptMidJournal: garbage anywhere but the final line
+// is an error, not silently dropped data.
+func TestCheckpointCorruptMidJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	journal := `{"mode":"test","index":0,"records":[["a"]]}` + "\n" +
+		`{"mode":"test","ind` + "\n" +
+		`{"mode":"test","index":2,"records":[["c"]]}` + "\n"
+	if err := os.WriteFile(path, []byte(journal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openCheckpoint(path, "test", true); err == nil || !strings.Contains(err.Error(), "corrupt mid-journal") {
+		t.Fatalf("mid-journal corruption accepted: %v", err)
+	}
+}
+
+// TestCheckpointModeMismatch: a journal written by another sweep mode
+// is rejected — its grid indices would mislabel this sweep's points.
+func TestCheckpointModeMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	ck, err := openCheckpoint(path, "stability", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.record(0, [][]string{{"x"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openCheckpoint(path, "chaos", true); err == nil || !strings.Contains(err.Error(), "-mode") {
+		t.Fatalf("mode mismatch accepted: %v", err)
+	}
+}
+
+// TestCheckpointMissingFileOnResume: resuming against a journal that
+// does not exist yet starts an empty sweep rather than failing.
+func TestCheckpointMissingFileOnResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.ckpt")
+	ck, err := openCheckpoint(path, "test", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.close()
+	if ck.completed() != 0 {
+		t.Fatalf("fresh journal holds %d entries", ck.completed())
+	}
+}
+
+// TestCheckpointWithoutResumeTruncates: omitting -resume starts clean
+// even when an old journal exists.
+func TestCheckpointWithoutResumeTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	stale := `{"mode":"test","index":0,"records":[["old"]]}` + "\n"
+	if err := os.WriteFile(path, []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := openCheckpoint(path, "test", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.close()
+	if ck.completed() != 0 {
+		t.Fatal("non-resume open kept stale entries")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Fatalf("non-resume open left %d stale bytes on disk", len(data))
+	}
+}

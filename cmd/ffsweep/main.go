@@ -11,6 +11,8 @@
 //	ffsweep -mode chaos > chaos.csv
 //	ffsweep -mode stability -workers 8 > stability.csv
 //	ffsweep -mode chaos -debug-addr localhost:6060 > chaos.csv
+//	ffsweep -mode robustness -checkpoint sweep.ckpt > robustness.csv
+//	ffsweep -mode robustness -checkpoint sweep.ckpt -resume > robustness.csv
 //
 // With -workers N the grid points are evaluated by N concurrent
 // workers (0 means one per CPU); rows are still emitted in grid order,
@@ -18,6 +20,13 @@
 // a diagnostics HTTP server exposes net/http/pprof under /debug/pprof
 // and live sweep and worker-pool progress counters under /debug/vars —
 // useful for profiling long sweeps in place.
+//
+// With -checkpoint, every completed grid point is journaled to the
+// given JSONL file as it finishes; a sweep killed mid-run can be
+// restarted with -resume, which replays the journaled points instead
+// of recomputing them and produces a CSV byte-identical to an
+// uninterrupted run. -abort-after-points is the crash-injection hook
+// used by the resume tests.
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"math"
 	"os"
 	"strconv"
+	"sync/atomic"
 
 	ff "github.com/nettheory/feedbackflow"
 	"github.com/nettheory/feedbackflow/internal/cli"
@@ -37,14 +47,25 @@ import (
 )
 
 // sweep aggregates the telemetry and configuration of one ffsweep
-// process: a CSV writer, the worker count, plus progress counters
-// published via expvar when -debug-addr is set.
+// process: a CSV writer, the worker count, an optional checkpoint
+// journal, plus progress counters published via expvar when
+// -debug-addr is set.
 type sweep struct {
 	w       *csv.Writer
 	workers int
+	ckpt    *checkpoint // nil without -checkpoint
 	rows    *obs.Counter
 	points  *obs.Counter
+	resumed *obs.Counter
+	// abortAfter, when positive, fails the sweep after that many fresh
+	// point evaluations — the crash-injection hook behind the
+	// kill-and-resume test (see -abort-after-points).
+	abortAfter int
+	evaluated  atomic.Int64
 }
+
+// errAborted marks a deliberate -abort-after-points crash.
+var errAborted = fmt.Errorf("ffsweep: aborted by -abort-after-points")
 
 // write emits one CSV record and counts it.
 func (s *sweep) write(record []string) error {
@@ -56,10 +77,32 @@ func (s *sweep) write(record []string) error {
 // was configured with more than one worker — and writes each point's
 // records in grid order, so the CSV output does not depend on the
 // worker count. fn must be safe for concurrent calls with distinct i.
+//
+// With a checkpoint journal attached, points already journaled are
+// replayed instead of recomputed, and every fresh point is journaled
+// as it completes; the emitted CSV is byte-identical either way.
 func (s *sweep) run(n int, fn func(i int) ([][]string, error)) error {
 	points, err := parallel.Map(context.Background(), n, s.workers, func(i int) ([][]string, error) {
 		s.points.Inc()
-		return fn(i)
+		if s.ckpt != nil {
+			if recs, ok := s.ckpt.lookup(i); ok {
+				s.resumed.Inc()
+				return recs, nil
+			}
+		}
+		if s.abortAfter > 0 && s.evaluated.Add(1) > int64(s.abortAfter) {
+			return nil, errAborted
+		}
+		recs, err := fn(i)
+		if err != nil {
+			return nil, err
+		}
+		if s.ckpt != nil {
+			if err := s.ckpt.record(i, recs); err != nil {
+				return nil, fmt.Errorf("checkpoint: %w", err)
+			}
+		}
+		return recs, nil
 	})
 	if err != nil {
 		return err
@@ -76,20 +119,40 @@ func (s *sweep) run(n int, fn func(i int) ([][]string, error)) error {
 
 func main() {
 	var (
-		mode      = flag.String("mode", "stability", "sweep: stability, robustness, chaos")
-		workers   = flag.Int("workers", 1, "concurrent grid evaluators; 0 means one per CPU")
-		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		mode       = flag.String("mode", "stability", "sweep: stability, robustness, chaos")
+		workers    = flag.Int("workers", 1, "concurrent grid evaluators; 0 means one per CPU")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		ckptPath   = flag.String("checkpoint", "", "journal completed grid points to this JSONL file")
+		resume     = flag.Bool("resume", false, "replay points already journaled in -checkpoint instead of recomputing them")
+		abortAfter = flag.Int("abort-after-points", 0, "crash-injection test hook: fail after this many fresh point evaluations (0 disables)")
 	)
 	flag.Parse()
 
 	reg := obs.NewRegistry()
 	s := &sweep{
-		w:       csv.NewWriter(os.Stdout),
-		workers: *workers,
-		rows:    reg.Counter("sweep.rows_written"),
-		points:  reg.Counter("sweep.points_evaluated"),
+		w:          csv.NewWriter(os.Stdout),
+		workers:    *workers,
+		rows:       reg.Counter("sweep.rows_written"),
+		points:     reg.Counter("sweep.points_evaluated"),
+		resumed:    reg.Counter("sweep.points_resumed"),
+		abortAfter: *abortAfter,
 	}
 	defer s.w.Flush()
+
+	if *resume && *ckptPath == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	if *ckptPath != "" {
+		ck, err := openCheckpoint(*ckptPath, *mode, *resume)
+		if err != nil {
+			fatal(err)
+		}
+		defer ck.close()
+		s.ckpt = ck
+		if *resume && ck.completed() > 0 {
+			fmt.Fprintf(os.Stderr, "ffsweep: resuming with %d journaled points\n", ck.completed())
+		}
+	}
 
 	if *debugAddr != "" {
 		expvar.Publish("feedbackflow.sweep", expvar.Func(func() interface{} {

@@ -21,6 +21,7 @@ func newTestSweep(w io.Writer) (*sweep, *obs.Registry) {
 		workers: 1,
 		rows:    reg.Counter("sweep.rows_written"),
 		points:  reg.Counter("sweep.points_evaluated"),
+		resumed: reg.Counter("sweep.points_resumed"),
 	}, reg
 }
 

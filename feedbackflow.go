@@ -39,9 +39,11 @@ import (
 	"github.com/nettheory/feedbackflow/internal/eventsim"
 	"github.com/nettheory/feedbackflow/internal/experiments"
 	"github.com/nettheory/feedbackflow/internal/fairness"
+	"github.com/nettheory/feedbackflow/internal/fault"
 	"github.com/nettheory/feedbackflow/internal/game"
 	"github.com/nettheory/feedbackflow/internal/obs"
 	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/recovery"
 	"github.com/nettheory/feedbackflow/internal/scenario"
 	"github.com/nettheory/feedbackflow/internal/signal"
 	"github.com/nettheory/feedbackflow/internal/stability"
@@ -145,6 +147,32 @@ type (
 	// Observe/Step calls on one goroutine are allocation-free; create
 	// one per worker with System.NewWorkspace (see docs/PERFORMANCE.md).
 	Workspace = core.Workspace
+	// StepHook observes and perturbs every iteration step — the seam
+	// fault injection plugs into (see docs/ROBUSTNESS.md).
+	StepHook = core.StepHook
+)
+
+// Fault-injection and recovery types: deterministic perturbation of a
+// running system plus recovery analytics (packages internal/fault and
+// internal/recovery; see docs/ROBUSTNESS.md).
+type (
+	// FaultConfig is a deterministic, seeded fault-injection schedule.
+	FaultConfig = fault.Config
+	// FaultWindow is a half-open [From, To) window of step indices.
+	FaultWindow = fault.Window
+	// GatewayFault degrades (or, with Factor 0, outs) one gateway.
+	GatewayFault = fault.GatewayFault
+	// ConnFault applies a connection-level fault during a window.
+	ConnFault = fault.ConnFault
+	// FaultInjector applies a FaultConfig as a StepHook.
+	FaultInjector = fault.Injector
+	// FaultResult pairs a baseline and a perturbed run with the fault
+	// and recovery reports.
+	FaultResult = fault.Result
+	// RecoveryAnalysis measures a perturbed trajectory's recovery.
+	RecoveryAnalysis = recovery.Report
+	// RecoveryOptions parameterizes AnalyzeRecovery.
+	RecoveryOptions = recovery.Options
 )
 
 // Analysis types.
@@ -211,6 +239,12 @@ type (
 	RunReport = obs.RunReport
 	// GatewayReport is the per-gateway block of a RunReport.
 	GatewayReport = obs.GatewayReport
+	// FaultReport is the injection-accounting block of a perturbed
+	// run's RunReport.
+	FaultReport = obs.FaultReport
+	// RecoveryReport is the recovery-analytics block of a perturbed
+	// run's RunReport (RecoveryAnalysis.Publish produces it).
+	RecoveryReport = obs.RecoveryReport
 )
 
 // NewTSVTracer returns a tracer streaming every'th step to w as TSV.
@@ -255,6 +289,29 @@ func NewSystem(net *Network, disc Discipline, style FeedbackStyle, b SignalFunc,
 // UniformLaws assigns the same law to n connections (the homogeneous
 // case of most of the paper's analysis).
 func UniformLaws(l Law, n int) []Law { return control.Uniform(l, n) }
+
+// ParseFaultSpec parses the compact fault-spec syntax used by
+// ffc -fault (e.g. "seed=3,loss=0.5@50-120,outage=0@150-170").
+func ParseFaultSpec(spec string) (FaultConfig, error) { return fault.Parse(spec) }
+
+// NewFaultInjector builds the StepHook applying cfg to a system with
+// the given shape.
+func NewFaultInjector(cfg FaultConfig, nConns, nGateways int) (*FaultInjector, error) {
+	return fault.NewInjector(cfg, nConns, nGateways)
+}
+
+// RunPerturbed runs sys to its unperturbed baseline, reruns it under
+// the faults of cfg, and reports what the injection did and how the
+// system recovered.
+func RunPerturbed(sys *System, r0 []float64, cfg FaultConfig, opt RunOptions) (*FaultResult, error) {
+	return fault.RunPerturbed(sys, r0, cfg, opt)
+}
+
+// AnalyzeRecovery measures how the recorded trajectory of a perturbed
+// run recovers toward the unperturbed baseline rates.
+func AnalyzeRecovery(traj [][]float64, baseline []float64, opts RecoveryOptions) (*RecoveryAnalysis, error) {
+	return recovery.Analyze(traj, baseline, opts)
+}
 
 // NewWindowSystem wraps a System in genuine window-based dynamics:
 // sys's laws are reinterpreted as window adjustments f(w, b, d), and

@@ -248,6 +248,18 @@ type RunOptions struct {
 	// forbids direct time.Now calls inside them — and injecting the
 	// clock also lets tests pin WallTime exactly.
 	Clock func() time.Time
+	// Hook, when non-nil, interposes on every update: it may degrade
+	// gateway capacity, perturb the observation before the laws see
+	// it, and override the post-law rates (see StepHook). A nil Hook
+	// leaves the iteration bit-identical to an unhooked run. The
+	// fault-injection layer (internal/fault) is the intended user.
+	Hook StepHook
+	// NoEarlyStop disables the convergence early-exit so the run
+	// always executes exactly MaxSteps updates. Perturbed runs use it:
+	// recovery analysis needs the full horizon even though the system
+	// sits still between disturbances (the calm-window criterion would
+	// otherwise end the run before the next injected fault fires).
+	NoEarlyStop bool
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -338,7 +350,16 @@ func (s *System) Run(r0 []float64, opt RunOptions) (*RunResult, error) {
 	}
 	calm := 0
 	for step := 0; step < opt.MaxSteps; step++ {
-		obs, resid, err := ws.stepInto(r, next)
+		var (
+			obs   *Observation
+			resid float64
+			err   error
+		)
+		if opt.Hook == nil {
+			obs, resid, err = ws.stepInto(r, next)
+		} else {
+			obs, resid, err = ws.hookedStep(step, r, next, opt.Hook)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -364,10 +385,13 @@ func (s *System) Run(r0 []float64, opt RunOptions) (*RunResult, error) {
 			calm++
 			if calm >= opt.Window {
 				res.Converged = true
-				break
+				if !opt.NoEarlyStop {
+					break
+				}
 			}
 		} else {
 			calm = 0
+			res.Converged = false
 		}
 	}
 	res.Rates = r

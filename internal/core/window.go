@@ -41,6 +41,15 @@ func NewWindowSystem(sys *System) (*WindowSystem, error) {
 // (pass nil for a cold start). It returns the rates and the
 // observation at them.
 func (ws *WindowSystem) Rates(w []float64, rGuess []float64) ([]float64, *Observation, error) {
+	return ws.rates(w, rGuess, nil)
+}
+
+// rates is Rates with an optional effective service-rate override
+// (indexed like the topology's gateways), the seam RunOptions.Hook
+// uses to model gateway degradation: the override applies to every
+// inner fixed-point observation of the call. A nil override is the
+// plain path.
+func (ws *WindowSystem) rates(w []float64, rGuess, muOverride []float64) ([]float64, *Observation, error) {
 	n := ws.sys.net.NumConnections()
 	if len(w) != n {
 		return nil, nil, fmt.Errorf("core: %d windows for %d connections", len(w), n)
@@ -74,6 +83,7 @@ func (ws *WindowSystem) Rates(w []float64, rGuess []float64) ([]float64, *Observ
 	// created per call — not pooled — because its final Observation is
 	// returned to (and retained by) the caller.
 	work := ws.sys.NewWorkspace()
+	work.muOverride = muOverride
 	var obs *Observation
 	var err error
 	for it := 0; it < maxIter; it++ {
@@ -142,9 +152,29 @@ func (ws *WindowSystem) Run(w0 []float64, opt RunOptions) (*WindowRunResult, err
 	w := append([]float64(nil), w0...)
 	var r []float64
 	res := &WindowRunResult{}
+	// Hook scratch: an effective-mu copy the hook may scale, and the
+	// pre-update windows PerturbNext receives (the update below runs
+	// in place).
+	var effMu, wPrev []float64
+	if opt.Hook != nil {
+		effMu = make([]float64, len(ws.sys.plan.mu))
+		wPrev = make([]float64, n)
+	}
 	calm := 0
 	for step := 0; step < opt.MaxSteps; step++ {
-		rates, obs, err := ws.Rates(w, r)
+		var rates []float64
+		var obs *Observation
+		var err error
+		if opt.Hook == nil {
+			rates, obs, err = ws.Rates(w, r)
+		} else {
+			copy(effMu, ws.sys.plan.mu)
+			opt.Hook.BeginStep(step, effMu)
+			rates, obs, err = ws.rates(w, r, effMu)
+			if err == nil {
+				opt.Hook.PerturbObservation(step, rates, obs)
+			}
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -167,6 +197,9 @@ func (ws *WindowSystem) Run(w0 []float64, opt RunOptions) (*WindowRunResult, err
 			opt.Tracer.OnStep(step, r, resid, obs.Signals)
 		}
 		resid = 0
+		if opt.Hook != nil {
+			copy(wPrev, w)
+		}
 		for i := range w {
 			f := ws.sys.laws[i].Adjust(w[i], obs.Signals[i], obs.Delays[i])
 			if !(w[i] == 0 && f < 0) {
@@ -186,16 +219,33 @@ func (ws *WindowSystem) Run(w0 []float64, opt RunOptions) (*WindowRunResult, err
 				maxW = w[i]
 			}
 		}
+		if opt.Hook != nil {
+			opt.Hook.PerturbNext(step, wPrev, w)
+			// The hook may have moved w; the calm window tracks the
+			// perturbed change so churn and stuck faults reset it.
+			maxChange, maxW = 0, 0
+			for i := range w {
+				if c := math.Abs(w[i] - wPrev[i]); c > maxChange {
+					maxChange = c
+				}
+				if w[i] > maxW {
+					maxW = w[i]
+				}
+			}
+		}
 		res.Stats.observe(resid, step == 0)
 		res.Steps = step + 1
 		if maxChange <= opt.Tol*(1+maxW) {
 			calm++
 			if calm >= opt.Window {
 				res.Converged = true
-				break
+				if !opt.NoEarlyStop {
+					break
+				}
 			}
 		} else {
 			calm = 0
+			res.Converged = false
 		}
 	}
 	rates, obs, err := ws.Rates(w, r)

@@ -32,6 +32,14 @@ type Workspace struct {
 
 	scr queueing.Scratch
 	obs Observation
+
+	// muOverride, when non-nil, replaces the plan's per-gateway
+	// service rates for the next observe call; hookedStep points it at
+	// effMu (a copy of plan.mu the StepHook may scale in place) for
+	// the duration of one step. Both are nil on the unhooked path, so
+	// plain runs never pay for the indirection.
+	muOverride []float64
+	effMu      []float64
 }
 
 // NewWorkspace allocates a Workspace for s. The workspace's queue rows
@@ -94,13 +102,17 @@ func (w *Workspace) observe(r []float64) error {
 	}
 	// Per-gateway queue vectors, sojourn times, and signals, written
 	// into the flat scratch blocks.
+	mu := p.mu
+	if w.muOverride != nil {
+		mu = w.muOverride
+	}
 	for a := 0; a < p.nGws; a++ {
 		lo, hi := p.off[a], p.off[a+1]
 		local := w.local[lo:hi]
 		for k, i := range p.conns[a] {
 			local[k] = r[i]
 		}
-		if err := queueing.ObserveInto(s.disc, w.queues[lo:hi], w.sojourns[lo:hi], local, p.mu[a], &w.scr); err != nil {
+		if err := queueing.ObserveInto(s.disc, w.queues[lo:hi], w.sojourns[lo:hi], local, mu[a], &w.scr); err != nil {
 			return fmt.Errorf("core: gateway %d: %w", a, err)
 		}
 		if err := signal.GatewaySignalsInto(w.signals[lo:hi], s.style, s.b, w.queues[lo:hi]); err != nil {

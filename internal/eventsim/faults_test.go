@@ -1,0 +1,225 @@
+package eventsim
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/nettheory/feedbackflow/internal/stats"
+)
+
+// TestCapacityPhaseOutageStopsService: a gateway in permanent outage
+// admits packets but completes none.
+func TestCapacityPhaseOutageStopsService(t *testing.T) {
+	res, err := SimulateGateway(GatewayConfig{
+		Rates:          []float64{0.5},
+		Mu:             1,
+		Seed:           11,
+		Duration:       500,
+		CapacityPhases: []CapacityPhase{{At: 0, Factor: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Departures != 0 {
+		t.Fatalf("%d departures from a dead gateway", res.Metrics.Departures)
+	}
+	if res.Metrics.Arrivals == 0 {
+		t.Fatal("no arrivals recorded")
+	}
+	if res.Metrics.CapacityChanges != 1 {
+		t.Fatalf("CapacityChanges = %d, want 1", res.Metrics.CapacityChanges)
+	}
+	// The queue grows without bound; its time average must dwarf the
+	// ρ/(1−ρ) = 1 of the healthy M/M/1.
+	if res.TotalQueue < 20 {
+		t.Fatalf("TotalQueue = %v, want a blown-up queue", res.TotalQueue)
+	}
+}
+
+// TestCapacityPhaseRecovery: an outage window followed by a restart
+// drains the backlog — departures resume and the end-of-run queue
+// statistics stay finite.
+func TestCapacityPhaseRecovery(t *testing.T) {
+	res, err := SimulateGateway(GatewayConfig{
+		Rates:    []float64{0.3},
+		Mu:       1,
+		Seed:     12,
+		Warmup:   100,
+		Duration: 4000,
+		CapacityPhases: []CapacityPhase{
+			{At: 500, Factor: 0},
+			{At: 600, Factor: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.CapacityChanges != 2 {
+		t.Fatalf("CapacityChanges = %d, want 2", res.Metrics.CapacityChanges)
+	}
+	if res.Metrics.Departures == 0 {
+		t.Fatal("no departures after the restart")
+	}
+	// Served within ~10% of arrivals: the backlog drained.
+	ratio := float64(res.Metrics.Departures) / float64(res.Metrics.Arrivals)
+	if ratio < 0.9 {
+		t.Fatalf("only %.2f of arrivals departed; the gateway never recovered", ratio)
+	}
+	if math.IsNaN(res.MeanSojourn[0]) || math.IsInf(res.MeanSojourn[0], 0) {
+		t.Fatalf("MeanSojourn = %v after recovery", res.MeanSojourn[0])
+	}
+}
+
+// TestCapacityDegradeRaisesQueue: the same traffic through a gateway
+// at quarter capacity queues far deeper than at nominal capacity.
+func TestCapacityDegradeRaisesQueue(t *testing.T) {
+	base := GatewayConfig{Rates: []float64{0.4}, Mu: 1, Seed: 13, Duration: 5000}
+	nominal, err := SimulateGateway(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degradedCfg := base
+	degradedCfg.CapacityPhases = []CapacityPhase{{At: 0, Factor: 0.25}}
+	degraded, err := SimulateGateway(degradedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ρ goes 0.4 → 1.6: the degraded queue is overloaded, the nominal
+	// one sits near ρ/(1−ρ) = 2/3.
+	if !(degraded.TotalQueue > 4*nominal.TotalQueue) {
+		t.Fatalf("degraded queue %v not clearly above nominal %v", degraded.TotalQueue, nominal.TotalQueue)
+	}
+}
+
+// TestSourceWindowChurn: a silenced connection emits nothing during
+// its window and resumes after; the whole run stays reproducible.
+func TestSourceWindowChurn(t *testing.T) {
+	run := func() *GatewayResult {
+		res, err := SimulateGateway(GatewayConfig{
+			Rates:         []float64{0.3, 0.3},
+			Mu:            1,
+			Seed:          14,
+			Warmup:        100,
+			Duration:      2000,
+			SourceWindows: []SourceWindow{{Conn: 1, From: 0, To: 1100}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if res.Metrics.SuppressedArrivals == 0 {
+		t.Fatal("churn window suppressed nothing")
+	}
+	if res.Served[1] == 0 {
+		t.Fatal("connection 1 never served after rejoining")
+	}
+	// Connection 1 is silenced for the first 1000 of the 2000 measured
+	// time units, so it completes roughly half of connection 0's count.
+	if !(res.Served[0] > 3*res.Served[1]/2) {
+		t.Fatalf("served %v; connection 1 was off half the measured time", res.Served)
+	}
+	again := run()
+	if res.Metrics.Arrivals != again.Metrics.Arrivals ||
+		res.Metrics.SuppressedArrivals != again.Metrics.SuppressedArrivals ||
+		res.Served[0] != again.Served[0] || res.Served[1] != again.Served[1] {
+		t.Fatal("same seed, different run")
+	}
+}
+
+// TestSourceWindowForever: To <= 0 silences the connection for the
+// whole run.
+func TestSourceWindowForever(t *testing.T) {
+	res, err := SimulateGateway(GatewayConfig{
+		Rates:         []float64{0.3, 0.3},
+		Mu:            1,
+		Seed:          15,
+		Duration:      1000,
+		SourceWindows: []SourceWindow{{Conn: 1, From: 0, To: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served[1] != 0 || res.MeanQueue[1] != 0 {
+		t.Fatalf("silenced connection served %d with queue %v", res.Served[1], res.MeanQueue[1])
+	}
+}
+
+// TestFaultConfigValidation rejects malformed schedules.
+func TestFaultConfigValidation(t *testing.T) {
+	base := GatewayConfig{Rates: []float64{0.5}, Mu: 1, Duration: 10}
+	bad := []func(*GatewayConfig){
+		func(c *GatewayConfig) { c.CapacityPhases = []CapacityPhase{{At: -1, Factor: 1}} },
+		func(c *GatewayConfig) { c.CapacityPhases = []CapacityPhase{{At: 5, Factor: 1}, {At: 1, Factor: 0}} },
+		func(c *GatewayConfig) { c.CapacityPhases = []CapacityPhase{{At: 0, Factor: -0.5}} },
+		func(c *GatewayConfig) { c.CapacityPhases = []CapacityPhase{{At: 0, Factor: math.Inf(1)}} },
+		func(c *GatewayConfig) { c.SourceWindows = []SourceWindow{{Conn: 3, From: 0, To: 1}} },
+		func(c *GatewayConfig) { c.SourceWindows = []SourceWindow{{Conn: 0, From: 5, To: 5}} },
+		func(c *GatewayConfig) { c.SourceWindows = []SourceWindow{{Conn: 0, From: -1, To: 1}} },
+	}
+	for k, mutate := range bad {
+		cfg := base
+		mutate(&cfg)
+		if _, err := SimulateGateway(cfg); err == nil {
+			t.Errorf("case %d accepted", k)
+		}
+	}
+}
+
+// TestOverloadMetricsFiniteJSON is the ρ ≥ 1 contract: an overloaded
+// gateway's histograms and SimMetrics must marshal to valid JSON with
+// no bare NaN/Inf tokens, and the engine's event accounting must
+// still reconcile.
+func TestOverloadMetricsFiniteJSON(t *testing.T) {
+	hist, err := stats.NewHistogram(0, 100, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateGateway(GatewayConfig{
+		Rates:             []float64{0.7, 0.5}, // ρ = 1.2
+		Mu:                1,
+		Seed:              16,
+		Duration:          4000,
+		TrackDistribution: 64,
+		TrackSojourn:      hist,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := res.Metrics.Events
+	if ev.Scheduled != ev.Fired+ev.Cancelled+ev.Pending {
+		t.Fatalf("event accounting broken: %+v", ev)
+	}
+	data, err := json.Marshal(res.Metrics)
+	if err != nil {
+		t.Fatalf("SimMetrics did not marshal under overload: %v", err)
+	}
+	for _, tok := range []string{"NaN", "Inf"} {
+		// obs.Float renders non-finite values as quoted strings; a
+		// bare token would mean a plain float64 leaked one.
+		if strings.Contains(strings.ReplaceAll(string(data), `"`+tok, ""), tok) {
+			t.Fatalf("bare %s token in metrics JSON: %s", tok, data)
+		}
+	}
+	if _, err := json.Marshal(res.TotalQueueDist); err != nil {
+		t.Fatalf("queue distribution did not marshal: %v", err)
+	}
+	for k, f := range res.TotalQueueDist {
+		if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+			t.Fatalf("TotalQueueDist[%d] = %v", k, f)
+		}
+	}
+	// The overloaded system backs up: the distribution's top bin (the
+	// "or more" absorber) should hold a visible fraction of time.
+	if res.TotalQueueDist[len(res.TotalQueueDist)-1] == 0 {
+		t.Fatal("overloaded run never reached the absorbing bin")
+	}
+	for i, q := range res.MeanQueue {
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			t.Fatalf("MeanQueue[%d] = %v", i, q)
+		}
+	}
+}

@@ -84,6 +84,35 @@ type GatewayConfig struct {
 	// completed packets during measurement. Configure the histogram
 	// range with NewSojournHistogram or stats.NewHistogram.
 	TrackSojourn *stats.Histogram
+	// CapacityPhases schedules transient service-capacity faults: at
+	// each phase's At (simulated time), the effective service rate
+	// becomes Factor × Mu, holding until the next phase. Factor 0 is a
+	// full outage — service pauses, arrivals keep queueing — and a
+	// later positive phase restarts the gateway. Phases must be sorted
+	// by At, ascending. Redrawing in-flight service at a phase boundary
+	// is exact by memorylessness.
+	CapacityPhases []CapacityPhase
+	// SourceWindows injects connection churn: connection Conn emits no
+	// packets while the simulated time is in [From, To) (To <= 0 means
+	// forever). The underlying Poisson clock keeps running — silenced
+	// arrivals are thinned away — so emission resumes with the correct
+	// law when the window closes.
+	SourceWindows []SourceWindow
+}
+
+// CapacityPhase is one step of a gateway capacity schedule: from
+// simulated time At onward the gateway serves at Factor × Mu.
+type CapacityPhase struct {
+	At     float64
+	Factor float64
+}
+
+// SourceWindow silences one connection over a simulated-time window
+// [From, To); To <= 0 leaves the connection off for the rest of the
+// run.
+type SourceWindow struct {
+	Conn     int
+	From, To float64
 }
 
 func (c GatewayConfig) withDefaults() GatewayConfig {
@@ -145,6 +174,11 @@ type SimMetrics struct {
 	// Preemptions counts service interruptions (preemptive Fair Share
 	// only; zero for the other disciplines).
 	Preemptions int64 `json:"preemptions"`
+	// CapacityChanges counts applied CapacityPhases transitions.
+	CapacityChanges int64 `json:"capacity_changes,omitempty"`
+	// SuppressedArrivals counts packets thinned away because their
+	// connection was inside a SourceWindows churn window.
+	SuppressedArrivals int64 `json:"suppressed_arrivals,omitempty"`
 	// QueueDepth is the distribution of the total number in system as
 	// seen by arriving packets during the measurement interval (a
 	// PASTA sample of the queue-depth process).
@@ -178,6 +212,8 @@ type gatewaySim struct {
 
 	arrivals   int64
 	departures int64
+	capChanges int64
+	suppressed int64
 	qdepth     *obs.Histogram // total-in-system at arrival instants
 
 	// On-off source state (Burstiness > 1).
@@ -219,6 +255,25 @@ func SimulateGateway(cfg GatewayConfig) (*GatewayResult, error) {
 	}
 	if cfg.TrackDistribution < 0 {
 		return nil, fmt.Errorf("eventsim: invalid distribution bound %d", cfg.TrackDistribution)
+	}
+	for k, ph := range cfg.CapacityPhases {
+		if ph.At < 0 || math.IsNaN(ph.At) || math.IsInf(ph.At, 0) {
+			return nil, fmt.Errorf("eventsim: capacity phase %d at invalid time %v", k, ph.At)
+		}
+		if k > 0 && ph.At < cfg.CapacityPhases[k-1].At {
+			return nil, fmt.Errorf("eventsim: capacity phases not sorted at index %d", k)
+		}
+		if ph.Factor < 0 || math.IsNaN(ph.Factor) || math.IsInf(ph.Factor, 0) {
+			return nil, fmt.Errorf("eventsim: capacity phase %d has invalid factor %v", k, ph.Factor)
+		}
+	}
+	for k, w := range cfg.SourceWindows {
+		if w.Conn < 0 || w.Conn >= len(cfg.Rates) {
+			return nil, fmt.Errorf("eventsim: source window %d names connection %d of %d", k, w.Conn, len(cfg.Rates))
+		}
+		if w.From < 0 || math.IsNaN(w.From) || (w.To > 0 && w.To <= w.From) {
+			return nil, fmt.Errorf("eventsim: source window %d has invalid span [%v,%v)", k, w.From, w.To)
+		}
 	}
 	cfg = cfg.withDefaults()
 
@@ -269,6 +324,18 @@ func SimulateGateway(cfg GatewayConfig) (*GatewayResult, error) {
 			s.scheduleToggle(i, s.meanOn())
 		} else {
 			s.scheduleArrival(i)
+		}
+	}
+
+	// Capacity faults are plain scheduled events: at each phase
+	// boundary the server rescales (or pauses) its service rate.
+	for _, ph := range cfg.CapacityPhases {
+		ph := ph
+		if _, err := s.eng.Schedule(ph.At, func() {
+			s.server.setCapacity(ph.Factor)
+			s.capChanges++
+		}); err != nil {
+			return nil, err
 		}
 	}
 
@@ -336,11 +403,13 @@ func SimulateGateway(cfg GatewayConfig) (*GatewayResult, error) {
 		}
 	}
 	res.Metrics = SimMetrics{
-		Events:      s.eng.Stats(),
-		Arrivals:    s.arrivals,
-		Departures:  s.departures,
-		Preemptions: s.server.preemptions,
-		QueueDepth:  s.qdepth.Snapshot(),
+		Events:             s.eng.Stats(),
+		Arrivals:           s.arrivals,
+		Departures:         s.departures,
+		Preemptions:        s.server.preemptions,
+		CapacityChanges:    s.capChanges,
+		SuppressedArrivals: s.suppressed,
+		QueueDepth:         s.qdepth.Snapshot(),
 	}
 	return res, nil
 }
@@ -460,8 +529,28 @@ func (s *gatewaySim) scheduleArrival(i int) {
 	}
 }
 
+// silenced reports whether connection i is inside a churn window at
+// simulated time now.
+func (s *gatewaySim) silenced(i int, now float64) bool {
+	for _, w := range s.cfg.SourceWindows {
+		if w.Conn == i && now >= w.From && (w.To <= 0 || now < w.To) {
+			return true
+		}
+	}
+	return false
+}
+
 func (s *gatewaySim) arrive(i int) {
 	now := s.eng.Now()
+	if s.silenced(i, now) {
+		// Churned off: thin this arrival away but keep the Poisson
+		// clock running so emission resumes when the window closes.
+		s.suppressed++
+		if s.srcOn == nil || s.srcOn[i] {
+			s.scheduleArrival(i)
+		}
+		return
+	}
 	s.snapshot(now)
 	s.arrivals++
 	if s.measure {

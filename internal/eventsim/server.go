@@ -39,6 +39,13 @@ type prioServer struct {
 	serving *packet
 	svcDone Handle
 	lastRR  int // class served most recently under round robin
+	// muScale scales the effective service rate (capacity-phase fault
+	// injection); 1 is nominal, 0 pauses service entirely.
+	muScale float64
+	// paused marks a zero-capacity phase: arrivals queue (and one
+	// packet may sit in the serving slot) but no completion is
+	// scheduled until setCapacity restores a positive rate.
+	paused bool
 	// preemptions counts service interruptions (preempt=true only).
 	preemptions int64
 	// onDeparture is invoked after a packet finishes service, with the
@@ -53,6 +60,7 @@ func newPrioServer(eng *Engine, rng *rand.Rand, mu float64, nClasses int, preemp
 		eng:         eng,
 		rng:         rng,
 		mu:          mu,
+		muScale:     1,
 		policy:      policyPriority,
 		preempt:     preempt,
 		queues:      make([][]*packet, nClasses),
@@ -98,12 +106,41 @@ func (s *prioServer) start(p *packet) {
 		// when it entered service directly on an idle server.
 		s.lastRR = p.class
 	}
-	at := s.eng.Now() + s.rng.ExpFloat64()/s.mu
+	if s.paused {
+		// Zero-capacity phase: the packet occupies the server but its
+		// completion is only drawn when setCapacity restores service.
+		return
+	}
+	s.scheduleCompletion()
+}
+
+// scheduleCompletion draws the serving packet's completion under the
+// current effective rate.
+func (s *prioServer) scheduleCompletion() {
+	at := s.eng.Now() + s.rng.ExpFloat64()/(s.mu*s.muScale)
 	h, err := s.eng.Schedule(at, s.complete)
 	if err != nil {
 		panic(fmt.Sprintf("eventsim: %v", err))
 	}
 	s.svcDone = h
+}
+
+// setCapacity rescales the effective service rate to factor × mu,
+// redrawing the in-flight completion under the new rate — valid
+// because service is exponential, so the remaining time is
+// distributed as a fresh draw by memorylessness. factor 0 pauses
+// service entirely (a gateway outage); a later positive factor
+// restarts it.
+func (s *prioServer) setCapacity(factor float64) {
+	if factor == s.muScale {
+		return
+	}
+	s.muScale = factor
+	s.svcDone.Cancel() // no-op when idle, paused, or already fired
+	s.paused = factor == 0
+	if s.serving != nil && !s.paused {
+		s.scheduleCompletion()
+	}
 }
 
 func (s *prioServer) complete() {

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nettheory/feedbackflow/internal/control"
+	"github.com/nettheory/feedbackflow/internal/core"
+	"github.com/nettheory/feedbackflow/internal/fault"
+	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/recovery"
+	"github.com/nettheory/feedbackflow/internal/signal"
+	"github.com/nettheory/feedbackflow/internal/textplot"
+	"github.com/nettheory/feedbackflow/internal/topology"
+)
+
+func init() {
+	register(Spec{ID: "E22", Title: "Theorem 5 under injected faults: recovery vs permanent starvation across the design space", Run: E22Faults})
+}
+
+// E22Faults restates Theorem 5 dynamically. The theorem bounds what a
+// misbehaving source can do to a conforming one at a Fair Share
+// gateway with individual feedback; the paper's argument is a
+// steady-state bound. Here the same claim is tested as a recovery
+// property under injected faults (internal/fault): a transient
+// disturbance — feedback loss, a gateway outage, a connection leaving
+// and rejoining — and a misbehaving episode — noisy feedback plus a
+// source that refuses every decrease.
+//
+// The prediction: with Fair Share gateways and individual feedback
+// the system has a unique fair fixed point (Theorem 3), so after the
+// faults end it reconverges to the pre-fault allocation and nobody
+// stays starved. With FIFO gateways and aggregate feedback the
+// steady states form a continuum (Theorem 2) — the total recovers but
+// the split keeps whatever imprint the faults left, so the rejoining
+// connection stays starved forever and the greedy episode's capture
+// is permanent. Recovery analytics (internal/recovery) make both
+// outcomes quantitative.
+func E22Faults() (*Result, error) {
+	res := &Result{
+		ID:     "E22",
+		Title:  "Theorem 5 under injected faults: recovery vs permanent starvation",
+		Source: "Theorem 5 + Theorems 2/3 (uniqueness vs manifold), restated as recovery after faults",
+		Pass:   true,
+	}
+	const (
+		n       = 4
+		mu      = 1.0
+		latency = 0.1
+		eta     = 0.1
+		bss     = 0.5
+	)
+	// Asymmetric start on the aggregate manifold (Σr = μ·b_SS): the
+	// FIFO+aggregate baseline is this very vector, so post-fault drift
+	// away from it is visible; FS+individual converges to 0.125 each.
+	r0 := []float64{0.2, 0.1, 0.1, 0.1}
+
+	designs := []struct {
+		label string
+		disc  queueing.Discipline
+		style signal.Style
+	}{
+		{"fairshare+individual", queueing.FairShare{}, signal.Individual},
+		{"fifo+aggregate", queueing.FIFO{}, signal.Aggregate},
+	}
+	scenarios := []struct {
+		label string
+		spec  string
+	}{
+		// A compound transient: lossy feedback, then a full gateway
+		// outage, then connection 0 leaves and rejoins at a trickle.
+		{"disturbance", "seed=7,loss=0.3@20-60,outage=0@80-100,churn=0@120-260"},
+		// A misbehaving episode: noisy feedback while connection 0
+		// refuses every rate decrease (the Theorem 5 adversary).
+		{"misbehavior", "seed=9,noise=0.2@50-250,greedy=0@50-250"},
+	}
+
+	net, err := topology.SingleGateway(n, mu, latency)
+	if err != nil {
+		return nil, err
+	}
+	law := control.AdditiveTSI{Eta: eta, BSS: bss}
+
+	tb := textplot.NewTable("Recovery after injected faults (additive TSI, η=0.1, b_SS=0.5, 4 connections, μ=1)",
+		"design", "scenario", "reconverged", "t_reconv", "max|Δr|", "starved at end", "final rates")
+	type run struct {
+		rec   *recovery.Report
+		final []float64
+	}
+	outs := map[string]run{}
+	for _, d := range designs {
+		sys, err := core.NewSystem(net, d.disc, d.style, signal.Rational{}, control.Uniform(law, n))
+		if err != nil {
+			return nil, err
+		}
+		for _, sc := range scenarios {
+			cfg, err := fault.Parse(sc.spec)
+			if err != nil {
+				return nil, err
+			}
+			out, err := fault.RunPerturbed(sys, r0, cfg, core.RunOptions{MaxSteps: 4000})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s/%s: %w", d.label, sc.label, err)
+			}
+			rec := out.Recovery
+			starved := "-"
+			var ids []string
+			for _, s := range rec.Starvation {
+				if s.StarvedAtEnd {
+					ids = append(ids, fmt.Sprintf("%d", s.Connection))
+				}
+			}
+			if len(ids) > 0 {
+				starved = fmt.Sprint(ids)
+			}
+			treconv := "-"
+			if rec.Reconverged {
+				treconv = fmt.Sprintf("%d", rec.TimeToReconverge)
+			}
+			tb.AddRowValues(d.label, sc.label, rec.Reconverged, treconv,
+				fmt.Sprintf("%.3f", rec.MaxRateExcursion), starved,
+				fmtVec(out.Perturbed.Rates))
+			outs[d.label+"/"+sc.label] = run{rec: rec, final: out.Perturbed.Rates}
+		}
+	}
+
+	// Fair Share + individual: the unique fixed point pulls the system
+	// back after both fault episodes.
+	for _, sc := range []string{"disturbance", "misbehavior"} {
+		o := outs["fairshare+individual/"+sc]
+		res.note(o.rec.Reconverged && o.rec.TimeToReconverge >= 0,
+			"FS+individual reconverges after the %s (%d steps after the last fault window, final distance %.1e)",
+			sc, o.rec.TimeToReconverge, o.rec.FinalDistance)
+		atEnd := false
+		for _, s := range o.rec.Starvation {
+			atEnd = atEnd || s.StarvedAtEnd
+		}
+		res.note(!atEnd, "FS+individual leaves nobody starved after the %s", sc)
+	}
+
+	// FIFO + aggregate: the disturbance's imprint is permanent — the
+	// rejoining connection never recovers its share.
+	dist := outs["fifo+aggregate/disturbance"]
+	res.note(!dist.rec.Reconverged,
+		"FIFO+aggregate does not return to its pre-fault allocation (final distance %.3f): the Theorem 2 manifold retains the disturbance", dist.rec.FinalDistance)
+	starved0 := false
+	for _, s := range dist.rec.Starvation {
+		if s.Connection == 0 && s.StarvedAtEnd {
+			starved0 = true
+		}
+	}
+	res.note(starved0,
+		"the rejoining connection stays starved forever under FIFO+aggregate (final r_0 = %.4f vs baseline %.3f)",
+		dist.final[0], dist.rec.Baseline[0])
+	res.note(math.IsInf(dist.rec.MaxQueueExcursion, 1),
+		"the injected outage is visible as an infinite queue excursion")
+
+	// FIFO + aggregate under the greedy episode: permanent capture.
+	mis := outs["fifo+aggregate/misbehavior"]
+	peerStarved := false
+	for _, s := range mis.rec.Starvation {
+		if s.Connection != 0 && s.StarvedAtEnd {
+			peerStarved = true
+		}
+	}
+	fairShare := mu * bss / n
+	res.note(!mis.rec.Reconverged && peerStarved,
+		"under FIFO+aggregate the greedy episode permanently starves a conforming peer (final rates %s)", fmtVec(mis.final))
+	res.note(mis.final[0] > 2*fairShare,
+		"the greedy source keeps its capture after the episode ends: r_0 = %.3f vs fair share %.3f — exactly what Theorem 5's bound rules out under FS+individual",
+		mis.final[0], fairShare)
+	fsMis := outs["fairshare+individual/misbehavior"]
+	res.note(math.Abs(fsMis.final[0]-fairShare) < 0.01,
+		"under FS+individual the same adversary ends back at its fair share (r_0 = %.3f)", fsMis.final[0])
+
+	res.Text = tb.String()
+	return res, nil
+}
+
+// fmtVec renders a rate vector compactly.
+func fmtVec(r []float64) string {
+	out := ""
+	for i, v := range r {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.3f", v)
+	}
+	return out
+}

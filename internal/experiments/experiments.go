@@ -27,6 +27,8 @@
 //	E18  Extension: burstiness sensitivity
 //	E19  Extension: genuine window dynamics
 //	E20  Extension: selfish sources ([She89])
+//	E21  Numerical evidence for the §3.3 conjecture
+//	E22  Theorem 5 under injected faults (recovery analytics)
 //	A1   Ablation: differencing scheme at signal kinks
 //	A2   Ablation: signal-family independence
 //	A3   Ablation: preemption is necessary for Theorem 5

@@ -1,0 +1,296 @@
+// Package fault is the deterministic fault-injection layer: it
+// perturbs a core.System run through the core.StepHook seam with the
+// disturbances the robustness literature cares about — lost, delayed,
+// and noisy feedback signals; transient gateway capacity degradation,
+// outage, and restart; connection join/leave churn; and stuck or
+// greedy sources — and hands the recorded trajectory to
+// internal/recovery for time-to-reconvergence and starvation
+// analysis.
+//
+// Everything is a pure function of the Config: the injector draws all
+// entropy from one explicitly seeded generator and consumes it on a
+// fixed schedule (per active fault, per connection, per step,
+// independent of outcomes), so a given (system, r0, Config) triple
+// always produces the same perturbed trajectory. The package is a
+// deterministic kernel under ffcvet: detsource forbids ambient
+// entropy and clocks here, and the zero Config is a proven identity
+// (wrapped and unwrapped runs are bit-identical — see
+// TestZeroConfigIsIdentity).
+//
+// Configs have a compact textual form (see Parse) used by the ffc
+// -fault flag and round-tripped by Config.String:
+//
+//	seed=7,loss=0.3@100-200,outage=0@300-350,greedy=1@200-600
+package fault
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// OutageMuFraction is the capacity floor an outage leaves a gateway:
+// the queueing models require mu > 0, so a full outage scales mu by
+// this fraction instead of zeroing it. At 1e-9 of nominal capacity
+// every realistic load is overloaded (queues and delays go to +Inf,
+// signals saturate), which is exactly the analytic picture of a dead
+// gateway whose queue is unbounded.
+const OutageMuFraction = 1e-9
+
+// Window is a half-open step interval [From, To). To <= 0 means
+// "unbounded": the window never closes.
+type Window struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// Contains reports whether step lies in the window.
+func (w Window) Contains(step int) bool {
+	return step >= w.From && (w.To <= 0 || step < w.To)
+}
+
+// bounded reports whether the window ever closes.
+func (w Window) bounded() bool { return w.To > 0 }
+
+func (w Window) validate(what string) error {
+	if w.From < 0 {
+		return fmt.Errorf("fault: %s window starts at negative step %d", what, w.From)
+	}
+	if w.To > 0 && w.To <= w.From {
+		return fmt.Errorf("fault: %s window [%d,%d) is empty", what, w.From, w.To)
+	}
+	return nil
+}
+
+// whole reports whether the window is the zero value (whole run).
+func (w Window) whole() bool { return w.From == 0 && w.To == 0 }
+
+// GatewayFault is one gateway capacity fault: the gateway serves at
+// Factor times its nominal rate during the window. Factor 0 is a full
+// outage (see OutageMuFraction); the gateway restarts at nominal
+// capacity when the window closes.
+type GatewayFault struct {
+	Gateway int     `json:"gateway"`
+	Factor  float64 `json:"factor"`
+	Window  Window  `json:"window"`
+}
+
+// ConnFault is one per-connection behavioral fault over a window:
+// absence (churn), a frozen rate (stuck), or refusal to decrease
+// (greedy).
+type ConnFault struct {
+	Conn   int    `json:"conn"`
+	Window Window `json:"window"`
+}
+
+// Config is a complete fault-injection specification. The zero value
+// injects nothing and is guaranteed to leave runs bit-identical to
+// unhooked ones.
+type Config struct {
+	// Seed drives every random draw the injector makes.
+	Seed int64 `json:"seed,omitempty"`
+
+	// Loss is the per-connection, per-step probability that the
+	// feedback signal is lost; a lost signal leaves the source acting
+	// on the last signal it received.
+	Loss       float64 `json:"loss,omitempty"`
+	LossWindow Window  `json:"loss_window,omitempty"`
+
+	// Delay delivers each connection's signal Delay steps late
+	// (sources act on b_i from Delay steps ago; the run's first Delay
+	// steps deliver the oldest signal seen).
+	Delay       int    `json:"delay,omitempty"`
+	DelayWindow Window `json:"delay_window,omitempty"`
+
+	// Noise adds a uniform perturbation in [-Noise, +Noise] to each
+	// delivered signal, clamped to [0, 1].
+	Noise       float64 `json:"noise,omitempty"`
+	NoiseWindow Window  `json:"noise_window,omitempty"`
+
+	// Quantum quantizes delivered signals to multiples of Quantum —
+	// the coarse-feedback (e.g. few-bit ECN) degradation.
+	Quantum       float64 `json:"quantum,omitempty"`
+	QuantumWindow Window  `json:"quantum_window,omitempty"`
+
+	// RejoinRate is the rate a churned connection restarts at when its
+	// absence window closes (default 0.01). Multiplicative laws have
+	// an absorbing zero, so a rejoin must be seeded with some rate.
+	RejoinRate float64 `json:"rejoin_rate,omitempty"`
+
+	// Degrade lists gateway capacity faults (Factor 0 = outage).
+	Degrade []GatewayFault `json:"degrade,omitempty"`
+	// Churn lists connection absence windows: the connection leaves at
+	// Window.From and rejoins at Window.To.
+	Churn []ConnFault `json:"churn,omitempty"`
+	// Stuck lists windows during which a connection's rate is frozen
+	// (its control loop hangs: signals are ignored, the rate holds).
+	Stuck []ConnFault `json:"stuck,omitempty"`
+	// Greedy lists windows during which a connection refuses rate
+	// decreases — the misbehaving source of the Theorem 5 narrative.
+	Greedy []ConnFault `json:"greedy,omitempty"`
+}
+
+// Enabled reports whether the config injects anything at all.
+func (c Config) Enabled() bool {
+	return c.Loss > 0 || c.Delay > 0 || c.Noise > 0 || c.Quantum > 0 ||
+		len(c.Degrade) > 0 || len(c.Churn) > 0 || len(c.Stuck) > 0 || len(c.Greedy) > 0
+}
+
+// Validate checks the configuration against a model with nConns
+// connections and nGws gateways. Pass negative counts to skip the
+// index-range checks (e.g. when validating a parsed spec before the
+// topology is known).
+func (c Config) Validate(nConns, nGws int) error {
+	check01 := func(what string, v float64) error {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return fmt.Errorf("fault: %s %v outside [0,1]", what, v)
+		}
+		return nil
+	}
+	if err := check01("loss probability", c.Loss); err != nil {
+		return err
+	}
+	if err := check01("noise amplitude", c.Noise); err != nil {
+		return err
+	}
+	if err := check01("signal quantum", c.Quantum); err != nil {
+		return err
+	}
+	if c.Delay < 0 || c.Delay > 1<<20 {
+		return fmt.Errorf("fault: delay %d outside [0, 2^20] steps", c.Delay)
+	}
+	if math.IsNaN(c.RejoinRate) || math.IsInf(c.RejoinRate, 0) || c.RejoinRate < 0 {
+		return fmt.Errorf("fault: invalid rejoin rate %v", c.RejoinRate)
+	}
+	for _, w := range []struct {
+		name string
+		w    Window
+	}{
+		{"loss", c.LossWindow}, {"delay", c.DelayWindow},
+		{"noise", c.NoiseWindow}, {"quantum", c.QuantumWindow},
+	} {
+		if err := w.w.validate(w.name); err != nil {
+			return err
+		}
+	}
+	for _, g := range c.Degrade {
+		if g.Gateway < 0 || (nGws >= 0 && g.Gateway >= nGws) {
+			return fmt.Errorf("fault: degrade gateway %d out of range [0,%d)", g.Gateway, nGws)
+		}
+		if err := check01("degrade factor", g.Factor); err != nil {
+			return err
+		}
+		if err := g.Window.validate("degrade"); err != nil {
+			return err
+		}
+	}
+	for _, group := range []struct {
+		name string
+		cs   []ConnFault
+	}{{"churn", c.Churn}, {"stuck", c.Stuck}, {"greedy", c.Greedy}} {
+		for _, f := range group.cs {
+			if f.Conn < 0 || (nConns >= 0 && f.Conn >= nConns) {
+				return fmt.Errorf("fault: %s connection %d out of range [0,%d)", group.name, f.Conn, nConns)
+			}
+			if err := f.Window.validate(group.name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// QuietAfter returns the first step index by which every bounded
+// fault window has closed, clamped to maxSteps; unbounded windows and
+// whole-run faults quiet only at maxSteps. In trajectory coordinates
+// this is exactly the first state index that no perturbed update can
+// influence — the point recovery analysis starts measuring from.
+func (c Config) QuietAfter(maxSteps int) int {
+	quiet := 0
+	consider := func(active bool, w Window) {
+		if !active {
+			return
+		}
+		to := maxSteps
+		if w.bounded() && w.To < maxSteps {
+			to = w.To
+		}
+		if to > quiet {
+			quiet = to
+		}
+	}
+	consider(c.Loss > 0, c.LossWindow)
+	consider(c.Delay > 0, c.DelayWindow)
+	consider(c.Noise > 0, c.NoiseWindow)
+	consider(c.Quantum > 0, c.QuantumWindow)
+	for _, g := range c.Degrade {
+		consider(true, g.Window)
+	}
+	for _, f := range c.Churn {
+		consider(true, f.Window)
+	}
+	for _, f := range c.Stuck {
+		consider(true, f.Window)
+	}
+	for _, f := range c.Greedy {
+		consider(true, f.Window)
+	}
+	if quiet > maxSteps {
+		quiet = maxSteps
+	}
+	return quiet
+}
+
+// String renders the canonical compact spec: clauses in a fixed
+// order, windows only when not whole-run, outage spelled as its own
+// clause. Parse(c.String()) reproduces c for any valid config.
+func (c Config) String() string {
+	var parts []string
+	add := func(format string, args ...interface{}) {
+		parts = append(parts, fmt.Sprintf(format, args...))
+	}
+	win := func(w Window) string {
+		if w.whole() {
+			return ""
+		}
+		if !w.bounded() {
+			return fmt.Sprintf("@%d-", w.From)
+		}
+		return fmt.Sprintf("@%d-%d", w.From, w.To)
+	}
+	if c.Seed != 0 {
+		add("seed=%d", c.Seed)
+	}
+	if c.Loss > 0 {
+		add("loss=%v%s", c.Loss, win(c.LossWindow))
+	}
+	if c.Delay > 0 {
+		add("delay=%d%s", c.Delay, win(c.DelayWindow))
+	}
+	if c.Noise > 0 {
+		add("noise=%v%s", c.Noise, win(c.NoiseWindow))
+	}
+	if c.Quantum > 0 {
+		add("quantum=%v%s", c.Quantum, win(c.QuantumWindow))
+	}
+	if c.RejoinRate > 0 {
+		add("rejoin=%v", c.RejoinRate)
+	}
+	for _, g := range c.Degrade {
+		if g.Factor == 0 {
+			add("outage=%d%s", g.Gateway, win(g.Window))
+		} else {
+			add("degrade=%d:%v%s", g.Gateway, g.Factor, win(g.Window))
+		}
+	}
+	for _, f := range c.Churn {
+		add("churn=%d%s", f.Conn, win(f.Window))
+	}
+	for _, f := range c.Stuck {
+		add("stuck=%d%s", f.Conn, win(f.Window))
+	}
+	for _, f := range c.Greedy {
+		add("greedy=%d%s", f.Conn, win(f.Window))
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,217 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/nettheory/feedbackflow/internal/core"
+	"github.com/nettheory/feedbackflow/internal/obs"
+)
+
+// Injector applies a Config to a run through the core.StepHook seam.
+// It is deterministic: all entropy comes from one generator seeded
+// with Config.Seed, and random draws happen on a fixed schedule — one
+// draw per configured randomized fault, per connection, per step the
+// fault's window is active, regardless of whether the draw fires — so
+// two runs with equal (system, r0, Config) are bit-identical.
+//
+// An Injector carries per-run state (delay lines, counters) and must
+// not be shared between runs or goroutines; build a fresh one per run
+// with NewInjector.
+type Injector struct {
+	cfg    Config
+	nConns int
+	rng    *rand.Rand
+
+	// Loss state: the last signal/delay actually delivered to each
+	// connection, substituted when a fresh signal is lost.
+	lastSig, lastDelay []float64
+	everDelivered      []bool
+
+	// Delay lines: ring buffers of the last cfg.Delay emitted
+	// (signal, delay) pairs per connection, indexed [conn][step%Delay].
+	delaySig, delayDelay [][]float64
+
+	// RecordQueues, when set before the run, makes the injector sample
+	// the total queued load Σ_a Σ_k Q^a_k at every step (one entry per
+	// applied update); Queues returns the series. RunPerturbed uses it
+	// to feed recovery.Options.TotalQueues.
+	RecordQueues bool
+	queues       []float64
+
+	rep obs.FaultReport
+}
+
+var _ core.StepHook = (*Injector)(nil)
+
+// NewInjector validates cfg against the model shape and builds the
+// per-run injector state.
+func NewInjector(cfg Config, nConns, nGws int) (*Injector, error) {
+	if nConns <= 0 || nGws <= 0 {
+		return nil, fmt.Errorf("fault: model with %d connections and %d gateways", nConns, nGws)
+	}
+	if err := cfg.Validate(nConns, nGws); err != nil {
+		return nil, err
+	}
+	inj := &Injector{
+		cfg:    cfg,
+		nConns: nConns,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.Loss > 0 {
+		inj.lastSig = make([]float64, nConns)
+		inj.lastDelay = make([]float64, nConns)
+		inj.everDelivered = make([]bool, nConns)
+	}
+	if cfg.Delay > 0 {
+		inj.delaySig = make([][]float64, nConns)
+		inj.delayDelay = make([][]float64, nConns)
+		for i := 0; i < nConns; i++ {
+			inj.delaySig[i] = make([]float64, cfg.Delay)
+			inj.delayDelay[i] = make([]float64, cfg.Delay)
+		}
+	}
+	return inj, nil
+}
+
+// BeginStep scales the effective service rates of gateways whose
+// degradation or outage windows are active.
+func (inj *Injector) BeginStep(step int, mu []float64) {
+	for _, g := range inj.cfg.Degrade {
+		if !g.Window.Contains(step) {
+			continue
+		}
+		if g.Factor == 0 {
+			mu[g.Gateway] *= OutageMuFraction
+			inj.rep.OutageSteps++
+		} else {
+			mu[g.Gateway] *= g.Factor
+			inj.rep.DegradedSteps++
+		}
+	}
+}
+
+// PerturbObservation degrades the feedback each connection receives:
+// quantization, additive noise, delivery delay, and loss, applied in
+// that order per connection (the order a signal experiences them on
+// its way from the gateway to the source: a coarse reading, channel
+// noise, transit delay, and finally whether it arrives at all).
+func (inj *Injector) PerturbObservation(step int, r []float64, o *core.Observation) {
+	c := &inj.cfg
+	quantize := c.Quantum > 0 && c.QuantumWindow.Contains(step)
+	noise := c.Noise > 0 && c.NoiseWindow.Contains(step)
+	delay := c.Delay > 0 && c.DelayWindow.Contains(step)
+	loss := c.Loss > 0 && c.LossWindow.Contains(step)
+
+	for i := 0; i < inj.nConns; i++ {
+		sig, del := o.Signals[i], o.Delays[i]
+		if quantize {
+			sig = clamp01(math.Round(sig/c.Quantum) * c.Quantum)
+			inj.rep.SignalsNoised++
+		}
+		if noise {
+			// Fixed draw schedule: one uniform per connection per
+			// active step, consumed whether or not it moves the signal.
+			u := inj.rng.Float64()
+			sig = clamp01(sig + (2*u-1)*c.Noise)
+			inj.rep.SignalsNoised++
+		}
+		if c.Delay > 0 {
+			// The delay line records every emission so that a window
+			// opening mid-run has history to serve from.
+			slot := step % c.Delay
+			oldSig, oldDelay := inj.delaySig[i][slot], inj.delayDelay[i][slot]
+			inj.delaySig[i][slot], inj.delayDelay[i][slot] = sig, del
+			if delay && step >= c.Delay {
+				sig, del = oldSig, oldDelay
+				inj.rep.SignalsDelayed++
+			}
+		}
+		if loss {
+			u := inj.rng.Float64()
+			if u < c.Loss && inj.everDelivered[i] {
+				sig, del = inj.lastSig[i], inj.lastDelay[i]
+				inj.rep.SignalsLost++
+			} else {
+				inj.lastSig[i], inj.lastDelay[i] = sig, del
+				inj.everDelivered[i] = true
+			}
+		} else if c.Loss > 0 {
+			// Outside the loss window every signal is delivered; keep
+			// the hold-over state fresh for the next window.
+			inj.lastSig[i], inj.lastDelay[i] = sig, del
+			inj.everDelivered[i] = true
+		}
+		o.Signals[i], o.Delays[i] = sig, del
+	}
+
+	if inj.RecordQueues {
+		total := 0.0
+		for _, row := range o.Queues {
+			for _, q := range row {
+				total += q
+			}
+		}
+		inj.queues = append(inj.queues, total)
+	}
+}
+
+// PerturbNext applies source-behavior faults to the tentative next
+// state: stuck sources hold their rate, greedy sources refuse
+// decreases, and churned connections are pinned to zero until their
+// window closes, then restarted at the rejoin rate.
+func (inj *Injector) PerturbNext(step int, r, next []float64) {
+	for _, f := range inj.cfg.Stuck {
+		if f.Window.Contains(step) {
+			next[f.Conn] = r[f.Conn]
+			inj.rep.StuckSteps++
+		}
+	}
+	for _, f := range inj.cfg.Greedy {
+		if f.Window.Contains(step) && next[f.Conn] < r[f.Conn] {
+			next[f.Conn] = r[f.Conn]
+			inj.rep.GreedySteps++
+		}
+	}
+	// Churn runs last so absence wins over the behavioral faults.
+	rejoin := inj.cfg.RejoinRate
+	if rejoin <= 0 {
+		rejoin = 0.01
+	}
+	for _, f := range inj.cfg.Churn {
+		switch {
+		case f.Window.Contains(step):
+			next[f.Conn] = 0
+			inj.rep.ChurnedSteps++
+		case f.Window.bounded() && step == f.Window.To:
+			// First step after the absence: restart the source.
+			// Multiplicative-decrease laws have an absorbing zero, so
+			// the rejoin must seed a positive rate.
+			if next[f.Conn] < rejoin {
+				next[f.Conn] = rejoin
+			}
+		}
+	}
+}
+
+// Queues returns the recorded total-queue series (one sample per
+// applied update; nil unless RecordQueues was set).
+func (inj *Injector) Queues() []float64 { return inj.queues }
+
+// Report returns the injection accounting for the run so far.
+func (inj *Injector) Report() *obs.FaultReport {
+	rep := inj.rep
+	rep.Spec = inj.cfg.String()
+	return &rep
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

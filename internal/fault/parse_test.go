@@ -1,0 +1,155 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseFullSpec(t *testing.T) {
+	cfg, err := Parse("seed=7,loss=0.3@100-200,delay=4,noise=0.05@50-,quantum=0.25,rejoin=0.02,degrade=1:0.5@10-20,outage=0@300-350,churn=2@40-80,stuck=0@5-15,greedy=1@200-600")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Seed:       7,
+		Loss:       0.3,
+		LossWindow: Window{From: 100, To: 200},
+		Delay:      4,
+		Noise:      0.05, NoiseWindow: Window{From: 50},
+		Quantum:    0.25,
+		RejoinRate: 0.02,
+		Degrade: []GatewayFault{
+			{Gateway: 1, Factor: 0.5, Window: Window{From: 10, To: 20}},
+			{Gateway: 0, Factor: 0, Window: Window{From: 300, To: 350}},
+		},
+		Churn:  []ConnFault{{Conn: 2, Window: Window{From: 40, To: 80}}},
+		Stuck:  []ConnFault{{Conn: 0, Window: Window{From: 5, To: 15}}},
+		Greedy: []ConnFault{{Conn: 1, Window: Window{From: 200, To: 600}}},
+	}
+	if !reflect.DeepEqual(cfg, want) {
+		t.Fatalf("Parse =\n%+v\nwant\n%+v", cfg, want)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	cfg, err := Parse("loss=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 1 || cfg.RejoinRate != 0.01 {
+		t.Fatalf("defaults not applied: seed=%d rejoin=%v", cfg.Seed, cfg.RejoinRate)
+	}
+}
+
+func TestParseEmptyAndNoopSpecs(t *testing.T) {
+	for _, spec := range []string{"", "  ", "seed=9", "seed=9,rejoin=0.5", "loss=0", "delay=0@5-10", "noise=0,quantum=0"} {
+		cfg, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if !reflect.DeepEqual(cfg, Config{}) {
+			t.Errorf("Parse(%q) = %+v, want the zero config", spec, cfg)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ spec, wantSub string }{
+		{"loss", "key=value"},
+		{"=0.5", "key=value"},
+		{"loss=", "key=value"},
+		{"frobnicate=1", "unknown clause"},
+		{"loss=1.5", "[0,1]"},
+		{"loss=-0.1", "[0,1]"},
+		{"loss=NaN", "[0,1]"},
+		{"loss=Inf", "[0,1]"},
+		{"delay=-3", "delay"},
+		{"delay=9999999999", "delay"},
+		{"seed=abc", "seed"},
+		{"seed=1@5-10", "window"},
+		{"rejoin=0", "rejoin"},
+		{"rejoin=-1", "rejoin"},
+		{"rejoin=0.5@1-2", "window"},
+		{"degrade=1", "gateway:factor"},
+		{"degrade=x:0.5", "non-negative integer"},
+		{"degrade=1:2", "[0,1]"},
+		{"outage=-1", "non-negative integer"},
+		{"churn=1.5", "non-negative integer"},
+		{"stuck=0@10", "from-to"},
+		{"greedy=0@5-5", "empty"},
+		{"greedy=0@9-5", "empty"},
+		{"loss=0.5@-3-4", "non-negative integer"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.spec)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted", c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error %q does not mention %q", c.spec, err, c.wantSub)
+		}
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	specs := []string{
+		"seed=7,loss=0.3@100-200,outage=0@300-350,greedy=1@200-600",
+		"loss=1",
+		"seed=-4,delay=12@5-,noise=0.001,quantum=0.125,rejoin=1",
+		"degrade=0:0.25,degrade=0:0.75@9-11,outage=2@4-8,churn=0@1-2,churn=0@6-7,stuck=3,greedy=3@2-",
+	}
+	for _, spec := range specs {
+		cfg, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		again, err := Parse(cfg.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = Parse(%q): %v", spec, cfg.String(), err)
+		}
+		if !reflect.DeepEqual(cfg, again) {
+			t.Errorf("round trip of %q:\nfirst  %+v\nsecond %+v (via %q)", spec, cfg, again, cfg.String())
+		}
+	}
+}
+
+// FuzzParse is the parser's safety net: any input either fails
+// cleanly or yields a config that validates and survives a
+// String/Parse round trip bit-for-bit.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"seed=7,loss=0.3@100-200,outage=0@300-350,greedy=1@200-600",
+		"loss=0.5,delay=3,noise=0.01,quantum=0.25",
+		"degrade=1:0.5@10-20,churn=2@40-80,stuck=0@5-15",
+		"rejoin=0.02,churn=1@3-9",
+		"loss=1@0-1",
+		"seed=-9223372036854775808",
+		"loss=0.5@@",
+		"outage=0@1-,outage=0@1-",
+		"delay=1048576",
+		"noise=1e-300",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if err := cfg.Validate(-1, -1); err != nil {
+			t.Fatalf("Parse(%q) accepted an invalid config: %v", spec, err)
+		}
+		rendered := cfg.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but its String %q does not re-parse: %v", spec, rendered, err)
+		}
+		if !reflect.DeepEqual(cfg, again) {
+			t.Fatalf("round trip of %q via %q:\nfirst  %+v\nsecond %+v", spec, rendered, cfg, again)
+		}
+	})
+}

@@ -28,6 +28,10 @@ func TestDetSourceSilentOutsideDeterministicPackages(t *testing.T) {
 	linttest.Run(t, lint.DetSource, "testdata/detsource/nondet", module+"/internal/report")
 }
 
+func TestDetSourceCoversFaultInjectors(t *testing.T) {
+	linttest.Run(t, lint.DetSource, "testdata/detsource/fault", module+"/internal/fault")
+}
+
 func TestHotAlloc(t *testing.T) {
 	linttest.Run(t, lint.HotAlloc, "testdata/hotalloc/hot", module+"/internal/kernel")
 }

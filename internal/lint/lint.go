@@ -99,6 +99,8 @@ var detPackages = map[string]bool{
 	modulePath + "/internal/signal":    true,
 	modulePath + "/internal/stability": true,
 	modulePath + "/internal/dynamics":  true,
+	modulePath + "/internal/fault":     true,
+	modulePath + "/internal/recovery":  true,
 }
 
 // isDeterministicPkg reports whether path is one of the deterministic

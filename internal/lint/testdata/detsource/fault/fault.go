@@ -1,0 +1,36 @@
+// Fixture for the detsource analyzer under the fault-injection
+// kernel path: injectors must draw every perturbation from their
+// explicitly seeded generator, so ambient entropy and clock reads
+// fire while the seeded-constructor pattern stays silent.
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// ambientInjector is the forbidden shape: a fault drawn from the
+// shared global source, so concurrent sweeps perturb each other.
+func ambientInjector(loss float64) bool {
+	return rand.Float64() < loss // want `math/rand.Float64 uses the global rand source`
+}
+
+// ambientJitter is the forbidden clock shape: fault timing must come
+// from step indices, never wall time.
+func ambientJitter() int64 {
+	return time.Now().UnixNano() // want `time.Now in a deterministic kernel`
+}
+
+// seededInjector is the sanctioned pattern (fault.NewInjector's
+// shape): one generator per injector, seeded from the fault config.
+type seededInjector struct {
+	rng *rand.Rand
+}
+
+func newSeededInjector(seed int64) *seededInjector {
+	return &seededInjector{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (inj *seededInjector) draw(loss float64) bool {
+	return inj.rng.Float64() < loss
+}

@@ -94,6 +94,92 @@ type RunReport struct {
 
 	// Per-gateway queue statistics at the final state.
 	Gateways []GatewayReport `json:"gateways"`
+
+	// Fault and Recovery are present only for perturbed runs (ffc
+	// -fault): what was injected, and how the system recovered from
+	// it. Unperturbed reports omit both, so the v1 schema is
+	// unchanged for existing consumers.
+	Fault    *FaultReport    `json:"fault,omitempty"`
+	Recovery *RecoveryReport `json:"recovery,omitempty"`
+}
+
+// FaultReport records what a perturbed run injected: the resolved
+// fault spec and the injector's event counts. The counts are exact —
+// every perturbation the injector applied is tallied — so a report
+// with a non-trivial spec but zero counts exposes a fault window that
+// never overlapped the run.
+type FaultReport struct {
+	// Spec is the canonical compact form of the fault configuration
+	// (fault.Config.String), including the seed.
+	Spec string `json:"spec"`
+	// SignalsLost counts per-connection, per-step feedback signals
+	// replaced by their last delivered value.
+	SignalsLost int64 `json:"signals_lost,omitempty"`
+	// SignalsDelayed counts signals delivered from the delay line
+	// rather than fresh.
+	SignalsDelayed int64 `json:"signals_delayed,omitempty"`
+	// SignalsNoised counts signals perturbed by noise or quantization.
+	SignalsNoised int64 `json:"signals_noised,omitempty"`
+	// DegradedSteps counts (gateway, step) pairs with scaled capacity.
+	DegradedSteps int64 `json:"degraded_steps,omitempty"`
+	// OutageSteps counts (gateway, step) pairs in full outage.
+	OutageSteps int64 `json:"outage_steps,omitempty"`
+	// ChurnedSteps counts (connection, step) pairs pinned to zero by
+	// join/leave churn.
+	ChurnedSteps int64 `json:"churned_steps,omitempty"`
+	// StuckSteps counts (connection, step) pairs with a frozen rate.
+	StuckSteps int64 `json:"stuck_steps,omitempty"`
+	// GreedySteps counts (connection, step) pairs where a decrease was
+	// refused.
+	GreedySteps int64 `json:"greedy_steps,omitempty"`
+}
+
+// RecoveryReport is the recovery-analytics section of a perturbed
+// run's report: how far the trajectory strayed from the unperturbed
+// fixed point and whether — and how fast — it came back after the
+// last injected disturbance (internal/recovery computes it).
+type RecoveryReport struct {
+	// Baseline is the unperturbed fixed point the excursions are
+	// measured against.
+	Baseline []Float `json:"baseline"`
+	// Reconverged reports whether the trajectory returned to the
+	// baseline (within the analysis tolerance) after the fault window
+	// and stayed there for the rest of the run.
+	Reconverged bool `json:"reconverged"`
+	// ReconvergeStep is the first such step (absolute index into the
+	// trajectory), or -1 when the system never reconverged.
+	ReconvergeStep int `json:"reconverge_step"`
+	// TimeToReconverge is ReconvergeStep minus the end of the fault
+	// window — the paper-facing time-to-reconvergence metric — or -1.
+	TimeToReconverge int `json:"time_to_reconverge"`
+	// MaxRateExcursion is max over steps and connections of
+	// |r_i(step) − baseline_i|.
+	MaxRateExcursion Float `json:"max_rate_excursion"`
+	// MaxQueueExcursion is the largest |Q_tot(step) − Q_tot(baseline)|
+	// over the run; +Inf when an injected outage overloaded a gateway.
+	MaxQueueExcursion Float `json:"max_queue_excursion,omitempty"`
+	// FinalDistance is the sup-norm distance to the baseline at the
+	// last step — the persistent-excursion measure for runs that never
+	// reconverge.
+	FinalDistance Float `json:"final_distance"`
+	// Starvation holds one entry per connection that ever starved.
+	Starvation []StarvationReport `json:"starvation,omitempty"`
+}
+
+// StarvationReport describes one connection's starvation windows: the
+// steps its rate spent below the starvation fraction of its baseline.
+type StarvationReport struct {
+	// Connection is the connection index.
+	Connection int `json:"connection"`
+	// LongestWindow is the longest consecutive starved stretch, in
+	// steps.
+	LongestWindow int `json:"longest_window"`
+	// TotalSteps is the total number of starved steps.
+	TotalSteps int `json:"total_steps"`
+	// StarvedAtEnd reports whether the connection was still starved at
+	// the last step — persistent starvation, the Theorem 5 failure
+	// mode.
+	StarvedAtEnd bool `json:"starved_at_end"`
 }
 
 // GatewayReport summarizes one gateway's state in a RunReport.

@@ -1,0 +1,36 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is the error a pool run reports when an item panicked.
+// The pool recovers panics on the worker goroutine — a panicking item
+// would otherwise kill the whole process, taking every other in-flight
+// item (and, in ffsweep, hours of sweep progress) with it — and
+// converts them to errors that flow through the usual
+// lowest-failing-index selection, so a panic anywhere in a grid is
+// reported exactly like a model error at the same index.
+type PanicError struct {
+	// Index is the item that panicked.
+	Index int
+	// Value is the value passed to panic.
+	Value interface{}
+	// Stack is the panicking goroutine's stack trace, captured at
+	// recovery (runtime/debug.Stack).
+	Stack string
+}
+
+// Error implements error. The stack is kept out of the one-line
+// message; callers that want it (the CLI fatal paths) unwrap with
+// errors.As and print PanicError.Stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: item %d panicked: %v", e.Index, e.Value)
+}
+
+// recoverPanic converts a recovered panic value into a *PanicError
+// for item i; called from the deferred telemetry block of runOne.
+func recoverPanic(i int, v interface{}) *PanicError {
+	return &PanicError{Index: i, Value: v, Stack: string(debug.Stack())}
+}

@@ -1,0 +1,122 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachRecoversPanic: one panicking item in a concurrent grid
+// fails its index with a *PanicError instead of crashing the process;
+// the other items still run.
+func TestForEachRecoversPanic(t *testing.T) {
+	var ran atomic.Int64
+	err := ForEach(context.Background(), 64, 8, func(i int) error {
+		if i == 17 {
+			panic("kaboom")
+		}
+		ran.Add(1)
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Index != 17 || pe.Value != "kaboom" {
+		t.Fatalf("PanicError = {Index: %d, Value: %v}, want {17, kaboom}", pe.Index, pe.Value)
+	}
+	if !strings.Contains(pe.Stack, "goroutine") {
+		t.Fatalf("PanicError.Stack does not look like a stack trace: %q", pe.Stack)
+	}
+	if !strings.Contains(pe.Error(), "item 17 panicked") {
+		t.Fatalf("Error() = %q", pe.Error())
+	}
+	if ran.Load() == 0 {
+		t.Fatal("no other item ran")
+	}
+}
+
+// TestForEachRecoversPanicSequential: the workers<=1 degenerate path
+// shares the same recovery.
+func TestForEachRecoversPanicSequential(t *testing.T) {
+	err := ForEach(context.Background(), 4, 1, func(i int) error {
+		if i == 2 {
+			panic(errors.New("wrapped"))
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 2 {
+		t.Fatalf("error = %v, want *PanicError at index 2", err)
+	}
+}
+
+// TestForEachPanicForcedSchedule pins the determinism contract under
+// panics the way cancel_test.go does for errors: item 9 is guaranteed
+// to panic first (item 3 blocks on its signal), yet the reported
+// failure must still be the lowest-indexed panicking item, 3.
+func TestForEachPanicForcedSchedule(t *testing.T) {
+	for iter := 0; iter < 200; iter++ {
+		highDone := make(chan struct{})
+		err := ForEach(context.Background(), 16, 4, func(i int) error {
+			switch i {
+			case 3:
+				<-highDone
+				panic("low")
+			case 9:
+				defer close(highDone)
+				panic("high")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("iter %d: error = %v, want *PanicError", iter, err)
+		}
+		if pe.Index != 3 || pe.Value != "low" {
+			t.Fatalf("iter %d: got panic from item %d (%v), want item 3", iter, pe.Index, pe.Value)
+		}
+	}
+}
+
+// TestMapPanicReturnsError: Map surfaces the panic as its error and
+// returns no partial results.
+func TestMapPanicReturnsError(t *testing.T) {
+	out, err := Map(context.Background(), 8, 4, func(i int) (int, error) {
+		if i == 5 {
+			panic(i)
+		}
+		return i * i, nil
+	})
+	if out != nil {
+		t.Fatalf("partial results returned: %v", out)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 5 || pe.Value != 5 {
+		t.Fatalf("error = %v, want *PanicError{Index: 5, Value: 5}", err)
+	}
+}
+
+// TestPanicLosesToLowerError: a plain error at a lower index beats a
+// panic at a higher one — panics flow through the same
+// lowest-failing-index selection as errors.
+func TestPanicLosesToLowerError(t *testing.T) {
+	errLow := errors.New("low error")
+	panicked := make(chan struct{})
+	err := ForEach(context.Background(), 8, 4, func(i int) error {
+		switch i {
+		case 1:
+			<-panicked
+			return errLow
+		case 6:
+			defer close(panicked)
+			panic("high panic")
+		}
+		return nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("error = %v, want the lower-indexed plain error", err)
+	}
+}

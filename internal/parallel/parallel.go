@@ -142,18 +142,24 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 	return ctx.Err()
 }
 
-// runOne executes one item under the pool telemetry.
-func runOne(i int, fn func(i int) error) error {
+// runOne executes one item under the pool telemetry, converting a
+// panic in the item into a *PanicError so one bad item fails its
+// index instead of crashing the process (see PanicError).
+func runOne(i int, fn func(i int) error) (err error) {
 	tasksStarted.Inc()
 	workersBusy.Set(float64(busyCount.Add(1)))
-	err := fn(i)
-	workersBusy.Set(float64(busyCount.Add(-1)))
-	if err != nil {
-		tasksFailed.Inc()
-		return err
-	}
-	tasksCompleted.Inc()
-	return nil
+	defer func() {
+		workersBusy.Set(float64(busyCount.Add(-1)))
+		if v := recover(); v != nil {
+			err = recoverPanic(i, v)
+		}
+		if err != nil {
+			tasksFailed.Inc()
+		} else {
+			tasksCompleted.Inc()
+		}
+	}()
+	return fn(i)
 }
 
 // Map applies fn to every index in [0, n) with at most

@@ -1,0 +1,135 @@
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Policy parameterizes Retry: a capped exponential backoff with
+// optional jitter, a bounded attempt count, and an optional elapsed-
+// time budget. The zero value is usable — three attempts, 10ms base
+// delay doubling to a 1s cap, no jitter, no budget.
+//
+// Every nondeterministic input is injectable: jitter draws come from
+// an explicitly seeded Rand, elapsed time from Now, and waiting from
+// Sleep, so tests (and deterministic harnesses) can drive Retry
+// without wall-clock time or ambient entropy.
+type Policy struct {
+	// MaxAttempts bounds the number of fn invocations (default 3).
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry (default 10ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth (default 1s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay between retries (default 2).
+	Multiplier float64
+	// Jitter spreads each delay uniformly over ±Jitter fraction of
+	// itself (e.g. 0.2 → a delay in [0.8d, 1.2d]). Requires Rand.
+	Jitter float64
+	// Rand supplies jitter draws; nil disables jitter. Pass an
+	// explicitly seeded generator — never ambient entropy — so retry
+	// schedules are reproducible.
+	Rand *rand.Rand
+	// Budget, when positive, bounds the total elapsed time (measured
+	// with Now) across attempts and waits: a retry whose delay would
+	// exceed the budget is not attempted.
+	Budget time.Duration
+	// Now supplies the clock behind Budget (default time.Now).
+	Now func() time.Time
+	// Sleep waits between attempts (default: a timer raced against
+	// ctx). Tests inject it to run schedules instantly.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Retryable, when non-nil, filters errors: a non-retryable error
+	// is returned immediately, unwrapped. nil retries every error.
+	Retryable func(error) bool
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Now == nil {
+		p.Now = time.Now
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleepCtx
+	}
+	return p
+}
+
+// Retry invokes fn until it succeeds, the attempt budget or time
+// budget runs out, the error is not retryable, or ctx is done. The
+// returned error wraps the last error fn produced (errors.Is/As see
+// through it); a non-retryable error is returned as-is.
+//
+// ffsweep wraps flaky per-row work in Retry so a transient failure
+// (an eventsim replication hitting a resource blip) costs one backoff
+// instead of the whole sweep.
+func Retry(ctx context.Context, p Policy, fn func() error) error {
+	p = p.withDefaults()
+	start := p.Now()
+	delay := p.BaseDelay
+	var last error
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if last != nil {
+				return fmt.Errorf("parallel: retry canceled after %d attempts: %w", attempt-1, last)
+			}
+			return fmt.Errorf("parallel: retry canceled before attempt %d: %w", attempt, err)
+		}
+		err := fn()
+		last = err
+		if err == nil {
+			return nil
+		}
+		if p.Retryable != nil && !p.Retryable(err) {
+			return err
+		}
+		if attempt >= p.MaxAttempts {
+			return fmt.Errorf("parallel: retry budget exhausted after %d attempts: %w", attempt, err)
+		}
+		d := delay
+		if p.Jitter > 0 && p.Rand != nil {
+			d = time.Duration(float64(d) * (1 + p.Jitter*(2*p.Rand.Float64()-1)))
+		}
+		if d > p.MaxDelay {
+			d = p.MaxDelay
+		}
+		if p.Budget > 0 && p.Now().Sub(start)+d > p.Budget {
+			return fmt.Errorf("parallel: retry deadline exceeded after %d attempts: %w", attempt, err)
+		}
+		if serr := p.Sleep(ctx, d); serr != nil {
+			return fmt.Errorf("parallel: retry canceled after %d attempts: %w", attempt, err)
+		}
+		delay = time.Duration(float64(delay) * p.Multiplier)
+		if delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+}
+
+// sleepCtx waits d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

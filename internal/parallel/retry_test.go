@@ -1,0 +1,228 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeSchedule is an injected Sleep/Now pair: sleeps record their
+// durations and advance a synthetic clock instantly.
+type fakeSchedule struct {
+	now    time.Time
+	slept  []time.Duration
+	cancel context.CancelFunc // when set, fires after cancelAfter sleeps
+	after  int
+}
+
+func (f *fakeSchedule) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	f.slept = append(f.slept, d)
+	f.now = f.now.Add(d)
+	if f.cancel != nil && len(f.slept) >= f.after {
+		f.cancel()
+	}
+	return nil
+}
+
+func (f *fakeSchedule) Now() time.Time { return f.now }
+
+func TestRetryFirstTrySucceeds(t *testing.T) {
+	sched := &fakeSchedule{}
+	calls := 0
+	err := Retry(context.Background(), Policy{Sleep: sched.Sleep, Now: sched.Now}, func() error {
+		calls++
+		return nil
+	})
+	if err != nil || calls != 1 || len(sched.slept) != 0 {
+		t.Fatalf("err=%v calls=%d sleeps=%v, want clean single call", err, calls, sched.slept)
+	}
+}
+
+func TestRetryBackoffIsCappedExponential(t *testing.T) {
+	sched := &fakeSchedule{}
+	failures := errors.New("transient")
+	calls := 0
+	err := Retry(context.Background(), Policy{
+		MaxAttempts: 6,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    40 * time.Millisecond,
+		Multiplier:  2,
+		Sleep:       sched.Sleep,
+		Now:         sched.Now,
+	}, func() error {
+		calls++
+		if calls < 6 {
+			return failures
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{10, 20, 40, 40, 40}
+	for i := range want {
+		want[i] *= time.Millisecond
+	}
+	if len(sched.slept) != len(want) {
+		t.Fatalf("slept %v, want %v", sched.slept, want)
+	}
+	for i := range want {
+		if sched.slept[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (full schedule %v)", i, sched.slept[i], want[i], sched.slept)
+		}
+	}
+}
+
+func TestRetryBudgetExhaustion(t *testing.T) {
+	sched := &fakeSchedule{}
+	sentinel := errors.New("always fails")
+	calls := 0
+	err := Retry(context.Background(), Policy{MaxAttempts: 4, Sleep: sched.Sleep, Now: sched.Now}, func() error {
+		calls++
+		return sentinel
+	})
+	if calls != 4 {
+		t.Fatalf("fn called %d times, want 4", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error %v does not wrap the last failure", err)
+	}
+	if !strings.Contains(err.Error(), "exhausted after 4 attempts") {
+		t.Fatalf("error = %q", err)
+	}
+}
+
+func TestRetryContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sched := &fakeSchedule{cancel: cancel, after: 2}
+	sentinel := errors.New("flaky")
+	calls := 0
+	err := Retry(ctx, Policy{MaxAttempts: 10, Sleep: sched.Sleep, Now: sched.Now}, func() error {
+		calls++
+		return sentinel
+	})
+	// The cancel fires during the second backoff; the third attempt
+	// must never start.
+	if calls != 2 {
+		t.Fatalf("fn called %d times, want 2", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error %v does not wrap the last failure", err)
+	}
+	if !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("error = %q", err)
+	}
+}
+
+func TestRetryCanceledBeforeFirstAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Retry(ctx, Policy{}, func() error {
+		t.Fatal("fn ran under a dead context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+}
+
+func TestRetryNonRetryableReturnsImmediately(t *testing.T) {
+	fatal := errors.New("fatal")
+	calls := 0
+	err := Retry(context.Background(), Policy{
+		MaxAttempts: 5,
+		Sleep:       (&fakeSchedule{}).Sleep,
+		Retryable:   func(err error) bool { return !errors.Is(err, fatal) },
+	}, func() error {
+		calls++
+		return fatal
+	})
+	if calls != 1 {
+		t.Fatalf("fn called %d times, want 1", calls)
+	}
+	if err != fatal {
+		t.Fatalf("error = %v, want the unwrapped fatal error", err)
+	}
+}
+
+func TestRetryTimeBudget(t *testing.T) {
+	sched := &fakeSchedule{}
+	sentinel := errors.New("slow failure")
+	calls := 0
+	err := Retry(context.Background(), Policy{
+		MaxAttempts: 100,
+		BaseDelay:   40 * time.Millisecond,
+		MaxDelay:    40 * time.Millisecond,
+		Budget:      100 * time.Millisecond,
+		Sleep:       sched.Sleep,
+		Now:         sched.Now,
+	}, func() error {
+		calls++
+		return sentinel
+	})
+	// Two 40ms waits fit in the 100ms budget, a third would not:
+	// three attempts total.
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want 3", calls)
+	}
+	if !errors.Is(err, sentinel) || !strings.Contains(err.Error(), "deadline exceeded") {
+		t.Fatalf("error = %q", err)
+	}
+}
+
+func TestRetryJitterIsSeeded(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		sched := &fakeSchedule{}
+		sentinel := errors.New("transient")
+		_ = Retry(context.Background(), Policy{
+			MaxAttempts: 5,
+			BaseDelay:   100 * time.Millisecond,
+			MaxDelay:    time.Hour,
+			Jitter:      0.5,
+			Rand:        rand.New(rand.NewSource(seed)),
+			Sleep:       sched.Sleep,
+			Now:         sched.Now,
+		}, func() error { return sentinel })
+		return sched.slept
+	}
+	a, b := run(7), run(7)
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("schedules %v and %v, want 4 sleeps each", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+	jittered := false
+	for i, d := range a {
+		base := 100 * time.Millisecond << i
+		if d != base {
+			jittered = true
+		}
+		if d < base/2 || d > base*3/2 {
+			t.Fatalf("sleep %d = %v outside ±50%% of %v", i, d, base)
+		}
+	}
+	if !jittered {
+		t.Fatal("jitter never moved a delay")
+	}
+	c := run(8)
+	same := len(c) == len(a)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}

@@ -1,0 +1,221 @@
+// Package recovery measures how a perturbed run recovers: given the
+// recorded rate trajectory of a faulted run and the unperturbed fixed
+// point it would otherwise sit at, it computes the
+// time-to-reconvergence after the last disturbance, the maximum rate
+// and queue excursions, and per-connection starvation windows.
+//
+// These are the quantities the robustness literature argues matter in
+// practice — a control that oscillates, hangs away from its fixed
+// point, or starves a connection after a disturbance has failed even
+// if its pristine steady state is fair (PAPERS.md: Andrews & Slivkins
+// on TCP-like starvation; Voice et al. on global recovery after
+// disturbance). Experiment E22 uses them to restate Theorem 5 under
+// injected faults.
+//
+// The package is a deterministic kernel: pure arithmetic over its
+// inputs, no entropy, no clocks (enforced by ffcvet's detsource and
+// detrange analyzers).
+package recovery
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nettheory/feedbackflow/internal/obs"
+)
+
+// Options parameterizes Analyze.
+type Options struct {
+	// QuietAfter is the first step index at which every fault window
+	// has closed; reconvergence is only looked for from there on.
+	QuietAfter int
+	// Tol is the sup-norm reconvergence tolerance, relative to
+	// 1 + max|baseline| (default 1e-6).
+	Tol float64
+	// StarveFrac defines starvation: connection i is starved at step k
+	// when r_i(k) < StarveFrac·baseline_i (default 0.1). Connections
+	// with a zero baseline never starve.
+	StarveFrac float64
+	// TotalQueues, when non-nil, is the per-step total queue series of
+	// the perturbed run (one entry per trajectory state), and
+	// BaselineQueue the unperturbed total; together they yield
+	// MaxQueueExcursion. Either may contain +Inf (overload).
+	TotalQueues   []float64
+	BaselineQueue float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+	if o.StarveFrac <= 0 {
+		o.StarveFrac = 0.1
+	}
+	return o
+}
+
+// Report is the recovery analysis of one perturbed trajectory; the
+// fields mirror obs.RecoveryReport (Publish converts).
+type Report struct {
+	Baseline          []float64
+	Reconverged       bool
+	ReconvergeStep    int
+	TimeToReconverge  int
+	MaxRateExcursion  float64
+	MaxQueueExcursion float64
+	FinalDistance     float64
+	Starvation        []Starvation
+}
+
+// Starvation is one connection's starvation accounting.
+type Starvation struct {
+	Connection    int
+	LongestWindow int
+	TotalSteps    int
+	StarvedAtEnd  bool
+}
+
+// Analyze computes the recovery report of traj — the recorded states
+// of a perturbed run, initial state included — against the
+// unperturbed fixed point baseline.
+//
+// Reconvergence is conservative: the reconvergence step is the first
+// step at or after opts.QuietAfter from which the trajectory stays
+// within tolerance of the baseline through the end of the run, so a
+// trajectory that swings back out (oscillation, a later excursion)
+// does not count as recovered at its first crossing.
+func Analyze(traj [][]float64, baseline []float64, opts Options) (*Report, error) {
+	if len(traj) == 0 {
+		return nil, fmt.Errorf("recovery: empty trajectory")
+	}
+	if len(baseline) == 0 {
+		return nil, fmt.Errorf("recovery: empty baseline")
+	}
+	for k, r := range traj {
+		if len(r) != len(baseline) {
+			return nil, fmt.Errorf("recovery: state %d has %d rates for %d baseline entries", k, len(r), len(baseline))
+		}
+	}
+	if opts.QuietAfter < 0 {
+		return nil, fmt.Errorf("recovery: negative quiet-after step %d", opts.QuietAfter)
+	}
+	if opts.TotalQueues != nil && len(opts.TotalQueues) != len(traj) {
+		return nil, fmt.Errorf("recovery: %d queue samples for %d trajectory states", len(opts.TotalQueues), len(traj))
+	}
+	opts = opts.withDefaults()
+
+	maxBase := 0.0
+	for _, b := range baseline {
+		if a := math.Abs(b); a > maxBase {
+			maxBase = a
+		}
+	}
+	tol := opts.Tol * (1 + maxBase)
+
+	rep := &Report{
+		Baseline:       append([]float64(nil), baseline...),
+		ReconvergeStep: -1, TimeToReconverge: -1,
+	}
+
+	// Sup-norm distance per step; excursion over the whole run.
+	dist := make([]float64, len(traj))
+	for k, r := range traj {
+		d := 0.0
+		for i := range r {
+			if e := math.Abs(r[i] - baseline[i]); e > d {
+				d = e
+			}
+		}
+		dist[k] = d
+		if d > rep.MaxRateExcursion {
+			rep.MaxRateExcursion = d
+		}
+	}
+	rep.FinalDistance = dist[len(dist)-1]
+
+	// Reconvergence: the last step from which dist stays <= tol,
+	// found by one backward scan; it counts only if it is at or after
+	// the quiet point.
+	within := len(dist) // first index of the maximal calm suffix
+	for k := len(dist) - 1; k >= 0 && dist[k] <= tol; k-- {
+		within = k
+	}
+	if within < len(dist) {
+		step := within
+		if step < opts.QuietAfter {
+			step = opts.QuietAfter
+		}
+		if step < len(dist) {
+			rep.Reconverged = true
+			rep.ReconvergeStep = step
+			rep.TimeToReconverge = step - opts.QuietAfter
+		}
+	}
+
+	// Queue excursion, when the caller sampled total queues. An
+	// infinite sample (overloaded gateway) yields an infinite
+	// excursion unless the baseline itself is infinite.
+	for _, q := range opts.TotalQueues {
+		var e float64
+		switch {
+		case math.IsInf(q, 1) && math.IsInf(opts.BaselineQueue, 1):
+			e = 0
+		default:
+			e = math.Abs(q - opts.BaselineQueue)
+		}
+		if e > rep.MaxQueueExcursion {
+			rep.MaxQueueExcursion = e
+		}
+	}
+
+	// Starvation windows.
+	for i := range baseline {
+		if baseline[i] <= 0 {
+			continue
+		}
+		floor := opts.StarveFrac * baseline[i]
+		cur, longest, total := 0, 0, 0
+		for _, r := range traj {
+			if r[i] < floor {
+				cur++
+				total++
+				if cur > longest {
+					longest = cur
+				}
+			} else {
+				cur = 0
+			}
+		}
+		if total > 0 {
+			rep.Starvation = append(rep.Starvation, Starvation{
+				Connection:    i,
+				LongestWindow: longest,
+				TotalSteps:    total,
+				StarvedAtEnd:  cur > 0,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// Publish converts the report to its obs.RunReport form.
+func (r *Report) Publish() *obs.RecoveryReport {
+	out := &obs.RecoveryReport{
+		Baseline:          obs.Floats(r.Baseline),
+		Reconverged:       r.Reconverged,
+		ReconvergeStep:    r.ReconvergeStep,
+		TimeToReconverge:  r.TimeToReconverge,
+		MaxRateExcursion:  obs.Float(r.MaxRateExcursion),
+		MaxQueueExcursion: obs.Float(r.MaxQueueExcursion),
+		FinalDistance:     obs.Float(r.FinalDistance),
+	}
+	for _, s := range r.Starvation {
+		out.Starvation = append(out.Starvation, obs.StarvationReport{
+			Connection:    s.Connection,
+			LongestWindow: s.LongestWindow,
+			TotalSteps:    s.TotalSteps,
+			StarvedAtEnd:  s.StarvedAtEnd,
+		})
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package recovery
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// traj builds a trajectory for a single connection from its scalar
+// series.
+func traj1(xs ...float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for k, x := range xs {
+		out[k] = []float64{x}
+	}
+	return out
+}
+
+func TestAnalyzeReconvergence(t *testing.T) {
+	// Baseline 1.0; excursion down to 0.2 during steps 2..4, back
+	// within tolerance from step 6 on; faults quiet after step 5.
+	tr := traj1(1, 1, 0.2, 0.3, 0.5, 0.9, 1.0000001, 1, 1, 1)
+	rep, err := Analyze(tr, []float64{1}, Options{QuietAfter: 5, Tol: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Reconverged {
+		t.Fatal("expected reconvergence")
+	}
+	if rep.ReconvergeStep != 6 {
+		t.Errorf("ReconvergeStep = %d, want 6", rep.ReconvergeStep)
+	}
+	if rep.TimeToReconverge != 1 {
+		t.Errorf("TimeToReconverge = %d, want 1", rep.TimeToReconverge)
+	}
+	if got, want := rep.MaxRateExcursion, 0.8; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MaxRateExcursion = %v, want %v", got, want)
+	}
+	if rep.FinalDistance > 1e-3 {
+		t.Errorf("FinalDistance = %v, want within tolerance", rep.FinalDistance)
+	}
+}
+
+func TestAnalyzeReconvergenceIsConservative(t *testing.T) {
+	// A dip back to baseline at step 3 must not count: the trajectory
+	// leaves again and never returns.
+	tr := traj1(1, 0.2, 0.5, 1, 0.4, 0.3, 0.2, 0.2)
+	rep, err := Analyze(tr, []float64{1}, Options{QuietAfter: 0, Tol: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reconverged {
+		t.Fatalf("reconverged at step %d despite the late excursion", rep.ReconvergeStep)
+	}
+	if rep.TimeToReconverge != -1 || rep.ReconvergeStep != -1 {
+		t.Errorf("non-reconverged run must report -1, got step %d ttr %d", rep.ReconvergeStep, rep.TimeToReconverge)
+	}
+	if got := rep.FinalDistance; math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("FinalDistance = %v, want 0.8", got)
+	}
+}
+
+func TestAnalyzeCalmBeforeQuietClampsToQuiet(t *testing.T) {
+	// Trajectory never leaves the baseline: reconvergence is declared
+	// exactly at the quiet point with zero time-to-reconverge.
+	tr := traj1(1, 1, 1, 1, 1, 1)
+	rep, err := Analyze(tr, []float64{1}, Options{QuietAfter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Reconverged || rep.ReconvergeStep != 3 || rep.TimeToReconverge != 0 {
+		t.Errorf("got reconverged=%v step=%d ttr=%d, want true/3/0",
+			rep.Reconverged, rep.ReconvergeStep, rep.TimeToReconverge)
+	}
+}
+
+func TestAnalyzeQuietBeyondTrajectory(t *testing.T) {
+	tr := traj1(1, 1, 1)
+	rep, err := Analyze(tr, []float64{1}, Options{QuietAfter: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reconverged {
+		t.Error("cannot reconverge after a quiet point beyond the run")
+	}
+}
+
+func TestAnalyzeStarvationWindows(t *testing.T) {
+	// Connection 1 starves (below 0.1×baseline) for two windows, the
+	// second extending to the end.
+	tr := [][]float64{
+		{0.5, 0.5}, {0.5, 0.01}, {0.5, 0.02}, {0.5, 0.5},
+		{0.5, 0.01}, {0.5, 0.01}, {0.5, 0.01},
+	}
+	rep, err := Analyze(tr, []float64{0.5, 0.5}, Options{QuietAfter: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Starvation) != 1 {
+		t.Fatalf("%d starving connections, want 1", len(rep.Starvation))
+	}
+	s := rep.Starvation[0]
+	if s.Connection != 1 || s.LongestWindow != 3 || s.TotalSteps != 5 || !s.StarvedAtEnd {
+		t.Errorf("starvation = %+v, want conn 1, longest 3, total 5, starved at end", s)
+	}
+}
+
+func TestAnalyzeQueueExcursion(t *testing.T) {
+	tr := traj1(1, 1, 1)
+	rep, err := Analyze(tr, []float64{1}, Options{
+		QuietAfter:    0,
+		TotalQueues:   []float64{2, math.Inf(1), 3},
+		BaselineQueue: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(rep.MaxQueueExcursion, 1) {
+		t.Errorf("MaxQueueExcursion = %v, want +Inf (outage overload)", rep.MaxQueueExcursion)
+	}
+}
+
+func TestAnalyzeRejectsShapeMismatches(t *testing.T) {
+	if _, err := Analyze(nil, []float64{1}, Options{}); err == nil {
+		t.Error("empty trajectory accepted")
+	}
+	if _, err := Analyze(traj1(1), nil, Options{}); err == nil {
+		t.Error("empty baseline accepted")
+	}
+	if _, err := Analyze([][]float64{{1, 2}}, []float64{1}, Options{}); err == nil {
+		t.Error("ragged state accepted")
+	}
+	if _, err := Analyze(traj1(1, 1), []float64{1}, Options{TotalQueues: []float64{1}}); err == nil {
+		t.Error("mismatched queue series accepted")
+	}
+	if _, err := Analyze(traj1(1), []float64{1}, Options{QuietAfter: -1}); err == nil {
+		t.Error("negative quiet-after accepted")
+	}
+}
+
+// TestPublishSurvivesInfinityJSON pins the finite-JSON contract: an
+// infinite queue excursion must marshal as the string "+Inf", not
+// fail or truncate.
+func TestPublishSurvivesInfinityJSON(t *testing.T) {
+	tr := traj1(1, 0.2, 1, 1)
+	rep, err := Analyze(tr, []float64{1}, Options{
+		QuietAfter:    1,
+		TotalQueues:   []float64{1, math.Inf(1), 1, 1},
+		BaselineQueue: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep.Publish())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !strings.Contains(string(data), `"+Inf"`) {
+		t.Errorf("infinite excursion not rendered as \"+Inf\": %s", data)
+	}
+}
