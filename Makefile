@@ -13,7 +13,7 @@ STATICCHECK_VERSION := 2024.1.1
 
 GO ?= go
 
-.PHONY: all build test race lint vet ffcvet staticcheck fmt bench chaos clean
+.PHONY: all build test race lint vet ffcvet staticcheck fmt bench chaos serve-smoke clean
 
 all: build test
 
@@ -65,6 +65,15 @@ chaos:
 	$(GO) run ./cmd/ffc -topology parkinglot -hops 3 -steps 4000 \
 		-fault "seed=5,noise=0.1@20-200,churn=0@100-300" >/dev/null
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/fault/
+
+# Daemon smoke (docs/SERVING.md): the result cache's -race suite with
+# its ≥10× hit-latency bound, the full HTTP surface (byte-identical
+# cache hits, singleflight under concurrent identical requests, 429
+# backpressure, graceful-shutdown drain under in-flight load), and the
+# ffcd boot→POST×2→SIGTERM round trip — all under the race detector.
+serve-smoke:
+	$(GO) test -race -count=1 ./internal/runcache/ ./internal/serve/ ./cmd/ffcd/
+	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 10s ./internal/scenario/
 
 clean:
 	$(GO) clean ./...

@@ -18,6 +18,11 @@
 // trajectory (time-to-reconvergence, rate and queue excursions,
 // starvation windows). The process exits 1 when the system fails to
 // reconverge. With -trace, both runs stream to stderr in order.
+//
+// ffc solves each scenario once and exits. To serve a scenario family
+// repeatedly — the same -config documents POSTed over HTTP, solved
+// once per distinct spec and answered from a content-addressed result
+// cache thereafter — run the ffcd daemon instead (docs/SERVING.md).
 package main
 
 import (

@@ -1,0 +1,84 @@
+// Command ffcd is the long-running scenario-serving daemon: it
+// accepts declarative scenario JSON over HTTP (the same format ffc
+// -config reads, optionally wrapped with a fault spec) and serves
+// versioned run reports from a content-addressed result cache, so a
+// scenario family queried repeatedly — an RCP stability sweep, a
+// fair-sharing fluid-model grid — is solved once per distinct point
+// and served from memory thereafter.
+//
+//	ffcd -addr :8080
+//	curl -XPOST --data-binary @scenarios/two-bottleneck.json localhost:8080/run
+//	curl -XPOST -d '{"scenario": {...}, "fault": "seed=3,loss=0.5@50-120"}' localhost:8080/run
+//	curl -XPOST -d '{"runs": [{...}, {...}]}' localhost:8080/batch
+//	curl localhost:8080/healthz
+//	curl localhost:8080/metrics
+//
+// Identical requests (modulo JSON key order, whitespace, and kind
+// aliases — see scenario.Spec.Canonical) return byte-identical
+// reports; the X-FFCD-Cache response header says whether the run was
+// solved (miss) or served from memory (hit). Concurrency is bounded
+// by -workers with a -queue deep waiting line; beyond that /run
+// answers 429. On SIGINT/SIGTERM the daemon stops accepting and
+// drains in-flight runs for up to -drain before exiting.
+//
+// docs/SERVING.md documents the endpoints, cache semantics,
+// canonicalization rules, and capacity knobs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/nettheory/feedbackflow/internal/cli"
+	"github.com/nettheory/feedbackflow/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "HTTP listen address")
+		workers      = flag.Int("workers", 0, "max concurrent scenario solves (0 = one per CPU)")
+		queue        = flag.Int("queue", 64, "solves allowed to wait beyond the workers before /run answers 429")
+		cacheEntries = flag.Int("cache-entries", 1024, "result cache bound, in reports (0 = unbounded)")
+		cacheBytes   = flag.Int64("cache-bytes", 256<<20, "result cache bound, in report bytes (0 = unbounded)")
+		maxBody      = flag.Int64("max-body", 8<<20, "max request body bytes")
+		maxBatch     = flag.Int("max-batch", 256, "max runs per /batch request")
+		drain        = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window for in-flight runs")
+		debugAddr    = flag.String("debug-addr", "", "also serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	)
+	flag.Parse()
+
+	if *debugAddr != "" {
+		a, err := cli.StartDebugServer(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ffcd: debug server on http://%s/debug/pprof\n", a)
+	}
+
+	s := serve.New(serve.Config{
+		Workers:      *workers,
+		Queue:        *queue,
+		CacheEntries: *cacheEntries,
+		CacheBytes:   *cacheBytes,
+		MaxBodyBytes: *maxBody,
+		MaxBatch:     *maxBatch,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := s.ListenAndServe(ctx, *addr, *drain, func(a net.Addr) {
+		fmt.Printf("ffcd: serving on http://%s (POST /run, /batch; GET /healthz, /metrics)\n", a)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("ffcd: drained, bye")
+}
+
+func fatal(err error) { cli.Fatal("ffcd", err) }

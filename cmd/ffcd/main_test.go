@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain lets the test binary double as the daemon: when
+// FFCD_SMOKE_DAEMON is set the process runs main() with the remaining
+// arguments, so the smoke test exercises the real flag wiring, startup
+// banner, and signal handling without a separate build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("FFCD_SMOKE_DAEMON") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+const smokeScenario = `{
+  "name": "smoke",
+  "gateways": [{"name": "G", "mu": 1.0, "latency": 0.1}],
+  "connections": [{"path": ["G"], "law": {"kind": "additive", "eta": 0.05, "bss": 0.5}}]
+}`
+
+// TestDaemonSmoke boots the daemon, POSTs the same scenario twice,
+// asserts the second response is a byte-identical cache hit, then
+// sends SIGTERM and expects a clean drain.
+func TestDaemonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a subprocess")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(exe, "-addr", "127.0.0.1:0", "-workers", "2", "-drain", "10s")
+	cmd.Env = append(os.Environ(), "FFCD_SMOKE_DAEMON=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon announces its bound address on stdout once ready.
+	sc := bufio.NewScanner(stdout)
+	var base string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "http://"); i >= 0 {
+			base = strings.Fields(line[i:])[0]
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("daemon never announced its address: %v", sc.Err())
+	}
+
+	post := func() (*http.Response, []byte) {
+		resp, err := http.Post(base+"/run", "application/json", strings.NewReader(smokeScenario))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	resp1, body1 := post()
+	if resp1.StatusCode != http.StatusOK || resp1.Header.Get("X-FFCD-Cache") != "miss" {
+		t.Fatalf("first POST: status %d cache %q: %s", resp1.StatusCode, resp1.Header.Get("X-FFCD-Cache"), body1)
+	}
+	resp2, body2 := post()
+	if resp2.StatusCode != http.StatusOK || resp2.Header.Get("X-FFCD-Cache") != "hit" {
+		t.Fatalf("second POST: status %d cache %q", resp2.StatusCode, resp2.Header.Get("X-FFCD-Cache"))
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("cache hit is not byte-identical to the miss")
+	}
+
+	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain and exit after SIGTERM")
+	}
+}

@@ -101,6 +101,8 @@ var detPackages = map[string]bool{
 	modulePath + "/internal/dynamics":  true,
 	modulePath + "/internal/fault":     true,
 	modulePath + "/internal/recovery":  true,
+	modulePath + "/internal/scenario":  true,
+	modulePath + "/internal/runcache":  true,
 }
 
 // isDeterministicPkg reports whether path is one of the deterministic

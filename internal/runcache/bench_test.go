@@ -1,0 +1,126 @@
+package runcache
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/nettheory/feedbackflow/internal/scenario"
+)
+
+// benchScenario is the shipped two-bottleneck scenario: a realistic
+// cold solve (thousands of iterative steps) to measure hits against.
+const benchScenario = `{
+  "name": "two-bottleneck",
+  "discipline": "fairshare",
+  "feedback": "individual",
+  "gateways": [
+    {"name": "A", "mu": 1.0, "latency": 0.1},
+    {"name": "B", "mu": 2.0, "latency": 0.1}
+  ],
+  "connections": [
+    {"path": ["A", "B"], "law": {"kind": "additive", "eta": 0.05, "bss": 0.5}},
+    {"path": ["A"],      "law": {"kind": "additive", "eta": 0.05, "bss": 0.5}},
+    {"path": ["B"],      "law": {"kind": "additive", "eta": 0.05, "bss": 0.5}}
+  ]
+}`
+
+// coldSolve runs the benchmark scenario from scratch and renders its
+// report — exactly what the daemon does on a cache miss.
+func coldSolve(tb testing.TB) func() ([]byte, error) {
+	tb.Helper()
+	return func() ([]byte, error) {
+		spec, err := scenario.Load(strings.NewReader(benchScenario))
+		if err != nil {
+			return nil, err
+		}
+		sys, r0, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		res, err := sys.Run(r0, spec.RunOptions())
+		if err != nil {
+			return nil, err
+		}
+		rep, err := sys.Report(res, spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(rep)
+	}
+}
+
+func benchKey(tb testing.TB) Key {
+	tb.Helper()
+	spec, err := scenario.Load(strings.NewReader(benchScenario))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	canon, err := spec.Canonical()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return KeyOf(canon)
+}
+
+// BenchmarkColdSolve is the miss path: a full Load→Build→Run→Report.
+func BenchmarkColdSolve(b *testing.B) {
+	solve := coldSolve(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheHit is the hit path: a lookup of the memoized report.
+func BenchmarkCacheHit(b *testing.B) {
+	c := New(16, 0)
+	k := benchKey(b)
+	if _, _, err := c.Do(context.Background(), k, coldSolve(b)); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, cached, err := c.Do(ctx, k, coldSolve(b))
+		if err != nil || !cached {
+			b.Fatalf("cached=%v err=%v", cached, err)
+		}
+	}
+}
+
+// TestHitLatencyAtLeast10xFaster is the acceptance bound as a test:
+// the amortized hit must beat a single cold solve by ≥10×. The real
+// ratio is ~10^4 (a map lookup versus thousands of iterative steps),
+// so the margin tolerates noisy CI machines.
+func TestHitLatencyAtLeast10xFaster(t *testing.T) {
+	c := New(16, 0)
+	k := benchKey(t)
+	ctx := context.Background()
+	solve := coldSolve(t)
+
+	start := time.Now()
+	if _, cached, err := c.Do(ctx, k, solve); err != nil || cached {
+		t.Fatalf("cold solve: cached=%v err=%v", cached, err)
+	}
+	cold := time.Since(start)
+
+	const hits = 200
+	start = time.Now()
+	for i := 0; i < hits; i++ {
+		if _, cached, err := c.Do(ctx, k, solve); err != nil || !cached {
+			t.Fatalf("hit %d: cached=%v err=%v", i, cached, err)
+		}
+	}
+	hit := time.Since(start) / hits
+
+	if hit*10 > cold {
+		t.Errorf("cache hit %v is not ≥10× faster than cold solve %v", hit, cold)
+	}
+	t.Logf("cold solve %v, amortized hit %v (%.0fx)", cold, hit, float64(cold)/float64(hit))
+}

@@ -1,0 +1,213 @@
+package runcache
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func key(s string) Key { return KeyOf([]byte(s)) }
+
+func TestKeyOfBoundaries(t *testing.T) {
+	if KeyOf([]byte("ab"), []byte("c")) == KeyOf([]byte("a"), []byte("bc")) {
+		t.Fatal("part boundaries are not part of the address")
+	}
+	if KeyOf([]byte("ab")) == KeyOf([]byte("ab"), nil) {
+		t.Fatal("trailing empty part should change the address")
+	}
+	if KeyOf([]byte("ab")) != KeyOf([]byte("ab")) {
+		t.Fatal("KeyOf is not deterministic")
+	}
+}
+
+func TestDoHitReturnsIdenticalBytes(t *testing.T) {
+	c := New(4, 0)
+	ctx := context.Background()
+	solves := 0
+	solve := func() ([]byte, error) { solves++; return []byte(`{"report":1}`), nil }
+
+	v1, cached, err := c.Do(ctx, key("k"), solve)
+	if err != nil || cached {
+		t.Fatalf("first Do: cached=%v err=%v", cached, err)
+	}
+	v2, cached, err := c.Do(ctx, key("k"), solve)
+	if err != nil || !cached {
+		t.Fatalf("second Do: cached=%v err=%v", cached, err)
+	}
+	if !bytes.Equal(v1, v2) {
+		t.Fatalf("hit bytes differ: %q vs %q", v1, v2)
+	}
+	if solves != 1 {
+		t.Fatalf("solve ran %d times, want 1", solves)
+	}
+	snap := c.Snapshot()
+	if snap["runcache.hits"].(int64) != 1 || snap["runcache.misses"].(int64) != 1 {
+		t.Fatalf("counters: %v", snap)
+	}
+}
+
+func TestLRUEvictionByEntries(t *testing.T) {
+	c := New(2, 0)
+	ctx := context.Background()
+	put := func(k string) {
+		_, _, err := c.Do(ctx, key(k), func() ([]byte, error) { return []byte(k), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a")
+	put("b")
+	if _, ok := c.Get(key("a")); !ok { // touch a: b is now coldest
+		t.Fatal("a missing before eviction")
+	}
+	put("c") // evicts b
+	if _, ok := c.Get(key("b")); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	if _, ok := c.Get(key("a")); !ok {
+		t.Fatal("a (recently used) should have survived")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if n := c.Snapshot()["runcache.evictions"].(int64); n != 1 {
+		t.Fatalf("evictions = %d, want 1", n)
+	}
+}
+
+func TestEvictionByBytes(t *testing.T) {
+	c := New(0, 10)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if _, _, err := c.Do(ctx, key(k), func() ([]byte, error) { return []byte("1234"), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Bytes() > 10 {
+		t.Fatalf("cache over byte bound: %d > 10", c.Bytes())
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (4-byte values under a 10-byte bound)", c.Len())
+	}
+}
+
+func TestOversizeValueNotCached(t *testing.T) {
+	c := New(0, 4)
+	ctx := context.Background()
+	v, cached, err := c.Do(ctx, key("big"), func() ([]byte, error) { return []byte("12345"), nil })
+	if err != nil || cached || string(v) != "12345" {
+		t.Fatalf("oversize Do: %q cached=%v err=%v", v, cached, err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("oversize value was cached")
+	}
+	if n := c.Snapshot()["runcache.oversize"].(int64); n != 1 {
+		t.Fatalf("oversize counter = %d, want 1", n)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New(4, 0)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	if _, _, err := c.Do(ctx, key("k"), func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("error was cached")
+	}
+	v, cached, err := c.Do(ctx, key("k"), func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || cached || string(v) != "ok" {
+		t.Fatalf("retry after error: %q cached=%v err=%v", v, cached, err)
+	}
+	if n := c.Snapshot()["runcache.errors"].(int64); n != 1 {
+		t.Fatalf("errors counter = %d, want 1", n)
+	}
+}
+
+// TestSingleflight: concurrent identical requests solve exactly once
+// and all observe the same bytes. Run under -race in CI.
+func TestSingleflight(t *testing.T) {
+	c := New(4, 0)
+	ctx := context.Background()
+	const waiters = 16
+
+	var solves atomic.Int64
+	gate := make(chan struct{})
+	solve := func() ([]byte, error) {
+		solves.Add(1)
+		<-gate // hold every concurrent caller in the dedup path
+		return []byte("result"), nil
+	}
+
+	var wg sync.WaitGroup
+	results := make([][]byte, waiters)
+	cachedFlags := make([]bool, waiters)
+	started := make(chan struct{}, waiters)
+	for i := 0; i < waiters; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started <- struct{}{}
+			v, cached, err := c.Do(ctx, key("k"), solve)
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			results[i] = v
+			cachedFlags[i] = cached
+		}()
+	}
+	for i := 0; i < waiters; i++ {
+		<-started
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := solves.Load(); n != 1 {
+		t.Fatalf("solve ran %d times for %d concurrent identical requests", n, waiters)
+	}
+	solvers := 0
+	for i, v := range results {
+		if !bytes.Equal(v, results[0]) {
+			t.Fatalf("waiter %d saw different bytes", i)
+		}
+		if !cachedFlags[i] {
+			solvers++
+		}
+	}
+	if solvers != 1 {
+		t.Fatalf("%d callers report having solved, want exactly 1", solvers)
+	}
+}
+
+func TestDedupWaiterHonorsContext(t *testing.T) {
+	c := New(4, 0)
+	gate := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_, _, _ = c.Do(context.Background(), key("k"), func() ([]byte, error) {
+			close(gate)
+			<-release
+			return []byte("late"), nil
+		})
+	}()
+	<-gate // solver is in flight
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, key("k"), func() ([]byte, error) {
+		t.Error("waiter must not solve")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter err = %v", err)
+	}
+	close(release)
+}

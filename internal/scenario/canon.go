@@ -1,0 +1,177 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// CanonicalVersion tags the canonical encoding; it changes whenever
+// the encoding below changes, so stale cache entries keyed on an old
+// encoding can never be served against a new one.
+const CanonicalVersion = "ffc-scenario-canon/v1"
+
+// Canonical returns a deterministic byte encoding of the spec, the
+// content-address the run cache (internal/runcache) hashes: two specs
+// produce the same bytes exactly when they describe the same run.
+//
+// The encoding normalizes everything JSON leaves open:
+//
+//   - key order and whitespace vanish (fields are re-emitted in a
+//     fixed order, one line each);
+//   - kind aliases and defaults collapse ("" and "fs" both encode as
+//     "fairshare"; an absent signal encodes as "rational");
+//   - parameters a kind does not consume are dropped (an additive law
+//     with a stray "p" is the same law without it);
+//   - floats are rendered with strconv's 'x' format, which is exact —
+//     two specs canonicalize equal only when their parameters are
+//     bit-equal (so -0 and +0 are distinct, conservatively);
+//   - strings are quoted with strconv.Quote, so names containing
+//     newlines or '=' cannot forge field boundaries.
+//
+// Gateway and connection order is preserved: it determines the index
+// space of the report, so reordering is a semantically different
+// scenario. Canonical validates as it encodes (unknown kinds,
+// non-finite parameters, negative maxSteps) and errors on specs Build
+// would reject for those reasons; it does not repeat Build's
+// topological checks.
+func (s *Spec) Canonical() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteString(CanonicalVersion)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "name=%s\n", strconv.Quote(s.Name))
+
+	disc, err := canonKind("discipline", s.Discipline, map[string]string{
+		"": "fairshare", "fs": "fairshare", "fairshare": "fairshare", "fifo": "fifo",
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(&b, "discipline=%s\n", disc)
+
+	feed, err := canonKind("feedback", s.Feedback, map[string]string{
+		"": "individual", "individual": "individual", "aggregate": "aggregate",
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(&b, "feedback=%s\n", feed)
+
+	if err := canonSignal(&b, s.Signal); err != nil {
+		return nil, err
+	}
+
+	for _, g := range s.Gateways {
+		if err := checkFinite("gateway "+g.Name+" mu", g.Mu); err != nil {
+			return nil, err
+		}
+		if err := checkFinite("gateway "+g.Name+" latency", g.Latency); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "gateway=%s mu=%s latency=%s\n",
+			strconv.Quote(g.Name), canonFloat(g.Mu), canonFloat(g.Latency))
+	}
+
+	for ci, c := range s.Connections {
+		fmt.Fprintf(&b, "conn=[")
+		for i, name := range c.Path {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Quote(name))
+		}
+		kind, err := canonKind("law", c.Law.Kind, map[string]string{
+			"": "additive", "additive": "additive", "multiplicative": "multiplicative",
+			"power": "power", "fairrate": "fairrate", "window": "window",
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scenario: connection %d: %w", ci, err)
+		}
+		fmt.Fprintf(&b, "] law=%s", kind)
+		for _, p := range lawParams(c.Law) {
+			if err := checkFinite(fmt.Sprintf("connection %d law %s", ci, p.name), p.v); err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(&b, " %s=%s", p.name, canonFloat(p.v))
+		}
+		b.WriteByte('\n')
+	}
+
+	if len(s.Initial) > 0 {
+		b.WriteString("initial=")
+		for i, v := range s.Initial {
+			if err := checkFinite(fmt.Sprintf("initial[%d]", i), v); err != nil {
+				return nil, err
+			}
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(canonFloat(v))
+		}
+		b.WriteByte('\n')
+	}
+	if s.MaxSteps < 0 {
+		return nil, fmt.Errorf("scenario: maxSteps %d is negative (0 means the default)", s.MaxSteps)
+	}
+	if s.MaxSteps != 0 {
+		fmt.Fprintf(&b, "maxsteps=%d\n", s.MaxSteps)
+	}
+	return b.Bytes(), nil
+}
+
+// canonSignal emits the signal line: the normalized kind plus only the
+// parameters that kind consumes.
+func canonSignal(b *bytes.Buffer, sp SignalSpec) error {
+	kind, err := canonKind("signal", sp.Kind, map[string]string{
+		"": "rational", "rational": "rational", "power": "power",
+		"exponential": "exponential", "binary": "binary",
+	})
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case "rational":
+		b.WriteString("signal=rational\n")
+	case "power":
+		if err := checkFinite("signal k", sp.K); err != nil {
+			return err
+		}
+		fmt.Fprintf(b, "signal=power k=%s\n", canonFloat(sp.K))
+	case "exponential":
+		if err := checkFinite("signal theta", sp.Theta); err != nil {
+			return err
+		}
+		fmt.Fprintf(b, "signal=exponential theta=%s\n", canonFloat(sp.Theta))
+	case "binary":
+		if err := checkFinite("signal threshold", sp.Threshold); err != nil {
+			return err
+		}
+		fmt.Fprintf(b, "signal=binary threshold=%s\n", canonFloat(sp.Threshold))
+	}
+	return nil
+}
+
+// canonKind lowercases a kind string and resolves it through the alias
+// table, erroring on kinds the builder would reject.
+func canonKind(what, kind string, aliases map[string]string) (string, error) {
+	if canon, ok := aliases[strings.ToLower(kind)]; ok {
+		return canon, nil
+	}
+	return "", fmt.Errorf("scenario: unknown %s %q", what, kind)
+}
+
+// canonFloat renders v exactly: 'x' is hexadecimal floating point with
+// the shortest exact mantissa, so distinct float64 bit patterns render
+// distinctly and equal values identically on every platform.
+func canonFloat(v float64) string {
+	return strconv.FormatFloat(v, 'x', -1, 64)
+}
+
+func checkFinite(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("scenario: %s = %v: parameters must be finite", name, v)
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package scenario
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// canonOf builds the spec from JSON and canonicalizes it, failing the
+// test on either error.
+func canonOf(t *testing.T, js string) []byte {
+	t.Helper()
+	spec, err := Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	c, err := spec.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	return c
+}
+
+func TestCanonicalNormalizesEquivalentSpecs(t *testing.T) {
+	base := canonOf(t, `{
+	  "name": "n",
+	  "discipline": "fairshare",
+	  "feedback": "individual",
+	  "signal": {"kind": "rational"},
+	  "gateways": [{"name": "G", "mu": 1, "latency": 0.1}],
+	  "connections": [{"path": ["G"], "law": {"kind": "additive", "eta": 0.1, "bss": 0.5}}]
+	}`)
+	equivalent := []string{
+		// Key order and whitespace.
+		`{"connections":[{"law":{"bss":0.5,"eta":0.1,"kind":"additive"},"path":["G"]}],"gateways":[{"latency":0.1,"mu":1,"name":"G"}],"name":"n"}`,
+		// Aliases and case.
+		`{"name":"n","discipline":"FS","feedback":"INDIVIDUAL","gateways":[{"name":"G","mu":1,"latency":0.1}],"connections":[{"path":["G"],"law":{"kind":"ADDITIVE","eta":0.1,"bss":0.5}}]}`,
+		// Defaults spelled out vs omitted.
+		`{"name":"n","gateways":[{"name":"G","mu":1,"latency":0.1}],"connections":[{"path":["G"],"law":{"eta":0.1,"bss":0.5}}]}`,
+		// Unconsumed law params dropped (additive ignores beta and p).
+		`{"name":"n","gateways":[{"name":"G","mu":1,"latency":0.1}],"connections":[{"path":["G"],"law":{"kind":"additive","eta":0.1,"bss":0.5,"beta":9,"p":3}}]}`,
+	}
+	for i, js := range equivalent {
+		if got := canonOf(t, js); !bytes.Equal(got, base) {
+			t.Errorf("variant %d canonicalizes differently:\n%s\nvs base\n%s", i, got, base)
+		}
+	}
+}
+
+func TestCanonicalDistinguishesDifferentSpecs(t *testing.T) {
+	base := canonOf(t, `{"name":"n","gateways":[{"name":"G","mu":1,"latency":0.1}],"connections":[{"path":["G"],"law":{"eta":0.1,"bss":0.5}}]}`)
+	different := []string{
+		// Different name (the report carries it).
+		`{"name":"m","gateways":[{"name":"G","mu":1,"latency":0.1}],"connections":[{"path":["G"],"law":{"eta":0.1,"bss":0.5}}]}`,
+		// Different eta.
+		`{"name":"n","gateways":[{"name":"G","mu":1,"latency":0.1}],"connections":[{"path":["G"],"law":{"eta":0.2,"bss":0.5}}]}`,
+		// Different discipline.
+		`{"name":"n","discipline":"fifo","gateways":[{"name":"G","mu":1,"latency":0.1}],"connections":[{"path":["G"],"law":{"eta":0.1,"bss":0.5}}]}`,
+		// Explicit initial vector.
+		`{"name":"n","gateways":[{"name":"G","mu":1,"latency":0.1}],"connections":[{"path":["G"],"law":{"eta":0.1,"bss":0.5}}],"initial":[0.3]}`,
+		// maxSteps.
+		`{"name":"n","gateways":[{"name":"G","mu":1,"latency":0.1}],"connections":[{"path":["G"],"law":{"eta":0.1,"bss":0.5}}],"maxSteps":7}`,
+	}
+	for i, js := range different {
+		if got := canonOf(t, js); bytes.Equal(got, base) {
+			t.Errorf("variant %d should canonicalize differently from base", i)
+		}
+	}
+}
+
+func TestCanonicalIsDeterministic(t *testing.T) {
+	js := `{"name":"n","signal":{"kind":"power","k":2},"gateways":[{"name":"A","mu":1,"latency":0.1},{"name":"B","mu":2,"latency":0.2}],"connections":[{"path":["A","B"],"law":{"kind":"window","eta":0.02,"beta":0.25}}],"initial":[0.125],"maxSteps":1000}`
+	a := canonOf(t, js)
+	for i := 0; i < 10; i++ {
+		if b := canonOf(t, js); !bytes.Equal(a, b) {
+			t.Fatalf("canonicalization is not deterministic:\n%s\nvs\n%s", a, b)
+		}
+	}
+	if !bytes.HasPrefix(a, []byte(CanonicalVersion+"\n")) {
+		t.Errorf("canonical bytes do not start with the version tag: %q", a[:32])
+	}
+}
+
+func TestCanonicalQuotesHostileNames(t *testing.T) {
+	a, err := (&Spec{
+		Name:        "x\nmu=9",
+		Gateways:    []GatewaySpec{{Name: "G", Mu: 1}},
+		Connections: []ConnectionSpec{{Path: []string{"G"}, Law: LawSpec{Eta: 0.1, BSS: 0.5}}},
+	}).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&Spec{
+		Name:        "x",
+		Gateways:    []GatewaySpec{{Name: "G", Mu: 9}},
+		Connections: []ConnectionSpec{{Path: []string{"G"}, Law: LawSpec{Eta: 0.1, BSS: 0.5}}},
+	}).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("newline in a name forged a field boundary")
+	}
+	if !bytes.Contains(a, []byte(`"x\nmu=9"`)) {
+		t.Errorf("name not quoted: %s", a)
+	}
+}
+
+func TestCanonicalRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		spec *Spec
+	}{
+		{"unknown discipline", &Spec{Discipline: "lifo"}},
+		{"unknown feedback", &Spec{Feedback: "gossip"}},
+		{"unknown signal", &Spec{Signal: SignalSpec{Kind: "sigmoid"}}},
+		{"unknown law", &Spec{Connections: []ConnectionSpec{{Law: LawSpec{Kind: "quantum"}}}}},
+		{"NaN eta", &Spec{Connections: []ConnectionSpec{{Law: LawSpec{Eta: math.NaN()}}}}},
+		{"Inf mu", &Spec{Gateways: []GatewaySpec{{Name: "G", Mu: math.Inf(1)}}}},
+		{"NaN initial", &Spec{Initial: []float64{math.NaN()}}},
+		{"negative maxSteps", &Spec{MaxSteps: -3}},
+	}
+	for _, c := range cases {
+		if _, err := c.spec.Canonical(); err == nil {
+			t.Errorf("%s: Canonical accepted an invalid spec", c.name)
+		}
+	}
+}

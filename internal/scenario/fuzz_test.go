@@ -1,0 +1,61 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoad drives the loader — the repository's only untrusted input
+// surface — with arbitrary bytes: malformed input must produce an
+// error, never a panic, and input that loads must survive Build and
+// canonicalize deterministically. Seeded with the shipped scenario
+// files plus the malformed shapes the regression tests guard.
+func FuzzLoad(f *testing.F) {
+	dir := filepath.Join("..", "..", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatalf("scenarios directory missing: %v", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"x"}!!!`))
+	f.Add([]byte(`{"name":"x"} {"name":"y"}`))
+	f.Add([]byte(`{"maxSteps": -1, "gateways": [{"name":"G","mu":1}], "connections": [{"path":["G"]}]}`))
+	f.Add([]byte(`{"initial": [-1], "gateways": [{"name":"G","mu":1}], "connections": [{"path":["G"]}]}`))
+	f.Add([]byte(`{"gateways": [{"name":"G","mu":1e999}], "connections": [{"path":["G"]}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is always fine; panicking is not
+		}
+		sys, r0, err := spec.Build()
+		if err != nil {
+			return
+		}
+		if len(r0) != sys.Network().NumConnections() {
+			t.Fatalf("Build returned %d initial rates for %d connections", len(r0), sys.Network().NumConnections())
+		}
+		// A spec that builds must canonicalize, and deterministically.
+		c1, err := spec.Canonical()
+		if err != nil {
+			t.Fatalf("spec builds but does not canonicalize: %v", err)
+		}
+		c2, err := spec.Canonical()
+		if err != nil || !bytes.Equal(c1, c2) {
+			t.Fatalf("canonicalization is not deterministic")
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/nettheory/feedbackflow/internal/obs"
+)
+
+// TestShippedScenarioRoundTrip pushes every checked-in scenarios/*.json
+// through the full pipeline — Load → Build → Run → Report → JSON →
+// decode — under both gateway disciplines. The native discipline must
+// converge (samples_test.go also guards that); the overridden one only
+// has to run and report cleanly, since convergence is a property of
+// the design point, not of the pipeline.
+func TestShippedScenarioRoundTrip(t *testing.T) {
+	dir := filepath.Join("..", "..", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("scenarios directory missing: %v", err)
+	}
+	files := 0
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		files++
+		for _, disc := range []string{"fairshare", "fifo"} {
+			disc := disc
+			t.Run(e.Name()+"/"+disc, func(t *testing.T) {
+				data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				spec, err := Load(bytes.NewReader(data))
+				if err != nil {
+					t.Fatalf("Load: %v", err)
+				}
+				native := spec.Discipline == "" || spec.Discipline == disc
+				spec.Discipline = disc
+				sys, r0, err := spec.Build()
+				if err != nil {
+					t.Fatalf("Build: %v", err)
+				}
+				if _, err := spec.Canonical(); err != nil {
+					t.Fatalf("Canonical: %v", err)
+				}
+				opt := spec.RunOptions()
+				if opt.MaxSteps == 0 {
+					opt.MaxSteps = 400000
+				}
+				res, err := sys.Run(r0, opt)
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if native && !res.Converged {
+					t.Errorf("native discipline did not converge in %d steps", res.Steps)
+				}
+				rep, err := sys.Report(res, spec.Name)
+				if err != nil {
+					t.Fatalf("Report: %v", err)
+				}
+				data, err = json.Marshal(rep)
+				if err != nil {
+					t.Fatalf("marshal report: %v", err)
+				}
+				var back obs.RunReport
+				if err := json.Unmarshal(data, &back); err != nil {
+					t.Fatalf("unmarshal report: %v", err)
+				}
+				if back.Schema != obs.RunReportSchema || back.Scenario != spec.Name ||
+					back.Steps != rep.Steps || back.Converged != rep.Converged {
+					t.Errorf("report did not round-trip: %+v vs %+v", back, rep)
+				}
+				if len(back.Rates) != sys.Network().NumConnections() {
+					t.Errorf("report carries %d rates for %d connections", len(back.Rates), sys.Network().NumConnections())
+				}
+			})
+		}
+	}
+	if files == 0 {
+		t.Fatal("no sample scenarios shipped")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"github.com/nettheory/feedbackflow/internal/control"
@@ -95,13 +96,22 @@ type SignalSpec struct {
 }
 
 // Load parses a scenario from JSON. Unknown fields are rejected so
-// typos fail loudly.
+// typos fail loudly, and the document must be exactly one JSON value:
+// anything after it besides whitespace — a second document, stray
+// bytes from a truncated upload — is an error rather than silently
+// ignored (json.Decoder.Decode alone stops after the first value).
 func Load(r io.Reader) (*Spec, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var s Spec
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if tok, err := dec.Token(); err != io.EOF {
+		if err == nil {
+			return nil, fmt.Errorf("scenario: trailing data after JSON document (unexpected %v)", tok)
+		}
+		return nil, fmt.Errorf("scenario: trailing data after JSON document: %v", err)
 	}
 	return &s, nil
 }
@@ -114,6 +124,9 @@ func (s *Spec) Build() (*core.System, []float64, error) {
 	}
 	if len(s.Connections) == 0 {
 		return nil, nil, fmt.Errorf("scenario: no connections")
+	}
+	if s.MaxSteps < 0 {
+		return nil, nil, fmt.Errorf("scenario: maxSteps %d is negative (0 means the default)", s.MaxSteps)
 	}
 	var bld topology.Builder
 	byName := make(map[string]int, len(s.Gateways))
@@ -174,6 +187,15 @@ func (s *Spec) Build() (*core.System, []float64, error) {
 		}
 	} else if len(r0) != net.NumConnections() {
 		return nil, nil, fmt.Errorf("scenario: %d initial rates for %d connections", len(r0), net.NumConnections())
+	} else {
+		// The initial vector is the only numeric input the length check
+		// above does not constrain: NaN poisons every downstream sum,
+		// and the model has no meaning for negative or infinite rates.
+		for i, v := range r0 {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return nil, nil, fmt.Errorf("scenario: initial[%d] = %v: initial rates must be finite and non-negative", i, v)
+			}
+		}
 	}
 	return sys, r0, nil
 }
@@ -208,16 +230,27 @@ func buildSignal(sp SignalSpec) (signal.Func, error) {
 	case "", "rational":
 		return signal.Rational{}, nil
 	case "power":
+		// The positivity comparisons alone would wave NaN (and, for k,
+		// +Inf) through: !(NaN <= 0) and Inf > 0 both hold.
+		if err := finiteParam("signal k", sp.K); err != nil {
+			return nil, err
+		}
 		if sp.K <= 0 {
 			return nil, fmt.Errorf("scenario: power signal needs k > 0")
 		}
 		return signal.Power{K: sp.K}, nil
 	case "exponential":
+		if err := finiteParam("signal theta", sp.Theta); err != nil {
+			return nil, err
+		}
 		if sp.Theta <= 0 {
 			return nil, fmt.Errorf("scenario: exponential signal needs theta > 0")
 		}
 		return signal.Exponential{Theta: sp.Theta}, nil
 	case "binary":
+		if err := finiteParam("signal threshold", sp.Threshold); err != nil {
+			return nil, err
+		}
 		if sp.Threshold <= 0 {
 			return nil, fmt.Errorf("scenario: binary signal needs threshold > 0")
 		}
@@ -226,7 +259,34 @@ func buildSignal(sp SignalSpec) (signal.Func, error) {
 	return nil, fmt.Errorf("scenario: unknown signal kind %q", sp.Kind)
 }
 
+// lawParams names the parameters each law kind actually consumes; the
+// canonicalizer (see Canonical) drops the rest, so validation and
+// canonicalization agree on what is significant.
+func lawParams(sp LawSpec) []struct {
+	name string
+	v    float64
+} {
+	type p = struct {
+		name string
+		v    float64
+	}
+	switch strings.ToLower(sp.Kind) {
+	case "", "additive", "multiplicative":
+		return []p{{"eta", sp.Eta}, {"bss", sp.BSS}}
+	case "power":
+		return []p{{"eta", sp.Eta}, {"bss", sp.BSS}, {"p", sp.P}}
+	case "fairrate", "window":
+		return []p{{"eta", sp.Eta}, {"beta", sp.Beta}}
+	}
+	return nil
+}
+
 func buildLaw(sp LawSpec) (control.Law, error) {
+	for _, p := range lawParams(sp) {
+		if err := finiteParam("law "+p.name, p.v); err != nil {
+			return nil, err
+		}
+	}
 	switch strings.ToLower(sp.Kind) {
 	case "", "additive":
 		return control.AdditiveTSI{Eta: sp.Eta, BSS: sp.BSS}, nil
@@ -240,4 +300,14 @@ func buildLaw(sp LawSpec) (control.Law, error) {
 		return control.WindowLIMD{Eta: sp.Eta, Beta: sp.Beta}, nil
 	}
 	return nil, fmt.Errorf("unknown law kind %q", sp.Kind)
+}
+
+// finiteParam rejects NaN and ±Inf parameter values with a message
+// naming the parameter; the comparison-based range checks downstream
+// would silently accept them.
+func finiteParam(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("scenario: %s = %v: parameters must be finite", name, v)
+	}
+	return nil
 }

@@ -140,6 +140,126 @@ func TestAllLawAndSignalKinds(t *testing.T) {
 	}
 }
 
+// TestLoadRejectsTrailingGarbage is the regression test for the bug
+// where Load accepted anything after the first JSON value:
+// json.Decoder.Decode reads one value and stops, so
+// `{"name":"x"}!!!` used to load fine.
+func TestLoadRejectsTrailingGarbage(t *testing.T) {
+	bad := []string{
+		`{"name":"x"}!!!`,
+		`{"name":"x"} {"name":"y"}`,
+		`{"name":"x"}]`,
+		`{"name":"x"}0`,
+		`{"name":"x"} trailing`,
+	}
+	for _, in := range bad {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("Load(%q) accepted trailing garbage", in)
+		} else if !strings.Contains(err.Error(), "trailing data") {
+			t.Errorf("Load(%q) error %q does not mention trailing data", in, err)
+		}
+	}
+	// Trailing whitespace is not garbage.
+	for _, in := range []string{`{"name":"x"}`, "{\"name\":\"x\"}\n\t  \n"} {
+		if _, err := Load(strings.NewReader(in)); err != nil {
+			t.Errorf("Load(%q): %v", in, err)
+		}
+	}
+}
+
+// TestBuildRejectsBadInitial is the regression test for the bug where
+// Build validated only the length of Initial: NaN, ±Inf, and negative
+// rates flowed straight into the iterator.
+func TestBuildRejectsBadInitial(t *testing.T) {
+	mk := func(v0, v1 float64) *Spec {
+		return &Spec{
+			Gateways:    []GatewaySpec{{Name: "G", Mu: 1}},
+			Connections: []ConnectionSpec{{Path: []string{"G"}, Law: LawSpec{Eta: 0.1, BSS: 0.5}}, {Path: []string{"G"}, Law: LawSpec{Eta: 0.1, BSS: 0.5}}},
+			Initial:     []float64{v0, v1},
+		}
+	}
+	cases := []struct {
+		name    string
+		initial [2]float64
+		wantIdx string
+	}{
+		{"NaN", [2]float64{0.1, math.NaN()}, "initial[1]"},
+		{"+Inf", [2]float64{math.Inf(1), 0.1}, "initial[0]"},
+		{"-Inf", [2]float64{0.1, math.Inf(-1)}, "initial[1]"},
+		{"negative", [2]float64{-0.5, 0.1}, "initial[0]"},
+	}
+	for _, c := range cases {
+		_, _, err := mk(c.initial[0], c.initial[1]).Build()
+		if err == nil {
+			t.Errorf("%s: Build accepted initial %v", c.name, c.initial)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantIdx) {
+			t.Errorf("%s: error %q does not name %s", c.name, err, c.wantIdx)
+		}
+	}
+	// Zero is a legitimate starting rate.
+	if _, _, err := mk(0, 0.1).Build(); err != nil {
+		t.Errorf("zero initial rate rejected: %v", err)
+	}
+}
+
+// TestBuildRejectsNegativeMaxSteps: negative maxSteps used to pass
+// Build and rely on downstream defaulting.
+func TestBuildRejectsNegativeMaxSteps(t *testing.T) {
+	s := &Spec{
+		Gateways:    []GatewaySpec{{Name: "G", Mu: 1}},
+		Connections: []ConnectionSpec{{Path: []string{"G"}, Law: LawSpec{Eta: 0.1, BSS: 0.5}}},
+		MaxSteps:    -1,
+	}
+	if _, _, err := s.Build(); err == nil || !strings.Contains(err.Error(), "maxSteps") {
+		t.Errorf("Build with maxSteps=-1: err=%v, want maxSteps error", err)
+	}
+}
+
+// TestBuildRejectsNonFiniteParams: non-finite law and signal
+// parameters used to pass the comparison-based range checks (NaN
+// fails every comparison; +Inf passes "> 0").
+func TestBuildRejectsNonFiniteParams(t *testing.T) {
+	base := func() *Spec {
+		return &Spec{
+			Gateways:    []GatewaySpec{{Name: "G", Mu: 1}},
+			Connections: []ConnectionSpec{{Path: []string{"G"}, Law: LawSpec{Eta: 0.1, BSS: 0.5}}},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"eta NaN", func(s *Spec) { s.Connections[0].Law.Eta = math.NaN() }, "law eta"},
+		{"eta +Inf", func(s *Spec) { s.Connections[0].Law.Eta = math.Inf(1) }, "law eta"},
+		{"bss NaN", func(s *Spec) { s.Connections[0].Law.BSS = math.NaN() }, "law bss"},
+		{"beta -Inf", func(s *Spec) {
+			s.Connections[0].Law = LawSpec{Kind: "fairrate", Eta: 0.1, Beta: math.Inf(-1)}
+		}, "law beta"},
+		{"p NaN", func(s *Spec) {
+			s.Connections[0].Law = LawSpec{Kind: "power", Eta: 0.1, BSS: 0.5, P: math.NaN()}
+		}, "law p"},
+		{"signal k NaN", func(s *Spec) { s.Signal = SignalSpec{Kind: "power", K: math.NaN()} }, "signal k"},
+		{"signal k +Inf", func(s *Spec) { s.Signal = SignalSpec{Kind: "power", K: math.Inf(1)} }, "signal k"},
+		{"signal theta NaN", func(s *Spec) { s.Signal = SignalSpec{Kind: "exponential", Theta: math.NaN()} }, "signal theta"},
+		{"signal threshold NaN", func(s *Spec) { s.Signal = SignalSpec{Kind: "binary", Threshold: math.NaN()} }, "signal threshold"},
+	}
+	for _, c := range cases {
+		s := base()
+		c.mut(s)
+		_, _, err := s.Build()
+		if err == nil {
+			t.Errorf("%s: Build accepted a non-finite parameter", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not name %q", c.name, err, c.want)
+		}
+	}
+}
+
 func TestExplicitInitialAndMaxSteps(t *testing.T) {
 	js := `{
 	  "gateways": [{"name": "G", "mu": 1}],

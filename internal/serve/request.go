@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/nettheory/feedbackflow/internal/fault"
+	"github.com/nettheory/feedbackflow/internal/runcache"
+	"github.com/nettheory/feedbackflow/internal/scenario"
+)
+
+// runRequest is one fully parsed, validated, content-addressed run:
+// the scenario, the optional fault spec, and the cache key derived
+// from their canonical forms.
+type runRequest struct {
+	spec  *scenario.Spec
+	fault fault.Config
+	key   runcache.Key
+}
+
+// envelope is the explicit request form: a scenario document plus an
+// optional compact fault spec (docs/ROBUSTNESS.md grammar).
+type envelope struct {
+	Scenario json.RawMessage `json:"scenario"`
+	Fault    string          `json:"fault"`
+}
+
+// parseRunRequest accepts either a bare scenario document (the
+// internal/scenario JSON format) or an envelope {"scenario": {...},
+// "fault": "..."}; the two are distinguished by the presence of a
+// top-level "scenario" key, which the scenario format does not have.
+// Everything is validated here — strict JSON (no unknown fields, no
+// trailing bytes), a buildable spec, a parseable fault spec — so a
+// request that parses can be solved and cached.
+func parseRunRequest(body []byte) (*runRequest, error) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(body, &probe); err != nil {
+		return nil, fmt.Errorf("request: %v", err)
+	}
+
+	var (
+		spec     *scenario.Spec
+		faultStr string
+		err      error
+	)
+	if raw, ok := probe["scenario"]; ok {
+		var env envelope
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&env); err != nil {
+			return nil, fmt.Errorf("request: %v", err)
+		}
+		if tok, err := dec.Token(); err != io.EOF {
+			if err == nil {
+				return nil, fmt.Errorf("request: trailing data after JSON document (unexpected %v)", tok)
+			}
+			return nil, fmt.Errorf("request: trailing data after JSON document: %v", err)
+		}
+		spec, err = scenario.Load(bytes.NewReader(raw))
+		if err != nil {
+			return nil, err
+		}
+		faultStr = env.Fault
+	} else {
+		spec, err = scenario.Load(bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Build once at parse time: it is cheap relative to a run, and it
+	// means every key the cache ever sees addresses a solvable spec.
+	if _, _, err := spec.Build(); err != nil {
+		return nil, err
+	}
+	cfg, err := fault.Parse(faultStr)
+	if err != nil {
+		return nil, err
+	}
+
+	canon, err := spec.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	// The fault spec participates in the content address through its
+	// canonical round-trip form, so "loss=0.5,seed=3" and
+	// "seed=3,loss=0.5" share an entry.
+	return &runRequest{
+		spec:  spec,
+		fault: cfg,
+		key:   runcache.KeyOf(canon, []byte(cfg.String())),
+	}, nil
+}

@@ -1,0 +1,459 @@
+// Package serve is the HTTP layer of cmd/ffcd, the scenario-serving
+// daemon: it accepts declarative scenario JSON (the internal/scenario
+// format, optionally wrapped in an envelope carrying a fault spec) and
+// serves versioned run reports from a content-addressed result cache
+// (internal/runcache), solving each distinct scenario at most once.
+//
+// Endpoints:
+//
+//	POST /run     one scenario → one run report (X-FFCD-Cache: hit|miss)
+//	POST /batch   {"runs": [...]} → one report or error per item
+//	GET  /healthz liveness and queue occupancy
+//	GET  /metrics expvar-style JSON: serve, cache, and pool counters
+//
+// Concurrency is bounded: at most Workers solves run at once (each
+// rides the internal/parallel pool, so pool telemetry and
+// panic-to-error conversion apply), at most Queue more may wait, and
+// beyond that /run answers 429 — backpressure instead of collapse.
+// Cache hits and single-flight waiters bypass admission entirely: a
+// full queue never refuses work that costs no solve. Shutdown is
+// graceful: ListenAndServe stops accepting on context cancellation
+// and drains in-flight runs before returning.
+//
+// docs/SERVING.md documents the endpoints, cache semantics, and
+// capacity knobs.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"github.com/nettheory/feedbackflow/internal/fault"
+	"github.com/nettheory/feedbackflow/internal/obs"
+	"github.com/nettheory/feedbackflow/internal/parallel"
+	"github.com/nettheory/feedbackflow/internal/runcache"
+)
+
+// BatchReportSchema identifies the /batch response JSON schema.
+const BatchReportSchema = "feedbackflow/batch-report/v1"
+
+// Config sizes the daemon.
+type Config struct {
+	// Workers bounds concurrent solves (0 = one per CPU, the
+	// parallel.Workers convention).
+	Workers int
+	// Queue is how many solves may wait beyond the workers before /run
+	// answers 429 (default 64).
+	Queue int
+	// CacheEntries bounds the result cache by entry count (default
+	// 1024; <= 0 with CacheBytes also <= 0 still defaults both).
+	CacheEntries int
+	// CacheBytes bounds the result cache by total report bytes
+	// (default 256 MiB).
+	CacheBytes int64
+	// MaxBodyBytes bounds a request body (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxBatch bounds the number of runs in one /batch request
+	// (default 256).
+	MaxBatch int
+}
+
+func (c Config) withDefaults() Config {
+	c.Workers = parallel.Workers(c.Workers)
+	if c.Queue <= 0 {
+		c.Queue = 64
+	}
+	if c.CacheEntries <= 0 && c.CacheBytes <= 0 {
+		c.CacheEntries = 1024
+		c.CacheBytes = 256 << 20
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	return c
+}
+
+// errBusy is the admission-rejection sentinel mapped to 429.
+var errBusy = errors.New("serve: all workers busy and queue full")
+
+// Server is the daemon: cache, admission control, and handlers.
+type Server struct {
+	cfg   Config
+	cache *runcache.Cache
+	mux   *http.ServeMux
+	start time.Time
+
+	// Admission: every solver holds a queue ticket for its whole
+	// wait+run; at most Workers of them additionally hold a run slot.
+	// Tickets are therefore bounded by Workers+Queue, and acquiring
+	// one is non-blocking — failure is the 429 backpressure signal.
+	queue chan struct{}
+	slots chan struct{}
+
+	reg       *obs.Registry
+	requests  *obs.Counter
+	hits      *obs.Counter
+	misses    *obs.Counter
+	rejected  *obs.Counter
+	badReqs   *obs.Counter
+	runErrors *obs.Counter
+	batchRuns *obs.Counter
+	inflightG *obs.Gauge
+	inflight  func() int64
+
+	// testHookSolve, when non-nil, runs inside every solve while its
+	// run slot is held — the seam the backpressure and drain tests use
+	// to hold the server at a known occupancy.
+	testHookSolve func()
+}
+
+// New returns a ready-to-serve daemon.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := obs.NewRegistry()
+	s := &Server{
+		cfg:       cfg,
+		cache:     runcache.New(cfg.CacheEntries, cfg.CacheBytes),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		queue:     make(chan struct{}, cfg.Workers+cfg.Queue),
+		slots:     make(chan struct{}, cfg.Workers),
+		reg:       reg,
+		requests:  reg.Counter("serve.requests"),
+		hits:      reg.Counter("serve.cache_hits"),
+		misses:    reg.Counter("serve.cache_misses"),
+		rejected:  reg.Counter("serve.rejected"),
+		badReqs:   reg.Counter("serve.bad_requests"),
+		runErrors: reg.Counter("serve.run_errors"),
+		batchRuns: reg.Counter("serve.batch_runs"),
+		inflightG: reg.Gauge("serve.queue_occupancy"),
+	}
+	s.inflight = func() int64 { return int64(len(s.queue)) }
+	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/batch", s.handleBatch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler (also usable under
+// httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Snapshot returns the server's own telemetry (the /metrics endpoint
+// also carries the cache's and the worker pool's).
+func (s *Server) Snapshot() map[string]interface{} { return s.reg.Snapshot() }
+
+// CacheSnapshot returns the result cache telemetry.
+func (s *Server) CacheSnapshot() map[string]interface{} { return s.cache.Snapshot() }
+
+// ListenAndServe serves on addr until ctx is cancelled, then drains
+// in-flight requests for up to drain before returning. onReady, if
+// non-nil, receives the bound address once the listener is up (addr
+// may end in ":0").
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Duration, onReady func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	if onReady != nil {
+		onReady(ln.Addr())
+	}
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("serve: drain: %w", err)
+	}
+	return nil
+}
+
+// solve resolves one parsed request through the cache: a hit or a
+// coalesced wait is free; a miss passes admission control and runs the
+// scenario on the worker pool.
+func (s *Server) solve(ctx context.Context, req *runRequest) (body []byte, cached bool, err error) {
+	return s.cache.Do(ctx, req.key, func() ([]byte, error) {
+		select {
+		case s.queue <- struct{}{}:
+		default:
+			return nil, errBusy
+		}
+		defer func() { <-s.queue }()
+		s.inflightG.Set(float64(len(s.queue)))
+
+		select {
+		case s.slots <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		defer func() { <-s.slots }()
+
+		if s.testHookSolve != nil {
+			s.testHookSolve()
+		}
+		// The single run rides the pool for its telemetry and
+		// panic-to-error conversion; concurrency across requests is
+		// already bounded by the slots.
+		out, err := parallel.Map(ctx, 1, 1, func(int) ([]byte, error) {
+			return renderRun(req)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out[0], nil
+	})
+}
+
+// renderRun executes the request and renders the versioned run report
+// exactly once; these bytes are what the cache serves verbatim
+// thereafter, which is what makes hits byte-identical to the miss.
+func renderRun(req *runRequest) ([]byte, error) {
+	sys, r0, err := req.spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	opts := req.spec.RunOptions()
+	if !req.fault.Enabled() {
+		res, err := sys.Run(r0, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := sys.Report(res, req.spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		return marshalReport(rep)
+	}
+	res, err := fault.RunPerturbed(sys, r0, req.fault, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := sys.Report(res.Perturbed, req.spec.Name)
+	if err != nil {
+		return nil, err
+	}
+	res.Attach(rep)
+	return marshalReport(rep)
+}
+
+func marshalReport(rep interface{}) ([]byte, error) {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	if r.Method != http.MethodPost {
+		s.error(w, http.StatusMethodNotAllowed, fmt.Errorf("POST a scenario document to /run"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.badReqs.Inc()
+		s.error(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body: %v", err))
+		return
+	}
+	req, err := parseRunRequest(body)
+	if err != nil {
+		s.badReqs.Inc()
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	val, cached, err := s.solve(r.Context(), req)
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	if cached {
+		s.hits.Inc()
+	} else {
+		s.misses.Inc()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-FFCD-Cache", cacheHeader(cached))
+	w.Write(val)
+}
+
+// batchEnvelope is the /batch request: a list of run requests, each in
+// either /run form (bare scenario or scenario+fault envelope).
+type batchEnvelope struct {
+	Runs []json.RawMessage `json:"runs"`
+}
+
+// batchItem is one /batch result. Exactly one of Report and Error is
+// set.
+type batchItem struct {
+	Cache  string          `json:"cache,omitempty"` // "hit" or "miss"
+	Report json.RawMessage `json:"report,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	if r.Method != http.MethodPost {
+		s.error(w, http.StatusMethodNotAllowed, fmt.Errorf(`POST {"runs": [...]} to /batch`))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.badReqs.Inc()
+		s.error(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body: %v", err))
+		return
+	}
+	var env batchEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		s.badReqs.Inc()
+		s.error(w, http.StatusBadRequest, fmt.Errorf("batch: %v", err))
+		return
+	}
+	if len(env.Runs) == 0 {
+		s.badReqs.Inc()
+		s.error(w, http.StatusBadRequest, fmt.Errorf(`batch: no "runs"`))
+		return
+	}
+	if len(env.Runs) > s.cfg.MaxBatch {
+		s.badReqs.Inc()
+		s.error(w, http.StatusBadRequest, fmt.Errorf("batch: %d runs exceeds the limit of %d", len(env.Runs), s.cfg.MaxBatch))
+		return
+	}
+
+	// Items fan out on the pool (bounded by the server's workers) and
+	// record their own outcomes, so one bad scenario fails its slot of
+	// the response rather than the whole batch.
+	items := make([]batchItem, len(env.Runs))
+	_ = parallel.ForEach(r.Context(), len(env.Runs), s.cfg.Workers, func(i int) error {
+		s.batchRuns.Inc()
+		req, err := parseRunRequest(env.Runs[i])
+		if err != nil {
+			s.badReqs.Inc()
+			items[i] = batchItem{Error: err.Error()}
+			return nil
+		}
+		val, cached, err := s.solve(r.Context(), req)
+		if err != nil {
+			if errors.Is(err, errBusy) {
+				s.rejected.Inc()
+			} else {
+				s.runErrors.Inc()
+			}
+			items[i] = batchItem{Error: err.Error()}
+			return nil
+		}
+		if cached {
+			s.hits.Inc()
+		} else {
+			s.misses.Inc()
+		}
+		items[i] = batchItem{Cache: cacheHeader(cached), Report: val}
+		return nil
+	})
+
+	w.Header().Set("Content-Type", "application/json")
+	resp := struct {
+		Schema  string      `json:"schema"`
+		Results []batchItem `json:"results"`
+	}{BatchReportSchema, items}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"queue_occupancy\":%d,\"queue_capacity\":%d,\"uptime_ns\":%d}\n",
+		s.inflight(), cap(s.queue), time.Since(s.start).Nanoseconds())
+}
+
+// handleMetrics renders expvar-style JSON: the process's published
+// expvars plus this server's own registries, without mutating global
+// expvar state (so tests can run many servers in one process).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\n")
+	first := true
+	emit := func(name string, v interface{}) {
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		first = false
+		b, err := json.Marshal(v)
+		if err != nil {
+			b = []byte(`"unmarshalable"`)
+		}
+		fmt.Fprintf(w, "%q: %s", name, b)
+	}
+	emit("feedbackflow.serve", s.reg.Snapshot())
+	emit("feedbackflow.runcache", s.cache.Snapshot())
+	emit("feedbackflow.parallel", parallel.Snapshot())
+	var names []string
+	global := map[string]string{}
+	expvar.Do(func(kv expvar.KeyValue) {
+		names = append(names, kv.Key)
+		global[kv.Key] = kv.Value.String()
+	})
+	sort.Strings(names)
+	for _, name := range names {
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, "%q: %s", name, global[name])
+	}
+	fmt.Fprintf(w, "\n}\n")
+}
+
+// writeRunError maps a solve failure to its HTTP status: 429 for
+// backpressure, 422 for a run the model rejects (e.g. a fault run
+// whose baseline never converges), 499-style client cancellation is
+// reported as 503 since the client is gone anyway.
+func (s *Server) writeRunError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errBusy):
+		s.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		s.error(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.runErrors.Inc()
+		s.error(w, http.StatusServiceUnavailable, err)
+	default:
+		s.runErrors.Inc()
+		s.error(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
+func (s *Server) error(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	resp := struct {
+		Error string `json:"error"`
+	}{err.Error()}
+	json.NewEncoder(w).Encode(resp)
+}
+
+func cacheHeader(cached bool) string {
+	if cached {
+		return "hit"
+	}
+	return "miss"
+}
