@@ -13,7 +13,7 @@ STATICCHECK_VERSION := 2024.1.1
 
 GO ?= go
 
-.PHONY: all build test race lint vet ffcvet staticcheck fmt bench chaos serve-smoke clean
+.PHONY: all build test race lint vet ffcvet staticcheck fmt bench chaos serve-smoke bench-serve clean
 
 all: build test
 
@@ -75,5 +75,30 @@ serve-smoke:
 	$(GO) test -race -count=1 ./internal/runcache/ ./internal/serve/ ./cmd/ffcd/
 	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 10s ./internal/scenario/
 
+# bench-serve (docs/OBSERVABILITY.md): boot a local ffcd, drive the
+# documented open-loop ramp with ffload, and write the versioned
+# bench-serve/v1 trajectory point. BENCH_SERVE_OUT and
+# BENCH_SERVE_STAGES override the report path and the ramp; the
+# daemon's port is fixed so a stray instance fails fast instead of
+# being measured by accident.
+BENCH_SERVE_OUT    ?= BENCH_SERVE_PR6.json
+BENCH_SERVE_STAGES ?= 200x2s,400x2s,800x2s
+BENCH_SERVE_ADDR   ?= 127.0.0.1:18931
+
+bench-serve:
+	$(GO) build -o bin/ffcd ./cmd/ffcd
+	$(GO) build -o bin/ffload ./cmd/ffload
+	@set -e; \
+	./bin/ffcd -addr $(BENCH_SERVE_ADDR) -workers 0 -queue 256 & \
+	FFCD_PID=$$!; \
+	trap 'kill $$FFCD_PID 2>/dev/null || true' EXIT; \
+	./bin/ffload -url http://$(BENCH_SERVE_ADDR) \
+		-stages '$(BENCH_SERVE_STAGES)' -corpus 64 -seed 1 -zipf-s 1.3 \
+		-require-hit-ratio 0.2 -out $(BENCH_SERVE_OUT); \
+	kill $$FFCD_PID 2>/dev/null || true; \
+	wait $$FFCD_PID 2>/dev/null || true
+	@echo "bench-serve: wrote $(BENCH_SERVE_OUT)"
+
 clean:
 	$(GO) clean ./...
+	rm -rf bin

@@ -18,8 +18,14 @@
 // reports; the X-FFCD-Cache response header says whether the run was
 // solved (miss) or served from memory (hit). Concurrency is bounded
 // by -workers with a -queue deep waiting line; beyond that /run
-// answers 429. On SIGINT/SIGTERM the daemon stops accepting and
-// drains in-flight runs for up to -drain before exiting.
+// answers 429. With -trace-jsonl the daemon records one span per
+// request (phases parse → canonicalize → cache → queue → solve →
+// render, monotonic durations, outcome) as JSONL and returns each
+// request's trace ID in the X-FFCD-Trace-ID header. /metrics serves
+// Prometheus text exposition under Accept: text/plain or
+// ?format=prometheus, expvar-style JSON otherwise. On SIGINT/SIGTERM
+// the daemon stops accepting and drains in-flight runs for up to
+// -drain before exiting.
 //
 // docs/SERVING.md documents the endpoints, cache semantics,
 // canonicalization rules, and capacity knobs.
@@ -36,6 +42,7 @@ import (
 	"time"
 
 	"github.com/nettheory/feedbackflow/internal/cli"
+	"github.com/nettheory/feedbackflow/internal/obs"
 	"github.com/nettheory/feedbackflow/internal/serve"
 )
 
@@ -50,8 +57,25 @@ func main() {
 		maxBatch     = flag.Int("max-batch", 256, "max runs per /batch request")
 		drain        = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window for in-flight runs")
 		debugAddr    = flag.String("debug-addr", "", "also serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		traceJSONL   = flag.String("trace-jsonl", "", `emit one JSON span event per request to this file ("-" = stdout; empty = tracing off)`)
 	)
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	if *traceJSONL != "" {
+		out := os.Stdout
+		if *traceJSONL != "-" {
+			f, err := os.Create(*traceJSONL)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		sink := obs.NewJSONLSink(out)
+		defer sink.Flush()
+		tracer = obs.NewTracer(sink)
+	}
 
 	if *debugAddr != "" {
 		a, err := cli.StartDebugServer(*debugAddr)
@@ -68,6 +92,7 @@ func main() {
 		CacheBytes:   *cacheBytes,
 		MaxBodyBytes: *maxBody,
 		MaxBatch:     *maxBatch,
+		Tracer:       tracer,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
 	"os"
@@ -43,7 +44,9 @@ func TestDaemonSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	cmd := exec.Command(exe, "-addr", "127.0.0.1:0", "-workers", "2", "-drain", "10s")
+	traceFile := t.TempDir() + "/traces.jsonl"
+	cmd := exec.Command(exe, "-addr", "127.0.0.1:0", "-workers", "2", "-drain", "10s",
+		"-trace-jsonl", traceFile)
 	cmd.Env = append(os.Environ(), "FFCD_SMOKE_DAEMON=1")
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -93,6 +96,11 @@ func TestDaemonSmoke(t *testing.T) {
 	if !bytes.Equal(body1, body2) {
 		t.Fatal("cache hit is not byte-identical to the miss")
 	}
+	trace1 := resp1.Header.Get("X-FFCD-Trace-ID")
+	trace2 := resp2.Header.Get("X-FFCD-Trace-ID")
+	if len(trace1) != 16 || len(trace2) != 16 || trace1 == trace2 {
+		t.Fatalf("trace IDs %q/%q: want two distinct 16-hex IDs", trace1, trace2)
+	}
 
 	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: %v %v", resp, err)
@@ -112,5 +120,36 @@ func TestDaemonSmoke(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("daemon did not drain and exit after SIGTERM")
+	}
+
+	// -trace-jsonl flushed on the clean exit: one valid span event per
+	// request, and the IDs the responses advertised are in the file.
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	ids := map[string]string{}
+	for _, line := range lines {
+		var ev struct {
+			Trace   string `json:"trace"`
+			Span    string `json:"span"`
+			Outcome string `json:"outcome"`
+			DurNS   int64  `json:"dur_ns"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line %q is not valid JSON: %v", line, err)
+		}
+		if ev.Span != "run" && ev.Span != "batch" {
+			t.Errorf("unexpected span %q in %q", ev.Span, line)
+		}
+		if ev.DurNS <= 0 {
+			t.Errorf("non-positive span duration in %q", line)
+		}
+		ids[ev.Trace] = ev.Outcome
+	}
+	if ids[trace1] != "miss" || ids[trace2] != "hit" {
+		t.Fatalf("trace file outcomes: %q=%q %q=%q, want miss/hit\n%s",
+			trace1, ids[trace1], trace2, ids[trace2], raw)
 	}
 }

@@ -1,0 +1,110 @@
+// Command ffload drives load against a running ffcd and writes a
+// versioned bench-serve report: per-stage and whole-run request
+// counts, cache hit ratio, error classes, throughput, and log-bucket
+// latency histograms with p50/p95/p99 summaries.
+//
+// The workload is a zipfian popularity distribution over a
+// deterministic generated scenario corpus (-corpus distinct
+// documents; -zipf-s controls the skew, and with it the steady-state
+// cache hit ratio). Two driving modes:
+//
+//	ffload -url http://localhost:8080 -stages 100x2s,300x2s      # open loop
+//	ffload -url http://localhost:8080 -concurrency 8 -duration 5s # closed loop
+//
+// Open loop fires requests at each stage's target rate regardless of
+// completions (the ramp that surfaces queueing collapse); closed loop
+// runs -concurrency workers back to back (the mode that measures
+// peak sustainable throughput). Identical seeds replay identical
+// request sequences.
+//
+// Exit status: 0 on success, 1 when -require-hit-ratio is set and the
+// measured total hit ratio falls below it (the CI smoke gate), 2 on
+// usage or runtime errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/nettheory/feedbackflow/internal/cli"
+	"github.com/nettheory/feedbackflow/internal/loadgen"
+)
+
+func main() {
+	var (
+		url         = flag.String("url", "http://127.0.0.1:8080", "base URL of the ffcd under test")
+		stagesSpec  = flag.String("stages", "", "open-loop ramp, e.g. 100x2s,300x2s (RATExDURATION steps)")
+		concurrency = flag.Int("concurrency", 0, "closed-loop worker count (used when -stages is empty)")
+		duration    = flag.Duration("duration", 5*time.Second, "closed-loop run length")
+		corpusN     = flag.Int("corpus", 64, "distinct scenarios in the generated corpus")
+		seed        = flag.Uint64("seed", 1, "popularity-draw seed; equal seeds replay equal request sequences")
+		zipfS       = flag.Float64("zipf-s", 1.1, "zipf skew (> 1; larger concentrates load on fewer scenarios)")
+		zipfV       = flag.Float64("zipf-v", 1, "zipf offset (>= 1)")
+		maxInflight = flag.Int("max-inflight", 512, "open-loop bound on outstanding requests")
+		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request timeout")
+		wait        = flag.Duration("wait", 10*time.Second, "how long to wait for -url/healthz to answer before starting")
+		out         = flag.String("out", "-", `report destination ("-" = stdout)`)
+		minHitRatio = flag.Float64("require-hit-ratio", -1, "exit 1 if the total cache hit ratio is below this (e.g. 0.5; negative = no gate)")
+	)
+	flag.Parse()
+
+	if *stagesSpec == "" && *concurrency <= 0 {
+		fatalf("one of -stages (open loop) or -concurrency (closed loop) is required")
+	}
+	var stages []loadgen.Stage
+	if *stagesSpec != "" {
+		var err error
+		if stages, err = loadgen.ParseStages(*stagesSpec); err != nil {
+			fatal(err)
+		}
+	}
+
+	client := &http.Client{Timeout: *reqTimeout}
+	if err := loadgen.WaitReady(client, *url, *wait, time.Now, time.Sleep); err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := loadgen.Config{
+		BaseURL:     *url,
+		Corpus:      loadgen.Corpus(*corpusN),
+		Seed:        *seed,
+		ZipfS:       *zipfS,
+		ZipfV:       *zipfV,
+		Stages:      stages,
+		Concurrency: *concurrency,
+		Duration:    *duration,
+		MaxInflight: *maxInflight,
+		Client:      client,
+		Now:         time.Now,
+		Sleep:       time.Sleep,
+	}.Run(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	if err := cli.WriteJSON(*out, rep); err != nil {
+		fatal(err)
+	}
+
+	tot := rep.Total
+	fmt.Fprintf(os.Stderr, "ffload: %d requests in %.2fs (%.1f rps), hit ratio %.3f, p50 %.2fms p95 %.2fms p99 %.2fms, errors 4xx=%d 5xx=%d 429=%d net=%d\n",
+		tot.Requests, float64(tot.DurationSec), float64(tot.ThroughputRPS), float64(tot.HitRatio),
+		float64(tot.Latency.P50Ms), float64(tot.Latency.P95Ms), float64(tot.Latency.P99Ms),
+		tot.ClientErrors, tot.ServerErrors, tot.Rejected429, tot.NetErrors)
+
+	if *minHitRatio >= 0 && !(float64(tot.HitRatio) >= *minHitRatio) {
+		fmt.Fprintf(os.Stderr, "ffload: hit ratio %.3f below required %.3f\n", float64(tot.HitRatio), *minHitRatio)
+		cli.Exit(1)
+	}
+}
+
+func fatal(err error) { cli.Fatal("ffload", err) }
+
+func fatalf(format string, args ...interface{}) { cli.Fatalf("ffload", format, args...) }

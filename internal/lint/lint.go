@@ -103,6 +103,7 @@ var detPackages = map[string]bool{
 	modulePath + "/internal/recovery":  true,
 	modulePath + "/internal/scenario":  true,
 	modulePath + "/internal/runcache":  true,
+	modulePath + "/internal/loadgen":   true,
 }
 
 // isDeterministicPkg reports whether path is one of the deterministic

@@ -1,0 +1,55 @@
+// Package loadgen is the load-generation kernel behind cmd/ffload: a
+// deterministic scenario corpus, a zipfian popularity model over it,
+// and an open- or closed-loop driver that replays the workload against
+// a running ffcd and reduces the observations into a versioned
+// bench-serve report.
+//
+// The package is a deterministic kernel (see ffcvet's detsource): it
+// never reads the ambient clock or the global rand source. Wall time
+// flows in through Config.Now/Config.Sleep and entropy through
+// Config.Seed, so the request sequence a given configuration produces
+// is a pure function of its inputs — only the measured latencies vary
+// between runs.
+package loadgen
+
+import "fmt"
+
+// Corpus returns n distinct, buildable scenario documents in the
+// internal/scenario JSON format. Document i is a pure function of i:
+// the same (n, i) always yields the same bytes, so a corpus replayed
+// against a warm ffcd cache hits the same keys.
+//
+// The scenarios are small two-gateway fair-sharing systems whose
+// service rates and feedback gains vary with the index; every
+// combination builds and converges, so a served corpus produces no
+// 422s and the hit/miss split is governed purely by cache state and
+// popularity skew.
+func Corpus(n int) [][]byte {
+	if n <= 0 {
+		n = 1
+	}
+	docs := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		// Sweep a convergent region of the parameter space: service
+		// rates in [1, 3.4], feedback gain eta in [0.03, 0.09].
+		muA := 1.0 + 0.1*float64(i%25)
+		muB := 2.0 + 0.2*float64((i/25)%5)
+		eta := 0.03 + 0.01*float64((i/125)%7)
+		docs[i] = []byte(fmt.Sprintf(`{
+  "name": "corpus-%06d",
+  "discipline": "fairshare",
+  "feedback": "individual",
+  "gateways": [
+    {"name": "A", "mu": %.2f, "latency": 0.1},
+    {"name": "B", "mu": %.2f, "latency": 0.1}
+  ],
+  "connections": [
+    {"path": ["A", "B"], "law": {"kind": "additive", "eta": %.2f, "bss": 0.5}},
+    {"path": ["A"],      "law": {"kind": "additive", "eta": %.2f, "bss": 0.5}},
+    {"path": ["B"],      "law": {"kind": "additive", "eta": %.2f, "bss": 0.5}}
+  ]
+}
+`, i, muA, muB, eta, eta, eta))
+	}
+	return docs
+}

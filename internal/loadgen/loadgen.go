@@ -1,0 +1,375 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/nettheory/feedbackflow/internal/obs"
+)
+
+// ReportSchema identifies the bench-serve report JSON schema.
+const ReportSchema = "feedbackflow/bench-serve/v1"
+
+// Doer issues one HTTP request; *http.Client satisfies it, tests
+// substitute fakes.
+type Doer interface {
+	Do(req *http.Request) (*http.Response, error)
+}
+
+// Config describes one load run. Exactly one of Stages (open loop:
+// requests fired at the target rate regardless of completions) and
+// Concurrency+Duration (closed loop: workers issue back-to-back
+// requests) selects the mode; Stages wins when both are set.
+type Config struct {
+	// BaseURL is the daemon under test, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Corpus is the request population; popularity over it is zipfian.
+	Corpus [][]byte
+	// Seed drives the popularity draws. Runs with equal seeds issue
+	// identical request sequences.
+	Seed uint64
+	// ZipfS > 1 and ZipfV >= 1 shape the popularity skew (defaults
+	// 1.1 and 1): smaller s is flatter, larger s concentrates load on
+	// few corpus entries and so raises the cache hit ratio.
+	ZipfS, ZipfV float64
+	// Stages is the open-loop ramp (see ParseStages).
+	Stages []Stage
+	// Concurrency and Duration define the closed loop.
+	Concurrency int
+	Duration    time.Duration
+	// MaxInflight bounds outstanding open-loop requests (default 512).
+	// When the daemon falls behind, the dispatcher blocks rather than
+	// growing without bound, and the stall shows up as a throughput
+	// shortfall against the target rate.
+	MaxInflight int
+	// Client issues the requests (default used by cmd/ffload is an
+	// *http.Client; required here).
+	Client Doer
+	// Now and Sleep are the injected clock — pass time.Now and
+	// time.Sleep outside tests. Required: the deterministic-kernel
+	// convention (ffcvet detsource) forbids this package from reading
+	// the ambient clock itself.
+	Now   func() time.Time
+	Sleep func(d time.Duration)
+}
+
+// Report is the bench-serve/v1 result: one entry per stage plus the
+// whole-run aggregate. All floats ride obs.Float so a report with a
+// NaN hit ratio (zero requests) or +Inf latency still encodes.
+type Report struct {
+	Schema     string        `json:"schema"`
+	Mode       string        `json:"mode"` // "open" or "closed"
+	BaseURL    string        `json:"base_url"`
+	CorpusSize int           `json:"corpus_size"`
+	Seed       uint64        `json:"seed"`
+	ZipfS      obs.Float     `json:"zipf_s"`
+	ZipfV      obs.Float     `json:"zipf_v"`
+	Stages     []StageReport `json:"stages"`
+	Total      StageReport   `json:"total"`
+}
+
+// StageReport aggregates one stage (or the whole run, for
+// Report.Total).
+type StageReport struct {
+	Name          string        `json:"name"`
+	TargetRPS     obs.Float     `json:"target_rps,omitempty"`
+	Concurrency   int           `json:"concurrency,omitempty"`
+	DurationSec   obs.Float     `json:"duration_sec"`
+	Requests      int64         `json:"requests"`
+	ThroughputRPS obs.Float     `json:"throughput_rps"`
+	CacheHits     int64         `json:"cache_hits"`
+	CacheMisses   int64         `json:"cache_misses"`
+	HitRatio      obs.Float     `json:"hit_ratio"`
+	Rejected429   int64         `json:"rejected_429"`
+	ClientErrors  int64         `json:"client_errors"` // 4xx other than 429
+	ServerErrors  int64         `json:"server_errors"` // 5xx
+	NetErrors     int64         `json:"net_errors"`    // transport failures
+	Latency       LatencyReport `json:"latency"`
+}
+
+// LatencyReport summarizes a stage's latency distribution. Quantiles
+// are estimated from the log-bucket histogram (obs.Histogram at 5
+// buckets per decade, so within ~58% relative resolution) and clamped
+// to the exactly-tracked max; the full snapshot rides along for
+// downstream tooling. Units are milliseconds for the summary fields
+// and seconds inside the snapshot (matching the serve-side
+// histograms).
+type LatencyReport struct {
+	P50Ms     obs.Float             `json:"p50_ms"`
+	P90Ms     obs.Float             `json:"p90_ms"`
+	P95Ms     obs.Float             `json:"p95_ms"`
+	P99Ms     obs.Float             `json:"p99_ms"`
+	MeanMs    obs.Float             `json:"mean_ms"`
+	MaxMs     obs.Float             `json:"max_ms"`
+	Histogram obs.HistogramSnapshot `json:"histogram_sec"`
+}
+
+// stageStats accumulates one stage's observations; all fields are
+// goroutine-safe.
+type stageStats struct {
+	requests atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+	rej429   atomic.Int64
+	err4xx   atomic.Int64
+	err5xx   atomic.Int64
+	netErr   atomic.Int64
+	lat      *obs.Histogram
+}
+
+func newStageStats() *stageStats {
+	// 1µs .. 100s at 5 buckets/decade — the serve-side layout.
+	return &stageStats{lat: obs.NewHistogram(1e-6, 100, 5)}
+}
+
+// Run executes the configured load and reduces it to a report. It
+// returns an error only for unusable configuration or a cancelled
+// context; request failures are data, not errors.
+func (c Config) Run(ctx context.Context) (*Report, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.1
+	}
+	if c.ZipfV < 1 {
+		c.ZipfV = 1
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 512
+	}
+
+	rep := &Report{
+		Schema:     ReportSchema,
+		BaseURL:    c.BaseURL,
+		CorpusSize: len(c.Corpus),
+		Seed:       c.Seed,
+		ZipfS:      obs.Float(c.ZipfS),
+		ZipfV:      obs.Float(c.ZipfV),
+	}
+	total := newStageStats()
+	start := c.Now()
+
+	if len(c.Stages) > 0 {
+		rep.Mode = "open"
+		for i, st := range c.Stages {
+			stats := newStageStats()
+			dur, err := c.runOpenStage(ctx, st, stats, total)
+			if err != nil {
+				return nil, err
+			}
+			sr := reduceStage(fmt.Sprintf("stage-%d-%s", i, st.String()), stats, dur)
+			sr.TargetRPS = obs.Float(st.RPS)
+			rep.Stages = append(rep.Stages, sr)
+		}
+	} else {
+		rep.Mode = "closed"
+		stats := newStageStats()
+		dur, err := c.runClosed(ctx, stats, total)
+		if err != nil {
+			return nil, err
+		}
+		sr := reduceStage("closed", stats, dur)
+		sr.Concurrency = c.Concurrency
+		rep.Stages = append(rep.Stages, sr)
+	}
+
+	rep.Total = reduceStage("total", total, c.Now().Sub(start))
+	if rep.Mode == "closed" {
+		rep.Total.Concurrency = c.Concurrency
+	}
+	return rep, nil
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.BaseURL == "":
+		return fmt.Errorf("loadgen: Config.BaseURL is required")
+	case len(c.Corpus) == 0:
+		return fmt.Errorf("loadgen: Config.Corpus is empty")
+	case c.Client == nil:
+		return fmt.Errorf("loadgen: Config.Client is required")
+	case c.Now == nil || c.Sleep == nil:
+		return fmt.Errorf("loadgen: Config.Now and Config.Sleep are required (pass time.Now and time.Sleep)")
+	case len(c.Stages) == 0 && (c.Concurrency <= 0 || c.Duration <= 0):
+		return fmt.Errorf("loadgen: want either open-loop Stages or closed-loop Concurrency+Duration")
+	}
+	return nil
+}
+
+// runOpenStage fires requests at st.RPS for st.Dur, not waiting for
+// completions (bounded by MaxInflight), and returns the stage's
+// measured wall duration.
+func (c Config) runOpenStage(ctx context.Context, st Stage, stats, total *stageStats) (time.Duration, error) {
+	zipf := rand.NewZipf(rand.New(rand.NewSource(int64(c.Seed))), c.ZipfS, c.ZipfV, uint64(len(c.Corpus)-1))
+	interval := time.Duration(float64(time.Second) / st.RPS)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	start := c.Now()
+	deadline := start.Add(st.Dur)
+	next := start
+
+	sem := make(chan struct{}, c.MaxInflight)
+	var wg sync.WaitGroup
+	for {
+		now := c.Now()
+		if !now.Before(deadline) {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			wg.Wait()
+			return 0, err
+		}
+		if now.Before(next) {
+			c.Sleep(next.Sub(now))
+			continue
+		}
+		next = next.Add(interval)
+		idx := int(zipf.Uint64())
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			c.doRequest(ctx, idx, stats, total)
+		}()
+	}
+	wg.Wait()
+	return c.Now().Sub(start), nil
+}
+
+// runClosed runs Concurrency workers issuing back-to-back requests
+// until Duration elapses. Each worker draws from its own seeded zipf
+// source, so the per-worker request sequences are reproducible.
+func (c Config) runClosed(ctx context.Context, stats, total *stageStats) (time.Duration, error) {
+	start := c.Now()
+	deadline := start.Add(c.Duration)
+	var wg sync.WaitGroup
+	for w := 0; w < c.Concurrency; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			zipf := rand.NewZipf(rand.New(rand.NewSource(int64(c.Seed)+int64(worker))), c.ZipfS, c.ZipfV, uint64(len(c.Corpus)-1))
+			for c.Now().Before(deadline) && ctx.Err() == nil {
+				c.doRequest(ctx, int(zipf.Uint64()), stats, total)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.Now().Sub(start), nil
+}
+
+// doRequest issues one /run POST and records its outcome in both the
+// stage and whole-run accumulators.
+func (c Config) doRequest(ctx context.Context, idx int, stats, total *stageStats) {
+	stats.requests.Add(1)
+	total.requests.Add(1)
+	start := c.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/run", bytes.NewReader(c.Corpus[idx]))
+	if err != nil {
+		stats.netErr.Add(1)
+		total.netErr.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.Client.Do(req)
+	if err != nil {
+		stats.netErr.Add(1)
+		total.netErr.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	lat := c.Now().Sub(start).Seconds()
+	stats.lat.Observe(lat)
+	total.lat.Observe(lat)
+
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		if resp.Header.Get("X-FFCD-Cache") == "hit" {
+			stats.hits.Add(1)
+			total.hits.Add(1)
+		} else {
+			stats.misses.Add(1)
+			total.misses.Add(1)
+		}
+	case resp.StatusCode == http.StatusTooManyRequests:
+		stats.rej429.Add(1)
+		total.rej429.Add(1)
+	case resp.StatusCode >= 500:
+		stats.err5xx.Add(1)
+		total.err5xx.Add(1)
+	default:
+		stats.err4xx.Add(1)
+		total.err4xx.Add(1)
+	}
+}
+
+// reduceStage folds an accumulator into its report form.
+func reduceStage(name string, s *stageStats, dur time.Duration) StageReport {
+	snap := s.lat.Snapshot()
+	n := s.requests.Load()
+	sec := dur.Seconds()
+	sr := StageReport{
+		Name:         name,
+		DurationSec:  obs.Float(sec),
+		Requests:     n,
+		CacheHits:    s.hits.Load(),
+		CacheMisses:  s.misses.Load(),
+		HitRatio:     obs.Float(float64(s.hits.Load()) / float64(s.hits.Load()+s.misses.Load())),
+		Rejected429:  s.rej429.Load(),
+		ClientErrors: s.err4xx.Load(),
+		ServerErrors: s.err5xx.Load(),
+		NetErrors:    s.netErr.Load(),
+		Latency: LatencyReport{
+			P50Ms:     obs.Float(snap.Quantile(0.50) * 1e3),
+			P90Ms:     obs.Float(snap.Quantile(0.90) * 1e3),
+			P95Ms:     obs.Float(snap.Quantile(0.95) * 1e3),
+			P99Ms:     obs.Float(snap.Quantile(0.99) * 1e3),
+			MeanMs:    snap.Mean * 1e3,
+			MaxMs:     snap.Max * 1e3,
+			Histogram: snap,
+		},
+	}
+	if sec > 0 {
+		sr.ThroughputRPS = obs.Float(float64(n) / sec)
+	}
+	return sr
+}
+
+// WaitReady polls baseURL/healthz until it answers 200 or timeout
+// elapses — the ffload boot handshake against a just-started ffcd.
+func WaitReady(client Doer, baseURL string, timeout time.Duration, now func() time.Time, sleep func(d time.Duration)) error {
+	deadline := now().Add(timeout)
+	for {
+		req, err := http.NewRequest(http.MethodGet, baseURL+"/healthz", nil)
+		if err != nil {
+			return fmt.Errorf("loadgen: %v", err)
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if !now().Before(deadline) {
+			if err != nil {
+				return fmt.Errorf("loadgen: %s not ready after %v: %v", baseURL, timeout, err)
+			}
+			return fmt.Errorf("loadgen: %s not ready after %v", baseURL, timeout)
+		}
+		sleep(50 * time.Millisecond)
+	}
+}

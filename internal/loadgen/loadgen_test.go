@@ -1,0 +1,208 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/nettheory/feedbackflow/internal/scenario"
+	"github.com/nettheory/feedbackflow/internal/serve"
+)
+
+func TestCorpusDistinctAndBuildable(t *testing.T) {
+	docs := Corpus(300)
+	if len(docs) != 300 {
+		t.Fatalf("corpus size %d", len(docs))
+	}
+	seen := map[string]bool{}
+	for i, doc := range docs {
+		spec, err := scenario.Load(bytes.NewReader(doc))
+		if err != nil {
+			t.Fatalf("corpus[%d] does not load: %v\n%s", i, err, doc)
+		}
+		if _, _, err := spec.Build(); err != nil {
+			t.Fatalf("corpus[%d] does not build: %v", i, err)
+		}
+		canon, err := spec.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[string(canon)] {
+			t.Fatalf("corpus[%d] duplicates an earlier document", i)
+		}
+		seen[string(canon)] = true
+	}
+	// Determinism: the same call yields the same bytes.
+	again := Corpus(300)
+	for i := range docs {
+		if !bytes.Equal(docs[i], again[i]) {
+			t.Fatalf("corpus[%d] differs between calls", i)
+		}
+	}
+}
+
+func TestParseStages(t *testing.T) {
+	stages, err := ParseStages("100x2s, 300x500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Stage{{100, 2 * time.Second}, {300, 500 * time.Millisecond}}
+	if len(stages) != 2 || stages[0] != want[0] || stages[1] != want[1] {
+		t.Fatalf("stages = %+v, want %+v", stages, want)
+	}
+	for _, bad := range []string{"", "x2s", "100x", "100", "-5x2s", "0x2s", "10xfast", "10x0s"} {
+		if _, err := ParseStages(bad); err == nil {
+			t.Errorf("ParseStages(%q) accepted", bad)
+		}
+	}
+	if got := (Stage{100, 2 * time.Second}).String(); got != "100x2s" {
+		t.Errorf("Stage.String() = %q", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := Config{
+		BaseURL: "http://x", Corpus: Corpus(2), Client: http.DefaultClient,
+		Now: time.Now, Sleep: time.Sleep,
+		Concurrency: 1, Duration: time.Millisecond,
+	}
+	if err := base.validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*Config){
+		"no url":    func(c *Config) { c.BaseURL = "" },
+		"no corpus": func(c *Config) { c.Corpus = nil },
+		"no client": func(c *Config) { c.Client = nil },
+		"no clock":  func(c *Config) { c.Now = nil },
+		"no mode":   func(c *Config) { c.Concurrency = 0; c.Stages = nil },
+	} {
+		c := base
+		mutate(&c)
+		if err := c.validate(); err == nil {
+			t.Errorf("%s: validate accepted", name)
+		}
+	}
+}
+
+func newDaemon(t *testing.T) string {
+	t.Helper()
+	ts := httptest.NewServer(serve.New(serve.Config{Workers: 4}).Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestClosedLoop drives a real in-process serve.Server: a skewed zipf
+// over a tiny corpus must produce hits, every request must be
+// accounted exactly once, and the report must carry latency data.
+func TestClosedLoop(t *testing.T) {
+	url := newDaemon(t)
+	rep, err := Config{
+		BaseURL: url, Corpus: Corpus(8), Seed: 1,
+		ZipfS: 1.5, ZipfV: 1,
+		Concurrency: 4, Duration: 300 * time.Millisecond,
+		Client: http.DefaultClient, Now: time.Now, Sleep: time.Sleep,
+	}.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ReportSchema || rep.Mode != "closed" {
+		t.Fatalf("schema %q mode %q", rep.Schema, rep.Mode)
+	}
+	if len(rep.Stages) != 1 || rep.Stages[0].Concurrency != 4 {
+		t.Fatalf("stages = %+v", rep.Stages)
+	}
+	tot := rep.Total
+	if tot.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	if got := tot.CacheHits + tot.CacheMisses + tot.Rejected429 + tot.ClientErrors + tot.ServerErrors + tot.NetErrors; got != tot.Requests {
+		t.Fatalf("outcomes sum to %d, requests %d", got, tot.Requests)
+	}
+	if tot.ClientErrors != 0 || tot.ServerErrors != 0 || tot.NetErrors != 0 {
+		t.Fatalf("errors against a healthy daemon: %+v", tot)
+	}
+	// 8 distinct scenarios, hundreds of requests: nearly all hits.
+	if float64(tot.HitRatio) < 0.5 {
+		t.Fatalf("hit ratio %v, want > 0.5 (zipf over 8 keys)", tot.HitRatio)
+	}
+	if tot.Latency.Histogram.Count != tot.Requests {
+		t.Fatalf("latency count %d != requests %d", tot.Latency.Histogram.Count, tot.Requests)
+	}
+	if !(tot.Latency.P50Ms > 0) || !(float64(tot.Latency.MaxMs) >= float64(tot.Latency.P50Ms)) {
+		t.Fatalf("latency summary %+v", tot.Latency)
+	}
+	if !(float64(tot.ThroughputRPS) > 0) {
+		t.Fatalf("throughput %v", tot.ThroughputRPS)
+	}
+}
+
+// TestOpenLoopRamp: two stages produce two stage reports with the
+// configured targets, and the dispatcher respects the ramp (stage
+// request counts scale with rate×duration).
+func TestOpenLoopRamp(t *testing.T) {
+	url := newDaemon(t)
+	stages, err := ParseStages("100x200ms,300x200ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Config{
+		BaseURL: url, Corpus: Corpus(4), Seed: 7,
+		Stages: stages,
+		Client: http.DefaultClient, Now: time.Now, Sleep: time.Sleep,
+	}.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open" || len(rep.Stages) != 2 {
+		t.Fatalf("mode %q, %d stages", rep.Mode, len(rep.Stages))
+	}
+	if float64(rep.Stages[0].TargetRPS) != 100 || float64(rep.Stages[1].TargetRPS) != 300 {
+		t.Fatalf("targets %v/%v", rep.Stages[0].TargetRPS, rep.Stages[1].TargetRPS)
+	}
+	for i, st := range rep.Stages {
+		if st.Requests == 0 {
+			t.Fatalf("stage %d issued nothing", i)
+		}
+	}
+	// The ramp should be visible: stage 1 targets 3× stage 0's rate.
+	// Allow wide scheduling slop; only the direction is asserted.
+	if rep.Stages[1].Requests <= rep.Stages[0].Requests {
+		t.Errorf("ramp not visible: stage requests %d then %d",
+			rep.Stages[0].Requests, rep.Stages[1].Requests)
+	}
+	if rep.Total.Requests != rep.Stages[0].Requests+rep.Stages[1].Requests {
+		t.Errorf("total %d != stage sum", rep.Total.Requests)
+	}
+}
+
+// TestReportMarshalsWithNaN: a zero-request stage has a NaN hit ratio;
+// the report must still encode (the obs.Float contract) and the NaN
+// must round-trip as a quoted string.
+func TestReportMarshalsWithNaN(t *testing.T) {
+	sr := reduceStage("empty", newStageStats(), time.Second)
+	if !math.IsNaN(float64(sr.HitRatio)) {
+		t.Fatalf("empty-stage hit ratio = %v, want NaN", sr.HitRatio)
+	}
+	b, err := json.Marshal(Report{Schema: ReportSchema, Total: sr})
+	if err != nil {
+		t.Fatalf("report with NaN fields fails to encode: %v", err)
+	}
+	if !bytes.Contains(b, []byte(`"hit_ratio":"NaN"`)) {
+		t.Errorf("NaN hit ratio encoded unexpectedly: %s", b)
+	}
+}
+
+func TestWaitReady(t *testing.T) {
+	url := newDaemon(t)
+	if err := WaitReady(http.DefaultClient, url, time.Second, time.Now, time.Sleep); err != nil {
+		t.Fatalf("healthy daemon reported not ready: %v", err)
+	}
+	if err := WaitReady(http.DefaultClient, "http://127.0.0.1:1", 10*time.Millisecond, time.Now, time.Sleep); err == nil {
+		t.Fatal("unreachable daemon reported ready")
+	}
+}

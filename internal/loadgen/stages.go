@@ -1,0 +1,48 @@
+package loadgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Stage is one step of an open-loop ramp: hold RPS for Dur.
+type Stage struct {
+	RPS float64
+	Dur time.Duration
+}
+
+// ParseStages parses a ramp spec of the form "100x2s,300x2s": a
+// comma-separated list of RATExDURATION steps, where RATE is requests
+// per second (a positive float) and DURATION is a time.ParseDuration
+// string.
+func ParseStages(spec string) ([]Stage, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("loadgen: empty stage spec")
+	}
+	parts := strings.Split(spec, ",")
+	stages := make([]Stage, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		i := strings.IndexByte(part, 'x')
+		if i <= 0 || i == len(part)-1 {
+			return nil, fmt.Errorf("loadgen: stage %q: want RATExDURATION (e.g. 100x2s)", part)
+		}
+		rps, err := strconv.ParseFloat(part[:i], 64)
+		if err != nil || !(rps > 0) {
+			return nil, fmt.Errorf("loadgen: stage %q: bad rate %q", part, part[:i])
+		}
+		dur, err := time.ParseDuration(part[i+1:])
+		if err != nil || dur <= 0 {
+			return nil, fmt.Errorf("loadgen: stage %q: bad duration %q", part, part[i+1:])
+		}
+		stages = append(stages, Stage{RPS: rps, Dur: dur})
+	}
+	return stages, nil
+}
+
+// String renders the stage in ParseStages form.
+func (s Stage) String() string {
+	return strconv.FormatFloat(s.RPS, 'g', -1, 64) + "x" + s.Dur.String()
+}

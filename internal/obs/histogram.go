@@ -61,10 +61,18 @@ func NewHistogram(lo, hi float64, perDecade int) *Histogram {
 	return h
 }
 
-// Observe records one value. NaN observations are dropped.
+// Observe records one value. Hostile inputs cannot corrupt the
+// aggregates: NaN and negative observations are clamped to zero, so
+// they count in the underflow bucket and contribute zero to Sum
+// (never a NaN that would poison the running total), and +Inf lands
+// in the overflow bucket, saturating Sum and Max. Observe never
+// panics and never drops an observation — Count always equals the
+// number of calls.
+//
+//ffc:hotpath
 func (h *Histogram) Observe(v float64) {
-	if math.IsNaN(v) {
-		return
+	if math.IsNaN(v) || v < 0 {
+		v = 0
 	}
 	h.counts[h.bucket(v)].Add(1)
 	h.count.Add(1)

@@ -10,20 +10,20 @@ func TestHistogramBucketing(t *testing.T) {
 	for _, v := range []float64{0, 0.5, 1, 5, 10, 99, 1000, 5000} {
 		h.Observe(v)
 	}
-	h.Observe(math.NaN()) // dropped
-	if h.Count() != 8 {
-		t.Fatalf("count = %d, want 8", h.Count())
+	h.Observe(math.NaN()) // clamped to the underflow bucket
+	if h.Count() != 9 {
+		t.Fatalf("count = %d, want 9", h.Count())
 	}
 	s := h.Snapshot()
-	if s.Count != 8 {
+	if s.Count != 9 {
 		t.Fatalf("snapshot count = %d", s.Count)
 	}
 	if float64(s.Min) != 0 || float64(s.Max) != 5000 {
 		t.Fatalf("min/max = %v/%v, want 0/5000", s.Min, s.Max)
 	}
-	// Reconstruct per-bucket counts: <1: {0, 0.5}; <10: {1, 5};
+	// Reconstruct per-bucket counts: <1: {0, 0.5, NaN→0}; <10: {1, 5};
 	// <100: {10, 99}; <1000: {}; overflow: {1000, 5000}.
-	want := map[float64]int64{1: 2, 10: 2, 100: 2, math.Inf(1): 2}
+	want := map[float64]int64{1: 3, 10: 2, 100: 2, math.Inf(1): 2}
 	if len(s.Buckets) != len(want) {
 		t.Fatalf("buckets = %+v", s.Buckets)
 	}
@@ -85,6 +85,54 @@ func TestHistogramDegenerateLayout(t *testing.T) {
 	h.Observe(1)
 	if h.Count() != 1 {
 		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+// TestHistogramObserveHostileInputs pins the clamping contract: NaN
+// and negative observations land in the underflow bucket and
+// contribute zero to Sum (so the running total stays exact), +Inf
+// lands in the overflow bucket, and nothing panics.
+func TestHistogramObserveHostileInputs(t *testing.T) {
+	h := NewHistogram(1, 100, 1) // bounds 1, 10, 100
+	h.Observe(5)
+	h.Observe(math.NaN())
+	h.Observe(-42)
+	h.Observe(math.Inf(-1)) // negative, clamped like any other
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4 (no observation may be dropped)", h.Count())
+	}
+	s := h.Snapshot()
+	if float64(s.Sum) != 5 {
+		t.Fatalf("sum = %v, want exactly 5 (clamped inputs contribute zero)", s.Sum)
+	}
+	if float64(s.Min) != 0 || float64(s.Max) != 5 {
+		t.Fatalf("min/max = %v/%v, want 0/5", s.Min, s.Max)
+	}
+	var under, over int64
+	for _, b := range s.Buckets {
+		switch {
+		case float64(b.Le) == 1:
+			under = b.Count
+		case math.IsInf(float64(b.Le), 1):
+			over = b.Count
+		}
+	}
+	if under != 3 {
+		t.Errorf("underflow bucket = %d, want 3 (NaN, -42, -Inf)", under)
+	}
+	if over != 0 {
+		t.Errorf("overflow bucket = %d, want 0", over)
+	}
+
+	// +Inf is a legitimate (if saturating) observation: overflow
+	// bucket, Sum and Max saturate to +Inf, quantiles stay defined.
+	h.Observe(math.Inf(1))
+	s = h.Snapshot()
+	if !math.IsInf(float64(s.Sum), 1) || !math.IsInf(float64(s.Max), 1) {
+		t.Fatalf("after +Inf: sum=%v max=%v, want +Inf/+Inf", s.Sum, s.Max)
+	}
+	if s.Count != 5 {
+		t.Fatalf("after +Inf: count = %d, want 5", s.Count)
 	}
 }
 

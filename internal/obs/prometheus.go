@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders registry snapshots (Registry.Snapshot maps)
+// in the Prometheus text exposition format, version 0.0.4:
+//
+//   - int64 values (counters) render as `# TYPE n counter` samples;
+//   - float64 and Float values (gauges) as `# TYPE n gauge` samples;
+//   - HistogramSnapshot values as `# TYPE n histogram` families with
+//     cumulative `le`-labelled buckets, an always-present
+//     `le="+Inf"` bucket equal to `n_count`, plus `n_sum`.
+//
+// Metric names are sanitized to the Prometheus charset (every byte
+// outside [a-zA-Z0-9_:] becomes '_', so "serve.cache_hits" renders as
+// "serve_cache_hits") and emitted in sorted order, so two renderings
+// of the same snapshots are byte-identical. Non-finite values render
+// as the unquoted tokens +Inf, -Inf, and NaN, which the exposition
+// format defines as valid sample values — not as the quoted JSON
+// strings Float uses (see Float.MarshalJSON).
+//
+// The first write error aborts the rendering and is returned.
+func WritePrometheus(w io.Writer, snaps ...map[string]interface{}) error {
+	merged := map[string]interface{}{}
+	for _, snap := range snaps {
+		for k, v := range snap {
+			merged[k] = v
+		}
+	}
+	names := make([]string, 0, len(merged))
+	for k := range merged {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+
+	pw := &promWriter{w: w}
+	for _, name := range names {
+		n := promName(name)
+		switch v := merged[name].(type) {
+		case int64:
+			pw.line("# TYPE ", n, " counter")
+			pw.sample(n, "", strconv.FormatInt(v, 10))
+		case float64:
+			pw.line("# TYPE ", n, " gauge")
+			pw.sample(n, "", promFloat(v))
+		case Float:
+			pw.line("# TYPE ", n, " gauge")
+			pw.sample(n, "", promFloat(float64(v)))
+		case HistogramSnapshot:
+			pw.histogram(n, v)
+		case *HistogramSnapshot:
+			if v != nil {
+				pw.histogram(n, *v)
+			}
+		}
+	}
+	return pw.err
+}
+
+// histogram renders one histogram family: cumulative buckets at each
+// finite bound present in the snapshot, the +Inf bucket, sum, and
+// count.
+func (pw *promWriter) histogram(n string, s HistogramSnapshot) {
+	pw.line("# TYPE ", n, " histogram")
+	cum := int64(0)
+	for _, b := range s.Buckets {
+		le := float64(b.Le)
+		if math.IsInf(le, 1) {
+			// The overflow bucket is folded into the canonical +Inf
+			// sample below (its cumulative value is the total count).
+			continue
+		}
+		cum += b.Count
+		pw.sample(n+"_bucket", `le="`+promFloat(le)+`"`, strconv.FormatInt(cum, 10))
+	}
+	pw.sample(n+"_bucket", `le="+Inf"`, strconv.FormatInt(s.Count, 10))
+	pw.sample(n+"_sum", "", promFloat(float64(s.Sum)))
+	pw.sample(n+"_count", "", strconv.FormatInt(s.Count, 10))
+}
+
+// promWriter accumulates the first write error so the render loop
+// stays branch-free.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (pw *promWriter) line(parts ...string) {
+	if pw.err != nil {
+		return
+	}
+	for _, p := range parts {
+		if _, pw.err = io.WriteString(pw.w, p); pw.err != nil {
+			return
+		}
+	}
+	_, pw.err = io.WriteString(pw.w, "\n")
+}
+
+// sample writes one `name{labels} value` line (labels may be empty).
+func (pw *promWriter) sample(name, labels, value string) {
+	if labels == "" {
+		pw.line(name, " ", value)
+		return
+	}
+	pw.line(name, "{", labels, "} ", value)
+}
+
+// promFloat renders a float64 as an exposition-format value: Go's 'g'
+// formatting for finite values and the unquoted tokens +Inf, -Inf,
+// and NaN otherwise.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promName maps an instrument name to the Prometheus metric-name
+// charset: bytes outside [a-zA-Z0-9_:] become '_', and a leading
+// digit gains a '_' prefix.
+func promName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		valid := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !valid {
+			return promNameTail(name)
+		}
+	}
+	return name
+}
+
+// promNameTail does the byte-by-byte rewrite for names that need it.
+func promNameTail(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		valid := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			c >= '0' && c <= '9'
+		if !valid {
+			b[i] = '_'
+		}
+	}
+	if b[0] >= '0' && b[0] <= '9' {
+		return "_" + string(b)
+	}
+	return string(b)
+}

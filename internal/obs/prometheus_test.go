@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusRendering(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve.requests").Add(7)
+	reg.Gauge("serve.queue_depth").Set(3)
+	h := reg.Histogram("serve.latency.run.hit", 1e-3, 10, 1) // bounds 1e-3..10
+	h.Observe(0.0005)                                        // underflow
+	h.Observe(0.005)
+	h.Observe(0.005)
+	h.Observe(100) // overflow
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE serve_requests counter\nserve_requests 7\n",
+		"# TYPE serve_queue_depth gauge\nserve_queue_depth 3\n",
+		"# TYPE serve_latency_run_hit histogram\n",
+		`serve_latency_run_hit_bucket{le="0.001"} 1` + "\n",
+		`serve_latency_run_hit_bucket{le="0.01"} 3` + "\n",
+		`serve_latency_run_hit_bucket{le="+Inf"} 4` + "\n",
+		"serve_latency_run_hit_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+
+	// Two renderings of the same state are byte-identical (the
+	// deterministic-order contract).
+	var buf2 bytes.Buffer
+	if err := WritePrometheus(&buf2, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("two renderings of the same snapshot differ")
+	}
+
+	validatePromText(t, out)
+}
+
+// TestWritePrometheusNonFinite is the obs.Float satellite: +Inf and
+// NaN must render as valid exposition-format value tokens, not the
+// quoted JSON strings Float.MarshalJSON produces.
+func TestWritePrometheusNonFinite(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("overload.queue").Set(math.Inf(1))
+	reg.Gauge("undefined.ratio").Set(math.NaN())
+	h := reg.Histogram("lat", 0.001, 10, 1)
+	h.Observe(math.Inf(1)) // saturates Sum to +Inf
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "overload_queue +Inf\n") {
+		t.Errorf("+Inf gauge rendered wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "undefined_ratio NaN\n") {
+		t.Errorf("NaN gauge rendered wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "lat_sum +Inf\n") {
+		t.Errorf("+Inf histogram sum rendered wrong:\n%s", out)
+	}
+	if strings.Contains(out, `"+Inf"`+"\n") || strings.Contains(out, `"NaN"`) {
+		t.Errorf("non-finite values leaked as quoted JSON strings:\n%s", out)
+	}
+	validatePromText(t, out)
+}
+
+func TestWritePrometheusMergesSnapshots(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("b.second").Inc()
+	b := NewRegistry()
+	b.Counter("a.first").Inc()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, a.Snapshot(), b.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Index(out, "a_first") > strings.Index(out, "b_second") {
+		t.Errorf("merged names not sorted:\n%s", out)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve.cache_hits": "serve_cache_hits",
+		"already_clean":    "already_clean",
+		"with:colon":       "with:colon",
+		"9starts.digit":    "_9starts_digit",
+		"sp ace":           "sp_ace",
+		"":                 "_",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// validatePromText is a minimal exposition-format checker: every
+// non-comment line must be `name[{labels}] value` with a valid metric
+// name and a parseable value (ParseFloat accepts +Inf/-Inf/NaN), and
+// histogram buckets must be cumulative (non-decreasing per family).
+func validatePromText(t *testing.T, out string) {
+	t.Helper()
+	lastBucket := map[string]int64{}
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		rest := ""
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name, rest = line[:i], line[i:]
+		}
+		for i := 0; i < len(name); i++ {
+			c := name[i]
+			ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+				(c >= '0' && c <= '9' && i > 0)
+			if !ok {
+				t.Fatalf("invalid metric name in line %q", line)
+			}
+		}
+		if strings.HasPrefix(rest, "{") {
+			end := strings.Index(rest, "} ")
+			if end < 0 {
+				t.Fatalf("unterminated label set in line %q", line)
+			}
+			rest = rest[end+1:]
+		}
+		val := strings.TrimSpace(rest)
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("unparseable value %q in line %q: %v", val, line, err)
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			if int64(v) < lastBucket[name] {
+				t.Fatalf("bucket counts for %s are not cumulative (%v after %d)", name, v, lastBucket[name])
+			}
+			lastBucket[name] = int64(v)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"bufio"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one request-level span. The zero ID is reserved
+// for the nil (tracing-disabled) span and never assigned by a Tracer.
+type TraceID uint64
+
+// String renders the ID as 16 lowercase hex digits — the form carried
+// by the X-FFCD-Trace-ID response header and the JSONL event stream.
+func (id TraceID) String() string {
+	const hexdigits = "0123456789abcdef"
+	var b [16]byte
+	for i := 0; i < 16; i++ {
+		b[15-i] = hexdigits[(uint64(id)>>(4*i))&0xf]
+	}
+	return string(b[:])
+}
+
+// PhaseEvent is one named, timed phase of a completed span.
+type PhaseEvent struct {
+	Name string `json:"name"`
+	// DurNS is the phase duration in nanoseconds, measured on the
+	// monotonic clock.
+	DurNS int64 `json:"dur_ns"`
+}
+
+// SpanEvent is the wire form of one completed span: the trace ID, the
+// span name, a wall-clock start anchor, the total monotonic duration,
+// an outcome label, and the ordered phases. All fields are integers
+// and strings, so the JSON encoding needs no non-finite handling.
+type SpanEvent struct {
+	Trace   string       `json:"trace"`
+	Span    string       `json:"span"`
+	StartNS int64        `json:"start_unix_ns"`
+	DurNS   int64        `json:"dur_ns"`
+	Outcome string       `json:"outcome,omitempty"`
+	Phases  []PhaseEvent `json:"phases,omitempty"`
+}
+
+// SpanSink receives completed spans. The event and its Phases slice
+// are borrowed: they are reused after EmitSpan returns, so a sink that
+// retains them must copy. Implementations must be safe for concurrent
+// use.
+type SpanSink interface {
+	EmitSpan(ev *SpanEvent)
+}
+
+// Tracer hands out request-level spans and routes the completed events
+// to its sink. A nil *Tracer is the disabled state: Start returns a
+// nil *Span whose methods are all no-ops, so instrumented code pays
+// zero allocations (and no branches beyond one nil check per call)
+// when tracing is off.
+type Tracer struct {
+	sink SpanSink
+	now  func() time.Time
+	next atomic.Uint64
+	pool sync.Pool
+}
+
+// NewTracer returns a tracer emitting to sink, or nil — the disabled
+// tracer — when sink is nil. Trace IDs count up from a random base, so
+// IDs are unique within a process and collide across restarts only by
+// chance.
+func NewTracer(sink SpanSink) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	t := &Tracer{sink: sink, now: time.Now}
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		t.next.Store(binary.BigEndian.Uint64(b[:]))
+	}
+	t.pool.New = func() interface{} { return new(Span) }
+	return t
+}
+
+// Span is one in-flight request trace: a trace ID plus named phases
+// with monotonic-clock durations. Spans come from Tracer.Start and die
+// at End; the nil *Span (from a nil Tracer) is a valid no-op.
+type Span struct {
+	tr      *Tracer
+	id      TraceID
+	name    string
+	outcome string
+	phase   string
+	start   time.Time
+	phaseAt time.Time
+	phases  []PhaseEvent // backing array reused across pool cycles
+}
+
+// Start begins a span. On a nil tracer it returns nil, which every
+// Span method accepts.
+//
+//ffc:hotpath
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := t.pool.Get().(*Span) // returned to the pool by End (ownership transfer)
+	sp.tr = t
+	sp.id = TraceID(t.next.Add(1))
+	sp.name = name
+	sp.outcome = ""
+	sp.phase = ""
+	sp.phases = sp.phases[:0]
+	sp.start = t.now()
+	sp.phaseAt = sp.start
+	return sp
+}
+
+// ID returns the span's trace ID (zero for the nil span).
+//
+//ffc:hotpath
+func (s *Span) ID() TraceID {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Phase closes the current phase, if any, and opens a named new one.
+// Durations are measured phase-open to phase-close on the monotonic
+// clock, so a span's phases tile the time between its first Phase call
+// and End.
+//
+//ffc:hotpath
+func (s *Span) Phase(name string) {
+	if s == nil || s.tr == nil {
+		return
+	}
+	s.closePhase()
+	s.phase = name
+}
+
+// Outcome labels the span (e.g. "hit", "429"); the last call wins.
+//
+//ffc:hotpath
+func (s *Span) Outcome(o string) {
+	if s == nil {
+		return
+	}
+	s.outcome = o
+}
+
+// End closes the open phase, emits the completed event to the
+// tracer's sink, and recycles the span. The span must not be used
+// after End; a second End is a no-op.
+//
+//ffc:hotpath
+func (s *Span) End() {
+	if s == nil || s.tr == nil {
+		return
+	}
+	s.emit()
+}
+
+// closePhase folds the open phase (if any) into the phase list and
+// advances the phase clock.
+func (s *Span) closePhase() {
+	now := s.tr.now()
+	if s.phase != "" {
+		s.phases = append(s.phases, PhaseEvent{Name: s.phase, DurNS: now.Sub(s.phaseAt).Nanoseconds()})
+		s.phase = ""
+	}
+	s.phaseAt = now
+}
+
+// emit is the cold half of End: build the event, hand it to the sink,
+// and return the span to the pool.
+func (s *Span) emit() {
+	s.closePhase()
+	ev := SpanEvent{
+		Trace:   s.id.String(),
+		Span:    s.name,
+		StartNS: s.start.UnixNano(),
+		DurNS:   s.phaseAt.Sub(s.start).Nanoseconds(),
+		Outcome: s.outcome,
+		Phases:  s.phases,
+	}
+	tr := s.tr
+	s.tr = nil // a second End is a no-op; the pool may hand s out again
+	tr.sink.EmitSpan(&ev)
+	tr.pool.Put(s)
+}
+
+// JSONLSink writes one JSON object per completed span, newline
+// delimited, in completion order. Writes are buffered; call Flush when
+// the stream ends. Write errors are sticky and reported by Flush, so
+// EmitSpan never fails loudly mid-request.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink returns a sink writing JSONL span events to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// EmitSpan implements SpanSink.
+func (s *JSONLSink) EmitSpan(ev *SpanEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(ev)
+}
+
+// Flush drains the buffer and returns the first error encountered.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// captureSink retains deep copies of every emitted event (the emit
+// contract says the event is borrowed).
+type captureSink struct {
+	events []SpanEvent
+}
+
+func (c *captureSink) EmitSpan(ev *SpanEvent) {
+	cp := *ev
+	cp.Phases = append([]PhaseEvent(nil), ev.Phases...)
+	c.events = append(c.events, cp)
+}
+
+// fakeClock yields a strictly advancing fake time in fixed steps.
+func fakeClock(stepNS int64) func() time.Time {
+	t0 := time.Unix(1000, 0)
+	n := int64(0)
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n * stepNS))
+	}
+}
+
+func TestSpanPhasesAndDurations(t *testing.T) {
+	sink := &captureSink{}
+	tr := NewTracer(sink)
+	tr.now = fakeClock(10) // every clock read advances 10ns
+
+	sp := tr.Start("run") // read 1
+	if sp.ID() == 0 {
+		t.Fatal("tracer assigned the reserved zero trace ID")
+	}
+	sp.Phase("parse")        // read 2 (closes nothing)
+	sp.Phase("canonicalize") // read 3: parse = 10ns
+	sp.Phase("solve")        // read 4: canonicalize = 10ns
+	sp.Outcome("miss")
+	sp.End() // read 5: solve = 10ns
+
+	if len(sink.events) != 1 {
+		t.Fatalf("%d events, want 1", len(sink.events))
+	}
+	ev := sink.events[0]
+	if ev.Span != "run" || ev.Outcome != "miss" {
+		t.Errorf("event = %+v", ev)
+	}
+	if ev.Trace != sp.ID().String() && len(ev.Trace) != 16 {
+		t.Errorf("trace id %q", ev.Trace)
+	}
+	wantPhases := []PhaseEvent{{"parse", 10}, {"canonicalize", 10}, {"solve", 10}}
+	if len(ev.Phases) != len(wantPhases) {
+		t.Fatalf("phases = %+v, want %+v", ev.Phases, wantPhases)
+	}
+	for i, p := range wantPhases {
+		if ev.Phases[i] != p {
+			t.Errorf("phase %d = %+v, want %+v", i, ev.Phases[i], p)
+		}
+	}
+	// Total duration spans Start → End: reads 1 through 5 = 40ns.
+	if ev.DurNS != 40 {
+		t.Errorf("dur = %dns, want 40", ev.DurNS)
+	}
+	if ev.StartNS != time.Unix(1000, 10).UnixNano() {
+		t.Errorf("start anchor = %d", ev.StartNS)
+	}
+}
+
+func TestSpanDoubleEndAndReuse(t *testing.T) {
+	sink := &captureSink{}
+	tr := NewTracer(sink)
+	sp := tr.Start("a")
+	sp.End()
+	sp.End() // no-op, no double emit, no panic
+	if len(sink.events) != 1 {
+		t.Fatalf("double End emitted %d events", len(sink.events))
+	}
+	sp2 := tr.Start("b")
+	sp2.Phase("p")
+	sp2.End()
+	if len(sink.events) != 2 || sink.events[1].Span != "b" {
+		t.Fatalf("events after reuse: %+v", sink.events)
+	}
+	if sink.events[0].Trace == sink.events[1].Trace {
+		t.Error("distinct spans share a trace ID")
+	}
+}
+
+func TestNilTracerIsZeroAlloc(t *testing.T) {
+	var tr *Tracer // tracing disabled
+	if NewTracer(nil) != nil {
+		t.Fatal("NewTracer(nil) should return the nil (disabled) tracer")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("run")
+		sp.Phase("parse")
+		sp.Phase("canonicalize")
+		sp.Phase("cache")
+		sp.Outcome("hit")
+		if sp.ID() != 0 {
+			t.Fatal("nil span has a trace ID")
+		}
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-sink span path allocates %v per request, want 0", allocs)
+	}
+}
+
+func TestTraceIDString(t *testing.T) {
+	cases := map[TraceID]string{
+		0:              "0000000000000000",
+		0xdeadbeef:     "00000000deadbeef",
+		^TraceID(0):    "ffffffffffffffff",
+		0x0123456789ab: "00000123456789ab",
+	}
+	for id, want := range cases {
+		if got := id.String(); got != want {
+			t.Errorf("TraceID(%d).String() = %q, want %q", id, got, want)
+		}
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := NewTracer(sink)
+	tr.now = fakeClock(100)
+	for i := 0; i < 3; i++ {
+		sp := tr.Start("run")
+		sp.Phase("solve")
+		sp.Outcome("miss")
+		sp.End()
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d JSONL lines, want 3", len(lines))
+	}
+	seen := map[string]bool{}
+	for _, line := range lines {
+		var ev SpanEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", line, err)
+		}
+		if ev.Span != "run" || ev.Outcome != "miss" || len(ev.Phases) != 1 {
+			t.Errorf("event %+v", ev)
+		}
+		if len(ev.Trace) != 16 || seen[ev.Trace] {
+			t.Errorf("trace id %q (duplicate=%v)", ev.Trace, seen[ev.Trace])
+		}
+		seen[ev.Trace] = true
+	}
+}
+
+type failWriter struct{}
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	return 0, errFailWriter
+}
+
+var errFailWriter = &json.UnsupportedValueError{Str: "boom"}
+
+func TestJSONLSinkStickyError(t *testing.T) {
+	sink := NewJSONLSink(&failWriter{})
+	tr := NewTracer(sink)
+	// Emit enough to overflow the bufio buffer and force a write.
+	for i := 0; i < 1000; i++ {
+		sp := tr.Start(strings.Repeat("x", 100))
+		sp.End()
+	}
+	if err := sink.Flush(); err == nil {
+		t.Fatal("Flush swallowed the write error")
+	}
+}

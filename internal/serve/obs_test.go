@@ -1,0 +1,299 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/nettheory/feedbackflow/internal/obs"
+)
+
+// traceSink retains deep copies of emitted span events (the EmitSpan
+// contract says the event is borrowed).
+type traceSink struct {
+	events []obs.SpanEvent
+}
+
+func (c *traceSink) EmitSpan(ev *obs.SpanEvent) {
+	cp := *ev
+	cp.Phases = append([]obs.PhaseEvent(nil), ev.Phases...)
+	c.events = append(c.events, cp)
+}
+
+func phaseNames(ev obs.SpanEvent) []string {
+	names := make([]string, len(ev.Phases))
+	for i, p := range ev.Phases {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// TestServeTracing drives /run with tracing enabled: every response
+// carries an X-FFCD-Trace-ID matching the emitted span, a miss walks
+// the full parse → canonicalize → cache → queue → solve → render
+// phase sequence, and a hit stops at the cache.
+func TestServeTracing(t *testing.T) {
+	sink := &traceSink{}
+	s := New(Config{Workers: 2, Tracer: obs.NewTracer(sink)})
+	ts := newHTTPServer(t, s)
+
+	resp1, body1 := post(t, ts+"/run", testScenario)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("miss POST: %d %s", resp1.StatusCode, body1)
+	}
+	resp2, _ := post(t, ts+"/run", testScenario)
+
+	id1 := resp1.Header.Get("X-FFCD-Trace-ID")
+	id2 := resp2.Header.Get("X-FFCD-Trace-ID")
+	for _, id := range []string{id1, id2} {
+		if len(id) != 16 {
+			t.Fatalf("trace id %q, want 16 hex chars", id)
+		}
+		if _, err := strconv.ParseUint(id, 16, 64); err != nil {
+			t.Fatalf("trace id %q is not hex: %v", id, err)
+		}
+	}
+	if id1 == id2 {
+		t.Fatal("two requests share a trace ID")
+	}
+
+	if len(sink.events) != 2 {
+		t.Fatalf("%d span events, want 2", len(sink.events))
+	}
+	miss, hit := sink.events[0], sink.events[1]
+	if miss.Trace != id1 || hit.Trace != id2 {
+		t.Errorf("span trace IDs %q/%q do not match headers %q/%q",
+			miss.Trace, hit.Trace, id1, id2)
+	}
+	if miss.Span != "run" || miss.Outcome != "miss" {
+		t.Errorf("miss span = %q outcome = %q", miss.Span, miss.Outcome)
+	}
+	if hit.Outcome != "hit" {
+		t.Errorf("hit span outcome = %q", hit.Outcome)
+	}
+
+	wantMiss := []string{"parse", "canonicalize", "cache", "queue", "solve", "render"}
+	if got := phaseNames(miss); strings.Join(got, ",") != strings.Join(wantMiss, ",") {
+		t.Errorf("miss phases = %v, want %v", got, wantMiss)
+	}
+	wantHit := []string{"parse", "canonicalize", "cache"}
+	if got := phaseNames(hit); strings.Join(got, ",") != strings.Join(wantHit, ",") {
+		t.Errorf("hit phases = %v, want %v", got, wantHit)
+	}
+
+	for _, ev := range sink.events {
+		if ev.DurNS <= 0 {
+			t.Errorf("span %q has non-positive duration %d", ev.Outcome, ev.DurNS)
+		}
+		sum := int64(0)
+		for _, p := range ev.Phases {
+			if p.DurNS < 0 {
+				t.Errorf("phase %q duration %d < 0", p.Name, p.DurNS)
+			}
+			sum += p.DurNS
+		}
+		if sum > ev.DurNS {
+			t.Errorf("phase durations sum to %d > span duration %d", sum, ev.DurNS)
+		}
+	}
+
+	// A bad request still carries a trace ID and records its outcome.
+	resp3, _ := post(t, ts+"/run", "{not json")
+	if resp3.Header.Get("X-FFCD-Trace-ID") == "" {
+		t.Error("400 response lacks a trace ID")
+	}
+	if got := sink.events[len(sink.events)-1].Outcome; got != "400" {
+		t.Errorf("bad-request span outcome = %q, want 400", got)
+	}
+}
+
+// newHTTPTestServer serves an already-built Server (e.g. one with an
+// injected tracer) over loopback HTTP.
+func newHTTPTestServer(s *Server) *httptest.Server {
+	return httptest.NewServer(s.Handler())
+}
+
+func newHTTPServer(t *testing.T, s *Server) string {
+	t.Helper()
+	ts := newHTTPTestServer(s)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestServeMetricsPrometheus: /metrics negotiates the Prometheus text
+// exposition format and includes the serve, cache, and pool families.
+func TestServeMetricsPrometheus(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	_, _ = post(t, ts.URL+"/run", testScenario)
+	_, _ = post(t, ts.URL+"/run", testScenario) // hit
+
+	get := func(url, accept string) (*http.Response, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(body)
+	}
+
+	resp, text := get(ts.URL+"/metrics", "text/plain")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE serve_requests counter",
+		"serve_cache_hits 1",
+		"serve_cache_misses 1",
+		"# TYPE serve_latency_run_hit histogram",
+		`serve_latency_run_hit_bucket{le="+Inf"} 1`,
+		"serve_latency_run_hit_count 1",
+		"# TYPE runcache_entries gauge",
+		"# TYPE parallel_runs counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus exposition lacks %q", want)
+		}
+	}
+	// Every non-comment line must be `name[{labels}] value` with a
+	// parseable value.
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Fatalf("unparseable value in line %q: %v", line, err)
+		}
+	}
+
+	// ?format=prometheus works without an Accept header; ?format=json
+	// overrides an Accept that would otherwise pick text.
+	if _, text2 := get(ts.URL+"/metrics?format=prometheus", ""); !strings.Contains(text2, "# TYPE serve_requests counter") {
+		t.Error("?format=prometheus did not select the exposition format")
+	}
+	if _, j := get(ts.URL+"/metrics?format=json", "text/plain"); !strings.HasPrefix(strings.TrimSpace(j), "{") {
+		t.Error("?format=json did not select JSON")
+	}
+}
+
+// TestServeMetricsJSONDeterministic is the idle-scrape contract: two
+// back-to-back JSON scrapes of an idle daemon are byte-identical (no
+// self-mutating values, deterministic key order).
+func TestServeMetricsJSONDeterministic(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	_, _ = post(t, ts.URL+"/run", testScenario)
+
+	scrape := func() []byte {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	a := scrape()
+	b := scrape()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two idle scrapes differ:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+	if bytes.Contains(a, []byte(`"memstats"`)) {
+		t.Error("/metrics JSON includes the self-mutating memstats expvar")
+	}
+
+	// The Prometheus rendering is deterministic too.
+	scrapeProm := func() []byte {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	if !bytes.Equal(scrapeProm(), scrapeProm()) {
+		t.Fatal("two idle Prometheus scrapes differ")
+	}
+}
+
+// TestHitPathInstrumentationAddsZeroAllocs pins the acceptance
+// criterion: with tracing disabled, the per-request instrumentation
+// sequence handleRun executes around serveRun — queue-depth sample,
+// span start/outcome/end, latency observation — allocates nothing.
+func TestHitPathInstrumentationAddsZeroAllocs(t *testing.T) {
+	s := New(Config{Workers: 2})
+	allocs := testing.AllocsPerRun(1000, func() {
+		start := time.Now()
+		s.queueDepthG.Set(float64(len(s.queue)))
+		sp := s.tracer.Start("run")
+		sp.Phase("parse")
+		sp.Phase("canonicalize")
+		sp.Phase("cache")
+		sp.Outcome(outHit)
+		sp.End()
+		if h := s.latRun[outHit]; h != nil {
+			h.Observe(time.Since(start).Seconds())
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-tracing instrumentation allocates %v per request, want 0", allocs)
+	}
+}
+
+// BenchmarkServeRunCacheHit measures the full HTTP round trip of a
+// cache hit (instrumentation on, tracing off) — the serving path the
+// zero-alloc criterion protects.
+func BenchmarkServeRunCacheHit(b *testing.B) {
+	s := New(Config{Workers: 2})
+	ts := newHTTPTestServer(s)
+	defer ts.Close()
+
+	warm, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(testScenario))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, warm.Body)
+	warm.Body.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(testScenario))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.Header.Get("X-FFCD-Cache") != "hit" {
+			b.Fatal("benchmark request missed the cache")
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"github.com/nettheory/feedbackflow/internal/fault"
+	"github.com/nettheory/feedbackflow/internal/obs"
 	"github.com/nettheory/feedbackflow/internal/runcache"
 	"github.com/nettheory/feedbackflow/internal/scenario"
 )
@@ -34,7 +35,11 @@ type envelope struct {
 // Everything is validated here — strict JSON (no unknown fields, no
 // trailing bytes), a buildable spec, a parseable fault spec — so a
 // request that parses can be solved and cached.
-func parseRunRequest(body []byte) (*runRequest, error) {
+//
+// sp may be nil (tracing disabled, or a batch item); the parse and
+// canonicalize phases are recorded on it when present.
+func parseRunRequest(body []byte, sp *obs.Span) (*runRequest, error) {
+	sp.Phase("parse")
 	var probe map[string]json.RawMessage
 	if err := json.Unmarshal(body, &probe); err != nil {
 		return nil, fmt.Errorf("request: %v", err)
@@ -80,6 +85,7 @@ func parseRunRequest(body []byte) (*runRequest, error) {
 		return nil, err
 	}
 
+	sp.Phase("canonicalize")
 	canon, err := spec.Canonical()
 	if err != nil {
 		return nil, err

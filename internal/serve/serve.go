@@ -9,7 +9,19 @@
 //	POST /run     one scenario → one run report (X-FFCD-Cache: hit|miss)
 //	POST /batch   {"runs": [...]} → one report or error per item
 //	GET  /healthz liveness and queue occupancy
-//	GET  /metrics expvar-style JSON: serve, cache, and pool counters
+//	GET  /metrics expvar-style JSON: serve, cache, and pool counters;
+//	              Prometheus text format under Accept: text/plain
+//	              (or ?format=prometheus)
+//
+// Every request is observable: per-endpoint × per-outcome latency
+// histograms (hit/miss/400/405/413/422/429/503) and a sampled
+// queue-depth gauge are always on, and when Config.Tracer is set each
+// request additionally carries a span — phases parse → canonicalize →
+// cache → queue → solve → render — whose trace ID is returned in the
+// X-FFCD-Trace-ID header and whose completed event goes to the
+// tracer's sink. With tracing disabled (nil Tracer) the
+// instrumentation adds zero allocations per request on the cache-hit
+// path.
 //
 // Concurrency is bounded: at most Workers solves run at once (each
 // rides the internal/parallel pool, so pool telemetry and
@@ -34,6 +46,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/nettheory/feedbackflow/internal/fault"
@@ -64,6 +77,10 @@ type Config struct {
 	// MaxBatch bounds the number of runs in one /batch request
 	// (default 256).
 	MaxBatch int
+	// Tracer, when non-nil, records one span per request (phases,
+	// monotonic durations, outcome) and returns its trace ID in the
+	// X-FFCD-Trace-ID header. Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +103,38 @@ func (c Config) withDefaults() Config {
 
 // errBusy is the admission-rejection sentinel mapped to 429.
 var errBusy = errors.New("serve: all workers busy and queue full")
+
+// Request outcome labels: the cache verdict for successful runs, the
+// HTTP status for everything else. They key the per-endpoint latency
+// histogram families (serve.latency.<endpoint>.<outcome>) and label
+// the spans, and they are constants so the hot path never builds a
+// string.
+const (
+	outHit  = "hit"
+	outMiss = "miss"
+	out400  = "400"
+	out405  = "405"
+	out413  = "413"
+	out422  = "422"
+	out429  = "429"
+	out503  = "503"
+)
+
+// outcomes is every label above, in histogram-registration order.
+var outcomes = []string{outHit, outMiss, out400, out405, out413, out422, out429, out503}
+
+// latencyFamily pre-creates one latency histogram per outcome for an
+// endpoint, so recording a latency is a constant-key map read plus an
+// allocation-free Observe. The log-bucket layout spans 1µs–100s at
+// five buckets per decade, so quantile estimates resolve to one
+// bucket ratio, 10^(1/5) ≈ 1.58×.
+func latencyFamily(reg *obs.Registry, endpoint string) map[string]*obs.Histogram {
+	m := make(map[string]*obs.Histogram, len(outcomes))
+	for _, o := range outcomes {
+		m[o] = reg.Histogram("serve.latency."+endpoint+"."+o, 1e-6, 100, 5)
+	}
+	return m
+}
 
 // Server is the daemon: cache, admission control, and handlers.
 type Server struct {
@@ -111,6 +160,14 @@ type Server struct {
 	batchRuns *obs.Counter
 	inflightG *obs.Gauge
 	inflight  func() int64
+
+	// Request-level observability: optional spans (nil tracer = off),
+	// per-endpoint × per-outcome latency histograms, and a queue-depth
+	// gauge sampled at every request arrival.
+	tracer      *obs.Tracer
+	latRun      map[string]*obs.Histogram
+	latBatch    map[string]*obs.Histogram
+	queueDepthG *obs.Gauge
 
 	// testHookSolve, when non-nil, runs inside every solve while its
 	// run slot is held — the seam the backpressure and drain tests use
@@ -138,6 +195,11 @@ func New(cfg Config) *Server {
 		runErrors: reg.Counter("serve.run_errors"),
 		batchRuns: reg.Counter("serve.batch_runs"),
 		inflightG: reg.Gauge("serve.queue_occupancy"),
+
+		tracer:      cfg.Tracer,
+		latRun:      latencyFamily(reg, "run"),
+		latBatch:    latencyFamily(reg, "batch"),
+		queueDepthG: reg.Gauge("serve.queue_depth"),
 	}
 	s.inflight = func() int64 { return int64(len(s.queue)) }
 	s.mux.HandleFunc("/run", s.handleRun)
@@ -188,9 +250,14 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Dur
 
 // solve resolves one parsed request through the cache: a hit or a
 // coalesced wait is free; a miss passes admission control and runs the
-// scenario on the worker pool.
-func (s *Server) solve(ctx context.Context, req *runRequest) (body []byte, cached bool, err error) {
+// scenario on the worker pool. sp, when non-nil, gains the queue /
+// solve / render phases on the goroutine that runs the solve (a
+// coalesced waiter's span simply stays in its cache phase while it
+// waits).
+func (s *Server) solve(ctx context.Context, req *runRequest, sp *obs.Span) (body []byte, cached bool, err error) {
+	sp.Phase("cache")
 	return s.cache.Do(ctx, req.key, func() ([]byte, error) {
+		sp.Phase("queue")
 		select {
 		case s.queue <- struct{}{}:
 		default:
@@ -213,7 +280,7 @@ func (s *Server) solve(ctx context.Context, req *runRequest) (body []byte, cache
 		// panic-to-error conversion; concurrency across requests is
 		// already bounded by the slots.
 		out, err := parallel.Map(ctx, 1, 1, func(int) ([]byte, error) {
-			return renderRun(req)
+			return renderRun(req, sp)
 		})
 		if err != nil {
 			return nil, err
@@ -225,7 +292,8 @@ func (s *Server) solve(ctx context.Context, req *runRequest) (body []byte, cache
 // renderRun executes the request and renders the versioned run report
 // exactly once; these bytes are what the cache serves verbatim
 // thereafter, which is what makes hits byte-identical to the miss.
-func renderRun(req *runRequest) ([]byte, error) {
+func renderRun(req *runRequest, sp *obs.Span) ([]byte, error) {
+	sp.Phase("solve")
 	sys, r0, err := req.spec.Build()
 	if err != nil {
 		return nil, err
@@ -236,6 +304,7 @@ func renderRun(req *runRequest) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
+		sp.Phase("render")
 		rep, err := sys.Report(res, req.spec.Name)
 		if err != nil {
 			return nil, err
@@ -246,6 +315,7 @@ func renderRun(req *runRequest) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp.Phase("render")
 	rep, err := sys.Report(res.Perturbed, req.spec.Name)
 	if err != nil {
 		return nil, err
@@ -263,27 +333,45 @@ func marshalReport(rep interface{}) ([]byte, error) {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.queueDepthG.Set(float64(len(s.queue)))
+	sp := s.tracer.Start("run")
+	if sp != nil {
+		w.Header().Set("X-FFCD-Trace-ID", sp.ID().String())
+	}
+	outcome := s.serveRun(w, r, sp)
+	sp.Outcome(outcome)
+	sp.End()
+	// The latency histograms are always on; with tracing disabled the
+	// whole sequence above is branch-only and allocation-free (see
+	// TestHitPathInstrumentationAddsZeroAllocs).
+	if h := s.latRun[outcome]; h != nil {
+		h.Observe(time.Since(start).Seconds())
+	}
+}
+
+// serveRun is the /run body; it returns the request's outcome label.
+func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, sp *obs.Span) string {
 	s.requests.Inc()
 	if r.Method != http.MethodPost {
 		s.error(w, http.StatusMethodNotAllowed, fmt.Errorf("POST a scenario document to /run"))
-		return
+		return out405
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		s.badReqs.Inc()
 		s.error(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body: %v", err))
-		return
+		return out413
 	}
-	req, err := parseRunRequest(body)
+	req, err := parseRunRequest(body, sp)
 	if err != nil {
 		s.badReqs.Inc()
 		s.error(w, http.StatusBadRequest, err)
-		return
+		return out400
 	}
-	val, cached, err := s.solve(r.Context(), req)
+	val, cached, err := s.solve(r.Context(), req, sp)
 	if err != nil {
-		s.writeRunError(w, err)
-		return
+		return s.writeRunError(w, err)
 	}
 	if cached {
 		s.hits.Inc()
@@ -293,6 +381,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-FFCD-Cache", cacheHeader(cached))
 	w.Write(val)
+	if cached {
+		return outHit
+	}
+	return outMiss
 }
 
 // batchEnvelope is the /batch request: a list of run requests, each in
@@ -310,62 +402,69 @@ type batchItem struct {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.queueDepthG.Set(float64(len(s.queue)))
+	sp := s.tracer.Start("batch")
+	if sp != nil {
+		w.Header().Set("X-FFCD-Trace-ID", sp.ID().String())
+	}
+	outcome := s.serveBatch(w, r, sp)
+	sp.Outcome(outcome)
+	sp.End()
+	// Whole-request failures (405/413/400) land in the batch latency
+	// family too; when items ran, serveBatch returns "" and each item
+	// has already recorded its own outcome and latency.
+	if h := s.latBatch[outcome]; h != nil {
+		h.Observe(time.Since(start).Seconds())
+	}
+}
+
+// serveBatch is the /batch body; it returns the whole-request outcome
+// label for failures before item fan-out, or "" when items ran (each
+// item records its own outcome into the batch latency family).
+func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, sp *obs.Span) string {
 	s.requests.Inc()
 	if r.Method != http.MethodPost {
 		s.error(w, http.StatusMethodNotAllowed, fmt.Errorf(`POST {"runs": [...]} to /batch`))
-		return
+		return out405
 	}
+	sp.Phase("parse")
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		s.badReqs.Inc()
 		s.error(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body: %v", err))
-		return
+		return out413
 	}
 	var env batchEnvelope
 	if err := json.Unmarshal(body, &env); err != nil {
 		s.badReqs.Inc()
 		s.error(w, http.StatusBadRequest, fmt.Errorf("batch: %v", err))
-		return
+		return out400
 	}
 	if len(env.Runs) == 0 {
 		s.badReqs.Inc()
 		s.error(w, http.StatusBadRequest, fmt.Errorf(`batch: no "runs"`))
-		return
+		return out400
 	}
 	if len(env.Runs) > s.cfg.MaxBatch {
 		s.badReqs.Inc()
 		s.error(w, http.StatusBadRequest, fmt.Errorf("batch: %d runs exceeds the limit of %d", len(env.Runs), s.cfg.MaxBatch))
-		return
+		return out400
 	}
 
 	// Items fan out on the pool (bounded by the server's workers) and
-	// record their own outcomes, so one bad scenario fails its slot of
-	// the response rather than the whole batch.
+	// record their own outcomes — per-item cache status in the response
+	// and per-item latency in the serve.latency.batch.* family — so one
+	// bad scenario fails its slot of the response rather than the whole
+	// batch.
+	sp.Phase("items")
 	items := make([]batchItem, len(env.Runs))
 	_ = parallel.ForEach(r.Context(), len(env.Runs), s.cfg.Workers, func(i int) error {
-		s.batchRuns.Inc()
-		req, err := parseRunRequest(env.Runs[i])
-		if err != nil {
-			s.badReqs.Inc()
-			items[i] = batchItem{Error: err.Error()}
-			return nil
+		itemStart := time.Now()
+		outcome := s.serveBatchItem(r.Context(), env.Runs[i], &items[i])
+		if h := s.latBatch[outcome]; h != nil {
+			h.Observe(time.Since(itemStart).Seconds())
 		}
-		val, cached, err := s.solve(r.Context(), req)
-		if err != nil {
-			if errors.Is(err, errBusy) {
-				s.rejected.Inc()
-			} else {
-				s.runErrors.Inc()
-			}
-			items[i] = batchItem{Error: err.Error()}
-			return nil
-		}
-		if cached {
-			s.hits.Inc()
-		} else {
-			s.misses.Inc()
-		}
-		items[i] = batchItem{Cache: cacheHeader(cached), Report: val}
 		return nil
 	})
 
@@ -377,6 +476,44 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(resp)
+	return ""
+}
+
+// serveBatchItem runs one /batch item into *item and returns its
+// outcome label.
+func (s *Server) serveBatchItem(ctx context.Context, raw json.RawMessage, item *batchItem) string {
+	s.batchRuns.Inc()
+	req, err := parseRunRequest(raw, nil)
+	if err != nil {
+		s.badReqs.Inc()
+		*item = batchItem{Error: err.Error()}
+		return out400
+	}
+	val, cached, err := s.solve(ctx, req, nil)
+	if err != nil {
+		*item = batchItem{Error: err.Error()}
+		switch {
+		case errors.Is(err, errBusy):
+			s.rejected.Inc()
+			return out429
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			s.runErrors.Inc()
+			return out503
+		default:
+			s.runErrors.Inc()
+			return out422
+		}
+	}
+	if cached {
+		s.hits.Inc()
+	} else {
+		s.misses.Inc()
+	}
+	*item = batchItem{Cache: cacheHeader(cached), Report: val}
+	if cached {
+		return outHit
+	}
+	return outMiss
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -385,10 +522,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		s.inflight(), cap(s.queue), time.Since(s.start).Nanoseconds())
 }
 
-// handleMetrics renders expvar-style JSON: the process's published
-// expvars plus this server's own registries, without mutating global
-// expvar state (so tests can run many servers in one process).
+// handleMetrics serves the server's registries in one of two forms,
+// chosen by content negotiation:
+//
+//   - JSON (the default, expvar-style): the process's published
+//     expvars plus this server's own registries, without mutating
+//     global expvar state (so tests can run many servers in one
+//     process). The "memstats" expvar is excluded — reading it
+//     mutates it, which would make two back-to-back scrapes of an
+//     idle daemon differ byte-for-byte.
+//   - Prometheus text exposition 0.0.4, when the request carries
+//     ?format=prometheus or an Accept header naming text/plain or
+//     OpenMetrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WritePrometheus(w, s.reg.Snapshot(), s.cache.Snapshot(), parallel.Snapshot())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, "{\n")
 	first := true
@@ -409,6 +560,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var names []string
 	global := map[string]string{}
 	expvar.Do(func(kv expvar.KeyValue) {
+		if kv.Key == "memstats" {
+			return
+		}
 		names = append(names, kv.Key)
 		global[kv.Key] = kv.Value.String()
 	})
@@ -423,22 +577,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "\n}\n")
 }
 
-// writeRunError maps a solve failure to its HTTP status: 429 for
+// wantsPrometheus reports whether the scraper asked for the text
+// exposition format: an explicit ?format=prometheus override, or an
+// Accept header naming text/plain (the classic Prometheus scrape
+// Accept) or OpenMetrics.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "openmetrics")
+}
+
+// writeRunError maps a solve failure to its HTTP status — 429 for
 // backpressure, 422 for a run the model rejects (e.g. a fault run
 // whose baseline never converges), 499-style client cancellation is
-// reported as 503 since the client is gone anyway.
-func (s *Server) writeRunError(w http.ResponseWriter, err error) {
+// reported as 503 since the client is gone anyway — and returns the
+// matching outcome label.
+func (s *Server) writeRunError(w http.ResponseWriter, err error) string {
 	switch {
 	case errors.Is(err, errBusy):
 		s.rejected.Inc()
 		w.Header().Set("Retry-After", "1")
 		s.error(w, http.StatusTooManyRequests, err)
+		return out429
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.runErrors.Inc()
 		s.error(w, http.StatusServiceUnavailable, err)
+		return out503
 	default:
 		s.runErrors.Inc()
 		s.error(w, http.StatusUnprocessableEntity, err)
+		return out422
 	}
 }
 
