@@ -13,7 +13,7 @@ STATICCHECK_VERSION := 2024.1.1
 
 GO ?= go
 
-.PHONY: all build test race lint vet ffcvet staticcheck fmt bench chaos serve-smoke bench-serve clean
+.PHONY: all build test race lint vet ffcvet staticcheck fmt bench bench-kernel chaos serve-smoke bench-serve clean
 
 all: build test
 
@@ -51,6 +51,17 @@ fmt:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./...
+
+# bench-kernel (docs/PERFORMANCE.md): re-run the core micro-benchmarks
+# — the prefix-sum kernel sweeps and the BenchmarkRun size ladder up to
+# N=262144 — and write the machine-readable record the repo versions
+# alongside the code (mirrors bench-serve). BENCH_KERNEL_OUT overrides
+# the report path.
+BENCH_KERNEL_OUT ?= BENCH_PR7.json
+
+bench-kernel:
+	BENCH_JSON=$(BENCH_KERNEL_OUT) $(GO) test -run TestWriteBenchJSON -count=1 -v .
+	@echo "bench-kernel: wrote $(BENCH_KERNEL_OUT)"
 
 # Fault-injection smoke (docs/ROBUSTNESS.md): the injector and
 # recovery suites, the ffsweep kill/resume round trip, the E22

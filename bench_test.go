@@ -141,15 +141,30 @@ func BenchmarkFIFOQueues(b *testing.B) {
 	}
 }
 
-// BenchmarkFairShareQueues measures the Fair Share recursion (N=32),
-// which sorts and accumulates per connection.
+// BenchmarkFairShareQueues sweeps the Fair Share prefix-sum kernel
+// (ObserveQueuesInto: one sort, one forward-substitution sweep) across
+// gateway populations, through the zero-alloc in-place entry point.
+// The per-op cost must scale as N log N — the O(N²) min-scans are
+// gone (see docs/PERFORMANCE.md).
 func BenchmarkFairShareQueues(b *testing.B) {
-	r := benchRates(32)
+	for _, n := range []int{32, 512, 4096, 65536} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) { benchFairShareKernel(b, n) })
+	}
+}
+
+// benchFairShareKernel measures the in-place Fair Share evaluation at
+// gateway population n.
+func benchFairShareKernel(b *testing.B, n int) {
+	r := benchRates(n)
+	q := make([]float64, n)
+	w := make([]float64, n)
+	scr := new(ff.QueueingScratch)
+	scr.Grow(n)
 	var d ff.FairShare
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := d.Queues(r, 2); err != nil {
+		if err := ff.ObserveQueuesInto(d, q, w, r, 2, scr); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -289,11 +304,12 @@ func benchRun(b *testing.B, n int) {
 	}
 }
 
-// BenchmarkRun measures 100-step runs across system sizes; the
-// per-step cost is dominated by the Fair Share recursion (O(n log n)
-// sort plus O(n) accumulation at the single gateway).
+// BenchmarkRun measures 100-step runs across system sizes up to the
+// quarter-million-connection regime; the per-step cost is dominated by
+// the Fair Share recursion (O(n log n) sort plus O(n) accumulation at
+// the single gateway) and the batched individual-feedback signals.
 func BenchmarkRun(b *testing.B) {
-	for _, n := range []int{4, 64, 512} {
+	for _, n := range []int{4, 64, 512, 4096, 65536, 262144} {
 		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) { benchRun(b, n) })
 	}
 }

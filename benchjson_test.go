@@ -14,12 +14,14 @@ type benchRecord struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// TestWriteBenchJSON re-runs the core micro-benchmarks and writes
-// their results as machine-readable JSON for regression tracking. It
-// is opt-in — set BENCH_JSON to the output path (conventionally
-// BENCH_core.json):
+// TestWriteBenchJSON re-runs the core micro-benchmarks — including the
+// prefix-sum kernel sweep and the BenchmarkRun size ladder up to
+// N=262144 — and writes their results as machine-readable JSON for
+// regression tracking. It is opt-in — set BENCH_JSON to the output
+// path, or use the `make bench-kernel` target, which writes the
+// versioned BENCH_PR7.json:
 //
-//	BENCH_JSON=BENCH_core.json go test -run TestWriteBenchJSON .
+//	BENCH_JSON=BENCH_PR7.json go test -run TestWriteBenchJSON .
 func TestWriteBenchJSON(t *testing.T) {
 	path := os.Getenv("BENCH_JSON")
 	if path == "" {
@@ -30,7 +32,10 @@ func TestWriteBenchJSON(t *testing.T) {
 		fn   func(*testing.B)
 	}{
 		{"BenchmarkFIFOQueues", BenchmarkFIFOQueues},
-		{"BenchmarkFairShareQueues", BenchmarkFairShareQueues},
+		{"BenchmarkFairShareQueues/N=32", func(b *testing.B) { benchFairShareKernel(b, 32) }},
+		{"BenchmarkFairShareQueues/N=512", func(b *testing.B) { benchFairShareKernel(b, 512) }},
+		{"BenchmarkFairShareQueues/N=4096", func(b *testing.B) { benchFairShareKernel(b, 4096) }},
+		{"BenchmarkFairShareQueues/N=65536", func(b *testing.B) { benchFairShareKernel(b, 65536) }},
 		{"BenchmarkSystemStep", BenchmarkSystemStep},
 		{"BenchmarkStepNoTracer", BenchmarkStepNoTracer},
 		{"BenchmarkObserve", BenchmarkObserve},
@@ -39,6 +44,9 @@ func TestWriteBenchJSON(t *testing.T) {
 		{"BenchmarkRun/N=4", func(b *testing.B) { benchRun(b, 4) }},
 		{"BenchmarkRun/N=64", func(b *testing.B) { benchRun(b, 64) }},
 		{"BenchmarkRun/N=512", func(b *testing.B) { benchRun(b, 512) }},
+		{"BenchmarkRun/N=4096", func(b *testing.B) { benchRun(b, 4096) }},
+		{"BenchmarkRun/N=65536", func(b *testing.B) { benchRun(b, 65536) }},
+		{"BenchmarkRun/N=262144", func(b *testing.B) { benchRun(b, 262144) }},
 		{"BenchmarkReplicateParallel/workers=1", func(b *testing.B) { benchReplicate(b, 1) }},
 		{"BenchmarkReplicateParallel/workers=4", func(b *testing.B) { benchReplicate(b, 4) }},
 		{"BenchmarkRunToSteadyState", BenchmarkRunToSteadyState},

@@ -73,7 +73,22 @@ type (
 	// NonPreemptiveFairShare is the A3 ablation: Table 1 priorities
 	// without preemption, which breaks the Theorem 5 bound.
 	NonPreemptiveFairShare = queueing.NonPreemptiveFairShare
+	// QueueingScratch is the reusable sort/prefix working storage of
+	// the in-place discipline kernels (see ObserveQueuesInto). The zero
+	// value is ready to use.
+	QueueingScratch = queueing.Scratch
 )
+
+// ObserveQueuesInto evaluates disc's queue lengths and sojourn times
+// at (r, mu) into caller-provided buffers q and w (both of length
+// len(r)), reusing scr across calls so steady-state evaluation
+// performs no allocations. It is the allocation-free counterpart of
+// Discipline.Queues/SojournTimes with bit-identical results — the
+// O(N log N) prefix-sum kernel behind every Workspace step (see
+// docs/PERFORMANCE.md).
+func ObserveQueuesInto(disc Discipline, q, w, r []float64, mu float64, scr *QueueingScratch) error {
+	return queueing.ObserveInto(disc, q, w, r, mu, scr)
+}
 
 // Signalling types: congestion signal functions and feedback styles.
 type (

@@ -52,6 +52,8 @@ type plan struct {
 	hopLat       [][]float64
 	routes       [][]int // routes[i]: γ(i), shared with the Network
 	maxPath      int     // longest route, sizes the per-path scratch
+	maxGw        int     // largest gateway population, sizes the sort scratches
+	connOff      []int   // connOff[i]: first flat hop slot of connection i; connOff[nConns] = total
 }
 
 // compilePlan precomputes the flat connection-index arrays that
@@ -59,14 +61,15 @@ type plan struct {
 func compilePlan(net *topology.Network) plan {
 	nGws, nConns := net.NumGateways(), net.NumConnections()
 	p := plan{
-		nConns: nConns,
-		nGws:   nGws,
-		conns:  make([][]int, nGws),
-		mu:     make([]float64, nGws),
-		off:    make([]int, nGws+1),
-		slots:  make([][]int, nConns),
-		hopLat: make([][]float64, nConns),
-		routes: make([][]int, nConns),
+		nConns:  nConns,
+		nGws:    nGws,
+		conns:   make([][]int, nGws),
+		mu:      make([]float64, nGws),
+		off:     make([]int, nGws+1),
+		slots:   make([][]int, nConns),
+		hopLat:  make([][]float64, nConns),
+		routes:  make([][]int, nConns),
+		connOff: make([]int, nConns+1),
 	}
 	total := 0
 	local := make([]map[int]int, nGws)
@@ -76,15 +79,21 @@ func compilePlan(net *topology.Network) plan {
 		p.mu[a] = net.Gateway(a).Mu
 		p.off[a] = total
 		total += len(conns)
+		if len(conns) > p.maxGw {
+			p.maxGw = len(conns)
+		}
 		local[a] = make(map[int]int, len(conns))
 		for k, i := range conns {
 			local[a][i] = k
 		}
 	}
 	p.off[nGws] = total
+	hopTotal := 0
 	for i := 0; i < nConns; i++ {
 		route := net.Route(i)
 		p.routes[i] = route
+		p.connOff[i] = hopTotal
+		hopTotal += len(route)
 		if len(route) > p.maxPath {
 			p.maxPath = len(route)
 		}
@@ -97,6 +106,7 @@ func compilePlan(net *topology.Network) plan {
 		p.slots[i] = slots
 		p.hopLat[i] = lat
 	}
+	p.connOff[nConns] = hopTotal
 	return p
 }
 

@@ -29,9 +29,11 @@ type Workspace struct {
 	signals  []float64 // per-gateway signals b^a_i
 	queues   []float64 // backing array of obs.Queues
 	perGw    []float64 // one connection's per-hop signals (combine scratch)
+	bn       []int     // backing array of obs.Bottlenecks rows
 
-	scr queueing.Scratch
-	obs Observation
+	scr    queueing.Scratch // discipline sort/prefix scratch (sized to the largest gateway)
+	sigScr signal.Scratch   // batched-signal sort/prefix scratch (same sizing)
+	obs    Observation
 
 	// muOverride, when non-nil, replaces the plan's per-gateway
 	// service rates for the next observe call; hookedStep points it at
@@ -42,9 +44,16 @@ type Workspace struct {
 	effMu      []float64
 }
 
-// NewWorkspace allocates a Workspace for s. The workspace's queue rows
-// (obs.Queues[a]) are views into one flat backing array, established
-// once here and reused by every subsequent call.
+// NewWorkspace allocates a Workspace for s. Every hot per-connection
+// column — rates, queues, sojourns, signals, the bottleneck index rows
+// — lives in one flat contiguous backing array per field (structure of
+// arrays), and the discipline and signal sort scratches are pre-grown
+// to the largest gateway population, all sized from the compiled plan
+// here. Subsequent Observe/Step calls therefore allocate nothing at
+// all, first call included, and the step kernel streams each column
+// cache-linearly. The workspace's queue rows (obs.Queues[a]) and
+// bottleneck rows (obs.Bottlenecks[i]) are views into those backing
+// arrays, established once and reused by every call.
 func (s *System) NewWorkspace() *Workspace {
 	p := &s.plan
 	total := p.off[p.nGws]
@@ -55,6 +64,7 @@ func (s *System) NewWorkspace() *Workspace {
 		signals:  make([]float64, total),
 		queues:   make([]float64, total),
 		perGw:    make([]float64, p.maxPath),
+		bn:       make([]int, p.connOff[p.nConns]),
 		obs: Observation{
 			Signals:     make([]float64, p.nConns),
 			Delays:      make([]float64, p.nConns),
@@ -62,9 +72,15 @@ func (s *System) NewWorkspace() *Workspace {
 			Bottlenecks: make([][]int, p.nConns),
 		},
 	}
+	w.scr.Grow(p.maxGw)
+	w.sigScr.Grow(p.maxGw)
 	for a := 0; a < p.nGws; a++ {
 		lo, hi := p.off[a], p.off[a+1]
 		w.obs.Queues[a] = w.queues[lo:hi:hi]
+	}
+	for i := 0; i < p.nConns; i++ {
+		lo, hi := p.connOff[i], p.connOff[i+1]
+		w.obs.Bottlenecks[i] = w.bn[lo:lo:hi]
 	}
 	return w
 }
@@ -115,7 +131,7 @@ func (w *Workspace) observe(r []float64) error {
 		if err := queueing.ObserveInto(s.disc, w.queues[lo:hi], w.sojourns[lo:hi], local, mu[a], &w.scr); err != nil {
 			return fmt.Errorf("core: gateway %d: %w", a, err)
 		}
-		if err := signal.GatewaySignalsInto(w.signals[lo:hi], s.style, s.b, w.queues[lo:hi]); err != nil {
+		if err := signal.GatewaySignalsBatched(w.signals[lo:hi], s.style, s.b, w.queues[lo:hi], &w.sigScr); err != nil {
 			return fmt.Errorf("core: gateway %d: %w", a, err)
 		}
 	}

@@ -64,3 +64,55 @@ func (w *workspace) cold(r []float64) []float64 {
 	fmt.Println("cold")
 	return tmp
 }
+
+// scratch mirrors the queueing/signal Scratch shape backing the
+// prefix-sum kernels.
+type scratch struct {
+	idx []int
+	f1  []float64
+}
+
+// PrefixSum is the sanctioned prefix-sum kernel shape: sort order and
+// prefix buffers live in a caller-owned scratch, the running
+// accumulator is a scalar, and the sort itself happens in an
+// unannotated helper (where a comparator closure is fine).
+//
+//ffc:hotpath
+func PrefixSum(q, r []float64, scr *scratch) {
+	idx := scr.order(r)
+	cum := 0.0
+	n := len(r)
+	for pos, i := range idx {
+		q[i] = cum + float64(n-pos)*r[i] // scalar accumulator: silent
+		cum += r[i]
+	}
+}
+
+// order is the unannotated sort helper the kernels delegate to:
+// nothing here is checked, so the capturing comparator stays silent.
+func (s *scratch) order(r []float64) []int {
+	for i := range s.idx {
+		s.idx[i] = i
+	}
+	_ = func(a, b int) bool { return r[a] < r[b] } // comparator capture in a cold helper: silent
+	return s.idx
+}
+
+// PrefixSumNaive is the pre-scratch kernel shape the analyzer exists
+// to reject: a fresh index permutation and a capturing comparator on
+// every call.
+//
+//ffc:hotpath
+func PrefixSumNaive(q, r []float64) {
+	idx := make([]int, len(r)) // want "hot path allocates: make"
+	for i := range idx {
+		idx[i] = i
+	}
+	less := func(a, b int) bool { return r[a] < r[b] } // want "hot path allocates: closure captures r"
+	_ = less
+	cum := 0.0
+	for pos, i := range idx {
+		q[i] = cum + float64(len(r)-pos)*r[i]
+		cum += r[i]
+	}
+}

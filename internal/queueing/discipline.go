@@ -108,6 +108,13 @@ type Scratch struct {
 	f1, f2 []float64
 }
 
+// Grow pre-sizes the scratch for an n-connection gateway, so that
+// even the first ObserveInto call on it allocates nothing. Growing is
+// otherwise automatic (and amortized free) on first use; pre-sizing
+// exists for callers — core.Workspace — that size all hot columns at
+// plan-compile time.
+func (s *Scratch) Grow(n int) { s.grow(n) }
+
 // grow sizes the scratch buffers for an n-connection gateway.
 func (s *Scratch) grow(n int) {
 	if cap(s.idx) < n {

@@ -1,9 +1,6 @@
 package queueing
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // FairShare is the service discipline of Section 2.2 (introduced in
 // [She89]): a preemptive priority discipline in which each
@@ -23,84 +20,59 @@ import (
 // which is solved here by forward substitution. The recursion is
 // triangular — Q_i depends only on rates r_k ≤ r_i — and that
 // triangularity is what drives Theorem 4's stability result.
+//
+// The L_i are order statistics with a closed prefix-sum form: once the
+// rates are sorted ascending, min(r_k, r_i) is r_k for the k sorted
+// below position i and r_i for everyone else, so
+//
+//	Σ_k min(r_k, r_i) = Σ_{k<pos(i)} r_(k) + (N−pos(i))·r_i ,
+//
+// one running sum plus one multiply per connection. The whole
+// evaluation is therefore one O(N log N) sort and one O(N) sweep
+// instead of the O(N²) rescans the first implementation performed —
+// the change that makes 10⁵–10⁶-connection gateways steppable (see
+// docs/PERFORMANCE.md, which also states the summation-reordering
+// tolerance contract this introduces against the naive double loop).
 type FairShare struct{}
 
 // Name implements Discipline.
 func (FairShare) Name() string { return "FairShare" }
 
-// Queues implements Discipline. A key property visible here: overload
-// caused by high-rate connections leaves low-rate connections' queues
-// finite — Fair Share protects them — whereas FIFO overload is total.
-func (FairShare) Queues(r []float64, mu float64) ([]float64, error) {
-	if _, err := validate(r, mu); err != nil {
+// Queues implements Discipline. It is the allocating convenience over
+// ObserveInto — one code path, so the two can never drift. A key
+// property visible in the overload handling: overload caused by
+// high-rate connections leaves low-rate connections' queues finite —
+// Fair Share protects them — whereas FIFO overload is total.
+func (fs FairShare) Queues(r []float64, mu float64) ([]float64, error) {
+	q := make([]float64, len(r))
+	w := make([]float64, len(r))
+	if err := fs.ObserveInto(q, w, r, mu, new(Scratch)); err != nil {
 		return nil, err
-	}
-	n := len(r)
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool { return r[idx[a]] < r[idx[b]] })
-
-	q := make([]float64, n)
-	sumQ := 0.0
-	for pos, i := range idx {
-		ri := r[i]
-		if ri == 0 {
-			q[i] = 0
-			continue
-		}
-		// Cumulative load through connection i's topmost priority class.
-		load := 0.0
-		for _, rk := range r {
-			load += math.Min(rk, ri)
-		}
-		load /= mu
-		if load >= 1 {
-			// This and every higher-rate connection is overloaded; the
-			// lower-rate connections already computed keep finite queues.
-			for _, j := range idx[pos:] {
-				q[j] = math.Inf(1)
-			}
-			return q, nil
-		}
-		qi := (G(load) - sumQ) / float64(n-pos)
-		if qi < 0 {
-			qi = 0 // guard against rounding at vanishing loads
-		}
-		q[i] = qi
-		sumQ += qi
 	}
 	return q, nil
 }
 
 // SojournTimes implements Discipline. W_i = Q_i/r_i for positive
 // rates; a zero-rate probe packet preempts all traffic and sees only
-// its own service time 1/μ (the r→0 limit of the recursion).
+// its own service time 1/μ (the r→0 limit of the recursion). Like
+// Queues it delegates to ObserveInto.
 func (fs FairShare) SojournTimes(r []float64, mu float64) ([]float64, error) {
-	q, err := fs.Queues(r, mu)
-	if err != nil {
-		return nil, err
-	}
+	q := make([]float64, len(r))
 	w := make([]float64, len(r))
-	for i, ri := range r {
-		switch {
-		case ri == 0:
-			w[i] = 1 / mu
-		case math.IsInf(q[i], 1):
-			w[i] = math.Inf(1)
-		default:
-			w[i] = q[i] / ri
-		}
+	if err := fs.ObserveInto(q, w, r, mu, new(Scratch)); err != nil {
+		return nil, err
 	}
 	return w, nil
 }
 
-// ObserveInto implements InPlace: the same forward-substitution
-// recursion writing into caller buffers, with the sojourn times
-// derived from the queues just computed instead of recomputing them —
-// halving the work of the allocating Queues + SojournTimes pair while
-// producing bit-identical values.
+// ObserveInto implements InPlace: the forward-substitution recursion
+// with the cumulative class loads read from a sorted prefix sum, so
+// the whole evaluation is one sort plus one sweep — O(N log N) total,
+// zero allocations in steady state. Queues and SojournTimes are thin
+// allocating wrappers around this method, which keeps the overload
+// semantics (fill +Inf from the first overloaded class, then derive
+// every sojourn time from the queues in hand) identical across all
+// entry points by construction.
 //
 //ffc:hotpath
 func (fs FairShare) ObserveInto(q, w, r []float64, mu float64, scr *Scratch) error {
@@ -110,20 +82,22 @@ func (fs FairShare) ObserveInto(q, w, r []float64, mu float64, scr *Scratch) err
 	n := len(r)
 	idx := scr.order(r)
 	sumQ := 0.0
+	cum := 0.0 // Σ of sorted rates strictly below this position
 	for pos, i := range idx {
 		ri := r[i]
 		if ri == 0 {
 			q[i] = 0
-			continue
+			continue // contributes nothing to the running prefix
 		}
-		load := 0.0
-		for _, rk := range r {
-			load += math.Min(rk, ri)
-		}
-		load /= mu
+		// Cumulative load through connection i's topmost priority
+		// class: every lower-sorted connection contributes its whole
+		// rate, the n−pos connections from here up contribute r_i.
+		load := (cum + float64(n-pos)*ri) / mu
 		if load >= 1 {
-			// Zero-rate connections sort first, so everything from pos on
-			// has a positive rate and an unbounded queue.
+			// Zero-rate connections sort first, so everything from pos
+			// on has a positive rate and an unbounded queue; the
+			// lower-rate connections already computed keep finite
+			// queues.
 			for _, j := range idx[pos:] {
 				q[j] = math.Inf(1)
 			}
@@ -135,6 +109,7 @@ func (fs FairShare) ObserveInto(q, w, r []float64, mu float64, scr *Scratch) err
 		}
 		q[i] = qi
 		sumQ += qi
+		cum += ri
 	}
 	for i, ri := range r {
 		switch {
@@ -149,6 +124,62 @@ func (fs FairShare) ObserveInto(q, w, r []float64, mu float64, scr *Scratch) err
 	return nil
 }
 
+// PriorityRows streams the Table 1 substream decomposition one sorted
+// row at a time, so large-N callers never materialize the dense N×N
+// table PriorityDecomposition builds. Row pos (ascending rate order)
+// has pos+1 priority-class entries; all higher classes are zero by the
+// triangular structure of Table 1.
+type PriorityRows struct {
+	sorted []float64
+	perm   []int
+	row    []float64
+	pos    int
+}
+
+// NewPriorityRows prepares the streaming decomposition of r: one sort
+// and O(N) setup, O(row length) per Next call, O(N) total memory.
+func NewPriorityRows(r []float64) *PriorityRows {
+	n := len(r)
+	it := &PriorityRows{
+		sorted: make([]float64, n),
+		perm:   make([]int, n),
+		row:    make([]float64, n),
+	}
+	for i := range it.perm {
+		it.perm[i] = i
+	}
+	stableSortByRate(it.perm, r)
+	for pos, i := range it.perm {
+		it.sorted[pos] = r[i]
+	}
+	return it
+}
+
+// Perm maps sorted positions back to original indices: Perm()[pos] is
+// the original index of the connection emitted pos'th by Next. The
+// slice is owned by the iterator; do not modify.
+func (it *PriorityRows) Perm() []int { return it.perm }
+
+// Next emits the next row of Table 1: the original connection index
+// and its substream rates for priority classes 0..pos (length pos+1,
+// class 0 is the highest priority). The row buffer is reused by the
+// following Next call — copy to retain. ok is false when the rows are
+// exhausted.
+func (it *PriorityRows) Next() (orig int, row []float64, ok bool) {
+	if it.pos >= len(it.perm) {
+		return 0, nil, false
+	}
+	pos := it.pos
+	it.pos++
+	row = it.row[:pos+1]
+	prev := 0.0
+	for j := 0; j <= pos; j++ {
+		row[j] = it.sorted[j] - prev
+		prev = it.sorted[j]
+	}
+	return it.perm[pos], row, true
+}
+
 // PriorityDecomposition returns the Table 1 substream rate matrix for
 // the Fair Share discipline. Rates are first sorted ascending; entry
 // [i][j] of the result is the rate sorted-connection i contributes to
@@ -158,27 +189,20 @@ func (fs FairShare) ObserveInto(q, w, r []float64, mu float64, scr *Scratch) err
 //
 // Row sums reproduce the sorted rates, and column j is nonzero only
 // for connections i ≥ j, exactly the triangular pattern of Table 1.
+// The dense table is quadratic in N by nature; large-N callers should
+// stream PriorityRows instead.
 func PriorityDecomposition(r []float64) (table [][]float64, perm []int) {
 	n := len(r)
-	perm = make([]int, n)
-	for i := range perm {
-		perm[i] = i
-	}
-	sort.SliceStable(perm, func(a, b int) bool { return r[perm[a]] < r[perm[b]] })
-	sorted := make([]float64, n)
-	for pos, i := range perm {
-		sorted[pos] = r[i]
-	}
+	it := NewPriorityRows(r)
 	table = make([][]float64, n)
-	for i := 0; i < n; i++ {
-		table[i] = make([]float64, n)
-		prev := 0.0
-		for j := 0; j <= i; j++ {
-			table[i][j] = sorted[j] - prev
-			prev = sorted[j]
+	for pos := 0; ; pos++ {
+		_, row, ok := it.Next()
+		if !ok {
+			break
 		}
-		// The diagonal entry is min(r_i, r_i) − r_{i−1}, already set by
-		// the loop since sorted[i] = r_i.
+		full := make([]float64, n)
+		copy(full, row)
+		table[pos] = full
 	}
-	return table, perm
+	return table, it.perm
 }

@@ -1,9 +1,6 @@
 package queueing
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // NonPreemptiveFairShare is Fair Share without preemption: the same
 // Table 1 substream priority classes, but an arriving high-priority
@@ -16,98 +13,49 @@ import (
 //
 // With classes ordered by priority, common exponential service μ, and
 // cumulative class loads L_j (the same L_j = Σ_k min(r_k, r_j)/μ as
-// the preemptive recursion), the Kleinrock non-preemptive formulas
-// give per-class mean waits
+// the preemptive recursion, read from the sorted prefix sum — see
+// FairShare), the Kleinrock non-preemptive formulas give per-class
+// mean waits
 //
 //	W_j = W0 / ((1 − L_{j−1})(1 − L_j)),   W0 = min(ρ_tot, 1)/μ,
 //
 // (W0 is the mean residual service seen on arrival) and a connection's
 // mean queue is the Little sum over its substreams,
-// Q_i = Σ_{j≤i} λ_ij·(W_j + 1/μ). Kleinrock's conservation law makes
-// the totals match g(ρ_tot), so the aggregate signal remains
-// discipline-blind even here.
+// Q_i = Σ_{j≤i} λ_ij·(W_j + 1/μ). That sum is itself a running prefix
+// over the sorted classes, so the whole evaluation is one sort plus
+// two O(N) sweeps. Kleinrock's conservation law makes the totals match
+// g(ρ_tot), so the aggregate signal remains discipline-blind even
+// here.
 type NonPreemptiveFairShare struct{}
 
 // Name implements Discipline.
 func (NonPreemptiveFairShare) Name() string { return "NonPreemptiveFairShare" }
 
-// Queues implements Discipline.
-func (NonPreemptiveFairShare) Queues(r []float64, mu float64) ([]float64, error) {
-	if _, err := validate(r, mu); err != nil {
+// Queues implements Discipline as an allocating wrapper over
+// ObserveInto — one code path for both variants.
+func (d NonPreemptiveFairShare) Queues(r []float64, mu float64) ([]float64, error) {
+	q := make([]float64, len(r))
+	w := make([]float64, len(r))
+	if err := d.ObserveInto(q, w, r, mu, new(Scratch)); err != nil {
 		return nil, err
-	}
-	n := len(r)
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool { return r[idx[a]] < r[idx[b]] })
-
-	rhoTot := 0.0
-	for _, ri := range r {
-		rhoTot += ri / mu
-	}
-	w0 := math.Min(rhoTot, 1) / mu
-
-	// Per sorted class j: boundary rates and cumulative loads.
-	q := make([]float64, n)
-	// classSojourn[j] is the mean time in system of class-j packets.
-	classSojourn := make([]float64, n)
-	prevLoad := 0.0
-	for j, i := range idx {
-		// Cumulative load through class j = Σ_k min(r_k, r_{(j)})/μ.
-		load := 0.0
-		for _, rk := range r {
-			load += math.Min(rk, r[i])
-		}
-		load /= mu
-		if load >= 1 {
-			classSojourn[j] = math.Inf(1)
-		} else {
-			classSojourn[j] = w0/((1-prevLoad)*(1-load)) + 1/mu
-		}
-		prevLoad = math.Min(load, 1)
-		_ = i
-	}
-	// Connection i's queue: Little over its Table 1 substreams.
-	sortedRates := make([]float64, n)
-	for j, i := range idx {
-		sortedRates[j] = r[i]
-	}
-	for pos, i := range idx {
-		if r[i] == 0 {
-			q[i] = 0
-			continue
-		}
-		total := 0.0
-		prev := 0.0
-		for j := 0; j <= pos; j++ {
-			lambda := sortedRates[j] - prev
-			prev = sortedRates[j]
-			if lambda == 0 {
-				continue
-			}
-			if math.IsInf(classSojourn[j], 1) {
-				total = math.Inf(1)
-				break
-			}
-			total += lambda * classSojourn[j]
-		}
-		q[i] = total
 	}
 	return q, nil
 }
 
 // ObserveInto implements InPlace: the Kleinrock recursion evaluated
-// into caller buffers, with sojourn times derived from the queues in
-// hand rather than recomputed. Values are bit-identical to Queues +
-// SojournTimes.
+// into caller buffers in O(N log N) — class loads from the sorted
+// prefix sum, per-connection Little sums as a running prefix over
+// λ_j·(W_j + 1/μ) (the running form performs the same float additions
+// in the same order as summing each connection's substreams afresh, so
+// it changes no bits), and sojourn times derived from the queues in
+// hand rather than recomputed.
 //
 //ffc:hotpath
 func (d NonPreemptiveFairShare) ObserveInto(q, w, r []float64, mu float64, scr *Scratch) error {
 	if _, err := validate(r, mu); err != nil {
 		return err
 	}
+	n := len(r)
 	idx := scr.order(r)
 	classSojourn := scr.f1
 	sortedRates := scr.f2
@@ -118,13 +66,16 @@ func (d NonPreemptiveFairShare) ObserveInto(q, w, r []float64, mu float64, scr *
 	}
 	w0 := math.Min(rhoTot, 1) / mu
 
+	// Per sorted class j: cumulative load through the class from the
+	// running prefix (Σ of lower-sorted rates plus (n−j)·r_(j)), then
+	// the Kleinrock mean time in system of class-j packets.
 	prevLoad := 0.0
+	cum := 0.0 // Σ of sorted rates strictly below class j
 	for j, i := range idx {
-		load := 0.0
-		for _, rk := range r {
-			load += math.Min(rk, r[i])
-		}
-		load /= mu
+		ri := r[i]
+		sortedRates[j] = ri
+		load := (cum + float64(n-j)*ri) / mu
+		cum += ri
 		if load >= 1 {
 			classSojourn[j] = math.Inf(1)
 		} else {
@@ -132,29 +83,29 @@ func (d NonPreemptiveFairShare) ObserveInto(q, w, r []float64, mu float64, scr *
 		}
 		prevLoad = math.Min(load, 1)
 	}
-	for j, i := range idx {
-		sortedRates[j] = r[i]
-	}
+	// Connection i's queue: Little over its Table 1 substreams,
+	// λ_ij = r_(j) − r_(j−1) for j ≤ pos(i). The partial sums are
+	// shared between consecutive positions, so one running total
+	// replaces the per-connection rescan; an overloaded class with a
+	// positive substream rate pins the total (and every later one) at
+	// +Inf, exactly as the per-connection scan's early exit did.
+	runTotal := 0.0
+	prev := 0.0
 	for pos, i := range idx {
+		lambda := sortedRates[pos] - prev
+		prev = sortedRates[pos]
+		if lambda != 0 {
+			if math.IsInf(classSojourn[pos], 1) {
+				runTotal = math.Inf(1)
+			} else {
+				runTotal += lambda * classSojourn[pos]
+			}
+		}
 		if r[i] == 0 {
 			q[i] = 0
-			continue
+		} else {
+			q[i] = runTotal
 		}
-		total := 0.0
-		prev := 0.0
-		for j := 0; j <= pos; j++ {
-			lambda := sortedRates[j] - prev
-			prev = sortedRates[j]
-			if lambda == 0 {
-				continue
-			}
-			if math.IsInf(classSojourn[j], 1) {
-				total = math.Inf(1)
-				break
-			}
-			total += lambda * classSojourn[j]
-		}
-		q[i] = total
 	}
 	for i, ri := range r {
 		switch {
@@ -171,26 +122,12 @@ func (d NonPreemptiveFairShare) ObserveInto(q, w, r []float64, mu float64, scr *
 
 // SojournTimes implements Discipline. A zero-rate probe joins the top
 // priority class but cannot preempt: it waits for the residual service
-// W0 plus its own service.
+// W0 plus its own service. Like Queues it delegates to ObserveInto.
 func (d NonPreemptiveFairShare) SojournTimes(r []float64, mu float64) ([]float64, error) {
-	q, err := d.Queues(r, mu)
-	if err != nil {
-		return nil, err
-	}
-	rhoTot := 0.0
-	for _, ri := range r {
-		rhoTot += ri / mu
-	}
+	q := make([]float64, len(r))
 	w := make([]float64, len(r))
-	for i, ri := range r {
-		switch {
-		case ri == 0:
-			w[i] = math.Min(rhoTot, 1)/mu + 1/mu
-		case math.IsInf(q[i], 1):
-			w[i] = math.Inf(1)
-		default:
-			w[i] = q[i] / ri
-		}
+	if err := d.ObserveInto(q, w, r, mu, new(Scratch)); err != nil {
+		return nil, err
 	}
 	return w, nil
 }

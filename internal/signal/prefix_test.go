@@ -1,0 +1,251 @@
+package signal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// This file pins the batched prefix-sum individual-feedback kernel
+// against the naive per-connection scans it bypasses —
+// IndividualCongestion and GatewaySignalsInto remain in the package as
+// the O(N²) reference path — under the tolerance contract of
+// docs/PERFORMANCE.md: bitwise when every intermediate sum is exact
+// (dyadic queues), a 1e-9 mixed relative-absolute bound otherwise, and
+// exact +Inf agreement always.
+
+const prefixTol = 1e-9
+
+func congestionClose(a, b float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.IsInf(a, 1) && math.IsInf(b, 1)
+	}
+	return math.Abs(a-b) <= prefixTol*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// randomQueues draws a queue vector mixing uniform values, exact
+// zeros, exact ties, denormals, and (when withInf) saturated +Inf
+// entries.
+func randomQueues(rng *rand.Rand, n int, withInf bool) []float64 {
+	q := make([]float64, n)
+	tieVal := rng.Float64() * 10
+	for i := range q {
+		switch rng.Intn(7) {
+		case 0:
+			q[i] = 0
+		case 1:
+			q[i] = tieVal
+		case 2:
+			q[i] = math.SmallestNonzeroFloat64 * float64(1+rng.Intn(9))
+		case 3:
+			if withInf {
+				q[i] = math.Inf(1)
+			} else {
+				q[i] = rng.Float64() * 100
+			}
+		default:
+			q[i] = rng.Float64() * 10
+		}
+	}
+	return q
+}
+
+// TestPropIndividualCongestionIntoMatchesNaive sweeps randomized queue
+// vectors — zeros, ties, denormals, +Inf saturation — through the
+// batched kernel against N independent IndividualCongestion scans.
+func TestPropIndividualCongestionIntoMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	scr := new(Scratch)
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(64)
+		if trial%23 == 0 {
+			n = 300
+		}
+		q := randomQueues(rng, n, trial%2 == 0)
+		c := make([]float64, n)
+		if err := IndividualCongestionInto(c, q, scr); err != nil {
+			t.Fatal(err)
+		}
+		for i := range q {
+			want := IndividualCongestion(q, i)
+			if !congestionClose(c[i], want) {
+				t.Errorf("q=%v: C[%d] = %v, naive scan %v", q, i, c[i], want)
+			}
+		}
+	}
+}
+
+// TestIndividualCongestionIntoBitwiseOnDyadic: queues that are integer
+// multiples of 2^-20 make every partial sum exact, so the reordered
+// prefix sum must agree with the naive scan bit for bit.
+func TestIndividualCongestionIntoBitwiseOnDyadic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	scr := new(Scratch)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(48)
+		q := make([]float64, n)
+		for i := range q {
+			switch rng.Intn(5) {
+			case 0:
+				q[i] = 0
+			case 1:
+				q[i] = math.Inf(1)
+			default:
+				q[i] = float64(rng.Intn(1<<20)) * 0x1p-20
+			}
+		}
+		c := make([]float64, n)
+		if err := IndividualCongestionInto(c, q, scr); err != nil {
+			t.Fatal(err)
+		}
+		for i := range q {
+			want := IndividualCongestion(q, i)
+			if math.Float64bits(c[i]) != math.Float64bits(want) {
+				t.Errorf("dyadic q=%v: C[%d] = %v (bits %x), naive %v (bits %x)",
+					q, i, c[i], math.Float64bits(c[i]), want, math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestIndividualCongestionIntoEdgeCases pins hand-checked values: the
+// smallest queue sees N·Q_i, the largest sees the aggregate, +Inf
+// queues see +Inf, and an all-+Inf vector saturates every entry with
+// no NaN leakage from 0·∞ or ∞−∞.
+func TestIndividualCongestionIntoEdgeCases(t *testing.T) {
+	scr := new(Scratch)
+	inf := math.Inf(1)
+	cases := []struct {
+		q    []float64
+		want []float64
+	}{
+		{[]float64{2}, []float64{2}},
+		{[]float64{0, 0, 0}, []float64{0, 0, 0}},
+		{[]float64{1, 2, 4}, []float64{3, 5, 7}},     // smallest: 3·1; largest: 1+2+4
+		{[]float64{0, inf}, []float64{0, inf}},       // zero queue with a saturated peer: min(∞,0) = 0
+		{[]float64{inf, inf}, []float64{inf, inf}},   // all saturated
+		{[]float64{1, inf, 1}, []float64{3, inf, 3}}, // ties around a saturated entry
+	}
+	for _, tc := range cases {
+		c := make([]float64, len(tc.q))
+		if err := IndividualCongestionInto(c, tc.q, scr); err != nil {
+			t.Fatal(err)
+		}
+		for i := range tc.q {
+			if math.Float64bits(c[i]) != math.Float64bits(tc.want[i]) {
+				t.Errorf("q=%v: C[%d] = %v, want %v", tc.q, i, c[i], tc.want[i])
+			}
+			if math.IsNaN(c[i]) {
+				t.Errorf("q=%v: C[%d] is NaN", tc.q, i)
+			}
+		}
+	}
+}
+
+// TestGatewaySignalsBatchedMatchesInto compares the batched variant
+// against the scratch-free reference for both styles and several
+// signal families: aggregate must be bitwise, individual within the
+// tolerance contract after the (Lipschitz-1-bounded on [0,∞)) signal
+// map.
+func TestGatewaySignalsBatchedMatchesInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	funcs := []Func{Rational{}, Power{K: 2}, Exponential{Theta: 1.5}}
+	scr := new(Scratch)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		q := randomQueues(rng, n, trial%3 == 0)
+		for _, style := range []Style{Aggregate, Individual} {
+			for _, b := range funcs {
+				want := make([]float64, n)
+				if err := GatewaySignalsInto(want, style, b, q); err != nil {
+					t.Fatal(err)
+				}
+				got := make([]float64, n)
+				for i := range got {
+					got[i] = math.NaN() // poison
+				}
+				if err := GatewaySignalsBatched(got, style, b, q, scr); err != nil {
+					t.Fatal(err)
+				}
+				for i := range q {
+					if style == Aggregate {
+						if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+							t.Errorf("%v/%s q=%v: signal[%d] = %v, reference %v",
+								style, b.Name(), q, i, got[i], want[i])
+						}
+					} else if math.Abs(got[i]-want[i]) > prefixTol {
+						t.Errorf("%v/%s q=%v: signal[%d] = %v, reference %v",
+							style, b.Name(), q, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGatewaySignalsBatchedRejectsBadInput mirrors the reference
+// path's error cases.
+func TestGatewaySignalsBatchedRejectsBadInput(t *testing.T) {
+	scr := new(Scratch)
+	if err := GatewaySignalsBatched(make([]float64, 1), Aggregate, Rational{}, []float64{1, 2}, scr); err == nil {
+		t.Error("mismatched buffer length accepted")
+	}
+	if err := GatewaySignalsBatched(make([]float64, 1), Style(99), Rational{}, []float64{1}, scr); err == nil {
+		t.Error("unknown style accepted")
+	}
+	if err := IndividualCongestionInto(make([]float64, 1), []float64{1, 2}, scr); err == nil {
+		t.Error("mismatched congestion buffer accepted")
+	}
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: invalid queue accepted", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative queue", func() {
+		_ = IndividualCongestionInto(make([]float64, 2), []float64{1, -1}, scr)
+	})
+	mustPanic("NaN queue", func() {
+		_ = IndividualCongestionInto(make([]float64, 2), []float64{math.NaN(), 1}, scr)
+	})
+}
+
+// TestBatchedSignalsZeroAlloc pins the batched kernels at zero
+// allocations per call in steady state, for both styles.
+func TestBatchedSignalsZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const n = 128
+	q := randomQueues(rng, n, false)
+	out := make([]float64, n)
+	c := make([]float64, n)
+	for _, style := range []Style{Aggregate, Individual} {
+		scr := new(Scratch)
+		scr.Grow(n)
+		if err := GatewaySignalsBatched(out, style, Rational{}, q, scr); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			if err := GatewaySignalsBatched(out, style, Rational{}, q, scr); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("GatewaySignalsBatched(%v) allocates %.1f objects per call, want 0", style, allocs)
+		}
+	}
+	scr := new(Scratch)
+	scr.Grow(n)
+	if err := IndividualCongestionInto(c, q, scr); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := IndividualCongestionInto(c, q, scr); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("IndividualCongestionInto allocates %.1f objects per call, want 0", allocs)
+	}
+}

@@ -8,6 +8,7 @@ package signal
 import (
 	"fmt"
 	"math"
+	"slices"
 )
 
 // Func is a congestion signal function B. The paper requires B to be
@@ -192,6 +193,93 @@ func IndividualCongestion(q []float64, i int) float64 {
 	return c
 }
 
+// Scratch holds the reusable working storage of the batched
+// individual-feedback kernel: a queue-sort permutation and a
+// congestion buffer. The zero value is ready to use; buffers grow on
+// demand and are then reused, so steady-state evaluation performs no
+// allocations. A Scratch is not safe for concurrent use — give each
+// goroutine its own.
+type Scratch struct {
+	idx []int
+	c   []float64
+}
+
+// Grow pre-sizes the scratch for an n-connection gateway, so that
+// even the first batched call on it allocates nothing. Growing is
+// otherwise automatic on first use; pre-sizing exists for callers —
+// core.Workspace — that size all hot columns at plan-compile time.
+func (s *Scratch) Grow(n int) {
+	if cap(s.idx) < n {
+		s.idx = make([]int, n)
+		s.c = make([]float64, n)
+	}
+	s.idx = s.idx[:n]
+	s.c = s.c[:n]
+}
+
+// order fills s.idx with 0..n-1 stably sorted by ascending queue
+// length and returns it.
+func (s *Scratch) order(q []float64) []int {
+	s.Grow(len(q))
+	for i := range s.idx {
+		s.idx[i] = i
+	}
+	stableSortByQueue(s.idx, q)
+	return s.idx
+}
+
+// stableSortByQueue stably sorts connection indices by ascending queue
+// length without allocating (same pattern as queueing's
+// stableSortByRate). +Inf queues sort last, which is exactly where the
+// prefix-sum congestion form needs them.
+func stableSortByQueue(idx []int, q []float64) {
+	slices.SortStableFunc(idx, func(a, b int) int {
+		switch {
+		case q[a] < q[b]:
+			return -1
+		case q[a] > q[b]:
+			return 1
+		}
+		return 0
+	})
+}
+
+// IndividualCongestionInto writes C_i = Σ_k min(Q_k, Q_i) for every
+// connection into c (len(c) must equal len(q)) in one batched
+// O(N log N) pass: with queues sorted ascending, every queue sorted
+// below position pos contributes itself and the n−pos queues from pos
+// up contribute Q_i, so
+//
+//	C_i = Σ_{k<pos(i)} Q_(k) + (n−pos(i))·Q_i
+//
+// falls out of a single running prefix sum — against N separate
+// IndividualCongestion scans, an O(N²) → O(N log N) change. Overloaded
+// (+Inf) queues sort last and saturate both the multiplied term and
+// the running prefix, reproducing the naive scan's +Inf results.
+// Values agree with IndividualCongestion within the
+// summation-reordering tolerance documented in docs/PERFORMANCE.md
+// (bitwise when the prefix sums are exact, e.g. dyadic queue values).
+// Like IndividualCongestion it panics on negative or NaN queues.
+//
+//ffc:hotpath
+func IndividualCongestionInto(c, q []float64, scr *Scratch) error {
+	if len(c) != len(q) {
+		return fmt.Errorf("signal: %d-slot buffer for %d queues", len(c), len(q))
+	}
+	for _, qk := range q {
+		checkCongestion(qk)
+	}
+	n := len(q)
+	idx := scr.order(q)
+	cum := 0.0 // Σ of sorted queues strictly below this position
+	for pos, i := range idx {
+		qi := q[i]
+		c[i] = cum + float64(n-pos)*qi
+		cum += qi
+	}
+	return nil
+}
+
 // GatewaySignals returns the per-connection signals b^a_i emitted by
 // one gateway whose current queue vector is q, under the given
 // feedback style and signal function.
@@ -223,6 +311,41 @@ func GatewaySignalsInto(out []float64, style Style, b Func, q []float64) error {
 	case Individual:
 		for i := range out {
 			out[i] = b.Eval(IndividualCongestion(q, i))
+		}
+	default:
+		return fmt.Errorf("signal: unknown feedback style %d", int(style))
+	}
+	return nil
+}
+
+// GatewaySignalsBatched is GatewaySignalsInto with a Scratch: under
+// individual feedback the congestion measures come from the batched
+// prefix-sum kernel (IndividualCongestionInto — one sort plus one
+// sweep) instead of N independent scans, taking the per-gateway signal
+// pass from O(N²) to O(N log N). The aggregate style is bit-identical
+// to GatewaySignalsInto; the individual style agrees within the
+// summation-reordering tolerance documented in docs/PERFORMANCE.md.
+// This is the variant the core step kernel calls every iteration.
+//
+//ffc:hotpath
+func GatewaySignalsBatched(out []float64, style Style, b Func, q []float64, scr *Scratch) error {
+	if len(out) != len(q) {
+		return fmt.Errorf("signal: %d-slot buffer for %d queues", len(out), len(q))
+	}
+	switch style {
+	case Aggregate:
+		s := b.Eval(AggregateCongestion(q))
+		for i := range out {
+			out[i] = s
+		}
+	case Individual:
+		scr.Grow(len(q))
+		c := scr.c
+		if err := IndividualCongestionInto(c, q, scr); err != nil {
+			return err
+		}
+		for i, ci := range c {
+			out[i] = b.Eval(ci)
 		}
 	default:
 		return fmt.Errorf("signal: unknown feedback style %d", int(style))
