@@ -2,14 +2,16 @@
 STATICCHECK_VERSION := 2024.1.1
 
 # internal/lint is written against the stable go/analysis API shapes
-# but implemented stdlib-only, so the module needs no x/tools
-# requirement and builds fully offline. If the suite ever needs facts,
-# SSA, or the real multichecker, migrate by pinning:
+# but implemented stdlib-only — including cross-package facts, which
+# travel through the go command's vetx files exactly as the x/tools
+# unitchecker moves them — so the module needs no x/tools requirement
+# and builds fully offline. If the suite ever needs SSA or the real
+# multichecker, migrate by pinning:
 #
 #     go get golang.org/x/tools@v0.24.0
 #
-# and swapping internal/lint's Analyzer/Pass types for the x/tools
-# ones (the fields match deliberately).
+# and swapping internal/lint's Analyzer/Pass/Fact types for the
+# x/tools ones (the fields match deliberately).
 
 GO ?= go
 
@@ -27,7 +29,9 @@ race:
 	$(GO) test -race ./...
 
 # The same gate CI's analysis job applies (minus the -race pass):
-# the repo's own analyzer suite, go vet, and a pinned staticcheck.
+# the repo's own nine-analyzer suite — six syntactic rules plus the
+# dataflow taint/ctxflow/lockcheck analyzers with cross-package facts
+# (docs/ANALYSIS.md) — go vet, and a pinned staticcheck.
 lint: ffcvet vet staticcheck
 
 ffcvet:

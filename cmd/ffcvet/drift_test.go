@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/nettheory/feedbackflow/internal/lint"
+)
+
+// driftExempt are internal packages that declare hot paths or register
+// obs metrics but are deliberately NOT deterministic kernels, each
+// with the reason the exemption is sound. Everything else that carries
+// an //ffc:hotpath directive or calls obs.NewRegistry must appear in
+// lint.DeterministicPackages(), or this test fails — that is how the
+// hand-maintained kernel list is kept from drifting as packages are
+// added.
+var driftExempt = map[string]string{
+	"obs":      "the instrument library itself; it hosts hot paths for every caller but is not a kernel",
+	"serve":    "HTTP daemon: wall-clock latency histograms and request scheduling are inherently nondeterministic",
+	"parallel": "worker pool: goroutine scheduling makes completion order nondeterministic by design",
+	"lint":     "the analyzer suite; its fixtures and docs quote the directives verbatim",
+}
+
+// TestDeterministicPackageRegistrationDrift scans every package under
+// internal/ for the two kernel signals — an //ffc:hotpath directive or
+// an obs.NewRegistry registration — and diffs the result against the
+// deterministic-kernel list the ffcvet analyzers enforce.
+func TestDeterministicPackageRegistrationDrift(t *testing.T) {
+	const prefix = "github.com/nettheory/feedbackflow/internal/"
+	listed := map[string]bool{}
+	for _, p := range lint.DeterministicPackages() {
+		if !strings.HasPrefix(p, prefix) {
+			t.Fatalf("DeterministicPackages entry %q is outside internal/", p)
+		}
+		listed[strings.TrimPrefix(p, prefix)] = true
+	}
+
+	internalDir := filepath.Join("..", "..", "internal")
+	entries, err := os.ReadDir(internalDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		marked, why := kernelSignals(t, filepath.Join(internalDir, name))
+		if _, exempt := driftExempt[name]; exempt {
+			continue
+		}
+		if marked && !listed[name] {
+			t.Errorf("internal/%s %s but is missing from lint.DeterministicPackages(); add it to detPackages or to driftExempt with a reason", name, why)
+		}
+		delete(listed, name)
+	}
+	// Anything left in listed names a package directory that no longer
+	// exists: a stale entry in the other direction.
+	for name := range listed {
+		t.Errorf("lint.DeterministicPackages() lists internal/%s, which does not exist", name)
+	}
+}
+
+// kernelSignals reports whether any non-test Go file directly in dir
+// (testdata and subdirectories excluded) carries an //ffc:hotpath
+// directive line or registers metrics via obs.NewRegistry, and which.
+func kernelSignals(t *testing.T, dir string) (bool, string) {
+	t.Helper()
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, metrics := false, false
+	for _, f := range files {
+		if f.IsDir() || !strings.HasSuffix(f.Name(), ".go") || strings.HasSuffix(f.Name(), "_test.go") {
+			continue
+		}
+		fh, err := os.Open(filepath.Join(dir, f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(fh)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == lint.HotPathMarker {
+				hot = true
+			}
+			if strings.Contains(line, "obs.NewRegistry(") {
+				metrics = true
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		fh.Close()
+	}
+	switch {
+	case hot && metrics:
+		return true, "declares //ffc:hotpath functions and registers obs metrics"
+	case hot:
+		return true, "declares //ffc:hotpath functions"
+	case metrics:
+		return true, "registers obs metrics"
+	}
+	return false, ""
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/nettheory/feedbackflow/internal/lint"
+)
+
+// buildTool compiles ffcvet into a temp dir and returns the binary
+// path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	tool := filepath.Join(t.TempDir(), "ffcvet")
+	cmd := exec.Command("go", "build", "-o", tool, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building ffcvet: %v\n%s", err, out)
+	}
+	return tool
+}
+
+// writeModule lays out a self-contained module in which a taint fact
+// declared in one package (sinkpkg) must reach the analysis of its
+// importer (handler) through the vet protocol's facts files.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	mod := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module example.com/fixture\n\ngo 1.22\n",
+		"sinkpkg/sink.go": `// Package sinkpkg exports the sink the handler must not feed raw
+// request bytes into.
+package sinkpkg
+
+// Consume is the solver entry point.
+//
+//ffc:taint sink
+func Consume(data []byte) int { return len(data) }
+`,
+		"handler/handler.go": `package handler
+
+import (
+	"io"
+	"net/http"
+
+	"example.com/fixture/sinkpkg"
+)
+
+// Handle pipes the request body straight into the sink.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return
+	}
+	_ = sinkpkg.Consume(body)
+}
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(mod, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return mod
+}
+
+// exitCode unwraps an *exec.ExitError; -1 means the command did not
+// run or was killed.
+func exitCode(err error) int {
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode()
+	}
+	return -1
+}
+
+// TestVettoolCrossPackageTaint runs the built binary under the real
+// `go vet -vettool` protocol over a module where the sink directive
+// and the violating call live in different packages: the diagnostic
+// only appears if the fact survives the vetx round trip.
+func TestVettoolCrossPackageTaint(t *testing.T) {
+	tool := buildTool(t)
+	mod := writeModule(t)
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = mod
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet exited 0; want the taint diagnostic\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("untrusted value reaches sink sinkpkg.Consume")) {
+		t.Fatalf("go vet output missing the cross-package taint diagnostic:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("handler.go")) {
+		t.Errorf("diagnostic not attributed to handler.go:\n%s", out)
+	}
+}
+
+// TestStandaloneJSONMode runs `ffcvet -json ./...` over the same
+// module and checks the machine-readable contract CI consumes: exit 1,
+// one well-formed JSON diagnostic per line on stdout, prose elsewhere.
+func TestStandaloneJSONMode(t *testing.T) {
+	tool := buildTool(t)
+	mod := writeModule(t)
+
+	cmd := exec.Command(tool, "-json", "./...")
+	cmd.Dir = mod
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if code := exitCode(err); code != 1 {
+		t.Fatalf("ffcvet -json exited %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+
+	var diags []lint.JSONDiagnostic
+	sc := bufio.NewScanner(&stdout)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var d lint.JSONDiagnostic
+		if uerr := json.Unmarshal([]byte(line), &d); uerr != nil {
+			t.Fatalf("stdout line is not a JSON diagnostic: %q: %v", line, uerr)
+		}
+		diags = append(diags, d)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d JSON diagnostics, want exactly 1: %+v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "taint" {
+		t.Errorf("analyzer = %q, want taint", d.Analyzer)
+	}
+	if !strings.Contains(d.Message, "sinkpkg.Consume") {
+		t.Errorf("message %q does not name the sink", d.Message)
+	}
+	if !strings.HasSuffix(d.File, "handler.go") || d.Line <= 0 || d.Col <= 0 {
+		t.Errorf("diagnostic position %s:%d:%d does not point into handler.go", d.File, d.Line, d.Col)
+	}
+}

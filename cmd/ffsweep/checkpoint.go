@@ -63,8 +63,12 @@ func openCheckpoint(path, mode string, resume bool) (*checkpoint, error) {
 // load reads journaled entries from path. A missing file is an empty
 // journal. A line that fails to parse ends the load silently when it
 // is the last line (the tail a kill mid-write leaves behind) and is an
-// error anywhere else.
+// error anywhere else. load runs before the workers start, but takes
+// the lock anyway: done and mode are mutex-guarded everywhere else,
+// and the init-time acquisition is uncontended.
 func (ck *checkpoint) load(path string) error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {

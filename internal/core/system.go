@@ -113,6 +113,11 @@ func compilePlan(net *topology.Network) plan {
 // NewSystem validates and assembles a System. laws must contain one
 // rate adjustment law per connection (use control.Uniform for the
 // homogeneous case).
+//
+// As a taint sink, NewSystem must never see raw network or file input:
+// untrusted scenarios reach it only through scenario.Load + Build.
+//
+//ffc:taint sink
 func NewSystem(net *topology.Network, disc queueing.Discipline, style signal.Style, b signal.Func, laws []control.Law) (*System, error) {
 	if net == nil {
 		return nil, fmt.Errorf("core: nil network")
@@ -344,6 +349,8 @@ type RunResult struct {
 
 // Run iterates the synchronous procedure from r0 until convergence or
 // the step budget is exhausted.
+//
+//ffc:taint sink
 func (s *System) Run(r0 []float64, opt RunOptions) (*RunResult, error) {
 	opt = opt.withDefaults()
 	start := opt.Clock()

@@ -1,0 +1,316 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlow enforces cancellation discipline in the concurrent packages
+// (internal/serve, internal/parallel, internal/loadgen): operations
+// that can block forever must have a context escape, or the drain path
+// leaks goroutines — exactly the bug class the serving path's
+// graceful-shutdown tests probe dynamically.
+//
+// Concretely, in those packages:
+//
+//   - a channel send must either sit in a select with a <-ctx.Done()
+//     case or a default, or be on a channel the dataflow proves is
+//     buffered with constant capacity (the errc := make(chan error, 1)
+//     one-shot pattern, which cannot block);
+//   - a goroutine whose body contains such a blocking send must
+//     reference a context.Context (how it honors it is its business —
+//     the race-enabled CI pass is the dynamic cross-check).
+//
+// Receives are exempt: the suite's pool/token channels release tokens
+// via bare receives in defers, which unblock when the paired send
+// side drains. Closure bodies are only scanned for the goroutine rule;
+// their sends are not individually checked (intraprocedural scope).
+// Channel bufferedness is a dataflow over make() assignments, with the
+// usual bit lattice: 1 = may block (unbuffered, unknown, or nil),
+// 2 = constant-capacity buffered, 3 = depends on the path.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "in internal/serve, internal/parallel, and internal/loadgen, report channel sends and " +
+		"goroutine spawns that can block forever without a reachable context.Context escape",
+	Run: runCtxFlow,
+}
+
+const (
+	chanMayBlock Fact = 1 // unbuffered, unknown capacity, or possibly nil
+	chanConstBuf Fact = 2 // make(chan T, c) with constant c > 0
+)
+
+// ctxflowPackages are the concurrent packages the analyzer binds.
+var ctxflowPackages = map[string]bool{
+	modulePath + "/internal/serve":    true,
+	modulePath + "/internal/parallel": true,
+	modulePath + "/internal/loadgen":  true,
+}
+
+type ctxflowRun struct {
+	pass *Pass
+	// selectComm maps each select communication statement to whether
+	// its select has an escape (a default or a <-ctx.Done() case).
+	selectComm map[ast.Stmt]bool
+}
+
+func runCtxFlow(pass *Pass) error {
+	if !ctxflowPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.IsTestFile(fd.Pos()) {
+				continue
+			}
+			cr := &ctxflowRun{pass: pass, selectComm: map[ast.Stmt]bool{}}
+			cr.checkFunc(fd)
+		}
+	}
+	return nil
+}
+
+func (cr *ctxflowRun) checkFunc(fd *ast.FuncDecl) {
+	// Pre-scan every select (including inside closures, for the
+	// goroutine rule): which comm statements belong to a select, and
+	// does that select have an escape.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		escape := false
+		for _, clause := range sel.Body.List {
+			cc := clause.(*ast.CommClause)
+			if cc.Comm == nil || cr.isCtxDoneRecv(cc.Comm) {
+				escape = true
+			}
+		}
+		for _, clause := range sel.Body.List {
+			cc := clause.(*ast.CommClause)
+			if cc.Comm != nil {
+				cr.selectComm[cc.Comm] = escape
+			}
+		}
+		return true
+	})
+
+	d := &Dataflow{CFG: NewCFG(fd.Body), Entry: State{}, Transfer: cr.transfer}
+	d.Replay(d.Solve(), cr.visit)
+}
+
+// transfer tracks channel bufferedness through assignments and
+// declarations. Only plain identifiers are tracked; anything else
+// (fields, params, captures) stays absent, i.e. may-block.
+func (cr *ctxflowRun) transfer(n ast.Node, s State) {
+	switch st := n.(type) {
+	case *ast.AssignStmt:
+		if len(st.Lhs) > 1 && len(st.Rhs) == 1 {
+			for _, lhs := range st.Lhs {
+				cr.bindChan(lhs, nil, s) // results of a call: capacity unknown
+			}
+			return
+		}
+		for i, lhs := range st.Lhs {
+			if i < len(st.Rhs) {
+				cr.bindChan(lhs, st.Rhs[i], s)
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				var rhs ast.Expr
+				if i < len(vs.Values) {
+					rhs = vs.Values[i]
+				}
+				cr.bindChan(name, rhs, s) // var ch chan T: nil channel, may block
+			}
+		}
+	case *ast.RangeStmt:
+		cr.bindChan(st.Key, nil, s)
+		cr.bindChan(st.Value, nil, s)
+	}
+}
+
+// bindChan records what a channel-typed identifier now holds: the
+// make() fact when rhs is a channel make, may-block otherwise.
+func (cr *ctxflowRun) bindChan(lhs, rhs ast.Expr, s State) {
+	if lhs == nil {
+		return
+	}
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := usedObject(cr.pass.TypesInfo, id)
+	if obj == nil {
+		return
+	}
+	if _, ok := obj.Type().Underlying().(*types.Chan); !ok {
+		return
+	}
+	if fact, ok := cr.chanMake(rhs); ok {
+		s[obj] = fact
+		return
+	}
+	s[obj] = chanMayBlock
+}
+
+// chanMake recognizes make(chan T[, cap]) and classifies its
+// bufferedness.
+func (cr *ctxflowRun) chanMake(e ast.Expr) (Fact, bool) {
+	if e == nil {
+		return 0, false
+	}
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return 0, false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return 0, false
+	}
+	if _, ok := cr.pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+		return 0, false
+	}
+	tv, ok := cr.pass.TypesInfo.Types[call]
+	if !ok {
+		return 0, false
+	}
+	if _, ok := tv.Type.Underlying().(*types.Chan); !ok {
+		return 0, false
+	}
+	if len(call.Args) == 2 {
+		if cv := cr.pass.TypesInfo.Types[call.Args[1]].Value; cv != nil {
+			if v, ok := constant.Int64Val(cv); ok && v > 0 {
+				return chanConstBuf, true
+			}
+		}
+		return chanMayBlock, true // runtime-sized capacity: can be full
+	}
+	return chanMayBlock, true
+}
+
+// visit reports blocking sends and context-less goroutines.
+func (cr *ctxflowRun) visit(n ast.Node, s State) {
+	switch st := n.(type) {
+	case *ast.SendStmt:
+		if escape, inSelect := cr.selectComm[st]; inSelect {
+			if !escape {
+				cr.pass.Reportf(st.Arrow,
+					"select send has no <-ctx.Done() or default case and can block forever")
+			}
+			return
+		}
+		if cr.chanState(st.Chan, s) != chanConstBuf {
+			cr.pass.Reportf(st.Arrow,
+				"blocking channel send without a select on <-ctx.Done() (channel is not provably constant-capacity buffered)")
+		}
+	case *ast.GoStmt:
+		cr.checkGo(st, s)
+	}
+}
+
+// chanState looks up the bufferedness of a send's channel expression;
+// anything not tracked may block.
+func (cr *ctxflowRun) chanState(ch ast.Expr, s State) Fact {
+	obj := rootObject(cr.pass.TypesInfo, ch)
+	if obj == nil {
+		return chanMayBlock
+	}
+	if fact, ok := s[obj]; ok {
+		return fact
+	}
+	return chanMayBlock
+}
+
+// checkGo applies the goroutine rule: a spawned closure whose body has
+// a blocking send must reference a context. The channel states at the
+// spawn point apply to the captures — a closure sending on a
+// constant-capacity channel made by the spawner is the sanctioned
+// one-shot error pattern.
+func (cr *ctxflowRun) checkGo(g *ast.GoStmt, s State) {
+	fl, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return // named-function spawn: body not visible to this pass
+	}
+	if cr.referencesContext(fl) {
+		return
+	}
+	blocking := false
+	inspectExec(fl.Body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok || blocking {
+			return !blocking
+		}
+		if escape, inSelect := cr.selectComm[send]; inSelect {
+			blocking = !escape
+		} else {
+			blocking = cr.chanState(send.Chan, s) != chanConstBuf
+		}
+		return !blocking
+	})
+	if blocking {
+		cr.pass.Reportf(g.Go,
+			"goroutine body has a blocking channel send but references no context.Context")
+	}
+}
+
+// referencesContext reports whether the closure mentions any
+// context-typed object (parameter or capture).
+func (cr *ctxflowRun) referencesContext(fl *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(fl, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		if obj := usedObject(cr.pass.TypesInfo, id); obj != nil && isContextType(obj.Type()) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isCtxDoneRecv recognizes `<-ctx.Done()` (bare or assigned) as a
+// select communication.
+func (cr *ctxflowRun) isCtxDoneRecv(comm ast.Stmt) bool {
+	var recv ast.Expr
+	switch c := comm.(type) {
+	case *ast.ExprStmt:
+		recv = c.X
+	case *ast.AssignStmt:
+		if len(c.Rhs) == 1 {
+			recv = c.Rhs[0]
+		}
+	}
+	if recv == nil {
+		return false
+	}
+	ue, ok := ast.Unparen(recv).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.ARROW {
+		return false
+	}
+	call, ok := ast.Unparen(ue.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	f := calleeFunc(cr.pass.TypesInfo, call)
+	if f == nil || f.Name() != "Done" {
+		return false
+	}
+	sig, _ := f.Type().(*types.Signature)
+	return sig != nil && sig.Recv() != nil && isContextType(sig.Recv().Type())
+}

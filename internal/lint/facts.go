@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Facts are how an analyzer's knowledge about one package crosses into
+// the analysis of another, mirroring golang.org/x/tools/go/analysis
+// package facts. The go command's vet protocol gives each unit a facts
+// file per *direct* import (PackageVetx) and a place to write its own
+// (VetxOutput); transitive visibility comes from each package's file
+// embedding the facts of everything it can see, so a sink fact
+// declared on internal/core is visible when vetting internal/serve
+// even though serve imports core only through scenario.
+//
+// The wire format is one JSON object per vetx file:
+//
+//	{"schema": "ffcvet-facts/v1",
+//	 "packages": {"<import path>": {"<analyzer>": <fact JSON>}}}
+//
+// An empty file is a valid empty store — the go command caches vetx
+// files and PR 3's ffcvet wrote empty ones, so decoding must accept
+// zero bytes. Any other malformed content is a hard protocol error
+// (exit 2), never silently ignored: a corrupt fact store would turn
+// off taint checking without a diagnostic.
+//
+// Fact content is produced by Analyzer.Facts hooks, which are
+// deliberately *syntactic* (they see parsed files, not types). That
+// keeps VetxOnly units cheap — no dependency export data is loaded
+// just to gather facts — and lets the linttest harness compute real
+// facts for fixture imports by parsing their source directories.
+
+// factsSchema tags the vetx wire format; bump it when the layout
+// changes so stale action-cache entries are rejected, not misread.
+const factsSchema = "ffcvet-facts/v1"
+
+type factsFile struct {
+	Schema   string                                `json:"schema"`
+	Packages map[string]map[string]json.RawMessage `json:"packages"`
+}
+
+// FactStore holds decoded facts keyed by package path and analyzer
+// name. The zero value and the nil store are both empty and readable.
+type FactStore struct {
+	packages map[string]map[string]json.RawMessage
+}
+
+// NewFactStore returns an empty, writable store.
+func NewFactStore() *FactStore {
+	return &FactStore{packages: map[string]map[string]json.RawMessage{}}
+}
+
+// Get decodes the fact that analyzer exported for pkgPath into out and
+// reports whether one was present. A nil store has no facts.
+func (fs *FactStore) Get(pkgPath, analyzer string, out interface{}) bool {
+	if fs == nil {
+		return false
+	}
+	raw, ok := fs.packages[pkgPath][analyzer]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, out) == nil
+}
+
+// Packages returns the sorted paths of packages with at least one
+// fact.
+func (fs *FactStore) Packages() []string {
+	if fs == nil {
+		return nil
+	}
+	paths := make([]string, 0, len(fs.packages))
+	for p := range fs.packages {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// Add records analyzer's fact for pkgPath, replacing any previous one.
+func (fs *FactStore) Add(pkgPath, analyzer string, fact interface{}) error {
+	raw, err := json.Marshal(fact)
+	if err != nil {
+		return fmt.Errorf("encoding %s fact for %s: %v", analyzer, pkgPath, err)
+	}
+	m := fs.packages[pkgPath]
+	if m == nil {
+		m = map[string]json.RawMessage{}
+		fs.packages[pkgPath] = m
+	}
+	m[analyzer] = raw
+	return nil
+}
+
+// Merge copies every fact in other into fs. On conflict the existing
+// fact wins: a package's own freshly-computed facts take precedence
+// over (identical) copies arriving via a dependency's vetx file.
+func (fs *FactStore) Merge(other *FactStore) {
+	if other == nil {
+		return
+	}
+	for pkgPath, m := range other.packages {
+		dst := fs.packages[pkgPath]
+		if dst == nil {
+			dst = map[string]json.RawMessage{}
+			fs.packages[pkgPath] = dst
+		}
+		for analyzer, raw := range m {
+			if _, ok := dst[analyzer]; !ok {
+				dst[analyzer] = raw
+			}
+		}
+	}
+}
+
+// Encode serializes the store for a vetx file.
+func (fs *FactStore) Encode() ([]byte, error) {
+	return json.Marshal(factsFile{Schema: factsSchema, Packages: fs.packages})
+}
+
+// DecodeFacts parses a vetx file. Zero bytes decode to an empty store
+// (the protocol's "no facts" form); anything else must be a well-formed
+// store with the current schema tag.
+func DecodeFacts(data []byte) (*FactStore, error) {
+	fs := NewFactStore()
+	if len(data) == 0 {
+		return fs, nil
+	}
+	var file factsFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return nil, fmt.Errorf("corrupt facts file: %v", err)
+	}
+	if file.Schema != factsSchema {
+		return nil, fmt.Errorf("facts schema %q, want %q", file.Schema, factsSchema)
+	}
+	if file.Packages != nil {
+		fs.packages = file.Packages
+	}
+	return fs, nil
+}
+
+// ComputeFacts runs every analyzer's Facts hook over one package's
+// parsed files and returns the resulting store (possibly empty). The
+// hooks are syntactic, so files need not be type-checked.
+func ComputeFacts(pkgPath string, files []*ast.File, analyzers []*Analyzer) (*FactStore, error) {
+	fs := NewFactStore()
+	for _, a := range analyzers {
+		if a.Facts == nil {
+			continue
+		}
+		fact := a.Facts(files)
+		if fact == nil {
+			continue
+		}
+		if err := fs.Add(pkgPath, a.Name, fact); err != nil {
+			return nil, err
+		}
+	}
+	return fs, nil
+}
+
+// -------- directive scanning --------
+
+// Directives ride in function doc comments, in the same family as the
+// existing //ffc:hotpath marker:
+//
+//	//ffc:taint sanitizer     the function cleans its inputs
+//	//ffc:taint sink          tainted arguments must not reach it
+//	//ffc:taint source        its results are attacker-controlled
+//	//ffc:locked              callers hold the receiver's mutex
+//
+// Like all //-directives they are excluded from CommentGroup.Text, so
+// the scan walks Doc.List for the literal prefix.
+
+// funcDirective reports whether fd's doc comment carries the given
+// //ffc: directive, returning its argument text (the remainder of the
+// line, trimmed).
+func funcDirective(fd *ast.FuncDecl, directive string) (string, bool) {
+	if fd.Doc == nil {
+		return "", false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == directive {
+			return "", true
+		}
+		if rest, ok := strings.CutPrefix(c.Text, directive+" "); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// funcKey names a declared function the way facts refer to it: "Name"
+// for package-level functions, "Recv.Name" for methods with the
+// receiver's pointer stripped, e.g. "(*Spec).Build" → "Spec.Build".
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	if recv := receiverTypeName(fd.Recv.List[0].Type); recv != "" {
+		return recv + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// receiverTypeName extracts the base type name of a receiver
+// expression, unwrapping pointers and type-parameter instantiations.
+func receiverTypeName(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			e = x.X
+		case *ast.IndexListExpr: // generic receiver T[P1, P2]
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// funcObjectKey names a resolved function or method in funcKey's
+// format, for matching call sites against facts.
+func funcObjectKey(f *types.Func) string {
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return f.Name()
+	}
+	n := namedType(sig.Recv().Type())
+	if n == nil {
+		return f.Name()
+	}
+	return n.Obj().Name() + "." + f.Name()
+}

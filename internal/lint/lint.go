@@ -1,10 +1,17 @@
-// Package lint is the repository's static-analysis suite: six
-// analyzers that turn the conventions the model's reproducibility
-// rests on — construction-order float summation, seeded entropy,
-// allocation-free hot paths, non-finite-safe JSON, the exit-2
-// convention, and pooled-workspace hygiene — into build-breaking
-// diagnostics. cmd/ffcvet is the driver; docs/ANALYSIS.md describes
-// each rule and its rationale.
+// Package lint is the repository's static-analysis suite: nine
+// analyzers that turn the conventions the model's reproducibility and
+// serving path rest on — construction-order float summation, seeded
+// entropy, allocation-free hot paths, non-finite-safe JSON, the
+// exit-2 convention, pooled-workspace hygiene, sanitized untrusted
+// input (taint), cancellation-aware concurrency (ctxflow), and mutex
+// discipline (lockcheck) — into build-breaking diagnostics.
+// cmd/ffcvet is the driver; docs/ANALYSIS.md describes each rule and
+// its rationale.
+//
+// The first six analyzers are syntactic pattern checks; the last
+// three run on an intraprocedural dataflow engine (cfg.go,
+// dataflow.go) and exchange cross-package knowledge through
+// serialized facts (facts.go) carried over the go vet protocol.
 //
 // The Analyzer/Pass API deliberately mirrors
 // golang.org/x/tools/go/analysis so each analyzer ports to the real
@@ -34,6 +41,11 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+	// Facts, if non-nil, computes the fact this analyzer exports for
+	// a package from its parsed files alone (no type information —
+	// the hook runs in VetxOnly units that never load export data).
+	// Returning nil exports nothing.
+	Facts func(files []*ast.File) interface{}
 }
 
 // Pass carries one package's syntax and type information through an
@@ -44,6 +56,9 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts holds the merged fact stores of this package and every
+	// package reachable through its imports. May be nil (no facts).
+	Facts *FactStore
 
 	diags *[]Diagnostic
 }
@@ -82,6 +97,9 @@ func Analyzers() []*Analyzer {
 		FiniteJSON,
 		CLIExit,
 		PoolReturn,
+		Taint,
+		CtxFlow,
+		LockCheck,
 	}
 }
 
@@ -110,6 +128,18 @@ var detPackages = map[string]bool{
 // kernel packages.
 func isDeterministicPkg(path string) bool { return detPackages[path] }
 
+// DeterministicPackages returns the sorted deterministic-kernel list.
+// The registration-drift test in cmd/ffcvet diffs it against the
+// packages that actually declare hot paths or register metrics.
+func DeterministicPackages() []string {
+	paths := make([]string, 0, len(detPackages))
+	for p := range detPackages {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
 // isCmdPkg reports whether path is one of the repository's binaries.
 func isCmdPkg(path string) bool {
 	return strings.HasPrefix(path, modulePath+"/cmd/")
@@ -118,8 +148,9 @@ func isCmdPkg(path string) bool {
 // CheckPackage type-checks nothing — it runs the given analyzers over
 // an already type-checked package and returns their diagnostics sorted
 // by position. It is the one entry point shared by the unitchecker
-// driver and the linttest fixture harness.
-func CheckPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+// driver and the linttest fixture harness. facts may be nil when no
+// cross-package knowledge is available.
+func CheckPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactStore, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -128,6 +159,7 @@ func CheckPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			Facts:     facts,
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {

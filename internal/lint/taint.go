@@ -1,0 +1,424 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Taint tracks values that originate outside the trust boundary — HTTP
+// request bodies, io.Reader parameters of exported functions, file
+// reads — and reports when one reaches a solver sink without passing a
+// sanitizer. The sets are declared where they live: a function grows a
+// `//ffc:taint sanitizer|sink|source` directive in the package that
+// defines it, the directive is exported as a package fact, and the
+// fact is visible (transitively) wherever the function is called. The
+// canonical property this enforces: ffcd's /run path may hand request
+// bytes to core.NewSystem / System.Run / runcache.KeyOf only through
+// scenario.Load + Spec.Build (and fault.Parse for fault specs), the
+// functions that validate finiteness, bounds, and solvability.
+//
+// The analysis is an intraprocedural forward dataflow over the CFG:
+// one tainted bit per types.Object, assignments propagate, calls to
+// sanitizers clean their results, calls to unknown functions propagate
+// taint from arguments to results and through &-arguments (so
+// json.Unmarshal(data, &v) taints v). Function literals are not
+// entered — closures execute elsewhere — and _test.go files are
+// exempt, as throughout the suite.
+var Taint = &Analyzer{
+	Name: "taint",
+	Doc: "report untrusted input (HTTP bodies, io.Reader params of exported functions, file reads) " +
+		"reaching solver sinks without passing a declared sanitizer",
+	Run:   runTaint,
+	Facts: taintFactsHook,
+}
+
+// taintDirective marks a function's taint role in its doc comment:
+// "//ffc:taint sanitizer", "//ffc:taint sink", or "//ffc:taint source".
+const taintDirective = "//ffc:taint"
+
+// taintedBit is the single lattice bit: set means the object may hold
+// attacker-controlled data.
+const taintedBit Fact = 1
+
+// taintFact is the per-package fact: functions by role, in funcKey
+// form ("Load", "Spec.Build"). Slices are sorted so the encoded fact —
+// and therefore the vetx file the go command caches — is byte-stable.
+type taintFact struct {
+	Sources    []string `json:"sources,omitempty"`
+	Sanitizers []string `json:"sanitizers,omitempty"`
+	Sinks      []string `json:"sinks,omitempty"`
+}
+
+// taintFactsHook scans a package's parsed files for //ffc:taint
+// directives. Purely syntactic, per the Facts contract.
+func taintFactsHook(files []*ast.File) interface{} {
+	var fact taintFact
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			role, ok := funcDirective(fd, taintDirective)
+			if !ok {
+				continue
+			}
+			switch role {
+			case "source":
+				fact.Sources = append(fact.Sources, funcKey(fd))
+			case "sanitizer":
+				fact.Sanitizers = append(fact.Sanitizers, funcKey(fd))
+			case "sink":
+				fact.Sinks = append(fact.Sinks, funcKey(fd))
+			}
+		}
+	}
+	if len(fact.Sources)+len(fact.Sanitizers)+len(fact.Sinks) == 0 {
+		return nil
+	}
+	sort.Strings(fact.Sources)
+	sort.Strings(fact.Sanitizers)
+	sort.Strings(fact.Sinks)
+	return &fact
+}
+
+type taintRole uint8
+
+const (
+	roleNone taintRole = iota
+	roleSource
+	roleSanitizer
+	roleSink
+)
+
+// taintKey addresses one function in the role table: defining package
+// path plus funcKey.
+type taintKey struct{ pkg, fn string }
+
+// taintRoles builds the role table from the fact store plus the
+// built-in sources: standard-library file reads, which can't carry
+// directives.
+func taintRoles(facts *FactStore) map[taintKey]taintRole {
+	roles := map[taintKey]taintRole{
+		{"os", "ReadFile"}: roleSource,
+		{"os", "Open"}:     roleSource,
+	}
+	for _, pkgPath := range facts.Packages() {
+		var fact taintFact
+		if !facts.Get(pkgPath, "taint", &fact) {
+			continue
+		}
+		for _, fn := range fact.Sources {
+			roles[taintKey{pkgPath, fn}] = roleSource
+		}
+		for _, fn := range fact.Sanitizers {
+			roles[taintKey{pkgPath, fn}] = roleSanitizer
+		}
+		for _, fn := range fact.Sinks {
+			roles[taintKey{pkgPath, fn}] = roleSink
+		}
+	}
+	return roles
+}
+
+type taintRun struct {
+	pass     *Pass
+	roles    map[taintKey]taintRole
+	reported map[token.Pos]bool // the same defer call node sits in two blocks
+}
+
+func runTaint(pass *Pass) error {
+	tr := &taintRun{
+		pass:     pass,
+		roles:    taintRoles(pass.Facts),
+		reported: map[token.Pos]bool{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.IsTestFile(fd.Pos()) {
+				continue
+			}
+			// Sanitizer and sink bodies handle raw input by design.
+			if role, ok := funcDirective(fd, taintDirective); ok && (role == "sanitizer" || role == "sink") {
+				continue
+			}
+			tr.checkFunc(fd)
+		}
+	}
+	return nil
+}
+
+// checkFunc solves the taint dataflow over one function body and
+// reports sink calls reached by tainted values.
+func (tr *taintRun) checkFunc(fd *ast.FuncDecl) {
+	entry := State{}
+	exported := fd.Name.IsExported()
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				obj := tr.pass.TypesInfo.Defs[name]
+				if obj == nil {
+					continue
+				}
+				// *http.Request carries the attacker's bytes wherever it
+				// goes; a raw io.Reader is untrusted at any exported entry
+				// point (internal plumbing below that boundary is not).
+				if isNamedFrom(obj.Type(), "net/http", "Request") ||
+					(exported && isNamedFrom(obj.Type(), "io", "Reader")) {
+					entry[obj] = taintedBit
+				}
+			}
+		}
+	}
+	d := &Dataflow{CFG: NewCFG(fd.Body), Entry: entry, Transfer: tr.transfer}
+	d.Replay(d.Solve(), tr.visit)
+}
+
+// transfer interprets one CFG node for the taint lattice.
+func (tr *taintRun) transfer(n ast.Node, s State) {
+	switch st := n.(type) {
+	case *ast.AssignStmt:
+		tr.assign(st, s)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					tr.bindSpec(vs, s)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		// The head-block RangeStmt node means "bind Key/Value from X";
+		// the body lives in its own blocks, so don't descend into it.
+		t := tr.tainted(st.X, s)
+		tr.setExpr(st.Key, t, s)
+		tr.setExpr(st.Value, t, s)
+		return
+	}
+	// Calls may write through pointer arguments: an unknown call with a
+	// tainted argument taints every &-argument (json.Unmarshal(data,
+	// &v) taints v). Sanitizer calls are the exception — cleaning
+	// through a pointer is their job.
+	inspectExec(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !tr.anyArgTainted(call, s) {
+			return true
+		}
+		if f := calleeFunc(tr.pass.TypesInfo, call); f != nil && tr.role(f) == roleSanitizer {
+			return true
+		}
+		for _, a := range call.Args {
+			if ue, ok := ast.Unparen(a).(*ast.UnaryExpr); ok && ue.Op == token.AND {
+				if obj := rootObject(tr.pass.TypesInfo, ue.X); obj != nil {
+					s[obj] |= taintedBit
+				}
+			}
+		}
+		return true
+	})
+}
+
+// visit reports sink calls whose receiver or any argument is tainted
+// in the state reaching the node.
+func (tr *taintRun) visit(n ast.Node, s State) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		n = rs.X // the body is not executed here
+	}
+	inspectExec(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(tr.pass.TypesInfo, call)
+		if f == nil || tr.role(f) != roleSink || tr.reported[call.Lparen] {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+			tr.pass.TypesInfo.Selections[sel] != nil && tr.tainted(sel.X, s) {
+			tr.report(call, f)
+			return true
+		}
+		if tr.anyArgTainted(call, s) {
+			tr.report(call, f)
+		}
+		return true
+	})
+}
+
+func (tr *taintRun) report(call *ast.CallExpr, f *types.Func) {
+	tr.reported[call.Lparen] = true
+	tr.pass.Reportf(call.Lparen,
+		"untrusted value reaches sink %s.%s without passing a sanitizer (scenario.Load/Build, fault.Parse)",
+		f.Pkg().Name(), funcObjectKey(f))
+}
+
+// assign applies an assignment statement: plain identifier targets get
+// a strong update (assigning a clean value cleans the variable); field
+// and index targets weakly taint their root.
+func (tr *taintRun) assign(st *ast.AssignStmt, s State) {
+	if len(st.Lhs) > 1 && len(st.Rhs) == 1 {
+		// x, err := f(...): every result of a tainted call is tainted.
+		t := tr.tainted(st.Rhs[0], s)
+		for _, lhs := range st.Lhs {
+			tr.setExpr(lhs, t, s)
+		}
+		return
+	}
+	for i, lhs := range st.Lhs {
+		if i >= len(st.Rhs) {
+			break
+		}
+		t := tr.tainted(st.Rhs[i], s)
+		if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+			t = t || tr.tainted(lhs, s) // compound ops keep the old taint
+		}
+		tr.setExpr(lhs, t, s)
+	}
+}
+
+// bindSpec applies a var declaration.
+func (tr *taintRun) bindSpec(vs *ast.ValueSpec, s State) {
+	if len(vs.Values) == 1 && len(vs.Names) > 1 {
+		t := tr.tainted(vs.Values[0], s)
+		for _, name := range vs.Names {
+			tr.setIdent(name, t, s)
+		}
+		return
+	}
+	for i, name := range vs.Names {
+		t := false
+		if i < len(vs.Values) {
+			t = tr.tainted(vs.Values[i], s)
+		}
+		tr.setIdent(name, t, s)
+	}
+}
+
+// setExpr updates the object an assignment target denotes. A nil
+// target (blank range key) is ignored.
+func (tr *taintRun) setExpr(lhs ast.Expr, t bool, s State) {
+	if lhs == nil {
+		return
+	}
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		tr.setIdent(id, t, s)
+		return
+	}
+	// x.f = v, x[i] = v: field-insensitive, so taint the root weakly.
+	if t {
+		if obj := rootObject(tr.pass.TypesInfo, lhs); obj != nil {
+			s[obj] |= taintedBit
+		}
+	}
+}
+
+func (tr *taintRun) setIdent(id *ast.Ident, t bool, s State) {
+	if id.Name == "_" {
+		return
+	}
+	obj := usedObject(tr.pass.TypesInfo, id)
+	if obj == nil {
+		return
+	}
+	if t {
+		s[obj] |= taintedBit
+	} else {
+		delete(s, obj)
+	}
+}
+
+// tainted reports whether evaluating e may yield attacker-controlled
+// data under state s.
+func (tr *taintRun) tainted(e ast.Expr, s State) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := usedObject(tr.pass.TypesInfo, x)
+		return obj != nil && s[obj]&taintedBit != 0
+	case *ast.CallExpr:
+		return tr.callTainted(x, s)
+	case *ast.SelectorExpr:
+		return tr.tainted(x.X, s) // r.Body is as tainted as r
+	case *ast.IndexExpr:
+		return tr.tainted(x.X, s)
+	case *ast.IndexListExpr:
+		return tr.tainted(x.X, s)
+	case *ast.SliceExpr:
+		return tr.tainted(x.X, s)
+	case *ast.StarExpr:
+		return tr.tainted(x.X, s)
+	case *ast.TypeAssertExpr:
+		return tr.tainted(x.X, s)
+	case *ast.UnaryExpr:
+		return tr.tainted(x.X, s) // includes &x and <-ch
+	case *ast.BinaryExpr:
+		return tr.tainted(x.X, s) || tr.tainted(x.Y, s)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if tr.tainted(el, s) {
+				return true
+			}
+		}
+	}
+	return false // literals, func literals, type exprs
+}
+
+// callTainted decides whether a call's result is tainted: sanitizers
+// clean, sources taint, everything else — including conversions and
+// calls the analysis can't see into — propagates from receiver and
+// arguments.
+func (tr *taintRun) callTainted(call *ast.CallExpr, s State) bool {
+	if tv, ok := tr.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return len(call.Args) == 1 && tr.tainted(call.Args[0], s)
+	}
+	if f := calleeFunc(tr.pass.TypesInfo, call); f != nil {
+		switch tr.role(f) {
+		case roleSanitizer:
+			return false
+		case roleSource:
+			return true
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+		tr.pass.TypesInfo.Selections[sel] != nil && tr.tainted(sel.X, s) {
+		return true // method on a tainted receiver
+	}
+	return tr.anyArgTainted(call, s)
+}
+
+func (tr *taintRun) anyArgTainted(call *ast.CallExpr, s State) bool {
+	for _, a := range call.Args {
+		if tr.tainted(a, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (tr *taintRun) role(f *types.Func) taintRole {
+	if f.Pkg() == nil {
+		return roleNone
+	}
+	return tr.roles[taintKey{f.Pkg().Path(), funcObjectKey(f)}]
+}
+
+// inspectExec walks the subtree of one CFG node, skipping function
+// literals: a closure's body runs when the closure is called, not
+// where it is written, so its statements are not part of this node's
+// execution.
+func inspectExec(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(m)
+	})
+}

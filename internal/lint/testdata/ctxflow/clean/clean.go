@@ -1,0 +1,65 @@
+// The ctxflow silent fixture: every blocking operation either selects
+// on cancellation, uses a provably buffered one-shot channel, or
+// threads the context into the goroutine.
+package parallel
+
+import "context"
+
+// Run is the worker-pool shape internal/parallel uses: sends race
+// against ctx.Done, the error channel is a one-shot buffer.
+func Run(ctx context.Context, jobs []int) error {
+	work := make(chan int)
+	errc := make(chan error, 1)
+	go func() {
+		defer close(work)
+		for _, j := range jobs {
+			select {
+			case work <- j:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		for j := range work {
+			if err := handle(ctx, j); err != nil {
+				select {
+				case errc <- err:
+				default:
+				}
+				return
+			}
+		}
+		errc <- nil
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryPublish uses a default case, so the send can never block.
+func TryPublish(out chan int, v int) bool {
+	select {
+	case out <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// SpawnWithCtx hands the context to the goroutine; the closure is
+// trusted to use it.
+func SpawnWithCtx(ctx context.Context, results chan int) {
+	go func() {
+		select {
+		case results <- compute():
+		case <-ctx.Done():
+		}
+	}()
+}
+
+func handle(ctx context.Context, j int) error { return nil }
+func compute() int                            { return 0 }

@@ -1,0 +1,55 @@
+// The ctxflow fire fixture: blocking channel operations in a
+// concurrent package (import path maps onto internal/serve) that
+// ignore their context.
+package serve
+
+import "context"
+
+// Publish sends on an unbuffered channel with no select: if the
+// receiver is gone the send blocks forever and cancellation never
+// reaches it.
+func Publish(ctx context.Context, out chan int, v int) {
+	out <- v // want "blocking channel send without a select"
+}
+
+// Acquire takes a semaphore slot whose capacity is runtime-sized, so
+// the analyzer cannot prove the send won't block.
+func Acquire(ctx context.Context, n int) chan struct{} {
+	sem := make(chan struct{}, n)
+	sem <- struct{}{} // want "blocking channel send without a select"
+	return sem
+}
+
+// Forward selects, but with no default and no <-ctx.Done() clause the
+// select blocks exactly like a bare send.
+func Forward(ctx context.Context, out chan int, v int) {
+	select {
+	case out <- v: // want `select send has no <-ctx\.Done\(\) or default case and can block forever`
+	}
+}
+
+// Spawn launches a goroutine that sends on an unbuffered channel
+// without ever consulting a context.
+func Spawn(results chan int) {
+	go func() { // want "goroutine body has a blocking channel send but references no context.Context"
+		results <- compute()
+	}()
+}
+
+// OneShot is the sanctioned error-return pattern: a constant-capacity
+// buffer absorbs the single send, so nothing here fires.
+func OneShot(ctx context.Context) error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func compute() int { return 0 }
+func run() error   { return nil }

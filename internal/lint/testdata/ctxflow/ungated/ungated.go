@@ -1,0 +1,9 @@
+// The ctxflow gating fixture: this package's import path maps onto
+// internal/report, which is not one of the concurrent packages the
+// analyzer patrols, so even a textbook blocking send stays silent.
+package report
+
+// Emit would fire in internal/serve; here it is out of scope.
+func Emit(out chan int, v int) {
+	out <- v
+}

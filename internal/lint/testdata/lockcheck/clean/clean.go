@@ -1,0 +1,47 @@
+// The lockcheck silent fixture: disciplined locking, an //ffc:locked
+// helper, and an immutable field that never needs the lock.
+package cachegood
+
+import "sync"
+
+// store is the shape internal/runcache uses: every access to m goes
+// through the mutex, and add documents its precondition with
+// //ffc:locked instead of re-acquiring.
+type store struct {
+	mu  sync.Mutex
+	m   map[string]int
+	cap int
+}
+
+func newStore(cap int) *store {
+	return &store{m: make(map[string]int), cap: cap}
+}
+
+func (s *store) Put(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.add(k, v)
+}
+
+func (s *store) Get(k string) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[k]
+	return v, ok
+}
+
+// add inserts without re-locking. Callers hold s.mu.
+//
+//ffc:locked
+func (s *store) add(k string, v int) {
+	if len(s.m) >= s.cap {
+		return
+	}
+	s.m[k] = v
+}
+
+// Cap reads the immutable capacity without the lock: cap is written
+// only at construction, never under mu, so no discipline is inferred.
+func (s *store) Cap() int {
+	return s.cap
+}

@@ -1,0 +1,77 @@
+// The lockcheck fire fixture: fields that are mutex-guarded on some
+// paths and touched bare on others.
+package cachebad
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counter guards n with mu in Inc but skips the lock elsewhere.
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) Reset() {
+	c.n = 0 // want "field n is written under the mutex elsewhere but accessed here without holding it"
+}
+
+func (c *counter) Get() int {
+	return c.n // want "field n is written under the mutex elsewhere but accessed here without holding it"
+}
+
+// table writes v under the write lock in Set, but Bump mutates it
+// while holding only the read lock.
+type table struct {
+	mu sync.RWMutex
+	v  map[string]int
+}
+
+func (t *table) Set(k string, n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.v[k] = n
+}
+
+func (t *table) Bump(k string) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.v[k]++ // want "write to mutex-guarded field v while holding only the read lock"
+}
+
+// gauge mixes atomic and plain access to val.
+type gauge struct {
+	mu  sync.Mutex
+	val int64
+}
+
+func (g *gauge) Add(d int64) {
+	atomic.AddInt64(&g.val, d)
+}
+
+func (g *gauge) Zero() {
+	g.val = 0 // want "field val is accessed atomically elsewhere but written plainly here without the lock"
+}
+
+// maybeCounter only conditionally takes the lock, so the state at the
+// access is "maybe locked" — the analyzer stays quiet rather than
+// guess.
+type maybeCounter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (m *maybeCounter) Inc(locked bool) {
+	if !locked {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+	}
+	m.n++
+}

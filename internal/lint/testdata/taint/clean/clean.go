@@ -1,0 +1,62 @@
+// The taint silent fixture: the sanctioned path. Untrusted bytes reach
+// the solver only through the sanitizers, so every line stays quiet.
+package goodserve
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+
+	"github.com/nettheory/feedbackflow/internal/core"
+	"github.com/nettheory/feedbackflow/internal/fault"
+	"github.com/nettheory/feedbackflow/internal/runcache"
+	"github.com/nettheory/feedbackflow/internal/scenario"
+)
+
+// HandleRun is the shape internal/serve actually has: Load validates
+// the body, Build assembles the system, Parse validates the fault
+// spec, and only sanitized material is hashed or run.
+func HandleRun(w http.ResponseWriter, r *http.Request) {
+	spec, err := scenario.Load(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sys, r0, err := spec.Build()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cfg, err := fault.Parse(r.URL.Query().Get("faults"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	canon, err := spec.Canonical()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	key := runcache.KeyOf(canon, []byte(cfg.String()))
+	_ = key
+	res, err := sys.Run(r0, core.RunOptions{})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	_ = res
+}
+
+// LoadFile shows the file-source path: os.ReadFile taints the bytes,
+// Load+Build clean them.
+func LoadFile(path string) (*core.System, []float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec, err := scenario.Load(bytes.NewReader(data))
+	if err != nil {
+		return nil, nil, err
+	}
+	return spec.Build()
+}

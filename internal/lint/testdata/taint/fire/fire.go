@@ -1,0 +1,57 @@
+// The taint fire fixture: request bytes flow into the solver sinks
+// without passing scenario.Load/Build or fault.Parse. The sink facts
+// come from the real internal/core and internal/runcache sources.
+package badserve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"github.com/nettheory/feedbackflow/internal/control"
+	"github.com/nettheory/feedbackflow/internal/core"
+	"github.com/nettheory/feedbackflow/internal/queueing"
+	"github.com/nettheory/feedbackflow/internal/runcache"
+	"github.com/nettheory/feedbackflow/internal/signal"
+	"github.com/nettheory/feedbackflow/internal/topology"
+)
+
+type runRequest struct {
+	Size    int       `json:"size"`
+	Hops    int       `json:"hops"`
+	Initial []float64 `json:"initial"`
+}
+
+// HandleRun decodes the request body straight into system parameters —
+// the exact bug class the analyzer exists for.
+func HandleRun(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req runRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	net, err := topology.Ring(req.Size, req.Hops, 1.0, 0.1)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	laws := control.Uniform(control.AdditiveTSI{Eta: 0.1, BSS: 0.5}, req.Size)
+	sys, err := core.NewSystem(net, queueing.FIFO{}, signal.Aggregate, signal.Rational{}, laws) // want "untrusted value reaches sink core.NewSystem"
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := sys.Run(req.Initial, core.RunOptions{}) // want "untrusted value reaches sink core.System.Run"
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	key := runcache.KeyOf(body) // want "untrusted value reaches sink runcache.KeyOf"
+	_ = key
+	_ = json.NewEncoder(w).Encode(res.Stats)
+}

@@ -10,19 +10,27 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"sort"
 	"strings"
 )
 
 // This file implements the `go vet -vettool` protocol — the same
 // contract golang.org/x/tools/go/analysis/unitchecker fulfills — using
 // only the standard library. The go command invokes the tool once per
-// package with a JSON config file naming the package's sources and the
-// export-data files of its dependencies; the tool type-checks from
-// those, runs its analyzers, prints diagnostics to stderr as
-// file:line:col: message, and exits 1 when it found any. Import
-// resolution goes through go/importer's gc importer with a lookup
-// function over the config's PackageFile map, exactly as unitchecker
-// does.
+// package with a JSON config file naming the package's sources, the
+// export-data files of its dependencies, and the facts (vetx) files of
+// its direct imports; the tool type-checks from those, runs its
+// analyzers with the merged facts, writes its own facts file, prints
+// diagnostics, and exits 1 when it found any. Import resolution goes
+// through go/importer's gc importer with a lookup function over the
+// config's PackageFile map, exactly as unitchecker does.
+//
+// Dependency-only units arrive with VetxOnly set: the go command wants
+// just the facts file. Standard-library packages can never carry this
+// suite's facts (facts originate from //ffc: directives in module
+// source), so their units complete without even parsing; module
+// packages are parsed — but not type-checked — to run the syntactic
+// Facts hooks.
 
 // vetConfig mirrors the JSON config the go command writes for vet
 // tools (cmd/go/internal/work's vetConfig).
@@ -44,40 +52,75 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// JSONDiagnostic is the machine-readable diagnostic form emitted by
+// ffcvet -json, one JSON object per line on stdout. CI turns these
+// into GitHub annotations.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 // RunUnitChecker executes the vettool protocol for one package config
 // and returns the process exit code: 0 clean, 1 diagnostics reported,
-// 2 protocol or type-check failure.
-func RunUnitChecker(cfgFile string, analyzers []*Analyzer, stderr io.Writer) int {
+// 2 protocol or type-check failure. Diagnostics go to stderr as
+// file:line:col: message, or to stdout as JSON lines when jsonMode is
+// set; errors always go to stderr.
+func RunUnitChecker(cfgFile string, analyzers []*Analyzer, stdout, stderr io.Writer, jsonMode bool) int {
 	cfg, err := readVetConfig(cfgFile)
 	if err != nil {
 		fmt.Fprintf(stderr, "ffcvet: %v\n", err)
 		return 2
 	}
-	// Facts are not used by this suite; an empty facts file satisfies
-	// the protocol (and caches) either way. In VetxOnly mode — the go
-	// command gathering facts for a dependency — that is the whole job.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fmt.Fprintf(stderr, "ffcvet: writing facts: %v\n", err)
+
+	// Dependency-only unit: produce the facts file and stop. Facts
+	// come only from module source, so standard-library units write
+	// the empty store without parsing anything.
+	if cfg.VetxOnly {
+		facts := NewFactStore()
+		if !stdPackage(cfg) {
+			fset := token.NewFileSet()
+			files, perr := parseUnit(fset, cfg)
+			if perr != nil {
+				fmt.Fprintf(stderr, "ffcvet: %v\n", perr)
+				return 2
+			}
+			if facts, err = unitFacts(cfg, files, analyzers); err != nil {
+				fmt.Fprintf(stderr, "ffcvet: %v\n", err)
+				return 2
+			}
+		}
+		if err := writeFacts(cfg, facts); err != nil {
+			fmt.Fprintf(stderr, "ffcvet: %v\n", err)
 			return 2
 		}
-	}
-	if cfg.VetxOnly {
 		return 0
 	}
 
 	fset := token.NewFileSet()
-	var files []*ast.File
-	for _, name := range cfg.GoFiles {
-		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
-		if err != nil {
-			if cfg.SucceedOnTypecheckFailure {
-				return 0
-			}
-			fmt.Fprintf(stderr, "ffcvet: %v\n", err)
-			return 2
+	files, err := parseUnit(fset, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
 		}
-		files = append(files, f)
+		fmt.Fprintf(stderr, "ffcvet: %v\n", err)
+		return 2
+	}
+
+	// Facts: this package's own (syntactic) plus everything visible
+	// through its direct imports' vetx files. The merged store is both
+	// what the analyzers read and what this unit's vetx file carries
+	// forward to importers.
+	facts, err := unitFacts(cfg, files, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "ffcvet: %v\n", err)
+		return 2
+	}
+	if err := writeFacts(cfg, facts); err != nil {
+		fmt.Fprintf(stderr, "ffcvet: %v\n", err)
+		return 2
 	}
 
 	pkg, info, err := typecheckUnit(fset, cfg, files)
@@ -89,13 +132,25 @@ func RunUnitChecker(cfgFile string, analyzers []*Analyzer, stderr io.Writer) int
 		return 2
 	}
 
-	diags, err := CheckPackage(fset, files, pkg, info, analyzers)
+	diags, err := CheckPackage(fset, files, pkg, info, facts, analyzers)
 	if err != nil {
 		fmt.Fprintf(stderr, "ffcvet: %v\n", err)
 		return 2
 	}
 	for _, d := range diags {
-		fmt.Fprintf(stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		pos := fset.Position(d.Pos)
+		if jsonMode {
+			line, _ := json.Marshal(JSONDiagnostic{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+			fmt.Fprintf(stdout, "%s\n", line)
+		} else {
+			fmt.Fprintf(stderr, "%s: %s [%s]\n", pos, d.Message, d.Analyzer)
+		}
 	}
 	if len(diags) > 0 {
 		return 1
@@ -117,6 +172,79 @@ func readVetConfig(path string) (*vetConfig, error) {
 		return nil, fmt.Errorf("vet config %s has no import path", path)
 	}
 	return cfg, nil
+}
+
+// parseUnit parses the unit's Go sources with comments (the Facts
+// hooks and several analyzers read directives).
+func parseUnit(fset *token.FileSet, cfg *vetConfig) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// stdPackage reports whether the unit is a standard-library package:
+// either the config says so, or the import path's first element has no
+// dot (the go command's own heuristic).
+func stdPackage(cfg *vetConfig) bool {
+	if cfg.Standard[cfg.ImportPath] {
+		return true
+	}
+	first, _, _ := strings.Cut(cfg.ImportPath, "/")
+	return !strings.Contains(first, ".")
+}
+
+// unitFacts computes the unit's own facts and merges in the fact
+// stores of its direct imports. A corrupt or unreadable vetx file is a
+// protocol failure: silently dropping facts would disable taint
+// checking without a diagnostic.
+func unitFacts(cfg *vetConfig, files []*ast.File, analyzers []*Analyzer) (*FactStore, error) {
+	facts, err := ComputeFacts(cfg.ImportPath, files, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(cfg.PackageVetx))
+	for p := range cfg.PackageVetx {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		data, err := os.ReadFile(cfg.PackageVetx[p])
+		if err != nil {
+			return nil, fmt.Errorf("reading facts of %s: %v", p, err)
+		}
+		dep, err := DecodeFacts(data)
+		if err != nil {
+			return nil, fmt.Errorf("facts of %s: %v", p, err)
+		}
+		facts.Merge(dep)
+	}
+	return facts, nil
+}
+
+// writeFacts persists the unit's merged fact store to its VetxOutput.
+// An empty store is written as an empty file, the protocol's canonical
+// "no facts" form.
+func writeFacts(cfg *vetConfig, facts *FactStore) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	var data []byte
+	if len(facts.Packages()) > 0 {
+		var err error
+		if data, err = facts.Encode(); err != nil {
+			return fmt.Errorf("encoding facts: %v", err)
+		}
+	}
+	if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+		return fmt.Errorf("writing facts: %v", err)
+	}
+	return nil
 }
 
 // typecheckUnit type-checks one vet unit against the export data of

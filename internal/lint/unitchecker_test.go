@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeUnitFile writes one file into dir and returns its path.
+func writeUnitFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runUnit marshals cfg, runs the unitchecker on it, and returns the
+// exit code with captured output.
+func runUnit(t *testing.T, dir string, cfg *vetConfig) (code int, stdout, stderr string) {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := writeUnitFile(t, dir, cfg.ID+".cfg", string(data))
+	var out, errBuf bytes.Buffer
+	code = RunUnitChecker(cfgPath, Analyzers(), &out, &errBuf, false)
+	return code, out.String(), errBuf.String()
+}
+
+// TestFactsRoundTripThroughVetx drives the protocol the way the go
+// command does: a VetxOnly unit for a package declaring a taint sink
+// must export the fact, and a downstream VetxOnly unit that receives
+// that vetx as a direct-import fact file must carry it forward in its
+// own vetx (transitive visibility for indirect importers).
+func TestFactsRoundTripThroughVetx(t *testing.T) {
+	dir := t.TempDir()
+	src := writeUnitFile(t, dir, "a.go", `package a
+
+// Boom is the solver entry point.
+//
+//ffc:taint sink
+func Boom(data []byte) int { return len(data) }
+
+// Clean validates input.
+//
+//ffc:taint sanitizer
+func Clean(data []byte) []byte { return data }
+`)
+	aVetx := filepath.Join(dir, "a.vetx")
+	code, _, stderr := runUnit(t, dir, &vetConfig{
+		ID:         "a",
+		ImportPath: "example.com/a",
+		GoFiles:    []string{src},
+		VetxOnly:   true,
+		VetxOutput: aVetx,
+	})
+	if code != 0 {
+		t.Fatalf("VetxOnly unit for a: exit %d, stderr %q", code, stderr)
+	}
+	data, err := os.ReadFile(aVetx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts, err := DecodeFacts(data)
+	if err != nil {
+		t.Fatalf("decoding a.vetx: %v", err)
+	}
+	var fact taintFact
+	if !facts.Get("example.com/a", "taint", &fact) {
+		t.Fatalf("a.vetx carries no taint fact for example.com/a; packages: %v", facts.Packages())
+	}
+	if len(fact.Sinks) != 1 || fact.Sinks[0] != "Boom" {
+		t.Errorf("sinks = %v, want [Boom]", fact.Sinks)
+	}
+	if len(fact.Sanitizers) != 1 || fact.Sanitizers[0] != "Clean" {
+		t.Errorf("sanitizers = %v, want [Clean]", fact.Sanitizers)
+	}
+
+	// The importer's unit: no directives of its own, a's vetx as its
+	// only direct-import fact file. Its output vetx must still name a's
+	// sink, or packages importing b but not a would lose the fact.
+	bSrc := writeUnitFile(t, dir, "b.go", `package b
+`)
+	bVetx := filepath.Join(dir, "b.vetx")
+	code, _, stderr = runUnit(t, dir, &vetConfig{
+		ID:          "b",
+		ImportPath:  "example.com/b",
+		GoFiles:     []string{bSrc},
+		VetxOnly:    true,
+		PackageVetx: map[string]string{"example.com/a": aVetx},
+		VetxOutput:  bVetx,
+	})
+	if code != 0 {
+		t.Fatalf("VetxOnly unit for b: exit %d, stderr %q", code, stderr)
+	}
+	data, err = os.ReadFile(bVetx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forwarded, err := DecodeFacts(data)
+	if err != nil {
+		t.Fatalf("decoding b.vetx: %v", err)
+	}
+	fact = taintFact{}
+	if !forwarded.Get("example.com/a", "taint", &fact) || len(fact.Sinks) != 1 {
+		t.Errorf("b.vetx lost a's taint fact; packages: %v", forwarded.Packages())
+	}
+}
+
+// TestStdPackageVetxIsEmpty checks that standard-library units write
+// the canonical empty facts file without being parsed (their GoFiles
+// are deliberately bogus here), and that the empty form decodes to an
+// empty store.
+func TestStdPackageVetxIsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	vetx := filepath.Join(dir, "fmt.vetx")
+	code, _, stderr := runUnit(t, dir, &vetConfig{
+		ID:         "fmt",
+		ImportPath: "fmt",
+		GoFiles:    []string{filepath.Join(dir, "does-not-exist.go")},
+		Standard:   map[string]bool{"fmt": true},
+		VetxOnly:   true,
+		VetxOutput: vetx,
+	})
+	if code != 0 {
+		t.Fatalf("std unit: exit %d, stderr %q", code, stderr)
+	}
+	data, err := os.ReadFile(vetx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Errorf("std vetx is %d bytes, want the empty no-facts form", len(data))
+	}
+	facts, err := DecodeFacts(data)
+	if err != nil {
+		t.Fatalf("empty vetx must decode cleanly: %v", err)
+	}
+	if got := facts.Packages(); len(got) != 0 {
+		t.Errorf("empty vetx decoded to packages %v", got)
+	}
+}
+
+// TestEmptyImportVetxAccepted checks the common case of depending on a
+// fact-free package: an empty vetx input contributes nothing and fails
+// nothing.
+func TestEmptyImportVetxAccepted(t *testing.T) {
+	dir := t.TempDir()
+	depVetx := writeUnitFile(t, dir, "dep.vetx", "")
+	src := writeUnitFile(t, dir, "c.go", `package c
+`)
+	code, _, stderr := runUnit(t, dir, &vetConfig{
+		ID:          "c",
+		ImportPath:  "example.com/c",
+		GoFiles:     []string{src},
+		VetxOnly:    true,
+		PackageVetx: map[string]string{"example.com/dep": depVetx},
+		VetxOutput:  filepath.Join(dir, "c.vetx"),
+	})
+	if code != 0 {
+		t.Fatalf("unit with empty dep vetx: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestCorruptImportVetxIsProtocolFailure checks that a corrupt facts
+// file exits 2 rather than silently dropping the dependency's facts —
+// dropped facts would disable taint checking with no diagnostic.
+func TestCorruptImportVetxIsProtocolFailure(t *testing.T) {
+	dir := t.TempDir()
+	src := writeUnitFile(t, dir, "d.go", `package d
+`)
+	for name, garbage := range map[string]string{
+		"not-json":     "not json at all {{",
+		"wrong-schema": `{"schema":"someone-elses/v9","packages":{}}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			depVetx := writeUnitFile(t, dir, name+".vetx", garbage)
+			code, _, stderr := runUnit(t, dir, &vetConfig{
+				ID:          "d-" + name,
+				ImportPath:  "example.com/d",
+				GoFiles:     []string{src},
+				VetxOnly:    true,
+				PackageVetx: map[string]string{"example.com/dep": depVetx},
+				VetxOutput:  filepath.Join(dir, "d-"+name+".vetx"),
+			})
+			if code != 2 {
+				t.Fatalf("corrupt dep vetx: exit %d, want 2 (stderr %q)", code, stderr)
+			}
+			if !bytes.Contains([]byte(stderr), []byte("example.com/dep")) {
+				t.Errorf("stderr %q does not name the corrupt dependency", stderr)
+			}
+		})
+	}
+}

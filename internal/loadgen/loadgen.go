@@ -234,7 +234,15 @@ func (c Config) runOpenStage(ctx context.Context, st Stage, stats, total *stageS
 		}
 		next = next.Add(interval)
 		idx := int(zipf.Uint64())
-		sem <- struct{}{}
+		// At MaxInflight the send blocks until a request completes;
+		// selecting on ctx.Done keeps cancellation from hanging here
+		// when every in-flight request is itself stuck.
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			wg.Wait()
+			return 0, ctx.Err()
+		}
 		wg.Add(1)
 		go func() {
 			defer func() { <-sem; wg.Done() }()

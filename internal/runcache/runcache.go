@@ -41,6 +41,13 @@ type Key [sha256.Size]byte
 // KeyOf hashes the given parts into a Key. Each part is prefixed with
 // its length, so the part boundaries are part of the address:
 // KeyOf(a, bc) differs from KeyOf(ab, c).
+//
+// KeyOf is a taint sink: every cached key must be canonical, so only
+// sanitized material (a spec that survived scenario.Load/Build, a
+// fault config from fault.Parse) may be hashed — raw request bytes
+// would let an attacker mint distinct keys for equivalent runs.
+//
+//ffc:taint sink
 func KeyOf(parts ...[]byte) Key {
 	h := sha256.New()
 	var n [8]byte
@@ -202,6 +209,8 @@ func (c *Cache) Get(key Key) ([]byte, bool) {
 
 // add inserts the value and evicts from the cold end until both
 // bounds hold again. Callers hold c.mu.
+//
+//ffc:locked
 func (c *Cache) add(key Key, val []byte) {
 	if c.maxBytes > 0 && int64(len(val)) > c.maxBytes {
 		c.oversize.Inc()
