@@ -15,7 +15,7 @@ STATICCHECK_VERSION := 2024.1.1
 
 GO ?= go
 
-.PHONY: all build test race lint vet ffcvet staticcheck fmt bench bench-kernel chaos serve-smoke bench-serve clean
+.PHONY: all build test race lint vet ffcvet staticcheck fmt bench bench-kernel chaos serve-smoke bench-serve cluster-smoke bench-cluster clean
 
 all: build test
 
@@ -113,6 +113,29 @@ bench-serve:
 	kill $$FFCD_PID 2>/dev/null || true; \
 	wait $$FFCD_PID 2>/dev/null || true
 	@echo "bench-serve: wrote $(BENCH_SERVE_OUT)"
+
+# Gateway smoke (docs/CLUSTER.md): the cluster package's deterministic
+# unit suite — ring remap bounds, breaker lifecycle, retry/hedge
+# schedules on a fake clock, batch fan-out — under the race detector,
+# plus the subprocess integration tests: two real replicas behind a
+# real ffcgw with byte-identical sharded hits and a clean SIGTERM
+# drain, and the chaos contract (SIGKILL one of three replicas
+# mid-load, zero client-visible failures, only the dead shard remaps).
+cluster-smoke:
+	$(GO) test -race -count=1 ./internal/cluster/
+	$(GO) test -race -run 'TestGateway(Smoke|Chaos)' -count=1 ./cmd/ffcgw/
+
+# bench-cluster (docs/CLUSTER.md): drive the same zipf workload through
+# gateways fronting 1-, 2-, and 4-replica pools whose per-replica
+# caches hold a quarter of the corpus — the aggregate hit ratio must
+# climb with replica count — then SIGKILL one of three replicas under
+# load and record the recovery. Writes the versioned bench-cluster/v1
+# report; BENCH_CLUSTER_OUT overrides the path.
+BENCH_CLUSTER_OUT ?= BENCH_SERVE_PR9.json
+
+bench-cluster:
+	BENCH_CLUSTER_OUT=$(BENCH_CLUSTER_OUT) $(GO) test -run TestWriteBenchCluster -count=1 -v ./cmd/ffcgw/
+	@echo "bench-cluster: wrote $(BENCH_CLUSTER_OUT)"
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,268 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/nettheory/feedbackflow/internal/loadgen"
+	"github.com/nettheory/feedbackflow/internal/obs"
+)
+
+// benchClusterSchema identifies the bench-cluster report JSON schema.
+const benchClusterSchema = "feedbackflow/bench-cluster/v1"
+
+// clusterPoint is one replica-count measurement: the client-side view
+// from ffload's kernel plus the gateway's own counters.
+type clusterPoint struct {
+	Replicas      int              `json:"replicas"`
+	Requests      int64            `json:"requests"`
+	HitRatio      obs.Float        `json:"hit_ratio"`
+	P50Ms         obs.Float        `json:"p50_ms"`
+	P99Ms         obs.Float        `json:"p99_ms"`
+	ThroughputRPS obs.Float        `json:"throughput_rps"`
+	Gateway       map[string]int64 `json:"gateway"`
+}
+
+// killOneReport is the recovery half of the bench: load runs across a
+// pool, one replica is SIGKILLed mid-stream, and the gateway must
+// absorb it without client-visible failures.
+type killOneReport struct {
+	Replicas        int              `json:"replicas"`
+	Requests        int64            `json:"requests"`
+	Failures        int64            `json:"failures"`
+	EjectMs         obs.Float        `json:"eject_ms"`
+	PreKillHitRatio obs.Float        `json:"pre_kill_hit_ratio"`
+	RecoveryRatio   obs.Float        `json:"post_kill_hit_ratio"`
+	Gateway         map[string]int64 `json:"gateway"`
+}
+
+type clusterBenchReport struct {
+	Schema              string         `json:"schema"`
+	CorpusSize          int            `json:"corpus_size"`
+	ReplicaCacheEntries int            `json:"replica_cache_entries"`
+	Seed                uint64         `json:"seed"`
+	ZipfS               obs.Float      `json:"zipf_s"`
+	Points              []clusterPoint `json:"points"`
+	KillOne             killOneReport  `json:"kill_one"`
+}
+
+// spawnPool boots n small-cache replicas plus a gateway fronting them
+// and returns the gateway base URL with an explicit teardown (the
+// bench reuses ports sequentially, so each point must actually stop).
+func spawnPool(t *testing.T, n, cacheEntries int) (base string, stop func()) {
+	t.Helper()
+	os.Setenv("FFCGW_REPLICA_CACHE_ENTRIES", strconv.Itoa(cacheEntries))
+	defer os.Unsetenv("FFCGW_REPLICA_CACHE_ENTRIES")
+
+	var cmds []*exec.Cmd
+	var urls []string
+	for i := 0; i < n; i++ {
+		cmd, u := spawn(t, "replica")
+		cmds = append(cmds, cmd)
+		urls = append(urls, u)
+	}
+	gw, base := spawn(t, "gateway",
+		"-addr", "127.0.0.1:0",
+		"-replicas", strings.Join(urls, ","),
+		"-probe-interval", "50ms",
+		"-probe-timeout", "500ms",
+		"-eject-after", "2",
+		"-max-attempts", "4",
+		"-base-delay", "5ms",
+		"-hedge-after", "250ms",
+		"-request-timeout", "10s",
+	)
+	cmds = append(cmds, gw)
+	return base, func() {
+		for _, c := range cmds {
+			c.Process.Kill()
+			c.Wait()
+		}
+	}
+}
+
+// TestWriteBenchCluster is the opt-in cluster bench behind
+// `make bench-cluster`: the same zipf workload is driven through
+// gateways fronting 1-, 2-, and 4-replica pools whose per-replica
+// result caches hold only a quarter of the corpus, so the aggregate
+// hit ratio must climb with replica count — the consistent-hash ring's
+// capacity-scaling claim, measured. A second scenario SIGKILLs one of
+// three replicas mid-load and records the recovery: ejection latency,
+// zero client-visible failures, and the hit ratio once the dead shard
+// re-warms on its failover targets.
+//
+//	BENCH_CLUSTER_OUT=BENCH_SERVE_PR9.json go test -run TestWriteBenchCluster -count=1 ./cmd/ffcgw/
+func TestWriteBenchCluster(t *testing.T) {
+	path := os.Getenv("BENCH_CLUSTER_OUT")
+	if path == "" {
+		t.Skip("BENCH_CLUSTER_OUT not set; skipping cluster bench")
+	}
+
+	const (
+		corpusN      = 64
+		cacheEntries = 16 // per replica: 1/2/4 replicas hold 1/4, 1/2, all of the corpus
+		seed         = 1
+		zipfS        = 1.1
+	)
+	rep := clusterBenchReport{
+		Schema:              benchClusterSchema,
+		CorpusSize:          corpusN,
+		ReplicaCacheEntries: cacheEntries,
+		Seed:                seed,
+		ZipfS:               obs.Float(zipfS),
+	}
+	corpus := loadgen.Corpus(corpusN)
+
+	for _, n := range []int{1, 2, 4} {
+		base, stop := spawnPool(t, n, cacheEntries)
+		r, err := loadgen.Config{
+			BaseURL: base, Corpus: corpus, Seed: seed,
+			ZipfS: zipfS, ZipfV: 1,
+			Concurrency: 4, Duration: 2 * time.Second,
+			Client: http.DefaultClient, Now: time.Now, Sleep: time.Sleep,
+		}.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gw, err := loadgen.GatewayStats(http.DefaultClient, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stop()
+		tot := r.Total
+		if tot.ClientErrors+tot.ServerErrors+tot.NetErrors != 0 {
+			t.Fatalf("%d-replica point saw errors: %+v", n, tot)
+		}
+		rep.Points = append(rep.Points, clusterPoint{
+			Replicas:      n,
+			Requests:      tot.Requests,
+			HitRatio:      tot.HitRatio,
+			P50Ms:         tot.Latency.P50Ms,
+			P99Ms:         tot.Latency.P99Ms,
+			ThroughputRPS: tot.ThroughputRPS,
+			Gateway:       gw,
+		})
+		t.Logf("replicas=%d requests=%d hit_ratio=%.3f p99=%.2fms",
+			n, tot.Requests, float64(tot.HitRatio), float64(tot.Latency.P99Ms))
+	}
+
+	// The point of sharding: more replicas, more aggregate cache, more
+	// hits for the same workload.
+	for i := 1; i < len(rep.Points); i++ {
+		if float64(rep.Points[i].HitRatio) < float64(rep.Points[i-1].HitRatio) {
+			t.Fatalf("hit ratio fell with replica count: %d replicas %.3f, %d replicas %.3f",
+				rep.Points[i-1].Replicas, float64(rep.Points[i-1].HitRatio),
+				rep.Points[i].Replicas, float64(rep.Points[i].HitRatio))
+		}
+	}
+
+	rep.KillOne = runKillOne(t, cacheEntries)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}
+
+// runKillOne measures recovery: warm a 3-replica pool, kill one under
+// load, and report ejection latency plus the degraded-pool hit ratio.
+func runKillOne(t *testing.T, cacheEntries int) killOneReport {
+	t.Helper()
+	os.Setenv("FFCGW_REPLICA_CACHE_ENTRIES", strconv.Itoa(cacheEntries))
+	defer os.Unsetenv("FFCGW_REPLICA_CACHE_ENTRIES")
+
+	var cmds []*exec.Cmd
+	var urls []string
+	for i := 0; i < 3; i++ {
+		cmd, u := spawn(t, "replica")
+		cmds = append(cmds, cmd)
+		urls = append(urls, u)
+	}
+	_, base := spawn(t, "gateway",
+		"-addr", "127.0.0.1:0",
+		"-replicas", strings.Join(urls, ","),
+		"-probe-interval", "50ms",
+		"-probe-timeout", "500ms",
+		"-eject-after", "2",
+		"-max-attempts", "4",
+		"-base-delay", "5ms",
+		"-hedge-after", "250ms",
+		"-request-timeout", "10s",
+	)
+
+	corpus := loadgen.Corpus(64)
+	run := func(d time.Duration) loadgen.StageReport {
+		r, err := loadgen.Config{
+			BaseURL: base, Corpus: corpus, Seed: 1,
+			ZipfS: 1.1, ZipfV: 1,
+			Concurrency: 4, Duration: d,
+			Client: http.DefaultClient, Now: time.Now, Sleep: time.Sleep,
+		}.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Total
+	}
+
+	pre := run(time.Second)
+
+	// Kill one replica, then keep the load going while the probes eject
+	// it and its shard re-warms cold on the failover targets. The eject
+	// latency is watched concurrently with the load — polling afterwards
+	// would just measure the load duration.
+	const victim = 1
+	killedAt := time.Now()
+	if err := cmds[victim].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmds[victim].Wait()
+
+	ejectCh := make(chan float64, 1)
+	go func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			gw, err := loadgen.GatewayStats(http.DefaultClient, base)
+			if err == nil && gw["gateway.ejections"] >= 1 {
+				ejectCh <- float64(time.Since(killedAt).Milliseconds())
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		ejectCh <- -1
+	}()
+
+	post := run(2 * time.Second)
+	ejectMs := <-ejectCh
+	if ejectMs < 0 {
+		t.Fatal("gateway never ejected the killed replica")
+	}
+
+	gw, err := loadgen.GatewayStats(http.DefaultClient, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures := post.ClientErrors + post.ServerErrors + post.NetErrors
+	if failures != 0 {
+		t.Fatalf("kill-one load saw %d client-visible failures: %+v", failures, post)
+	}
+	return killOneReport{
+		Replicas:        3,
+		Requests:        pre.Requests + post.Requests,
+		Failures:        failures,
+		EjectMs:         obs.Float(ejectMs),
+		PreKillHitRatio: pre.HitRatio,
+		RecoveryRatio:   post.HitRatio,
+		Gateway:         gw,
+	}
+}

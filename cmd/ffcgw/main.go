@@ -1,0 +1,182 @@
+// Command ffcgw is the fault-tolerant gateway for a pool of ffcd
+// replicas: it routes /run and /batch requests to each scenario's home
+// replica over a consistent-hash ring keyed on the request's canonical
+// content address, so every replica's result cache stays hot for its
+// shard and the pool's aggregate cache capacity scales with replica
+// count.
+//
+//	ffcgw -addr :8090 -replicas http://10.0.0.1:8080,http://10.0.0.2:8080
+//	curl -XPOST --data-binary @scenarios/two-bottleneck.json localhost:8090/run
+//	curl -XPOST -d '{"runs": [{...}, {...}]}' localhost:8090/batch
+//	curl localhost:8090/healthz
+//	curl localhost:8090/metrics
+//
+// Failure is handled in layers: active /healthz probes eject dead or
+// draining replicas and readmit recovered ones; request outcomes feed
+// the same health machine passively plus a per-replica circuit
+// breaker; retryable outcomes (connect errors, 503, 429 — with
+// Retry-After honored) are retried with capped jittered backoff
+// against the next replica in ring order; a request slower than
+// -hedge-after is hedged to the next replica with first answer
+// winning; and when no replica is admitted at all, the gateway sheds
+// load with 503 + Retry-After rather than queueing without bound. A
+// dead replica therefore degrades its shard to cold-cache misses on
+// the ring's next replica — never to client-visible errors.
+//
+// /batch requests are sharded per home replica, dispatched in
+// parallel through the same retry/hedge stack, and reassembled in
+// request order with each item's cache verdict preserved; one bad
+// item or dead replica never fails the batch. /metrics serves the
+// gateway.* instrument families (Prometheus text under Accept:
+// text/plain or ?format=prometheus, JSON otherwise); -trace-jsonl
+// records one span per request whose trace ID is propagated to the
+// serving replica via X-FFCD-Trace-ID, so gateway and replica span
+// streams join on one identity. On SIGINT/SIGTERM the gateway flips
+// /healthz to 503 and drains in-flight requests for up to -drain.
+//
+// docs/CLUSTER.md documents the ring construction, the health and
+// breaker state machines, the retry/hedge policy, and the chaos-test
+// contract.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/nettheory/feedbackflow/internal/cli"
+	"github.com/nettheory/feedbackflow/internal/cluster"
+	"github.com/nettheory/feedbackflow/internal/obs"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8090", "HTTP listen address")
+		replicas = flag.String("replicas", "", "comma-separated ffcd base URLs (required), e.g. http://10.0.0.1:8080,http://10.0.0.2:8080")
+		vnodes   = flag.Int("vnodes", 64, "ring points per replica")
+		seed     = flag.Uint64("seed", 1, "retry-jitter seed (equal seeds give equal backoff schedules)")
+
+		probeInterval = flag.Duration("probe-interval", 250*time.Millisecond, "active /healthz probe spacing")
+		probeTimeout  = flag.Duration("probe-timeout", time.Second, "single probe deadline")
+		ejectAfter    = flag.Int("eject-after", 2, "consecutive health failures before a replica leaves rotation")
+		readmitAfter  = flag.Int("readmit-after", 2, "consecutive probe successes before an ejected replica returns")
+
+		breakerThreshold = flag.Int("breaker-threshold", 3, "consecutive request failures that open a replica's circuit")
+		breakerCooldown  = flag.Duration("breaker-cooldown", time.Second, "open to half-open delay")
+
+		maxAttempts = flag.Int("max-attempts", 3, "attempt budget per request across replicas (first attempt included)")
+		baseDelay   = flag.Duration("base-delay", 10*time.Millisecond, "initial retry backoff")
+		maxDelay    = flag.Duration("max-delay", time.Second, "retry backoff cap")
+		hedgeAfter  = flag.Duration("hedge-after", 100*time.Millisecond, "latency before hedging to the next ring replica (<= 0 disables)")
+		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "whole-request deadline across attempts and hedges")
+
+		maxBody   = flag.Int64("max-body", 8<<20, "max request body bytes")
+		maxBatch  = flag.Int("max-batch", 256, "max runs per /batch request")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
+		debugAddr = flag.String("debug-addr", "", "also serve net/http/pprof and expvar on this address")
+
+		traceJSONL = flag.String("trace-jsonl", "", `emit one JSON span event per request to this file ("-" = stdout; empty = tracing off)`)
+	)
+	flag.Parse()
+
+	pool := splitReplicas(*replicas)
+	if len(pool) == 0 {
+		fatal(fmt.Errorf("-replicas is required (comma-separated ffcd base URLs)"))
+	}
+
+	var tracer *obs.Tracer
+	if *traceJSONL != "" {
+		out := os.Stdout
+		if *traceJSONL != "-" {
+			f, err := os.Create(*traceJSONL)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		sink := obs.NewJSONLSink(out)
+		defer sink.Flush()
+		tracer = obs.NewTracer(sink)
+	}
+
+	if *debugAddr != "" {
+		a, err := cli.StartDebugServer(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ffcgw: debug server on http://%s/debug/pprof\n", a)
+	}
+
+	g, err := cluster.New(cluster.Config{
+		Replicas: pool,
+		Client:   &http.Client{},
+		Clock: cluster.Clock{
+			Now: time.Now,
+			Sleep: func(ctx context.Context, d time.Duration) error {
+				t := time.NewTimer(d)
+				defer t.Stop()
+				select {
+				case <-t.C:
+					return nil
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			},
+			After: time.After,
+		},
+		Seed:             *seed,
+		VNodes:           *vnodes,
+		ProbeInterval:    *probeInterval,
+		ProbeTimeout:     *probeTimeout,
+		EjectAfter:       *ejectAfter,
+		ReadmitAfter:     *readmitAfter,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		MaxAttempts:      *maxAttempts,
+		BaseDelay:        *baseDelay,
+		MaxDelay:         *maxDelay,
+		HedgeAfter:       *hedgeAfter,
+		RequestTimeout:   *reqTimeout,
+		MaxBodyBytes:     *maxBody,
+		MaxBatch:         *maxBatch,
+		Tracer:           tracer,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go g.Run(ctx)
+
+	err = g.ListenAndServe(ctx, *addr, *drain, func(a net.Addr) {
+		fmt.Printf("ffcgw: routing for %d replicas on http://%s (POST /run, /batch; GET /healthz, /metrics)\n",
+			len(pool), a)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("ffcgw: drained, bye")
+}
+
+// splitReplicas parses the -replicas flag: comma-separated base URLs,
+// blanks ignored.
+func splitReplicas(s string) []string {
+	var pool []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			pool = append(pool, p)
+		}
+	}
+	return pool
+}
+
+func fatal(err error) { cli.Fatal("ffcgw", err) }

@@ -1,4 +1,5 @@
-// Command ffload drives load against a running ffcd and writes a
+// Command ffload drives load against a running ffcd — or, with
+// -target gateway, an ffcgw fronting a replica pool — and writes a
 // versioned bench-serve report: per-stage and whole-run request
 // counts, cache hit ratio, error classes, throughput, and log-bucket
 // latency histograms with p50/p95/p99 summaries.
@@ -15,7 +16,11 @@
 // completions (the ramp that surfaces queueing collapse); closed loop
 // runs -concurrency workers back to back (the mode that measures
 // peak sustainable throughput). Identical seeds replay identical
-// request sequences.
+// request sequences. -batch N switches the workload to POST /batch
+// with N zipf-drawn items per request; hit_ratio then counts per-item
+// cache verdicts from the batch envelope. -target gateway annotates
+// the report with the ffcgw counter snapshot (retries, hedges,
+// ejections, shed) scraped from /metrics after the run.
 //
 // Exit status: 0 on success, 1 when -require-hit-ratio is set and the
 // measured total hit ratio falls below it (the CI smoke gate), 2 on
@@ -38,7 +43,9 @@ import (
 
 func main() {
 	var (
-		url         = flag.String("url", "http://127.0.0.1:8080", "base URL of the ffcd under test")
+		url         = flag.String("url", "http://127.0.0.1:8080", "base URL of the ffcd or ffcgw under test")
+		target      = flag.String("target", "daemon", `what -url points at: "daemon" (ffcd) or "gateway" (ffcgw; embeds its counter snapshot in the report)`)
+		batch       = flag.Int("batch", 0, "items per request; > 0 drives POST /batch instead of /run")
 		stagesSpec  = flag.String("stages", "", "open-loop ramp, e.g. 100x2s,300x2s (RATExDURATION steps)")
 		concurrency = flag.Int("concurrency", 0, "closed-loop worker count (used when -stages is empty)")
 		duration    = flag.Duration("duration", 5*time.Second, "closed-loop run length")
@@ -56,6 +63,12 @@ func main() {
 
 	if *stagesSpec == "" && *concurrency <= 0 {
 		fatalf("one of -stages (open loop) or -concurrency (closed loop) is required")
+	}
+	if *target != "daemon" && *target != "gateway" {
+		fatalf("-target must be daemon or gateway, got %q", *target)
+	}
+	if *batch < 0 {
+		fatalf("-batch must be >= 0, got %d", *batch)
 	}
 	var stages []loadgen.Stage
 	if *stagesSpec != "" {
@@ -82,12 +95,22 @@ func main() {
 		Concurrency: *concurrency,
 		Duration:    *duration,
 		MaxInflight: *maxInflight,
+		BatchSize:   *batch,
 		Client:      client,
 		Now:         time.Now,
 		Sleep:       time.Sleep,
 	}.Run(ctx)
 	if err != nil {
 		fatal(err)
+	}
+	if *target == "gateway" {
+		// Best-effort annotation: the run's client-side numbers stand on
+		// their own even if the scrape races a gateway shutdown.
+		gw, err := loadgen.GatewayStats(client, *url)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ffload: gateway stats: %v\n", err)
+		}
+		rep.Gateway = gw
 	}
 	if err := cli.WriteJSON(*out, rep); err != nil {
 		fatal(err)

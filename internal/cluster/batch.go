@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"github.com/nettheory/feedbackflow/internal/obs"
+	"github.com/nettheory/feedbackflow/internal/runcache"
+	"github.com/nettheory/feedbackflow/internal/serve"
+)
+
+// batchItem mirrors the replica's /batch item envelope so the
+// gateway's reassembled response is byte-compatible with a
+// single-replica answer: each item keeps its per-item cache verdict,
+// which is how ffload and downstream dashboards attribute hits
+// per item across the pool.
+type batchItem struct {
+	Cache  string          `json:"cache,omitempty"` // "hit" or "miss"
+	Report json.RawMessage `json:"report,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := g.clock.Now()
+	sp := g.tracer.Start("gateway.batch")
+	if sp != nil {
+		w.Header().Set("X-FFCD-Trace-ID", sp.ID().String())
+	}
+	outcome := g.serveBatch(w, r, sp)
+	sp.Outcome(outcome)
+	sp.End()
+	if h := g.latBatch[outcome]; h != nil {
+		h.Observe(g.clock.Now().Sub(start).Seconds())
+	}
+}
+
+func (g *Gateway) serveBatch(w http.ResponseWriter, r *http.Request, sp *obs.Span) string {
+	g.batchReqs.Inc()
+	if r.Method != http.MethodPost {
+		g.error(w, http.StatusMethodNotAllowed, fmt.Errorf(`POST {"runs": [...]} to /batch`))
+		return out405
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		g.badReqs.Inc()
+		g.error(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body: %v", err))
+		return out413
+	}
+
+	// Route: address every item independently and group by home
+	// replica, so each replica sees exactly the shard of the batch its
+	// cache is hot for. An unaddressable item becomes a per-item error;
+	// it never fails its siblings.
+	sp.Phase("route")
+	var env struct {
+		Runs []json.RawMessage `json:"runs"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		g.badReqs.Inc()
+		g.error(w, http.StatusBadRequest, fmt.Errorf("batch: %v", err))
+		return out400
+	}
+	if len(env.Runs) == 0 {
+		g.badReqs.Inc()
+		g.error(w, http.StatusBadRequest, fmt.Errorf(`batch: no "runs"`))
+		return out400
+	}
+	if len(env.Runs) > g.cfg.MaxBatch {
+		g.badReqs.Inc()
+		g.error(w, http.StatusBadRequest, fmt.Errorf("batch: %d runs exceeds the limit of %d", len(env.Runs), g.cfg.MaxBatch))
+		return out400
+	}
+	g.batchItems.Add(int64(len(env.Runs)))
+
+	items := make([]batchItem, len(env.Runs))
+	groups := make([][]int, len(g.replicas))          // item indices per home replica
+	groupKey := make([]runcache.Key, len(g.replicas)) // first key landing in each group
+	for i, raw := range env.Runs {
+		key, err := serve.CanonicalKey(raw)
+		if err != nil {
+			items[i] = batchItem{Error: err.Error()}
+			continue
+		}
+		home := g.ring.Owner(key)
+		if len(groups[home]) == 0 {
+			groupKey[home] = key
+		}
+		groups[home] = append(groups[home], i)
+	}
+
+	// Fan out one sub-batch per home replica. Each group writes a
+	// disjoint slice of items, so the only synchronization needed is
+	// the join. The parent span is not shared with the groups — spans
+	// are single-goroutine — so each group's dispatch runs with the
+	// parent's trace identity but phase-silent.
+	sp.Phase("dispatch")
+	ctx := r.Context()
+	var wg sync.WaitGroup
+	for home := range groups {
+		if len(groups[home]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(home int) {
+			defer wg.Done()
+			g.runGroup(ctx, groups[home], env.Runs, items, g.ring.Order(groupKey[home]), sp.ID())
+		}(home)
+	}
+	wg.Wait()
+
+	sp.Phase("render")
+	w.Header().Set("Content-Type", "application/json")
+	resp := struct {
+		Schema  string      `json:"schema"`
+		Results []batchItem `json:"results"`
+	}{serve.BatchReportSchema, items}
+	json.NewEncoder(w).Encode(resp)
+	return outOK
+}
+
+// runGroup sends one home replica's shard of the batch through the
+// full dispatch stack (retry, hedge, failover) and scatters the
+// replica's per-item results back to their original indices. A dispatch
+// that fails outright degrades to per-item errors for this shard only —
+// one dead replica never fails the whole batch.
+func (g *Gateway) runGroup(ctx context.Context, idxs []int, runs []json.RawMessage, items []batchItem, prefs []int, trace obs.TraceID) {
+	sub := struct {
+		Runs []json.RawMessage `json:"runs"`
+	}{make([]json.RawMessage, len(idxs))}
+	for j, i := range idxs {
+		sub.Runs[j] = runs[i]
+	}
+	body, err := json.Marshal(sub)
+	if err != nil {
+		g.failGroup(idxs, items, fmt.Sprintf("cluster: encode sub-batch: %v", err))
+		return
+	}
+
+	u := g.dispatch(ctx, "/batch", body, prefs, trace, nil)
+	switch {
+	case u.err != nil:
+		g.upstreamErrs.Inc()
+		g.failGroup(idxs, items, fmt.Sprintf("cluster: shard unavailable: %v", u.err))
+		return
+	case u.status != http.StatusOK:
+		g.upstreamErrs.Inc()
+		g.failGroup(idxs, items, fmt.Sprintf("cluster: shard replied %d", u.status))
+		return
+	}
+
+	var resp struct {
+		Schema  string      `json:"schema"`
+		Results []batchItem `json:"results"`
+	}
+	if err := json.Unmarshal(u.body, &resp); err != nil || len(resp.Results) != len(idxs) {
+		g.upstreamErrs.Inc()
+		g.failGroup(idxs, items, "cluster: malformed shard batch response")
+		return
+	}
+	for j, i := range idxs {
+		items[i] = resp.Results[j]
+		switch resp.Results[j].Cache {
+		case "hit":
+			g.hits.Inc()
+		case "miss":
+			g.misses.Inc()
+		}
+	}
+}
+
+func (g *Gateway) failGroup(idxs []int, items []batchItem, msg string) {
+	for _, i := range idxs {
+		items[i] = batchItem{Error: msg}
+	}
+}

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states, exported through the gateway.replica.<i>.breaker
+// gauge. The numeric order is chosen so the gauge reads as "how broken":
+// 0 closed (normal), 1 half-open (probing), 2 open (rejecting).
+const (
+	breakerClosed   = 0
+	breakerHalfOpen = 1
+	breakerOpen     = 2
+)
+
+// breaker is one replica's circuit breaker: closed → open after
+// Threshold consecutive request failures, open → half-open once
+// Cooldown has elapsed (admitting exactly one probe request), and
+// half-open → closed on that probe's success or back → open on its
+// failure. Time flows in through the caller's injected clock — every
+// method takes now — so the state machine is a pure function of the
+// outcome sequence and the clock readings, and tests drive it without
+// sleeping.
+type breaker struct {
+	mu        sync.Mutex
+	state     int
+	fails     int // consecutive failures while closed
+	openedAt  time.Time
+	threshold int
+	cooldown  time.Duration
+
+	// transition hooks observe state changes (the gateway wires its
+	// opened/half-open/closed counters and per-replica state gauge in).
+	onTransition func(state int)
+}
+
+// allow reports whether a request may be sent through the breaker.
+// While open it returns false until cooldown has elapsed, at which
+// point it transitions to half-open and admits exactly one probe;
+// subsequent calls stay rejected until that probe reports an outcome.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) >= b.cooldown {
+			b.set(breakerHalfOpen)
+			return true
+		}
+		return false
+	default: // half-open: the one probe is already in flight
+		return false
+	}
+}
+
+// success reports a completed request that proves the replica alive.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	if b.state != breakerClosed {
+		b.set(breakerClosed)
+	}
+}
+
+// failure reports a request the replica failed to serve (transport
+// error or 5xx). A half-open probe failure reopens immediately; closed
+// accumulates toward the threshold.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.fails >= b.threshold) {
+		b.openedAt = now
+		b.set(breakerOpen)
+	} else if b.state == breakerOpen {
+		// A straggler failure from a request admitted before the trip:
+		// refresh the cooldown anchor so a flapping replica is not
+		// readmitted on stale evidence.
+		b.openedAt = now
+	}
+}
+
+// snapshotState returns the current state for /healthz-style reads.
+func (b *breaker) snapshotState() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// set transitions the state and fires the hook. Callers hold b.mu.
+//
+//ffc:locked
+func (b *breaker) set(state int) {
+	b.state = state
+	if state == breakerClosed {
+		b.fails = 0
+	}
+	if b.onTransition != nil {
+		b.onTransition(state)
+	}
+}

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	var transitions []int
+	b := breaker{
+		threshold:    3,
+		cooldown:     time.Second,
+		onTransition: func(s int) { transitions = append(transitions, s) },
+	}
+	t0 := time.Unix(1_700_000_000, 0)
+
+	// Closed admits everything; failures below the threshold stay closed.
+	for i := 0; i < 2; i++ {
+		if !b.allow(t0) {
+			t.Fatal("closed breaker rejected a request")
+		}
+		b.failure(t0)
+	}
+	if got := b.snapshotState(); got != breakerClosed {
+		t.Fatalf("state after 2/3 failures = %d, want closed", got)
+	}
+
+	// The third consecutive failure trips it.
+	b.failure(t0)
+	if got := b.snapshotState(); got != breakerOpen {
+		t.Fatalf("state after threshold failures = %d, want open", got)
+	}
+	if b.allow(t0.Add(b.cooldown / 2)) {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+
+	// Cooldown elapses: exactly one half-open probe is admitted.
+	probeAt := t0.Add(b.cooldown)
+	if !b.allow(probeAt) {
+		t.Fatal("breaker did not admit the half-open probe after cooldown")
+	}
+	if got := b.snapshotState(); got != breakerHalfOpen {
+		t.Fatalf("state after cooldown admit = %d, want half-open", got)
+	}
+	if b.allow(probeAt) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Probe failure reopens immediately and restarts the cooldown.
+	b.failure(probeAt)
+	if got := b.snapshotState(); got != breakerOpen {
+		t.Fatalf("state after failed probe = %d, want open", got)
+	}
+	if b.allow(probeAt.Add(b.cooldown / 2)) {
+		t.Fatal("reopened breaker forgot its refreshed cooldown anchor")
+	}
+
+	// Second probe succeeds: fully closed, failure count reset.
+	retryAt := probeAt.Add(b.cooldown)
+	if !b.allow(retryAt) {
+		t.Fatal("breaker did not admit the second probe")
+	}
+	b.success()
+	if got := b.snapshotState(); got != breakerClosed {
+		t.Fatalf("state after successful probe = %d, want closed", got)
+	}
+	b.failure(retryAt)
+	b.failure(retryAt)
+	if got := b.snapshotState(); got != breakerClosed {
+		t.Fatal("failure count was not reset by the close")
+	}
+
+	want := []int{breakerOpen, breakerHalfOpen, breakerOpen, breakerHalfOpen, breakerClosed}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+}
+
+func TestBreakerStragglerFailureRefreshesCooldown(t *testing.T) {
+	b := breaker{threshold: 1, cooldown: time.Second}
+	t0 := time.Unix(1_700_000_000, 0)
+	b.failure(t0) // trips (threshold 1)
+	// A straggler from a request admitted before the trip lands late:
+	// the cooldown anchor moves so readmission waits for fresh evidence.
+	late := t0.Add(900 * time.Millisecond)
+	b.failure(late)
+	if b.allow(t0.Add(time.Second)) {
+		t.Fatal("breaker admitted a probe on the stale cooldown anchor")
+	}
+	if !b.allow(late.Add(time.Second)) {
+		t.Fatal("breaker did not admit a probe after the refreshed cooldown")
+	}
+}

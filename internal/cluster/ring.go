@@ -1,0 +1,142 @@
+// Package cluster is the fault-tolerant consistent-hash gateway layer
+// over a static pool of ffcd replicas (cmd/ffcgw): it routes /run and
+// /batch requests to each scenario's home replica by content address,
+// so every replica's result cache stays hot for its shard and the
+// pool's aggregate cache capacity scales linearly with replica count —
+// and it treats failure as a first-class input: active health probes
+// with ejection/readmission, passive health from request outcomes,
+// per-replica circuit breakers, capped-backoff retries of
+// idempotent-safe outcomes, hedged failover to the next replica on the
+// ring, and load shedding when the whole pool is unhealthy.
+//
+// The package is a deterministic kernel under ffcvet: wall time flows
+// in through Config.Clock and entropy (retry jitter) through
+// Config.Seed, so every routing, retry, and hedging decision is a pure
+// function of its inputs plus the observed network outcomes.
+//
+// docs/CLUSTER.md documents the ring construction, the health and
+// breaker state machines, the retry/hedge policy, and the chaos-test
+// contract.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+
+	"github.com/nettheory/feedbackflow/internal/runcache"
+)
+
+// Ring is an immutable consistent-hash ring over a static replica
+// pool. Each replica owns VNodes points on a 64-bit circle; a key is
+// owned by the first point at or clockwise after its hash. Because
+// points are derived from replica names alone, removing a replica
+// remaps only the arcs it owned — every other key keeps its home, which
+// is what keeps the surviving replicas' caches hot through a failure.
+type Ring struct {
+	points []ringPoint // sorted by (hash, replica)
+	n      int
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// NewRing builds the ring for the given replica names (the gateway
+// uses base URLs) with vnodes points per replica (<= 0 defaults to
+// 64). Names must be distinct; the ring is deterministic in them.
+func NewRing(names []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &Ring{n: len(names), points: make([]ringPoint, 0, len(names)*vnodes)}
+	for i, name := range names {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(name, v), replica: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].replica < r.points[b].replica
+	})
+	return r
+}
+
+// pointHash places vnode v of the named replica on the circle: the
+// first 8 bytes of SHA-256(name + "#" + v). SHA-256 keeps the point
+// spread uniform and the construction obviously stable across
+// processes.
+func pointHash(name string, v int) uint64 {
+	h := sha256.Sum256([]byte(name + "#" + strconv.Itoa(v)))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// keyPoint maps a content address onto the circle. The key is already
+// a SHA-256, so its leading 8 bytes are uniform.
+func keyPoint(key runcache.Key) uint64 {
+	return binary.BigEndian.Uint64(key[:8])
+}
+
+// Replicas returns the pool size.
+func (r *Ring) Replicas() int { return r.n }
+
+// Owner returns the key's home replica.
+func (r *Ring) Owner(key runcache.Key) int {
+	return r.points[r.successor(keyPoint(key))].replica
+}
+
+// Order returns every replica exactly once, in failover order for the
+// key: the home replica first, then each next distinct replica met
+// walking the ring clockwise. This is the preference list the
+// gateway's retry and hedging walk — a dead home degrades the request
+// to a cold-cache miss on the next replica instead of an error.
+func (r *Ring) Order(key runcache.Key) []int {
+	order := make([]int, 0, r.n)
+	seen := make([]bool, r.n)
+	start := r.successor(keyPoint(key))
+	for i := 0; i < len(r.points) && len(order) < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			order = append(order, p.replica)
+		}
+	}
+	return order
+}
+
+// successor returns the index of the first ring point at or clockwise
+// after h, wrapping at the top of the circle.
+func (r *Ring) successor(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// Ownership returns the fraction of the 64-bit keyspace each replica
+// owns — the gateway exports it as the gateway.replica.<i>.ring_share
+// gauge, and the chaos test uses it to assert the ring stayed
+// balanced.
+func (r *Ring) Ownership() []float64 {
+	own := make([]float64, r.n)
+	if len(r.points) == 0 {
+		return own
+	}
+	const span = float64(1<<63) * 2 // 2^64 without overflow
+	for i, p := range r.points {
+		// The arc ending at point i belongs to point i's replica;
+		// wrapping uint64 subtraction handles the top-of-circle arc.
+		// (A one-point ring degenerates to arc 0 ≡ 2^64; the gateway
+		// always builds rings with vnodes ≥ 1 per replica, so a ring
+		// has at least one point per replica and ≥ 2 points overall
+		// whenever shares are meaningful.)
+		prev := r.points[(i+len(r.points)-1)%len(r.points)].hash
+		own[p.replica] += float64(p.hash-prev) / span
+	}
+	return own
+}

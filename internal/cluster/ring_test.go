@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/nettheory/feedbackflow/internal/loadgen"
+	"github.com/nettheory/feedbackflow/internal/runcache"
+	"github.com/nettheory/feedbackflow/internal/serve"
+)
+
+// corpusKeys derives content addresses for n distinct valid scenario
+// documents — the same addressing path the gateway routes by.
+func corpusKeys(t *testing.T, n int) []runcache.Key {
+	t.Helper()
+	docs := loadgen.Corpus(n)
+	keys := make([]runcache.Key, len(docs))
+	for i, doc := range docs {
+		k, err := serve.CanonicalKey(doc)
+		if err != nil {
+			t.Fatalf("corpus doc %d does not address: %v", i, err)
+		}
+		keys[i] = k
+	}
+	return keys
+}
+
+func TestRingDeterministicAndOrdered(t *testing.T) {
+	names := []string{"http://a", "http://b", "http://c", "http://d"}
+	r1 := NewRing(names, 64)
+	r2 := NewRing(names, 64)
+	for _, key := range corpusKeys(t, 50) {
+		if r1.Owner(key) != r2.Owner(key) {
+			t.Fatalf("identical rings disagree on owner of %x", key[:4])
+		}
+		order := r1.Order(key)
+		if len(order) != len(names) {
+			t.Fatalf("Order returned %d replicas, want %d", len(order), len(names))
+		}
+		if order[0] != r1.Owner(key) {
+			t.Fatalf("Order[0] = %d, Owner = %d", order[0], r1.Owner(key))
+		}
+		seen := make([]bool, len(names))
+		for _, idx := range order {
+			if idx < 0 || idx >= len(names) || seen[idx] {
+				t.Fatalf("Order %v is not a permutation of the pool", order)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+// TestRingDeadShardRemapsOnly is the redistribution property the chaos
+// test leans on: removing one replica moves only the keys that replica
+// owned, and each of those moves to exactly the replica the full
+// ring's failover order names next. Keys homed on survivors do not
+// move at all — their caches stay hot through the failure.
+func TestRingDeadShardRemapsOnly(t *testing.T) {
+	names := []string{"http://a", "http://b", "http://c", "http://d"}
+	const dead = 2
+	survivors := []string{"http://a", "http://b", "http://d"}
+	toFull := []int{0, 1, 3} // survivor ring index → full ring index
+
+	full := NewRing(names, 64)
+	reduced := NewRing(survivors, 64)
+
+	moved := 0
+	for _, key := range corpusKeys(t, 200) {
+		fullOwner := full.Owner(key)
+		redOwner := toFull[reduced.Owner(key)]
+		if fullOwner != dead {
+			if redOwner != fullOwner {
+				t.Fatalf("key homed on surviving replica %d moved to %d when %d died",
+					fullOwner, redOwner, dead)
+			}
+			continue
+		}
+		moved++
+		// The dead shard's keys land exactly where Order-based failover
+		// sends them: the next live replica clockwise.
+		want := -1
+		for _, idx := range full.Order(key) {
+			if idx != dead {
+				want = idx
+				break
+			}
+		}
+		if redOwner != want {
+			t.Fatalf("dead-shard key failed over to %d, ring-without-dead owns it at %d",
+				want, redOwner)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no corpus key was homed on the dead replica; test proves nothing")
+	}
+}
+
+func TestRingOwnershipBalanced(t *testing.T) {
+	names := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := NewRing(names, 64)
+	shares := r.Ownership()
+	sum := 0.0
+	for i, s := range shares {
+		sum += s
+		// 64 vnodes keeps each share within a loose band around 1/4.
+		if s < 0.10 || s > 0.45 {
+			t.Errorf("replica %d owns %.3f of the keyspace; want roughly balanced", i, s)
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("ownership shares sum to %.6f, want 1", sum)
+	}
+}

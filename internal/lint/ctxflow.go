@@ -47,6 +47,7 @@ var ctxflowPackages = map[string]bool{
 	modulePath + "/internal/serve":    true,
 	modulePath + "/internal/parallel": true,
 	modulePath + "/internal/loadgen":  true,
+	modulePath + "/internal/cluster":  true,
 }
 
 type ctxflowRun struct {

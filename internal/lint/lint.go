@@ -122,6 +122,7 @@ var detPackages = map[string]bool{
 	modulePath + "/internal/scenario":  true,
 	modulePath + "/internal/runcache":  true,
 	modulePath + "/internal/loadgen":   true,
+	modulePath + "/internal/cluster":   true,
 }
 
 // isDeterministicPkg reports whether path is one of the deterministic

@@ -3,8 +3,10 @@ package loadgen
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"sync"
@@ -49,6 +51,12 @@ type Config struct {
 	// growing without bound, and the stall shows up as a throughput
 	// shortfall against the target rate.
 	MaxInflight int
+	// BatchSize > 0 switches the workload to POST /batch: each request
+	// carries BatchSize zipf-drawn items, and cache attribution comes
+	// from the per-item cache verdicts in the batch envelope rather
+	// than the X-FFCD-Cache header — so hit_ratio keeps meaning "items
+	// served from cache" in both shapes. 0 drives /run.
+	BatchSize int
 	// Client issues the requests (default used by cmd/ffload is an
 	// *http.Client; required here).
 	Client Doer
@@ -71,8 +79,13 @@ type Report struct {
 	Seed       uint64        `json:"seed"`
 	ZipfS      obs.Float     `json:"zipf_s"`
 	ZipfV      obs.Float     `json:"zipf_v"`
+	BatchSize  int           `json:"batch_size,omitempty"`
 	Stages     []StageReport `json:"stages"`
 	Total      StageReport   `json:"total"`
+	// Gateway carries the ffcgw counter snapshot when the target is a
+	// gateway (see GatewayStats): retries, hedges, ejections, shed —
+	// the robustness-stack activity behind the client-side numbers.
+	Gateway map[string]int64 `json:"gateway,omitempty"`
 }
 
 // StageReport aggregates one stage (or the whole run, for
@@ -91,6 +104,8 @@ type StageReport struct {
 	ClientErrors  int64         `json:"client_errors"` // 4xx other than 429
 	ServerErrors  int64         `json:"server_errors"` // 5xx
 	NetErrors     int64         `json:"net_errors"`    // transport failures
+	BatchItems    int64         `json:"batch_items,omitempty"`
+	ItemErrors    int64         `json:"item_errors,omitempty"` // per-item errors inside 200 batches
 	Latency       LatencyReport `json:"latency"`
 }
 
@@ -121,6 +136,8 @@ type stageStats struct {
 	err4xx   atomic.Int64
 	err5xx   atomic.Int64
 	netErr   atomic.Int64
+	items    atomic.Int64
+	itemErr  atomic.Int64
 	lat      *obs.Histogram
 }
 
@@ -153,6 +170,7 @@ func (c Config) Run(ctx context.Context) (*Report, error) {
 		Seed:       c.Seed,
 		ZipfS:      obs.Float(c.ZipfS),
 		ZipfV:      obs.Float(c.ZipfV),
+		BatchSize:  c.BatchSize,
 	}
 	total := newStageStats()
 	start := c.Now()
@@ -233,7 +251,7 @@ func (c Config) runOpenStage(ctx context.Context, st Stage, stats, total *stageS
 			continue
 		}
 		next = next.Add(interval)
-		idx := int(zipf.Uint64())
+		idxs := c.draw(zipf)
 		// At MaxInflight the send blocks until a request completes;
 		// selecting on ctx.Done keeps cancellation from hanging here
 		// when every in-flight request is itself stuck.
@@ -246,7 +264,7 @@ func (c Config) runOpenStage(ctx context.Context, st Stage, stats, total *stageS
 		wg.Add(1)
 		go func() {
 			defer func() { <-sem; wg.Done() }()
-			c.doRequest(ctx, idx, stats, total)
+			c.doRequest(ctx, idxs, stats, total)
 		}()
 	}
 	wg.Wait()
@@ -266,7 +284,7 @@ func (c Config) runClosed(ctx context.Context, stats, total *stageStats) (time.D
 			defer wg.Done()
 			zipf := rand.NewZipf(rand.New(rand.NewSource(int64(c.Seed)+int64(worker))), c.ZipfS, c.ZipfV, uint64(len(c.Corpus)-1))
 			for c.Now().Before(deadline) && ctx.Err() == nil {
-				c.doRequest(ctx, int(zipf.Uint64()), stats, total)
+				c.doRequest(ctx, c.draw(zipf), stats, total)
 			}
 		}(w)
 	}
@@ -277,13 +295,49 @@ func (c Config) runClosed(ctx context.Context, stats, total *stageStats) (time.D
 	return c.Now().Sub(start), nil
 }
 
-// doRequest issues one /run POST and records its outcome in both the
-// stage and whole-run accumulators.
-func (c Config) doRequest(ctx context.Context, idx int, stats, total *stageStats) {
+// draw picks the corpus indices for one request: a single index for
+// /run, BatchSize indices for /batch. Drawing happens on the
+// dispatching goroutine — zipf sources are not goroutine-safe — so
+// the request sequence stays a pure function of the seed.
+func (c Config) draw(zipf *rand.Zipf) []int {
+	n := 1
+	if c.BatchSize > 0 {
+		n = c.BatchSize
+	}
+	idxs := make([]int, n)
+	for i := range idxs {
+		idxs[i] = int(zipf.Uint64())
+	}
+	return idxs
+}
+
+// doRequest issues one POST — /run for a single draw, /batch when
+// batching — and records its outcome in both the stage and whole-run
+// accumulators.
+func (c Config) doRequest(ctx context.Context, idxs []int, stats, total *stageStats) {
 	stats.requests.Add(1)
 	total.requests.Add(1)
+
+	path, body := "/run", c.Corpus[idxs[0]]
+	if c.BatchSize > 0 {
+		path = "/batch"
+		runs := make([]json.RawMessage, len(idxs))
+		for i, idx := range idxs {
+			runs[i] = json.RawMessage(c.Corpus[idx])
+		}
+		enc, err := json.Marshal(struct {
+			Runs []json.RawMessage `json:"runs"`
+		}{runs})
+		if err != nil {
+			stats.netErr.Add(1)
+			total.netErr.Add(1)
+			return
+		}
+		body = enc
+	}
+
 	start := c.Now()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/run", bytes.NewReader(c.Corpus[idx]))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
 		stats.netErr.Add(1)
 		total.netErr.Add(1)
@@ -296,15 +350,22 @@ func (c Config) doRequest(ctx context.Context, idx int, stats, total *stageStats
 		total.netErr.Add(1)
 		return
 	}
-	io.Copy(io.Discard, resp.Body)
+	respBody, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
+	if err != nil {
+		stats.netErr.Add(1)
+		total.netErr.Add(1)
+		return
+	}
 	lat := c.Now().Sub(start).Seconds()
 	stats.lat.Observe(lat)
 	total.lat.Observe(lat)
 
 	switch {
 	case resp.StatusCode == http.StatusOK:
-		if resp.Header.Get("X-FFCD-Cache") == "hit" {
+		if c.BatchSize > 0 {
+			c.countBatchItems(respBody, stats, total)
+		} else if resp.Header.Get("X-FFCD-Cache") == "hit" {
 			stats.hits.Add(1)
 			total.hits.Add(1)
 		} else {
@@ -320,6 +381,39 @@ func (c Config) doRequest(ctx context.Context, idx int, stats, total *stageStats
 	default:
 		stats.err4xx.Add(1)
 		total.err4xx.Add(1)
+	}
+}
+
+// countBatchItems attributes a 200 batch response item by item using
+// the per-item cache verdicts in the envelope — the daemon and the
+// gateway emit the same item shape, so attribution is
+// target-independent.
+func (c Config) countBatchItems(body []byte, stats, total *stageStats) {
+	var out struct {
+		Results []struct {
+			Cache string `json:"cache"`
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		stats.itemErr.Add(1)
+		total.itemErr.Add(1)
+		return
+	}
+	for _, item := range out.Results {
+		stats.items.Add(1)
+		total.items.Add(1)
+		switch {
+		case item.Error != "":
+			stats.itemErr.Add(1)
+			total.itemErr.Add(1)
+		case item.Cache == "hit":
+			stats.hits.Add(1)
+			total.hits.Add(1)
+		default:
+			stats.misses.Add(1)
+			total.misses.Add(1)
+		}
 	}
 }
 
@@ -339,6 +433,8 @@ func reduceStage(name string, s *stageStats, dur time.Duration) StageReport {
 		ClientErrors: s.err4xx.Load(),
 		ServerErrors: s.err5xx.Load(),
 		NetErrors:    s.netErr.Load(),
+		BatchItems:   s.items.Load(),
+		ItemErrors:   s.itemErr.Load(),
 		Latency: LatencyReport{
 			P50Ms:     obs.Float(snap.Quantile(0.50) * 1e3),
 			P90Ms:     obs.Float(snap.Quantile(0.90) * 1e3),
@@ -353,6 +449,44 @@ func reduceStage(name string, s *stageStats, dur time.Duration) StageReport {
 		sr.ThroughputRPS = obs.Float(float64(n) / sec)
 	}
 	return sr
+}
+
+// GatewayStats fetches an ffcgw's gateway.* counter snapshot from its
+// /metrics endpoint, keeping the integral instruments (counters and
+// integer-valued gauges) and dropping histogram summaries. ffload
+// embeds the result in the bench report when the target is a gateway,
+// so a trajectory of hit ratios comes annotated with the retry,
+// hedge, ejection, and shed activity that produced it.
+func GatewayStats(client Doer, baseURL string) (map[string]int64, error) {
+	req, err := http.NewRequest(http.MethodGet, baseURL+"/metrics?format=json", nil)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %v", err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: gateway metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: gateway metrics: status %d", resp.StatusCode)
+	}
+	var payload map[string]map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("loadgen: gateway metrics: %v", err)
+	}
+	snap, ok := payload["feedbackflow.gateway"]
+	if !ok {
+		return nil, fmt.Errorf("loadgen: %s/metrics has no feedbackflow.gateway section (is it an ffcgw?)", baseURL)
+	}
+	out := make(map[string]int64, len(snap))
+	for name, v := range snap {
+		f, isNum := v.(float64)
+		if !isNum || f != math.Trunc(f) {
+			continue // histogram snapshots and fractional gauges
+		}
+		out[name] = int64(f)
+	}
+	return out, nil
 }
 
 // WaitReady polls baseURL/healthz until it answers 200 or timeout

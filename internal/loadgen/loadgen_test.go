@@ -197,6 +197,117 @@ func TestReportMarshalsWithNaN(t *testing.T) {
 	}
 }
 
+// TestClosedLoopBatch drives /batch against a real daemon: every item
+// inside every 200 envelope must be attributed exactly once, and the
+// skewed draw must surface per-item hits.
+func TestClosedLoopBatch(t *testing.T) {
+	url := newDaemon(t)
+	rep, err := Config{
+		BaseURL: url, Corpus: Corpus(8), Seed: 1,
+		ZipfS: 1.5, ZipfV: 1,
+		Concurrency: 2, Duration: 200 * time.Millisecond,
+		BatchSize: 4,
+		Client:    http.DefaultClient, Now: time.Now, Sleep: time.Sleep,
+	}.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BatchSize != 4 {
+		t.Fatalf("report batch_size = %d", rep.BatchSize)
+	}
+	tot := rep.Total
+	if tot.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	if tot.BatchItems != 4*tot.Requests {
+		t.Fatalf("batch items %d, want 4 per each of %d requests", tot.BatchItems, tot.Requests)
+	}
+	if got := tot.CacheHits + tot.CacheMisses + tot.ItemErrors; got != tot.BatchItems {
+		t.Fatalf("item outcomes sum to %d, items %d", got, tot.BatchItems)
+	}
+	if tot.ItemErrors != 0 {
+		t.Fatalf("item errors against a healthy daemon: %d", tot.ItemErrors)
+	}
+	// 8 distinct scenarios under a skewed zipf: mostly hits.
+	if float64(tot.HitRatio) < 0.5 {
+		t.Fatalf("hit ratio %v, want > 0.5", tot.HitRatio)
+	}
+}
+
+// TestBatchItemAttribution pins the per-item accounting against a
+// canned envelope mixing hit, miss, and error verdicts.
+func TestBatchItemAttribution(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/batch" {
+			t.Errorf("batch mode hit %s", r.URL.Path)
+		}
+		var env struct {
+			Runs []json.RawMessage `json:"runs"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&env); err != nil || len(env.Runs) != 3 {
+			t.Errorf("envelope: %d runs, err %v", len(env.Runs), err)
+		}
+		w.Write([]byte(`{"schema":"feedbackflow/batch-report/v1","results":[
+			{"cache":"hit","report":{}},
+			{"cache":"miss","report":{}},
+			{"error":"queue full"}]}`))
+	}))
+	t.Cleanup(ts.Close)
+
+	c := Config{
+		BaseURL: ts.URL, Corpus: Corpus(4), BatchSize: 3,
+		Client: http.DefaultClient, Now: time.Now, Sleep: time.Sleep,
+	}
+	stats, total := newStageStats(), newStageStats()
+	c.doRequest(context.Background(), []int{0, 1, 2}, stats, total)
+	for name, acc := range map[string]*stageStats{"stage": stats, "total": total} {
+		if got := acc.requests.Load(); got != 1 {
+			t.Errorf("%s requests = %d", name, got)
+		}
+		if got := acc.items.Load(); got != 3 {
+			t.Errorf("%s items = %d", name, got)
+		}
+		if h, m, e := acc.hits.Load(), acc.misses.Load(), acc.itemErr.Load(); h != 1 || m != 1 || e != 1 {
+			t.Errorf("%s hits/misses/itemErr = %d/%d/%d, want 1/1/1", name, h, m, e)
+		}
+	}
+}
+
+func TestGatewayStats(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" || r.URL.Query().Get("format") != "json" {
+			t.Errorf("unexpected scrape %s", r.URL)
+		}
+		w.Write([]byte(`{"feedbackflow.gateway": {
+			"gateway.retries": 3,
+			"gateway.hits": 10,
+			"gateway.replica.0.ring_share": 0.52,
+			"gateway.latency.run.miss": {"count": 4, "total": 1.5}}}`))
+	}))
+	t.Cleanup(ts.Close)
+
+	got, err := GatewayStats(http.DefaultClient, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["gateway.retries"] != 3 || got["gateway.hits"] != 10 {
+		t.Fatalf("counters = %v", got)
+	}
+	if _, ok := got["gateway.replica.0.ring_share"]; ok {
+		t.Error("fractional gauge kept")
+	}
+	if _, ok := got["gateway.latency.run.miss"]; ok {
+		t.Error("histogram snapshot kept")
+	}
+
+	// A plain ffcd /metrics has no gateway section: a clear error, not
+	// an empty map.
+	daemon := newDaemon(t)
+	if _, err := GatewayStats(http.DefaultClient, daemon); err == nil {
+		t.Fatal("non-gateway target accepted")
+	}
+}
+
 func TestWaitReady(t *testing.T) {
 	url := newDaemon(t)
 	if err := WaitReady(http.DefaultClient, url, time.Second, time.Now, time.Sleep); err != nil {

@@ -26,6 +26,34 @@ func (id TraceID) String() string {
 	return string(b[:])
 }
 
+// ParseTraceID parses the 16-lowercase-hex form produced by
+// TraceID.String — the X-FFCD-Trace-ID header format. It returns
+// (0, false) for anything else, including the all-zero string: the
+// zero ID is the nil span's and is never a valid propagated identity.
+//
+//ffc:hotpath
+func ParseTraceID(s string) (TraceID, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < 16; i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			v = v<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			v = v<<4 | uint64(c-'a'+10)
+		default:
+			return 0, false
+		}
+	}
+	if v == 0 {
+		return 0, false
+	}
+	return TraceID(v), true
+}
+
 // PhaseEvent is one named, timed phase of a completed span.
 type PhaseEvent struct {
 	Name string `json:"name"`
@@ -103,12 +131,28 @@ type Span struct {
 //
 //ffc:hotpath
 func (t *Tracer) Start(name string) *Span {
+	return t.StartWith(name, 0)
+}
+
+// StartWith begins a span that adopts the given trace ID — the
+// propagation entry point for a request arriving from an upstream that
+// already assigned one (a gateway's X-FFCD-Trace-ID reaching its
+// replica). A zero id falls back to a fresh locally-unique ID, so
+// StartWith(name, 0) is exactly Start(name). Adopted IDs are the
+// caller's responsibility to keep distinct; the tracer does not check.
+//
+//ffc:hotpath
+func (t *Tracer) StartWith(name string, id TraceID) *Span {
 	if t == nil {
 		return nil
 	}
 	sp := t.pool.Get().(*Span) // returned to the pool by End (ownership transfer)
 	sp.tr = t
-	sp.id = TraceID(t.next.Add(1))
+	if id != 0 {
+		sp.id = id
+	} else {
+		sp.id = TraceID(t.next.Add(1))
+	}
 	sp.name = name
 	sp.outcome = ""
 	sp.phase = ""

@@ -182,3 +182,55 @@ func TestJSONLSinkStickyError(t *testing.T) {
 		t.Fatal("Flush swallowed the write error")
 	}
 }
+
+func TestParseTraceID(t *testing.T) {
+	// Round trip: every String form parses back to the same ID.
+	for _, id := range []TraceID{1, 0xdeadbeef, ^TraceID(0)} {
+		got, ok := ParseTraceID(id.String())
+		if !ok || got != id {
+			t.Errorf("ParseTraceID(%q) = %v, %v; want %v, true", id.String(), got, ok, id)
+		}
+	}
+	for _, bad := range []string{
+		"", "0", "0000000000000000", // zero ID is reserved for the nil span
+		"00000000000000zz",                 // non-hex
+		"ABCDEF0123456789",                 // uppercase is not the String form
+		"0123456789abcdef0",                // too long
+		strings.Repeat("f", 15), "x" + "f", // too short
+	} {
+		if id, ok := ParseTraceID(bad); ok {
+			t.Errorf("ParseTraceID(%q) = %v, true; want rejection", bad, id)
+		}
+	}
+}
+
+func TestStartWithAdoptsID(t *testing.T) {
+	sink := &captureSink{}
+	tr := NewTracer(sink)
+	tr.now = fakeClock(10)
+
+	const adopted = TraceID(0xfeedface12345678)
+	sp := tr.StartWith("run", adopted)
+	if sp.ID() != adopted {
+		t.Fatalf("StartWith span ID = %v, want adopted %v", sp.ID(), adopted)
+	}
+	sp.Outcome("hit")
+	sp.End()
+
+	// Zero falls back to a fresh ID — StartWith(name, 0) == Start(name).
+	sp2 := tr.StartWith("run", 0)
+	if sp2.ID() == 0 || sp2.ID() == adopted {
+		t.Fatalf("StartWith(.., 0) span ID = %v, want a fresh nonzero ID", sp2.ID())
+	}
+	sp2.End()
+
+	if len(sink.events) != 2 || sink.events[0].Trace != adopted.String() {
+		t.Fatalf("events = %+v, want the first to carry %s", sink.events, adopted)
+	}
+
+	// The nil tracer stays a no-op through StartWith too.
+	var nilTr *Tracer
+	if sp := nilTr.StartWith("run", adopted); sp != nil {
+		t.Fatal("nil tracer StartWith returned a non-nil span")
+	}
+}

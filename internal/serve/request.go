@@ -28,6 +28,21 @@ type envelope struct {
 	Fault    string          `json:"fault"`
 }
 
+// CanonicalKey parses and validates body exactly as POST /run does —
+// bare scenario or {"scenario","fault"} envelope, strict JSON, a
+// buildable spec — and returns the content address the daemon would
+// cache the result under, without solving anything. It is how an
+// ffcgw computes a request's home replica: gateway and replica derive
+// the same key from the same bytes by construction, so the ring
+// placement and the replica's cache entry can never disagree.
+func CanonicalKey(body []byte) (runcache.Key, error) {
+	req, err := parseRunRequest(body, nil)
+	if err != nil {
+		return runcache.Key{}, err
+	}
+	return req.key, nil
+}
+
 // parseRunRequest accepts either a bare scenario document (the
 // internal/scenario JSON format) or an envelope {"scenario": {...},
 // "fault": "..."}; the two are distinguished by the presence of a

@@ -47,6 +47,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/nettheory/feedbackflow/internal/fault"
@@ -142,6 +143,13 @@ type Server struct {
 	cache *runcache.Cache
 	mux   *http.ServeMux
 	start time.Time
+
+	// draining flips once graceful shutdown begins; from then on
+	// /healthz answers 503 so pool-level health checks (an ffcgw
+	// routing to this replica) stop sending new work while the drain
+	// window runs out. In-flight and still-arriving /run traffic is
+	// unaffected — the drain itself is the HTTP server's business.
+	draining atomic.Bool
 
 	// Admission: every solver holds a queue ticket for its whole
 	// wait+run; at most Workers of them additionally hold a run slot.
@@ -240,6 +248,10 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Dur
 		return err
 	case <-ctx.Done():
 	}
+	// Flip health before the listener closes: a probe racing the
+	// shutdown sees "draining" instead of "ok", so a gateway ejects
+	// this replica rather than routing to a socket about to vanish.
+	s.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -335,10 +347,7 @@ func marshalReport(rep interface{}) ([]byte, error) {
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.queueDepthG.Set(float64(len(s.queue)))
-	sp := s.tracer.Start("run")
-	if sp != nil {
-		w.Header().Set("X-FFCD-Trace-ID", sp.ID().String())
-	}
+	sp := s.startSpan(w, r, "run")
 	outcome := s.serveRun(w, r, sp)
 	sp.Outcome(outcome)
 	sp.End()
@@ -348,6 +357,25 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if h := s.latRun[outcome]; h != nil {
 		h.Observe(time.Since(start).Seconds())
 	}
+}
+
+// startSpan begins the request span, adopting an upstream trace ID
+// when the request carries one — an ffcgw forwards its own
+// X-FFCD-Trace-ID, so gateway and replica spans share an identity and
+// the JSONL streams on both sides join on it. The header is echoed in
+// the response whenever an identity exists: always with tracing on,
+// and on propagated requests even with tracing off (costing nothing on
+// the untraced, non-propagated hot path).
+func (s *Server) startSpan(w http.ResponseWriter, r *http.Request, name string) *obs.Span {
+	inbound, _ := obs.ParseTraceID(r.Header.Get("X-FFCD-Trace-ID"))
+	sp := s.tracer.StartWith(name, inbound)
+	switch {
+	case sp != nil:
+		w.Header().Set("X-FFCD-Trace-ID", sp.ID().String())
+	case inbound != 0:
+		w.Header().Set("X-FFCD-Trace-ID", inbound.String())
+	}
+	return sp
 }
 
 // serveRun is the /run body; it returns the request's outcome label.
@@ -404,10 +432,7 @@ type batchItem struct {
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.queueDepthG.Set(float64(len(s.queue)))
-	sp := s.tracer.Start("batch")
-	if sp != nil {
-		w.Header().Set("X-FFCD-Trace-ID", sp.ID().String())
-	}
+	sp := s.startSpan(w, r, "batch")
 	outcome := s.serveBatch(w, r, sp)
 	sp.Outcome(outcome)
 	sp.End()
@@ -516,10 +541,29 @@ func (s *Server) serveBatchItem(ctx context.Context, raw json.RawMessage, item *
 	return outMiss
 }
 
+// BeginDrain marks the server as draining: /healthz answers 503 from
+// here on, while every other endpoint keeps serving until the HTTP
+// server's own drain completes. ListenAndServe calls it on context
+// cancellation; it is idempotent and safe to call directly (tests, or
+// an embedding daemon with its own shutdown sequence).
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"status\":\"ok\",\"queue_occupancy\":%d,\"queue_capacity\":%d,\"uptime_ns\":%d}\n",
-		s.inflight(), cap(s.queue), time.Since(s.start).Nanoseconds())
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		// 503 + Retry-After: the conventional "lame duck" answer, so
+		// generic health checkers and ffcgw probes alike stop routing
+		// here without special-casing the body.
+		status, code = "draining", http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(code)
+	}
+	fmt.Fprintf(w, "{\"status\":%q,\"queue_occupancy\":%d,\"queue_capacity\":%d,\"uptime_ns\":%d}\n",
+		status, s.inflight(), cap(s.queue), time.Since(s.start).Nanoseconds())
 }
 
 // handleMetrics serves the server's registries in one of two forms,

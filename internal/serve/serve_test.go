@@ -440,3 +440,149 @@ func TestServeGracefulShutdownDrainsInflight(t *testing.T) {
 		t.Fatal("server did not shut down after draining")
 	}
 }
+
+// TestServeHealthzDrainFlip pins the drain-window status flip: a
+// draining daemon must answer /healthz with 503 so a gateway health
+// probe stops routing to a replica that is about to disappear, while
+// /run keeps serving for the in-flight window.
+func TestServeHealthzDrainFlip(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before drain: %d, want 200", resp.StatusCode)
+	}
+
+	s.BeginDrain()
+	if !s.Draining() {
+		t.Fatal("Draining() = false after BeginDrain")
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining /healthz carries no Retry-After")
+	}
+	if !strings.Contains(string(body), `"status":"draining"`) {
+		t.Errorf("draining /healthz body = %s, want status \"draining\"", body)
+	}
+
+	// The flip gates routing, not service: in-flight-window traffic on
+	// /run still succeeds while the HTTP server drains.
+	if resp, body := post(t, ts.URL+"/run", testScenario); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/run during drain window: %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestServeTraceIDPropagation pins the end-to-end trace contract: a
+// request carrying an upstream X-FFCD-Trace-ID (an ffcgw forwarding
+// its span) is served under that identity — the response echoes it and
+// the replica's own span event adopts it — while garbage in the header
+// is ignored.
+func TestServeTraceIDPropagation(t *testing.T) {
+	sink := &traceSink{}
+	_, ts := newTestServer(t, Config{Workers: 2, Tracer: obs.NewTracer(sink)})
+
+	const upstream = "00c0ffee00c0ffee"
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/run", strings.NewReader(testScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-FFCD-Trace-ID", upstream)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-FFCD-Trace-ID"); got != upstream {
+		t.Fatalf("propagated trace ID: response header %q, want %q", got, upstream)
+	}
+	evs := sink.events
+	if len(evs) != 1 || evs[0].Trace != upstream {
+		t.Fatalf("span events %+v, want exactly one carrying %q", evs, upstream)
+	}
+
+	// A malformed inbound ID falls back to a fresh local one.
+	req2, _ := http.NewRequest(http.MethodPost, ts.URL+"/run", strings.NewReader(testScenario))
+	req2.Header.Set("X-FFCD-Trace-ID", "not-a-trace-id!!")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	got := resp2.Header.Get("X-FFCD-Trace-ID")
+	if len(got) != 16 || got == upstream {
+		t.Fatalf("malformed inbound ID: response header %q, want a fresh 16-hex ID", got)
+	}
+
+	// With tracing off, a propagated ID is still echoed (the gateway's
+	// identity survives the replica) even though no span is recorded.
+	_, ts2 := newTestServer(t, Config{Workers: 2})
+	req3, _ := http.NewRequest(http.MethodPost, ts2.URL+"/run", strings.NewReader(testScenario))
+	req3.Header.Set("X-FFCD-Trace-ID", upstream)
+	resp3, err := http.DefaultClient.Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if got := resp3.Header.Get("X-FFCD-Trace-ID"); got != upstream {
+		t.Fatalf("tracing-off echo: response header %q, want %q", got, upstream)
+	}
+}
+
+// TestCanonicalKeyMatchesCache pins the gateway routing contract:
+// CanonicalKey over equivalent request bodies (key order, whitespace,
+// bare vs envelope form) yields one key, distinct scenarios yield
+// distinct keys, and garbage is rejected with the same strictness as
+// POST /run.
+func TestCanonicalKeyMatchesCache(t *testing.T) {
+	k1, err := CanonicalKey([]byte(testScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same scenario, reformatted and envelope-wrapped.
+	var spec map[string]interface{}
+	if err := json.Unmarshal([]byte(testScenario), &spec); err != nil {
+		t.Fatal(err)
+	}
+	compact, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := CanonicalKey(compact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k3, err := CanonicalKey([]byte(`{"scenario": ` + testScenario + `}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 || k1 != k3 {
+		t.Fatal("equivalent bodies produced distinct canonical keys")
+	}
+	// A fault spec joins the address; a distinct scenario moves it.
+	kf, err := CanonicalKey([]byte(`{"scenario": ` + testScenario + `, "fault": "seed=3,loss=0.5@10-20"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kf == k1 {
+		t.Fatal("fault spec did not change the canonical key")
+	}
+	if _, err := CanonicalKey([]byte(`{"name": 42}`)); err == nil {
+		t.Fatal("CanonicalKey accepted an invalid scenario")
+	}
+}
