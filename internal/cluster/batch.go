@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"sync"
 
@@ -33,9 +32,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 	outcome := g.serveBatch(w, r, sp)
 	sp.Outcome(outcome)
 	sp.End()
-	if h := g.latBatch[outcome]; h != nil {
-		h.Observe(g.clock.Now().Sub(start).Seconds())
-	}
+	observeLatency(g.latBatch, outcome, g.clock.Now().Sub(start).Seconds())
 }
 
 func (g *Gateway) serveBatch(w http.ResponseWriter, r *http.Request, sp *obs.Span) string {
@@ -44,11 +41,9 @@ func (g *Gateway) serveBatch(w http.ResponseWriter, r *http.Request, sp *obs.Spa
 		g.error(w, http.StatusMethodNotAllowed, fmt.Errorf(`POST {"runs": [...]} to /batch`))
 		return out405
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
-	if err != nil {
-		g.badReqs.Inc()
-		g.error(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body: %v", err))
-		return out413
+	body, failed := g.readBody(w, r)
+	if failed != "" {
+		return failed
 	}
 
 	// Route: address every item independently and group by home

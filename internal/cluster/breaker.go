@@ -16,7 +16,7 @@ const (
 
 // breaker is one replica's circuit breaker: closed → open after
 // Threshold consecutive request failures, open → half-open once
-// Cooldown has elapsed (admitting exactly one probe request), and
+// Cooldown has elapsed (admitting one probe request at a time), and
 // half-open → closed on that probe's success or back → open on its
 // failure. Time flows in through the caller's injected clock — every
 // method takes now — so the state machine is a pure function of the
@@ -27,6 +27,7 @@ type breaker struct {
 	state     int
 	fails     int // consecutive failures while closed
 	openedAt  time.Time
+	trialAt   time.Time // when the current half-open trial was admitted
 	threshold int
 	cooldown  time.Duration
 
@@ -39,6 +40,12 @@ type breaker struct {
 // While open it returns false until cooldown has elapsed, at which
 // point it transitions to half-open and admits exactly one probe;
 // subsequent calls stay rejected until that probe reports an outcome.
+// A trial outcome is not guaranteed to arrive — the probe may ride a
+// request that is cancelled in flight, or lose the race to another
+// replica's final answer and be dropped unread — so a trial older than
+// one cooldown is written off as lost and a replacement probe admitted,
+// rather than wedging half-open (and the replica out of routing)
+// forever.
 func (b *breaker) allow(now time.Time) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -47,11 +54,16 @@ func (b *breaker) allow(now time.Time) bool {
 		return true
 	case breakerOpen:
 		if now.Sub(b.openedAt) >= b.cooldown {
+			b.trialAt = now
 			b.set(breakerHalfOpen)
 			return true
 		}
 		return false
-	default: // half-open: the one probe is already in flight
+	default: // half-open: one probe in flight, replaced if its outcome is lost
+		if now.Sub(b.trialAt) >= b.cooldown {
+			b.trialAt = now
+			return true
+		}
 		return false
 	}
 }

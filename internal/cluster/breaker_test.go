@@ -81,6 +81,42 @@ func TestBreakerLifecycle(t *testing.T) {
 	}
 }
 
+func TestBreakerLostTrialAdmitsReplacementProbe(t *testing.T) {
+	b := breaker{threshold: 1, cooldown: time.Second}
+	t0 := time.Unix(1_700_000_000, 0)
+	b.failure(t0) // trips (threshold 1)
+
+	probeAt := t0.Add(time.Second)
+	if !b.allow(probeAt) {
+		t.Fatal("breaker did not admit the half-open probe after cooldown")
+	}
+	// The trial's outcome never arrives — it rode a request that was
+	// cancelled in flight, or lost the race to another replica's final
+	// answer and was dropped unread. Within one cooldown the trial is
+	// presumed live and holds the single-probe slot...
+	if b.allow(probeAt.Add(b.cooldown / 2)) {
+		t.Fatal("half-open breaker admitted a second probe while the trial was fresh")
+	}
+	// ...but once a full cooldown passes with no outcome, the trial is
+	// written off and a replacement probe admitted: the breaker must not
+	// wedge half-open, excluding the replica from routing forever.
+	retryAt := probeAt.Add(b.cooldown)
+	if !b.allow(retryAt) {
+		t.Fatal("breaker wedged half-open after losing the trial outcome")
+	}
+	if got := b.snapshotState(); got != breakerHalfOpen {
+		t.Fatalf("state after replacement probe = %d, want half-open", got)
+	}
+	// The replacement takes over the slot on the same terms.
+	if b.allow(retryAt.Add(b.cooldown / 2)) {
+		t.Fatal("replacement probe did not take over the single-probe slot")
+	}
+	b.success()
+	if got := b.snapshotState(); got != breakerClosed {
+		t.Fatalf("state after replacement probe success = %d, want closed", got)
+	}
+}
+
 func TestBreakerStragglerFailureRefreshesCooldown(t *testing.T) {
 	b := breaker{threshold: 1, cooldown: time.Second}
 	t0 := time.Unix(1_700_000_000, 0)

@@ -154,21 +154,25 @@ func (c Config) withDefaults() Config {
 // histogram families: the cache verdict for proxied successes, the
 // HTTP status for everything else ("ok" labels a /batch whose items
 // ran — each item carries its own cache verdict in the envelope).
+// "other" is the catch-all family for proxied statuses with no
+// dedicated histogram (a replica replying e.g. 500 or 404), so every
+// request's latency is recorded somewhere.
 const (
-	outHit  = "hit"
-	outMiss = "miss"
-	outOK   = "ok"
-	out400  = "400"
-	out405  = "405"
-	out413  = "413"
-	out422  = "422"
-	out429  = "429"
-	out502  = "502"
-	out503  = "503"
-	out504  = "504"
+	outHit   = "hit"
+	outMiss  = "miss"
+	outOK    = "ok"
+	out400   = "400"
+	out405   = "405"
+	out413   = "413"
+	out422   = "422"
+	out429   = "429"
+	out502   = "502"
+	out503   = "503"
+	out504   = "504"
+	outOther = "other"
 )
 
-var outcomes = []string{outHit, outMiss, outOK, out400, out405, out413, out422, out429, out502, out503, out504}
+var outcomes = []string{outHit, outMiss, outOK, out400, out405, out413, out422, out429, out502, out503, out504, outOther}
 
 func latencyFamily(reg *obs.Registry, endpoint string) map[string]*obs.Histogram {
 	m := make(map[string]*obs.Histogram, len(outcomes))
@@ -176,6 +180,17 @@ func latencyFamily(reg *obs.Registry, endpoint string) map[string]*obs.Histogram
 		m[o] = reg.Histogram("gateway.latency."+endpoint+"."+o, 1e-6, 100, 5)
 	}
 	return m
+}
+
+// observeLatency records one request's latency under its outcome
+// label, falling back to the "other" family when the label has no
+// dedicated histogram (a proxied status outside the enumerated set).
+func observeLatency(fam map[string]*obs.Histogram, outcome string, seconds float64) {
+	h := fam[outcome]
+	if h == nil {
+		h = fam[outOther]
+	}
+	h.Observe(seconds)
 }
 
 // errPoolUnhealthy is the load-shedding sentinel: no replica is
@@ -236,6 +251,18 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	if !cfg.Clock.complete() {
 		return nil, fmt.Errorf("cluster: Config.Clock needs Now, Sleep, and After (pass the real clock outside tests)")
+	}
+	// Duplicate base URLs (easy to produce via a comma-separated flag)
+	// would silently give the higher-index copy zero ring share while
+	// Order() still lists it, doubling probes and dispatches against
+	// one backend — reject them outright.
+	seen := make(map[string]int, len(cfg.Replicas))
+	for i, base := range cfg.Replicas {
+		b := strings.TrimRight(base, "/")
+		if j, dup := seen[b]; dup {
+			return nil, fmt.Errorf("cluster: Config.Replicas[%d] %q duplicates Replicas[%d]", i, base, j)
+		}
+		seen[b] = i
 	}
 	cfg = cfg.withDefaults()
 
@@ -375,9 +402,27 @@ func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
 	outcome := g.serveRun(w, r, sp)
 	sp.Outcome(outcome)
 	sp.End()
-	if h := g.latRun[outcome]; h != nil {
-		h.Observe(g.clock.Now().Sub(start).Seconds())
+	observeLatency(g.latRun, outcome, g.clock.Now().Sub(start).Seconds())
+}
+
+// readBody reads the capped request body. On failure it writes the
+// error response and returns its outcome label: exceeding the cap is
+// 413, any other read error — a client disconnect or transport fault
+// mid-body — is a plain 400, so bad_requests and the 413 family count
+// only what they name.
+func (g *Gateway) readBody(w http.ResponseWriter, r *http.Request) ([]byte, string) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err == nil {
+		return body, ""
 	}
+	g.badReqs.Inc()
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		g.error(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body: %v", err))
+		return nil, out413
+	}
+	g.error(w, http.StatusBadRequest, fmt.Errorf("request body: %v", err))
+	return nil, out400
 }
 
 func (g *Gateway) serveRun(w http.ResponseWriter, r *http.Request, sp *obs.Span) string {
@@ -386,11 +431,9 @@ func (g *Gateway) serveRun(w http.ResponseWriter, r *http.Request, sp *obs.Span)
 		g.error(w, http.StatusMethodNotAllowed, fmt.Errorf("POST a scenario document to /run"))
 		return out405
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
-	if err != nil {
-		g.badReqs.Inc()
-		g.error(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body: %v", err))
-		return out413
+	body, failed := g.readBody(w, r)
+	if failed != "" {
+		return failed
 	}
 
 	// Route: derive the content address exactly as the replica will,

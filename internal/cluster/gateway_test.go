@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -624,6 +626,146 @@ func TestGatewayMetricsEndpoint(t *testing.T) {
 	}
 }
 
+func TestGatewayRecoversFromLostBreakerTrial(t *testing.T) {
+	// A half-open trial's outcome can be dropped: the request it rode
+	// was cancelled in flight, or another replica's final answer
+	// returned dispatch first and the straggler was never read. The
+	// breaker must not wedge half-open — after one cooldown with no
+	// outcome it admits a replacement probe and the replica rejoins.
+	r0 := okReplica(t, 0)
+	g, ts, fc := newTestGateway(t, []string{r0.ts.URL}, func(cfg *Config) {
+		cfg.BreakerThreshold = 1
+		cfg.BreakerCooldown = time.Second
+		cfg.EjectAfter = 100 // keep passive ejection out of this test's way
+	})
+	doc := loadgen.Corpus(1)[0]
+
+	br := &g.replicas[0].br
+	br.failure(g.clock.Now()) // threshold 1: open
+	fc.advance(2 * time.Second)
+	if !br.allow(g.clock.Now()) {
+		t.Fatal("cooldown elapsed but no half-open probe admitted")
+	}
+	// The trial outcome is never reported. While it is fresh, the
+	// single-replica pool has nothing to route to: requests shed.
+	resp, _ := post(t, ts.URL+"/run", string(doc))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("request during fresh trial: %d, want 503 shed", resp.StatusCode)
+	}
+	// One more cooldown with no outcome: the lost trial is replaced by
+	// the next request, which succeeds and closes the breaker.
+	fc.advance(2 * time.Second)
+	resp, body := post(t, ts.URL+"/run", string(doc))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after lost trial expired: %d %s, want 200", resp.StatusCode, body)
+	}
+	if got := counter(t, g, "gateway.breaker_closed"); got != 1 {
+		t.Fatalf("gateway.breaker_closed = %d, want 1", got)
+	}
+}
+
+func TestGatewayRecordsLatencyForUnlistedStatus(t *testing.T) {
+	// A replica replying a status with no dedicated histogram (500,
+	// 404, ...) must still have its latency recorded — in the "other"
+	// catch-all family — not silently dropped.
+	var status atomic.Int64
+	r0 := newStubReplica(t, func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.WriteHeader(int(status.Load()))
+		fmt.Fprint(w, `{"error":"unwell"}`)
+	})
+	g, ts, _ := newTestGateway(t, []string{r0.ts.URL}, func(cfg *Config) {
+		cfg.BreakerThreshold = 100
+		cfg.EjectAfter = 100
+	})
+	doc := loadgen.Corpus(1)[0]
+	for i, code := range []int{http.StatusInternalServerError, http.StatusNotFound} {
+		status.Store(int64(code))
+		resp, _ := post(t, ts.URL+"/run", string(doc))
+		if resp.StatusCode != code {
+			t.Fatalf("replica %d not proxied: got %d", code, resp.StatusCode)
+		}
+		if got := g.latRun[outOther].Count(); got != int64(i+1) {
+			t.Fatalf("after proxied %d: gateway.latency.run.other count = %d, want %d", code, got, i+1)
+		}
+	}
+}
+
+func TestGatewayBodyErrorClassification(t *testing.T) {
+	r0 := okReplica(t, 0)
+	g, ts, _ := newTestGateway(t, []string{r0.ts.URL}, func(cfg *Config) {
+		cfg.MaxBodyBytes = 64
+	})
+
+	// A body over the cap is 413.
+	resp, _ := post(t, ts.URL+"/run", strings.Repeat("x", 200))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize body: %d, want 413", resp.StatusCode)
+	}
+	if got := g.latRun[out413].Count(); got != 1 {
+		t.Fatalf("gateway.latency.run.413 count = %d, want 1", got)
+	}
+
+	// A client that dies mid-body is not an oversize request: the
+	// truncated read is a plain 400, not a 413.
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprint(conn, "POST /run HTTP/1.1\r\nHost: gw\r\nContent-Type: application/json\r\nContent-Length: 100\r\n\r\npartial")
+	conn.(*net.TCPConn).CloseWrite() // body ends 93 bytes short
+	hresp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatalf("reading response to truncated request: %v", err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated body: %d, want 400", hresp.StatusCode)
+	}
+	if got := g.latRun[out400].Count(); got != 1 {
+		t.Fatalf("gateway.latency.run.400 count = %d, want 1", got)
+	}
+	if got := g.latRun[out413].Count(); got != 1 {
+		t.Fatalf("gateway.latency.run.413 count = %d after truncated body, want still 1", got)
+	}
+	if got := counter(t, g, "gateway.bad_requests"); got != 2 {
+		t.Fatalf("gateway.bad_requests = %d, want 2", got)
+	}
+	if r0.runs.Load() != 0 {
+		t.Fatal("gateway dispatched a request whose body never arrived")
+	}
+}
+
+func TestGatewayProbesConcurrently(t *testing.T) {
+	// Two replicas whose /healthz handlers each wait for the other's
+	// probe to arrive before answering: only concurrent probing within
+	// a round lets both answer 200. Serial probing would stall on the
+	// first replica until ProbeTimeout and record a probe failure.
+	var both sync.WaitGroup
+	both.Add(2)
+	mkReplica := func() *httptest.Server {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			both.Done()
+			both.Wait()
+			fmt.Fprint(w, `{"status":"ok"}`)
+		}))
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	a, b := mkReplica(), mkReplica()
+	g, _, _ := newTestGateway(t, []string{a.URL, b.URL}, func(cfg *Config) {
+		cfg.ProbeTimeout = 5 * time.Second
+	})
+	g.ProbeAll(context.Background())
+	if got := counter(t, g, "gateway.probe_failures"); got != 0 {
+		t.Fatalf("gateway.probe_failures = %d, want 0 — probe round looks serial", got)
+	}
+	if got := g.HealthyReplicas(); got != 2 {
+		t.Fatalf("healthy replicas after barrier round = %d, want 2", got)
+	}
+}
+
 func TestNewValidatesConfig(t *testing.T) {
 	fc := newFakeClock()
 	base := Config{
@@ -640,6 +782,9 @@ func TestNewValidatesConfig(t *testing.T) {
 		"no clock":    func(c *Config) { c.Clock = Clock{} },
 		"partial clock": func(c *Config) {
 			c.Clock = Clock{Now: time.Now}
+		},
+		"duplicate replicas": func(c *Config) {
+			c.Replicas = []string{"http://a", "http://a/"}
 		},
 	} {
 		cfg := base

@@ -88,14 +88,24 @@ func (g *Gateway) Run(ctx context.Context) error {
 	}
 }
 
-// ProbeAll probes every replica's /healthz once, feeding the ejection
-// machines. A replica that answers anything but 200 — including the
-// 503 a draining ffcd flips to — counts as failed, so a replica
-// announcing shutdown is ejected before its listener disappears.
+// ProbeAll probes every replica's /healthz once, concurrently, feeding
+// the ejection machines. A replica that answers anything but 200 —
+// including the 503 a draining ffcd flips to — counts as failed, so a
+// replica announcing shutdown is ejected before its listener
+// disappears. The probes run in parallel so one black-holed replica
+// costs the round ProbeTimeout once, not once per dead replica —
+// ejection latency stays within a few probe intervals however many
+// replicas fail together.
 func (g *Gateway) ProbeAll(ctx context.Context) {
+	var wg sync.WaitGroup
 	for _, r := range g.replicas {
-		g.probeOne(ctx, r)
+		wg.Add(1)
+		go func(r *replica) {
+			defer wg.Done()
+			g.probeOne(ctx, r)
+		}(r)
 	}
+	wg.Wait()
 }
 
 func (g *Gateway) probeOne(ctx context.Context, r *replica) {
