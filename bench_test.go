@@ -438,3 +438,7 @@ func BenchmarkE21ConjectureSweep(b *testing.B) { benchExperiment(b, "E21") }
 // BenchmarkE22FaultRecovery regenerates the Theorem-5-under-faults
 // recovery comparison (four perturbed runs with full trajectories).
 func BenchmarkE22FaultRecovery(b *testing.B) { benchExperiment(b, "E22") }
+
+// BenchmarkE23FluidConvergence regenerates the fluid-vs-discrete
+// population ladder cross-validation.
+func BenchmarkE23FluidConvergence(b *testing.B) { benchExperiment(b, "E23") }

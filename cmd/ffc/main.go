@@ -34,6 +34,7 @@ import (
 
 	ff "github.com/nettheory/feedbackflow"
 	"github.com/nettheory/feedbackflow/internal/cli"
+	"github.com/nettheory/feedbackflow/internal/fluid"
 	"github.com/nettheory/feedbackflow/internal/obs"
 )
 
@@ -63,6 +64,7 @@ func main() {
 		steps    = flag.Int("steps", 200000, "max iteration steps")
 		seed     = flag.Int64("seed", 1, "seed for the random initial rates")
 		faultStr = flag.String("fault", "", "fault-injection spec, e.g. \"seed=3,loss=0.5@50-120,outage=0@150-170\" (docs/ROBUSTNESS.md)")
+		backend  = flag.String("backend", "auto", "solver backend for -config scenarios: auto, discrete, or fluid (docs/FLUID.md)")
 	)
 	var ofl obsFlags
 	flag.StringVar(&ofl.metricsJSON, "metrics-json", "", "write a machine-readable run report to this path (\"-\" for stdout)")
@@ -80,9 +82,22 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("-fault: %w", err))
 	}
+	switch *backend {
+	case "auto", "discrete", "fluid":
+	default:
+		fatal(fmt.Errorf("-backend %q: want auto, discrete, or fluid", *backend))
+	}
+	if *backend == "fluid" {
+		if *config == "" {
+			fatal(fmt.Errorf("-backend=fluid solves declarative scenarios; pass one with -config"))
+		}
+		if faultCfg.Enabled() {
+			fatal(fmt.Errorf("-fault is per-connection and requires the discrete backend"))
+		}
+	}
 
 	if *config != "" {
-		if err := runConfig(*config, ofl, faultCfg); err != nil {
+		if err := runConfig(*config, ofl, faultCfg, *backend); err != nil {
 			fatal(err)
 		}
 		return
@@ -140,8 +155,11 @@ func main() {
 	}
 }
 
-// runConfig loads a declarative JSON scenario and reports its run.
-func runConfig(path string, ofl obsFlags, faultCfg ff.FaultConfig) error {
+// runConfig loads a declarative JSON scenario and reports its run,
+// solving with the discrete or fluid backend per -backend ("auto"
+// picks fluid once the population reaches fluid.DefaultThreshold
+// connections and the run is unfaulted).
+func runConfig(path string, ofl obsFlags, faultCfg ff.FaultConfig, backend string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -150,6 +168,17 @@ func runConfig(path string, ofl obsFlags, faultCfg ff.FaultConfig) error {
 	spec, err := ff.LoadScenario(f)
 	if err != nil {
 		return err
+	}
+	useFluid := backend == "fluid"
+	if backend == "auto" && !faultCfg.Enabled() {
+		total, err := spec.TotalConnections()
+		if err != nil {
+			return err
+		}
+		useFluid = total >= fluid.DefaultThreshold
+	}
+	if useFluid {
+		return runFluid(spec, ofl)
 	}
 	sys, r0, err := spec.Build()
 	if err != nil {
@@ -161,6 +190,60 @@ func runConfig(path string, ofl obsFlags, faultCfg ff.FaultConfig) error {
 		return runFaulted(sys, r0, spec.RunOptions(), spec.Name, ofl, faultCfg)
 	}
 	return runAndReport(sys, r0, spec.RunOptions(), spec.Name, ofl)
+}
+
+// runFluid solves a scenario on the fluid backend and prints the
+// class-level steady state; fairness and stability analysis are
+// defined on the discrete system and are not reported here.
+func runFluid(spec *ff.Scenario, ofl obsFlags) error {
+	fsys, r0, err := fluid.FromSpec(spec)
+	if err != nil {
+		return err
+	}
+	weights := fsys.Weights()
+	fmt.Printf("scenario: %s (fluid backend: %.0f connections in %d classes)\n",
+		spec.Name, fsys.Population(), fsys.NumClasses())
+	opt := spec.RunOptions()
+	var tsv *obs.TSVTracer
+	if ofl.trace {
+		tsv = obs.NewTSVTracer(os.Stderr, ofl.traceEvery)
+		opt.Tracer = tsv
+	}
+	res, err := fsys.Run(r0, opt)
+	if err != nil {
+		return err
+	}
+	if tsv != nil {
+		if err := tsv.Flush(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	report := func() error {
+		if ofl.metricsJSON == "" {
+			return nil
+		}
+		rep, err := fsys.Report(res, spec.Name)
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		return cli.WriteJSON(ofl.metricsJSON, rep)
+	}
+	if !res.Converged {
+		fmt.Printf("did NOT converge after %d steps; last class rates: %s\n",
+			res.Steps, fmtRates(res.Rates))
+		if err := report(); err != nil {
+			return err
+		}
+		cli.Exit(1)
+	}
+	fmt.Printf("converged in %d steps (%.2fms, residual %.3g -> %.3g)\n",
+		res.Steps, float64(res.Stats.WallTime.Nanoseconds())/1e6,
+		res.Stats.InitialResidual, res.Stats.FinalResidual)
+	for c := range weights {
+		fmt.Printf("class %d: weight %.0f rate %.6g signal %.5f delay %.5f\n",
+			c, weights[c], res.Rates[c], res.Final.Signals[c], res.Final.Delays[c])
+	}
+	return report()
 }
 
 // runFaulted runs the -fault robustness protocol: baseline run,

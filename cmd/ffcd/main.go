@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"github.com/nettheory/feedbackflow/internal/cli"
+	"github.com/nettheory/feedbackflow/internal/fluid"
 	"github.com/nettheory/feedbackflow/internal/obs"
 	"github.com/nettheory/feedbackflow/internal/serve"
 )
@@ -55,11 +56,19 @@ func main() {
 		cacheBytes   = flag.Int64("cache-bytes", 256<<20, "result cache bound, in report bytes (0 = unbounded)")
 		maxBody      = flag.Int64("max-body", 8<<20, "max request body bytes")
 		maxBatch     = flag.Int("max-batch", 256, "max runs per /batch request")
+		backend      = flag.String("backend", "auto", "solver backend: auto, discrete, or fluid (auto solves populations of at least -fluid-threshold connections with the fluid backend)")
+		fluidThresh  = flag.Int64("fluid-threshold", fluid.DefaultThreshold, "population at which -backend=auto switches to the fluid solver")
 		drain        = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window for in-flight runs")
 		debugAddr    = flag.String("debug-addr", "", "also serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 		traceJSONL   = flag.String("trace-jsonl", "", `emit one JSON span event per request to this file ("-" = stdout; empty = tracing off)`)
 	)
 	flag.Parse()
+
+	switch *backend {
+	case serve.BackendAuto, serve.BackendDiscrete, serve.BackendFluid:
+	default:
+		fatal(fmt.Errorf("-backend %q: want auto, discrete, or fluid", *backend))
+	}
 
 	var tracer *obs.Tracer
 	if *traceJSONL != "" {
@@ -86,13 +95,15 @@ func main() {
 	}
 
 	s := serve.New(serve.Config{
-		Workers:      *workers,
-		Queue:        *queue,
-		CacheEntries: *cacheEntries,
-		CacheBytes:   *cacheBytes,
-		MaxBodyBytes: *maxBody,
-		MaxBatch:     *maxBatch,
-		Tracer:       tracer,
+		Workers:        *workers,
+		Queue:          *queue,
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheBytes,
+		MaxBodyBytes:   *maxBody,
+		MaxBatch:       *maxBatch,
+		Tracer:         tracer,
+		Backend:        *backend,
+		FluidThreshold: *fluidThresh,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -193,8 +193,8 @@ func TestFacadeDynamics(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	all := ff.Experiments()
-	if len(all) != 25 {
-		t.Fatalf("expected 25 experiments, got %d", len(all))
+	if len(all) != 26 {
+		t.Fatalf("expected 26 experiments, got %d", len(all))
 	}
 	res, err := ff.RunExperiment("E1")
 	if err != nil {

@@ -20,9 +20,9 @@ package analytic
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
+	"github.com/nettheory/feedbackflow/internal/finite"
 	"github.com/nettheory/feedbackflow/internal/queueing"
 	"github.com/nettheory/feedbackflow/internal/signal"
 )
@@ -40,7 +40,7 @@ func SteadyState(disc queueing.Discipline, bss []float64, b signal.Func, mu floa
 	if n == 0 {
 		return nil, fmt.Errorf("analytic: no connections")
 	}
-	if mu <= 0 || math.IsNaN(mu) || math.IsInf(mu, 0) {
+	if finite.IsBad(mu) || mu <= 0 {
 		return nil, fmt.Errorf("analytic: invalid service rate %v", mu)
 	}
 	// Congestion targets, sorted ascending (queue order follows
@@ -51,7 +51,12 @@ func SteadyState(disc queueing.Discipline, bss []float64, b signal.Func, mu floa
 	}
 	tgts := make([]tgt, n)
 	for i, s := range bss {
-		if s <= 0 || s >= 1 || math.IsNaN(s) {
+		// finite.IsBad first: the range comparisons alone would admit
+		// NaN (!(NaN <= 0)), and while ±Inf happens to fail them here,
+		// every entry point rejecting non-finites through the one
+		// helper keeps the guards consistent (and fuzz-pinned) across
+		// analytic, scenario, and fluid.
+		if finite.IsBad(s) || s <= 0 || s >= 1 {
 			return nil, fmt.Errorf("analytic: target signal bss[%d] = %v outside (0,1)", i, s)
 		}
 		c, err := b.Inverse(s)

@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"io"
 	"net/http"
 	"strconv"
@@ -200,7 +201,7 @@ func (g *Gateway) forward(ctx context.Context, r *replica, path string, body []b
 			u.cache = resp.Header.Get("X-FFCD-Cache")
 			u.trace = resp.Header.Get("X-FFCD-Trace-ID")
 			u.retryAfter = resp.Header.Get("Retry-After")
-			u.body, u.err = io.ReadAll(resp.Body)
+			u.body, u.err = readCapped(resp.Body, g.cfg.MaxResponseBytes)
 			resp.Body.Close()
 		}
 	}
@@ -209,4 +210,23 @@ func (g *Gateway) forward(ctx context.Context, r *replica, path string, body []b
 	case out <- u:
 	case <-ctx.Done():
 	}
+}
+
+// readCapped reads a response body up to max bytes, erroring — rather
+// than truncating or reading without bound — when the body exceeds
+// the cap. Reading to EOF on the happy path is also what hands the
+// connection back to the transport for reuse; over the cap the Close
+// that follows severs the connection instead, which is the right
+// outcome for a replica streaming garbage. Every response path —
+// winners, retried non-2xx answers, hedge losers — funnels through
+// this, so no forward goroutine can be pinned by an unbounded stream.
+func readCapped(body io.Reader, max int64) ([]byte, error) {
+	b, err := io.ReadAll(io.LimitReader(body, max+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(b)) > max {
+		return nil, fmt.Errorf("cluster: upstream response exceeds %d bytes", max)
+	}
+	return b, nil
 }

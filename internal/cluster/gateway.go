@@ -90,6 +90,12 @@ type Config struct {
 	// bounds the items in one /batch request (default 256).
 	MaxBodyBytes int64
 	MaxBatch     int
+	// MaxResponseBytes bounds how much of an upstream response body
+	// the gateway will read — or drain before closing on discard
+	// paths, so a misbehaving replica cannot hold a forward goroutine
+	// on an unbounded stream while still letting well-behaved
+	// connections be reused (default 64 MiB).
+	MaxResponseBytes int64
 
 	// Tracer, when non-nil, records one span per request (phases
 	// route → probe → dispatch → retry → render) whose ID is forwarded
@@ -146,6 +152,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 256
+	}
+	if c.MaxResponseBytes <= 0 {
+		c.MaxResponseBytes = 64 << 20
 	}
 	return c
 }

@@ -794,3 +794,102 @@ func TestNewValidatesConfig(t *testing.T) {
 		}
 	}
 }
+
+func TestGatewayCapsOversizedUpstreamResponse(t *testing.T) {
+	// A replica streaming far past MaxResponseBytes must surface as an
+	// upstream failure after a bounded read, not be buffered whole.
+	big := newStubReplica(t, func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		chunk := strings.Repeat("x", 32<<10)
+		for i := 0; i < 32; i++ {
+			io.WriteString(w, chunk) // 1 MiB total
+		}
+	})
+	g, ts, _ := newTestGateway(t, []string{big.ts.URL}, func(c *Config) {
+		c.MaxResponseBytes = 4 << 10
+		c.MaxAttempts = 1
+	})
+	doc := loadgen.Corpus(1)[0]
+	resp, body := post(t, ts.URL+"/run", string(doc))
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("oversized upstream body: %d, want 502", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "exceeds") {
+		t.Fatalf("error body %q does not name the cap", body)
+	}
+	if got := counter(t, g, "gateway.requests"); got != 1 {
+		t.Fatalf("gateway.requests = %d, want 1", got)
+	}
+}
+
+func TestGatewayDrainsBodiesAndReusesConnections(t *testing.T) {
+	// Leak check: every response path — 200 winners and final non-2xx
+	// answers alike — must drain the body so the transport can reuse
+	// the upstream connection. ConnState counts accepted connections on
+	// the replica; sequential requests over drained bodies need exactly
+	// one, while leaked bodies force a fresh dial per request.
+	var opened atomic.Int64
+	var runs atomic.Int64
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			fmt.Fprint(w, `{"status":"ok"}`)
+			return
+		}
+		io.Copy(io.Discard, r.Body)
+		n := runs.Add(1)
+		if n%4 == 0 {
+			// A deterministic 4xx with a body: non-retryable, proxied
+			// through, and its body still has to be drained.
+			w.WriteHeader(http.StatusUnprocessableEntity)
+		}
+		io.WriteString(w, strings.Repeat("y", 8<<10))
+	}))
+	srv.Config.ConnState = func(c net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			opened.Add(1)
+		}
+	}
+	srv.Start()
+	t.Cleanup(srv.Close)
+
+	_, ts, _ := newTestGateway(t, []string{srv.URL}, nil)
+	docs := loadgen.Corpus(12)
+	for _, doc := range docs {
+		resp, _ := post(t, ts.URL+"/run", string(doc))
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("POST /run: unexpected status %d", resp.StatusCode)
+		}
+	}
+	if n := opened.Load(); n > 2 {
+		t.Fatalf("replica accepted %d connections for %d sequential requests; bodies leaked instead of drained",
+			n, len(docs))
+	}
+}
+
+func TestProbeDrainIsBounded(t *testing.T) {
+	// A misbehaving /healthz that streams an enormous body must not pin
+	// the probe: probeOne drains at most maxProbeDrain and moves on,
+	// still reading the 200 status as healthy.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			io.WriteString(w, strings.Repeat("z", 4<<20))
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	g, _, _ := newTestGateway(t, []string{srv.URL}, nil)
+	done := make(chan struct{})
+	go func() {
+		g.ProbeAll(context.Background())
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("ProbeAll hung on an oversized /healthz body")
+	}
+	if got := counter(t, g, "gateway.probe_failures"); got != 0 {
+		t.Fatalf("gateway.probe_fails = %d; oversized-but-200 probe should count healthy", got)
+	}
+}

@@ -9,6 +9,10 @@ import (
 	"github.com/nettheory/feedbackflow/internal/obs"
 )
 
+// maxProbeDrain bounds how much of a /healthz response body a probe
+// will drain before closing; sane bodies are a few hundred bytes.
+const maxProbeDrain = 64 << 10
+
 // replica is one pool member: its base URL, health/breaker state, and
 // per-replica instruments.
 type replica struct {
@@ -117,7 +121,11 @@ func (g *Gateway) probeOne(ctx context.Context, r *replica) {
 	if err == nil {
 		resp, derr := g.client.Do(req)
 		if derr == nil {
-			io.Copy(io.Discard, resp.Body)
+			// Drain a bounded amount before Close: enough to let a sane
+			// /healthz body (a few hundred bytes) finish and the probe
+			// connection be reused, without letting a misbehaving
+			// replica pin the probe goroutine on an endless stream.
+			io.CopyN(io.Discard, resp.Body, maxProbeDrain)
 			resp.Body.Close()
 			ok = resp.StatusCode == http.StatusOK
 		}

@@ -29,6 +29,7 @@
 //	E20  Extension: selfish sources ([She89])
 //	E21  Numerical evidence for the §3.3 conjecture
 //	E22  Theorem 5 under injected faults (recovery analytics)
+//	E23  Fluid-limit backend cross-validation (discrete → ODE in N)
 //	A1   Ablation: differencing scheme at signal kinks
 //	A2   Ablation: signal-family independence
 //	A3   Ablation: preemption is necessary for Theorem 5

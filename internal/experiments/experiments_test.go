@@ -7,7 +7,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "A1", "A2", "A3"}
+	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "A1", "A2", "A3"}
 	if len(all) != len(wantIDs) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(wantIDs))
 	}
@@ -161,6 +161,7 @@ func TestE19(t *testing.T) { runAndCheck(t, "E19") }
 func TestE20(t *testing.T) { runAndCheck(t, "E20") }
 func TestE21(t *testing.T) { runAndCheck(t, "E21") }
 func TestE22(t *testing.T) { runAndCheck(t, "E22") }
+func TestE23(t *testing.T) { runAndCheck(t, "E23") }
 func TestA1(t *testing.T)  { runAndCheck(t, "A1") }
 func TestA2(t *testing.T)  { runAndCheck(t, "A2") }
 func TestA3(t *testing.T)  { runAndCheck(t, "A3") }

@@ -1,0 +1,46 @@
+// Package finite is the single home of the non-finite guards every
+// validated numeric entry point shares. The failure mode it exists to
+// prevent: comparison-based range checks wave NaN and ±Inf through
+// (!(NaN <= 0) is true, +Inf passes any "> 0" test), so each validator
+// that hand-rolls its own guard tends to cover a different subset —
+// analytic.go rejected NaN but not explicit Inf, scenario had two
+// copies of the same check, and the fluid backend adds a third caller.
+// Centralizing the predicate keeps every entry point rejecting exactly
+// the same set of values, and the fuzz test in this package pins that
+// set bit-for-bit.
+package finite
+
+import (
+	"fmt"
+	"math"
+)
+
+// IsBad reports whether v is NaN or ±Inf — the values a validator must
+// reject before any range comparison, because comparisons silently
+// mis-handle them.
+func IsBad(v float64) bool {
+	return math.IsNaN(v) || math.IsInf(v, 0)
+}
+
+// Check rejects non-finite v with the repo's standard message shape:
+// "<pkg>: <name> = <v>: parameters must be finite". Finite values
+// (negative zero included — it is a value question, not a finiteness
+// question) pass.
+func Check(pkg, name string, v float64) error {
+	if IsBad(v) {
+		return fmt.Errorf("%s: %s = %v: parameters must be finite", pkg, name, v)
+	}
+	return nil
+}
+
+// Norm collapses negative zero to +0 and returns every other value
+// unchanged (NaN and ±Inf included). Callers that key maps or caches
+// on float bits — the fluid backend's class grouping does — use it so
+// -0 and +0, which behave identically in every law and kernel, land in
+// one bucket instead of two.
+func Norm(v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	return v
+}

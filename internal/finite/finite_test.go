@@ -1,0 +1,83 @@
+package finite
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIsBad(t *testing.T) {
+	bad := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	for _, v := range bad {
+		if !IsBad(v) {
+			t.Errorf("IsBad(%v) = false, want true", v)
+		}
+		if err := Check("pkg", "x", v); err == nil {
+			t.Errorf("Check(%v) = nil, want error", v)
+		}
+	}
+	good := []float64{0, math.Copysign(0, -1), 1, -1, math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64}
+	for _, v := range good {
+		if IsBad(v) {
+			t.Errorf("IsBad(%v) = true, want false", v)
+		}
+		if err := Check("pkg", "x", v); err != nil {
+			t.Errorf("Check(%v) = %v, want nil", v, err)
+		}
+	}
+}
+
+func TestCheckMessage(t *testing.T) {
+	err := Check("scenario", "gateway[0].mu", math.Inf(1))
+	if err == nil {
+		t.Fatal("want error")
+	}
+	want := "scenario: gateway[0].mu = +Inf: parameters must be finite"
+	if err.Error() != want {
+		t.Fatalf("message = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestNorm(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	if math.Signbit(Norm(negZero)) {
+		t.Error("Norm(-0) kept the sign bit")
+	}
+	if Norm(0) != 0 || math.Signbit(Norm(0)) {
+		t.Error("Norm(+0) changed")
+	}
+}
+
+// FuzzGuards pins the invariants every validator relies on: IsBad
+// matches the math-package predicates exactly, Check errors iff IsBad,
+// and Norm only ever touches the sign bit of zero.
+func FuzzGuards(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(math.Float64bits(math.NaN()))
+	f.Add(math.Float64bits(math.Inf(1)))
+	f.Add(math.Float64bits(math.Inf(-1)))
+	f.Add(math.Float64bits(math.Copysign(0, -1)))
+	f.Add(math.Float64bits(1.5))
+	f.Add(uint64(0x7ff0000000000001)) // signaling-NaN bit pattern
+	f.Fuzz(func(t *testing.T, bits uint64) {
+		v := math.Float64frombits(bits)
+		want := math.IsNaN(v) || math.IsInf(v, 0)
+		if IsBad(v) != want {
+			t.Fatalf("IsBad(%x) = %v, want %v", bits, IsBad(v), want)
+		}
+		if (Check("p", "n", v) != nil) != want {
+			t.Fatalf("Check(%x) disagrees with IsBad", bits)
+		}
+		n := Norm(v)
+		if v == 0 {
+			if math.Signbit(n) || n != 0 {
+				t.Fatalf("Norm(zero %x) = %x", bits, math.Float64bits(n))
+			}
+		} else if math.Float64bits(n) != bits {
+			t.Fatalf("Norm changed non-zero %x -> %x", bits, math.Float64bits(n))
+		}
+		// Idempotence: a second pass is a no-op.
+		if nn := Norm(n); math.Float64bits(nn) != math.Float64bits(n) {
+			t.Fatalf("Norm not idempotent on %x", bits)
+		}
+	})
+}

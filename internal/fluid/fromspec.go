@@ -1,0 +1,68 @@
+package fluid
+
+import (
+	"fmt"
+
+	"github.com/nettheory/feedbackflow/internal/scenario"
+)
+
+// FromSpec compiles a scenario into a fluid system plus the per-class
+// initial rate vector, the backend counterpart of scenario.Spec.Build.
+// The population is never materialized: a single count=10⁷ connection
+// entry becomes one class of weight 10⁷, so both the compile and every
+// subsequent Run step cost O(#classes). FromSpec validates everything
+// the fluid path consumes (counts, gateway parameters, law kinds and
+// parameters, initial rates), which makes it the request-time
+// validation gate for fluid-routed serving just as Build is for
+// discrete.
+func FromSpec(sp *scenario.Spec) (*System, []float64, error) {
+	if sp.MaxSteps < 0 {
+		return nil, nil, fmt.Errorf("scenario: maxSteps %d is negative (0 means the default)", sp.MaxSteps)
+	}
+	classes, err := sp.FluidClasses()
+	if err != nil {
+		return nil, nil, err
+	}
+	disc, err := scenario.BuildDiscipline(sp.Discipline)
+	if err != nil {
+		return nil, nil, err
+	}
+	style, err := scenario.BuildFeedback(sp.Feedback)
+	if err != nil {
+		return nil, nil, err
+	}
+	sigFn, err := scenario.BuildSignal(sp.Signal)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := Config{
+		Gateways:   make([]Gateway, len(sp.Gateways)),
+		Classes:    make([]Class, len(classes)),
+		Discipline: disc,
+		Style:      style,
+		Signal:     sigFn,
+	}
+	byName := make(map[string]int, len(sp.Gateways))
+	for a, g := range sp.Gateways {
+		byName[g.Name] = a
+		cfg.Gateways[a] = Gateway{Mu: g.Mu, Latency: g.Latency}
+	}
+	r0 := make([]float64, len(classes))
+	for i, cs := range classes {
+		law, err := scenario.BuildLaw(cs.Law)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario: class %d: %w", i, err)
+		}
+		route := make([]int, len(cs.Path))
+		for hop, name := range cs.Path {
+			route[hop] = byName[name] // FluidClasses already rejected unknown names
+		}
+		cfg.Classes[i] = Class{Weight: float64(cs.Count), Law: law, Route: route}
+		r0[i] = cs.Initial
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, r0, nil
+}

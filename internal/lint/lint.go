@@ -118,6 +118,7 @@ var detPackages = map[string]bool{
 	modulePath + "/internal/stability": true,
 	modulePath + "/internal/dynamics":  true,
 	modulePath + "/internal/fault":     true,
+	modulePath + "/internal/fluid":     true,
 	modulePath + "/internal/recovery":  true,
 	modulePath + "/internal/scenario":  true,
 	modulePath + "/internal/runcache":  true,

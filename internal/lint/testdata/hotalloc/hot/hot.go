@@ -116,3 +116,50 @@ func PrefixSumNaive(q, r []float64) {
 		cum += r[i]
 	}
 }
+
+// stageWorkspace mirrors the fluid integrator's workspace: stage
+// derivative and endpoint buffers sized once at construction and
+// reused by every step.
+type stageWorkspace struct {
+	k1, k2 []float64
+	y1, y2 []float64
+}
+
+// RK4Step is the sanctioned integrator inner-loop shape: all stage
+// arithmetic lands in workspace-owned buffers indexed in place, the
+// step size and accumulators are scalars, and the derivative callout
+// is a plain method call.
+//
+//ffc:hotpath
+func (w *stageWorkspace) RK4Step(r, next []float64, h float64) {
+	w.deriv(r, w.k1)
+	for i := range r {
+		w.y1[i] = r[i] + 0.5*h*w.k1[i] // stage buffers indexed in place: silent
+	}
+	w.deriv(w.y1, w.k2)
+	for i := range r {
+		next[i] = r[i] + h/6*(w.k1[i]+2*w.k2[i]) // caller-owned output: silent
+	}
+}
+
+// RK4StepNaive is the integrator shape the analyzer must reject: a
+// fresh stage buffer per step and a derivative closure capturing the
+// step size, both of which turn an O(#classes) solve into a
+// per-step allocator.
+//
+//ffc:hotpath
+func (w *stageWorkspace) RK4StepNaive(r, next []float64, h float64) {
+	k1 := make([]float64, len(r)) // want "hot path allocates: make"
+	w.deriv(r, k1)
+	stage := func(i int) float64 { return r[i] + 0.5*h*k1[i] } // want "hot path allocates: closure captures"
+	for i := range r {
+		next[i] = stage(i)
+	}
+}
+
+// deriv is the unannotated derivative helper the stages delegate to.
+func (w *stageWorkspace) deriv(r, k []float64) {
+	for i := range r {
+		k[i] = -r[i]
+	}
+}

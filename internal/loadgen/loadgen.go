@@ -364,7 +364,7 @@ func (c Config) doRequest(ctx context.Context, idxs []int, stats, total *stageSt
 	switch {
 	case resp.StatusCode == http.StatusOK:
 		if c.BatchSize > 0 {
-			c.countBatchItems(respBody, stats, total)
+			c.countBatchItems(respBody, len(idxs), stats, total)
 		} else if resp.Header.Get("X-FFCD-Cache") == "hit" {
 			stats.hits.Add(1)
 			total.hits.Add(1)
@@ -387,8 +387,12 @@ func (c Config) doRequest(ctx context.Context, idxs []int, stats, total *stageSt
 // countBatchItems attributes a 200 batch response item by item using
 // the per-item cache verdicts in the envelope — the daemon and the
 // gateway emit the same item shape, so attribution is
-// target-independent.
-func (c Config) countBatchItems(body []byte, stats, total *stageStats) {
+// target-independent. expected is the number of items the request
+// carried: an unparseable envelope or a truncated results array
+// charges every unaccounted item as an item error, so hit ratios
+// (hits / items) stay honest instead of silently dropping most of a
+// batch from the denominator.
+func (c Config) countBatchItems(body []byte, expected int, stats, total *stageStats) {
 	var out struct {
 		Results []struct {
 			Cache string `json:"cache"`
@@ -396,9 +400,17 @@ func (c Config) countBatchItems(body []byte, stats, total *stageStats) {
 		} `json:"results"`
 	}
 	if err := json.Unmarshal(body, &out); err != nil {
-		stats.itemErr.Add(1)
-		total.itemErr.Add(1)
+		stats.items.Add(int64(expected))
+		total.items.Add(int64(expected))
+		stats.itemErr.Add(int64(expected))
+		total.itemErr.Add(int64(expected))
 		return
+	}
+	if missing := expected - len(out.Results); missing > 0 {
+		stats.items.Add(int64(missing))
+		total.items.Add(int64(missing))
+		stats.itemErr.Add(int64(missing))
+		total.itemErr.Add(int64(missing))
 	}
 	for _, item := range out.Results {
 		stats.items.Add(1)

@@ -317,3 +317,45 @@ func TestWaitReady(t *testing.T) {
 		t.Fatal("unreachable daemon reported ready")
 	}
 }
+
+func TestBatchItemErrorsCountPerItem(t *testing.T) {
+	// An unparseable envelope or a truncated results array must charge
+	// every unaccounted item, not fold the whole batch into one error:
+	// hit ratios divide by items, so a whole-batch-as-one collapse
+	// would quietly shrink the denominator.
+	cases := []struct {
+		name      string
+		body      string
+		wantItems int64
+		wantErrs  int64
+		wantHits  int64
+	}{
+		{"garbage envelope", `not json at all`, 3, 3, 0},
+		{"truncated results", `{"results":[{"cache":"hit","report":{}}]}`, 3, 2, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Write([]byte(tc.body))
+			}))
+			t.Cleanup(ts.Close)
+			c := Config{
+				BaseURL: ts.URL, Corpus: Corpus(4), BatchSize: 3,
+				Client: http.DefaultClient, Now: time.Now, Sleep: time.Sleep,
+			}
+			stats, total := newStageStats(), newStageStats()
+			c.doRequest(context.Background(), []int{0, 1, 2}, stats, total)
+			for name, acc := range map[string]*stageStats{"stage": stats, "total": total} {
+				if got := acc.items.Load(); got != tc.wantItems {
+					t.Errorf("%s items = %d, want %d", name, got, tc.wantItems)
+				}
+				if got := acc.itemErr.Load(); got != tc.wantErrs {
+					t.Errorf("%s itemErr = %d, want %d", name, got, tc.wantErrs)
+				}
+				if got := acc.hits.Load(); got != tc.wantHits {
+					t.Errorf("%s hits = %d, want %d", name, got, tc.wantHits)
+				}
+			}
+		})
+	}
+}

@@ -95,6 +95,16 @@ type RunReport struct {
 	// Per-gateway queue statistics at the final state.
 	Gateways []GatewayReport `json:"gateways"`
 
+	// Backend, Population, and ClassWeights are present only for runs
+	// solved by the fluid backend (internal/fluid): which backend
+	// produced the report, the expanded connection population it
+	// represents, and the member count behind each class-indexed entry
+	// of Rates/Signals/Delays. Discrete reports omit all three, so the
+	// v1 schema is unchanged for existing consumers.
+	Backend      string  `json:"backend,omitempty"`
+	Population   int64   `json:"population,omitempty"`
+	ClassWeights []Float `json:"class_weights,omitempty"`
+
 	// Fault and Recovery are present only for perturbed runs (ffc
 	// -fault): what was injected, and how the system recovered from
 	// it. Unperturbed reports omit both, so the v1 schema is

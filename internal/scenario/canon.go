@@ -3,7 +3,6 @@ package scenario
 import (
 	"bytes"
 	"fmt"
-	"math"
 	"strconv"
 	"strings"
 )
@@ -64,10 +63,10 @@ func (s *Spec) Canonical() ([]byte, error) {
 	}
 
 	for _, g := range s.Gateways {
-		if err := checkFinite("gateway "+g.Name+" mu", g.Mu); err != nil {
+		if err := finiteParam("gateway "+g.Name+" mu", g.Mu); err != nil {
 			return nil, err
 		}
-		if err := checkFinite("gateway "+g.Name+" latency", g.Latency); err != nil {
+		if err := finiteParam("gateway "+g.Name+" latency", g.Latency); err != nil {
 			return nil, err
 		}
 		fmt.Fprintf(&b, "gateway=%s mu=%s latency=%s\n",
@@ -82,6 +81,18 @@ func (s *Spec) Canonical() ([]byte, error) {
 			}
 			b.WriteString(strconv.Quote(name))
 		}
+		b.WriteByte(']')
+		// A count of 0 or 1 is one connection and is not emitted, so
+		// every pre-count spec keeps its exact canonical bytes (and its
+		// cache address). "count=" cannot collide with path content —
+		// names inside the brackets are quoted.
+		n, err := c.count()
+		if err != nil {
+			return nil, fmt.Errorf("scenario: connection %d: %w", ci, err)
+		}
+		if n > 1 {
+			fmt.Fprintf(&b, " count=%d", n)
+		}
 		kind, err := canonKind("law", c.Law.Kind, map[string]string{
 			"": "additive", "additive": "additive", "multiplicative": "multiplicative",
 			"power": "power", "fairrate": "fairrate", "window": "window",
@@ -89,9 +100,9 @@ func (s *Spec) Canonical() ([]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("scenario: connection %d: %w", ci, err)
 		}
-		fmt.Fprintf(&b, "] law=%s", kind)
+		fmt.Fprintf(&b, " law=%s", kind)
 		for _, p := range lawParams(c.Law) {
-			if err := checkFinite(fmt.Sprintf("connection %d law %s", ci, p.name), p.v); err != nil {
+			if err := finiteParam(fmt.Sprintf("connection %d law %s", ci, p.name), p.v); err != nil {
 				return nil, err
 			}
 			fmt.Fprintf(&b, " %s=%s", p.name, canonFloat(p.v))
@@ -102,7 +113,7 @@ func (s *Spec) Canonical() ([]byte, error) {
 	if len(s.Initial) > 0 {
 		b.WriteString("initial=")
 		for i, v := range s.Initial {
-			if err := checkFinite(fmt.Sprintf("initial[%d]", i), v); err != nil {
+			if err := finiteParam(fmt.Sprintf("initial[%d]", i), v); err != nil {
 				return nil, err
 			}
 			if i > 0 {
@@ -135,17 +146,17 @@ func canonSignal(b *bytes.Buffer, sp SignalSpec) error {
 	case "rational":
 		b.WriteString("signal=rational\n")
 	case "power":
-		if err := checkFinite("signal k", sp.K); err != nil {
+		if err := finiteParam("signal k", sp.K); err != nil {
 			return err
 		}
 		fmt.Fprintf(b, "signal=power k=%s\n", canonFloat(sp.K))
 	case "exponential":
-		if err := checkFinite("signal theta", sp.Theta); err != nil {
+		if err := finiteParam("signal theta", sp.Theta); err != nil {
 			return err
 		}
 		fmt.Fprintf(b, "signal=exponential theta=%s\n", canonFloat(sp.Theta))
 	case "binary":
-		if err := checkFinite("signal threshold", sp.Threshold); err != nil {
+		if err := finiteParam("signal threshold", sp.Threshold); err != nil {
 			return err
 		}
 		fmt.Fprintf(b, "signal=binary threshold=%s\n", canonFloat(sp.Threshold))
@@ -167,11 +178,4 @@ func canonKind(what, kind string, aliases map[string]string) (string, error) {
 // distinctly and equal values identically on every platform.
 func canonFloat(v float64) string {
 	return strconv.FormatFloat(v, 'x', -1, 64)
-}
-
-func checkFinite(name string, v float64) error {
-	if math.IsNaN(v) || math.IsInf(v, 0) {
-		return fmt.Errorf("scenario: %s = %v: parameters must be finite", name, v)
-	}
-	return nil
 }

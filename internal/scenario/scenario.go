@@ -26,11 +26,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
 	"strings"
 
 	"github.com/nettheory/feedbackflow/internal/control"
 	"github.com/nettheory/feedbackflow/internal/core"
+	"github.com/nettheory/feedbackflow/internal/finite"
 	"github.com/nettheory/feedbackflow/internal/queueing"
 	"github.com/nettheory/feedbackflow/internal/signal"
 	"github.com/nettheory/feedbackflow/internal/topology"
@@ -66,13 +66,46 @@ type GatewaySpec struct {
 	Latency float64 `json:"latency"`
 }
 
-// ConnectionSpec describes one connection.
+// ConnectionSpec describes one connection, or — with Count — a
+// homogeneous population of them.
 type ConnectionSpec struct {
 	// Path is the ordered list of gateway names the connection
 	// traverses.
 	Path []string `json:"path"`
 	// Law is the connection's rate adjustment law.
 	Law LawSpec `json:"law"`
+	// Count replicates the entry: the scenario behaves exactly as if
+	// it appeared Count times in a row (0 and 1 both mean one
+	// connection). This is how large homogeneous populations are
+	// declared without one JSON entry per source; the discrete backend
+	// expands them, the fluid backend (internal/fluid) solves each
+	// class in O(1) regardless of Count.
+	Count int64 `json:"count,omitempty"`
+}
+
+// MaxCount bounds one entry's Count, and MaxDiscreteConnections bounds
+// the expanded population Build will materialize — past that the
+// per-connection representation itself is the problem and the caller
+// is pointed at the fluid backend. Counts up to MaxCount still stay
+// exactly representable as float64 class weights (< 2^53).
+const (
+	MaxCount               = int64(1) << 40
+	MaxDiscreteConnections = int64(1) << 24
+)
+
+// count resolves the entry's replication factor (0 and 1 both mean
+// one) and rejects the values no backend can honor.
+func (c ConnectionSpec) count() (int64, error) {
+	if c.Count < 0 {
+		return 0, fmt.Errorf("count %d is negative", c.Count)
+	}
+	if c.Count > MaxCount {
+		return 0, fmt.Errorf("count %d exceeds the maximum %d", c.Count, MaxCount)
+	}
+	if c.Count == 0 {
+		return 1, nil
+	}
+	return c.Count, nil
 }
 
 // LawSpec describes a rate adjustment law.
@@ -143,7 +176,14 @@ func (s *Spec) Build() (*core.System, []float64, error) {
 		}
 		byName[g.Name] = bld.AddGateway(g.Name, g.Mu, g.Latency)
 	}
-	laws := make([]control.Law, 0, len(s.Connections))
+	total, err := s.TotalConnections()
+	if err != nil {
+		return nil, nil, err
+	}
+	if total > MaxDiscreteConnections {
+		return nil, nil, fmt.Errorf("scenario: %d connections exceed the discrete backend's limit %d; use the fluid backend", total, MaxDiscreteConnections)
+	}
+	laws := make([]control.Law, 0, total)
 	for ci, c := range s.Connections {
 		path := make([]int, 0, len(c.Path))
 		for _, name := range c.Path {
@@ -153,12 +193,18 @@ func (s *Spec) Build() (*core.System, []float64, error) {
 			}
 			path = append(path, idx)
 		}
-		bld.AddConnection(path...)
 		law, err := buildLaw(c.Law)
 		if err != nil {
 			return nil, nil, fmt.Errorf("scenario: connection %d: %w", ci, err)
 		}
-		laws = append(laws, law)
+		n, err := c.count()
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario: connection %d: %w", ci, err)
+		}
+		for k := int64(0); k < n; k++ {
+			bld.AddConnection(path...)
+			laws = append(laws, law)
+		}
 	}
 	net, err := bld.Build()
 	if err != nil {
@@ -196,7 +242,7 @@ func (s *Spec) Build() (*core.System, []float64, error) {
 		// above does not constrain: NaN poisons every downstream sum,
 		// and the model has no meaning for negative or infinite rates.
 		for i, v := range r0 {
-			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			if finite.IsBad(v) || v < 0 {
 				return nil, nil, fmt.Errorf("scenario: initial[%d] = %v: initial rates must be finite and non-negative", i, v)
 			}
 		}
@@ -308,10 +354,8 @@ func buildLaw(sp LawSpec) (control.Law, error) {
 
 // finiteParam rejects NaN and ±Inf parameter values with a message
 // naming the parameter; the comparison-based range checks downstream
-// would silently accept them.
+// would silently accept them. It delegates to internal/finite so this
+// package, analytic, and fluid all reject exactly the same value set.
 func finiteParam(name string, v float64) error {
-	if math.IsNaN(v) || math.IsInf(v, 0) {
-		return fmt.Errorf("scenario: %s = %v: parameters must be finite", name, v)
-	}
-	return nil
+	return finite.Check("scenario", name, v)
 }

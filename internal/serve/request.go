@@ -7,18 +7,28 @@ import (
 	"io"
 
 	"github.com/nettheory/feedbackflow/internal/fault"
+	"github.com/nettheory/feedbackflow/internal/fluid"
 	"github.com/nettheory/feedbackflow/internal/obs"
 	"github.com/nettheory/feedbackflow/internal/runcache"
 	"github.com/nettheory/feedbackflow/internal/scenario"
 )
 
+// Backend selection values for Config.Backend and the -backend flags.
+const (
+	BackendAuto     = "auto"
+	BackendDiscrete = "discrete"
+	BackendFluid    = "fluid"
+)
+
 // runRequest is one fully parsed, validated, content-addressed run:
-// the scenario, the optional fault spec, and the cache key derived
-// from their canonical forms.
+// the scenario, the optional fault spec, the backend the server
+// resolved for it, and the cache key derived from their canonical
+// forms.
 type runRequest struct {
-	spec  *scenario.Spec
-	fault fault.Config
-	key   runcache.Key
+	spec    *scenario.Spec
+	fault   fault.Config
+	backend string // BackendDiscrete or BackendFluid, already resolved
+	key     runcache.Key
 }
 
 // envelope is the explicit request form: a scenario document plus an
@@ -30,13 +40,18 @@ type envelope struct {
 
 // CanonicalKey parses and validates body exactly as POST /run does —
 // bare scenario or {"scenario","fault"} envelope, strict JSON, a
-// buildable spec — and returns the content address the daemon would
-// cache the result under, without solving anything. It is how an
-// ffcgw computes a request's home replica: gateway and replica derive
-// the same key from the same bytes by construction, so the ring
-// placement and the replica's cache entry can never disagree.
+// buildable spec — and returns the content address a default-config
+// daemon would cache the result under, without solving anything. It
+// is how an ffcgw computes a request's home replica: gateway and
+// replicas derive the key from the same canonical bytes, so requests
+// for the same scenario always land on the same replica. The key also
+// folds in the resolved backend label; a replica running a
+// non-default -backend/-fluid-threshold may therefore cache under a
+// different key than the gateway computes, which affects nothing —
+// ring placement only needs the gateway's own keys to be consistent,
+// and the replica's cache is addressed by the replica's keys.
 func CanonicalKey(body []byte) (runcache.Key, error) {
-	req, err := parseRunRequest(body, nil)
+	req, err := parseRunRequest(body, nil, BackendAuto, fluid.DefaultThreshold)
 	if err != nil {
 		return runcache.Key{}, err
 	}
@@ -53,7 +68,16 @@ func CanonicalKey(body []byte) (runcache.Key, error) {
 //
 // sp may be nil (tracing disabled, or a batch item); the parse and
 // canonicalize phases are recorded on it when present.
-func parseRunRequest(body []byte, sp *obs.Span) (*runRequest, error) {
+//
+// backend is the server's Config.Backend (BackendAuto routes
+// populations of at least threshold connections to the fluid solver)
+// and threshold its Config.FluidThreshold; the resolved choice is
+// validated here — Build for discrete, fluid.FromSpec for fluid — and
+// recorded in the request and its cache key, so the two backends'
+// differently-shaped reports never share a cache entry. Fault
+// injection is discrete-only: auto falls back to discrete for faulted
+// requests, while an explicit fluid backend rejects them.
+func parseRunRequest(body []byte, sp *obs.Span, backend string, threshold int64) (*runRequest, error) {
 	sp.Phase("parse")
 	var probe map[string]json.RawMessage
 	if err := json.Unmarshal(body, &probe); err != nil {
@@ -90,12 +114,25 @@ func parseRunRequest(body []byte, sp *obs.Span) (*runRequest, error) {
 		}
 	}
 
-	// Build once at parse time: it is cheap relative to a run, and it
-	// means every key the cache ever sees addresses a solvable spec.
-	if _, _, err := spec.Build(); err != nil {
+	cfg, err := fault.Parse(faultStr)
+	if err != nil {
 		return nil, err
 	}
-	cfg, err := fault.Parse(faultStr)
+	resolved, err := resolveBackend(spec, cfg, backend, threshold)
+	if err != nil {
+		return nil, err
+	}
+	// Compile once at parse time on the resolved backend's own path —
+	// Build for discrete, FromSpec for fluid. It is cheap relative to a
+	// run, and it means every key the cache ever sees addresses a spec
+	// the chosen solver accepts (a 10⁷-connection spec never touches
+	// Build, whose population materialization the fluid path exists to
+	// avoid).
+	if resolved == BackendFluid {
+		_, _, err = fluid.FromSpec(spec)
+	} else {
+		_, _, err = spec.Build()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -107,10 +144,40 @@ func parseRunRequest(body []byte, sp *obs.Span) (*runRequest, error) {
 	}
 	// The fault spec participates in the content address through its
 	// canonical round-trip form, so "loss=0.5,seed=3" and
-	// "seed=3,loss=0.5" share an entry.
+	// "seed=3,loss=0.5" share an entry; the backend label keeps the
+	// class-indexed fluid report and the connection-indexed discrete
+	// report of the same scenario under distinct entries.
 	return &runRequest{
-		spec:  spec,
-		fault: cfg,
-		key:   runcache.KeyOf(canon, []byte(cfg.String())),
+		spec:    spec,
+		fault:   cfg,
+		backend: resolved,
+		key:     runcache.KeyOf(canon, []byte(cfg.String()), []byte(resolved)),
 	}, nil
+}
+
+// resolveBackend turns the configured backend choice into a concrete
+// one for this request.
+func resolveBackend(spec *scenario.Spec, fc fault.Config, backend string, threshold int64) (string, error) {
+	total, err := spec.TotalConnections()
+	if err != nil {
+		return "", err
+	}
+	switch backend {
+	case BackendDiscrete:
+		return BackendDiscrete, nil
+	case BackendFluid:
+		if fc.Enabled() {
+			return "", fmt.Errorf("request: fault injection is per-connection and requires the discrete backend")
+		}
+		return BackendFluid, nil
+	case BackendAuto, "":
+		if threshold <= 0 {
+			threshold = fluid.DefaultThreshold
+		}
+		if total >= threshold && !fc.Enabled() {
+			return BackendFluid, nil
+		}
+		return BackendDiscrete, nil
+	}
+	return "", fmt.Errorf("request: unknown backend %q (want auto, discrete, or fluid)", backend)
 }

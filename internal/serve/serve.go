@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"github.com/nettheory/feedbackflow/internal/fault"
+	"github.com/nettheory/feedbackflow/internal/fluid"
 	"github.com/nettheory/feedbackflow/internal/obs"
 	"github.com/nettheory/feedbackflow/internal/parallel"
 	"github.com/nettheory/feedbackflow/internal/runcache"
@@ -82,6 +83,14 @@ type Config struct {
 	// monotonic durations, outcome) and returns its trace ID in the
 	// X-FFCD-Trace-ID header. Nil disables tracing at zero cost.
 	Tracer *obs.Tracer
+	// Backend selects the solver: BackendDiscrete, BackendFluid, or
+	// BackendAuto (the default), which solves populations of at least
+	// FluidThreshold connections with the fluid backend and everything
+	// else — including every faulted request — with the discrete one.
+	Backend string
+	// FluidThreshold is the population at which BackendAuto switches to
+	// the fluid solver (default fluid.DefaultThreshold).
+	FluidThreshold int64
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +107,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 256
+	}
+	if c.Backend == "" {
+		c.Backend = BackendAuto
+	}
+	if c.FluidThreshold <= 0 {
+		c.FluidThreshold = fluid.DefaultThreshold
 	}
 	return c
 }
@@ -306,11 +321,29 @@ func (s *Server) solve(ctx context.Context, req *runRequest, sp *obs.Span) (body
 // thereafter, which is what makes hits byte-identical to the miss.
 func renderRun(req *runRequest, sp *obs.Span) ([]byte, error) {
 	sp.Phase("solve")
+	opts := req.spec.RunOptions()
+	if req.backend == BackendFluid {
+		// parseRunRequest already rejected fault+fluid, so this is
+		// always a plain run.
+		fsys, fr0, err := fluid.FromSpec(req.spec)
+		if err != nil {
+			return nil, err
+		}
+		res, err := fsys.Run(fr0, opts)
+		if err != nil {
+			return nil, err
+		}
+		sp.Phase("render")
+		rep, err := fsys.Report(res, req.spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		return marshalReport(rep)
+	}
 	sys, r0, err := req.spec.Build()
 	if err != nil {
 		return nil, err
 	}
-	opts := req.spec.RunOptions()
 	if !req.fault.Enabled() {
 		res, err := sys.Run(r0, opts)
 		if err != nil {
@@ -391,7 +424,7 @@ func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, sp *obs.Span) 
 		s.error(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body: %v", err))
 		return out413
 	}
-	req, err := parseRunRequest(body, sp)
+	req, err := parseRunRequest(body, sp, s.cfg.Backend, s.cfg.FluidThreshold)
 	if err != nil {
 		s.badReqs.Inc()
 		s.error(w, http.StatusBadRequest, err)
@@ -408,6 +441,7 @@ func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, sp *obs.Span) 
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-FFCD-Cache", cacheHeader(cached))
+	w.Header().Set("X-FFCD-Backend", req.backend)
 	w.Write(val)
 	if cached {
 		return outHit
@@ -508,7 +542,7 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, sp *obs.Span
 // outcome label.
 func (s *Server) serveBatchItem(ctx context.Context, raw json.RawMessage, item *batchItem) string {
 	s.batchRuns.Inc()
-	req, err := parseRunRequest(raw, nil)
+	req, err := parseRunRequest(raw, nil, s.cfg.Backend, s.cfg.FluidThreshold)
 	if err != nil {
 		s.badReqs.Inc()
 		*item = batchItem{Error: err.Error()}

@@ -586,3 +586,93 @@ func TestCanonicalKeyMatchesCache(t *testing.T) {
 		t.Fatal("CanonicalKey accepted an invalid scenario")
 	}
 }
+
+// fluidScenario is a counted population large enough to cross a small
+// fluid threshold without materializing anything.
+const fluidScenario = `{
+  "name": "big-pop",
+  "gateways": [{"name": "A", "mu": 1.0, "latency": 0.1}],
+  "connections": [
+    {"path": ["A"], "count": 6, "law": {"kind": "additive", "eta": 0.01, "bss": 0.3}}
+  ]
+}`
+
+// TestServeBackendSelection pins the backend routing matrix: auto
+// stays discrete below the threshold, switches to fluid at it, falls
+// back to discrete for faulted requests; a forced fluid backend
+// rejects fault envelopes; and the backend label keeps the two
+// report shapes under distinct cache keys.
+func TestServeBackendSelection(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, FluidThreshold: 4})
+
+	// Small population: auto resolves discrete, report stays v1-plain.
+	resp, body := post(t, ts.URL+"/run", testScenario)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("discrete run: %d %s", resp.StatusCode, body)
+	}
+	if h := resp.Header.Get("X-FFCD-Backend"); h != BackendDiscrete {
+		t.Fatalf("small population backend header = %q, want discrete", h)
+	}
+	var rep obs.RunReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Backend != "" {
+		t.Fatalf("discrete report backend = %q, want empty", rep.Backend)
+	}
+
+	// Counted population past the threshold: auto resolves fluid.
+	resp, body = post(t, ts.URL+"/run", fluidScenario)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fluid run: %d %s", resp.StatusCode, body)
+	}
+	if h := resp.Header.Get("X-FFCD-Backend"); h != BackendFluid {
+		t.Fatalf("large population backend header = %q, want fluid", h)
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Backend != BackendFluid || rep.Population != 6 || len(rep.ClassWeights) != 1 {
+		t.Fatalf("fluid report: backend=%q population=%d classes=%d",
+			rep.Backend, rep.Population, len(rep.ClassWeights))
+	}
+	if !rep.Converged {
+		t.Fatal("fluid run did not converge")
+	}
+
+	// The same large population with a fault spec: auto falls back to
+	// the discrete backend (fault injection is per-connection).
+	faulted := fmt.Sprintf(`{"scenario": %s, "fault": "seed=3,loss=0.5@10-40"}`, fluidScenario)
+	resp, body = post(t, ts.URL+"/run", faulted)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("faulted run: %d %s", resp.StatusCode, body)
+	}
+	if h := resp.Header.Get("X-FFCD-Backend"); h != BackendDiscrete {
+		t.Fatalf("faulted backend header = %q, want discrete", h)
+	}
+
+	// A forced-fluid server rejects fault envelopes outright.
+	_, tsFluid := newTestServer(t, Config{Workers: 2, Backend: BackendFluid})
+	resp, body = post(t, tsFluid.URL+"/run", faulted)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("forced fluid + fault: %d %s, want 400", resp.StatusCode, body)
+	}
+	resp, _ = post(t, tsFluid.URL+"/run", testScenario)
+	if h := resp.Header.Get("X-FFCD-Backend"); h != BackendFluid {
+		t.Fatalf("forced fluid backend header = %q", h)
+	}
+
+	// Backend participates in the content address: the same canonical
+	// spec under the two backends must key different cache entries.
+	d, err := parseRunRequest([]byte(fluidScenario), nil, BackendDiscrete, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := parseRunRequest([]byte(fluidScenario), nil, BackendFluid, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.key == f.key {
+		t.Fatal("discrete and fluid requests share a cache key")
+	}
+}
